@@ -1,0 +1,271 @@
+//! Offline oracles for the selective-replication problem.
+//!
+//! The paper notes (§I) that optimal selective replication is NP-hard —
+//! it is a knapsack: choosing which tasks to leave *unprotected* is
+//! "pack items (tasks) of weight λ(T) and value cost(T) into a knapsack
+//! of capacity `threshold`", maximizing the replication cost avoided.
+//! These oracles require the full task list up front (exactly what the
+//! runtime heuristic must avoid needing); the ablation experiments use
+//! them to measure how close App_FIT gets to optimal.
+
+use fit_model::TaskRates;
+
+/// An oracle's replication plan plus its quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSolution {
+    /// Per task: `true` = replicate.
+    pub replicate: Vec<bool>,
+    /// Total cost of the replicated tasks (the objective, minimized).
+    pub replicated_cost: f64,
+    /// Total failure rate left unprotected (must be ≤ threshold).
+    pub unprotected_fit: f64,
+}
+
+impl OracleSolution {
+    fn from_keep(keep: &[bool], lambdas: &[f64], costs: &[f64]) -> Self {
+        let mut replicated_cost = 0.0;
+        let mut unprotected_fit = 0.0;
+        let replicate: Vec<bool> = keep.iter().map(|&k| !k).collect();
+        for i in 0..keep.len() {
+            if keep[i] {
+                unprotected_fit += lambdas[i];
+            } else {
+                replicated_cost += costs[i];
+            }
+        }
+        OracleSolution {
+            replicate,
+            replicated_cost,
+            unprotected_fit,
+        }
+    }
+
+    /// Fraction of tasks replicated.
+    pub fn replicated_fraction(&self) -> f64 {
+        if self.replicate.is_empty() {
+            return 0.0;
+        }
+        self.replicate.iter().filter(|&&r| r).count() as f64 / self.replicate.len() as f64
+    }
+}
+
+fn unpack(tasks: &[(TaskRates, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let lambdas = tasks.iter().map(|(r, _)| r.total().value()).collect();
+    let costs = tasks.iter().map(|(_, c)| *c).collect();
+    (lambdas, costs)
+}
+
+/// Density greedy: leave unprotected the tasks with the highest
+/// cost-per-FIT until the threshold budget is exhausted; replicate the
+/// rest. `O(n log n)`; feasible but not optimal in general.
+pub fn oracle_greedy(tasks: &[(TaskRates, f64)], threshold: f64) -> OracleSolution {
+    assert!(threshold >= 0.0);
+    let (lambdas, costs) = unpack(tasks);
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    // Highest value-per-weight first; zero-λ tasks are free to keep.
+    order.sort_by(|&a, &b| {
+        let da = density(costs[a], lambdas[a]);
+        let db = density(costs[b], lambdas[b]);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut keep = vec![false; tasks.len()];
+    let mut budget = threshold;
+    for &i in &order {
+        if lambdas[i] <= budget {
+            keep[i] = true;
+            budget -= lambdas[i];
+        }
+    }
+    OracleSolution::from_keep(&keep, &lambdas, &costs)
+}
+
+fn density(cost: f64, lambda: f64) -> f64 {
+    if lambda == 0.0 {
+        f64::INFINITY
+    } else {
+        cost / lambda
+    }
+}
+
+/// Default weight-grid resolution of [`oracle_dp`].
+pub const DEFAULT_DP_GRID: usize = 100_000;
+
+/// Scaled dynamic-programming knapsack: exact for the instance with
+/// weights rounded **up** to a grid of `grid` units across the
+/// threshold, hence always feasible for the true instance and within
+/// `n/grid` of the true optimum. `O(n · grid)` time, `O(grid)` space.
+pub fn oracle_dp(tasks: &[(TaskRates, f64)], threshold: f64, grid: usize) -> OracleSolution {
+    assert!(threshold >= 0.0);
+    assert!(grid >= 1);
+    let (lambdas, costs) = unpack(tasks);
+    let n = tasks.len();
+    if n == 0 {
+        return OracleSolution::from_keep(&[], &lambdas, &costs);
+    }
+    if threshold == 0.0 {
+        // Only zero-rate tasks can stay unprotected.
+        let keep: Vec<bool> = lambdas.iter().map(|&l| l == 0.0).collect();
+        return OracleSolution::from_keep(&keep, &lambdas, &costs);
+    }
+
+    // Integer weights, rounded up (conservative).
+    let weights: Vec<usize> = lambdas
+        .iter()
+        .map(|&l| ((l / threshold) * grid as f64).ceil() as usize)
+        .collect();
+
+    // value[w] = best kept cost using capacity w; choice bitmaps for
+    // reconstruction (n × (grid+1) bits).
+    let mut value = vec![0.0f64; grid + 1];
+    let mut chosen = vec![false; n * (grid + 1)];
+    for i in 0..n {
+        if weights[i] > grid {
+            continue; // single task over budget: must replicate
+        }
+        let row = i * (grid + 1);
+        for w in (weights[i]..=grid).rev() {
+            let cand = value[w - weights[i]] + costs[i];
+            if cand > value[w] {
+                value[w] = cand;
+                chosen[row + w] = true;
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut keep = vec![false; n];
+    let mut w = grid;
+    for i in (0..n).rev() {
+        if chosen[i * (grid + 1) + w] {
+            keep[i] = true;
+            w -= weights[i];
+        }
+    }
+    OracleSolution::from_keep(&keep, &lambdas, &costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fit_model::Fit;
+
+    fn tasks(spec: &[(f64, f64)]) -> Vec<(TaskRates, f64)> {
+        spec.iter()
+            .map(|&(lam, cost)| (TaskRates::new(Fit::new(lam), Fit::ZERO), cost))
+            .collect()
+    }
+
+    /// Continuous brute force over all subsets (for n ≤ 20).
+    fn brute_force(tasks: &[(TaskRates, f64)], threshold: f64) -> f64 {
+        let n = tasks.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut lam, mut val) = (0.0, 0.0);
+            for (i, t) in tasks.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    lam += t.0.total().value();
+                    val += t.1;
+                }
+            }
+            if lam <= threshold && val > best {
+                best = val;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_classic_instance() {
+        // Weights/values where greedy fails: the dense small item
+        // crowds out the jointly better pair.
+        let ts = tasks(&[(6.0, 60.0), (5.0, 50.0), (5.0, 50.0)]);
+        let threshold = 10.0;
+        let dp = oracle_dp(&ts, threshold, DEFAULT_DP_GRID);
+        let greedy = oracle_greedy(&ts, threshold);
+        let brute = brute_force(&ts, threshold);
+        // DP keeps both 5s (value 100); greedy keeps the 6 first
+        // (density equal here, so construct a clearer gap below).
+        assert!(dp.unprotected_fit <= threshold + 1e-9);
+        assert!(greedy.unprotected_fit <= threshold + 1e-9);
+        let dp_kept: f64 = 160.0 - dp.replicated_cost;
+        assert!((dp_kept - brute).abs() < 1e-6, "dp {dp_kept} vs brute {brute}");
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_where_expected() {
+        // Greedy takes the high-density item (λ=6, c=66, density 11)
+        // and can no longer fit the two λ=5 items (density 10 each,
+        // joint value 100 > 66).
+        let ts = tasks(&[(6.0, 66.0), (5.0, 50.0), (5.0, 50.0)]);
+        let threshold = 10.0;
+        let greedy = oracle_greedy(&ts, threshold);
+        let dp = oracle_dp(&ts, threshold, DEFAULT_DP_GRID);
+        let total: f64 = 166.0;
+        assert_eq!(total - greedy.replicated_cost, 66.0);
+        assert_eq!(total - dp.replicated_cost, 100.0);
+    }
+
+    #[test]
+    fn zero_threshold_replicates_all_nonzero_rate_tasks() {
+        let ts = tasks(&[(1.0, 10.0), (0.0, 5.0), (2.0, 1.0)]);
+        let dp = oracle_dp(&ts, 0.0, 1000);
+        assert_eq!(dp.replicate, vec![true, false, true]);
+        let g = oracle_greedy(&ts, 0.0);
+        assert_eq!(g.replicate, vec![true, false, true]);
+    }
+
+    #[test]
+    fn huge_threshold_replicates_nothing() {
+        let ts = tasks(&[(1.0, 10.0), (2.0, 5.0)]);
+        for sol in [oracle_dp(&ts, 100.0, 1000), oracle_greedy(&ts, 100.0)] {
+            assert_eq!(sol.replicate, vec![false, false]);
+            assert_eq!(sol.replicated_cost, 0.0);
+            assert_eq!(sol.unprotected_fit, 3.0);
+        }
+    }
+
+    #[test]
+    fn oversized_single_task_always_replicated() {
+        let ts = tasks(&[(50.0, 1.0)]);
+        let dp = oracle_dp(&ts, 10.0, 1000);
+        assert_eq!(dp.replicate, vec![true]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let ts = tasks(&[]);
+        let dp = oracle_dp(&ts, 1.0, 100);
+        assert!(dp.replicate.is_empty());
+        assert_eq!(dp.replicated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dp_feasible_and_near_optimal_randomized() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..12);
+            let ts: Vec<(TaskRates, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        TaskRates::new(Fit::new(rng.gen_range(0.0..10.0)), Fit::ZERO),
+                        rng.gen_range(0.0..100.0),
+                    )
+                })
+                .collect();
+            let threshold = rng.gen_range(0.1..30.0);
+            let dp = oracle_dp(&ts, threshold, DEFAULT_DP_GRID);
+            let greedy = oracle_greedy(&ts, threshold);
+            assert!(dp.unprotected_fit <= threshold + 1e-9, "trial {trial}");
+            assert!(greedy.unprotected_fit <= threshold + 1e-9, "trial {trial}");
+            let total: f64 = ts.iter().map(|t| t.1).sum();
+            let brute = brute_force(&ts, threshold);
+            let dp_kept = total - dp.replicated_cost;
+            assert!(
+                dp_kept >= brute * (1.0 - 1e-3) - 1e-9,
+                "trial {trial}: dp kept {dp_kept} vs brute {brute}"
+            );
+        }
+    }
+}

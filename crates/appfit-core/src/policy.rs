@@ -1,0 +1,158 @@
+//! The replication-policy interface and baseline policies.
+
+use fit_model::TaskRates;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a policy may consult when deciding whether to replicate
+/// one task — deliberately restricted to information the runtime has
+/// *for free* at task-ready time (the paper's no-profiling constraint).
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionCtx {
+    /// Runtime-assigned task id (submission order).
+    pub id: u64,
+    /// The task's estimated failure rates (from its argument sizes).
+    pub rates: TaskRates,
+    /// Total argument bytes (the raw quantity rates derive from).
+    pub argument_bytes: u64,
+}
+
+/// Decides, per task, whether to replicate it; thread-safe because the
+/// runtime consults it concurrently from worker threads.
+pub trait ReplicationPolicy: Send + Sync {
+    /// `true` ⇒ replicate this task (checkpoint + duplicate + compare).
+    fn decide(&self, ctx: &DecisionCtx) -> bool;
+
+    /// Called when the task's execution finishes; `replicated` echoes
+    /// the earlier decision. Policies that charge accounting at
+    /// completion time hook in here.
+    fn on_complete(&self, ctx: &DecisionCtx, replicated: bool) {
+        let _ = (ctx, replicated);
+    }
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Complete task replication — the paper's baseline whose cost App_FIT
+/// undercuts ("complete task replication is overkill").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicateAll;
+
+impl ReplicationPolicy for ReplicateAll {
+    fn decide(&self, _ctx: &DecisionCtx) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "replicate-all"
+    }
+}
+
+/// No protection at all (fault-free baseline for overhead measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicateNone;
+
+impl ReplicationPolicy for ReplicateNone {
+    fn decide(&self, _ctx: &DecisionCtx) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "replicate-none"
+    }
+}
+
+/// Replicates each task independently with probability `p` —
+/// a rate-oblivious strawman for the ablation study. Deterministic per
+/// `(seed, task id)` so experiment runs are reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPolicy {
+    p: f64,
+    seed: u64,
+}
+
+impl RandomPolicy {
+    /// A policy replicating with probability `p` (0 ≤ p ≤ 1).
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        RandomPolicy { p, seed }
+    }
+}
+
+impl ReplicationPolicy for RandomPolicy {
+    fn decide(&self, ctx: &DecisionCtx) -> bool {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ ctx.id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        rng.gen::<f64>() < self.p
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Replicates every `k`-th task — a size-oblivious strawman showing why
+/// weighting by failure rate matters.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicPolicy {
+    every: u64,
+}
+
+impl PeriodicPolicy {
+    /// Replicates tasks whose id is a multiple of `every` (≥ 1).
+    pub fn new(every: u64) -> Self {
+        assert!(every >= 1);
+        PeriodicPolicy { every }
+    }
+}
+
+impl ReplicationPolicy for PeriodicPolicy {
+    fn decide(&self, ctx: &DecisionCtx) -> bool {
+        ctx.id.is_multiple_of(self.every)
+    }
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fit_model::Fit;
+
+    fn ctx(id: u64) -> DecisionCtx {
+        DecisionCtx {
+            id,
+            rates: TaskRates::new(Fit::new(1.0), Fit::new(0.5)),
+            argument_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn all_and_none() {
+        assert!(ReplicateAll.decide(&ctx(0)));
+        assert!(!ReplicateNone.decide(&ctx(0)));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_calibrated() {
+        let p = RandomPolicy::new(0.3, 42);
+        let first: Vec<bool> = (0..10_000).map(|i| p.decide(&ctx(i))).collect();
+        let second: Vec<bool> = (0..10_000).map(|i| p.decide(&ctx(i))).collect();
+        assert_eq!(first, second);
+        let frac = first.iter().filter(|&&b| b).count() as f64 / first.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn random_extremes() {
+        let never = RandomPolicy::new(0.0, 1);
+        let always = RandomPolicy::new(1.0, 1);
+        assert!((0..100).all(|i| !never.decide(&ctx(i))));
+        assert!((0..100).all(|i| always.decide(&ctx(i))));
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let p = PeriodicPolicy::new(3);
+        let pattern: Vec<bool> = (0..7).map(|i| p.decide(&ctx(i))).collect();
+        assert_eq!(pattern, vec![true, false, false, true, false, false, true]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The roofline-style task cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::NodeSpec;
+
+/// Converts a task's flop count and byte traffic into virtual seconds on
+/// a given node.
+///
+/// `duration = max(flops / (rate × efficiency), bytes / bandwidth)`:
+/// compute-bound tasks (blocked GEMM, factorizations) are limited by the
+/// flop rate, streaming tasks by memory bandwidth — which is what makes
+/// Stream's scalability collapse in the paper's Figure 5 while the dense
+/// kernels scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fraction of peak flop rate real kernels sustain (default 1.0;
+    /// the workloads' flop hints already reflect algorithmic counts).
+    pub efficiency: f64,
+    /// Multiplier on checkpoint cost: a checkpoint reads and writes its
+    /// bytes once each.
+    pub checkpoint_traffic_factor: f64,
+    /// Multiplier on comparison cost: a compare reads two copies.
+    pub compare_traffic_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            efficiency: 1.0,
+            checkpoint_traffic_factor: 2.0,
+            compare_traffic_factor: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Kernel execution time of a task with the given cost numbers,
+    /// when `active` cores contend for the node's memory bandwidth.
+    pub fn kernel_secs(
+        &self,
+        node: &NodeSpec,
+        active: usize,
+        flops: f64,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) -> f64 {
+        let compute = flops / (node.flops_per_sec() * self.efficiency);
+        let memory = (bytes_in + bytes_out) as f64 / node.bytes_per_sec(active);
+        compute.max(memory)
+    }
+
+    /// Time to checkpoint `bytes_in` input bytes (paper step ①) — a
+    /// streaming memcpy at full node bandwidth.
+    pub fn checkpoint_secs(&self, node: &NodeSpec, bytes_in: u64) -> f64 {
+        self.checkpoint_traffic_factor * bytes_in as f64 / node.protection_bytes_per_sec()
+    }
+
+    /// Time to compare `bytes_out` of outputs against a replica's
+    /// (paper step ③); also used as the vote cost per extra copy.
+    pub fn compare_secs(&self, node: &NodeSpec, bytes_out: u64) -> f64 {
+        self.compare_traffic_factor * bytes_out as f64 / node.protection_bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::marenostrum3_node;
+
+    #[test]
+    fn compute_bound_task() {
+        let node = marenostrum3_node(16);
+        let m = CostModel::default();
+        // 4 Gflop at 4 Gflop/s = 1 s; memory traffic negligible.
+        let d = m.kernel_secs(&node, 16, 4.0e9, 1024, 1024);
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_task() {
+        let node = marenostrum3_node(16);
+        let m = CostModel::default();
+        // 3.2 GB at 3.2 GB/s (16-way contention) = 1 s; flops negligible.
+        let d = m.kernel_secs(&node, 16, 1.0, 1_600_000_000, 1_600_000_000);
+        assert!((d - 1.0).abs() < 1e-9);
+        // A lone task sees the full 51.2 GB/s.
+        let solo = m.kernel_secs(&node, 1, 1.0, 1_600_000_000, 1_600_000_000);
+        assert!((solo - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_scales_compute() {
+        let node = marenostrum3_node(16);
+        let half = CostModel {
+            efficiency: 0.5,
+            ..CostModel::default()
+        };
+        let d = half.kernel_secs(&node, 1, 4.0e9, 0, 0);
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_and_compare_costs() {
+        let node = marenostrum3_node(16);
+        let m = CostModel::default();
+        // 25.6 GB in: read+write = 51.2 GB at the full 51.2 GB/s = 1 s.
+        assert!((m.checkpoint_secs(&node, 25_600_000_000) - 1.0).abs() < 1e-9);
+        assert!((m.compare_secs(&node, 25_600_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(m.checkpoint_secs(&node, 0), 0.0);
+    }
+}

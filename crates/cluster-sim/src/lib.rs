@@ -1,0 +1,41 @@
+//! # cluster-sim
+//!
+//! A discrete-event simulator for task-parallel dataflow execution on a
+//! cluster — this reproduction's substitute for the MareNostrum III
+//! system (16-core nodes, up to 64 nodes / 1024 cores) the paper's
+//! Figures 4–6 were measured on, which a single-core container cannot
+//! time-slice honestly.
+//!
+//! The simulator models exactly the quantities those figures depend on:
+//!
+//! * **nodes × cores** plus per-node **spare cores** that only replicas
+//!   may use (the paper executes replicas on spare cores);
+//! * a roofline-style **task cost model** (`max(flops/rate,
+//!   bytes/bandwidth)`) fed by the workloads' analytic flop counts;
+//! * an interconnect with **latency + bandwidth** charged when a task's
+//!   inputs were produced on another node;
+//! * the full replication pipeline in virtual time: checkpoint copy,
+//!   replica on a spare core, end-of-task synchronization + comparison,
+//!   re-execution and vote on detected faults;
+//! * seeded per-task **fault injection** so recovery costs appear in
+//!   the makespan (the paper's "per task fixed fault rates").
+//!
+//! Simulation is single-threaded and fully deterministic: identical
+//! inputs (graph, cluster, policy, seed) give identical virtual
+//! timelines, so App_FIT decision sequences are exactly reproducible.
+//!
+//! The model's simplifications (no link contention, transfers serialized
+//! per task, replica serialized onto its originating core when no spare
+//! is free) are documented on the relevant items and in DESIGN.md §2.
+
+pub mod cost;
+pub mod graph;
+pub mod machine;
+pub mod report;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use graph::{SimGraph, SimTask};
+pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec};
+pub use report::{SimReport, SimTaskRecord};
+pub use sim::{simulate, SimConfig};

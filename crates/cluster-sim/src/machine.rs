@@ -1,0 +1,156 @@
+//! Machine specifications: nodes, cores, spares, interconnect.
+
+use serde::{Deserialize, Serialize};
+
+/// One node's resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Worker cores available to original task executions.
+    pub cores: usize,
+    /// Spare cores usable only by replicas (paper §V-A2: "task replicas
+    /// are executed on spare cores"). With zero spares, replicas
+    /// serialize onto the originating core.
+    pub spare_cores: usize,
+    /// Per-core sustained compute rate in Gflop/s.
+    pub gflops_per_core: f64,
+    /// **Node-total** sustained memory bandwidth in GB/s, shared by the
+    /// worker cores: each core's effective bandwidth is
+    /// `mem_bw_gbs / cores`. This static-contention model is what makes
+    /// memory-bound workloads (Stream) stop scaling with core count —
+    /// the paper's Figure-5 observation — while compute-bound kernels
+    /// scale freely.
+    pub mem_bw_gbs: f64,
+}
+
+impl NodeSpec {
+    /// Compute rate in flop/s.
+    #[inline]
+    pub fn flops_per_sec(&self) -> f64 {
+        self.gflops_per_core * 1e9
+    }
+
+    /// A core's effective memory bandwidth in bytes/s when `active`
+    /// cores are busy (snapshot contention: the node total splits among
+    /// concurrently running tasks; a lone task enjoys the full node
+    /// bandwidth).
+    #[inline]
+    pub fn bytes_per_sec(&self, active: usize) -> f64 {
+        self.mem_bw_gbs * 1e9 / active.clamp(1, self.cores.max(1)) as f64
+    }
+
+    /// The node's full memory bandwidth in bytes/s — the rate
+    /// checkpoint copies and replica comparisons run at (streaming
+    /// memcpy on otherwise idle protection resources).
+    #[inline]
+    pub fn protection_bytes_per_sec(&self) -> f64 {
+        self.mem_bw_gbs * 1e9
+    }
+}
+
+/// A MareNostrum-III-like node: 16 Sandy-Bridge cores (≈ 20.8 Gflop/s
+/// peak each — we use a sustained 4 Gflop/s for real blocked kernels),
+/// ≈ 51.2 GB/s of node-total memory bandwidth, and as many spare cores
+/// as workers.
+pub fn marenostrum3_node(cores: usize) -> NodeSpec {
+    NodeSpec {
+        cores,
+        spare_cores: cores,
+        gflops_per_core: 4.0,
+        mem_bw_gbs: 51.2,
+    }
+}
+
+/// The whole cluster: homogeneous nodes plus an interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node resources.
+    pub node: NodeSpec,
+    /// One-way message latency in microseconds (Infiniband-class ≈ 1.5).
+    pub net_latency_us: f64,
+    /// Point-to-point bandwidth in GB/s (FDR10 ≈ 5).
+    pub net_bandwidth_gbs: f64,
+}
+
+impl ClusterSpec {
+    /// A shared-memory configuration: one node, `cores` workers, equally
+    /// many spares (Figures 4–5).
+    pub fn shared_memory(cores: usize) -> Self {
+        ClusterSpec {
+            nodes: 1,
+            node: marenostrum3_node(cores),
+            net_latency_us: 0.0,
+            net_bandwidth_gbs: f64::INFINITY,
+        }
+    }
+
+    /// A distributed configuration: `nodes` MareNostrum-like 16-core
+    /// nodes over Infiniband (Figure 6; 64 nodes = 1024 cores).
+    pub fn distributed(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            node: marenostrum3_node(16),
+            net_latency_us: 1.5,
+            net_bandwidth_gbs: 5.0,
+        }
+    }
+
+    /// Total worker cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.cores
+    }
+
+    /// Seconds to move `bytes` between two distinct nodes.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        if self.nodes <= 1 {
+            return 0.0;
+        }
+        self.net_latency_us * 1e-6 + bytes as f64 / (self.net_bandwidth_gbs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_memory_has_free_transfers() {
+        let c = ClusterSpec::shared_memory(16);
+        assert_eq!(c.total_cores(), 16);
+        assert_eq!(c.transfer_secs(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn distributed_transfer_costs() {
+        let c = ClusterSpec::distributed(64);
+        assert_eq!(c.total_cores(), 1024);
+        let t = c.transfer_secs(5_000_000_000);
+        // 5 GB over 5 GB/s ≈ 1 s (+ microsecond latency).
+        assert!((t - 1.0).abs() < 1e-4, "got {t}");
+        // Latency floor for tiny messages.
+        assert!(c.transfer_secs(0) >= 1.4e-6);
+    }
+
+    #[test]
+    fn node_unit_conversions() {
+        let n = marenostrum3_node(16);
+        assert_eq!(n.flops_per_sec(), 4.0e9);
+        // 51.2 GB/s node total across 16 busy workers = 3.2 GB/s each.
+        assert_eq!(n.bytes_per_sec(16), 3.2e9);
+        assert_eq!(n.spare_cores, 16);
+    }
+
+    #[test]
+    fn contention_splits_bandwidth_among_active_cores() {
+        // A lone task gets the whole node's bandwidth; 16 concurrent
+        // tasks share it — which is why memory-bound workloads show no
+        // speedup from more cores.
+        let n = marenostrum3_node(16);
+        assert_eq!(n.bytes_per_sec(1), 51.2e9);
+        assert_eq!(n.bytes_per_sec(16), 3.2e9);
+        // `active` clamps to the core count.
+        assert_eq!(n.bytes_per_sec(99), 3.2e9);
+        assert_eq!(n.protection_bytes_per_sec(), 51.2e9);
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulation results and the aggregate metrics behind Figures 4–6.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-task simulation record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTaskRecord {
+    /// Task id.
+    pub task: u32,
+    /// Node it ran on.
+    pub node: u32,
+    /// Virtual time the task was dispatched to a core.
+    pub dispatched: f64,
+    /// Virtual time its core was released (after any replication
+    /// synchronization and recovery).
+    pub completed: f64,
+    /// The kernel's own duration (one attempt, no protection costs).
+    pub base_secs: f64,
+    /// Was the task replicated?
+    pub replicated: bool,
+    /// A replica comparison detected an SDC.
+    pub sdc_detected: bool,
+    /// A crash was recovered.
+    pub due_recovered: bool,
+    /// SDC struck an unreplicated execution.
+    pub uncovered_sdc: bool,
+    /// DUE struck an unreplicated execution.
+    pub uncovered_due: bool,
+    /// Barrier pseudo-task.
+    pub is_barrier: bool,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual makespan in seconds.
+    pub makespan: f64,
+    /// Worker cores in the simulated cluster.
+    pub total_cores: usize,
+    /// One record per task.
+    pub records: Vec<SimTaskRecord>,
+}
+
+impl SimReport {
+    fn compute_records(&self) -> impl Iterator<Item = &SimTaskRecord> {
+        self.records.iter().filter(|r| !r.is_barrier)
+    }
+
+    /// Number of non-barrier tasks.
+    pub fn task_count(&self) -> usize {
+        self.compute_records().count()
+    }
+
+    /// Sum of unprotected kernel time (the denominator of the paper's
+    /// "% computation time replicated").
+    pub fn total_base_time(&self) -> f64 {
+        self.compute_records().map(|r| r.base_secs).sum()
+    }
+
+    /// Fraction of tasks replicated (Fig. 3 metric).
+    pub fn replicated_task_fraction(&self) -> f64 {
+        let n = self.task_count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.compute_records().filter(|r| r.replicated).count() as f64 / n as f64
+    }
+
+    /// Fraction of computation time belonging to replicated tasks
+    /// (Fig. 3 metric).
+    pub fn replicated_time_fraction(&self) -> f64 {
+        let total = self.total_base_time();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.compute_records()
+            .filter(|r| r.replicated)
+            .map(|r| r.base_secs)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload on a
+    /// different configuration): `baseline.makespan / self.makespan`.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.makespan / self.makespan
+    }
+
+    /// Relative overhead versus `baseline`:
+    /// `self.makespan / baseline.makespan − 1` (Fig. 4 metric).
+    pub fn overhead_over(&self, baseline: &SimReport) -> f64 {
+        self.makespan / baseline.makespan - 1.0
+    }
+
+    /// Detected-SDC count.
+    pub fn sdc_detected_count(&self) -> usize {
+        self.compute_records().filter(|r| r.sdc_detected).count()
+    }
+
+    /// Recovered-crash count.
+    pub fn due_recovered_count(&self) -> usize {
+        self.compute_records().filter(|r| r.due_recovered).count()
+    }
+
+    /// Unprotected SDC strikes.
+    pub fn uncovered_sdc_count(&self) -> usize {
+        self.compute_records().filter(|r| r.uncovered_sdc).count()
+    }
+
+    /// Unprotected DUE strikes (application-fatal in the paper's model).
+    pub fn uncovered_due_count(&self) -> usize {
+        self.compute_records().filter(|r| r.uncovered_due).count()
+    }
+
+    /// Per-task-kind replication breakdown — the paper's Figure-3
+    /// discussion attributes task-% vs time-% divergence to "tasks that
+    /// are clearly more distinctive than other tasks in terms of their
+    /// FITs"; this surfaces which kinds App_FIT actually picked.
+    pub fn label_breakdown(&self, graph: &crate::graph::SimGraph) -> Vec<LabelStats> {
+        let mut out: Vec<LabelStats> = Vec::new();
+        for rec in self.compute_records() {
+            let label = &graph.tasks()[rec.task as usize].label;
+            let entry = match out.iter_mut().find(|e| &e.label == label) {
+                Some(e) => e,
+                None => {
+                    out.push(LabelStats {
+                        label: label.clone(),
+                        tasks: 0,
+                        replicated: 0,
+                        base_secs: 0.0,
+                        replicated_secs: 0.0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            entry.tasks += 1;
+            entry.base_secs += rec.base_secs;
+            if rec.replicated {
+                entry.replicated += 1;
+                entry.replicated_secs += rec.base_secs;
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate replication statistics for one task kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelStats {
+    /// Task-kind label (e.g. `"gemm"`).
+    pub label: String,
+    /// Tasks of this kind.
+    pub tasks: usize,
+    /// How many were replicated.
+    pub replicated: usize,
+    /// Total kernel time of this kind (virtual seconds).
+    pub base_secs: f64,
+    /// Kernel time of the replicated ones.
+    pub replicated_secs: f64,
+}
+
+impl LabelStats {
+    /// Fraction of this kind's tasks that were replicated.
+    pub fn task_fraction(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.replicated as f64 / self.tasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(base: f64, replicated: bool) -> SimTaskRecord {
+        SimTaskRecord {
+            task: 0,
+            node: 0,
+            dispatched: 0.0,
+            completed: base,
+            base_secs: base,
+            replicated,
+            sdc_detected: false,
+            due_recovered: false,
+            uncovered_sdc: false,
+            uncovered_due: false,
+            is_barrier: false,
+        }
+    }
+
+    #[test]
+    fn label_breakdown_groups_by_kind() {
+        use crate::graph::SimGraph;
+        use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+        use fit_model::RateModel;
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", 4);
+        let mut g = TaskGraph::new();
+        g.submit(TaskSpec::new("alpha").writes(Region::contiguous(v, 0, 1)));
+        g.submit(TaskSpec::new("alpha").writes(Region::contiguous(v, 1, 1)));
+        g.submit(TaskSpec::new("beta").writes(Region::contiguous(v, 2, 1)));
+        let sim = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
+        let report = SimReport {
+            makespan: 1.0,
+            total_cores: 1,
+            records: vec![
+                SimTaskRecord { task: 0, replicated: true, base_secs: 2.0, ..rec(2.0, true) },
+                SimTaskRecord { task: 1, replicated: false, ..rec(1.0, false) },
+                SimTaskRecord { task: 2, replicated: true, ..rec(4.0, true) },
+            ],
+        };
+        let stats = report.label_breakdown(&sim);
+        assert_eq!(stats.len(), 2);
+        let alpha = stats.iter().find(|s| s.label == "alpha").unwrap();
+        assert_eq!(alpha.tasks, 2);
+        assert_eq!(alpha.replicated, 1);
+        assert_eq!(alpha.task_fraction(), 0.5);
+        let beta = stats.iter().find(|s| s.label == "beta").unwrap();
+        assert_eq!(beta.replicated, 1);
+        assert_eq!(beta.replicated_secs, 4.0);
+    }
+
+    #[test]
+    fn fractions_and_speedup() {
+        let a = SimReport {
+            makespan: 10.0,
+            total_cores: 1,
+            records: vec![rec(1.0, true), rec(3.0, false)],
+        };
+        let b = SimReport {
+            makespan: 5.0,
+            total_cores: 2,
+            records: vec![],
+        };
+        assert_eq!(a.replicated_task_fraction(), 0.5);
+        assert_eq!(a.replicated_time_fraction(), 0.25);
+        assert_eq!(b.speedup_over(&a), 2.0);
+        assert!((a.overhead_over(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.total_base_time(), 4.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The discrete-event simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use appfit_core::{DecisionCtx, ReplicationPolicy};
+use fault_inject::{ErrorClass, FaultModel, InjectionConfig, InjectionDecision};
+
+use crate::cost::CostModel;
+use crate::graph::{SimGraph, SimTask};
+use crate::machine::ClusterSpec;
+use crate::report::{SimReport, SimTaskRecord};
+
+/// Everything a simulation run needs besides the graph.
+pub struct SimConfig {
+    /// Machine model.
+    pub cluster: ClusterSpec,
+    /// Task cost model.
+    pub cost: CostModel,
+    /// Replication selection policy (consulted in deterministic
+    /// dispatch order).
+    pub policy: Arc<dyn ReplicationPolicy>,
+    /// Fault model deciding per-attempt injections.
+    pub faults: Arc<dyn FaultModel>,
+    /// How per-attempt fault probabilities are derived.
+    pub injection: InjectionConfig,
+}
+
+/// Totally ordered f64 for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct NodeState {
+    free_cores: usize,
+    /// Next-free time of each spare (replica-only) core.
+    spare_free: Vec<f64>,
+    ready: VecDeque<u32>,
+}
+
+/// Runs the simulation. Deterministic: ties in the event heap break by
+/// insertion sequence, ready queues are FIFO, and policy decisions
+/// happen in dispatch order.
+pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let nodes = cfg.cluster.nodes;
+    let mut indegree: Vec<u32> = tasks.iter().map(|t| t.preds.len() as u32).collect();
+    let mut state: Vec<NodeState> = (0..nodes)
+        .map(|_| NodeState {
+            free_cores: cfg.cluster.node.cores,
+            spare_free: vec![0.0; cfg.cluster.node.spare_cores],
+            ready: VecDeque::new(),
+        })
+        .collect();
+    let mut records: Vec<Option<SimTaskRecord>> = (0..n).map(|_| None).collect();
+    // Completion events: (time, seq, task). `seq` keeps ties FIFO.
+    let mut heap: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut makespan = 0.0f64;
+
+    for t in tasks {
+        assert!(
+            (t.node as usize) < nodes,
+            "task {} placed on node {} but the cluster has {nodes}",
+            t.id,
+            t.node
+        );
+        if t.preds.is_empty() {
+            state[t.node as usize].ready.push_back(t.id);
+        }
+    }
+
+    dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, 0.0, cfg);
+
+    let mut done = 0usize;
+    while let Some(Reverse((Time(now), _, id))) = heap.pop() {
+        done += 1;
+        makespan = makespan.max(now);
+        let task = &tasks[id as usize];
+        if !task.is_barrier {
+            state[task.node as usize].free_cores += 1;
+        }
+        for &s in &task.succs {
+            indegree[s as usize] -= 1;
+            if indegree[s as usize] == 0 {
+                let owner = tasks[s as usize].node as usize;
+                state[owner].ready.push_back(s);
+            }
+        }
+        dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, now, cfg);
+    }
+    assert_eq!(done, n, "cycle or lost task in simulation graph");
+
+    SimReport {
+        makespan,
+        total_cores: cfg.cluster.total_cores(),
+        records: records
+            .into_iter()
+            .map(|r| r.expect("all simulated"))
+            .collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_ready(
+    tasks: &[SimTask],
+    state: &mut [NodeState],
+    heap: &mut BinaryHeap<Reverse<(Time, u64, u32)>>,
+    seq: &mut u64,
+    records: &mut [Option<SimTaskRecord>],
+    now: f64,
+    cfg: &SimConfig,
+) {
+    for ns in state.iter_mut() {
+        while !ns.ready.is_empty()
+            && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier)
+        {
+            let id = ns.ready.pop_front().expect("nonempty");
+            let task = &tasks[id as usize];
+            let (record, completion, uses_core) = dispatch(tasks, task, ns, now, cfg);
+            records[id as usize] = Some(record);
+            if uses_core {
+                ns.free_cores -= 1;
+            }
+            heap.push(Reverse((Time(completion), *seq, id)));
+            *seq += 1;
+        }
+    }
+}
+
+/// Computes one task's virtual timeline. Returns its record, its
+/// completion time, and whether it occupied a worker core (the core is
+/// held until completion — the original waits at the end-of-task
+/// synchronization point, as in the paper's design).
+fn dispatch(
+    tasks: &[SimTask],
+    task: &SimTask,
+    ns: &mut NodeState,
+    now: f64,
+    cfg: &SimConfig,
+) -> (SimTaskRecord, f64, bool) {
+    let mut rec = SimTaskRecord {
+        task: task.id,
+        node: task.node,
+        dispatched: now,
+        completed: now,
+        base_secs: 0.0,
+        replicated: false,
+        sdc_detected: false,
+        due_recovered: false,
+        uncovered_sdc: false,
+        uncovered_due: false,
+        is_barrier: task.is_barrier,
+    };
+    if task.is_barrier {
+        return (rec, now, false);
+    }
+
+    let node = &cfg.cluster.node;
+    // Remote inputs: one transfer per remote producer, serialized
+    // (documented simplification — no link contention model).
+    let transfer: f64 = task
+        .sources
+        .iter()
+        .filter(|(p, _)| tasks[*p as usize].node != task.node)
+        .map(|(_, bytes)| cfg.cluster.transfer_secs(*bytes))
+        .sum();
+
+    // Snapshot contention: this task plus the cores already busy.
+    let active = (cfg.cluster.node.cores - ns.free_cores + 1).min(cfg.cluster.node.cores);
+    let dur = cfg
+        .cost
+        .kernel_secs(node, active, task.flops, task.bytes_in, task.bytes_out);
+    rec.base_secs = dur;
+
+    let ctx = DecisionCtx {
+        id: task.id as u64,
+        rates: task.rates,
+        argument_bytes: task.argument_bytes,
+    };
+    let replicate = cfg.policy.decide(&ctx);
+    rec.replicated = replicate;
+
+    let p = cfg.injection.probabilities(task.rates, dur);
+    let completion = if !replicate {
+        match cfg.faults.decide(task.id as u64, 0, p) {
+            InjectionDecision::Inject(ErrorClass::Due) => rec.uncovered_due = true,
+            InjectionDecision::Inject(ErrorClass::Sdc) => rec.uncovered_sdc = true,
+            _ => {}
+        }
+        now + transfer + dur
+    } else {
+        // ① checkpoint, ② original + replica, ③ compare at the sync
+        // point, ④/⑤ re-execution + vote on faults — all in virtual
+        // time. Higher-order faults *during recovery* are modelled by
+        // the threaded engine but ignored in sim timing (second-order
+        // effect on makespan).
+        let ckpt = cfg.cost.checkpoint_secs(node, task.bytes_in);
+        let cmp = cfg.cost.compare_secs(node, task.bytes_out);
+        let t0 = now + transfer + ckpt;
+        let orig_end = t0 + dur;
+        let replica_end = if ns.spare_free.is_empty() {
+            // No spare cores: the replica serializes on the same core —
+            // the full 2× compute cost becomes visible.
+            orig_end + dur
+        } else {
+            // Earliest-free spare core runs the replica.
+            let (best, _) = ns
+                .spare_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("nonempty spare pool");
+            let start = t0.max(ns.spare_free[best]);
+            ns.spare_free[best] = start + dur;
+            start + dur
+        };
+        let mut sync = orig_end.max(replica_end) + cmp;
+
+        let d0 = cfg.faults.decide(task.id as u64, 0, p);
+        let d1 = cfg.faults.decide(task.id as u64, 1, p);
+        let due0 = matches!(d0, InjectionDecision::Inject(ErrorClass::Due));
+        let due1 = matches!(d1, InjectionDecision::Inject(ErrorClass::Due));
+        let sdc0 = matches!(d0, InjectionDecision::Inject(ErrorClass::Sdc));
+        let sdc1 = matches!(d1, InjectionDecision::Inject(ErrorClass::Sdc));
+        if due0 || due1 {
+            // Re-execute once per crashed copy to restore two copies,
+            // then compare again.
+            let crashes = usize::from(due0) + usize::from(due1);
+            sync += crashes as f64 * dur + cmp;
+            rec.due_recovered = true;
+        } else if sdc0 || sdc1 {
+            // Mismatch detected: re-execution + vote (the vote reads
+            // three copies ≈ one more comparison).
+            sync += dur + cmp;
+            rec.sdc_detected = true;
+        }
+        sync
+    };
+
+    rec.completed = completion;
+    cfg.policy.on_complete(&ctx, replicate);
+    (rec, completion, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::NodeSpec;
+    use appfit_core::{ReplicateAll, ReplicateNone};
+    use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+    use fault_inject::{NoFaults, SeededInjector};
+    use fit_model::RateModel;
+
+    /// A node where 1 flop takes 1 virtual second (unit-cost tasks).
+    fn unit_node(cores: usize, spares: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes: 1,
+            node: NodeSpec {
+                cores,
+                spare_cores: spares,
+                gflops_per_core: 1e-9,
+                mem_bw_gbs: f64::INFINITY,
+            },
+            net_latency_us: 0.0,
+            net_bandwidth_gbs: f64::INFINITY,
+        }
+    }
+
+    fn config(cluster: ClusterSpec, replicate: bool) -> SimConfig {
+        SimConfig {
+            cluster,
+            cost: CostModel::default(),
+            policy: if replicate {
+                Arc::new(ReplicateAll)
+            } else {
+                Arc::new(ReplicateNone)
+            },
+            faults: Arc::new(NoFaults),
+            injection: InjectionConfig::Disabled,
+        }
+    }
+
+    /// `k` independent unit tasks.
+    fn independent_tasks(k: usize) -> SimGraph {
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", k);
+        let mut g = TaskGraph::new();
+        for i in 0..k {
+            g.submit(
+                TaskSpec::new("unit")
+                    .writes(Region::contiguous(v, i, 1))
+                    .flops(1.0),
+            );
+        }
+        SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0)
+    }
+
+    /// A chain of `k` unit tasks through one cell.
+    fn chain_tasks(k: usize) -> SimGraph {
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", 1);
+        let mut g = TaskGraph::new();
+        for _ in 0..k {
+            g.submit(TaskSpec::new("link").updates(Region::full(v, 1)).flops(1.0));
+        }
+        SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0)
+    }
+
+    #[test]
+    fn single_task_takes_its_duration() {
+        let report = simulate(&independent_tasks(1), &config(unit_node(1, 0), false));
+        assert!((report.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_scale_with_cores() {
+        let g = independent_tasks(8);
+        let t1 = simulate(&g, &config(unit_node(1, 0), false)).makespan;
+        let t4 = simulate(&g, &config(unit_node(4, 0), false)).makespan;
+        let t8 = simulate(&g, &config(unit_node(8, 0), false)).makespan;
+        assert!((t1 - 8.0).abs() < 1e-9);
+        assert!((t4 - 2.0).abs() < 1e-9);
+        assert!((t8 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chains_do_not_scale() {
+        let g = chain_tasks(6);
+        let t1 = simulate(&g, &config(unit_node(1, 0), false)).makespan;
+        let t8 = simulate(&g, &config(unit_node(8, 0), false)).makespan;
+        assert!((t1 - 6.0).abs() < 1e-9);
+        assert!((t8 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_on_spares_costs_only_sync() {
+        // With free memory (ckpt/cmp = 0 here since bytes are tiny and
+        // bandwidth infinite) and spare cores, complete replication
+        // should cost (almost) nothing in makespan.
+        let g = independent_tasks(8);
+        let plain = simulate(&g, &config(unit_node(4, 0), false)).makespan;
+        let repl = simulate(&g, &config(unit_node(4, 4), true)).makespan;
+        assert!((repl - plain).abs() < 1e-9, "plain {plain} repl {repl}");
+    }
+
+    #[test]
+    fn replication_without_spares_doubles_time() {
+        let g = independent_tasks(4);
+        let plain = simulate(&g, &config(unit_node(1, 0), false)).makespan;
+        let repl = simulate(&g, &config(unit_node(1, 0), true)).makespan;
+        assert!((repl / plain - 2.0).abs() < 1e-9, "plain {plain} repl {repl}");
+    }
+
+    #[test]
+    fn contended_spares_delay_sync() {
+        // 2 worker cores but only 1 spare: two replicated unit tasks
+        // start together; the second replica waits for the spare.
+        let g = independent_tasks(2);
+        let repl = simulate(&g, &config(unit_node(2, 1), true)).makespan;
+        assert!((repl - 2.0).abs() < 1e-9, "got {repl}");
+    }
+
+    #[test]
+    fn injected_faults_extend_makespan() {
+        let g = chain_tasks(10);
+        let mut cfg = config(unit_node(1, 1), true);
+        let clean = simulate(&g, &cfg).makespan;
+        cfg.faults = Arc::new(SeededInjector::new(11));
+        cfg.injection = InjectionConfig::PerTask {
+            p_due: 0.0,
+            p_sdc: 0.5,
+        };
+        let report = simulate(&g, &cfg);
+        assert!(report.sdc_detected_count() > 0);
+        assert!(
+            report.makespan > clean,
+            "recovery must cost time: {} vs {clean}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn unreplicated_faults_are_recorded_not_repaired() {
+        let g = independent_tasks(50);
+        let mut cfg = config(unit_node(4, 0), false);
+        cfg.faults = Arc::new(SeededInjector::new(3));
+        cfg.injection = InjectionConfig::PerTask {
+            p_due: 0.2,
+            p_sdc: 0.2,
+        };
+        let report = simulate(&g, &cfg);
+        assert!(report.uncovered_due_count() > 0);
+        assert!(report.uncovered_sdc_count() > 0);
+        // No time penalty for silent faults.
+        let clean = simulate(&g, &config(unit_node(4, 0), false)).makespan;
+        assert!((report.makespan - clean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_inputs_cost_transfers() {
+        // Producer on node 0, consumer on node 1.
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", 1_000_000);
+        let mut g = TaskGraph::new();
+        g.submit(
+            TaskSpec::new("produce")
+                .writes(Region::full(v, 1_000_000))
+                .flops(1.0),
+        );
+        g.submit(
+            TaskSpec::new("consume")
+                .reads(Region::full(v, 1_000_000))
+                .flops(1.0),
+        );
+        let local = {
+            let sg = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
+            let mut cluster = ClusterSpec::distributed(2);
+            cluster.node.mem_bw_gbs = f64::INFINITY;
+            cluster.node.gflops_per_core = 1e-9;
+            simulate(&sg, &config(cluster, false)).makespan
+        };
+        let remote = {
+            let sg = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| {
+                u32::from(t.label == "consume")
+            });
+            let mut cluster = ClusterSpec::distributed(2);
+            cluster.node.mem_bw_gbs = f64::INFINITY;
+            cluster.node.gflops_per_core = 1e-9;
+            simulate(&sg, &config(cluster, false)).makespan
+        };
+        // 8 MB over 5 GB/s = 1.6 ms extra.
+        assert!(remote > local + 1.0e-3, "local {local} remote {remote}");
+    }
+
+    #[test]
+    fn determinism() {
+        let g = independent_tasks(64);
+        let mut cfg = config(unit_node(4, 2), true);
+        cfg.faults = Arc::new(SeededInjector::new(99));
+        cfg.injection = InjectionConfig::PerTask {
+            p_due: 0.05,
+            p_sdc: 0.1,
+        };
+        let a = simulate(&g, &cfg);
+        let b = simulate(&g, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn barriers_cost_nothing_but_order() {
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", 2);
+        let mut g = TaskGraph::new();
+        g.submit(
+            TaskSpec::new("a")
+                .writes(Region::contiguous(v, 0, 1))
+                .flops(1.0),
+        );
+        g.taskwait();
+        g.submit(
+            TaskSpec::new("b")
+                .writes(Region::contiguous(v, 1, 1))
+                .flops(1.0),
+        );
+        let sg = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
+        let report = simulate(&sg, &config(unit_node(2, 0), false));
+        // Serialized by the barrier despite 2 cores.
+        assert!((report.makespan - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of simulator invariants.
+
+use std::sync::Arc;
+
+use appfit_core::{ReplicateAll, ReplicateNone};
+use cluster_sim::{simulate, ClusterSpec, CostModel, NodeSpec, SimConfig, SimGraph};
+use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+use fit_model::RateModel;
+use proptest::prelude::*;
+
+/// A random blocked workload: `ops` of (block index, flops) over a
+/// buffer of `blocks` independent blocks, plus occasional cross-block
+/// reads that create dependencies.
+fn random_graph(ops: &[(u8, u32, bool)], blocks: usize) -> SimGraph {
+    let bl = 64;
+    let mut arena = DataArena::new();
+    let v = arena.alloc("v", blocks * bl);
+    let mut g = TaskGraph::new();
+    for &(blk, flops, cross) in ops {
+        let blk = blk as usize % blocks;
+        let mut spec = TaskSpec::new("op")
+            .updates(Region::contiguous(v, blk * bl, bl))
+            .flops(f64::from(flops) + 1.0);
+        if cross {
+            let other = (blk + 1) % blocks;
+            spec = spec.reads(Region::contiguous(v, other * bl, bl));
+        }
+        g.submit(spec);
+    }
+    SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0)
+}
+
+fn unit_cluster(cores: usize, spares: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes: 1,
+        node: NodeSpec {
+            cores,
+            spare_cores: spares,
+            gflops_per_core: 1e-9, // 1 flop = 1 second
+            mem_bw_gbs: f64::INFINITY,
+        },
+        net_latency_us: 0.0,
+        net_bandwidth_gbs: f64::INFINITY,
+    }
+}
+
+fn config(cluster: ClusterSpec, replicate: bool, seed: Option<u64>) -> SimConfig {
+    SimConfig {
+        cluster,
+        cost: CostModel::default(),
+        policy: if replicate {
+            Arc::new(ReplicateAll)
+        } else {
+            Arc::new(ReplicateNone)
+        },
+        faults: match seed {
+            Some(s) => Arc::new(SeededInjector::new(s)),
+            None => Arc::new(NoFaults),
+        },
+        injection: match seed {
+            Some(_) => InjectionConfig::PerTask {
+                p_due: 0.05,
+                p_sdc: 0.05,
+            },
+            None => InjectionConfig::Disabled,
+        },
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u32, bool)>> {
+    proptest::collection::vec((any::<u8>(), 1u32..1000, any::<bool>()), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Work conservation: the makespan is at least total-work/cores and
+    /// at least the longest single task.
+    #[test]
+    fn makespan_bounded_below_by_work_and_span(ops in ops_strategy(), cores in 1usize..8) {
+        let graph = random_graph(&ops, 8);
+        let report = simulate(&graph, &config(unit_cluster(cores, 0), false, None));
+        let total: f64 = report.records.iter().map(|r| r.base_secs).sum();
+        let longest = report
+            .records
+            .iter()
+            .map(|r| r.base_secs)
+            .fold(0.0f64, f64::max);
+        prop_assert!(report.makespan >= total / cores as f64 - 1e-9);
+        prop_assert!(report.makespan >= longest - 1e-9);
+    }
+
+    /// More cores never increase the fault-free makespan (the FIFO
+    /// list-scheduler is monotone under our cost model because task
+    /// durations here are compute-bound and contention-free).
+    #[test]
+    fn more_cores_never_hurt_compute_bound(ops in ops_strategy()) {
+        let graph = random_graph(&ops, 8);
+        let mut prev = f64::INFINITY;
+        for cores in [1usize, 2, 4, 8] {
+            let report = simulate(&graph, &config(unit_cluster(cores, 0), false, None));
+            prop_assert!(report.makespan <= prev + 1e-9, "cores {cores}");
+            prev = report.makespan;
+        }
+    }
+
+    /// Replication on ample spare cores never beats (and with free
+    /// checkpoints equals) the unprotected makespan; without spares it
+    /// costs at most 2× plus protection overhead.
+    #[test]
+    fn replication_overhead_bounds(ops in ops_strategy(), cores in 1usize..6) {
+        let graph = random_graph(&ops, 8);
+        let plain = simulate(&graph, &config(unit_cluster(cores, 0), false, None)).makespan;
+        let spares = simulate(&graph, &config(unit_cluster(cores, cores), true, None)).makespan;
+        let none = simulate(&graph, &config(unit_cluster(cores, 0), true, None)).makespan;
+        prop_assert!(spares >= plain - 1e-9);
+        prop_assert!(none <= 2.0 * plain * (1.0 + 1e-9) + 1e-9);
+        prop_assert!(spares <= none + 1e-9, "spares can only help");
+    }
+
+    /// Every task completes no earlier than it was dispatched, and the
+    /// makespan equals the latest completion.
+    #[test]
+    fn timeline_sanity(ops in ops_strategy(), seed in proptest::option::of(any::<u64>())) {
+        let graph = random_graph(&ops, 8);
+        let report = simulate(&graph, &config(unit_cluster(4, 2), true, seed));
+        let mut latest = 0.0f64;
+        for r in &report.records {
+            prop_assert!(r.completed >= r.dispatched - 1e-12);
+            prop_assert!(r.completed.is_finite());
+            latest = latest.max(r.completed);
+        }
+        prop_assert!((report.makespan - latest).abs() < 1e-9);
+    }
+
+    /// On a single worker core (where list scheduling is free of
+    /// Graham's anomalies and the makespan is the sum of task times),
+    /// fault injection never decreases the makespan; fault-free runs
+    /// carry no fault flags. (On multiple cores a longer recovery can
+    /// accidentally *improve* the FIFO schedule — the classic
+    /// list-scheduling anomaly — so no such bound holds there.)
+    #[test]
+    fn faults_only_add_time_on_one_core(ops in ops_strategy(), seed in any::<u64>()) {
+        let graph = random_graph(&ops, 8);
+        let clean = simulate(&graph, &config(unit_cluster(1, 1), true, None));
+        let faulty = simulate(&graph, &config(unit_cluster(1, 1), true, Some(seed)));
+        prop_assert!(faulty.makespan >= clean.makespan - 1e-9);
+        prop_assert_eq!(clean.sdc_detected_count(), 0);
+        prop_assert_eq!(clean.due_recovered_count(), 0);
+    }
+}

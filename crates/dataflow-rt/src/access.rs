@@ -1,0 +1,101 @@
+//! Task data accesses: the `in` / `out` / `inout` annotations of the
+//! dataflow programming model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::region::Region;
+
+/// How a task uses a region — the dataflow annotation vocabulary
+/// (OmpSs/OpenMP `depend(in:…)`, `depend(out:…)`, `depend(inout:…)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// The task only reads the region.
+    In,
+    /// The task only writes the region (every element it cares about);
+    /// prior contents may be observed as zeros or stale data.
+    Out,
+    /// The task reads and updates the region in place.
+    InOut,
+}
+
+impl AccessMode {
+    /// Does this mode read the region's prior contents?
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::In | AccessMode::InOut)
+    }
+
+    /// Does this mode write the region?
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Out | AccessMode::InOut)
+    }
+
+    /// Do two accesses to overlapping regions order the tasks?
+    /// Only read–read pairs commute.
+    #[inline]
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        self.writes() || other.writes()
+    }
+}
+
+/// One annotated access of a task: a region plus its mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// The region touched.
+    pub region: Region,
+    /// How it is touched.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Creates an access.
+    pub fn new(region: Region, mode: AccessMode) -> Self {
+        Access { region, mode }
+    }
+
+    /// Argument size in bytes — the quantity the paper's failure-rate
+    /// estimation is proportional to.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.region.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::BufferId;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(AccessMode::In.reads() && !AccessMode::In.writes());
+        assert!(!AccessMode::Out.reads() && AccessMode::Out.writes());
+        assert!(AccessMode::InOut.reads() && AccessMode::InOut.writes());
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        use AccessMode::*;
+        // Only In–In commutes.
+        assert!(!In.conflicts_with(In));
+        for (a, b) in [
+            (In, Out),
+            (In, InOut),
+            (Out, In),
+            (Out, Out),
+            (Out, InOut),
+            (InOut, In),
+            (InOut, Out),
+            (InOut, InOut),
+        ] {
+            assert!(a.conflicts_with(b), "{a:?} vs {b:?} must conflict");
+        }
+    }
+
+    #[test]
+    fn access_bytes() {
+        let r = Region::contiguous(BufferId::from_raw(0), 0, 16);
+        assert_eq!(Access::new(r, AccessMode::In).bytes(), 128);
+    }
+}

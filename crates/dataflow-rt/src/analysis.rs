@@ -1,0 +1,163 @@
+//! Graph diagnostics: critical path, total work, parallelism profile.
+//!
+//! These quantify the paper's Figure-1 observation — dataflow
+//! synchronization exposes more parallelism than fork-join barriers —
+//! and feed the dataflow-vs-fork-join benchmark.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Total cost of all tasks under a per-task cost function.
+pub fn total_work<F>(graph: &TaskGraph, mut cost: F) -> f64
+where
+    F: FnMut(TaskId) -> f64,
+{
+    graph.tasks().map(|t| cost(t.id)).sum()
+}
+
+/// Length of the longest cost-weighted path (the *span*): a lower bound
+/// on makespan with unlimited workers.
+pub fn critical_path<F>(graph: &TaskGraph, mut cost: F) -> f64
+where
+    F: FnMut(TaskId) -> f64,
+{
+    // Task ids are topologically ordered (edges point forward).
+    let mut finish = vec![0.0f64; graph.len()];
+    let mut best: f64 = 0.0;
+    for task in graph.tasks() {
+        let i = task.id.index();
+        let start = graph
+            .predecessors(task.id)
+            .iter()
+            .map(|p| finish[p.index()])
+            .fold(0.0f64, f64::max);
+        finish[i] = start + cost(task.id);
+        best = best.max(finish[i]);
+    }
+    best
+}
+
+/// Average parallelism: work / span. The classic measure of how much a
+/// schedule can exploit extra cores.
+pub fn average_parallelism<F>(graph: &TaskGraph, mut cost: F) -> f64
+where
+    F: FnMut(TaskId) -> f64,
+{
+    let work = total_work(graph, &mut cost);
+    let span = critical_path(graph, &mut cost);
+    if span == 0.0 {
+        0.0
+    } else {
+        work / span
+    }
+}
+
+/// Number of tasks at each dependency depth (unit costs): the graph's
+/// breadth profile. Barriers collapse the profile to width 1 at their
+/// level, which is exactly Figure 1's point.
+pub fn level_profile(graph: &TaskGraph) -> Vec<usize> {
+    let mut level = vec![0usize; graph.len()];
+    let mut profile: Vec<usize> = Vec::new();
+    for task in graph.tasks() {
+        let l = graph
+            .predecessors(task.id)
+            .iter()
+            .map(|p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[task.id.index()] = l;
+        if profile.len() <= l {
+            profile.resize(l + 1, 0);
+        }
+        profile[l] += 1;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::DataArena;
+    use crate::graph::TaskSpec;
+    use crate::region::Region;
+
+    /// Figure 1: dataflow lets B run in parallel with the A1→A2 chain;
+    /// fork-join serializes it behind the barrier.
+    fn figure1(fork_join: bool) -> TaskGraph {
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 16);
+        let b = arena.alloc("B", 16);
+        let mut g = TaskGraph::new();
+        g.submit(TaskSpec::new("A1").updates(Region::full(a, 16)));
+        if fork_join {
+            g.taskwait();
+        }
+        g.submit(TaskSpec::new("A2").updates(Region::full(a, 16)));
+        g.submit(TaskSpec::new("B").updates(Region::full(b, 16)));
+        g
+    }
+
+    /// Costs making Figure 1's point measurable: B is long, so blocking
+    /// it behind the A1/A2 barrier stretches the critical path.
+    fn fig1_cost(g: &TaskGraph) -> impl FnMut(TaskId) -> f64 + '_ {
+        |id| match g.task(id).label.as_str() {
+            "taskwait" => 0.0,
+            "B" => 2.0,
+            _ => 1.0,
+        }
+    }
+
+    #[test]
+    fn figure1_dataflow_has_shorter_span() {
+        let df = figure1(false);
+        let fj = figure1(true);
+        let span_df = critical_path(&df, fig1_cost(&df));
+        let span_fj = critical_path(&fj, fig1_cost(&fj));
+        assert_eq!(span_df, 2.0); // max(A1→A2, B) = 2
+        assert_eq!(span_fj, 3.0); // A1 → barrier → B = 3
+        assert!(span_df < span_fj);
+        assert_eq!(total_work(&df, fig1_cost(&df)), 4.0);
+        assert_eq!(total_work(&fj, fig1_cost(&fj)), 4.0);
+    }
+
+    #[test]
+    fn figure1_parallelism() {
+        let df = figure1(false);
+        let fj = figure1(true);
+        assert!(
+            average_parallelism(&df, fig1_cost(&df))
+                > average_parallelism(&fj, fig1_cost(&fj))
+        );
+    }
+
+    #[test]
+    fn level_profile_shapes() {
+        let df = figure1(false);
+        // Level 0: A1 and B; level 1: A2.
+        assert_eq!(level_profile(&df), vec![2, 1]);
+        let fj = figure1(true);
+        // Level 0: A1; level 1: barrier; level 2: A2 and B.
+        assert_eq!(level_profile(&fj), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(critical_path(&g, |_| 1.0), 0.0);
+        assert_eq!(total_work(&g, |_| 1.0), 0.0);
+        assert_eq!(average_parallelism(&g, |_| 1.0), 0.0);
+        assert!(level_profile(&g).is_empty());
+    }
+
+    #[test]
+    fn wide_graph_parallelism() {
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", 64);
+        let mut g = TaskGraph::new();
+        for i in 0..64 {
+            g.submit(TaskSpec::new("w").writes(Region::contiguous(v, i, 1)));
+        }
+        assert_eq!(critical_path(&g, |_| 1.0), 1.0);
+        assert_eq!(average_parallelism(&g, |_| 1.0), 64.0);
+        assert_eq!(level_profile(&g), vec![64]);
+    }
+}

@@ -1,0 +1,335 @@
+//! The data arena: owner of all task-visible memory.
+//!
+//! All workload data lives in `f64` buffers owned by a [`DataArena`].
+//! Tasks never hold Rust references across scheduling points; during
+//! execution the executor hands kernels views derived from raw pointers
+//! (see [`crate::ctx`]), whose disjointness is guaranteed by the inferred
+//! task dependencies. Outside execution the arena is accessed through
+//! ordinary `&mut self` methods, so the borrow checker rules out
+//! concurrent host access.
+//!
+//! Buffers come in two kinds:
+//!
+//! * **real** ([`DataArena::alloc`]) — backed by memory, executable;
+//! * **virtual** ([`DataArena::alloc_virtual`]) — size-only descriptions
+//!   used to build paper-scale task graphs for the cluster simulator
+//!   (which never touches data) without allocating gigabytes. Graphs
+//!   over virtual buffers cannot be run on the threaded executor.
+
+use core::cell::UnsafeCell;
+use serde::{Deserialize, Serialize};
+
+use crate::region::Region;
+
+/// Identifier of one buffer inside a [`DataArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// Builds an id from a raw index (mostly for tests).
+    pub fn from_raw(raw: u32) -> Self {
+        BufferId(raw)
+    }
+
+    /// The buffer's index in its arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An `f64` cell that may be mutated through raw pointers from several
+/// threads, provided the accesses are to disjoint cells — which the
+/// dataflow scheduler guarantees by construction.
+#[repr(transparent)]
+struct SyncCell(UnsafeCell<f64>);
+
+// SAFETY: all concurrent access goes through raw pointers handed out by
+// the executor, which only runs tasks whose conflicting accesses are
+// ordered by dependencies; two live tasks never touch the same cell
+// unless both only read it.
+unsafe impl Sync for SyncCell {}
+unsafe impl Send for SyncCell {}
+
+enum Storage {
+    Real(Box<[SyncCell]>),
+    Virtual(usize),
+}
+
+impl Storage {
+    fn len(&self) -> usize {
+        match self {
+            Storage::Real(d) => d.len(),
+            Storage::Virtual(n) => *n,
+        }
+    }
+}
+
+struct Buffer {
+    name: String,
+    storage: Storage,
+}
+
+/// Owner of the named `f64` buffers tasks operate on.
+///
+/// ```
+/// use dataflow_rt::DataArena;
+/// let mut arena = DataArena::new();
+/// let a = arena.alloc("A", 4);
+/// arena.write(a).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(arena.read(a)[2], 3.0);
+/// ```
+#[derive(Default)]
+pub struct DataArena {
+    buffers: Vec<Buffer>,
+}
+
+impl DataArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, storage: Storage) -> BufferId {
+        let id = BufferId(u32::try_from(self.buffers.len()).expect("too many buffers"));
+        self.buffers.push(Buffer {
+            name: name.to_string(),
+            storage,
+        });
+        id
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
+        assert!(len > 0, "buffer `{name}` must be non-empty");
+        let data = (0..len).map(|_| SyncCell(UnsafeCell::new(0.0))).collect();
+        self.push(name, Storage::Real(data))
+    }
+
+    /// Declares a buffer of `len` elements without backing memory (for
+    /// paper-scale graph construction; see module docs).
+    pub fn alloc_virtual(&mut self, name: &str, len: usize) -> BufferId {
+        assert!(len > 0, "buffer `{name}` must be non-empty");
+        self.push(name, Storage::Virtual(len))
+    }
+
+    /// Allocates a buffer initialized from `init`.
+    pub fn alloc_from(&mut self, name: &str, init: Vec<f64>) -> BufferId {
+        let id = self.alloc(name, init.len());
+        self.write(id).copy_from_slice(&init);
+        id
+    }
+
+    /// Number of buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Length (elements) of buffer `id`.
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffers[id.index()].storage.len()
+    }
+
+    /// `true` if the arena has no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// `true` if buffer `id` is virtual (size-only).
+    pub fn is_virtual(&self, id: BufferId) -> bool {
+        matches!(self.buffers[id.index()].storage, Storage::Virtual(_))
+    }
+
+    /// `true` if any buffer is virtual (the graph is simulation-only).
+    pub fn has_virtual_buffers(&self) -> bool {
+        self.buffers
+            .iter()
+            .any(|b| matches!(b.storage, Storage::Virtual(_)))
+    }
+
+    /// Name of buffer `id`.
+    pub fn name(&self, id: BufferId) -> &str {
+        &self.buffers[id.index()].name
+    }
+
+    /// Total size of all buffers in bytes — the benchmark "input size"
+    /// used to derive application-level FIT thresholds.
+    pub fn total_bytes(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| (b.storage.len() * core::mem::size_of::<f64>()) as u64)
+            .sum()
+    }
+
+    fn real(&self, id: BufferId) -> &[SyncCell] {
+        match &self.buffers[id.index()].storage {
+            Storage::Real(d) => d,
+            Storage::Virtual(_) => panic!(
+                "buffer `{}` is virtual (size-only); it cannot be accessed",
+                self.buffers[id.index()].name
+            ),
+        }
+    }
+
+    /// Read access to a whole buffer. Requires `&mut self`, which
+    /// guarantees no task execution (and hence no aliasing raw-pointer
+    /// view) is in flight. Panics on virtual buffers.
+    pub fn read(&mut self, id: BufferId) -> &[f64] {
+        let cells = self.real(id);
+        // SAFETY: `&mut self` gives exclusive access to every cell;
+        // SyncCell is repr(transparent) over UnsafeCell<f64> over f64.
+        unsafe { core::slice::from_raw_parts(cells.as_ptr().cast::<f64>(), cells.len()) }
+    }
+
+    /// Mutable access to a whole buffer (same exclusivity argument as
+    /// [`DataArena::read`]). Panics on virtual buffers.
+    pub fn write(&mut self, id: BufferId) -> &mut [f64] {
+        let cells = self.real(id);
+        let (ptr, len) = (cells.as_ptr() as *mut f64, cells.len());
+        // SAFETY: see `read`; additionally we hold `&mut self`.
+        unsafe { core::slice::from_raw_parts_mut(ptr, len) }
+    }
+
+    /// Copies a region out of the arena in gather order (block 0 first).
+    pub fn read_region(&mut self, region: Region) -> Vec<f64> {
+        let buf = self.read(region.buf);
+        let mut out = Vec::with_capacity(region.len());
+        for k in 0..region.blocks {
+            let (s, e) = region.block_range(k);
+            out.extend_from_slice(&buf[s..e]);
+        }
+        out
+    }
+
+    /// Fills a whole buffer with `value`.
+    pub fn fill(&mut self, id: BufferId, value: f64) {
+        self.write(id).fill(value);
+    }
+
+    /// Raw base pointers for the executor. Only the executor uses this,
+    /// for the duration of a run during which it holds `&mut DataArena`.
+    /// Panics if any buffer is virtual.
+    pub(crate) fn ptrs(&mut self) -> ArenaPtrs {
+        assert!(
+            !self.has_virtual_buffers(),
+            "graphs over virtual buffers are simulation-only and cannot execute"
+        );
+        ArenaPtrs {
+            bases: self
+                .buffers
+                .iter()
+                .map(|b| match &b.storage {
+                    Storage::Real(d) => d.as_ptr() as *mut f64,
+                    Storage::Virtual(_) => unreachable!(),
+                })
+                .collect(),
+            lens: self.buffers.iter().map(|b| b.storage.len()).collect(),
+        }
+    }
+}
+
+/// Raw views of every buffer, shareable across worker threads for the
+/// duration of one executor run.
+pub(crate) struct ArenaPtrs {
+    bases: Vec<*mut f64>,
+    lens: Vec<usize>,
+}
+
+// SAFETY: the pointers are only dereferenced inside task kernels under
+// the scheduler's disjointness guarantee (see crate-level docs).
+unsafe impl Send for ArenaPtrs {}
+unsafe impl Sync for ArenaPtrs {}
+
+impl ArenaPtrs {
+    /// Base pointer of buffer `id`.
+    #[inline]
+    pub(crate) fn base(&self, id: BufferId) -> *mut f64 {
+        self.bases[id.index()]
+    }
+
+    /// Length of buffer `id` in elements.
+    #[inline]
+    pub(crate) fn len(&self, id: BufferId) -> usize {
+        self.lens[id.index()]
+    }
+
+    /// Number of buffers.
+    #[inline]
+    pub(crate) fn buffer_count(&self) -> usize {
+        self.bases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+
+    #[test]
+    fn alloc_zero_initialized() {
+        let mut a = DataArena::new();
+        let b = a.alloc("zeros", 8);
+        assert_eq!(a.len(b), 8);
+        assert!(a.read(b).iter().all(|&v| v == 0.0));
+        assert_eq!(a.name(b), "zeros");
+        assert!(!a.is_virtual(b));
+    }
+
+    #[test]
+    fn alloc_from_and_rw() {
+        let mut a = DataArena::new();
+        let b = a.alloc_from("v", vec![1.0, 2.0, 3.0]);
+        a.write(b)[1] = 20.0;
+        assert_eq!(a.read(b), &[1.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn total_bytes_sums_buffers() {
+        let mut a = DataArena::new();
+        a.alloc("x", 10);
+        a.alloc("y", 6);
+        assert_eq!(a.total_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn read_region_gathers_strided_blocks() {
+        let mut a = DataArena::new();
+        let b = a.alloc_from("m", (0..12).map(|i| i as f64).collect());
+        // 2×2 tile at (row 1, col 1) of a 4-column matrix.
+        let tile = Region::strided(b, 4 + 1, 2, 4, 2);
+        assert_eq!(a.read_region(tile), vec![5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn fill_overwrites() {
+        let mut a = DataArena::new();
+        let b = a.alloc_from("v", vec![1.0; 5]);
+        a.fill(b, 7.0);
+        assert!(a.read(b).iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn virtual_buffers_describe_without_memory() {
+        let mut a = DataArena::new();
+        // 2 GiB worth of doubles, described in O(1) memory.
+        let b = a.alloc_virtual("huge", 1 << 28);
+        assert_eq!(a.len(b), 1 << 28);
+        assert!(a.is_virtual(b));
+        assert!(a.has_virtual_buffers());
+        assert_eq!(a.total_bytes(), (1u64 << 28) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual")]
+    fn virtual_buffers_cannot_be_read() {
+        let mut a = DataArena::new();
+        let b = a.alloc_virtual("huge", 16);
+        let _ = a.read(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_buffer() {
+        DataArena::new().alloc("empty", 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Kernel-facing views of task arguments.
+//!
+//! A kernel addresses its declared accesses by index: `ctx.r(i)` for
+//! readable arguments (`in`/`inout`), `ctx.w(i)` for writable ones
+//! (`out`/`inout`). Views preserve the region's *block structure* —
+//! `block(k)` is the k-th block — regardless of whether the binding
+//! points into the arena (possibly strided) or into contiguous scratch
+//! storage (replica shadow buffers, checkpoints), so the same kernel
+//! runs unchanged as an original, a replica, or a re-execution. That is
+//! the property that lets the replication engine stay invisible to
+//! application code, as in the paper.
+
+use core::cell::Cell;
+use core::marker::PhantomData;
+
+use crate::graph::{Task, TaskId};
+
+/// A resolved binding of one access: base pointer + block geometry.
+///
+/// For arena bindings the geometry mirrors the region; for scratch
+/// bindings the blocks are laid out back-to-back (`stride == block_len`).
+#[derive(Clone, Copy)]
+pub(crate) struct BoundRegion {
+    pub(crate) base: *mut f64,
+    pub(crate) offset: usize,
+    pub(crate) block_len: usize,
+    pub(crate) stride: usize,
+    pub(crate) blocks: usize,
+}
+
+impl BoundRegion {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.block_len * self.blocks
+    }
+
+    /// Pointer to the start of block `k`.
+    ///
+    /// # Safety
+    /// `base` must be valid for the full extent of the bound region.
+    #[inline]
+    unsafe fn block_ptr(&self, k: usize) -> *mut f64 {
+        debug_assert!(k < self.blocks);
+        self.base.add(self.offset + k * self.stride)
+    }
+
+    #[inline]
+    fn is_contiguous(&self) -> bool {
+        self.blocks == 1 || self.stride == self.block_len
+    }
+}
+
+/// Execution context handed to a task kernel.
+pub struct TaskCtx<'a> {
+    task: &'a Task,
+    bindings: Vec<BoundRegion>,
+    writer_out: Vec<Cell<bool>>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(task: &'a Task, bindings: Vec<BoundRegion>) -> Self {
+        debug_assert_eq!(task.accesses.len(), bindings.len());
+        let writer_out = (0..bindings.len()).map(|_| Cell::new(false)).collect();
+        TaskCtx {
+            task,
+            bindings,
+            writer_out,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The executing task's id.
+    pub fn id(&self) -> TaskId {
+        self.task.id
+    }
+
+    /// The executing task's kind label.
+    pub fn label(&self) -> &str {
+        &self.task.label
+    }
+
+    /// Number of declared accesses.
+    pub fn n_args(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Read view of access `i`. Panics if access `i` was declared `out`
+    /// (its prior contents are unspecified).
+    pub fn r(&self, i: usize) -> ArgRef<'_> {
+        let mode = self.task.accesses[i].mode;
+        assert!(
+            mode.reads(),
+            "task `{}` access {i} is {:?}; reading it is a bug",
+            self.task.label,
+            mode
+        );
+        ArgRef {
+            bound: self.bindings[i],
+            _marker: PhantomData,
+        }
+    }
+
+    /// Write view of access `i`. Panics if the access was declared `in`,
+    /// or if a write view of the same access is already checked out
+    /// (two live `&mut` views of one region would alias).
+    pub fn w(&self, i: usize) -> ArgMut<'_> {
+        let mode = self.task.accesses[i].mode;
+        assert!(
+            mode.writes(),
+            "task `{}` access {i} is {:?}; writing it is a bug",
+            self.task.label,
+            mode
+        );
+        assert!(
+            !self.writer_out[i].replace(true),
+            "task `{}` access {i}: write view already checked out",
+            self.task.label
+        );
+        ArgMut {
+            bound: self.bindings[i],
+            checkout: &self.writer_out[i],
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Immutable view of one task argument.
+pub struct ArgRef<'c> {
+    bound: BoundRegion,
+    _marker: PhantomData<&'c f64>,
+}
+
+impl ArgRef<'_> {
+    /// Number of blocks.
+    #[inline]
+    pub fn blocks(&self) -> usize {
+        self.bound.blocks
+    }
+
+    /// Elements per block.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.bound.block_len
+    }
+
+    /// Total elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// `true` if the argument has no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The k-th block as a slice.
+    #[inline]
+    pub fn block(&self, k: usize) -> &[f64] {
+        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        // SAFETY: the scheduler guarantees no conflicting concurrent
+        // access to this region; the pointer is in bounds by graph
+        // validation.
+        unsafe { core::slice::from_raw_parts(self.bound.block_ptr(k), self.bound.block_len) }
+    }
+
+    /// The whole argument as one slice. Panics if the binding is not
+    /// contiguous in memory (strided arena regions).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        assert!(
+            self.bound.is_contiguous(),
+            "argument is strided; use block(k)"
+        );
+        // SAFETY: contiguity just checked; see `block`.
+        unsafe { core::slice::from_raw_parts(self.bound.block_ptr(0), self.bound.len()) }
+    }
+
+    /// Element `i` in gather order (block 0 first).
+    #[inline]
+    pub fn at(&self, i: usize) -> f64 {
+        let b = i / self.bound.block_len;
+        let j = i % self.bound.block_len;
+        self.block(b)[j]
+    }
+}
+
+/// Mutable view of one task argument. Reading through it is allowed
+/// (`inout` semantics; for `out` it reads back what the task wrote).
+pub struct ArgMut<'c> {
+    bound: BoundRegion,
+    checkout: &'c Cell<bool>,
+    _marker: PhantomData<&'c mut f64>,
+}
+
+impl Drop for ArgMut<'_> {
+    fn drop(&mut self) {
+        self.checkout.set(false);
+    }
+}
+
+impl ArgMut<'_> {
+    /// Number of blocks.
+    #[inline]
+    pub fn blocks(&self) -> usize {
+        self.bound.blocks
+    }
+
+    /// Elements per block.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.bound.block_len
+    }
+
+    /// Total elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// `true` if the argument has no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The k-th block, read-only.
+    #[inline]
+    pub fn block(&self, k: usize) -> &[f64] {
+        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        // SAFETY: see ArgRef::block; additionally this view is the single
+        // checked-out writer of the access.
+        unsafe { core::slice::from_raw_parts(self.bound.block_ptr(k), self.bound.block_len) }
+    }
+
+    /// The k-th block, mutable.
+    #[inline]
+    pub fn block_mut(&mut self, k: usize) -> &mut [f64] {
+        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        // SAFETY: `&mut self` makes this the only live block view of the
+        // single checked-out writer; see ArgRef::block for the
+        // cross-task argument.
+        unsafe { core::slice::from_raw_parts_mut(self.bound.block_ptr(k), self.bound.block_len) }
+    }
+
+    /// The whole argument as one slice (contiguous bindings only).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        assert!(
+            self.bound.is_contiguous(),
+            "argument is strided; use block(k)"
+        );
+        // SAFETY: see `block`.
+        unsafe { core::slice::from_raw_parts(self.bound.block_ptr(0), self.bound.len()) }
+    }
+
+    /// The whole argument as one mutable slice (contiguous bindings
+    /// only).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        assert!(
+            self.bound.is_contiguous(),
+            "argument is strided; use block_mut(k)"
+        );
+        // SAFETY: see `block_mut`.
+        unsafe { core::slice::from_raw_parts_mut(self.bound.block_ptr(0), self.bound.len()) }
+    }
+
+    /// Element `i` in gather order.
+    #[inline]
+    pub fn at(&self, i: usize) -> f64 {
+        let b = i / self.bound.block_len;
+        let j = i % self.bound.block_len;
+        self.block(b)[j]
+    }
+
+    /// Sets element `i` (gather order) to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        let b = i / self.bound.block_len;
+        let j = i % self.bound.block_len;
+        self.block_mut(b)[j] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessMode};
+    use crate::region::Region;
+    use crate::arena::BufferId;
+
+    fn mk_task(accesses: Vec<Access>) -> Task {
+        Task {
+            id: TaskId::from_raw(0),
+            label: "test".into(),
+            accesses,
+            flops: 0.0,
+            is_barrier: false,
+            kernel: None,
+        }
+    }
+
+    fn contig_access(mode: AccessMode, len: usize) -> Access {
+        Access::new(Region::contiguous(BufferId::from_raw(0), 0, len), mode)
+    }
+
+    fn bind(data: &mut [f64], block_len: usize) -> BoundRegion {
+        BoundRegion {
+            base: data.as_mut_ptr(),
+            offset: 0,
+            block_len,
+            stride: block_len,
+            blocks: data.len() / block_len,
+        }
+    }
+
+    #[test]
+    fn read_and_write_views() {
+        let task = mk_task(vec![
+            contig_access(AccessMode::In, 4),
+            contig_access(AccessMode::Out, 4),
+        ]);
+        let mut input = vec![1.0, 2.0, 3.0, 4.0];
+        let mut output = vec![0.0; 4];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut input, 4), bind(&mut output, 4)]);
+        let r = ctx.r(0);
+        let mut w = ctx.w(1);
+        for i in 0..4 {
+            w.set(i, r.at(i) * 2.0);
+        }
+        drop(w);
+        assert_eq!(output, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reading it is a bug")]
+    fn reading_out_access_panics() {
+        let task = mk_task(vec![contig_access(AccessMode::Out, 2)]);
+        let mut data = vec![0.0; 2];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut data, 2)]);
+        let _ = ctx.r(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "writing it is a bug")]
+    fn writing_in_access_panics() {
+        let task = mk_task(vec![contig_access(AccessMode::In, 2)]);
+        let mut data = vec![0.0; 2];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut data, 2)]);
+        let _ = ctx.w(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already checked out")]
+    fn double_writer_checkout_panics() {
+        let task = mk_task(vec![contig_access(AccessMode::Out, 2)]);
+        let mut data = vec![0.0; 2];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut data, 2)]);
+        let _w1 = ctx.w(0);
+        let _w2 = ctx.w(0);
+    }
+
+    #[test]
+    fn writer_checkout_released_on_drop() {
+        let task = mk_task(vec![contig_access(AccessMode::Out, 2)]);
+        let mut data = vec![0.0; 2];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut data, 2)]);
+        {
+            let mut w = ctx.w(0);
+            w.set(0, 1.0);
+        }
+        let mut w = ctx.w(0); // must not panic
+        w.set(1, 2.0);
+        drop(w);
+        assert_eq!(data, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn blocked_views() {
+        let task = mk_task(vec![contig_access(AccessMode::InOut, 6)]);
+        let mut data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ctx = TaskCtx::new(&task, vec![bind(&mut data, 2)]);
+        let mut w = ctx.w(0);
+        assert_eq!(w.blocks(), 3);
+        assert_eq!(w.block(1), &[3.0, 4.0]);
+        w.block_mut(2)[0] = 50.0;
+        assert_eq!(w.at(4), 50.0);
+        drop(w);
+        assert_eq!(data[4], 50.0);
+    }
+
+    #[test]
+    fn strided_binding_blocks() {
+        // 2×2 tile at (1,1) of a 4-column matrix held in `data`.
+        let task = mk_task(vec![contig_access(AccessMode::In, 4)]);
+        let mut data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let bound = BoundRegion {
+            base: data.as_mut_ptr(),
+            offset: 5,
+            block_len: 2,
+            stride: 4,
+            blocks: 2,
+        };
+        let ctx = TaskCtx::new(&task, vec![bound]);
+        let r = ctx.r(0);
+        assert_eq!(r.block(0), &[5.0, 6.0]);
+        assert_eq!(r.block(1), &[9.0, 10.0]);
+        assert_eq!(r.at(3), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strided")]
+    fn as_slice_rejects_strided() {
+        let task = mk_task(vec![contig_access(AccessMode::In, 4)]);
+        let mut data = vec![0.0; 12];
+        let bound = BoundRegion {
+            base: data.as_mut_ptr(),
+            offset: 0,
+            block_len: 2,
+            stride: 4,
+            blocks: 2,
+        };
+        let ctx = TaskCtx::new(&task, vec![bound]);
+        let _ = ctx.r(0).as_slice();
+    }
+}

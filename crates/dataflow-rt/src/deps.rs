@@ -1,0 +1,301 @@
+//! Incremental dependency inference — the dataflow core.
+//!
+//! As tasks are submitted, the tracker compares each access against
+//! previously recorded accesses of the same buffer and emits an edge for
+//! every read-after-write, write-after-read and write-after-write pair on
+//! overlapping regions — the semantics OmpSs/Nanos infers from `in`/
+//! `out`/`inout` annotations.
+//!
+//! To avoid quadratic scans, accesses are indexed by fixed-size *chunks*
+//! of the buffer's element range; a new access only inspects records
+//! registered in the chunks it touches. A record list is pruned when a
+//! later **writer fully covers** its chunk: tasks ordered before that
+//! writer are reachable through it transitively, so dropping them keeps
+//! the schedule correct while bounding list growth on iterative
+//! workloads (e.g. Stream's repeated sweeps over the same arrays).
+
+use std::collections::HashMap;
+
+use crate::access::{Access, AccessMode};
+use crate::graph::TaskId;
+use crate::region::Region;
+
+/// Default chunk granularity (elements) of the dependency index.
+pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+#[derive(Clone, Copy)]
+struct UseRec {
+    task: TaskId,
+    mode: AccessMode,
+    region: Region,
+    /// Submission-unique id of the access, for deduplication when one
+    /// access spans several chunks.
+    seq: u64,
+}
+
+#[derive(Default)]
+struct BufferUsers {
+    chunks: HashMap<usize, Vec<UseRec>>,
+}
+
+/// Infers predecessor tasks from region overlap, incrementally.
+pub struct DepTracker {
+    chunk_size: usize,
+    buffers: HashMap<u32, BufferUsers>,
+    next_seq: u64,
+}
+
+impl DepTracker {
+    /// A tracker with the given chunk granularity.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0);
+        DepTracker {
+            chunk_size,
+            buffers: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Registers `task`'s accesses and returns its data-dependency
+    /// predecessors, deduplicated, in ascending task order.
+    pub fn record(&mut self, task: TaskId, accesses: &[Access]) -> Vec<TaskId> {
+        let mut preds: Vec<TaskId> = Vec::new();
+        for access in accesses {
+            self.record_one(task, access, &mut preds);
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
+    fn record_one(&mut self, task: TaskId, access: &Access, preds: &mut Vec<TaskId>) {
+        let chunk_size = self.chunk_size;
+        let users = self.buffers.entry(access.region.buf.index() as u32).or_default();
+        let chunk_ids = access.region.chunk_ids(chunk_size);
+
+        // Phase 1: collect conflicting predecessors, deduplicating
+        // records that appear in several chunks via their seq id.
+        let mut seen_seq: Vec<u64> = Vec::new();
+        for &c in &chunk_ids {
+            if let Some(recs) = users.chunks.get(&c) {
+                for rec in recs {
+                    if rec.task == task || seen_seq.contains(&rec.seq) {
+                        continue;
+                    }
+                    seen_seq.push(rec.seq);
+                    if rec.mode.conflicts_with(access.mode)
+                        && rec.region.overlaps(&access.region)
+                    {
+                        preds.push(rec.task);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: insert the new record, pruning chunks it fully
+        // overwrites (see module docs).
+        let rec = UseRec {
+            task,
+            mode: access.mode,
+            region: access.region,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        for &c in &chunk_ids {
+            let list = users.chunks.entry(c).or_default();
+            if access.mode.writes() && covers_chunk(&access.region, c, chunk_size) {
+                list.clear();
+            }
+            list.push(rec);
+        }
+    }
+
+    /// Forgets all recorded accesses. Called at `taskwait` barriers:
+    /// the barrier orders every later task after every earlier one, so
+    /// pre-barrier records can never contribute a needed edge again.
+    pub fn clear(&mut self) {
+        self.buffers.clear();
+    }
+
+    /// Number of live records (diagnostics; counts multi-chunk records
+    /// once per chunk).
+    pub fn record_count(&self) -> usize {
+        self.buffers
+            .values()
+            .map(|b| b.chunks.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Default for DepTracker {
+    fn default() -> Self {
+        DepTracker::new(DEFAULT_CHUNK_SIZE)
+    }
+}
+
+/// Does `region` contain every element of chunk `c` (element range
+/// `[c*size, (c+1)*size)`)?
+fn covers_chunk(region: &Region, c: usize, size: usize) -> bool {
+    let (s, e) = (c * size, (c + 1) * size);
+    if region.stride == region.block_len || region.blocks == 1 {
+        // Dense span.
+        let dense_end = if region.blocks == 1 {
+            region.offset + region.block_len
+        } else {
+            region.span_end()
+        };
+        return region.offset <= s && e <= dense_end;
+    }
+    // Strided with gaps: the chunk must fit inside one block.
+    for k in 0..region.blocks {
+        let (bs, be) = region.block_range(k);
+        if bs <= s && e <= be {
+            return true;
+        }
+        if bs >= e {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::BufferId;
+
+    fn t(i: u32) -> TaskId {
+        TaskId::from_raw(i)
+    }
+
+    fn contig(off: usize, len: usize) -> Region {
+        Region::contiguous(BufferId::from_raw(0), off, len)
+    }
+
+    fn acc(region: Region, mode: AccessMode) -> Access {
+        Access::new(region, mode)
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut d = DepTracker::new(16);
+        let w = acc(contig(0, 8), AccessMode::Out);
+        let r = acc(contig(0, 8), AccessMode::In);
+        assert!(d.record(t(0), &[w]).is_empty());
+        assert_eq!(d.record(t(1), &[r]), vec![t(0)]);
+    }
+
+    #[test]
+    fn war_and_waw_dependencies() {
+        let mut d = DepTracker::new(16);
+        d.record(t(0), &[acc(contig(0, 8), AccessMode::In)]);
+        // Write after read.
+        assert_eq!(d.record(t(1), &[acc(contig(4, 8), AccessMode::Out)]), vec![t(0)]);
+        // Write after write. The partial write of t1 could not prune
+        // t0's read record, so a redundant (but harmless) edge to t0 is
+        // allowed; the WAW edge to t1 is required.
+        let preds = d.record(t(2), &[acc(contig(4, 8), AccessMode::Out)]);
+        assert!(preds.contains(&t(1)));
+        assert!(preds.iter().all(|p| *p == t(0) || *p == t(1)));
+    }
+
+    #[test]
+    fn readers_commute() {
+        let mut d = DepTracker::new(16);
+        d.record(t(0), &[acc(contig(0, 8), AccessMode::In)]);
+        assert!(d.record(t(1), &[acc(contig(0, 8), AccessMode::In)]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_regions_no_dependency() {
+        let mut d = DepTracker::new(4);
+        d.record(t(0), &[acc(contig(0, 8), AccessMode::Out)]);
+        assert!(d.record(t(1), &[acc(contig(8, 8), AccessMode::Out)]).is_empty());
+    }
+
+    #[test]
+    fn multiple_readers_then_writer_depends_on_all() {
+        let mut d = DepTracker::new(16);
+        d.record(t(0), &[acc(contig(0, 16), AccessMode::Out)]);
+        d.record(t(1), &[acc(contig(0, 8), AccessMode::In)]);
+        d.record(t(2), &[acc(contig(8, 8), AccessMode::In)]);
+        let preds = d.record(t(3), &[acc(contig(0, 16), AccessMode::InOut)]);
+        assert_eq!(preds, vec![t(0), t(1), t(2)]);
+    }
+
+    #[test]
+    fn pruning_keeps_schedule_correct() {
+        // Chain of full-buffer writers: each task depends only on the
+        // previous writer (earlier ones pruned), which is sufficient by
+        // transitivity.
+        let mut d = DepTracker::new(8);
+        d.record(t(0), &[acc(contig(0, 8), AccessMode::Out)]);
+        for i in 1..20u32 {
+            let preds = d.record(t(i), &[acc(contig(0, 8), AccessMode::InOut)]);
+            assert_eq!(preds, vec![t(i - 1)], "iteration {i}");
+        }
+        // Pruning bounded the record count: one chunk, one surviving
+        // writer plus the newest record.
+        assert!(d.record_count() <= 2, "got {}", d.record_count());
+    }
+
+    #[test]
+    fn partial_writer_does_not_prune() {
+        let mut d = DepTracker::new(16);
+        d.record(t(0), &[acc(contig(0, 16), AccessMode::Out)]);
+        // Writes only half the chunk: must not hide t0 from t2's read of
+        // the other half.
+        d.record(t(1), &[acc(contig(0, 8), AccessMode::Out)]);
+        let preds = d.record(t(2), &[acc(contig(8, 8), AccessMode::In)]);
+        assert_eq!(preds, vec![t(0)]);
+    }
+
+    #[test]
+    fn strided_tile_dependencies() {
+        // Row-major 8×8 matrix; writer fills rows 0..4 (elements 0..32);
+        // a 2×2 tile at (3,0) overlaps row 3, a tile at (5,5) does not.
+        let mut d = DepTracker::new(8);
+        d.record(t(0), &[acc(contig(0, 32), AccessMode::Out)]);
+        let tile_hit = Region::strided(BufferId::from_raw(0), 3 * 8, 2, 8, 2);
+        let tile_miss = Region::strided(BufferId::from_raw(0), 5 * 8 + 5, 2, 8, 2);
+        assert_eq!(d.record(t(1), &[acc(tile_hit, AccessMode::In)]), vec![t(0)]);
+        assert!(d.record(t(2), &[acc(tile_miss, AccessMode::In)]).is_empty());
+    }
+
+    #[test]
+    fn self_accesses_do_not_self_depend() {
+        let mut d = DepTracker::new(16);
+        let preds = d.record(
+            t(0),
+            &[
+                acc(contig(0, 8), AccessMode::In),
+                acc(contig(0, 8), AccessMode::Out),
+            ],
+        );
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn clear_forgets_history() {
+        let mut d = DepTracker::new(16);
+        d.record(t(0), &[acc(contig(0, 8), AccessMode::Out)]);
+        d.clear();
+        assert!(d.record(t(1), &[acc(contig(0, 8), AccessMode::In)]).is_empty());
+    }
+
+    #[test]
+    fn covers_chunk_dense_and_strided() {
+        let r = contig(0, 32);
+        assert!(covers_chunk(&r, 0, 16));
+        assert!(covers_chunk(&r, 1, 16));
+        assert!(!covers_chunk(&r, 2, 16));
+        // Strided with gaps: only chunks inside one block are covered.
+        let s = Region::strided(BufferId::from_raw(0), 0, 16, 32, 2); // [0,16) [32,48)
+        assert!(covers_chunk(&s, 0, 8)); // [0,8) inside block 0
+        assert!(!covers_chunk(&s, 2, 8)); // [16,24) in the gap
+        assert!(covers_chunk(&s, 4, 8)); // [32,40) inside block 1
+        // Dense multi-block (stride == block_len) is a dense span.
+        let dense = Region::strided(BufferId::from_raw(0), 0, 8, 8, 4); // [0,32)
+        assert!(covers_chunk(&dense, 1, 16));
+    }
+}

@@ -1,0 +1,298 @@
+//! Task execution primitives and the resilience hook interface.
+//!
+//! The executor never runs a kernel directly: it builds a
+//! [`TaskExecution`] (binding machinery + gather/scatter primitives) and
+//! hands it to the installed [`ExecutionHooks`]. The default
+//! [`PlainExecution`] just runs the kernel once; the `task-replication`
+//! crate implements the paper's checkpoint → replicate → compare →
+//! re-execute → vote pipeline on top of the same primitives, leaving the
+//! runtime and the application unmodified — the paper's central
+//! transparency claim.
+
+use std::time::Instant;
+
+use crate::arena::ArenaPtrs;
+use crate::ctx::{BoundRegion, TaskCtx};
+use crate::graph::{Task, TaskId};
+
+/// Final status of a task execution as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task (after any recovery) produced its outputs.
+    Completed,
+    /// The task crashed and could not be recovered; in the paper's
+    /// model an unrecovered DUE crashes the application. The runtime
+    /// records it and continues so experiments can count such events.
+    Crashed,
+}
+
+/// Per-task execution record produced by the hooks and collected into
+/// the run report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecRecord {
+    /// The task this record describes.
+    pub task: TaskId,
+    /// Scheduler-visible outcome.
+    pub outcome: TaskOutcome,
+    /// Was the task replicated?
+    pub replicated: bool,
+    /// Kernel executions performed (1 = plain; 2 = original + replica;
+    /// 3 = + re-execution after mismatch; more under crash retries).
+    pub attempts: u32,
+    /// A replica comparison detected an SDC.
+    pub sdc_detected: bool,
+    /// A detected SDC was corrected by majority vote.
+    pub sdc_corrected: bool,
+    /// A crash was recovered from (surviving replica or re-execution).
+    pub due_recovered: bool,
+    /// An SDC struck an unreplicated execution (silently corrupts the
+    /// application's output — recorded as ground truth by the injector).
+    pub uncovered_sdc: bool,
+    /// A DUE struck an unreplicated execution (application-fatal in the
+    /// paper's model).
+    pub uncovered_due: bool,
+    /// Duration of the first (original) kernel attempt, in nanoseconds.
+    /// The paper's "% computation time replicated" weighs tasks by this.
+    pub base_nanos: u64,
+    /// Total kernel time across all attempts, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl ExecRecord {
+    /// A record for a plain, unreplicated, fault-free execution.
+    pub fn plain(task: TaskId, nanos: u64) -> Self {
+        ExecRecord {
+            task,
+            outcome: TaskOutcome::Completed,
+            replicated: false,
+            attempts: 1,
+            sdc_detected: false,
+            sdc_corrected: false,
+            due_recovered: false,
+            uncovered_sdc: false,
+            uncovered_due: false,
+            base_nanos: nanos,
+            total_nanos: nanos,
+        }
+    }
+
+    /// A record for a barrier pseudo-task.
+    pub fn barrier(task: TaskId) -> Self {
+        let mut r = ExecRecord::plain(task, 0);
+        r.attempts = 0;
+        r
+    }
+}
+
+/// Checkpoint of a task's readable arguments: one entry per access,
+/// `Some` for `in`/`inout` accesses, `None` for `out`.
+pub type CheckpointData = Vec<Option<Vec<f64>>>;
+
+/// Shadow storage for a task's writable arguments: one entry per access,
+/// `Some` for `out`/`inout` accesses, `None` for `in`.
+pub type ShadowData = Vec<Option<Vec<f64>>>;
+
+/// The resilience layer's view of one task execution.
+///
+/// Provides exactly the primitives of the paper's Figure 2:
+/// checkpointing task inputs, running the kernel against real or
+/// redirected storage, gathering/scattering outputs for comparison and
+/// vote, and restoring inputs.
+pub struct TaskExecution<'a> {
+    task: &'a Task,
+    ptrs: &'a ArenaPtrs,
+}
+
+impl<'a> TaskExecution<'a> {
+    pub(crate) fn new(task: &'a Task, ptrs: &'a ArenaPtrs) -> Self {
+        TaskExecution { task, ptrs }
+    }
+
+    /// The task being executed.
+    pub fn task(&self) -> &Task {
+        self.task
+    }
+
+    /// Step 1 of the paper's design: copy the task's `in`/`inout`
+    /// regions to safe storage before anything executes.
+    pub fn checkpoint_inputs(&self) -> CheckpointData {
+        self.task
+            .accesses
+            .iter()
+            .map(|a| a.mode.reads().then(|| self.gather(a.region)))
+            .collect()
+    }
+
+    /// Gathers the task's current `out`/`inout` regions from the arena
+    /// (used to snapshot the original's results before a vote).
+    pub fn snapshot_outputs(&self) -> ShadowData {
+        self.task
+            .accesses
+            .iter()
+            .map(|a| a.mode.writes().then(|| self.gather(a.region)))
+            .collect()
+    }
+
+    /// Allocates shadow output storage: zeroed for `out` accesses,
+    /// pre-filled from `ckpt` for `inout` accesses (a replica must read
+    /// pristine inputs even after the original updated them in place).
+    pub fn new_shadow(&self, ckpt: &CheckpointData) -> ShadowData {
+        self.task
+            .accesses
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if !a.mode.writes() {
+                    None
+                } else if a.mode.reads() {
+                    Some(
+                        ckpt[i]
+                            .as_ref()
+                            .expect("inout access must be checkpointed")
+                            .clone(),
+                    )
+                } else {
+                    Some(vec![0.0; a.region.len()])
+                }
+            })
+            .collect()
+    }
+
+    /// Scatters shadow outputs into the real arena regions (adopting a
+    /// replica's results or a vote winner).
+    pub fn write_outputs(&mut self, data: &ShadowData) {
+        for (a, d) in self.task.accesses.iter().zip(data) {
+            if let Some(d) = d {
+                self.scatter(a.region, d);
+            }
+        }
+    }
+
+    /// Restores the task's `in`/`inout` regions from a checkpoint
+    /// (paper step 4: restore before re-execution).
+    pub fn restore_inputs(&mut self, ckpt: &CheckpointData) {
+        for (a, d) in self.task.accesses.iter().zip(ckpt) {
+            if let Some(d) = d {
+                self.scatter(a.region, d);
+            }
+        }
+    }
+
+    /// Runs the kernel against the real arena regions. Returns the
+    /// kernel duration in nanoseconds.
+    pub fn run_real(&mut self) -> u64 {
+        let bindings = self
+            .task
+            .accesses
+            .iter()
+            .map(|a| self.bind_arena(a.region))
+            .collect();
+        self.run_with(bindings)
+    }
+
+    /// Runs the kernel with **redirected storage**: readable arguments
+    /// bound to the checkpoint, writable arguments bound to `shadow`
+    /// (`inout` arguments are bound to their shadow entry, which
+    /// [`TaskExecution::new_shadow`] pre-filled from the checkpoint).
+    /// The real arena is neither read nor written. Returns kernel
+    /// nanoseconds.
+    pub fn run_redirected(&mut self, ckpt: &CheckpointData, shadow: &mut ShadowData) -> u64 {
+        let bindings = self
+            .task
+            .accesses
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if a.mode.writes() {
+                    let buf = shadow[i].as_mut().expect("writable access needs shadow");
+                    Self::bind_scratch(buf.as_mut_ptr(), a.region.block_len, a.region.blocks)
+                } else {
+                    let buf = ckpt[i].as_ref().expect("readable access needs checkpoint");
+                    // Kernel cannot write In accesses (TaskCtx enforces),
+                    // so the mut cast is never exercised for writing.
+                    Self::bind_scratch(buf.as_ptr() as *mut f64, a.region.block_len, a.region.blocks)
+                }
+            })
+            .collect();
+        self.run_with(bindings)
+    }
+
+    fn run_with(&self, bindings: Vec<BoundRegion>) -> u64 {
+        let kernel = self
+            .task
+            .kernel()
+            .expect("barrier tasks are not executed through hooks");
+        let mut ctx = TaskCtx::new(self.task, bindings);
+        let start = Instant::now();
+        kernel(&mut ctx);
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn bind_arena(&self, region: crate::region::Region) -> BoundRegion {
+        debug_assert!(region.buf.index() < self.ptrs.buffer_count());
+        debug_assert!(region.span_end() <= self.ptrs.len(region.buf));
+        BoundRegion {
+            base: self.ptrs.base(region.buf),
+            offset: region.offset,
+            block_len: region.block_len,
+            stride: region.stride,
+            blocks: region.blocks,
+        }
+    }
+
+    fn bind_scratch(ptr: *mut f64, block_len: usize, blocks: usize) -> BoundRegion {
+        BoundRegion {
+            base: ptr,
+            offset: 0,
+            block_len,
+            stride: block_len,
+            blocks,
+        }
+    }
+
+    fn gather(&self, region: crate::region::Region) -> Vec<f64> {
+        debug_assert!(region.span_end() <= self.ptrs.len(region.buf));
+        let base = self.ptrs.base(region.buf);
+        let mut out = Vec::with_capacity(region.len());
+        for k in 0..region.blocks {
+            let (s, _) = region.block_range(k);
+            // SAFETY: graph validation bounds-checked the region against
+            // the arena; the scheduler serializes conflicting access.
+            let block =
+                unsafe { core::slice::from_raw_parts(base.add(s), region.block_len) };
+            out.extend_from_slice(block);
+        }
+        out
+    }
+
+    fn scatter(&self, region: crate::region::Region, data: &[f64]) {
+        debug_assert_eq!(data.len(), region.len());
+        let base = self.ptrs.base(region.buf);
+        for k in 0..region.blocks {
+            let (s, _) = region.block_range(k);
+            // SAFETY: see `gather`; this task is the region's unique
+            // live writer.
+            let block =
+                unsafe { core::slice::from_raw_parts_mut(base.add(s), region.block_len) };
+            block.copy_from_slice(&data[k * region.block_len..(k + 1) * region.block_len]);
+        }
+    }
+}
+
+/// The resilience layer: wraps every (non-barrier) task execution.
+pub trait ExecutionHooks: Send + Sync {
+    /// Executes the task (including any checkpointing, replication,
+    /// comparison, recovery) and reports what happened.
+    fn execute(&self, exec: &mut TaskExecution<'_>) -> ExecRecord;
+}
+
+/// Default hooks: run each task once, no protection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainExecution;
+
+impl ExecutionHooks for PlainExecution {
+    fn execute(&self, exec: &mut TaskExecution<'_>) -> ExecRecord {
+        let nanos = exec.run_real();
+        ExecRecord::plain(exec.task().id, nanos)
+    }
+}

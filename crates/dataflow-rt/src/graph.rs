@@ -1,0 +1,425 @@
+//! Task graphs: specification, submission and the inferred DAG.
+
+use std::sync::Arc;
+
+use crate::access::{Access, AccessMode};
+use crate::ctx::TaskCtx;
+use crate::deps::{DepTracker, DEFAULT_CHUNK_SIZE};
+use crate::region::Region;
+
+/// Identifier of a task within one [`TaskGraph`]. Ids are dense and
+/// assigned in submission order, so they double as a topological order
+/// (dependencies always point from lower to higher ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Builds an id from a raw index (mostly for tests).
+    pub fn from_raw(raw: u32) -> Self {
+        TaskId(raw)
+    }
+
+    /// Dense index of the task.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kernel signature: task code receives a [`TaskCtx`] resolving its
+/// declared accesses to memory.
+pub type Kernel = dyn Fn(&mut TaskCtx<'_>) + Send + Sync;
+
+/// A task under construction — label, accesses, cost hint, kernel.
+///
+/// ```
+/// use dataflow_rt::{TaskSpec, TaskGraph, DataArena, Region};
+/// let mut arena = DataArena::new();
+/// let buf = arena.alloc("v", 8);
+/// let mut graph = TaskGraph::new();
+/// graph.submit(
+///     TaskSpec::new("fill")
+///         .writes(Region::full(buf, 8))
+///         .kernel(|ctx| ctx.w(0).as_mut_slice().fill(1.0)),
+/// );
+/// assert_eq!(graph.len(), 1);
+/// ```
+pub struct TaskSpec {
+    label: String,
+    accesses: Vec<Access>,
+    flops: Option<f64>,
+    kernel: Option<Arc<Kernel>>,
+}
+
+impl TaskSpec {
+    /// Starts a spec with the given task-kind label (e.g. `"gemm"`).
+    pub fn new(label: impl Into<String>) -> Self {
+        TaskSpec {
+            label: label.into(),
+            accesses: Vec::new(),
+            flops: None,
+            kernel: None,
+        }
+    }
+
+    /// Declares an `in` region.
+    #[must_use]
+    pub fn reads(mut self, region: Region) -> Self {
+        self.accesses.push(Access::new(region, AccessMode::In));
+        self
+    }
+
+    /// Declares an `out` region.
+    #[must_use]
+    pub fn writes(mut self, region: Region) -> Self {
+        self.accesses.push(Access::new(region, AccessMode::Out));
+        self
+    }
+
+    /// Declares an `inout` region.
+    #[must_use]
+    pub fn updates(mut self, region: Region) -> Self {
+        self.accesses.push(Access::new(region, AccessMode::InOut));
+        self
+    }
+
+    /// Cost hint: floating-point operations this task performs. Consumed
+    /// by the cluster simulator's cost model; defaults to one flop per
+    /// byte moved if not set.
+    #[must_use]
+    pub fn flops(mut self, flops: f64) -> Self {
+        debug_assert!(flops >= 0.0);
+        self.flops = Some(flops);
+        self
+    }
+
+    /// Attaches the task body.
+    #[must_use]
+    pub fn kernel<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&mut TaskCtx<'_>) + Send + Sync + 'static,
+    {
+        self.kernel = Some(Arc::new(f));
+        self
+    }
+}
+
+/// A submitted task.
+pub struct Task {
+    /// The task's id (== its submission index).
+    pub id: TaskId,
+    /// Task-kind label.
+    pub label: String,
+    /// Declared accesses, in declaration order; kernels address them by
+    /// index ([`TaskCtx::r`]/[`TaskCtx::w`]).
+    pub accesses: Vec<Access>,
+    /// Flop cost hint (see [`TaskSpec::flops`]).
+    pub flops: f64,
+    /// `true` for `taskwait` barrier pseudo-tasks (no kernel, no data).
+    pub is_barrier: bool,
+    pub(crate) kernel: Option<Arc<Kernel>>,
+}
+
+impl Task {
+    /// Total argument size in bytes — the paper's input to per-task
+    /// failure-rate estimation ("sum of all its arguments' failure
+    /// rates", each proportional to argument size).
+    pub fn argument_bytes(&self) -> u64 {
+        self.accesses.iter().map(Access::bytes).sum()
+    }
+
+    /// Bytes of `in` + `inout` arguments (checkpoint footprint).
+    pub fn input_bytes(&self) -> u64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(Access::bytes)
+            .sum()
+    }
+
+    /// Bytes of `out` + `inout` arguments (comparison footprint).
+    pub fn output_bytes(&self) -> u64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(Access::bytes)
+            .sum()
+    }
+
+    /// The kernel, if any (barriers have none).
+    pub(crate) fn kernel(&self) -> Option<&Arc<Kernel>> {
+        self.kernel.as_ref()
+    }
+}
+
+/// The dataflow task DAG, built incrementally by submission.
+///
+/// Dependencies are inferred from access overlap at submission time;
+/// [`TaskGraph::taskwait`] inserts a fork-join barrier (the paper's
+/// Figure-1 comparison between dataflow and fork-join synchronization).
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    successors: Vec<Vec<TaskId>>,
+    predecessors: Vec<Vec<TaskId>>,
+    tracker: DepTracker,
+    since_barrier: Vec<TaskId>,
+    last_barrier: Option<TaskId>,
+}
+
+impl TaskGraph {
+    /// An empty graph with the default dependency-index granularity.
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK_SIZE)
+    }
+
+    /// An empty graph with a custom dependency-index chunk size
+    /// (elements). Smaller chunks speed up dependency inference for
+    /// fine-grained block workloads at the cost of memory.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+            tracker: DepTracker::new(chunk_size),
+            since_barrier: Vec::new(),
+            last_barrier: None,
+        }
+    }
+
+    /// Submits a task; returns its id. Dependencies on previously
+    /// submitted tasks are inferred here.
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        let mut preds = self.tracker.record(id, &spec.accesses);
+        if let Some(b) = self.last_barrier {
+            // Everything after a taskwait is ordered after it.
+            if !preds.contains(&b) {
+                preds.push(b);
+                preds.sort_unstable();
+            }
+        }
+        self.push_node(
+            Task {
+                id,
+                label: spec.label,
+                accesses: spec.accesses,
+                flops: spec.flops.unwrap_or(0.0),
+                is_barrier: false,
+                kernel: spec.kernel,
+            },
+            &preds,
+        );
+        self.since_barrier.push(id);
+        id
+    }
+
+    /// Inserts a `taskwait` barrier: every later task is ordered after
+    /// every earlier one (fork-join synchronization). Returns the
+    /// barrier pseudo-task's id.
+    pub fn taskwait(&mut self) -> TaskId {
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        let mut preds = std::mem::take(&mut self.since_barrier);
+        if preds.is_empty() {
+            if let Some(b) = self.last_barrier {
+                preds.push(b);
+            }
+        }
+        self.push_node(
+            Task {
+                id,
+                label: "taskwait".to_string(),
+                accesses: Vec::new(),
+                flops: 0.0,
+                is_barrier: true,
+                kernel: None,
+            },
+            &preds,
+        );
+        self.last_barrier = Some(id);
+        // Pre-barrier access records can never contribute a needed edge
+        // again — the barrier orders everything (see DepTracker::clear).
+        self.tracker.clear();
+        id
+    }
+
+    fn push_node(&mut self, task: Task, preds: &[TaskId]) {
+        let id = task.id;
+        self.tasks.push(task);
+        self.successors.push(Vec::new());
+        self.predecessors.push(preds.to_vec());
+        for &p in preds {
+            debug_assert!(p < id, "edges must point forward");
+            self.successors[p.index()].push(id);
+        }
+    }
+
+    /// Number of tasks (including barriers).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if no task has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of non-barrier tasks.
+    pub fn compute_task_count(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.is_barrier).count()
+    }
+
+    /// The task with the given id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// All tasks in submission (= topological) order.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Direct successors of `id`.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id.index()]
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.predecessors[id.index()]
+    }
+
+    /// In-degrees of all tasks (a fresh vector the executor can consume).
+    pub fn indegrees(&self) -> Vec<u32> {
+        self.predecessors
+            .iter()
+            .map(|p| u32::try_from(p.len()).expect("too many predecessors"))
+            .collect()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// Sum of argument bytes over all tasks (diagnostics).
+    pub fn total_argument_bytes(&self) -> u64 {
+        self.tasks.iter().map(Task::argument_bytes).sum()
+    }
+}
+
+impl Default for TaskGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{BufferId, DataArena};
+
+    fn contig(buf: BufferId, off: usize, len: usize) -> Region {
+        Region::contiguous(buf, off, len)
+    }
+
+    /// The paper's Figure-1 example: A1 and A2 update array A in
+    /// sequence; B updates array B independently.
+    fn figure1_dataflow(a: BufferId, b: BufferId, n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        g.submit(TaskSpec::new("A1").updates(contig(a, 0, n)));
+        g.submit(TaskSpec::new("A2").updates(contig(a, 0, n)));
+        g.submit(TaskSpec::new("B").updates(contig(b, 0, n)));
+        g
+    }
+
+    #[test]
+    fn figure1_dataflow_dependencies() {
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 16);
+        let b = arena.alloc("B", 16);
+        let g = figure1_dataflow(a, b, 16);
+        // A2 depends on A1; B depends on nothing — it can run first.
+        assert_eq!(g.predecessors(TaskId::from_raw(1)), &[TaskId::from_raw(0)]);
+        assert!(g.predecessors(TaskId::from_raw(2)).is_empty());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn figure1_forkjoin_serializes_b() {
+        // Fork-join version: taskwait between A1 and A2 also blocks B.
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 16);
+        let b = arena.alloc("B", 16);
+        let mut g = TaskGraph::new();
+        g.submit(TaskSpec::new("A1").updates(contig(a, 0, 16)));
+        let bar = g.taskwait();
+        g.submit(TaskSpec::new("A2").updates(contig(a, 0, 16)));
+        g.submit(TaskSpec::new("B").updates(contig(b, 0, 16)));
+        // Both A2 and B are ordered after the barrier.
+        assert!(g.predecessors(TaskId::from_raw(2)).contains(&bar));
+        assert!(g.predecessors(TaskId::from_raw(3)).contains(&bar));
+        assert_eq!(g.predecessors(bar), &[TaskId::from_raw(0)]);
+    }
+
+    #[test]
+    fn chained_barriers() {
+        let mut g = TaskGraph::new();
+        let b1 = g.taskwait();
+        let b2 = g.taskwait();
+        assert_eq!(g.predecessors(b2), &[b1]);
+        assert!(g.predecessors(b1).is_empty());
+        assert_eq!(g.compute_task_count(), 0);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn argument_byte_accounting() {
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 64);
+        let mut g = TaskGraph::new();
+        let t = g.submit(
+            TaskSpec::new("k")
+                .reads(contig(a, 0, 16))
+                .writes(contig(a, 16, 16))
+                .updates(contig(a, 32, 32)),
+        );
+        let task = g.task(t);
+        assert_eq!(task.argument_bytes(), (16 + 16 + 32) * 8);
+        assert_eq!(task.input_bytes(), (16 + 32) * 8);
+        assert_eq!(task.output_bytes(), (16 + 32) * 8);
+    }
+
+    #[test]
+    fn edges_always_point_forward() {
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 256);
+        let mut g = TaskGraph::new();
+        for i in 0..32 {
+            let off = (i % 4) * 64;
+            g.submit(TaskSpec::new("w").updates(contig(a, off, 64)));
+        }
+        for task in g.tasks() {
+            for &s in g.successors(task.id) {
+                assert!(s > task.id);
+            }
+            for &p in g.predecessors(task.id) {
+                assert!(p < task.id);
+            }
+        }
+    }
+
+    #[test]
+    fn indegrees_match_predecessors() {
+        let mut arena = DataArena::new();
+        let a = arena.alloc("A", 16);
+        let g = {
+            let mut g = TaskGraph::new();
+            g.submit(TaskSpec::new("w").writes(contig(a, 0, 16)));
+            g.submit(TaskSpec::new("r1").reads(contig(a, 0, 16)));
+            g.submit(TaskSpec::new("r2").reads(contig(a, 0, 16)));
+            g.submit(TaskSpec::new("w2").writes(contig(a, 0, 16)));
+            g
+        };
+        assert_eq!(g.indegrees(), vec![0, 1, 1, 3]);
+    }
+}

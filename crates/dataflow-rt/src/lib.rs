@@ -1,0 +1,61 @@
+//! # dataflow-rt
+//!
+//! A task-parallel **dataflow** runtime: the reproduction's stand-in for
+//! the OmpSs programming model and its Nanos runtime used by Subasi et
+//! al. (CLUSTER 2016).
+//!
+//! Programs are expressed as **tasks** annotated with the memory regions
+//! they read (`in`), write (`out`) or update (`inout`) — exactly the
+//! information a dataflow programming model gets "for free" from the
+//! programmer's annotations, and exactly what the paper's App_FIT
+//! heuristic consumes (argument sizes → failure-rate estimates).
+//! Dependencies between tasks are *inferred* from region overlap (RAW,
+//! WAR, WAW), so independent tasks run in parallel with no explicit
+//! synchronization; a fork-join style with explicit `taskwait` barriers
+//! is also provided for the paper's Figure-1 comparison.
+//!
+//! ## Architecture
+//!
+//! * [`arena::DataArena`] — owns all task-visible data as `f64` buffers.
+//! * [`region::Region`] — a (possibly strided) set of elements of one
+//!   buffer; the unit of dependency analysis.
+//! * [`graph::TaskGraph`] / [`graph::TaskSpec`] — task submission;
+//!   dependencies are inferred incrementally at submission time by
+//!   [`deps::DepTracker`].
+//! * [`executor::Executor`] — a work-stealing thread-pool executor (or a
+//!   deterministic sequential mode) with pluggable
+//!   [`exec::ExecutionHooks`] so a resilience layer (task replication,
+//!   fault injection) can wrap every task execution without the runtime
+//!   knowing anything about it — mirroring how the paper plugs
+//!   replication into Nanos underneath unmodified applications.
+//! * [`analysis`] — graph diagnostics (critical path, parallelism
+//!   profile) used by the dataflow-vs-fork-join experiments.
+//!
+//! ## Safety model
+//!
+//! Kernels receive views into arena buffers through raw pointers. The
+//! scheduler guarantees that two tasks with *conflicting* accesses to
+//! overlapping regions are never live simultaneously (that is the
+//! definition of the inferred dependencies), which makes the aliasing
+//! sound; a dynamic conflict checker in the executor additionally
+//! verifies the invariant in tests.
+
+pub mod access;
+pub mod analysis;
+pub mod arena;
+pub mod ctx;
+pub mod deps;
+pub mod exec;
+pub mod executor;
+pub mod graph;
+pub mod region;
+pub mod stats;
+
+pub use access::{Access, AccessMode};
+pub use arena::{BufferId, DataArena};
+pub use ctx::{ArgMut, ArgRef, TaskCtx};
+pub use exec::{ExecRecord, ExecutionHooks, PlainExecution, TaskExecution, TaskOutcome};
+pub use executor::Executor;
+pub use graph::{Task, TaskGraph, TaskId, TaskSpec};
+pub use region::Region;
+pub use stats::RunReport;

@@ -1,0 +1,157 @@
+//! Run reports: per-task records and the aggregate metrics the paper's
+//! figures are built from.
+
+use std::time::Duration;
+
+use crate::exec::{ExecRecord, TaskOutcome};
+
+/// The result of one executor run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock time of the whole run.
+    pub makespan: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// One record per task, indexed by task id (barriers have
+    /// `attempts == 0`).
+    pub records: Vec<ExecRecord>,
+}
+
+impl RunReport {
+    fn compute_records(&self) -> impl Iterator<Item = &ExecRecord> {
+        self.records.iter().filter(|r| r.attempts > 0)
+    }
+
+    /// Number of non-barrier tasks executed.
+    pub fn task_count(&self) -> usize {
+        self.compute_records().count()
+    }
+
+    /// Sum of first-attempt kernel time (the baseline compute the paper
+    /// weighs replication percentages against).
+    pub fn base_kernel_time(&self) -> Duration {
+        Duration::from_nanos(self.compute_records().map(|r| r.base_nanos).sum())
+    }
+
+    /// Total kernel time including replicas and re-executions.
+    pub fn total_kernel_time(&self) -> Duration {
+        Duration::from_nanos(self.compute_records().map(|r| r.total_nanos).sum())
+    }
+
+    /// Fraction of tasks that were replicated — the paper's
+    /// "percentage of the number of tasks replicated" (Figure 3).
+    pub fn replicated_task_fraction(&self) -> f64 {
+        let n = self.task_count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.compute_records().filter(|r| r.replicated).count() as f64 / n as f64
+    }
+
+    /// Fraction of baseline computation time belonging to replicated
+    /// tasks — the paper's "percentage of computation time replicated"
+    /// (Figure 3): replicating those tasks adds that much extra compute.
+    pub fn replicated_time_fraction(&self) -> f64 {
+        let total: u64 = self.compute_records().map(|r| r.base_nanos).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let replicated: u64 = self
+            .compute_records()
+            .filter(|r| r.replicated)
+            .map(|r| r.base_nanos)
+            .sum();
+        replicated as f64 / total as f64
+    }
+
+    /// Tasks whose final outcome was a crash (unrecovered DUE).
+    pub fn crashed_count(&self) -> usize {
+        self.compute_records()
+            .filter(|r| r.outcome == TaskOutcome::Crashed)
+            .count()
+    }
+
+    /// Replica comparisons that detected an SDC.
+    pub fn sdc_detected_count(&self) -> usize {
+        self.compute_records().filter(|r| r.sdc_detected).count()
+    }
+
+    /// SDCs corrected by majority vote.
+    pub fn sdc_corrected_count(&self) -> usize {
+        self.compute_records().filter(|r| r.sdc_corrected).count()
+    }
+
+    /// Crashes recovered by a surviving replica or re-execution.
+    pub fn due_recovered_count(&self) -> usize {
+        self.compute_records().filter(|r| r.due_recovered).count()
+    }
+
+    /// SDCs that struck unreplicated tasks (silent corruption of the
+    /// final result).
+    pub fn uncovered_sdc_count(&self) -> usize {
+        self.compute_records().filter(|r| r.uncovered_sdc).count()
+    }
+
+    /// DUEs that struck unreplicated tasks (application-fatal in the
+    /// paper's model).
+    pub fn uncovered_due_count(&self) -> usize {
+        self.compute_records().filter(|r| r.uncovered_due).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskId;
+
+    fn rec(i: u32, replicated: bool, base: u64) -> ExecRecord {
+        let mut r = ExecRecord::plain(TaskId::from_raw(i), base);
+        r.replicated = replicated;
+        if replicated {
+            r.attempts = 2;
+            r.total_nanos = base * 2;
+        }
+        r
+    }
+
+    fn report(records: Vec<ExecRecord>) -> RunReport {
+        RunReport {
+            makespan: Duration::from_millis(1),
+            threads: 1,
+            records,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        // 4 tasks; 2 replicated carrying 3/10 of base time.
+        let r = report(vec![
+            rec(0, true, 100),
+            rec(1, false, 400),
+            rec(2, true, 200),
+            rec(3, false, 300),
+        ]);
+        assert_eq!(r.replicated_task_fraction(), 0.5);
+        assert!((r.replicated_time_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(r.base_kernel_time(), Duration::from_nanos(1000));
+        // Replicated tasks doubled: 200 + 400 + 400 + 300.
+        assert_eq!(r.total_kernel_time(), Duration::from_nanos(1300));
+    }
+
+    #[test]
+    fn barriers_excluded() {
+        let mut records = vec![rec(0, true, 100)];
+        records.push(ExecRecord::barrier(TaskId::from_raw(1)));
+        let r = report(records);
+        assert_eq!(r.task_count(), 1);
+        assert_eq!(r.replicated_task_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = report(vec![]);
+        assert_eq!(r.replicated_task_fraction(), 0.0);
+        assert_eq!(r.replicated_time_fraction(), 0.0);
+        assert_eq!(r.task_count(), 0);
+    }
+}

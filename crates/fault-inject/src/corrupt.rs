@@ -1,0 +1,101 @@
+//! Helpers that *apply* an injected fault to task output data.
+
+use rand::Rng;
+
+/// Flips one uniformly chosen bit of one uniformly chosen element in
+/// `data`, returning `(index, bit)` of the flip, or `None` if the slice
+/// is empty.
+///
+/// This models a single-event upset in a task's output footprint — the
+/// canonical SDC the paper's bitwise replica comparison detects.
+pub fn flip_random_bit<R: Rng>(data: &mut [f64], rng: &mut R) -> Option<(usize, u32)> {
+    if data.is_empty() {
+        return None;
+    }
+    let idx = rng.gen_range(0..data.len());
+    let bit = rng.gen_range(0..64u32);
+    data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << bit));
+    Some((idx, bit))
+}
+
+/// Simulates the partial writes a crashed (DUE) task may leave behind:
+/// overwrites a random prefix of `data` with garbage. Returns the number
+/// of elements scribbled.
+///
+/// Recovery paths must restore inputs from the checkpoint rather than
+/// trust anything the crashed attempt wrote — this helper makes tests
+/// fail loudly if they don't.
+pub fn scribble_partial_write<R: Rng>(data: &mut [f64], rng: &mut R) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    let n = rng.gen_range(0..=data.len());
+    for v in &mut data[..n] {
+        *v = f64::from_bits(rng.gen::<u64>());
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut data = vec![1.0f64, 2.0, 3.0, 4.0];
+            let orig = data.clone();
+            let (idx, bit) = flip_random_bit(&mut data, &mut rng).unwrap();
+            for (i, (a, b)) in orig.iter().zip(&data).enumerate() {
+                let diff = a.to_bits() ^ b.to_bits();
+                if i == idx {
+                    assert_eq!(diff, 1u64 << bit, "exactly the reported bit");
+                } else {
+                    assert_eq!(diff, 0, "other elements untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_on_empty_is_none() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(flip_random_bit(&mut [], &mut rng), None);
+    }
+
+    #[test]
+    fn bit_flip_is_detectable_bitwise_even_when_nan() {
+        // A flip in the exponent can produce NaN; bitwise comparison must
+        // still detect it (f64 == would not, since NaN != NaN).
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hit_nan = false;
+        for _ in 0..2000 {
+            let mut data = vec![f64::MAX];
+            let orig = data[0].to_bits();
+            flip_random_bit(&mut data, &mut rng);
+            assert_ne!(orig, data[0].to_bits());
+            hit_nan |= data[0].is_nan();
+        }
+        assert!(hit_nan, "expected at least one NaN-producing flip");
+    }
+
+    #[test]
+    fn scribble_touches_only_prefix() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut data = vec![0.5f64; 128];
+        let n = scribble_partial_write(&mut data, &mut rng);
+        assert!(n <= data.len());
+        for v in &data[n..] {
+            assert_eq!(*v, 0.5);
+        }
+    }
+
+    #[test]
+    fn scribble_empty_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        assert_eq!(scribble_partial_write(&mut [], &mut rng), 0);
+    }
+}

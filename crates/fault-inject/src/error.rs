@@ -1,0 +1,163 @@
+//! Error taxonomy (paper §II-A) and fault-event accounting.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of hardware errors by their propagation through typical
+/// detection/correction hardware (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// Detected and Corrected Error — absorbed by hardware, invisible to
+    /// software. Present in the taxonomy for completeness; the injector
+    /// never needs to produce one.
+    Dce,
+    /// Detected but Uncorrected Error — typically crashes the task or the
+    /// application (double-bit flips in ECC memory, parity errors in
+    /// register files, …).
+    Due,
+    /// Silent Data Corruption — the computation finishes with wrong
+    /// results and nothing notices (unless software compares replicas).
+    Sdc,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::Dce => write!(f, "DCE"),
+            ErrorClass::Due => write!(f, "DUE"),
+            ErrorClass::Sdc => write!(f, "SDC"),
+        }
+    }
+}
+
+/// One injected (or observed) fault, recorded for experiment accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Runtime-assigned id of the affected task.
+    pub task: u64,
+    /// Which execution attempt was hit: 0 = original, 1 = first replica,
+    /// 2 = re-execution after a mismatch, and so on.
+    pub attempt: u32,
+    /// The class of the injected error.
+    pub class: ErrorClass,
+    /// Whether the execution was protected by replication when the fault
+    /// struck — distinguishes *covered* faults (recoverable) from
+    /// *uncovered* ones (would have crashed / silently corrupted the
+    /// application).
+    pub covered: bool,
+}
+
+/// Thread-safe log of every fault injected in a run, with summary
+/// counters. Experiments read the counters; tests read the full history.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+/// Aggregated view of a [`FaultLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Total injected DUEs.
+    pub due: u64,
+    /// Total injected SDCs.
+    pub sdc: u64,
+    /// DUEs that struck unreplicated executions (application-fatal in the
+    /// paper's model).
+    pub uncovered_due: u64,
+    /// SDCs that struck unreplicated executions (silently corrupt final
+    /// output).
+    pub uncovered_sdc: u64,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: FaultEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` if no fault was injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Snapshot of the full event history.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Summary counters.
+    pub fn counts(&self) -> FaultCounts {
+        let events = self.events.lock();
+        let mut c = FaultCounts::default();
+        for e in events.iter() {
+            match e.class {
+                ErrorClass::Due => {
+                    c.due += 1;
+                    if !e.covered {
+                        c.uncovered_due += 1;
+                    }
+                }
+                ErrorClass::Sdc => {
+                    c.sdc += 1;
+                    if !e.covered {
+                        c.uncovered_sdc += 1;
+                    }
+                }
+                ErrorClass::Dce => {}
+            }
+        }
+        c
+    }
+
+    /// Clears the history (between experiment repetitions).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_classify_coverage() {
+        let log = FaultLog::new();
+        log.record(FaultEvent { task: 1, attempt: 0, class: ErrorClass::Sdc, covered: true });
+        log.record(FaultEvent { task: 2, attempt: 0, class: ErrorClass::Sdc, covered: false });
+        log.record(FaultEvent { task: 3, attempt: 1, class: ErrorClass::Due, covered: true });
+        let c = log.counts();
+        assert_eq!(c.sdc, 2);
+        assert_eq!(c.uncovered_sdc, 1);
+        assert_eq!(c.due, 1);
+        assert_eq!(c.uncovered_due, 0);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = FaultLog::new();
+        log.record(FaultEvent { task: 0, attempt: 0, class: ErrorClass::Due, covered: false });
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ErrorClass::Dce.to_string(), "DCE");
+        assert_eq!(ErrorClass::Due.to_string(), "DUE");
+        assert_eq!(ErrorClass::Sdc.to_string(), "SDC");
+    }
+}

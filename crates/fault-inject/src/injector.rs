@@ -1,0 +1,283 @@
+//! The injection decision interface and its probabilistic implementation.
+
+use fit_model::TaskRates;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ErrorClass;
+
+/// Per-execution failure probabilities handed to a [`FaultModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecProbabilities {
+    /// Probability that this execution suffers a crash (DUE).
+    pub p_due: f64,
+    /// Probability that this execution suffers a silent corruption (SDC).
+    pub p_sdc: f64,
+}
+
+/// What the injector decided for one task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionDecision {
+    /// Execution proceeds fault-free.
+    None,
+    /// Inject the given error class into this execution.
+    Inject(ErrorClass),
+}
+
+impl InjectionDecision {
+    /// `true` if a fault is to be injected.
+    pub fn is_fault(self) -> bool {
+        matches!(self, InjectionDecision::Inject(_))
+    }
+}
+
+/// Decides whether a given task execution suffers a fault.
+///
+/// Implementations must be deterministic functions of
+/// `(task, attempt, probabilities)` so that experiment runs are
+/// reproducible and so that the original and its replica (different
+/// `attempt`) draw **independent** faults.
+pub trait FaultModel: Send + Sync {
+    /// Decision for attempt `attempt` of task `task`.
+    fn decide(&self, task: u64, attempt: u32, p: ExecProbabilities) -> InjectionDecision;
+
+    /// A deterministic per-execution RNG used to *apply* the fault
+    /// (choosing which bit to flip, how much of a partial write to
+    /// scribble). Distinct from the decision path so that changing
+    /// corruption details never perturbs the fault schedule.
+    fn corruption_rng(&self, task: u64, attempt: u32) -> SmallRng {
+        SmallRng::seed_from_u64(mix(0x9e37_79b9_7f4a_7c15, task, attempt))
+    }
+}
+
+/// A model that never injects anything (production / fault-free runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn decide(&self, _task: u64, _attempt: u32, _p: ExecProbabilities) -> InjectionDecision {
+        InjectionDecision::None
+    }
+}
+
+/// Probabilistic, seeded injector.
+///
+/// For each `(task, attempt)` it derives an independent RNG stream from
+/// the seed (SplitMix64-style mixing) and draws a single uniform variate
+/// `u`: `u < p_due` → DUE, `u < p_due + p_sdc` → SDC, otherwise no fault.
+///
+/// ```
+/// use fault_inject::{SeededInjector, FaultModel, ExecProbabilities, InjectionDecision};
+/// let inj = SeededInjector::new(42);
+/// let p = ExecProbabilities { p_due: 0.0, p_sdc: 1.0 };
+/// assert!(matches!(inj.decide(7, 0, p), InjectionDecision::Inject(_)));
+/// // Replayable: same inputs, same decision.
+/// assert_eq!(inj.decide(7, 0, p), inj.decide(7, 0, p));
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeededInjector {
+    seed: u64,
+}
+
+impl SeededInjector {
+    /// Creates an injector with the given reproducibility seed.
+    pub fn new(seed: u64) -> Self {
+        SeededInjector { seed }
+    }
+
+    /// The seed this injector was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl FaultModel for SeededInjector {
+    fn decide(&self, task: u64, attempt: u32, p: ExecProbabilities) -> InjectionDecision {
+        debug_assert!(p.p_due >= 0.0 && p.p_sdc >= 0.0 && p.p_due + p.p_sdc <= 1.0 + 1e-9);
+        if p.p_due == 0.0 && p.p_sdc == 0.0 {
+            return InjectionDecision::None;
+        }
+        let mut rng = SmallRng::seed_from_u64(mix(self.seed, task, attempt));
+        let u: f64 = rng.gen();
+        if u < p.p_due {
+            InjectionDecision::Inject(ErrorClass::Due)
+        } else if u < p.p_due + p.p_sdc {
+            InjectionDecision::Inject(ErrorClass::Sdc)
+        } else {
+            InjectionDecision::None
+        }
+    }
+
+    fn corruption_rng(&self, task: u64, attempt: u32) -> SmallRng {
+        // Offset the stream so corruption draws never alias decision draws.
+        SmallRng::seed_from_u64(mix(self.seed ^ 0xc2b2_ae3d_27d4_eb4f, task, attempt))
+    }
+}
+
+/// How per-execution probabilities are derived for a task. This is the
+/// experiment-facing knob:
+///
+/// * Figures 5–6 of the paper use **fixed per-task fault rates** →
+///   [`InjectionConfig::PerTask`];
+/// * reliability-accounting runs convert a task's FIT rates and its
+///   execution time into a Poisson probability →
+///   [`InjectionConfig::FitBased`], optionally with a `time_scale` factor
+///   that compresses simulated hours into benchmark seconds (real FIT
+///   rates over sub-second tasks would essentially never fire).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectionConfig {
+    /// Never inject.
+    Disabled,
+    /// Every task execution fails with these fixed probabilities.
+    PerTask {
+        /// Crash probability per execution.
+        p_due: f64,
+        /// Silent-corruption probability per execution.
+        p_sdc: f64,
+    },
+    /// Probabilities follow the task's estimated FIT rates over its
+    /// execution time, accelerated by `time_scale` (1.0 = real time).
+    FitBased {
+        /// Acceleration factor applied to exposure time.
+        time_scale: f64,
+    },
+}
+
+impl InjectionConfig {
+    /// Computes the per-execution probabilities for a task with estimated
+    /// `rates` whose execution takes `duration_secs`.
+    pub fn probabilities(&self, rates: TaskRates, duration_secs: f64) -> ExecProbabilities {
+        match *self {
+            InjectionConfig::Disabled => ExecProbabilities::default(),
+            InjectionConfig::PerTask { p_due, p_sdc } => ExecProbabilities { p_due, p_sdc },
+            InjectionConfig::FitBased { time_scale } => {
+                let t = duration_secs * time_scale;
+                ExecProbabilities {
+                    p_due: rates.due.failure_probability(t),
+                    p_sdc: rates.sdc.failure_probability(t),
+                }
+            }
+        }
+    }
+
+    /// `true` if this configuration can ever inject a fault.
+    pub fn enabled(&self) -> bool {
+        !matches!(
+            self,
+            InjectionConfig::Disabled
+                | InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }
+        )
+    }
+}
+
+/// SplitMix64-style avalanche mixing of `(seed, task, attempt)` into an
+/// RNG seed. Small input deltas (task ± 1, attempt ± 1) produce
+/// uncorrelated streams.
+#[inline]
+fn mix(seed: u64, task: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(task.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add((attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fit_model::{Fit, TaskRates};
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let inj = SeededInjector::new(1234);
+        let p = ExecProbabilities { p_due: 0.3, p_sdc: 0.3 };
+        for task in 0..50u64 {
+            for attempt in 0..3u32 {
+                assert_eq!(inj.decide(task, attempt, p), inj.decide(task, attempt, p));
+            }
+        }
+    }
+
+    #[test]
+    fn different_attempts_draw_independently() {
+        // With p = 0.5 the original and the replica must not always agree;
+        // check that among 200 tasks at least one (task, 0)/(task, 1) pair
+        // differs — overwhelmingly likely for independent draws.
+        let inj = SeededInjector::new(7);
+        let p = ExecProbabilities { p_due: 0.5, p_sdc: 0.0 };
+        let disagree = (0..200u64).any(|t| inj.decide(t, 0, p) != inj.decide(t, 1, p));
+        assert!(disagree);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let inj = SeededInjector::new(99);
+        let p = ExecProbabilities { p_due: 0.1, p_sdc: 0.2 };
+        let n = 20_000u64;
+        let mut due = 0;
+        let mut sdc = 0;
+        for t in 0..n {
+            match inj.decide(t, 0, p) {
+                InjectionDecision::Inject(ErrorClass::Due) => due += 1,
+                InjectionDecision::Inject(ErrorClass::Sdc) => sdc += 1,
+                _ => {}
+            }
+        }
+        let f_due = due as f64 / n as f64;
+        let f_sdc = sdc as f64 / n as f64;
+        assert!((f_due - 0.1).abs() < 0.01, "due rate {f_due}");
+        assert!((f_sdc - 0.2).abs() < 0.01, "sdc rate {f_sdc}");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let inj = SeededInjector::new(5);
+        let p = ExecProbabilities::default();
+        for t in 0..1000u64 {
+            assert_eq!(inj.decide(t, 0, p), InjectionDecision::None);
+        }
+    }
+
+    #[test]
+    fn fit_based_config_uses_rates_and_duration() {
+        let cfg = InjectionConfig::FitBased { time_scale: 1.0 };
+        // A rate of 3.6e12 FIT = 1 failure/second.
+        let rates = TaskRates::new(Fit::new(3.6e12), Fit::ZERO);
+        let p = cfg.probabilities(rates, 1.0);
+        assert!((p.p_due - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(p.p_sdc, 0.0);
+    }
+
+    #[test]
+    fn time_scale_accelerates() {
+        let slow = InjectionConfig::FitBased { time_scale: 1.0 };
+        let fast = InjectionConfig::FitBased { time_scale: 1e6 };
+        let rates = TaskRates::new(Fit::new(2.22e3), Fit::new(1.11e3));
+        let p_slow = slow.probabilities(rates, 0.01);
+        let p_fast = fast.probabilities(rates, 0.01);
+        assert!(p_fast.p_due > p_slow.p_due);
+        assert!(p_fast.p_sdc > p_slow.p_sdc);
+    }
+
+    #[test]
+    fn disabled_config_reports_disabled() {
+        assert!(!InjectionConfig::Disabled.enabled());
+        assert!(!InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }.enabled());
+        assert!(InjectionConfig::PerTask { p_due: 0.01, p_sdc: 0.0 }.enabled());
+        assert!(InjectionConfig::FitBased { time_scale: 1.0 }.enabled());
+    }
+
+    #[test]
+    fn mix_avalanches_nearby_inputs() {
+        let a = mix(1, 2, 0);
+        let b = mix(1, 3, 0);
+        let c = mix(1, 2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Hamming distance between nearby inputs should be substantial.
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fault-inject
+//!
+//! Deterministic fault injection for the selective-replication framework.
+//!
+//! The paper (Subasi et al., CLUSTER 2016) targets two error classes that
+//! escape hardware correction (§II-A):
+//!
+//! * **DUE** — detected but uncorrected errors: the hardware notices but
+//!   cannot recover; the task (or process) crashes.
+//! * **SDC** — silent data corruptions: the task completes but its output
+//!   is wrong, undetected by hardware.
+//!
+//! (The third class, DCE — detected *and corrected* — never reaches
+//! software and is represented only in the taxonomy.)
+//!
+//! Experiments in the paper exercise recovery with "per task fixed fault
+//! rates"; this crate reproduces that with a seeded, **replayable**
+//! injector: the decision for a given `(task, attempt)` pair is a pure
+//! function of the seed, so any run can be reproduced bit-for-bit, and
+//! replicas / re-executions (different `attempt` values) draw independent
+//! faults, exactly as independent hardware executions would.
+//!
+//! Components:
+//!
+//! * [`ErrorClass`], [`FaultEvent`], [`FaultLog`] — taxonomy & accounting.
+//! * [`FaultModel`] — the decision interface, with implementations
+//!   [`NoFaults`], [`SeededInjector`] (probabilistic) and
+//!   [`FaultPlan`] (scripted, for tests and worked examples).
+//! * [`InjectionConfig`] — how per-execution probabilities are obtained
+//!   (disabled / fixed per task / FIT-rate × duration).
+//! * [`corrupt`] — bit-flip and partial-write helpers that *apply* an
+//!   injected fault to task outputs.
+
+pub mod corrupt;
+pub mod error;
+pub mod injector;
+pub mod plan;
+
+pub use corrupt::{flip_random_bit, scribble_partial_write};
+pub use error::{ErrorClass, FaultEvent, FaultLog};
+pub use injector::{ExecProbabilities, FaultModel, InjectionConfig, InjectionDecision, NoFaults, SeededInjector};
+pub use plan::FaultPlan;

@@ -1,0 +1,89 @@
+//! Scripted fault plans: inject exactly the faults a test or worked
+//! example asks for, nothing else.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::ErrorClass;
+use crate::injector::{ExecProbabilities, FaultModel, InjectionDecision};
+
+/// A deterministic fault script keyed by `(task, attempt)`.
+///
+/// Used by unit/integration tests ("flip a bit in the replica of task 3")
+/// and by the Figure-2 walk-through example. Each scripted entry fires at
+/// most once; [`FaultPlan::remaining`] exposes what has not fired, so
+/// tests can assert full consumption.
+///
+/// ```
+/// use fault_inject::{FaultPlan, ErrorClass, FaultModel, ExecProbabilities, InjectionDecision};
+/// let plan = FaultPlan::new().with(3, 0, ErrorClass::Sdc);
+/// let p = ExecProbabilities::default();
+/// assert_eq!(plan.decide(3, 0, p), InjectionDecision::Inject(ErrorClass::Sdc));
+/// assert_eq!(plan.decide(3, 0, p), InjectionDecision::None); // fires once
+/// assert_eq!(plan.decide(4, 0, p), InjectionDecision::None);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    entries: Mutex<HashMap<(u64, u32), ErrorClass>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an injection for attempt `attempt` of task `task`.
+    #[must_use]
+    pub fn with(self, task: u64, attempt: u32, class: ErrorClass) -> Self {
+        self.entries.lock().insert((task, attempt), class);
+        self
+    }
+
+    /// Adds an injection in place (for plans built in a loop).
+    pub fn insert(&self, task: u64, attempt: u32, class: ErrorClass) {
+        self.entries.lock().insert((task, attempt), class);
+    }
+
+    /// Number of scripted injections that have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+impl FaultModel for FaultPlan {
+    fn decide(&self, task: u64, attempt: u32, _p: ExecProbabilities) -> InjectionDecision {
+        match self.entries.lock().remove(&(task, attempt)) {
+            Some(class) => InjectionDecision::Inject(class),
+            None => InjectionDecision::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_per_entry() {
+        let plan = FaultPlan::new()
+            .with(1, 0, ErrorClass::Due)
+            .with(1, 1, ErrorClass::Sdc);
+        let p = ExecProbabilities::default();
+        assert_eq!(plan.remaining(), 2);
+        assert_eq!(plan.decide(1, 1, p), InjectionDecision::Inject(ErrorClass::Sdc));
+        assert_eq!(plan.decide(1, 1, p), InjectionDecision::None);
+        assert_eq!(plan.decide(1, 0, p), InjectionDecision::Inject(ErrorClass::Due));
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn insert_in_place() {
+        let plan = FaultPlan::new();
+        for t in 0..5 {
+            plan.insert(t, 0, ErrorClass::Sdc);
+        }
+        assert_eq!(plan.remaining(), 5);
+    }
+}

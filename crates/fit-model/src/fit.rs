@@ -1,0 +1,238 @@
+//! The [`Fit`] newtype: failures per 10⁹ hours.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::FIT_HOURS;
+
+/// A failure rate expressed in **FIT** — expected failures per 10⁹ hours
+/// of operation.
+///
+/// FIT is the unit the paper's user-facing reliability target is given in
+/// and the unit `App_FIT` accounts in. It is additive across independent
+/// failure sources, which is what makes the paper's per-argument
+/// decomposition (`λ(T) = Σ λ(arg)`) and the running `current_fit` sum
+/// well defined.
+///
+/// ```
+/// use fit_model::Fit;
+/// let crash = Fit::new(2.22e3);
+/// let sdc = Fit::new(1.11e3);
+/// assert_eq!((crash + sdc).value(), 3.33e3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Fit(f64);
+
+impl Fit {
+    /// The zero rate: a component that never fails.
+    pub const ZERO: Fit = Fit(0.0);
+
+    /// Creates a FIT value. Panics in debug builds if `value` is negative
+    /// or not finite — failure rates are non-negative by definition.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        debug_assert!(
+            value.is_finite() && value >= 0.0,
+            "FIT must be finite and non-negative, got {value}"
+        );
+        Fit(value)
+    }
+
+    /// `const` constructor for compile-time constants (no validation;
+    /// prefer [`Fit::new`] at runtime).
+    #[inline]
+    pub const fn from_const(value: f64) -> Fit {
+        Fit(value)
+    }
+
+    /// The raw failures-per-10⁹-hours number.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Failure rate per hour (`FIT × 10⁻⁹`).
+    #[inline]
+    pub fn per_hour(self) -> f64 {
+        self.0 / FIT_HOURS
+    }
+
+    /// Failure rate per second.
+    #[inline]
+    pub fn per_second(self) -> f64 {
+        self.per_hour() / 3600.0
+    }
+
+    /// Mean time between failures in hours (`∞` for a zero rate).
+    #[inline]
+    pub fn mtbf_hours(self) -> f64 {
+        if self.0 == 0.0 {
+            f64::INFINITY
+        } else {
+            FIT_HOURS / self.0
+        }
+    }
+
+    /// Probability that at least one failure occurs over `seconds` of
+    /// exposure, assuming a Poisson process at this rate:
+    /// `p = 1 − e^(−λt)`.
+    ///
+    /// This is what the fault injector uses to convert a task's FIT and
+    /// its execution time into a per-execution failure probability.
+    #[inline]
+    pub fn failure_probability(self, seconds: f64) -> f64 {
+        debug_assert!(seconds >= 0.0);
+        let lambda_t = self.per_second() * seconds;
+        -f64::exp_m1(-lambda_t)
+    }
+
+    /// Saturating subtraction: never goes below zero. Useful when
+    /// removing a component's contribution from an aggregate.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Fit) -> Fit {
+        Fit((self.0 - rhs.0).max(0.0))
+    }
+
+    /// `true` if this is exactly the zero rate.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Total-order comparison treating FIT values as plain floats.
+    /// FIT values constructed through [`Fit::new`] are never NaN, so this
+    /// is a genuine total order in practice.
+    #[inline]
+    pub fn total_cmp(&self, other: &Fit) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    #[inline]
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Fit {
+    type Output = Fit;
+    #[inline]
+    fn sub(self, rhs: Fit) -> Fit {
+        Fit::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+    #[inline]
+    fn mul(self, rhs: f64) -> Fit {
+        Fit::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Fit {
+    type Output = Fit;
+    #[inline]
+    fn div(self, rhs: f64) -> Fit {
+        Fit::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        iter.fold(Fit::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 != 0.0 && (self.0 < 1e-3 || self.0 >= 1e6) {
+            write!(f, "{:.3e} FIT", self.0)
+        } else {
+            write!(f, "{:.3} FIT", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_scales_linearly() {
+        // Paper §IV-A: 2.22e3 FIT for 32 GB ⇒ 2.22 FIT for 32 MB ⇒
+        // 2.22e-3 FIT for 32 KB. Linear scaling by size ratio.
+        let node = Fit::new(2.22e3);
+        let mb32 = node * (1.0 / 1000.0);
+        let kb32 = node * (1.0 / 1.0e6);
+        assert!((mb32.value() - 2.22).abs() < 1e-9);
+        assert!((kb32.value() - 2.22e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let rates = [Fit::new(1.0), Fit::new(2.5), Fit::new(0.5)];
+        let total: Fit = rates.iter().copied().sum();
+        assert_eq!(total.value(), 4.0);
+        let mut acc = Fit::ZERO;
+        acc += Fit::new(3.0);
+        assert_eq!(acc.value(), 3.0);
+    }
+
+    #[test]
+    fn mtbf_of_zero_rate_is_infinite() {
+        assert!(Fit::ZERO.mtbf_hours().is_infinite());
+        assert_eq!(Fit::new(1e9).mtbf_hours(), 1.0);
+    }
+
+    #[test]
+    fn failure_probability_small_rate_matches_linear_approx() {
+        // For λt ≪ 1, 1 − e^(−λt) ≈ λt.
+        let fit = Fit::new(2.22e3); // per 1e9 hours
+        let secs = 10.0;
+        let lambda_t = fit.per_second() * secs;
+        let p = fit.failure_probability(secs);
+        assert!(lambda_t < 1e-6);
+        assert!((p - lambda_t).abs() / lambda_t < 1e-6);
+    }
+
+    #[test]
+    fn failure_probability_bounds() {
+        let fit = Fit::new(1e18); // absurdly high rate
+        let p = fit.failure_probability(3600.0);
+        assert!(p > 0.99 && p <= 1.0);
+        assert_eq!(Fit::ZERO.failure_probability(1e6), 0.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Fit::new(1.0);
+        let b = Fit::new(2.0);
+        assert_eq!(a.saturating_sub(b), Fit::ZERO);
+        assert_eq!(b.saturating_sub(a).value(), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Fit::new(2.22)), "2.220 FIT");
+        assert_eq!(format!("{}", Fit::new(2.22e-7)), "2.220e-7 FIT");
+    }
+
+    #[test]
+    fn per_second_consistency() {
+        let fit = Fit::new(3.6e12); // 3600 failures/hour = 1 per second
+        assert!((fit.per_second() - 1.0).abs() < 1e-12);
+    }
+}

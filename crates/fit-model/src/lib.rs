@@ -1,0 +1,45 @@
+//! # fit-model
+//!
+//! Failure-rate modelling for selective task replication, following
+//! Subasi et al., *"A Runtime Heuristic to Selectively Replicate Tasks for
+//! Application-Specific Reliability Targets"* (CLUSTER 2016), section IV-A.
+//!
+//! The central quantity is the **FIT** (Failures In Time): the expected
+//! number of failures per 10⁹ device-hours. The paper estimates a task's
+//! crash (DUE) rate `λF(T)` and silent-data-corruption rate `λSDC(T)` by
+//! scaling measured whole-node FIT rates (Michalak et al.'s neutron-beam
+//! assessment of Roadrunner TriBlade nodes) **proportionally to the task's
+//! argument sizes** — information a dataflow runtime has for free from the
+//! `in`/`out`/`inout` annotations:
+//!
+//! > "if the crash failure is 2.22 × 10³ for 32 GBs as given in [29], then
+//! > for 32 MB program input the crash failure would be 2.22, or for a task
+//! > argument of 32 KB the crash failure would be 2.22 × 10⁻³."
+//!
+//! This crate provides:
+//!
+//! * [`Fit`] — a strongly typed FIT value with the arithmetic used by the
+//!   heuristic (sums, scaling, conversion to failure probabilities).
+//! * [`RateModel`] — the per-byte scaling model with the Roadrunner
+//!   constants and an *error-rate multiplier* used to model pessimistic
+//!   exascale scenarios (the paper's 5× and 10× rates).
+//! * [`TaskRates`] — the `(λF, λSDC)` pair estimated for one task.
+//!
+//! The model is deliberately orthogonal to *how* base rates are obtained
+//! (paper §IV-A): replace [`RateModel`] constants to plug in rates from
+//! system logs or vulnerability analyses.
+
+pub mod fit;
+pub mod rates;
+pub mod roadrunner;
+
+pub use fit::Fit;
+pub use rates::{RateModel, TaskRates};
+pub use roadrunner::{ROADRUNNER_DUE_FIT_PER_32GB, ROADRUNNER_SDC_FIT_PER_32GB};
+
+/// Number of bytes in 32 GB (decimal, as in the paper's worked example), the reference memory size of the Roadrunner
+/// TriBlade node used by Michalak et al. and by the paper's worked example.
+pub const BYTES_32GB: u64 = 32_000_000_000;
+
+/// Hours in one billion hours, the FIT time base (10⁹ hours).
+pub const FIT_HOURS: f64 = 1.0e9;

@@ -1,0 +1,239 @@
+//! Per-task and per-application failure-rate estimation (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::fit::Fit;
+use crate::roadrunner::{ROADRUNNER_DUE_FIT_PER_32GB, ROADRUNNER_SDC_FIT_PER_32GB};
+use crate::BYTES_32GB;
+
+/// The estimated failure rates of one task: crash rate `λF(T)` and
+/// silent-data-corruption rate `λSDC(T)`.
+///
+/// A task's overall rates are the **sum of its arguments' rates** (paper
+/// §IV-A), each argument's rate being proportional to its size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskRates {
+    /// Crash / DUE rate, `λF(T)`.
+    pub due: Fit,
+    /// Silent-data-corruption rate, `λSDC(T)`.
+    pub sdc: Fit,
+}
+
+impl TaskRates {
+    /// A task that never fails (zero-byte footprint).
+    pub const ZERO: TaskRates = TaskRates {
+        due: Fit::ZERO,
+        sdc: Fit::ZERO,
+    };
+
+    /// Creates rates from the two components.
+    #[inline]
+    pub fn new(due: Fit, sdc: Fit) -> Self {
+        TaskRates { due, sdc }
+    }
+
+    /// The combined rate `λF(T) + λSDC(T)` entering the App_FIT condition
+    /// (Eq. 1 of the paper).
+    #[inline]
+    pub fn total(self) -> Fit {
+        self.due + self.sdc
+    }
+
+    /// Component-wise sum — rates of independent failure sources add.
+    #[inline]
+    pub fn combine(self, other: TaskRates) -> TaskRates {
+        TaskRates {
+            due: self.due + other.due,
+            sdc: self.sdc + other.sdc,
+        }
+    }
+
+    /// Scales both components, e.g. by an exascale error-rate multiplier.
+    #[inline]
+    pub fn scale(self, factor: f64) -> TaskRates {
+        TaskRates {
+            due: self.due * factor,
+            sdc: self.sdc * factor,
+        }
+    }
+}
+
+impl core::iter::Sum for TaskRates {
+    fn sum<I: Iterator<Item = TaskRates>>(iter: I) -> TaskRates {
+        iter.fold(TaskRates::ZERO, TaskRates::combine)
+    }
+}
+
+/// The byte-proportional failure-rate model of paper §IV-A.
+///
+/// `RateModel` turns argument sizes into [`TaskRates`]:
+///
+/// * a base rate per byte, derived from a reference node FIT over a
+///   reference memory size (defaults: Roadrunner, 2.22×10³ DUE FIT and
+///   1.11×10³ SDC FIT per 32 GB);
+/// * an **error-rate multiplier** modelling futures where per-node error
+///   rates grow (the paper evaluates 5× and 10×, citing the expected
+///   order-of-magnitude exascale increase).
+///
+/// The model is orthogonal to the heuristic: any other estimation method
+/// (system logs, vulnerability analysis, silent-store analysis, …) can be
+/// dropped in by constructing task rates directly.
+///
+/// ```
+/// use fit_model::RateModel;
+/// let m = RateModel::roadrunner();
+/// // Paper's worked example: a 32 KB argument has crash FIT 2.22e-3.
+/// let r = m.rates_for_bytes(32_000);
+/// assert!((r.due.value() - 2.22e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateModel {
+    /// DUE FIT contributed by each byte of task footprint.
+    pub due_fit_per_byte: f64,
+    /// SDC FIT contributed by each byte of task footprint.
+    pub sdc_fit_per_byte: f64,
+    /// Error-rate multiplier (1.0 = today's rates; 10.0 = the paper's
+    /// pessimistic exascale scenario).
+    pub multiplier: f64,
+}
+
+impl RateModel {
+    /// The Roadrunner-derived default model at today's (1×) rates.
+    pub fn roadrunner() -> Self {
+        RateModel::from_reference(
+            ROADRUNNER_DUE_FIT_PER_32GB,
+            ROADRUNNER_SDC_FIT_PER_32GB,
+            BYTES_32GB,
+        )
+    }
+
+    /// Builds a model from reference node rates over `reference_bytes` of
+    /// memory.
+    pub fn from_reference(due: Fit, sdc: Fit, reference_bytes: u64) -> Self {
+        assert!(reference_bytes > 0, "reference size must be positive");
+        RateModel {
+            due_fit_per_byte: due.value() / reference_bytes as f64,
+            sdc_fit_per_byte: sdc.value() / reference_bytes as f64,
+            multiplier: 1.0,
+        }
+    }
+
+    /// Returns a copy of the model with the error-rate multiplier set
+    /// (the paper's 5× / 10× scenarios).
+    #[must_use]
+    pub fn with_multiplier(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "multiplier must be positive"
+        );
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Rates of a task (or argument, or whole benchmark) with a footprint
+    /// of `bytes` bytes, at the model's multiplier.
+    pub fn rates_for_bytes(&self, bytes: u64) -> TaskRates {
+        let b = bytes as f64 * self.multiplier;
+        TaskRates {
+            due: Fit::new(self.due_fit_per_byte * b),
+            sdc: Fit::new(self.sdc_fit_per_byte * b),
+        }
+    }
+
+    /// A task's overall rates: the sum over all argument sizes
+    /// (paper: "a task's overall failure rates λF(T) and λSDC(T) are the
+    /// sum of all its arguments' failure rates").
+    pub fn rates_for_arguments<I>(&self, argument_bytes: I) -> TaskRates
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        argument_bytes
+            .into_iter()
+            .map(|b| self.rates_for_bytes(b))
+            .sum()
+    }
+
+    /// The application/benchmark-level FIT used to derive reliability
+    /// thresholds (paper: "benchmark FIT rates are estimated with respect
+    /// to size of the benchmark input"). Always computed at **1×**
+    /// (today's) rates regardless of the model multiplier: in the paper's
+    /// experiments the threshold is *today's* reliability, which the
+    /// heuristic must preserve while task rates run at 5×/10×.
+    pub fn benchmark_fit(&self, input_bytes: u64) -> Fit {
+        let b = input_bytes as f64;
+        Fit::new(self.due_fit_per_byte * b + self.sdc_fit_per_byte * b)
+    }
+}
+
+impl Default for RateModel {
+    fn default() -> Self {
+        RateModel::roadrunner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decimal megabyte, matching the paper's unit convention.
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn worked_example_32mb_and_32kb() {
+        let m = RateModel::roadrunner();
+        let mb = m.rates_for_bytes(32 * MB);
+        assert!((mb.due.value() - 2.22).abs() < 1e-9);
+        let kb = m.rates_for_bytes(32_000);
+        assert!((kb.due.value() - 2.22e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_rates_are_sum_of_argument_rates() {
+        let m = RateModel::roadrunner();
+        let combined = m.rates_for_arguments([MB, 2 * MB, MB]);
+        let direct = m.rates_for_bytes(4 * MB);
+        assert!((combined.due.value() - direct.due.value()).abs() < 1e-12);
+        assert!((combined.sdc.value() - direct.sdc.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_scales_task_rates_but_not_benchmark_fit() {
+        let m1 = RateModel::roadrunner();
+        let m10 = RateModel::roadrunner().with_multiplier(10.0);
+        let r1 = m1.rates_for_bytes(MB);
+        let r10 = m10.rates_for_bytes(MB);
+        assert!((r10.due.value() / r1.due.value() - 10.0).abs() < 1e-9);
+        assert!((r10.sdc.value() / r1.sdc.value() - 10.0).abs() < 1e-9);
+        // Threshold basis stays at today's reliability.
+        assert_eq!(m1.benchmark_fit(MB), m10.benchmark_fit(MB));
+    }
+
+    #[test]
+    fn total_is_due_plus_sdc() {
+        let r = TaskRates::new(Fit::new(1.5), Fit::new(0.5));
+        assert_eq!(r.total().value(), 2.0);
+    }
+
+    #[test]
+    fn zero_bytes_zero_rates() {
+        let m = RateModel::roadrunner();
+        assert_eq!(m.rates_for_bytes(0), TaskRates::ZERO);
+        assert_eq!(m.rates_for_arguments([]), TaskRates::ZERO);
+    }
+
+    #[test]
+    fn custom_reference_model() {
+        // A hypothetical node: 100 DUE FIT and 10 SDC FIT per GB.
+        let gb = 1_000 * MB;
+        let m = RateModel::from_reference(Fit::new(100.0), Fit::new(10.0), gb);
+        let r = m.rates_for_bytes(gb);
+        assert!((r.due.value() - 100.0).abs() < 1e-9);
+        assert!((r.sdc.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be positive")]
+    fn rejects_non_positive_multiplier() {
+        let _ = RateModel::roadrunner().with_multiplier(0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the FIT model invariants.
+
+use fit_model::{Fit, RateModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// FIT addition is commutative and associative (within float error),
+    /// which the App_FIT running sum relies on.
+    #[test]
+    fn fit_sum_order_independent(values in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+        let forward: Fit = values.iter().map(|&v| Fit::new(v)).sum();
+        let backward: Fit = values.iter().rev().map(|&v| Fit::new(v)).sum();
+        let direct: f64 = values.iter().sum();
+        prop_assert!((forward.value() - backward.value()).abs() <= direct.abs() * 1e-12 + 1e-12);
+    }
+
+    /// Rate estimation is linear in bytes: rates(a) + rates(b) == rates(a+b).
+    #[test]
+    fn rates_linear_in_bytes(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let m = RateModel::roadrunner();
+        let split = m.rates_for_bytes(a).combine(m.rates_for_bytes(b));
+        let joint = m.rates_for_bytes(a + b);
+        prop_assert!((split.due.value() - joint.due.value()).abs() <= joint.due.value() * 1e-12 + 1e-15);
+        prop_assert!((split.sdc.value() - joint.sdc.value()).abs() <= joint.sdc.value() * 1e-12 + 1e-15);
+    }
+
+    /// Failure probability is a genuine probability and monotone in
+    /// exposure time.
+    #[test]
+    fn failure_probability_is_monotone_probability(
+        fit in 0.0f64..1e12,
+        t1 in 0.0f64..1e6,
+        t2 in 0.0f64..1e6,
+    ) {
+        let f = Fit::new(fit);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let p_lo = f.failure_probability(lo);
+        let p_hi = f.failure_probability(hi);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo <= p_hi + 1e-15);
+    }
+
+    /// The multiplier scales task rates exactly linearly.
+    #[test]
+    fn multiplier_linearity(bytes in 1u64..1u64 << 38, m in 0.1f64..100.0) {
+        let base = RateModel::roadrunner();
+        let scaled = RateModel::roadrunner().with_multiplier(m);
+        let r0 = base.rates_for_bytes(bytes).total().value();
+        let r1 = scaled.rates_for_bytes(bytes).total().value();
+        prop_assert!((r1 - r0 * m).abs() <= r0 * m * 1e-12 + 1e-15);
+    }
+
+    /// Saturating subtraction never produces a negative rate.
+    #[test]
+    fn saturating_sub_non_negative(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let d = Fit::new(a).saturating_sub(Fit::new(b));
+        prop_assert!(d.value() >= 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! §V-A1 claim: the App_FIT decision is "a single condition … about 50
+//! multiplication and addition instructions" — i.e. tens of
+//! nanoseconds. This bench measures the decision latency, including the
+//! failure-rate estimation from argument sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use appfit_core::{AppFit, AppFitConfig, DecisionCtx, ReplicationPolicy};
+use fit_model::{Fit, RateModel};
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appfit");
+
+    group.bench_function("decide", |b| {
+        let h = AppFit::new(AppFitConfig::new(Fit::new(1.0e6), u64::MAX));
+        let model = RateModel::roadrunner().with_multiplier(10.0);
+        let mut id = 0u64;
+        b.iter(|| {
+            let rates = model.rates_for_bytes(black_box(320_000));
+            let ctx = DecisionCtx {
+                id,
+                rates,
+                argument_bytes: 320_000,
+            };
+            id += 1;
+            black_box(h.decide(&ctx))
+        });
+    });
+
+    group.bench_function("rate_estimation_3_args", |b| {
+        let model = RateModel::roadrunner().with_multiplier(10.0);
+        b.iter(|| black_box(model.rates_for_arguments([320_000u64, 320_000, 320_000])));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

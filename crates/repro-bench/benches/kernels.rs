@@ -1,0 +1,63 @@
+//! Numeric kernel throughput: the tile kernels behind the Table-I
+//! benchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use workloads::kernels::{dgemm, dpotrf, fft1d, Perlin};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+
+    let n = 64;
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    group.bench_function("dgemm_64", |b| {
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64).collect();
+        let bb: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let mut cc = vec![0.0; n * n];
+        b.iter(|| {
+            dgemm(black_box(&mut cc), &a, &bb, n, 1.0);
+        });
+    });
+
+    group.throughput(Throughput::Elements((n * n * n / 3) as u64));
+    group.bench_function("dpotrf_64", |b| {
+        // SPD tile regenerated per iteration.
+        let mut base = vec![0.1; n * n];
+        for i in 0..n {
+            base[i * n + i] = n as f64;
+        }
+        b.iter_batched(
+            || base.clone(),
+            |mut t| dpotrf(black_box(&mut t), n).expect("SPD"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    let fft_n = 4096;
+    group.throughput(Throughput::Elements(fft_n as u64));
+    group.bench_function("fft1d_4096", |b| {
+        let data: Vec<f64> = (0..2 * fft_n).map(|i| (i % 17) as f64 / 17.0).collect();
+        b.iter_batched(
+            || data.clone(),
+            |mut d| fft1d(black_box(&mut d), fft_n, false),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("perlin_fbm_2048px", |b| {
+        let p = Perlin::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..2048 {
+                acc += p.fbm2(i as f64 * 0.01, i as f64 * 0.007, 4);
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Real-machine companion to Figure 4: wall-clock cost of the
+//! replication pipeline (checkpoint, replica, compare) on the threaded
+//! runtime versus plain execution. Replicas run inline here, so this
+//! measures the *mechanism* cost; the spare-core makespan shape comes
+//! from `repro fig4`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use appfit_core::{ReplicateAll, ReplicateNone};
+use dataflow_rt::Executor;
+use fit_model::RateModel;
+use task_replication::ReplicationEngine;
+use workloads::{Scale, Workload};
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_overhead");
+    group.sample_size(10);
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(workloads::stream::Stream),
+        Box::new(workloads::cholesky::Cholesky),
+    ];
+    for w in &workloads {
+        for (policy_name, replicate) in [("plain", false), ("replicate-all", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), policy_name),
+                &replicate,
+                |b, &replicate| {
+                    b.iter_batched(
+                        || w.build(Scale::Small, 1, true),
+                        |built| {
+                            let mut arena = built.arena;
+                            let policy: Arc<dyn appfit_core::ReplicationPolicy> = if replicate {
+                                Arc::new(ReplicateAll)
+                            } else {
+                                Arc::new(ReplicateNone)
+                            };
+                            let engine = Arc::new(ReplicationEngine::new(
+                                policy,
+                                RateModel::roadrunner(),
+                            ));
+                            Executor::sequential()
+                                .with_conflict_checker(false)
+                                .with_hooks(engine)
+                                .run(&built.graph, &mut arena)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Runtime substrate costs: dependency inference at submission time and
+//! per-task scheduling overhead (empty kernels), plus the
+//! dataflow-vs-fork-join makespan gap of Figure 1's pattern.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dataflow_rt::{DataArena, Executor, Region, TaskGraph, TaskSpec};
+
+/// Builds a Stream-like blocked graph of `iters × blocks × 2` tasks.
+fn build_graph(arena_len: usize, blocks: usize, iters: usize, barrier: bool) -> (TaskGraph, DataArena) {
+    let mut arena = DataArena::new();
+    let a = arena.alloc("a", arena_len);
+    let b = arena.alloc("b", arena_len);
+    let bl = arena_len / blocks;
+    let mut g = TaskGraph::with_chunk_size(bl);
+    for _ in 0..iters {
+        for blk in 0..blocks {
+            g.submit(
+                TaskSpec::new("fwd")
+                    .reads(Region::contiguous(a, blk * bl, bl))
+                    .writes(Region::contiguous(b, blk * bl, bl))
+                    .kernel(|_| {}),
+            );
+            g.submit(
+                TaskSpec::new("bwd")
+                    .reads(Region::contiguous(b, blk * bl, bl))
+                    .writes(Region::contiguous(a, blk * bl, bl))
+                    .kernel(|_| {}),
+            );
+        }
+        if barrier {
+            g.taskwait();
+        }
+    }
+    (g, arena)
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+
+    group.bench_function("submission_with_dependency_inference", |b| {
+        b.iter(|| {
+            let (g, _arena) = build_graph(black_box(64 * 1024), 64, 8, false);
+            black_box(g.len())
+        });
+    });
+
+    group.bench_function("sequential_dispatch_per_task", |b| {
+        b.iter_batched(
+            || build_graph(64 * 1024, 64, 8, false),
+            |(g, mut arena)| {
+                Executor::sequential()
+                    .with_conflict_checker(false)
+                    .run(&g, &mut arena)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("dataflow_vs_forkjoin_edges", |b| {
+        b.iter(|| {
+            let (df, _a1) = build_graph(black_box(64 * 1024), 64, 8, false);
+            let (fj, _a2) = build_graph(black_box(64 * 1024), 64, 8, true);
+            black_box((df.edge_count(), fj.edge_count()))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [--scale small|medium|paper] [--seed N]
+//!
+//! commands:
+//!   table1             Table I  — benchmark inventory
+//!   fig1               Figure 1 — dataflow vs fork-join
+//!   fig3               Figure 3 — App_FIT replication percentages
+//!   fig4               Figure 4 — replication overheads
+//!   fig5               Figure 5 — shared-memory scalability
+//!   fig6               Figure 6 — distributed scalability
+//!   ablate-oracle      A1 — App_FIT vs offline knapsack oracles
+//!   ablate-sweep       A2 — replication vs error-rate multiplier
+//!   ablate-accounting  A3 — Eq. 1 accounting variants
+//!   all                everything above
+//! ```
+
+use std::process::ExitCode;
+
+use repro_bench::context::ExperimentScale;
+use repro_bench::{ablations, fig1, fig3, fig4, fig5, fig6, table1};
+
+struct Options {
+    scale: ExperimentScale,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut command = None;
+    let mut options = Options {
+        scale: ExperimentScale::Paper,
+        seed: 2016,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                options.scale = ExperimentScale::parse(v)?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            other if command.is_none() => command = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok((command.ok_or("missing command")?, options))
+}
+
+fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
+    match cmd {
+        "table1" => print!("{}", table1::render(&table1::run(opt.scale))),
+        "fig1" => print!("{}", fig1::render(&fig1::run())),
+        "fig3" => print!("{}", fig3::render(&fig3::run(opt.scale, &[10.0, 5.0]))),
+        "fig4" => print!("{}", fig4::render(&fig4::run(opt.scale))),
+        "fig5" => print!("{}", fig5::render(&fig5::run(opt.scale, opt.seed))),
+        "fig6" => print!("{}", fig6::render(&fig6::run(opt.scale, opt.seed))),
+        "ablate-oracle" => print!(
+            "{}",
+            ablations::render_oracle(&ablations::run_oracle(opt.scale, 10.0, opt.seed))
+        ),
+        "ablate-sweep" => print!(
+            "{}",
+            ablations::render_sweep(&ablations::run_sweep(
+                opt.scale,
+                &[1.5, 2.0, 5.0, 10.0, 20.0, 50.0]
+            ))
+        ),
+        "ablate-accounting" => print!(
+            "{}",
+            ablations::render_accounting(&ablations::run_accounting(opt.scale, 10.0))
+        ),
+        "all" => {
+            for c in [
+                "table1",
+                "fig1",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "ablate-oracle",
+                "ablate-sweep",
+                "ablate-accounting",
+            ] {
+                run_command(c, opt)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown command `{other}` (try `all`)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opt) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\n\nusage: repro <command> [--scale small|medium|paper] [--seed N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&cmd, &opt) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

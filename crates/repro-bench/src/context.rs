@@ -1,0 +1,168 @@
+//! Shared experiment plumbing.
+
+use cluster_sim::{ClusterSpec, SimGraph};
+use fit_model::RateModel;
+use workloads::{BuiltWorkload, Scale, Workload, WorkloadKind};
+
+/// Experiment scale, mapped onto workload scales. Figures simulate (no
+/// data is touched), so `Paper` is the default everywhere; tests use
+/// `Small`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny graphs for tests.
+    Small,
+    /// Medium graphs for quick local runs.
+    Medium,
+    /// Table-I dimensions (default).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// The corresponding workload scale.
+    pub fn workload_scale(self) -> Scale {
+        match self {
+            ExperimentScale::Small => Scale::Small,
+            ExperimentScale::Medium => Scale::Medium,
+            ExperimentScale::Paper => Scale::Paper,
+        }
+    }
+
+    /// Parses a CLI argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "small" => Ok(ExperimentScale::Small),
+            "medium" => Ok(ExperimentScale::Medium),
+            "paper" => Ok(ExperimentScale::Paper),
+            other => Err(format!("unknown scale `{other}` (small|medium|paper)")),
+        }
+    }
+}
+
+/// The cluster a workload "naturally" runs on in the paper: one 16-core
+/// node for shared-memory benchmarks, 64 nodes (1024 cores) for
+/// distributed ones.
+pub fn natural_cluster(kind: WorkloadKind) -> ClusterSpec {
+    match kind {
+        WorkloadKind::SharedMemory => ClusterSpec::shared_memory(16),
+        WorkloadKind::Distributed => ClusterSpec::distributed(64),
+    }
+}
+
+/// Node count matching [`natural_cluster`].
+pub fn natural_nodes(kind: WorkloadKind) -> usize {
+    match kind {
+        WorkloadKind::SharedMemory => 1,
+        WorkloadKind::Distributed => 64,
+    }
+}
+
+/// Builds a workload (described, not materialized) and extracts its
+/// simulation graph with task rates at `multiplier`× error rates.
+pub fn described_sim_graph(
+    workload: &dyn Workload,
+    scale: ExperimentScale,
+    multiplier: f64,
+) -> (BuiltWorkload, SimGraph) {
+    let nodes = natural_nodes(workload.kind());
+    let built = workload.build(scale.workload_scale(), nodes, false);
+    let rates = RateModel::roadrunner().with_multiplier(multiplier);
+    let graph = SimGraph::from_task_graph(&built.graph, &rates, built.placement_fn());
+    (built, graph)
+}
+
+/// Sum of all task rates **at 1× rates** given a graph whose rates were
+/// computed at `multiplier`× — the benchmark's "current FIT" used as
+/// the App_FIT threshold.
+pub fn sum_rates_at_1x(graph: &SimGraph, multiplier: f64) -> f64 {
+    graph
+        .tasks()
+        .iter()
+        .map(|t| t.rates.total().value())
+        .sum::<f64>()
+        / multiplier
+}
+
+/// Simple fixed-width text table printer.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Percentage formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["x", "1"]);
+        t.row(vec!["longer", "2"]);
+        let s = t.render();
+        assert!(s.contains("name    value"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(ExperimentScale::parse("paper").unwrap(), ExperimentScale::Paper);
+        assert!(ExperimentScale::parse("huge").is_err());
+    }
+
+    #[test]
+    fn natural_clusters_match_paper() {
+        assert_eq!(natural_cluster(WorkloadKind::SharedMemory).total_cores(), 16);
+        assert_eq!(natural_cluster(WorkloadKind::Distributed).total_cores(), 1024);
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 1: dataflow vs fork-join synchronization on the paper's
+//! three-task example (A1 → A2 with an independent B), quantified by
+//! critical path, average parallelism and simulated 2-core makespan.
+
+use std::sync::Arc;
+
+use appfit_core::ReplicateNone;
+use cluster_sim::{simulate, ClusterSpec, CostModel, NodeSpec, SimConfig, SimGraph};
+use dataflow_rt::{analysis, DataArena, Region, TaskGraph, TaskSpec};
+use fault_inject::{InjectionConfig, NoFaults};
+use fit_model::RateModel;
+
+/// Results for one synchronization style.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Side {
+    /// Cost-weighted critical path (span).
+    pub span: f64,
+    /// Work / span.
+    pub parallelism: f64,
+    /// Simulated makespan on 2 cores.
+    pub makespan_2core: f64,
+}
+
+/// Dataflow vs fork-join comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Result {
+    /// Dataflow synchronization (dependencies inferred from `inout`).
+    pub dataflow: Fig1Side,
+    /// Fork-join synchronization (`taskwait` between A1 and A2).
+    pub forkjoin: Fig1Side,
+}
+
+/// Builds the Figure-1 example. Task A1 and A2 update array A in
+/// sequence; B updates array B and is independent — but the fork-join
+/// version's `taskwait` serializes it behind A1 anyway.
+fn build(fork_join: bool) -> (TaskGraph, DataArena) {
+    let mut arena = DataArena::new();
+    // Element counts chosen so each task is 1 unit of compute and B is
+    // twice as long — the case where blocking B hurts.
+    let a = arena.alloc("A", 1000);
+    let b = arena.alloc("B", 2000);
+    let mut g = TaskGraph::new();
+    let unit = 1.0e9; // 1 second at 1 Gflop/s
+    g.submit(
+        TaskSpec::new("A1")
+            .updates(Region::full(a, 1000))
+            .flops(unit)
+            .kernel(|ctx| {
+                for x in ctx.w(0).as_mut_slice() {
+                    *x += 1.0;
+                }
+            }),
+    );
+    if fork_join {
+        g.taskwait();
+    }
+    g.submit(
+        TaskSpec::new("A2")
+            .updates(Region::full(a, 1000))
+            .flops(unit)
+            .kernel(|ctx| {
+                for x in ctx.w(0).as_mut_slice() {
+                    *x += 1.0;
+                }
+            }),
+    );
+    g.submit(
+        TaskSpec::new("B")
+            .updates(Region::full(b, 2000))
+            .flops(2.0 * unit)
+            .kernel(|ctx| {
+                for x in ctx.w(0).as_mut_slice() {
+                    *x += 1.0;
+                }
+            }),
+    );
+    (g, arena)
+}
+
+fn measure(fork_join: bool) -> Fig1Side {
+    let (graph, _arena) = build(fork_join);
+    let cost = |id: dataflow_rt::TaskId| graph.task(id).flops / 1.0e9;
+    let span = analysis::critical_path(&graph, cost);
+    let parallelism = analysis::average_parallelism(&graph, cost);
+    let sim_graph = SimGraph::from_task_graph(&graph, &RateModel::roadrunner(), |_| 0);
+    let cluster = ClusterSpec {
+        nodes: 1,
+        node: NodeSpec {
+            cores: 2,
+            spare_cores: 0,
+            gflops_per_core: 1.0,
+            mem_bw_gbs: f64::INFINITY,
+        },
+        net_latency_us: 0.0,
+        net_bandwidth_gbs: f64::INFINITY,
+    };
+    let report = simulate(
+        &sim_graph,
+        &SimConfig {
+            cluster,
+            cost: CostModel::default(),
+            policy: Arc::new(ReplicateNone),
+            faults: Arc::new(NoFaults),
+            injection: InjectionConfig::Disabled,
+        },
+    );
+    Fig1Side {
+        span,
+        parallelism,
+        makespan_2core: report.makespan,
+    }
+}
+
+/// Runs the comparison.
+pub fn run() -> Fig1Result {
+    Fig1Result {
+        dataflow: measure(false),
+        forkjoin: measure(true),
+    }
+}
+
+/// Renders the comparison.
+pub fn render(r: &Fig1Result) -> String {
+    format!(
+        "Figure 1 — dataflow vs fork-join (A1→A2 chain, independent B)\n\n\
+         {:<10} {:>6} {:>13} {:>18}\n{}\n\
+         {:<10} {:>6.1} {:>13.2} {:>17.1}s\n\
+         {:<10} {:>6.1} {:>13.2} {:>17.1}s\n\n\
+         Dataflow lets B overlap the A-chain; the taskwait serializes it.\n",
+        "model", "span", "parallelism", "makespan(2 cores)",
+        "-".repeat(52),
+        "dataflow", r.dataflow.span, r.dataflow.parallelism, r.dataflow.makespan_2core,
+        "fork-join", r.forkjoin.span, r.forkjoin.parallelism, r.forkjoin.makespan_2core,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_beats_forkjoin() {
+        let r = run();
+        assert!(r.dataflow.span < r.forkjoin.span);
+        assert!(r.dataflow.parallelism > r.forkjoin.parallelism);
+        assert!(r.dataflow.makespan_2core < r.forkjoin.makespan_2core);
+        // Concretely: dataflow finishes in 2 (B ∥ A-chain); fork-join
+        // needs 1 + 2 = 3.
+        assert!((r.dataflow.makespan_2core - 2.0).abs() < 1e-9);
+        assert!((r.forkjoin.makespan_2core - 3.0).abs() < 1e-9);
+    }
+}

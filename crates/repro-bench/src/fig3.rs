@@ -1,0 +1,189 @@
+//! Figure 3: App_FIT's selective-replication percentages — fraction of
+//! tasks replicated and fraction of computation time replicated, per
+//! benchmark, at 10× and 5× error rates, with thresholds preserving
+//! today's (1×) application FIT.
+
+use std::sync::Arc;
+
+use appfit_core::{AppFit, AppFitConfig};
+use cluster_sim::{simulate, CostModel, SimConfig};
+use fault_inject::{InjectionConfig, NoFaults};
+use fit_model::Fit;
+use workloads::all_workloads;
+
+use crate::context::{
+    described_sim_graph, natural_cluster, pct, sum_rates_at_1x, ExperimentScale, TextTable,
+};
+
+/// Replication percentages at one error-rate multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Fraction of tasks replicated.
+    pub task_fraction: f64,
+    /// Fraction of computation time replicated.
+    pub time_fraction: f64,
+    /// Unprotected FIT accumulated (must be ≤ threshold).
+    pub achieved_fit: f64,
+    /// The threshold (today's application FIT).
+    pub threshold: f64,
+}
+
+/// One benchmark's Figure-3 results.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Results at each requested multiplier (paired with `multipliers`).
+    pub points: Vec<Fig3Point>,
+}
+
+/// Figure-3 results for all benchmarks.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// The error-rate multipliers evaluated (paper: 10 and 5).
+    pub multipliers: Vec<f64>,
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Evaluates one benchmark at one multiplier.
+pub fn evaluate_one(
+    workload: &dyn workloads::Workload,
+    scale: ExperimentScale,
+    multiplier: f64,
+) -> (usize, Fig3Point) {
+    let (_built, graph) = described_sim_graph(workload, scale, multiplier);
+    let threshold = sum_rates_at_1x(&graph, multiplier);
+    let n_tasks = graph
+        .tasks()
+        .iter()
+        .filter(|t| !t.is_barrier)
+        .count();
+    let policy = Arc::new(AppFit::new(AppFitConfig::new(
+        Fit::new(threshold),
+        n_tasks as u64,
+    )));
+    let report = simulate(
+        &graph,
+        &SimConfig {
+            cluster: natural_cluster(workload.kind()),
+            cost: CostModel::default(),
+            policy: Arc::clone(&policy) as Arc<dyn appfit_core::ReplicationPolicy>,
+            faults: Arc::new(NoFaults),
+            injection: InjectionConfig::Disabled,
+        },
+    );
+    (
+        n_tasks,
+        Fig3Point {
+            task_fraction: report.replicated_task_fraction(),
+            time_fraction: report.replicated_time_fraction(),
+            achieved_fit: policy.current_fit().value(),
+            threshold,
+        },
+    )
+}
+
+/// Runs Figure 3 over all benchmarks.
+pub fn run(scale: ExperimentScale, multipliers: &[f64]) -> Fig3Result {
+    let rows = all_workloads()
+        .iter()
+        .map(|w| {
+            let mut tasks = 0;
+            let points = multipliers
+                .iter()
+                .map(|&m| {
+                    let (n, p) = evaluate_one(w.as_ref(), scale, m);
+                    tasks = n;
+                    p
+                })
+                .collect();
+            Fig3Row {
+                name: w.name().to_string(),
+                tasks,
+                points,
+            }
+        })
+        .collect();
+    Fig3Result {
+        multipliers: multipliers.to_vec(),
+        rows,
+    }
+}
+
+/// Renders Figure 3 as text (per-benchmark bars plus averages, as in
+/// the paper's plot).
+pub fn render(r: &Fig3Result) -> String {
+    let mut headers = vec!["benchmark".to_string(), "tasks".to_string()];
+    for m in &r.multipliers {
+        headers.push(format!("tasks@{m}x"));
+        headers.push(format!("time@{m}x"));
+    }
+    headers.push("fit≤thr".to_string());
+    let mut t = TextTable::new(headers);
+    for row in &r.rows {
+        let mut cells = vec![row.name.clone(), row.tasks.to_string()];
+        for p in &row.points {
+            cells.push(pct(p.task_fraction));
+            cells.push(pct(p.time_fraction));
+        }
+        let ok = row
+            .points
+            .iter()
+            .all(|p| p.achieved_fit <= p.threshold * (1.0 + 1e-9));
+        cells.push(if ok { "yes".into() } else { "VIOLATED".into() });
+        t.row(cells);
+    }
+    // Averages row.
+    let mut cells = vec!["AVERAGE".to_string(), String::new()];
+    for (i, _) in r.multipliers.iter().enumerate() {
+        let tf: f64 =
+            r.rows.iter().map(|row| row.points[i].task_fraction).sum::<f64>() / r.rows.len() as f64;
+        let cf: f64 =
+            r.rows.iter().map(|row| row.points[i].time_fraction).sum::<f64>() / r.rows.len() as f64;
+        cells.push(pct(tf));
+        cells.push(pct(cf));
+    }
+    cells.push(String::new());
+    t.row(cells);
+    format!(
+        "Figure 3 — App_FIT selective replication (threshold = today's FIT)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig3_respects_thresholds_and_orders_multipliers() {
+        let r = run(ExperimentScale::Small, &[10.0, 5.0]);
+        assert_eq!(r.rows.len(), 9);
+        for row in &r.rows {
+            let p10 = &row.points[0];
+            let p5 = &row.points[1];
+            assert!(
+                p10.achieved_fit <= p10.threshold * (1.0 + 1e-9),
+                "{}: fit {} > threshold {}",
+                row.name,
+                p10.achieved_fit,
+                p10.threshold
+            );
+            assert!(p5.achieved_fit <= p5.threshold * (1.0 + 1e-9));
+            // Takeaway-1 shape: 5× rates need no more replication than 10×.
+            assert!(
+                p5.task_fraction <= p10.task_fraction + 1e-9,
+                "{}: 5x {} vs 10x {}",
+                row.name,
+                p5.task_fraction,
+                p10.task_fraction
+            );
+            // Selective, not complete: something must stay unreplicated
+            // at 5× (budget admits ≥ 1/5 of the FIT mass).
+            assert!(p5.task_fraction < 1.0, "{}", row.name);
+        }
+    }
+}

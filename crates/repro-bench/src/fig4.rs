@@ -1,0 +1,99 @@
+//! Figure 4: fault-free overhead of complete task replication versus
+//! unprotected execution, per benchmark (paper: 2.5 % on average, with
+//! replicas on spare cores).
+
+use std::sync::Arc;
+
+use appfit_core::{ReplicateAll, ReplicateNone};
+use cluster_sim::{simulate, CostModel, SimConfig};
+use fault_inject::{InjectionConfig, NoFaults};
+use workloads::all_workloads;
+
+use crate::context::{described_sim_graph, natural_cluster, pct, ExperimentScale, TextTable};
+
+/// One benchmark's overhead measurement.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Unprotected makespan (virtual seconds).
+    pub plain_makespan: f64,
+    /// Complete-replication makespan.
+    pub replicated_makespan: f64,
+    /// Relative overhead.
+    pub overhead: f64,
+}
+
+/// Runs Figure 4 over all benchmarks.
+pub fn run(scale: ExperimentScale) -> Vec<Fig4Row> {
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let (_built, graph) = described_sim_graph(w.as_ref(), scale, 1.0);
+            let cluster = natural_cluster(w.kind());
+            let base = |policy| {
+                simulate(
+                    &graph,
+                    &SimConfig {
+                        cluster,
+                        cost: CostModel::default(),
+                        policy,
+                        faults: Arc::new(NoFaults),
+                        injection: InjectionConfig::Disabled,
+                    },
+                )
+            };
+            let plain = base(Arc::new(ReplicateNone));
+            let replicated = base(Arc::new(ReplicateAll));
+            Fig4Row {
+                name: w.name().to_string(),
+                plain_makespan: plain.makespan,
+                replicated_makespan: replicated.makespan,
+                overhead: replicated.overhead_over(&plain),
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 4.
+pub fn render(rows: &[Fig4Row]) -> String {
+    let mut t = TextTable::new(vec!["benchmark", "plain (s)", "replicated (s)", "overhead"]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.4}", r.plain_makespan),
+            format!("{:.4}", r.replicated_makespan),
+            pct(r.overhead),
+        ]);
+    }
+    let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+    t.row(vec!["AVERAGE".to_string(), String::new(), String::new(), pct(avg)]);
+    format!(
+        "Figure 4 — fault-free overhead of complete replication (replicas on spare cores)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig4_overheads_are_low_and_nonnegative() {
+        let rows = run(ExperimentScale::Small);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.overhead >= -1e-9,
+                "{}: negative overhead {}",
+                r.name,
+                r.overhead
+            );
+            // With spare cores the overhead is checkpoint+compare-bound;
+            // it must stay far from the 100 % of core-sharing.
+            assert!(r.overhead < 0.60, "{}: overhead {}", r.name, r.overhead);
+        }
+        let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+        assert!(avg < 0.35, "average overhead {avg}");
+    }
+}

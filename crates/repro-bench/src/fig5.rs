@@ -1,0 +1,139 @@
+//! Figure 5: scalability of complete task replication on shared memory
+//! — speedup over 1 core for 1–16 cores, under per-task fault rates
+//! (each fault rate has its own 1-core baseline, as in the paper).
+
+use std::sync::Arc;
+
+use appfit_core::ReplicateAll;
+use cluster_sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use fault_inject::{InjectionConfig, SeededInjector};
+use workloads::shared_memory_workloads;
+
+use crate::context::{described_sim_graph, ExperimentScale, TextTable};
+
+/// Core counts swept (paper: up to 16 cores of one node).
+pub const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Per-task fault probabilities swept (paper: "per task fixed fault
+/// rates").
+pub const FAULT_RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
+
+/// One benchmark's speedup surface.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// `speedups[rate][core_idx]` over the same-rate 1-core run.
+    pub speedups: Vec<Vec<f64>>,
+}
+
+fn run_one(graph: &SimGraph, cores: usize, p_fault: f64, seed: u64) -> f64 {
+    let report = simulate(
+        graph,
+        &SimConfig {
+            cluster: ClusterSpec::shared_memory(cores),
+            cost: CostModel::default(),
+            policy: Arc::new(ReplicateAll),
+            faults: Arc::new(SeededInjector::new(seed)),
+            injection: if p_fault == 0.0 {
+                InjectionConfig::Disabled
+            } else {
+                InjectionConfig::PerTask {
+                    p_due: p_fault / 2.0,
+                    p_sdc: p_fault / 2.0,
+                }
+            },
+        },
+    );
+    report.makespan
+}
+
+/// Runs Figure 5 over the shared-memory benchmarks.
+pub fn run(scale: ExperimentScale, seed: u64) -> Vec<Fig5Row> {
+    shared_memory_workloads()
+        .iter()
+        .map(|w| {
+            let (_built, graph) = described_sim_graph(w.as_ref(), scale, 1.0);
+            let speedups = FAULT_RATES
+                .iter()
+                .map(|&p| {
+                    let baseline = run_one(&graph, 1, p, seed);
+                    CORE_COUNTS
+                        .iter()
+                        .map(|&c| baseline / run_one(&graph, c, p, seed))
+                        .collect()
+                })
+                .collect();
+            Fig5Row {
+                name: w.name().to_string(),
+                speedups,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 5.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut headers = vec!["benchmark".to_string(), "fault rate".to_string()];
+    for c in CORE_COUNTS {
+        headers.push(format!("{c} cores"));
+    }
+    let mut t = TextTable::new(headers);
+    for r in rows {
+        for (ri, &rate) in FAULT_RATES.iter().enumerate() {
+            let mut cells = vec![
+                if ri == 0 { r.name.clone() } else { String::new() },
+                format!("{rate:.0e}"),
+            ];
+            for s in &r.speedups[ri] {
+                cells.push(format!("{s:.2}"));
+            }
+            t.row(cells);
+        }
+    }
+    format!(
+        "Figure 5 — complete-replication scalability, shared memory (speedup over 1 core)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig5_speedups_are_sane() {
+        let rows = run(ExperimentScale::Small, 42);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            for rate_speedups in &r.speedups {
+                // Speedup at 1 core is 1 by construction.
+                assert!((rate_speedups[0] - 1.0).abs() < 1e-9);
+                // More cores never hurt.
+                for s in rate_speedups {
+                    assert!(*s >= 0.99, "{}: speedup {s}", r.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn medium_fig5_shape_matches_paper() {
+        // Figure 5's shape: the dense kernels scale with cores while
+        // Stream saturates the node's shared memory bandwidth.
+        let rows = run(ExperimentScale::Medium, 42);
+        let at16 = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .speedups[0][4]
+        };
+        assert!(at16("Perlin") > 10.0, "perlin {}", at16("Perlin"));
+        assert!(at16("SparseLU") > 5.0, "sparselu {}", at16("SparseLU"));
+        assert!(at16("Cholesky") > 4.0, "cholesky {}", at16("Cholesky"));
+        let stream = at16("Stream");
+        assert!(stream < 4.0, "stream {} should be bandwidth-bound", stream);
+        for name in ["Perlin", "SparseLU", "Cholesky", "FFT"] {
+            assert!(stream < at16(name), "stream must scale worst (vs {name})");
+        }
+    }
+}

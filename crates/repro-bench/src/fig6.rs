@@ -1,0 +1,118 @@
+//! Figure 6: scalability of complete task replication on the
+//! distributed benchmarks — speedup over 64 cores (4 nodes) for
+//! 64–1024 cores, under per-task fault rates.
+
+use std::sync::Arc;
+
+use appfit_core::ReplicateAll;
+use cluster_sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use fault_inject::{InjectionConfig, SeededInjector};
+use workloads::distributed_workloads;
+
+use crate::context::{described_sim_graph, ExperimentScale, TextTable};
+
+/// Node counts swept (16 cores each: 64 → 1024 cores, as in the paper).
+pub const NODE_COUNTS: [usize; 5] = [4, 8, 16, 32, 64];
+/// Per-task fault probabilities swept.
+pub const FAULT_RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
+
+/// One benchmark's speedup surface.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub name: String,
+    /// `speedups[rate][node_idx]` over the same-rate 4-node run.
+    pub speedups: Vec<Vec<f64>>,
+}
+
+fn run_one(graph: &SimGraph, nodes: usize, p_fault: f64, seed: u64) -> f64 {
+    // Fold the 64-node placement onto the smaller cluster.
+    let mut g = graph.clone();
+    g.remap_nodes(|n| n % nodes as u32);
+    let report = simulate(
+        &g,
+        &SimConfig {
+            cluster: ClusterSpec::distributed(nodes),
+            cost: CostModel::default(),
+            policy: Arc::new(ReplicateAll),
+            faults: Arc::new(SeededInjector::new(seed)),
+            injection: if p_fault == 0.0 {
+                InjectionConfig::Disabled
+            } else {
+                InjectionConfig::PerTask {
+                    p_due: p_fault / 2.0,
+                    p_sdc: p_fault / 2.0,
+                }
+            },
+        },
+    );
+    report.makespan
+}
+
+/// Runs Figure 6 over the distributed benchmarks.
+pub fn run(scale: ExperimentScale, seed: u64) -> Vec<Fig6Row> {
+    distributed_workloads()
+        .iter()
+        .map(|w| {
+            let (_built, graph) = described_sim_graph(w.as_ref(), scale, 1.0);
+            let speedups = FAULT_RATES
+                .iter()
+                .map(|&p| {
+                    let baseline = run_one(&graph, NODE_COUNTS[0], p, seed);
+                    NODE_COUNTS
+                        .iter()
+                        .map(|&n| baseline / run_one(&graph, n, p, seed))
+                        .collect()
+                })
+                .collect();
+            Fig6Row {
+                name: w.name().to_string(),
+                speedups,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 6.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let mut headers = vec!["benchmark".to_string(), "fault rate".to_string()];
+    for n in NODE_COUNTS {
+        headers.push(format!("{} cores", n * 16));
+    }
+    let mut t = TextTable::new(headers);
+    for r in rows {
+        for (ri, &rate) in FAULT_RATES.iter().enumerate() {
+            let mut cells = vec![
+                if ri == 0 { r.name.clone() } else { String::new() },
+                format!("{rate:.0e}"),
+            ];
+            for s in &r.speedups[ri] {
+                cells.push(format!("{s:.2}"));
+            }
+            t.row(cells);
+        }
+    }
+    format!(
+        "Figure 6 — complete-replication scalability, distributed (speedup over 64 cores)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig6_has_sane_speedups() {
+        let rows = run(ExperimentScale::Small, 7);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            for rate_speedups in &r.speedups {
+                assert!((rate_speedups[0] - 1.0).abs() < 1e-9, "{}", r.name);
+                for s in rate_speedups {
+                    assert!(*s > 0.0 && s.is_finite());
+                }
+            }
+        }
+    }
+}

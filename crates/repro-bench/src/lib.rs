@@ -1,0 +1,41 @@
+//! # repro-bench
+//!
+//! Experiment drivers regenerating every table and figure of the
+//! paper's evaluation (§V), plus the ablations DESIGN.md calls out.
+//! The `repro` binary is a thin CLI over these functions; integration
+//! tests call them directly at reduced scale.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`table1::run`] | Table I — benchmark inventory |
+//! | [`fig1::run`] | Figure 1 — dataflow vs fork-join |
+//! | [`fig3::run`] | Figure 3 — App_FIT replication percentages |
+//! | [`fig4::run`] | Figure 4 — replication overheads |
+//! | [`fig5::run`] | Figure 5 — shared-memory scalability |
+//! | [`fig6::run`] | Figure 6 — distributed scalability |
+//! | [`ablations`] | oracle gap, threshold sweep, accounting modes |
+//!
+//! ## Calibration note (EXPERIMENTS.md has the full discussion)
+//!
+//! The paper omits its benchmarks' absolute FIT values and thresholds
+//! ("for brevity"). This reproduction sets each benchmark's threshold
+//! to the FIT its own App_FIT accounting would accumulate running
+//! unprotected at **today's (1×) rates** — the self-consistent reading
+//! of "decrease the current FITs of our benchmarks by 10× [at 10×
+//! rates] so that the overall application FITs stay the same". Absolute
+//! replication percentages therefore differ from the paper's (their
+//! per-task rate distributions are not recoverable), while the shape —
+//! far-below-100 % replication, 5× below 10×, finer tasks tracking the
+//! threshold more tightly, task-% vs time-% divergence on benchmarks
+//! with heterogeneous tasks — is reproduced.
+
+pub mod ablations;
+pub mod context;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+
+pub use context::{natural_cluster, sum_rates_at_1x, ExperimentScale};

@@ -1,0 +1,92 @@
+//! Table I: the benchmark inventory, with this reproduction's graph
+//! statistics alongside the paper's configurations.
+
+use fit_model::RateModel;
+use workloads::{all_workloads, WorkloadKind};
+
+use crate::context::{described_sim_graph, ExperimentScale, TextTable};
+
+/// One Table-I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Shared-memory or distributed.
+    pub kind: WorkloadKind,
+    /// The paper's configuration string.
+    pub paper_config: String,
+    /// Tasks in the (re)built graph.
+    pub tasks: usize,
+    /// Dependency edges.
+    pub edges: usize,
+    /// Benchmark input bytes.
+    pub input_bytes: u64,
+    /// Benchmark FIT at 1× (from input size, paper §IV-A).
+    pub input_fit: f64,
+}
+
+/// Builds every benchmark and collects inventory rows.
+pub fn run(scale: ExperimentScale) -> Vec<Table1Row> {
+    let model = RateModel::roadrunner();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let (built, _) = described_sim_graph(w.as_ref(), scale, 1.0);
+            Table1Row {
+                name: w.name().to_string(),
+                kind: w.kind(),
+                paper_config: w.paper_config().to_string(),
+                tasks: built.graph.len(),
+                edges: built.graph.edge_count(),
+                input_bytes: built.arena.total_bytes(),
+                input_fit: model.benchmark_fit(built.arena.total_bytes()).value(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as text.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "kind",
+        "paper configuration",
+        "tasks",
+        "edges",
+        "input",
+        "FIT@1x",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            match r.kind {
+                WorkloadKind::SharedMemory => "shared".into(),
+                WorkloadKind::Distributed => "distrib".into(),
+            },
+            r.paper_config.clone(),
+            r.tasks.to_string(),
+            r.edges.to_string(),
+            format!("{:.1} MB", r.input_bytes as f64 / 1e6),
+            format!("{:.3}", r.input_fit),
+        ]);
+    }
+    format!("Table I — benchmark inventory\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inventory_has_all_nine() {
+        let rows = run(ExperimentScale::Small);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(r.tasks > 0, "{} has tasks", r.name);
+            assert!(r.input_fit > 0.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("SparseLU"));
+        assert!(text.contains("Linpack"));
+    }
+}

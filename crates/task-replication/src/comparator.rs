@@ -1,0 +1,173 @@
+//! Result comparators for replica synchronization (paper Figure 2, ③).
+
+/// Compares the outputs of a task and its replica.
+///
+/// The paper uses bitwise comparison but notes that "other comparators
+/// such as residue error checkers can easily be deployed in the
+/// runtime" — hence the trait.
+pub trait Comparator: Send + Sync {
+    /// `true` iff `a` and `b` are considered equal.
+    fn equal(&self, a: &[f64], b: &[f64]) -> bool;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Exact bit-pattern equality (the paper's default). Detects every
+/// injected bit flip, including flips that produce NaN (where `==` on
+/// floats would fail to).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitwiseComparator;
+
+impl Comparator for BitwiseComparator {
+    fn equal(&self, a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    fn name(&self) -> &'static str {
+        "bitwise"
+    }
+}
+
+/// Absolute-tolerance comparison, for kernels that are deliberately
+/// non-deterministic across replicas (e.g. reductions with different
+/// summation orders). Tolerant comparison trades detection strength for
+/// fewer false positives.
+#[derive(Debug, Clone, Copy)]
+pub struct ToleranceComparator {
+    /// Maximum absolute difference per element.
+    pub abs_tol: f64,
+}
+
+impl ToleranceComparator {
+    /// A comparator tolerating `abs_tol` per element.
+    pub fn new(abs_tol: f64) -> Self {
+        assert!(abs_tol >= 0.0 && abs_tol.is_finite());
+        ToleranceComparator { abs_tol }
+    }
+}
+
+impl Comparator for ToleranceComparator {
+    fn equal(&self, a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                (x.is_nan() && y.is_nan()) || (x - y).abs() <= self.abs_tol
+            })
+    }
+
+    fn name(&self) -> &'static str {
+        "tolerance"
+    }
+}
+
+/// Residue comparison (the paper's "residue error checkers" remark):
+/// instead of comparing every element, compare a pair of streaming
+/// residues — a bitwise XOR fold and a rotating additive fold over the
+/// raw bit patterns. One pass per copy, O(1) state, and any single bit
+/// flip is guaranteed to change the XOR residue.
+///
+/// Trade-off: multi-bit corruptions that collide on both residues
+/// escape detection (probability ≈ 2⁻¹²⁸ for random corruption), in
+/// exchange for never materializing per-element differences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidueComparator;
+
+impl ResidueComparator {
+    /// The (xor, rotating-sum) residue of a value stream.
+    pub fn residue(data: &[f64]) -> (u64, u64) {
+        let mut xor = 0u64;
+        let mut sum = 0u64;
+        for v in data {
+            let bits = v.to_bits();
+            xor ^= bits;
+            sum = sum.rotate_left(7).wrapping_add(bits);
+        }
+        (xor, sum)
+    }
+}
+
+impl Comparator for ResidueComparator {
+    fn equal(&self, a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && Self::residue(a) == Self::residue(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "residue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_detects_single_flip() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut b = a.clone();
+        assert!(BitwiseComparator.equal(&a, &b));
+        b[1] = f64::from_bits(b[1].to_bits() ^ 1);
+        assert!(!BitwiseComparator.equal(&a, &b));
+    }
+
+    #[test]
+    fn bitwise_detects_nan_producing_flip() {
+        let a = vec![f64::NAN];
+        let b = vec![f64::NAN];
+        // Same NaN bit pattern: equal bitwise (unlike `==`).
+        assert!(BitwiseComparator.equal(&a, &b));
+        let c = vec![f64::from_bits(f64::NAN.to_bits() ^ 1)];
+        assert!(!BitwiseComparator.equal(&a, &c));
+    }
+
+    #[test]
+    fn bitwise_length_mismatch() {
+        assert!(!BitwiseComparator.equal(&[1.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn tolerance_accepts_small_differences() {
+        let cmp = ToleranceComparator::new(1e-9);
+        assert!(cmp.equal(&[1.0], &[1.0 + 1e-10]));
+        assert!(!cmp.equal(&[1.0], &[1.0 + 1e-6]));
+    }
+
+    #[test]
+    fn tolerance_handles_nan_pairs() {
+        let cmp = ToleranceComparator::new(1e-9);
+        assert!(cmp.equal(&[f64::NAN], &[f64::NAN]));
+        assert!(!cmp.equal(&[f64::NAN], &[1.0]));
+    }
+
+    #[test]
+    fn residue_detects_any_single_bit_flip() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64 * 0.37 + 1.0).collect();
+        for idx in [0usize, 13, 63] {
+            for bit in 0..64u32 {
+                let mut corrupted = data.clone();
+                corrupted[idx] = f64::from_bits(corrupted[idx].to_bits() ^ (1u64 << bit));
+                assert!(
+                    !ResidueComparator.equal(&data, &corrupted),
+                    "flip at {idx} bit {bit} escaped"
+                );
+            }
+        }
+        assert!(ResidueComparator.equal(&data, &data.clone()));
+    }
+
+    #[test]
+    fn residue_detects_swapped_elements() {
+        // The rotating sum makes the residue order-sensitive, which a
+        // plain XOR/sum pair would not be.
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert!(!ResidueComparator.equal(&a, &b));
+    }
+
+    #[test]
+    fn residue_length_mismatch() {
+        assert!(!ResidueComparator.equal(&[1.0], &[1.0, 1.0]));
+    }
+}

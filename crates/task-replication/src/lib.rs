@@ -1,0 +1,35 @@
+//! # task-replication
+//!
+//! The paper's task-replication design (Subasi et al., CLUSTER 2016,
+//! §III and Figure 2), implemented as [`dataflow_rt::ExecutionHooks`] so
+//! it slots underneath unmodified applications — the transparency the
+//! paper claims for its Nanos integration.
+//!
+//! For a task selected for replication:
+//!
+//! 1. **Checkpoint** the task's inputs (①);
+//! 2. create a **replica** with shadow output storage and execute both
+//!    (②) — the replica reads the pristine checkpointed inputs;
+//! 3. **compare** the two results at the task-end synchronization point
+//!    (③) — bitwise by default, pluggable ([`Comparator`]);
+//! 4. on mismatch (an SDC), **re-execute** from the checkpoint (④);
+//! 5. take the **majority vote** of the three results (⑤).
+//!
+//! Crashes (DUEs) are recovered by adopting the surviving replica's
+//! results, or by re-executing from the checkpoint when every attempt
+//! crashed. Unreplicated tasks run bare: injected faults on them are
+//! recorded as *uncovered* (an SDC silently corrupts the final output;
+//! a DUE would crash the application) — these are the events App_FIT's
+//! threshold accounting bounds.
+//!
+//! Fault injection is built in (driven by a [`fault_inject::FaultModel`])
+//! so recovery paths are exercised deterministically in tests and
+//! experiments; production use simply installs [`fault_inject::NoFaults`].
+
+pub mod comparator;
+pub mod engine;
+pub mod vote;
+
+pub use comparator::{BitwiseComparator, Comparator, ResidueComparator, ToleranceComparator};
+pub use engine::{CheckpointStats, ReplicationEngine};
+pub use vote::{majority_vote, VoteResult};

@@ -1,0 +1,104 @@
+//! Majority voting across three task results (paper Figure 2, ⑤).
+
+/// Outcome of a three-way vote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoteResult {
+    /// The elected result, element by element.
+    pub winner: Vec<f64>,
+    /// Elements where all three copies disagreed (no majority). The
+    /// re-execution's value is used for these; a non-zero count means
+    /// the corruption exceeded the single-fault model the vote assumes.
+    pub unresolved: usize,
+}
+
+/// Element-wise 2-of-3 majority vote over bit patterns.
+///
+/// `a` is the original's result, `b` the replica's, `c` the
+/// re-execution's. Ties are impossible with three voters; when all
+/// three differ the re-execution (`c`) is trusted, being the attempt
+/// taken after the mismatch was detected.
+pub fn majority_vote(a: &[f64], b: &[f64], c: &[f64]) -> VoteResult {
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "vote requires equally sized results"
+    );
+    let mut winner = Vec::with_capacity(a.len());
+    let mut unresolved = 0usize;
+    for i in 0..a.len() {
+        let (xa, xb, xc) = (a[i].to_bits(), b[i].to_bits(), c[i].to_bits());
+        let w = if xa == xb || xa == xc {
+            a[i]
+        } else if xb == xc {
+            b[i]
+        } else {
+            unresolved += 1;
+            c[i]
+        };
+        winner.push(w);
+    }
+    VoteResult { winner, unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous() {
+        let v = majority_vote(&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(v.winner, vec![1.0, 2.0]);
+        assert_eq!(v.unresolved, 0);
+    }
+
+    #[test]
+    fn single_corrupted_copy_loses_everywhere() {
+        let good = vec![1.0, 2.0, 3.0];
+        let mut bad = good.clone();
+        bad[0] = -1.0;
+        bad[2] = f64::NAN;
+        for (a, b, c) in [
+            (bad.clone(), good.clone(), good.clone()),
+            (good.clone(), bad.clone(), good.clone()),
+            (good.clone(), good.clone(), bad.clone()),
+        ] {
+            let v = majority_vote(&a, &b, &c);
+            assert_eq!(v.winner.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                       good.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+            assert_eq!(v.unresolved, 0);
+        }
+    }
+
+    #[test]
+    fn different_elements_corrupted_in_different_copies_still_recover() {
+        // Copy a corrupted at index 0, copy b at index 1: the vote
+        // recovers both because each element still has a 2-majority.
+        let truth = vec![5.0, 6.0];
+        let a = vec![0.0, 6.0];
+        let b = vec![5.0, 0.0];
+        let c = truth.clone();
+        let v = majority_vote(&a, &b, &c);
+        assert_eq!(v.winner, truth);
+        assert_eq!(v.unresolved, 0);
+    }
+
+    #[test]
+    fn all_three_differ_falls_back_to_reexecution() {
+        let v = majority_vote(&[1.0], &[2.0], &[3.0]);
+        assert_eq!(v.winner, vec![3.0]);
+        assert_eq!(v.unresolved, 1);
+    }
+
+    #[test]
+    fn nan_patterns_vote_bitwise() {
+        let nan = f64::NAN;
+        let v = majority_vote(&[nan], &[nan], &[1.0]);
+        assert!(v.winner[0].is_nan());
+        assert_eq!(v.unresolved, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn size_mismatch_panics() {
+        majority_vote(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests: the replication engine preserves results under
+//! arbitrary single-task fault scripts and random fault storms.
+
+use std::sync::Arc;
+
+use appfit_core::ReplicateAll;
+use dataflow_rt::{DataArena, Executor, Region, TaskGraph, TaskSpec};
+use fault_inject::{ErrorClass, FaultPlan, InjectionConfig, SeededInjector};
+use fit_model::RateModel;
+use proptest::prelude::*;
+use task_replication::ReplicationEngine;
+
+/// Builds a chain of `n` affine update tasks over a small vector and
+/// returns the expected final contents.
+fn affine_chain(n: usize, len: usize) -> (TaskGraph, DataArena, Vec<f64>) {
+    let mut arena = DataArena::new();
+    let v = arena.alloc_from("v", (0..len).map(|i| i as f64).collect());
+    let mut g = TaskGraph::new();
+    for k in 0..n {
+        let a = 1.0 + (k % 3) as f64 * 0.5;
+        let b = (k % 5) as f64;
+        g.submit(
+            TaskSpec::new("affine")
+                .updates(Region::full(v, len))
+                .kernel(move |ctx| {
+                    for x in ctx.w(0).as_mut_slice() {
+                        *x = a * *x + b;
+                    }
+                }),
+        );
+    }
+    let mut want: Vec<f64> = (0..len).map(|i| i as f64).collect();
+    for k in 0..n {
+        let a = 1.0 + (k % 3) as f64 * 0.5;
+        let b = (k % 5) as f64;
+        for x in &mut want {
+            *x = a * *x + b;
+        }
+    }
+    (g, arena, want)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any script of SDC/DUE faults on attempts 0–1 of any tasks is
+    /// fully absorbed by complete replication: final results bit-exact.
+    #[test]
+    fn scripted_faults_never_corrupt_replicated_chain(
+        script in proptest::collection::vec(
+            (0u64..8, 0u32..2, proptest::bool::ANY),
+            0..10
+        ),
+    ) {
+        let (graph, mut arena, want) = affine_chain(8, 16);
+        let plan = FaultPlan::new();
+        for (task, attempt, is_due) in &script {
+            plan.insert(
+                *task,
+                *attempt,
+                if *is_due { ErrorClass::Due } else { ErrorClass::Sdc },
+            );
+        }
+        let engine = Arc::new(
+            ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
+                .with_faults(Arc::new(plan), InjectionConfig::Disabled),
+        );
+        let log = engine.log();
+        Executor::sequential().with_hooks(engine).run(&graph, &mut arena);
+        let v = dataflow_rt::BufferId::from_raw(0);
+        let got = arena.read(v);
+        prop_assert_eq!(got, &want[..], "script {:?}", script);
+        // Every injected SDC must have been covered.
+        prop_assert_eq!(log.counts().uncovered_sdc, 0);
+    }
+
+    /// Random fault storms under complete replication: whenever the
+    /// engine reports full coverage (no crash, no uncovered SDC),
+    /// results are bit-exact — i.e. the engine's honesty flags are
+    /// exactly the ground truth for "results may be corrupted".
+    /// (Double faults can defeat a 2-of-3 vote — e.g. SDCs striking the
+    /// original *and* the re-execution at the same element — and the
+    /// engine must flag precisely those cases as uncovered.)
+    #[test]
+    fn random_storms_never_corrupt_silently(seed in any::<u64>(), p in 0.0f64..0.3) {
+        let (graph, mut arena, want) = affine_chain(10, 8);
+        let engine = Arc::new(
+            ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
+                .with_faults(
+                    Arc::new(SeededInjector::new(seed)),
+                    InjectionConfig::PerTask { p_due: p / 2.0, p_sdc: p / 2.0 },
+                )
+                .with_max_crash_retries(8),
+        );
+        let report = Executor::sequential().with_hooks(engine).run(&graph, &mut arena);
+        let fully_covered = report.crashed_count() == 0
+            && report.records.iter().all(|r| !r.uncovered_sdc);
+        let v = dataflow_rt::BufferId::from_raw(0);
+        let correct = arena.read(v) == &want[..];
+        if fully_covered {
+            prop_assert!(correct, "covered run must be bit-exact");
+        } else if !correct {
+            // Corruption is permitted only when the engine flagged it.
+            prop_assert!(report.records.iter().any(|r| r.uncovered_sdc)
+                || report.crashed_count() > 0);
+        }
+    }
+
+    /// The engine's attempt accounting: fault-free replicated tasks run
+    /// exactly twice; each injected fault adds at least one attempt
+    /// beyond the minimum when it needs recovery.
+    #[test]
+    fn attempt_accounting(seed in any::<u64>()) {
+        let (graph, mut arena, _want) = affine_chain(6, 8);
+        let engine = Arc::new(
+            ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
+                .with_faults(
+                    Arc::new(SeededInjector::new(seed)),
+                    InjectionConfig::PerTask { p_due: 0.1, p_sdc: 0.1 },
+                ),
+        );
+        let report = Executor::sequential().with_hooks(engine).run(&graph, &mut arena);
+        for rec in &report.records {
+            prop_assert!(rec.attempts >= 2, "replicated tasks run at least twice");
+            if rec.sdc_detected || rec.due_recovered {
+                prop_assert!(rec.attempts >= 3);
+            }
+            prop_assert!(rec.total_nanos >= rec.base_nanos);
+        }
+    }
+}

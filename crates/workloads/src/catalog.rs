@@ -1,0 +1,71 @@
+//! The Table-I benchmark registry.
+
+use crate::cholesky::Cholesky;
+use crate::fft2d::Fft2d;
+use crate::linpack::Linpack;
+use crate::matmul::Matmul;
+use crate::nbody::Nbody;
+use crate::perlin_noise::PerlinNoise;
+use crate::pingpong::Pingpong;
+use crate::sparse_lu::SparseLu;
+use crate::stream::Stream;
+use crate::{Workload, WorkloadKind};
+
+/// All nine benchmarks, in Table-I order (shared-memory first).
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(SparseLu),
+        Box::new(Cholesky),
+        Box::new(Fft2d),
+        Box::new(PerlinNoise),
+        Box::new(Stream),
+        Box::new(Nbody),
+        Box::new(Matmul),
+        Box::new(Pingpong),
+        Box::new(Linpack),
+    ]
+}
+
+/// The five shared-memory benchmarks (paper Figure 5).
+pub fn shared_memory_workloads() -> Vec<Box<dyn Workload>> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.kind() == WorkloadKind::SharedMemory)
+        .collect()
+}
+
+/// The four distributed benchmarks (paper Figure 6).
+pub fn distributed_workloads() -> Vec<Box<dyn Workload>> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.kind() == WorkloadKind::Distributed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_inventory() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 9);
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SparseLU", "Cholesky", "FFT", "Perlin", "Stream", "Nbody", "Matmul",
+                "Pingpong", "Linpack"
+            ]
+        );
+        assert_eq!(shared_memory_workloads().len(), 5);
+        assert_eq!(distributed_workloads().len(), 4);
+    }
+
+    #[test]
+    fn paper_configs_are_recorded() {
+        for w in all_workloads() {
+            assert!(!w.paper_config().is_empty(), "{}", w.name());
+        }
+    }
+}

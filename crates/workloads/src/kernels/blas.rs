@@ -1,0 +1,210 @@
+//! Dense linear-algebra tile kernels (the reproduction's CBLAS stand-in).
+
+/// `C := C + alpha · A·B` on `n×n` row-major tiles.
+///
+/// The i-k-j loop order streams B rows and keeps the inner loop
+/// vectorizable — the classic cache-friendly ordering for row-major
+/// GEMM.
+pub fn dgemm(c: &mut [f64], a: &[f64], b: &[f64], n: usize, alpha: f64) {
+    debug_assert_eq!(c.len(), n * n);
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = alpha * a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// `C := C + alpha · A·Bᵀ` on `n×n` row-major tiles — the GEMM variant
+/// of blocked Cholesky's trailing update (`A_ij −= A_ik·A_jkᵀ`).
+pub fn dgemm_nt(c: &mut [f64], a: &[f64], b: &[f64], n: usize, alpha: f64) {
+    debug_assert_eq!(c.len(), n * n);
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut dot = 0.0;
+            for k in 0..n {
+                dot += a[i * n + k] * b[j * n + k];
+            }
+            c[i * n + j] += alpha * dot;
+        }
+    }
+}
+
+/// `C := C − A·Aᵀ`, updating only the lower triangle (plus diagonal) of
+/// the `n×n` tile `C` — the SYRK update of blocked Cholesky.
+pub fn dsyrk_lower(c: &mut [f64], a: &[f64], n: usize) {
+    debug_assert_eq!(c.len(), n * n);
+    debug_assert_eq!(a.len(), n * n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut dot = 0.0;
+            for k in 0..n {
+                dot += a[i * n + k] * a[j * n + k];
+            }
+            c[i * n + j] -= dot;
+        }
+    }
+}
+
+/// `X := X · L⁻ᵀ` where `L` is lower triangular with a non-unit
+/// diagonal — the TRSM of blocked right-looking Cholesky
+/// (`A_ik := A_ik · L_kk⁻ᵀ`).
+pub fn dtrsm_right_lower_trans(l: &[f64], x: &mut [f64], n: usize) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(x.len(), n * n);
+    // Solve X_new · Lᵀ = X row by row: for each row r of X,
+    // forward-substitute through Lᵀ's columns (i.e. L's rows).
+    for r in 0..n {
+        let row = &mut x[r * n..(r + 1) * n];
+        for j in 0..n {
+            let mut v = row[j];
+            for k in 0..j {
+                v -= row[k] * l[j * n + k];
+            }
+            row[j] = v / l[j * n + j];
+        }
+    }
+}
+
+/// `y := y + a·x` over equal-length slices (Stream's triad companion).
+pub fn daxpy(y: &mut [f64], x: &[f64], a: f64) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(c: &mut [f64], a: &[f64], b: &[f64], n: usize, alpha: f64) {
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[i * n + k] * b[k * n + j];
+                }
+                c[i * n + j] += alpha * acc;
+            }
+        }
+    }
+
+    fn det_matrix(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random values in [-1, 1].
+        (0..n * n)
+            .map(|i| {
+                let h = (i as u64 + 1)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(seed);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dgemm_matches_naive() {
+        let n = 13;
+        let a = det_matrix(n, 1);
+        let b = det_matrix(n, 2);
+        let mut c1 = det_matrix(n, 3);
+        let mut c2 = c1.clone();
+        dgemm(&mut c1, &a, &b, n, -1.0);
+        naive_gemm(&mut c2, &a, &b, n, -1.0);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dsyrk_matches_gemm_on_lower_triangle() {
+        let n = 9;
+        let a = det_matrix(n, 4);
+        let mut c1 = det_matrix(n, 5);
+        let mut c2 = c1.clone();
+        dsyrk_lower(&mut c1, &a, n);
+        // Reference: full C -= A·Aᵀ via gemm with Bᵀ.
+        let mut at = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                at[i * n + j] = a[j * n + i];
+            }
+        }
+        naive_gemm(&mut c2, &a, &at, n, -1.0);
+        for i in 0..n {
+            for j in 0..=i {
+                assert!((c1[i * n + j] - c2[i * n + j]).abs() < 1e-12);
+            }
+            // Upper triangle untouched by syrk.
+            for j in i + 1..n {
+                assert_ne!(c1[i * n + j], c2[i * n + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn dtrsm_right_lower_trans_solves() {
+        let n = 8;
+        // A well-conditioned lower-triangular L.
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                l[i * n + j] = 0.3 / (1.0 + (i + j) as f64);
+            }
+            l[i * n + i] = 2.0 + i as f64 * 0.1;
+        }
+        let x0 = det_matrix(n, 6);
+        let mut x = x0.clone();
+        dtrsm_right_lower_trans(&l, &mut x, n);
+        // Check X_new · Lᵀ == X0.
+        let mut lt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                lt[i * n + j] = l[j * n + i];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        naive_gemm(&mut recon, &x, &lt, n, 1.0);
+        for (r, e) in recon.iter().zip(&x0) {
+            assert!((r - e).abs() < 1e-10, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn dgemm_nt_matches_explicit_transpose() {
+        let n = 7;
+        let a = det_matrix(n, 8);
+        let b = det_matrix(n, 9);
+        let mut bt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                bt[i * n + j] = b[j * n + i];
+            }
+        }
+        let mut c1 = det_matrix(n, 10);
+        let mut c2 = c1.clone();
+        dgemm_nt(&mut c1, &a, &b, n, -1.0);
+        naive_gemm(&mut c2, &a, &bt, n, -1.0);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn daxpy_basic() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        daxpy(&mut y, &[10.0, 20.0, 30.0], 0.5);
+        assert_eq!(y, vec![6.0, 12.0, 18.0]);
+    }
+}

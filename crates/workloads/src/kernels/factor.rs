@@ -1,0 +1,227 @@
+//! Tile factorization kernels: Cholesky (POTRF) and LU without
+//! pivoting (the SparseLU/Linpack `lu0`), plus the forward/backward
+//! panel solves.
+//!
+//! The LU kernels omit pivoting, as the BSC SparseLU benchmark does;
+//! the workloads feed diagonally dominant matrices, for which unpivoted
+//! LU is backward stable. DESIGN.md records the simplification.
+
+/// In-place Cholesky factorization of an `n×n` SPD tile: on return the
+/// lower triangle holds `L` with `A = L·Lᵀ`. The strict upper triangle
+/// is zeroed. Returns `Err` if a non-positive pivot appears (matrix not
+/// positive definite).
+pub fn dpotrf(a: &mut [f64], n: usize) -> Result<(), String> {
+    debug_assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for k in 0..j {
+            d -= a[j * n + k] * a[j * n + k];
+        }
+        if d <= 0.0 {
+            return Err(format!("non-positive pivot {d} at column {j}"));
+        }
+        let d = d.sqrt();
+        a[j * n + j] = d;
+        for i in j + 1..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = v / d;
+        }
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            a[i * n + j] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// In-place unpivoted LU of an `n×n` tile: on return the tile packs a
+/// unit-diagonal `L` (strict lower) and `U` (upper). The `lu0` kernel
+/// of SparseLU.
+pub fn dgetrf_nopiv(a: &mut [f64], n: usize) {
+    debug_assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        let pivot = a[k * n + k];
+        debug_assert!(pivot != 0.0, "zero pivot at {k}");
+        for i in k + 1..n {
+            let lik = a[i * n + k] / pivot;
+            a[i * n + k] = lik;
+            for j in k + 1..n {
+                a[i * n + j] -= lik * a[k * n + j];
+            }
+        }
+    }
+}
+
+/// `B := L⁻¹·B` where `L` is the unit-diagonal lower factor packed in
+/// `lu` (SparseLU's `fwd`: updates a block to the right of the
+/// diagonal).
+pub fn fwd_lower_unit(lu: &[f64], b: &mut [f64], n: usize) {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    for k in 0..n {
+        for i in k + 1..n {
+            let lik = lu[i * n + k];
+            if lik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                b[i * n + j] -= lik * b[k * n + j];
+            }
+        }
+    }
+}
+
+/// `B := B·U⁻¹` where `U` is the upper factor packed in `lu`
+/// (SparseLU's `bdiv`: updates a block below the diagonal).
+pub fn bdiv_upper(lu: &[f64], b: &mut [f64], n: usize) {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(b.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut v = b[i * n + j];
+            for k in 0..j {
+                v -= b[i * n + k] * lu[k * n + j];
+            }
+            b[i * n + j] = v / lu[j * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::blas::dgemm;
+
+    fn spd_matrix(n: usize) -> Vec<f64> {
+        // A = Mᵀ·M + n·I with deterministic M.
+        let m: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 37 + 11) % 17) as f64 / 17.0 - 0.5)
+            .collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += m[k * n + i] * m[k * n + j];
+                }
+                a[i * n + j] = acc + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    fn diag_dominant(n: usize, seed: u64) -> Vec<f64> {
+        let mut a: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let h = (i as u64 + seed + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        for i in 0..n {
+            a[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn dpotrf_reconstructs() {
+        let n = 12;
+        let a0 = spd_matrix(n);
+        let mut l = a0.clone();
+        dpotrf(&mut l, n).expect("SPD");
+        // L·Lᵀ == A.
+        let mut lt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                lt[i * n + j] = l[j * n + i];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        dgemm(&mut recon, &l, &lt, n, 1.0);
+        for (r, e) in recon.iter().zip(&a0) {
+            assert!((r - e).abs() < 1e-9, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn dpotrf_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(dpotrf(&mut a, 2).is_err());
+    }
+
+    #[test]
+    fn lu_reconstructs() {
+        let n = 10;
+        let a0 = diag_dominant(n, 7);
+        let mut lu = a0.clone();
+        dgetrf_nopiv(&mut lu, n);
+        // Unpack L (unit diag) and U; check L·U == A.
+        let mut l = vec![0.0; n * n];
+        let mut u = vec![0.0; n * n];
+        for i in 0..n {
+            l[i * n + i] = 1.0;
+            for j in 0..i {
+                l[i * n + j] = lu[i * n + j];
+            }
+            for j in i..n {
+                u[i * n + j] = lu[i * n + j];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        dgemm(&mut recon, &l, &u, n, 1.0);
+        for (r, e) in recon.iter().zip(&a0) {
+            assert!((r - e).abs() < 1e-9, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn fwd_solves_unit_lower() {
+        let n = 8;
+        let a0 = diag_dominant(n, 3);
+        let mut lu = a0.clone();
+        dgetrf_nopiv(&mut lu, n);
+        let b0 = diag_dominant(n, 9);
+        let mut b = b0.clone();
+        fwd_lower_unit(&lu, &mut b, n);
+        // L·B_new == B0.
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            l[i * n + i] = 1.0;
+            for j in 0..i {
+                l[i * n + j] = lu[i * n + j];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        dgemm(&mut recon, &l, &b, n, 1.0);
+        for (r, e) in recon.iter().zip(&b0) {
+            assert!((r - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bdiv_solves_upper_from_right() {
+        let n = 8;
+        let a0 = diag_dominant(n, 5);
+        let mut lu = a0.clone();
+        dgetrf_nopiv(&mut lu, n);
+        let b0 = diag_dominant(n, 13);
+        let mut b = b0.clone();
+        bdiv_upper(&lu, &mut b, n);
+        // B_new·U == B0.
+        let mut u = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                u[i * n + j] = lu[i * n + j];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        dgemm(&mut recon, &b, &u, n, 1.0);
+        for (r, e) in recon.iter().zip(&b0) {
+            assert!((r - e).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Radix-2 complex FFT on interleaved `[re, im, re, im, …]` buffers.
+
+use std::f64::consts::PI;
+
+/// Bit-reversal permutation of `n` complex values (2n doubles).
+pub fn bit_reverse_permute(data: &mut [f64], n: usize) {
+    debug_assert_eq!(data.len(), 2 * n);
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(2 * i, 2 * j);
+            data.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+}
+
+/// In-place iterative radix-2 FFT of `n` complex values (power of two).
+/// `inverse` computes the unscaled inverse transform; callers divide by
+/// `n` to invert exactly.
+pub fn fft1d(data: &mut [f64], n: usize, inverse: bool) {
+    debug_assert_eq!(data.len(), 2 * n);
+    debug_assert!(n.is_power_of_two());
+    bit_reverse_permute(data, n);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut start = 0;
+        while start < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = 2 * (start + k);
+                let b = 2 * (start + k + len / 2);
+                let (xr, xi) = (data[a], data[a + 1]);
+                let (yr, yi) = (data[b], data[b + 1]);
+                let (tr, ti) = (yr * cr - yi * ci, yr * ci + yi * cr);
+                data[a] = xr + tr;
+                data[a + 1] = xi + ti;
+                data[b] = xr - tr;
+                data[b + 1] = xi - ti;
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// FFTs each of the `rows` rows of `width` complex values stored
+/// back-to-back in `data` (the benchmark's row-block kernel).
+pub fn fft_rows(data: &mut [f64], rows: usize, width: usize, inverse: bool) {
+    debug_assert_eq!(data.len(), 2 * rows * width);
+    for r in 0..rows {
+        fft1d(&mut data[2 * r * width..2 * (r + 1) * width], width, inverse);
+    }
+}
+
+/// O(n²) direct DFT reference (interleaved complex), for verification.
+pub fn dft2_reference(input: &[f64], n: usize, inverse: bool) -> Vec<f64> {
+    debug_assert_eq!(input.len(), 2 * n);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![0.0; 2 * n];
+    for k in 0..n {
+        let (mut sr, mut si) = (0.0, 0.0);
+        for t in 0..n {
+            let ang = sign * 2.0 * PI * (k * t) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            let (xr, xi) = (input[2 * t], input[2 * t + 1]);
+            sr += xr * c - xi * s;
+            si += xr * s + xi * c;
+        }
+        out[2 * k] = sr;
+        out[2 * k + 1] = si;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..2 * n)
+            .map(|i| ((i * 31 + 7) % 23) as f64 / 23.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_dft_reference() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = signal(n);
+            let mut got = x.clone();
+            fft1d(&mut got, n, false);
+            let want = dft2_reference(&x, n, false);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9 * n as f64, "n={n}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 128;
+        let x = signal(n);
+        let mut y = x.clone();
+        fft1d(&mut y, n, false);
+        fft1d(&mut y, n, true);
+        for (g, w) in y.iter().zip(&x) {
+            assert!((g / n as f64 - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let mut x = vec![0.0; 2 * n];
+        x[0] = 1.0;
+        fft1d(&mut x, n, false);
+        for k in 0..n {
+            assert!((x[2 * k] - 1.0).abs() < 1e-12);
+            assert!(x[2 * k + 1].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a = signal(n);
+        let b: Vec<f64> = signal(n).iter().map(|v| v * 0.37 + 0.11).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft1d(&mut fa, n, false);
+        fft1d(&mut fb, n, false);
+        fft1d(&mut fs, n, false);
+        for i in 0..2 * n {
+            assert!((fs[i] - fa[i] - fb[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_rows_transforms_each_row() {
+        let (rows, width) = (3, 8);
+        let mut data = Vec::new();
+        for r in 0..rows {
+            data.extend(signal(width).iter().map(|v| v + r as f64));
+        }
+        let orig = data.clone();
+        fft_rows(&mut data, rows, width, false);
+        for r in 0..rows {
+            let want = dft2_reference(&orig[2 * r * width..2 * (r + 1) * width], width, false);
+            let got = &data[2 * r * width..2 * (r + 1) * width];
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let n = 32;
+        let x = signal(n);
+        let mut y = x.clone();
+        bit_reverse_permute(&mut y, n);
+        bit_reverse_permute(&mut y, n);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,18 @@
+//! Numeric kernels backing the benchmark task bodies.
+//!
+//! All matrix kernels operate on square row-major tiles (the workloads
+//! store matrices tile-major so every tile is one contiguous region).
+//! Each kernel has a reference-checked unit test; the benchmarks'
+//! end-to-end verifiers then check whole-workload numerics.
+
+pub mod blas;
+pub mod factor;
+pub mod fft;
+pub mod nbody;
+pub mod perlin;
+
+pub use blas::{daxpy, dgemm, dgemm_nt, dsyrk_lower, dtrsm_right_lower_trans};
+pub use factor::{dgetrf_nopiv, dpotrf, fwd_lower_unit, bdiv_upper};
+pub use fft::{bit_reverse_permute, dft2_reference, fft1d, fft_rows};
+pub use nbody::accumulate_forces;
+pub use perlin::Perlin;

@@ -1,0 +1,94 @@
+//! Pairwise gravitational force accumulation for the N-body benchmark.
+
+/// Accumulates into `force_i` (3 components per body, `[fx,fy,fz,…]`)
+/// the softened gravitational forces exerted on the bodies at `pos_i`
+/// by the bodies at `pos_j` with masses `mass_j`.
+///
+/// `eps` is the Plummer softening length; `g` the gravitational
+/// constant. Self-interactions (identical positions) contribute zero
+/// through the softening.
+pub fn accumulate_forces(
+    force_i: &mut [f64],
+    pos_i: &[f64],
+    pos_j: &[f64],
+    mass_i: &[f64],
+    mass_j: &[f64],
+    g: f64,
+    eps: f64,
+) {
+    let ni = pos_i.len() / 3;
+    let nj = pos_j.len() / 3;
+    debug_assert_eq!(force_i.len(), 3 * ni);
+    debug_assert_eq!(mass_i.len(), ni);
+    debug_assert_eq!(mass_j.len(), nj);
+    let eps2 = eps * eps;
+    for a in 0..ni {
+        let (xa, ya, za) = (pos_i[3 * a], pos_i[3 * a + 1], pos_i[3 * a + 2]);
+        let (mut fx, mut fy, mut fz) = (0.0, 0.0, 0.0);
+        for b in 0..nj {
+            let dx = pos_j[3 * b] - xa;
+            let dy = pos_j[3 * b + 1] - ya;
+            let dz = pos_j[3 * b + 2] - za;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            let inv_r = 1.0 / r2.sqrt();
+            let inv_r3 = inv_r * inv_r * inv_r;
+            let s = g * mass_i[a] * mass_j[b] * inv_r3;
+            fx += s * dx;
+            fy += s * dy;
+            fz += s * dz;
+        }
+        force_i[3 * a] += fx;
+        force_i[3 * a + 1] += fy;
+        force_i[3 * a + 2] += fz;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bodies_attract_equally_and_oppositely() {
+        let pos_a = vec![0.0, 0.0, 0.0];
+        let pos_b = vec![1.0, 0.0, 0.0];
+        let m = vec![2.0];
+        let mut fa = vec![0.0; 3];
+        let mut fb = vec![0.0; 3];
+        accumulate_forces(&mut fa, &pos_a, &pos_b, &m, &m, 1.0, 0.0);
+        accumulate_forces(&mut fb, &pos_b, &pos_a, &m, &m, 1.0, 0.0);
+        // F = G·m²/r² = 4 along +x for a, −x for b.
+        assert!((fa[0] - 4.0).abs() < 1e-12);
+        assert!((fa[0] + fb[0]).abs() < 1e-12);
+        assert_eq!(fa[1], 0.0);
+        assert_eq!(fb[2], 0.0);
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        let pos = vec![0.0, 0.0, 0.0];
+        let almost = vec![1e-12, 0.0, 0.0];
+        let m = vec![1.0];
+        let mut f = vec![0.0; 3];
+        accumulate_forces(&mut f, &pos, &almost, &m, &m, 1.0, 0.1);
+        assert!(f[0].is_finite());
+        assert!(f[0] < 1.0 / (0.1f64 * 0.1), "softened force is bounded");
+    }
+
+    #[test]
+    fn inverse_square_scaling() {
+        let m = vec![1.0];
+        let mut f1 = vec![0.0; 3];
+        let mut f2 = vec![0.0; 3];
+        accumulate_forces(&mut f1, &[0.0; 3], &[1.0, 0.0, 0.0], &m, &m, 1.0, 0.0);
+        accumulate_forces(&mut f2, &[0.0; 3], &[2.0, 0.0, 0.0], &m, &m, 1.0, 0.0);
+        assert!((f1[0] / f2[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing() {
+        let m = vec![1.0];
+        let mut f = vec![10.0, 0.0, 0.0];
+        accumulate_forces(&mut f, &[0.0; 3], &[1.0, 0.0, 0.0], &m, &m, 1.0, 0.0);
+        assert!((f[0] - 11.0).abs() < 1e-12);
+    }
+}

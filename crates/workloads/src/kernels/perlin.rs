@@ -1,0 +1,158 @@
+//! 2-D Perlin gradient noise (Ken Perlin's improved noise, 2002),
+//! backing the Perlin Noise benchmark ("noise generation to improve
+//! realism in motion pictures", Table I).
+
+/// A Perlin noise generator with a seeded permutation table.
+#[derive(Debug, Clone)]
+pub struct Perlin {
+    perm: [u8; 512],
+}
+
+impl Perlin {
+    /// Builds the generator; `seed` shuffles the permutation table
+    /// (Fisher–Yates with a SplitMix64 stream).
+    pub fn new(seed: u64) -> Self {
+        let mut table: [u8; 256] = core::array::from_fn(|i| i as u8);
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..256usize).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            table.swap(i, j);
+        }
+        let mut perm = [0u8; 512];
+        for i in 0..512 {
+            perm[i] = table[i % 256];
+        }
+        Perlin { perm }
+    }
+
+    #[inline]
+    fn fade(t: f64) -> f64 {
+        t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+    }
+
+    #[inline]
+    fn lerp(a: f64, b: f64, t: f64) -> f64 {
+        a + t * (b - a)
+    }
+
+    #[inline]
+    fn grad(hash: u8, x: f64, y: f64) -> f64 {
+        // 8 gradient directions.
+        match hash & 7 {
+            0 => x + y,
+            1 => x - y,
+            2 => -x + y,
+            3 => -x - y,
+            4 => x,
+            5 => -x,
+            6 => y,
+            _ => -y,
+        }
+    }
+
+    /// Noise value at `(x, y)`, in `[-√2/2·2, √2·…]` ≈ `[-1.5, 1.5]`
+    /// (classic Perlin range for 2-D with these gradients; zero at
+    /// integer lattice points).
+    pub fn noise2(&self, x: f64, y: f64) -> f64 {
+        let xi = x.floor();
+        let yi = y.floor();
+        let xf = x - xi;
+        let yf = y - yi;
+        let xi = (xi as i64 & 255) as usize;
+        let yi = (yi as i64 & 255) as usize;
+        let u = Self::fade(xf);
+        let v = Self::fade(yf);
+        let aa = self.perm[(self.perm[xi] as usize + yi) & 511];
+        let ab = self.perm[(self.perm[xi] as usize + yi + 1) & 511];
+        let ba = self.perm[(self.perm[(xi + 1) & 511] as usize + yi) & 511];
+        let bb = self.perm[(self.perm[(xi + 1) & 511] as usize + yi + 1) & 511];
+        let x1 = Self::lerp(Self::grad(aa, xf, yf), Self::grad(ba, xf - 1.0, yf), u);
+        let x2 = Self::lerp(
+            Self::grad(ab, xf, yf - 1.0),
+            Self::grad(bb, xf - 1.0, yf - 1.0),
+            u,
+        );
+        Self::lerp(x1, x2, v)
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of noise at doubling
+    /// frequency and halving amplitude — what the benchmark evaluates
+    /// per pixel.
+    pub fn fbm2(&self, mut x: f64, mut y: f64, octaves: u32) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        for _ in 0..octaves {
+            sum += amp * self.noise2(x, y);
+            x *= 2.0;
+            y *= 2.0;
+            amp *= 0.5;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_lattice_points() {
+        let p = Perlin::new(42);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(p.noise2(i as f64, j as f64), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Perlin::new(7);
+        let b = Perlin::new(7);
+        let c = Perlin::new(8);
+        let (x, y) = (3.7, 1.2);
+        assert_eq!(a.noise2(x, y), b.noise2(x, y));
+        assert_ne!(a.noise2(x, y), c.noise2(x, y));
+    }
+
+    #[test]
+    fn bounded_values() {
+        let p = Perlin::new(99);
+        for i in 0..2000 {
+            let x = i as f64 * 0.137;
+            let y = i as f64 * 0.211;
+            let v = p.noise2(x, y);
+            assert!(v.abs() <= 2.0, "noise out of range: {v}");
+            let f = p.fbm2(x, y, 4);
+            assert!(f.abs() <= 4.0, "fbm out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn continuity() {
+        // Perlin noise is C¹; check small steps give small deltas.
+        let p = Perlin::new(1);
+        let mut prev = p.noise2(0.5, 0.5);
+        for k in 1..1000 {
+            let v = p.noise2(0.5 + k as f64 * 1e-4, 0.5);
+            assert!((v - prev).abs() < 1e-2);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn not_identically_zero() {
+        let p = Perlin::new(3);
+        let sum: f64 = (0..100)
+            .map(|i| p.noise2(i as f64 * 0.37 + 0.13, i as f64 * 0.21 + 0.7).abs())
+            .sum();
+        assert!(sum > 1.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! N-body simulation (Table I: 65536 bodies, block size depending on
+//! node count): blocked all-pairs gravity with a **partial-force
+//! reduction tree** — each block's forces are accumulated into `G`
+//! independent partial buffers (one per contiguous group of source
+//! blocks) and then reduced, so the force phase exposes
+//! `blocks × G`-way parallelism instead of serializing per target
+//! block. The block count grows with the node count, as Table I's
+//! "block size depends on #nodes" prescribes.
+
+use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+
+use crate::kernels::accumulate_forces;
+use crate::{check_close, no_verify, BuiltWorkload, Scale, Workload, WorkloadKind};
+
+/// Gravitational constant used by the workload (natural units).
+pub const G: f64 = 1.0;
+/// Plummer softening length.
+pub const EPS: f64 = 0.05;
+/// Integration step.
+pub const DT: f64 = 1e-3;
+/// Partial-force groups per target block (the reduction fan-out).
+pub const GROUPS: usize = 4;
+
+/// N-body parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NbodyConfig {
+    /// Bodies.
+    pub bodies: usize,
+    /// Minimum body blocks (raised to `4 × nodes` at build time).
+    pub blocks: usize,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl NbodyConfig {
+    /// Configuration for a scale preset.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => NbodyConfig {
+                bodies: 48,
+                blocks: 4,
+                steps: 2,
+            },
+            Scale::Medium => NbodyConfig {
+                bodies: 1024,
+                blocks: 16,
+                steps: 4,
+            },
+            // Table I: 65536 bodies; block size depends on #nodes.
+            Scale::Paper => NbodyConfig {
+                bodies: 65536,
+                blocks: 64,
+                steps: 8,
+            },
+        }
+    }
+
+    /// Actual block count when running on `nodes` nodes: at least four
+    /// blocks per node so every node's cores stay busy, clamped to the
+    /// largest feasible count for tiny problems. The result divides the
+    /// body count and is a multiple of [`GROUPS`].
+    pub fn blocks_for(&self, nodes: usize) -> usize {
+        let target = self.blocks.max(4 * nodes.max(1));
+        let mut best_below = None;
+        let mut nb = GROUPS;
+        while nb <= self.bodies {
+            if self.bodies.is_multiple_of(nb) {
+                if nb >= target {
+                    return nb;
+                }
+                best_below = Some(nb);
+            }
+            nb += GROUPS;
+        }
+        best_below.expect("body count must admit a GROUPS-aligned block count")
+    }
+}
+
+/// Deterministic initial state for body `i`:
+/// `(position ∈ unit cube, velocity small, mass ∈ [0.5, 1.5))`.
+fn body_init(i: usize) -> ([f64; 3], [f64; 3], f64) {
+    let mut h = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut next = || {
+        h = (h ^ (h >> 31)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pos = [next(), next(), next()];
+    let vel = [0.1 * (next() - 0.5), 0.1 * (next() - 0.5), 0.1 * (next() - 0.5)];
+    let mass = 0.5 + next();
+    (pos, vel, mass)
+}
+
+/// The N-body benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nbody;
+
+impl Workload for Nbody {
+    fn name(&self) -> &'static str {
+        "Nbody"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Distributed
+    }
+
+    fn paper_config(&self) -> &'static str {
+        "Array size 65536 bodies, block size depends on #nodes"
+    }
+
+    fn build(&self, scale: Scale, nodes: usize, materialize: bool) -> BuiltWorkload {
+        let cfg = NbodyConfig::at(scale);
+        let n = cfg.bodies;
+        let nodes = nodes.max(1);
+        let nb = cfg.blocks_for(nodes);
+        let bl = n / nb;
+        let group_blocks = nb / GROUPS;
+
+        let mut arena = DataArena::new();
+        let (pos, vel, mass, force, parts) = if materialize {
+            let pos = arena.alloc("pos", 3 * n);
+            let vel = arena.alloc("vel", 3 * n);
+            let mass = arena.alloc("mass", n);
+            let force = arena.alloc("force", 3 * n);
+            let parts = arena.alloc("parts", GROUPS * 3 * n);
+            for i in 0..n {
+                let (p, v, m) = body_init(i);
+                for d in 0..3 {
+                    arena.write(pos)[3 * i + d] = p[d];
+                    arena.write(vel)[3 * i + d] = v[d];
+                }
+                arena.write(mass)[i] = m;
+            }
+            (pos, vel, mass, force, parts)
+        } else {
+            (
+                arena.alloc_virtual("pos", 3 * n),
+                arena.alloc_virtual("vel", 3 * n),
+                arena.alloc_virtual("mass", n),
+                arena.alloc_virtual("force", 3 * n),
+                arena.alloc_virtual("parts", GROUPS * 3 * n),
+            )
+        };
+
+        let pos_blk = |i: usize| Region::contiguous(pos, 3 * i * bl, 3 * bl);
+        let vel_blk = |i: usize| Region::contiguous(vel, 3 * i * bl, 3 * bl);
+        let mass_blk = |i: usize| Region::contiguous(mass, i * bl, bl);
+        let force_blk = |i: usize| Region::contiguous(force, 3 * i * bl, 3 * bl);
+        // Partial (i, g) lives at ((i·G)+g)·3bl; block i's partials are
+        // one contiguous span, so the reduce task takes a single region.
+        let part_slot = |i: usize, g: usize| {
+            Region::contiguous(parts, (i * GROUPS + g) * 3 * bl, 3 * bl)
+        };
+        let part_span = |i: usize| Region::contiguous(parts, i * GROUPS * 3 * bl, GROUPS * 3 * bl);
+        // Source group g = contiguous blocks [g·nb/G, (g+1)·nb/G).
+        let group_pos = |g: usize| {
+            Region::contiguous(pos, g * group_blocks * 3 * bl, group_blocks * 3 * bl)
+        };
+        let group_mass =
+            |g: usize| Region::contiguous(mass, g * group_blocks * bl, group_blocks * bl);
+
+        let mut graph = TaskGraph::with_chunk_size((3 * bl).max(64));
+        let mut placement = Vec::new();
+        let owner = |i: usize| ((i * nodes) / nb) as u32;
+        let fl_part = 20.0 * (bl * (n / GROUPS)) as f64;
+        for _step in 0..cfg.steps {
+            for i in 0..nb {
+                for g in 0..GROUPS {
+                    graph.submit(
+                        TaskSpec::new("force_part")
+                            .reads(pos_blk(i))
+                            .reads(mass_blk(i))
+                            .reads(group_pos(g))
+                            .reads(group_mass(g))
+                            .writes(part_slot(i, g))
+                            .flops(fl_part)
+                            .kernel(move |ctx| {
+                                let pi = ctx.r(0);
+                                let mi = ctx.r(1);
+                                let pg = ctx.r(2);
+                                let mg = ctx.r(3);
+                                let mut part = ctx.w(4);
+                                part.as_mut_slice().fill(0.0);
+                                accumulate_forces(
+                                    part.as_mut_slice(),
+                                    pi.as_slice(),
+                                    pg.as_slice(),
+                                    mi.as_slice(),
+                                    mg.as_slice(),
+                                    G,
+                                    EPS,
+                                );
+                            }),
+                    );
+                    placement.push(owner(i));
+                }
+            }
+            for i in 0..nb {
+                graph.submit(
+                    TaskSpec::new("reduce")
+                        .reads(part_span(i))
+                        .writes(force_blk(i))
+                        .flops((GROUPS * 3 * bl) as f64)
+                        .kernel(move |ctx| {
+                            let span = ctx.r(0);
+                            let mut f = ctx.w(1);
+                            let out = f.as_mut_slice();
+                            out.fill(0.0);
+                            let all = span.as_slice();
+                            for g in 0..GROUPS {
+                                let part = &all[g * 3 * bl..(g + 1) * 3 * bl];
+                                for (o, p) in out.iter_mut().zip(part) {
+                                    *o += p;
+                                }
+                            }
+                        }),
+                );
+                placement.push(owner(i));
+            }
+            for i in 0..nb {
+                graph.submit(
+                    TaskSpec::new("update")
+                        .reads(force_blk(i))
+                        .reads(mass_blk(i))
+                        .updates(pos_blk(i))
+                        .updates(vel_blk(i))
+                        .flops(10.0 * bl as f64)
+                        .kernel(move |ctx| {
+                            let f = ctx.r(0);
+                            let m = ctx.r(1);
+                            let mut p = ctx.w(2);
+                            let mut v = ctx.w(3);
+                            let (f, m) = (f.as_slice(), m.as_slice());
+                            let v = v.as_mut_slice();
+                            let p = p.as_mut_slice();
+                            for b in 0..m.len() {
+                                for d in 0..3 {
+                                    v[3 * b + d] += f[3 * b + d] / m[b] * DT;
+                                    p[3 * b + d] += v[3 * b + d] * DT;
+                                }
+                            }
+                        }),
+                );
+                placement.push(owner(i));
+            }
+        }
+
+        let verify: crate::Verifier = if materialize
+            && scale == Scale::Small
+        {
+            Box::new(move |arena: &mut DataArena| {
+                // Host reference with identical group-partial order.
+                let mut rp = vec![0.0; 3 * n];
+                let mut rv = vec![0.0; 3 * n];
+                let mut rm = vec![0.0; n];
+                for i in 0..n {
+                    let (p, v, m) = body_init(i);
+                    for d in 0..3 {
+                        rp[3 * i + d] = p[d];
+                        rv[3 * i + d] = v[d];
+                    }
+                    rm[i] = m;
+                }
+                let gb = group_blocks * bl; // bodies per group
+                for _ in 0..cfg.steps {
+                    let mut rf = vec![0.0; 3 * n];
+                    for i in 0..nb {
+                        let mut parts = vec![vec![0.0; 3 * bl]; GROUPS];
+                        for (g, part) in parts.iter_mut().enumerate() {
+                            accumulate_forces(
+                                part,
+                                &rp[3 * i * bl..3 * (i + 1) * bl],
+                                &rp[3 * g * gb..3 * (g + 1) * gb],
+                                &rm[i * bl..(i + 1) * bl],
+                                &rm[g * gb..(g + 1) * gb],
+                                G,
+                                EPS,
+                            );
+                        }
+                        for part in &parts {
+                            for (k, p) in part.iter().enumerate() {
+                                rf[3 * i * bl + k] += p;
+                            }
+                        }
+                    }
+                    for b in 0..n {
+                        for d in 0..3 {
+                            rv[3 * b + d] += rf[3 * b + d] / rm[b] * DT;
+                            rp[3 * b + d] += rv[3 * b + d] * DT;
+                        }
+                    }
+                }
+                check_close(arena.read(pos), &rp, 1e-9, "nbody positions")?;
+                check_close(arena.read(vel), &rv, 1e-9, "nbody velocities")?;
+                // Momentum conservation (softened forces are symmetric).
+                let mass_v = arena.read(mass).to_vec();
+                let vel_v = arena.read(vel).to_vec();
+                for d in 0..3 {
+                    let p_total: f64 = (0..n).map(|b| mass_v[b] * vel_v[3 * b + d]).sum();
+                    let p_init: f64 = (0..n)
+                        .map(|b| {
+                            let (_, v, m) = body_init(b);
+                            m * v[d]
+                        })
+                        .sum();
+                    if (p_total - p_init).abs() > 1e-6 {
+                        return Err(format!(
+                            "momentum drift in axis {d}: {p_total} vs {p_init}"
+                        ));
+                    }
+                }
+                Ok(())
+            })
+        } else {
+            no_verify()
+        };
+
+        BuiltWorkload {
+            arena,
+            graph,
+            placement,
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_rt::Executor;
+
+    #[test]
+    fn small_nbody_verifies_sequential() {
+        let built = Nbody.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::sequential().run(&graph, &mut arena);
+        verify(&mut arena).expect("nbody results");
+    }
+
+    #[test]
+    fn small_nbody_verifies_parallel() {
+        let built = Nbody.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::new(3).run(&graph, &mut arena);
+        verify(&mut arena).expect("nbody results");
+    }
+
+    #[test]
+    fn task_count_per_step() {
+        let built = Nbody.build(Scale::Small, 1, false);
+        let cfg = NbodyConfig::at(Scale::Small);
+        let nb = cfg.blocks_for(1);
+        let per_step = nb * GROUPS + nb + nb;
+        assert_eq!(built.graph.len(), per_step * cfg.steps);
+    }
+
+    #[test]
+    fn block_count_grows_with_nodes() {
+        let cfg = NbodyConfig::at(Scale::Paper);
+        assert_eq!(cfg.blocks_for(1), 64);
+        assert_eq!(cfg.blocks_for(64), 256);
+        // The force phase then exposes blocks × GROUPS parallelism.
+        assert!(cfg.blocks_for(64) * GROUPS >= 1024);
+    }
+
+    #[test]
+    fn force_parts_of_one_step_are_independent() {
+        let built = Nbody.build(Scale::Small, 1, false);
+        let g = &built.graph;
+        let cfg = NbodyConfig::at(Scale::Small);
+        let nb = cfg.blocks_for(1);
+        // All nb×GROUPS force_part tasks of step 0 are roots.
+        for t in 0..nb * GROUPS {
+            let id = dataflow_rt::TaskId::from_raw(t as u32);
+            assert_eq!(g.task(id).label, "force_part");
+            assert!(g.predecessors(id).is_empty(), "task {t} must be a root");
+        }
+    }
+
+    #[test]
+    fn placement_covers_nodes() {
+        let built = Nbody.build(Scale::Small, 4, false);
+        let mut seen = [false; 4];
+        for &p in &built.placement {
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

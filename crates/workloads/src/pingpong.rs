@@ -1,0 +1,243 @@
+//! Pingpong (Table I: "computation and communication between pairs of
+//! processes", 65536 doubles, 1024-element blocks): pairs of ranks
+//! alternately compute on their local array and swap blocks with their
+//! partner — the communication-dominated distributed benchmark.
+
+use dataflow_rt::{BufferId, DataArena, Region, TaskGraph, TaskSpec};
+
+use crate::{no_verify, BuiltWorkload, Scale, Workload, WorkloadKind};
+
+/// Pingpong parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PingpongConfig {
+    /// Ranks (even; rank `r` pairs with `r ^ 1`).
+    pub ranks: usize,
+    /// Doubles per rank array.
+    pub elems: usize,
+    /// Elements per block.
+    pub block: usize,
+    /// Compute+exchange iterations.
+    pub iters: usize,
+}
+
+impl PingpongConfig {
+    /// Configuration for a scale preset.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => PingpongConfig {
+                ranks: 4,
+                elems: 512,
+                block: 128,
+                iters: 3,
+            },
+            Scale::Medium => PingpongConfig {
+                ranks: 16,
+                elems: 8192,
+                block: 1024,
+                iters: 4,
+            },
+            // Table I: 65536 doubles per rank, block 1024; 128 ranks =
+            // two per node on the 64-node configuration.
+            Scale::Paper => PingpongConfig {
+                ranks: 128,
+                elems: 65536,
+                block: 1024,
+                iters: 3,
+            },
+        }
+    }
+
+    /// Blocks per rank.
+    pub fn blocks(&self) -> usize {
+        self.elems / self.block
+    }
+}
+
+/// Per-rank compute kernel: `x := 0.999·x + (rank+1)/1000`.
+fn compute_step(x: &mut [f64], rank: usize) {
+    let c = (rank + 1) as f64 * 1e-3;
+    for v in x.iter_mut() {
+        *v = 0.999 * *v + c;
+    }
+}
+
+/// The Pingpong benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pingpong;
+
+impl Workload for Pingpong {
+    fn name(&self) -> &'static str {
+        "Pingpong"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Distributed
+    }
+
+    fn paper_config(&self) -> &'static str {
+        "Array size 65536 doubles, block size 1024"
+    }
+
+    fn build(&self, scale: Scale, nodes: usize, materialize: bool) -> BuiltWorkload {
+        let cfg = PingpongConfig::at(scale);
+        assert!(cfg.ranks.is_multiple_of(2), "ranks must pair up");
+        let nodes = nodes.max(1) as u32;
+        let mut arena = DataArena::new();
+        let bufs: Vec<BufferId> = (0..cfg.ranks)
+            .map(|r| {
+                let name = format!("rank{r}");
+                if materialize {
+                    arena.alloc_from(&name, vec![r as f64; cfg.elems])
+                } else {
+                    arena.alloc_virtual(&name, cfg.elems)
+                }
+            })
+            .collect();
+
+        let rank_node = |r: usize| r as u32 % nodes;
+        let mut graph = TaskGraph::with_chunk_size(cfg.block);
+        let mut placement = Vec::new();
+        for _it in 0..cfg.iters {
+            for (r, buf) in bufs.iter().enumerate() {
+                for blk in 0..cfg.blocks() {
+                    graph.submit(
+                        TaskSpec::new("compute")
+                            .updates(Region::contiguous(*buf, blk * cfg.block, cfg.block))
+                            .flops(2.0 * cfg.block as f64)
+                            .kernel(move |ctx| {
+                                let mut x = ctx.w(0);
+                                compute_step(x.as_mut_slice(), r);
+                            }),
+                    );
+                    placement.push(rank_node(r));
+                }
+            }
+            for r in (0..cfg.ranks).step_by(2) {
+                let partner = r + 1;
+                for blk in 0..cfg.blocks() {
+                    graph.submit(
+                        TaskSpec::new("exchange")
+                            .updates(Region::contiguous(bufs[r], blk * cfg.block, cfg.block))
+                            .updates(Region::contiguous(
+                                bufs[partner],
+                                blk * cfg.block,
+                                cfg.block,
+                            ))
+                            .flops(cfg.block as f64)
+                            .kernel(|ctx| {
+                                let mut a = ctx.w(0);
+                                let mut b = ctx.w(1);
+                                for i in 0..a.len() {
+                                    let t = a.at(i);
+                                    a.set(i, b.at(i));
+                                    b.set(i, t);
+                                }
+                            }),
+                    );
+                    placement.push(rank_node(r));
+                }
+            }
+        }
+
+        let verify: crate::Verifier = if materialize {
+            let bufs = bufs.clone();
+            Box::new(move |arena: &mut DataArena| {
+                // Host reference of the same compute/swap schedule.
+                let mut want: Vec<Vec<f64>> =
+                    (0..cfg.ranks).map(|r| vec![r as f64; cfg.elems]).collect();
+                for _ in 0..cfg.iters {
+                    for (r, arr) in want.iter_mut().enumerate() {
+                        compute_step(arr, r);
+                    }
+                    for r in (0..cfg.ranks).step_by(2) {
+                        let (lo, hi) = want.split_at_mut(r + 1);
+                        core::mem::swap(&mut lo[r], &mut hi[0]);
+                    }
+                }
+                for (r, buf) in bufs.iter().enumerate() {
+                    let got = arena.read(*buf);
+                    for (i, (g, w)) in got.iter().zip(&want[r]).enumerate() {
+                        if g.to_bits() != w.to_bits() {
+                            return Err(format!("rank {r} elem {i}: got {g}, want {w}"));
+                        }
+                    }
+                }
+                Ok(())
+            })
+        } else {
+            no_verify()
+        };
+
+        BuiltWorkload {
+            arena,
+            graph,
+            placement,
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_rt::Executor;
+
+    #[test]
+    fn small_pingpong_verifies_sequential() {
+        let built = Pingpong.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::sequential().run(&graph, &mut arena);
+        verify(&mut arena).expect("pingpong results");
+    }
+
+    #[test]
+    fn small_pingpong_verifies_parallel() {
+        let built = Pingpong.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::new(4).run(&graph, &mut arena);
+        verify(&mut arena).expect("pingpong results");
+    }
+
+    #[test]
+    fn exchange_depends_on_both_computes() {
+        let built = Pingpong.build(Scale::Small, 1, false);
+        let g = &built.graph;
+        let cfg = PingpongConfig::at(Scale::Small);
+        let nb = cfg.blocks();
+        // First exchange task of iteration 0: after ranks·nb computes.
+        let first_ex = dataflow_rt::TaskId::from_raw((cfg.ranks * nb) as u32);
+        assert_eq!(g.task(first_ex).label, "exchange");
+        let preds = g.predecessors(first_ex);
+        // Depends on rank 0 block 0 compute and rank 1 block 0 compute.
+        assert!(preds.contains(&dataflow_rt::TaskId::from_raw(0)));
+        assert!(preds.contains(&dataflow_rt::TaskId::from_raw(nb as u32)));
+    }
+
+    #[test]
+    fn paper_scale_task_count() {
+        let built = Pingpong.build(Scale::Paper, 64, false);
+        let cfg = PingpongConfig::at(Scale::Paper);
+        let per_iter = cfg.ranks * cfg.blocks() + cfg.ranks / 2 * cfg.blocks();
+        assert_eq!(built.graph.len(), per_iter * cfg.iters);
+        assert!(built.placement.iter().all(|&n| n < 64));
+    }
+
+    #[test]
+    fn pairs_land_on_distinct_nodes_when_possible() {
+        let built = Pingpong.build(Scale::Small, 2, false);
+        // rank 0 → node 0, rank 1 → node 1: exchanges cross nodes.
+        assert_eq!(built.placement[0], 0);
+        let cfg = PingpongConfig::at(Scale::Small);
+        assert_eq!(built.placement[cfg.blocks()], 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! McCalpin's STREAM as a blocked task workload (Table I: "linear
+//! operations among arrays", 2048×2048 doubles, 32768-element blocks).
+//!
+//! Each iteration issues the four STREAM kernels per block:
+//! `copy (c = a)`, `scale (b = s·c)`, `add (c = a + b)`,
+//! `triad (a = b + s·c)`. Blocks are independent across the array;
+//! within a block the four kernels chain through data dependencies. The
+//! paper uses STREAM as the memory-bound stress test for replication —
+//! every byte a task touches is also a byte the replication machinery
+//! must checkpoint and compare.
+
+use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+
+use crate::{no_verify, BuiltWorkload, Scale, Workload, WorkloadKind};
+
+/// The STREAM scale factor (McCalpin's canonical 3.0).
+pub const SCALAR: f64 = 3.0;
+
+/// STREAM workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Elements per array.
+    pub elems: usize,
+    /// Elements per block.
+    pub block: usize,
+    /// STREAM iterations (each = 4 kernels per block).
+    pub iters: usize,
+}
+
+impl StreamConfig {
+    /// Configuration for a scale preset.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => StreamConfig {
+                elems: 4096,
+                block: 512,
+                iters: 4,
+            },
+            Scale::Medium => StreamConfig {
+                elems: 1 << 20,
+                block: 32768,
+                iters: 4,
+            },
+            // Table I: 2048×2048 doubles, block 32768.
+            Scale::Paper => StreamConfig {
+                elems: 2048 * 2048,
+                block: 32768,
+                iters: 96, // 128 blocks × 4 kernels × 96 ≈ 49k tasks
+            },
+        }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.elems / self.block
+    }
+}
+
+/// The STREAM benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stream;
+
+impl Workload for Stream {
+    fn name(&self) -> &'static str {
+        "Stream"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::SharedMemory
+    }
+
+    fn paper_config(&self) -> &'static str {
+        "Array size 2048x2048 (doubles), block size 32768"
+    }
+
+    fn build(&self, scale: Scale, _nodes: usize, materialize: bool) -> BuiltWorkload {
+        let cfg = StreamConfig::at(scale);
+        assert_eq!(cfg.elems % cfg.block, 0, "block must divide array size");
+        let mut arena = DataArena::new();
+        let (a, b, c) = if materialize {
+            let a = arena.alloc_from("a", vec![1.0; cfg.elems]);
+            let b = arena.alloc_from("b", vec![2.0; cfg.elems]);
+            let c = arena.alloc_from("c", vec![0.0; cfg.elems]);
+            (a, b, c)
+        } else {
+            (
+                arena.alloc_virtual("a", cfg.elems),
+                arena.alloc_virtual("b", cfg.elems),
+                arena.alloc_virtual("c", cfg.elems),
+            )
+        };
+
+        let mut graph = TaskGraph::with_chunk_size(cfg.block);
+        let nb = cfg.blocks();
+        let flops = cfg.block as f64; // one fused multiply-add class op per element
+        for _ in 0..cfg.iters {
+            for blk in 0..nb {
+                let ra = Region::contiguous(a, blk * cfg.block, cfg.block);
+                let rb = Region::contiguous(b, blk * cfg.block, cfg.block);
+                let rc = Region::contiguous(c, blk * cfg.block, cfg.block);
+                graph.submit(
+                    TaskSpec::new("copy")
+                        .reads(ra)
+                        .writes(rc)
+                        .flops(flops)
+                        .kernel(|ctx| {
+                            let src = ctx.r(0);
+                            let mut dst = ctx.w(1);
+                            dst.as_mut_slice().copy_from_slice(src.as_slice());
+                        }),
+                );
+                graph.submit(
+                    TaskSpec::new("scale")
+                        .reads(rc)
+                        .writes(rb)
+                        .flops(flops)
+                        .kernel(|ctx| {
+                            let src = ctx.r(0);
+                            let mut dst = ctx.w(1);
+                            for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+                                *d = SCALAR * s;
+                            }
+                        }),
+                );
+                graph.submit(
+                    TaskSpec::new("add")
+                        .reads(ra)
+                        .reads(rb)
+                        .writes(rc)
+                        .flops(flops)
+                        .kernel(|ctx| {
+                            let x = ctx.r(0);
+                            let y = ctx.r(1);
+                            let mut dst = ctx.w(2);
+                            let (x, y) = (x.as_slice(), y.as_slice());
+                            for (i, d) in dst.as_mut_slice().iter_mut().enumerate() {
+                                *d = x[i] + y[i];
+                            }
+                        }),
+                );
+                graph.submit(
+                    TaskSpec::new("triad")
+                        .reads(rb)
+                        .reads(rc)
+                        .writes(ra)
+                        .flops(flops)
+                        .kernel(|ctx| {
+                            let x = ctx.r(0);
+                            let y = ctx.r(1);
+                            let mut dst = ctx.w(2);
+                            let (x, y) = (x.as_slice(), y.as_slice());
+                            for (i, d) in dst.as_mut_slice().iter_mut().enumerate() {
+                                *d = x[i] + SCALAR * y[i];
+                            }
+                        }),
+                );
+            }
+        }
+
+        let placement = vec![0; graph.len()];
+        let verify: crate::Verifier = if materialize {
+            let iters = cfg.iters;
+            Box::new(move |arena: &mut DataArena| {
+                // Scalar reference: the per-element recurrence is
+                // identical for every element.
+                let (mut ea, mut eb, mut ec) = (1.0f64, 2.0f64, 0.0f64);
+                for _ in 0..iters {
+                    ec = ea;
+                    eb = SCALAR * ec;
+                    ec = ea + eb;
+                    ea = eb + SCALAR * ec;
+                }
+                for (buf, expect, name) in [(a, ea, "a"), (b, eb, "b"), (c, ec, "c")] {
+                    let data = arena.read(buf);
+                    if let Some((i, v)) = data
+                        .iter()
+                        .enumerate()
+                        .find(|(_, v)| (**v - expect).abs() > 1e-9 * expect.abs().max(1.0))
+                    {
+                        return Err(format!("stream {name}[{i}] = {v}, want {expect}"));
+                    }
+                }
+                Ok(())
+            })
+        } else {
+            no_verify()
+        };
+
+        BuiltWorkload {
+            arena,
+            graph,
+            placement,
+            verify,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_rt::Executor;
+
+    #[test]
+    fn small_stream_verifies_sequential() {
+        let built = Stream.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::sequential().run(&graph, &mut arena);
+        verify(&mut arena).expect("stream results");
+    }
+
+    #[test]
+    fn small_stream_verifies_parallel() {
+        let built = Stream.build(Scale::Small, 1, true);
+        let BuiltWorkload {
+            mut arena,
+            graph,
+            verify,
+            ..
+        } = built;
+        Executor::new(4).run(&graph, &mut arena);
+        verify(&mut arena).expect("stream results");
+    }
+
+    #[test]
+    fn task_count_matches_structure() {
+        let built = Stream.build(Scale::Small, 1, true);
+        let cfg = StreamConfig::at(Scale::Small);
+        assert_eq!(built.graph.len(), cfg.blocks() * 4 * cfg.iters);
+    }
+
+    #[test]
+    fn described_build_uses_virtual_buffers() {
+        let built = Stream.build(Scale::Paper, 1, false);
+        assert!(built.arena.has_virtual_buffers());
+        let cfg = StreamConfig::at(Scale::Paper);
+        assert_eq!(built.graph.len(), cfg.blocks() * 4 * cfg.iters);
+        // Paper claims 25k–48k fine-grained tasks for Stream.
+        assert!(built.graph.len() >= 25_000 && built.graph.len() <= 50_000);
+    }
+
+    #[test]
+    fn blocks_are_independent_within_phase() {
+        // copy tasks of different blocks in the first iteration have no
+        // dependencies.
+        let built = Stream.build(Scale::Small, 1, true);
+        let g = &built.graph;
+        let nb = StreamConfig::at(Scale::Small).blocks();
+        for blk in 0..nb {
+            let copy_id = dataflow_rt::TaskId::from_raw((blk * 4) as u32);
+            assert!(
+                g.predecessors(copy_id).is_empty(),
+                "block {blk} copy should be a root"
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the numeric kernels' algebraic identities.
+
+use proptest::prelude::*;
+use workloads::kernels::{
+    bdiv_upper, dgemm, dgemm_nt, dgetrf_nopiv, dpotrf, fft1d, fwd_lower_unit, Perlin,
+};
+
+fn tile_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, n * n..=n * n)
+}
+
+fn diag_dominant(mut m: Vec<f64>, n: usize) -> Vec<f64> {
+    for i in 0..n {
+        m[i * n + i] += 4.0 * n as f64;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// GEMM distributes over addition: (A+B)·C == A·C + B·C.
+    #[test]
+    fn gemm_distributes(a in tile_strategy(6), b in tile_strategy(6), c in tile_strategy(6)) {
+        let n = 6;
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let mut lhs = vec![0.0; n * n];
+        dgemm(&mut lhs, &sum, &c, n, 1.0);
+        let mut rhs = vec![0.0; n * n];
+        dgemm(&mut rhs, &a, &c, n, 1.0);
+        dgemm(&mut rhs, &b, &c, n, 1.0);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    /// `dgemm_nt(A, B) == dgemm(A, Bᵀ)`.
+    #[test]
+    fn gemm_nt_is_gemm_with_transpose(a in tile_strategy(5), b in tile_strategy(5)) {
+        let n = 5;
+        let mut bt = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                bt[i * n + j] = b[j * n + i];
+            }
+        }
+        let mut x = vec![0.0; n * n];
+        let mut y = vec![0.0; n * n];
+        dgemm_nt(&mut x, &a, &b, n, -1.0);
+        dgemm(&mut y, &a, &bt, n, -1.0);
+        for (l, r) in x.iter().zip(&y) {
+            prop_assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    /// LU factors of a diagonally dominant tile reconstruct it:
+    /// unpack(L)·unpack(U) == A.
+    #[test]
+    fn lu_reconstructs(m in tile_strategy(6)) {
+        let n = 6;
+        let a0 = diag_dominant(m, n);
+        let mut lu = a0.clone();
+        dgetrf_nopiv(&mut lu, n);
+        let mut l = vec![0.0; n * n];
+        let mut u = vec![0.0; n * n];
+        for i in 0..n {
+            l[i * n + i] = 1.0;
+            for j in 0..i {
+                l[i * n + j] = lu[i * n + j];
+            }
+            for j in i..n {
+                u[i * n + j] = lu[i * n + j];
+            }
+        }
+        let mut recon = vec![0.0; n * n];
+        dgemm(&mut recon, &l, &u, n, 1.0);
+        for (r, e) in recon.iter().zip(&a0) {
+            prop_assert!((r - e).abs() < 1e-8, "{r} vs {e}");
+        }
+    }
+
+    /// Panel solves invert what they claim: fwd then multiply by L
+    /// round-trips; bdiv then multiply by U round-trips.
+    #[test]
+    fn panel_solves_round_trip(m in tile_strategy(5), b0 in tile_strategy(5)) {
+        let n = 5;
+        let a0 = diag_dominant(m, n);
+        let mut lu = a0.clone();
+        dgetrf_nopiv(&mut lu, n);
+
+        let mut x = b0.clone();
+        fwd_lower_unit(&lu, &mut x, n);
+        // L·x == b0 with unit-lower L.
+        let mut recon = x.clone();
+        for i in (0..n).rev() {
+            for j in 0..n {
+                let mut v = recon[i * n + j];
+                for k in 0..i {
+                    v += lu[i * n + k] * x[k * n + j];
+                }
+                recon[i * n + j] = v;
+            }
+        }
+        for (r, e) in recon.iter().zip(&b0) {
+            prop_assert!((r - e).abs() < 1e-8);
+        }
+
+        let mut y = b0.clone();
+        bdiv_upper(&lu, &mut y, n);
+        // y·U == b0.
+        let mut u = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                u[i * n + j] = lu[i * n + j];
+            }
+        }
+        let mut recon2 = vec![0.0; n * n];
+        dgemm(&mut recon2, &y, &u, n, 1.0);
+        for (r, e) in recon2.iter().zip(&b0) {
+            prop_assert!((r - e).abs() < 1e-8);
+        }
+    }
+
+    /// Cholesky of A = M·Mᵀ + cI reconstructs (SPD by construction).
+    #[test]
+    fn cholesky_reconstructs(m in tile_strategy(5)) {
+        let n = 5;
+        let mut a0 = vec![0.0; n * n];
+        dgemm_nt(&mut a0, &m, &m, n, 1.0);
+        for i in 0..n {
+            a0[i * n + i] += 1.0;
+        }
+        let mut l = a0.clone();
+        prop_assert!(dpotrf(&mut l, n).is_ok());
+        let mut recon = vec![0.0; n * n];
+        dgemm_nt(&mut recon, &l, &l, n, 1.0);
+        for (r, e) in recon.iter().zip(&a0) {
+            prop_assert!((r - e).abs() < 1e-8);
+        }
+    }
+
+    /// Parseval: the FFT preserves energy up to the 1/n normalization —
+    /// Σ|x|² == (1/n)·Σ|X|².
+    #[test]
+    fn fft_parseval(signal in proptest::collection::vec(-1.0f64..1.0, 64..=64)) {
+        let n = 32; // 32 complex values = 64 doubles
+        let mut spectrum = signal.clone();
+        fft1d(&mut spectrum, n, false);
+        let time_energy: f64 = signal.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        let freq_energy: f64 = spectrum.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        prop_assert!((time_energy - freq_energy / n as f64).abs() < 1e-9 * (1.0 + time_energy));
+    }
+
+    /// FFT round trip is the identity (scaled by n).
+    #[test]
+    fn fft_round_trip(signal in proptest::collection::vec(-10.0f64..10.0, 32..=32)) {
+        let n = 16;
+        let mut data = signal.clone();
+        fft1d(&mut data, n, false);
+        fft1d(&mut data, n, true);
+        for (g, w) in data.iter().zip(&signal) {
+            prop_assert!((g / n as f64 - w).abs() < 1e-9);
+        }
+    }
+
+    /// Perlin noise is bounded and deterministic per seed everywhere.
+    #[test]
+    fn perlin_bounded_deterministic(seed in any::<u64>(), x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let p1 = Perlin::new(seed);
+        let p2 = Perlin::new(seed);
+        let v = p1.noise2(x, y);
+        prop_assert!(v.abs() <= 2.0);
+        prop_assert_eq!(v.to_bits(), p2.noise2(x, y).to_bits());
+    }
+}

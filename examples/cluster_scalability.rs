@@ -1,0 +1,76 @@
+//! Scalability of complete replication on the simulated cluster (the
+//! engine behind the paper's Figures 5 and 6): sweeps core counts for
+//! a shared-memory workload and node counts for a distributed one.
+//!
+//! ```text
+//! cargo run --release --example cluster_scalability
+//! ```
+
+use std::sync::Arc;
+
+use appfit::fault::{InjectionConfig, NoFaults, SeededInjector};
+use appfit::fit::RateModel;
+use appfit::heuristic::ReplicateAll;
+use appfit::sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use appfit::workloads::{cholesky::Cholesky, linpack::Linpack, Scale, Workload};
+
+fn sim_once(graph: &SimGraph, cluster: ClusterSpec, p_fault: f64) -> f64 {
+    simulate(
+        graph,
+        &SimConfig {
+            cluster,
+            cost: CostModel::default(),
+            policy: Arc::new(ReplicateAll),
+            faults: if p_fault > 0.0 {
+                Arc::new(SeededInjector::new(7))
+            } else {
+                Arc::new(NoFaults)
+            },
+            injection: if p_fault > 0.0 {
+                InjectionConfig::PerTask {
+                    p_due: p_fault / 2.0,
+                    p_sdc: p_fault / 2.0,
+                }
+            } else {
+                InjectionConfig::Disabled
+            },
+        },
+    )
+    .makespan
+}
+
+fn main() {
+    let rates = RateModel::roadrunner();
+
+    println!("Shared memory (Cholesky, complete replication on spare cores):");
+    let built = Cholesky.build(Scale::Medium, 1, false);
+    let graph = SimGraph::from_task_graph(&built.graph, &rates, |_| 0);
+    let base = sim_once(&graph, ClusterSpec::shared_memory(1), 0.0);
+    println!("  cores  speedup  speedup(1% faults/task)");
+    for cores in [1usize, 2, 4, 8, 16] {
+        let clean = sim_once(&graph, ClusterSpec::shared_memory(cores), 0.0);
+        let faulty = sim_once(&graph, ClusterSpec::shared_memory(cores), 0.01);
+        println!(
+            "  {cores:>5}  {:>7.2}  {:>7.2}",
+            base / clean,
+            base / faulty
+        );
+    }
+
+    println!("\nDistributed (paper-scale Linpack over an 8x8 block-cyclic grid):");
+    let built = Linpack.build(Scale::Paper, 64, false);
+    let graph64 = SimGraph::from_task_graph(&built.graph, &rates, built.placement_fn());
+    let base = {
+        let mut g = graph64.clone();
+        g.remap_nodes(|n| n % 4);
+        sim_once(&g, ClusterSpec::distributed(4), 0.0)
+    };
+    println!("  nodes  cores  speedup over 64 cores");
+    for nodes in [4usize, 8, 16, 32, 64] {
+        let mut g = graph64.clone();
+        g.remap_nodes(|n| n % nodes as u32);
+        let t = sim_once(&g, ClusterSpec::distributed(nodes), 0.0);
+        println!("  {nodes:>5}  {:>5}  {:>6.2}", nodes * 16, base / t);
+    }
+    println!("\n(Virtual time from the discrete-event simulator — see `repro fig5`/`fig6`.)");
+}

@@ -1,0 +1,60 @@
+//! The paper's Figure-1 example, executed for real: dataflow
+//! synchronization lets the independent task B overlap the A1→A2
+//! chain, while a fork-join `taskwait` serializes it.
+//!
+//! ```text
+//! cargo run --release --example dataflow_vs_forkjoin
+//! ```
+
+use appfit::dataflow::{analysis, DataArena, Executor, Region, TaskGraph, TaskSpec};
+
+fn build(fork_join: bool) -> (TaskGraph, DataArena) {
+    let mut arena = DataArena::new();
+    let a = arena.alloc_from("A", vec![0.0; 1 << 16]);
+    let b = arena.alloc_from("B", vec![0.0; 1 << 17]);
+    let mut g = TaskGraph::new();
+    let bump = |ctx: &mut appfit::dataflow::TaskCtx<'_>| {
+        // A deliberately slow element-wise update.
+        for x in ctx.w(0).as_mut_slice() {
+            *x = (*x + 1.0).sqrt() + 1.0;
+        }
+    };
+    g.submit(TaskSpec::new("A1").updates(Region::full(a, 1 << 16)).kernel(bump));
+    if fork_join {
+        // OpenMP-3.0 style: a taskwait between A1 and A2 — which also
+        // blocks the unrelated B.
+        g.taskwait();
+    }
+    g.submit(TaskSpec::new("A2").updates(Region::full(a, 1 << 16)).kernel(bump));
+    g.submit(TaskSpec::new("B").updates(Region::full(b, 1 << 17)).kernel(bump));
+    (g, arena)
+}
+
+fn main() {
+    println!("Figure 1 — dataflow vs fork-join (tasks A1 → A2, independent B)\n");
+    for (name, fork_join) in [("dataflow", false), ("fork-join", true)] {
+        let (graph, mut arena) = build(fork_join);
+        let unit = |id: appfit::dataflow::TaskId| {
+            if graph.task(id).is_barrier {
+                0.0
+            } else {
+                graph.task(id).accesses[0].region.len() as f64
+            }
+        };
+        let span = analysis::critical_path(&graph, unit);
+        let work = analysis::total_work(&graph, unit);
+        let profile = analysis::level_profile(&graph);
+        let report = Executor::new(2).run(&graph, &mut arena);
+        println!("{name}:");
+        println!("  dependency edges:   {}", graph.edge_count());
+        println!("  level profile:      {profile:?} (tasks per dependency depth)");
+        println!("  work/span:          {:.2}", work / span);
+        println!("  2-thread makespan:  {:?}", report.makespan);
+        println!();
+    }
+    println!(
+        "The dataflow version lets B run alongside A1/A2 because its\n\
+         inputs and outputs are independent; the taskwait barrier has no\n\
+         way to know that, so B waits (paper §II-B)."
+    );
+}

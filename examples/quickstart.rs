@@ -1,0 +1,112 @@
+//! Quickstart: protect a blocked computation with App_FIT.
+//!
+//! Builds a small blocked Cholesky factorization, sets a reliability
+//! target, lets App_FIT choose which tasks to replicate, runs with
+//! fault injection, and prints what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use appfit::dataflow::Executor;
+use appfit::fault::{InjectionConfig, SeededInjector};
+use appfit::fit::RateModel;
+use appfit::heuristic::{AppFit, AppFitConfig};
+use appfit::replication::ReplicationEngine;
+use appfit::workloads::{cholesky::Cholesky, Scale, Workload};
+
+fn main() {
+    // 1. Build the application: a blocked Cholesky factorization,
+    //    expressed as a dataflow task graph. Nothing below changes the
+    //    application code — protection is installed underneath it.
+    let built = Cholesky.build(Scale::Small, 1, true);
+    let mut arena = built.arena;
+    let graph = built.graph;
+    println!(
+        "workload: Cholesky — {} tasks, {} dependency edges, {:.1} MB of data",
+        graph.len(),
+        graph.edge_count(),
+        arena.total_bytes() as f64 / 1e6
+    );
+
+    // 2. Pick a reliability target. Here: the FIT the application
+    //    would accumulate at today's error rates, while tasks run at
+    //    pessimistic 10× exascale rates — the paper's Figure-3 setup.
+    let today = RateModel::roadrunner();
+    let future = RateModel::roadrunner().with_multiplier(10.0);
+    let threshold: f64 = graph
+        .tasks()
+        .map(|t| {
+            today
+                .rates_for_arguments(t.accesses.iter().map(|a| a.bytes()))
+                .total()
+                .value()
+        })
+        .sum();
+    let n_tasks = graph.compute_task_count() as u64;
+    println!("reliability target: {threshold:.3e} FIT over {n_tasks} tasks");
+
+    // 3. Install App_FIT + the replication engine, with fault injection
+    //    so the recovery machinery actually fires in this demo.
+    let policy = Arc::new(AppFit::new(AppFitConfig::new(
+        appfit::fit::Fit::new(threshold),
+        n_tasks,
+    )));
+    let engine = Arc::new(
+        ReplicationEngine::new(Arc::clone(&policy) as _, future).with_faults(
+            Arc::new(SeededInjector::new(42)),
+            InjectionConfig::PerTask {
+                p_due: 0.02,
+                p_sdc: 0.05,
+            },
+        ),
+    );
+    let log = engine.log();
+
+    // 4. Run and verify.
+    let report = Executor::new(2).with_hooks(engine).run(&graph, &mut arena);
+
+    println!("\n--- run report ---");
+    println!("makespan:                {:?}", report.makespan);
+    println!(
+        "tasks replicated:        {}/{} ({:.1}%)",
+        policy.replicated(),
+        n_tasks,
+        100.0 * report.replicated_task_fraction()
+    );
+    println!(
+        "computation replicated:  {:.1}%",
+        100.0 * report.replicated_time_fraction()
+    );
+    println!(
+        "unprotected FIT:         {:.3e} (≤ target: {})",
+        policy.current_fit().value(),
+        policy.current_fit().value() <= threshold
+    );
+    let counts = log.counts();
+    println!(
+        "injected faults:         {} SDC, {} DUE",
+        counts.sdc, counts.due
+    );
+    println!(
+        "detected & corrected:    {} SDCs, {} crashes recovered",
+        report.sdc_corrected_count(),
+        report.due_recovered_count()
+    );
+    println!(
+        "uncovered (unreplicated): {} SDC, {} DUE",
+        counts.uncovered_sdc, counts.uncovered_due
+    );
+
+    match (built.verify)(&mut arena) {
+        Ok(()) if counts.uncovered_sdc == 0 && counts.uncovered_due == 0 => {
+            println!("\nnumerical verification: PASS (all faults were covered)");
+        }
+        Ok(()) => println!("\nnumerical verification: PASS (uncovered faults missed the result)"),
+        Err(e) => println!(
+            "\nnumerical verification: corrupted by uncovered faults, as expected — {e}"
+        ),
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure-2 walkthrough: watch one task survive a silent data
+//! corruption through checkpoint → replicate → compare → re-execute →
+//! vote, then survive a crash through replica adoption.
+//!
+//! ```text
+//! cargo run --release --example sdc_recovery
+//! ```
+
+use std::sync::Arc;
+
+use appfit::dataflow::{DataArena, Executor, Region, TaskGraph, TaskSpec};
+use appfit::fault::{ErrorClass, FaultPlan, InjectionConfig};
+use appfit::fit::RateModel;
+use appfit::heuristic::ReplicateAll;
+use appfit::replication::ReplicationEngine;
+
+fn build() -> (TaskGraph, DataArena, Region) {
+    let mut arena = DataArena::new();
+    let input = arena.alloc_from("in", (1..=6).map(f64::from).collect());
+    let out = arena.alloc("out", 6);
+    let r_out = Region::full(out, 6);
+    let mut g = TaskGraph::new();
+    g.submit(
+        TaskSpec::new("square")
+            .reads(Region::full(input, 6))
+            .writes(r_out)
+            .kernel(|ctx| {
+                let x = ctx.r(0);
+                let mut y = ctx.w(1);
+                for i in 0..x.len() {
+                    y.set(i, x.at(i) * x.at(i));
+                }
+            }),
+    );
+    (g, arena, r_out)
+}
+
+fn run_scenario(name: &str, plan: FaultPlan) {
+    println!("=== scenario: {name} ===");
+    let (graph, mut arena, r_out) = build();
+    let engine = Arc::new(
+        ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner()).with_faults(
+            Arc::new(plan),
+            InjectionConfig::PerTask {
+                p_due: 0.0,
+                p_sdc: 0.0,
+            },
+        ),
+    );
+    let log = engine.log();
+    let report = Executor::sequential().with_hooks(engine).run(&graph, &mut arena);
+    let rec = &report.records[0];
+    println!("  ① inputs checkpointed (safe memory)");
+    println!("  ② original + replica executed: {} kernel attempts total", rec.attempts);
+    for e in log.events() {
+        println!(
+            "     injected {} into attempt {} ({})",
+            e.class,
+            e.attempt,
+            if e.covered { "covered" } else { "UNCOVERED" }
+        );
+    }
+    if rec.sdc_detected {
+        println!("  ③ comparison at sync point: MISMATCH detected");
+        println!("  ④ re-executed from checkpoint");
+        println!(
+            "  ⑤ majority vote: {}",
+            if rec.sdc_corrected { "corrected" } else { "unresolved" }
+        );
+    } else {
+        println!("  ③ comparison at sync point: results agree");
+    }
+    if rec.due_recovered {
+        println!("  crash recovery: surviving copy adopted");
+    }
+    let got = arena.read_region(r_out);
+    let want: Vec<f64> = (1..=6).map(|x| (x * x) as f64).collect();
+    println!(
+        "  final outputs correct: {}\n",
+        if got == want { "YES" } else { "NO" }
+    );
+    assert_eq!(got, want, "every scenario must end with correct results");
+}
+
+fn main() {
+    println!("Replication pipeline walkthrough (paper Figure 2)\n");
+    run_scenario("fault-free", FaultPlan::new());
+    run_scenario(
+        "SDC in the original",
+        FaultPlan::new().with(0, 0, ErrorClass::Sdc),
+    );
+    run_scenario(
+        "SDC in the replica",
+        FaultPlan::new().with(0, 1, ErrorClass::Sdc),
+    );
+    run_scenario(
+        "crash of the original",
+        FaultPlan::new().with(0, 0, ErrorClass::Due),
+    );
+    run_scenario(
+        "crash of both, then clean re-execution",
+        FaultPlan::new()
+            .with(0, 0, ErrorClass::Due)
+            .with(0, 1, ErrorClass::Due),
+    );
+    println!("All scenarios recovered bit-exact results.");
+}

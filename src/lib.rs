@@ -1,0 +1,60 @@
+//! # appfit — selective task replication for reliability targets
+//!
+//! Umbrella crate of the reproduction of Subasi et al., *"A Runtime
+//! Heuristic to Selectively Replicate Tasks for Application-Specific
+//! Reliability Targets"* (CLUSTER 2016). Re-exports the workspace
+//! crates under stable module names; the repository's examples and
+//! cross-crate integration tests live here.
+//!
+//! ## Layer map
+//!
+//! * [`fit`] — FIT arithmetic and per-task failure-rate estimation from
+//!   argument sizes (paper §IV-A).
+//! * [`fault`] — deterministic SDC/DUE injection.
+//! * [`dataflow`] — the task-parallel dataflow runtime (the Nanos
+//!   substitute): region annotations, inferred dependencies,
+//!   work-stealing executor.
+//! * [`replication`] — checkpoint → replicate → compare → vote engine
+//!   (paper §III, Figure 2).
+//! * [`heuristic`] — **App_FIT** (paper §IV-B, Eq. 1) and the policy
+//!   zoo (complete/none/random/periodic/oracle).
+//! * [`sim`] — the discrete-event cluster simulator (the MareNostrum
+//!   substitute behind Figures 4–6).
+//! * [`workloads`] — the nine Table-I benchmarks.
+//!
+//! ## Sixty-second tour
+//!
+//! ```
+//! use std::sync::Arc;
+//! use appfit::dataflow::{DataArena, Executor, Region, TaskGraph, TaskSpec};
+//! use appfit::fit::{Fit, RateModel};
+//! use appfit::heuristic::{AppFit, AppFitConfig};
+//! use appfit::replication::ReplicationEngine;
+//!
+//! // A two-task dataflow program.
+//! let mut arena = DataArena::new();
+//! let v = arena.alloc("v", 1024);
+//! let mut graph = TaskGraph::new();
+//! graph.submit(TaskSpec::new("fill").writes(Region::full(v, 1024)).kernel(|ctx| {
+//!     ctx.w(0).as_mut_slice().fill(1.0);
+//! }));
+//! graph.submit(TaskSpec::new("scale").updates(Region::full(v, 1024)).kernel(|ctx| {
+//!     for x in ctx.w(0).as_mut_slice() { *x *= 3.0; }
+//! }));
+//!
+//! // Protect it: App_FIT keeps unreplicated failure rate under 1 FIT.
+//! let policy = Arc::new(AppFit::new(AppFitConfig::new(Fit::new(1.0), 2)));
+//! let engine = Arc::new(ReplicationEngine::new(policy, RateModel::roadrunner()));
+//! let report = Executor::new(2).with_hooks(engine).run(&graph, &mut arena);
+//!
+//! assert_eq!(arena.read(v)[0], 3.0);
+//! assert_eq!(report.records.len(), 2);
+//! ```
+
+pub use appfit_core as heuristic;
+pub use cluster_sim as sim;
+pub use dataflow_rt as dataflow;
+pub use fault_inject as fault;
+pub use fit_model as fit;
+pub use task_replication as replication;
+pub use workloads;
