@@ -3,7 +3,7 @@
 use fit_model::Fit;
 use parking_lot::Mutex;
 
-use crate::policy::{DecisionCtx, ReplicationPolicy};
+use crate::policy::{DecisionCtx, EpochDecider, EpochDecision, ReplicationPolicy};
 
 /// When a task's failure rate is charged to `current_fit`.
 ///
@@ -132,6 +132,18 @@ impl AppFit {
     }
 }
 
+/// The Eq. 1 test itself — the single definition both the sequential
+/// path ([`AppFit::decide`]) and the sharded-engine fork
+/// ([`AppFitEpochFork`]) evaluate, so the two can never drift apart:
+/// would running a task with rate `lambda` unprotected push
+/// `current_fit` past the pro-rated budget after `decided` decisions?
+#[inline]
+fn eq1_replicate(config: &AppFitConfig, current_fit: f64, decided: u64, lambda: f64) -> bool {
+    let portion = (config.threshold.value() / config.n_tasks as f64)
+        * (decided + 1).min(config.n_tasks) as f64;
+    current_fit + lambda > portion
+}
+
 impl ReplicationPolicy for AppFit {
     /// Eq. 1, checked atomically. The budget index is clamped at `N` so
     /// that tasks submitted beyond the declared count (if the runtime's
@@ -139,9 +151,7 @@ impl ReplicationPolicy for AppFit {
     fn decide(&self, ctx: &DecisionCtx) -> bool {
         let lambda = ctx.rates.total().value();
         let mut s = self.state.lock();
-        let portion = (self.config.threshold.value() / self.config.n_tasks as f64)
-            * (s.decided + 1).min(self.config.n_tasks) as f64;
-        let replicate = s.current_fit + lambda > portion;
+        let replicate = eq1_replicate(&self.config, s.current_fit, s.decided, lambda);
         s.decided += 1;
         if replicate {
             s.replicated += 1;
@@ -164,8 +174,67 @@ impl ReplicationPolicy for AppFit {
         }
     }
 
+    /// Epoch fork for sharded simulation: snapshots `(current_fit, i)`
+    /// and runs Eq. 1 against the snapshot plus the fork's own charges.
+    /// Within one node's dispatch sequence this reproduces the
+    /// sequential heuristic exactly; across nodes the view is stale by
+    /// at most one epoch (the engine's documented bounded-staleness
+    /// contract — see `cluster-sim`'s shard module).
+    fn fork_epoch(&self) -> Box<dyn EpochDecider + '_> {
+        let s = self.state.lock();
+        Box::new(AppFitEpochFork {
+            config: self.config,
+            current_fit: s.current_fit,
+            decided: s.decided,
+        })
+    }
+
+    /// Applies the epoch's decisions to the global state in canonical
+    /// order. Both charging disciplines account here: in the simulator
+    /// the charge lands between one decision and the next either way,
+    /// so the committed sums are identical (see [`ChargeOn`]).
+    fn commit_epoch(&self, decisions: &[EpochDecision]) {
+        let mut s = self.state.lock();
+        for d in decisions {
+            s.decided += 1;
+            if d.replicate {
+                s.replicated += 1;
+            }
+            Self::charge(
+                &mut s,
+                d.ctx.rates.total().value(),
+                d.replicate,
+                self.config.residual_factor,
+            );
+        }
+    }
+
     fn name(&self) -> &'static str {
         "app-fit"
+    }
+}
+
+/// The fork [`AppFit::fork_epoch`] hands to one node for one epoch.
+struct AppFitEpochFork {
+    config: AppFitConfig,
+    current_fit: f64,
+    decided: u64,
+}
+
+impl EpochDecider for AppFitEpochFork {
+    fn decide(&mut self, ctx: &DecisionCtx) -> bool {
+        let lambda = ctx.rates.total().value();
+        let replicate = eq1_replicate(&self.config, self.current_fit, self.decided, lambda);
+        self.decided += 1;
+        // Charge locally regardless of discipline: in virtual time the
+        // sequential engine charges between this decision and the next
+        // for both `ChargeOn` variants.
+        self.current_fit += if replicate {
+            lambda * self.config.residual_factor
+        } else {
+            lambda
+        };
+        replicate
     }
 }
 

@@ -37,5 +37,6 @@ pub use accounting::{evaluate_policy, PolicySummary, TaskSample};
 pub use appfit::{AppFit, AppFitConfig, ChargeOn};
 pub use oracle::{oracle_dp, oracle_greedy, OracleSolution};
 pub use policy::{
-    DecisionCtx, PeriodicPolicy, RandomPolicy, ReplicateAll, ReplicateNone, ReplicationPolicy,
+    DecisionCtx, EpochDecider, EpochDecision, PeriodicPolicy, RandomPolicy, ReplicateAll,
+    ReplicateNone, ReplicationPolicy,
 };

@@ -30,8 +30,69 @@ pub trait ReplicationPolicy: Send + Sync {
         let _ = (ctx, replicated);
     }
 
+    /// Forks a decision view for one *epoch* of sharded simulation
+    /// (`cluster-sim`'s parallel engine). The fork sees this policy's
+    /// global state frozen as of the fork plus whatever it accumulates
+    /// locally; the definitive state update happens later through
+    /// [`ReplicationPolicy::commit_epoch`] with the epoch's decisions
+    /// in canonical order. Stateless policies (the default) just pass
+    /// decisions through to [`ReplicationPolicy::decide`], which is
+    /// order-independent for them.
+    fn fork_epoch(&self) -> Box<dyn EpochDecider + '_> {
+        Box::new(PassThroughDecider(self))
+    }
+
+    /// Merges one epoch's committed decisions into global state, in
+    /// the engine's canonical order — virtual dispatch time, then
+    /// owner node, then within-node dispatch order, so a single node's
+    /// decisions commit exactly as they were taken. The engine calls
+    /// this exactly once per decision across all forks, so stateful
+    /// policies account here and treat fork-local accumulation as
+    /// scratch.
+    ///
+    /// The default forwards each decision to
+    /// [`ReplicationPolicy::on_complete`], preserving completion-time
+    /// accounting for policies that only implement the sequential
+    /// surface; policies that override [`ReplicationPolicy::fork_epoch`]
+    /// should override this too and account exactly once.
+    fn commit_epoch(&self, decisions: &[EpochDecision]) {
+        for d in decisions {
+            self.on_complete(&d.ctx, d.replicate);
+        }
+    }
+
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
+}
+
+/// One committed replication decision of a sharded-simulation epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochDecision {
+    /// The decision inputs.
+    pub ctx: DecisionCtx,
+    /// The decision taken by the epoch fork.
+    pub replicate: bool,
+}
+
+/// A node-local decision view for one epoch of sharded simulation.
+///
+/// Created by [`ReplicationPolicy::fork_epoch`]; lives on one shard
+/// thread for one synchronization window, then is dropped (its local
+/// accumulation is scratch — [`ReplicationPolicy::commit_epoch`]
+/// performs the definitive update).
+pub trait EpochDecider {
+    /// Decides one task against the frozen-plus-local view.
+    fn decide(&mut self, ctx: &DecisionCtx) -> bool;
+}
+
+/// Default [`EpochDecider`]: forwards to the (stateless, hence
+/// order-insensitive) policy itself.
+struct PassThroughDecider<'p, P: ReplicationPolicy + ?Sized>(&'p P);
+
+impl<P: ReplicationPolicy + ?Sized> EpochDecider for PassThroughDecider<'_, P> {
+    fn decide(&mut self, ctx: &DecisionCtx) -> bool {
+        self.0.decide(ctx)
+    }
 }
 
 /// Complete task replication — the paper's baseline whose cost App_FIT

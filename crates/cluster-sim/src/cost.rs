@@ -61,6 +61,62 @@ impl CostModel {
     pub fn compare_secs(&self, node: &NodeSpec, bytes_out: u64) -> f64 {
         self.compare_traffic_factor * bytes_out as f64 / node.protection_bytes_per_sec()
     }
+
+    /// Binds this model to one node type, pre-computing the unit
+    /// conversions the per-dispatch hot path would otherwise repeat
+    /// millions of times in a large sweep. The prepared form evaluates
+    /// the *same expressions* as the methods above (same operation
+    /// order), so results are bit-identical.
+    pub fn prepare(&self, node: &NodeSpec) -> PreparedCost {
+        PreparedCost {
+            rate: node.flops_per_sec() * self.efficiency,
+            node_bw: node.mem_bw_gbs * 1e9,
+            protection_bw: node.protection_bytes_per_sec(),
+            cores: node.cores.max(1),
+            checkpoint_traffic_factor: self.checkpoint_traffic_factor,
+            compare_traffic_factor: self.compare_traffic_factor,
+        }
+    }
+}
+
+/// A [`CostModel`] bound to one [`NodeSpec`] with conversions
+/// pre-computed — the form the simulation engines evaluate per
+/// dispatch. Produced by [`CostModel::prepare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedCost {
+    /// Effective flop rate (flop/s × efficiency).
+    rate: f64,
+    /// Node-total memory bandwidth in bytes/s.
+    node_bw: f64,
+    /// Protection-path (checkpoint/compare) bandwidth in bytes/s.
+    protection_bw: f64,
+    /// Worker cores (≥ 1), the contention clamp.
+    cores: usize,
+    checkpoint_traffic_factor: f64,
+    compare_traffic_factor: f64,
+}
+
+impl PreparedCost {
+    /// See [`CostModel::kernel_secs`].
+    #[inline]
+    pub fn kernel_secs(&self, active: usize, flops: f64, bytes_in: u64, bytes_out: u64) -> f64 {
+        let compute = flops / self.rate;
+        let memory =
+            (bytes_in + bytes_out) as f64 / (self.node_bw / active.clamp(1, self.cores) as f64);
+        compute.max(memory)
+    }
+
+    /// See [`CostModel::checkpoint_secs`].
+    #[inline]
+    pub fn checkpoint_secs(&self, bytes_in: u64) -> f64 {
+        self.checkpoint_traffic_factor * bytes_in as f64 / self.protection_bw
+    }
+
+    /// See [`CostModel::compare_secs`].
+    #[inline]
+    pub fn compare_secs(&self, bytes_out: u64) -> f64 {
+        self.compare_traffic_factor * bytes_out as f64 / self.protection_bw
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +154,32 @@ mod tests {
         };
         let d = half.kernel_secs(&node, 1, 4.0e9, 0, 0);
         assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepared_cost_is_bit_identical() {
+        let node = marenostrum3_node(16);
+        let m = CostModel {
+            efficiency: 0.7,
+            ..CostModel::default()
+        };
+        let p = m.prepare(&node);
+        for active in [1usize, 3, 16, 40] {
+            for &(flops, bi, bo) in &[(1.0e9, 1u64 << 20, 1u64 << 18), (5.0, 7, 0), (0.0, 0, 9)] {
+                assert_eq!(
+                    m.kernel_secs(&node, active, flops, bi, bo).to_bits(),
+                    p.kernel_secs(active, flops, bi, bo).to_bits(),
+                );
+                assert_eq!(
+                    m.checkpoint_secs(&node, bi).to_bits(),
+                    p.checkpoint_secs(bi).to_bits()
+                );
+                assert_eq!(
+                    m.compare_secs(&node, bo).to_bits(),
+                    p.compare_secs(bo).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Batched event storage for the sharded engine.
+//!
+//! The sharded engine ([`crate::shard`]) keeps only the *current*
+//! window's events in an ordered heap; everything scheduled further out
+//! sits in per-epoch **batches** stored struct-of-arrays (times and task
+//! ids in separate vectors). Batches are append-only during a window and
+//! sorted once when their epoch opens, which replaces millions of
+//! per-event heap rebalances with one cache-friendly sort per epoch —
+//! the "batching" leg of the sharding/batching/async roadmap item.
+
+/// A struct-of-arrays batch of `(time, task)` events.
+///
+/// The two hot fields live in parallel vectors so sweeps over times
+/// (sorting, window filtering) don't drag task ids through the cache
+/// and vice versa.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    times: Vec<f64>,
+    tasks: Vec<u32>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        EventBatch::default()
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, time: f64, task: u32) {
+        self.times.push(time);
+        self.tasks.push(task);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Removes all events.
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.tasks.clear();
+    }
+
+    /// Appends all of `other`'s events.
+    pub fn extend_from(&mut self, other: &EventBatch) {
+        self.times.extend_from_slice(&other.times);
+        self.tasks.extend_from_slice(&other.tasks);
+    }
+
+    /// Stable-sorts the batch by time only: simultaneous events keep
+    /// their insertion order, which is how the sequential engine breaks
+    /// ties (heap insertion sequence).
+    pub fn sort_stable_by_time(&mut self) {
+        if self.is_sorted_by_time() {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.times[a as usize]
+                .total_cmp(&self.times[b as usize])
+                .then(a.cmp(&b)) // stability, explicitly
+        });
+        self.apply_permutation(&order);
+    }
+
+    /// Sorts the batch by `(time, task id)` — the canonical order for
+    /// cross-shard deliveries, which must not depend on which shard
+    /// (hence which buffer position) a message came from.
+    pub fn sort_canonical(&mut self) {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.times[a as usize]
+                .total_cmp(&self.times[b as usize])
+                .then(self.tasks[a as usize].cmp(&self.tasks[b as usize]))
+        });
+        self.apply_permutation(&order);
+    }
+
+    /// Iterates `(time, task)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u32)> + '_ {
+        self.times.iter().copied().zip(self.tasks.iter().copied())
+    }
+
+    fn is_sorted_by_time(&self) -> bool {
+        self.times.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    fn apply_permutation(&mut self, order: &[u32]) {
+        let times = order.iter().map(|&i| self.times[i as usize]).collect();
+        let tasks = order.iter().map(|&i| self.tasks[i as usize]).collect();
+        self.times = times;
+        self.tasks = tasks;
+    }
+}
+
+/// Future events bucketed by epoch index, struct-of-arrays per bucket.
+#[derive(Debug, Clone, Default)]
+pub struct EpochCalendar {
+    buckets: std::collections::BTreeMap<u64, EventBatch>,
+}
+
+impl EpochCalendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        EpochCalendar::default()
+    }
+
+    /// Buffers an event for the epoch containing `time`.
+    #[inline]
+    pub fn push(&mut self, epoch: u64, time: f64, task: u32) {
+        self.buckets.entry(epoch).or_default().push(time, task);
+    }
+
+    /// Takes the batch for `epoch`, if any.
+    pub fn take(&mut self, epoch: u64) -> Option<EventBatch> {
+        self.buckets.remove(&epoch)
+    }
+
+    /// Earliest epoch with buffered events.
+    pub fn min_epoch(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Total buffered events across all epochs.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(EventBatch::len).sum()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_time_sort_preserves_insertion_ties() {
+        let mut b = EventBatch::new();
+        b.push(2.0, 9);
+        b.push(1.0, 5);
+        b.push(1.0, 3); // same time as task 5, inserted later
+        b.sort_stable_by_time();
+        let got: Vec<_> = b.iter().collect();
+        assert_eq!(got, vec![(1.0, 5), (1.0, 3), (2.0, 9)]);
+    }
+
+    #[test]
+    fn canonical_sort_breaks_ties_by_task() {
+        let mut b = EventBatch::new();
+        b.push(1.0, 5);
+        b.push(1.0, 3);
+        b.sort_canonical();
+        let got: Vec<_> = b.iter().collect();
+        assert_eq!(got, vec![(1.0, 3), (1.0, 5)]);
+    }
+
+    #[test]
+    fn calendar_buckets_by_epoch() {
+        let mut c = EpochCalendar::new();
+        c.push(3, 3.5, 1);
+        c.push(1, 1.5, 2);
+        c.push(3, 3.2, 3);
+        assert_eq!(c.min_epoch(), Some(1));
+        assert_eq!(c.len(), 3);
+        let b = c.take(3).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(c.min_epoch(), Some(1));
+        assert!(c.take(3).is_none());
+    }
+}

@@ -127,6 +127,123 @@ fn task_ids(ids: &[dataflow_rt::TaskId]) -> Vec<u32> {
     ids.iter().map(|t| t.index() as u32).collect()
 }
 
+/// Shape of a [`SimGraph::synthetic`] workload: per-node task chains
+/// with optional nearest-neighbour cross-node dependencies.
+///
+/// The builder exists for cluster-scale sweeps (millions of tasks over
+/// thousands of machines) where constructing a real
+/// [`dataflow_rt::TaskGraph`] — with its region dependency inference —
+/// would dominate the experiment. The generated structure mimics the
+/// paper's distributed benchmarks: independent per-node work streams
+/// (`chains_per_node × tasks_per_chain` per node) stitched together by
+/// periodic halo-exchange-style edges to a neighbouring node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Cluster nodes tasks are placed on (owner-computes, round-robin
+    /// free — chain `c` of node `n` stays on node `n`).
+    pub nodes: usize,
+    /// Independent chains per node (the node's core-level parallelism).
+    pub chains_per_node: usize,
+    /// Chain length; total tasks = `nodes × chains_per_node × tasks_per_chain`.
+    pub tasks_per_chain: usize,
+    /// Mean analytic flop count per task.
+    pub flops_per_task: f64,
+    /// Deterministic flop jitter as a fraction of the mean: each task's
+    /// flops are `flops_per_task × (1 ± jitter)`. Zero gives exactly
+    /// uniform tasks (useful for boundary-aligned regression tests).
+    pub jitter: f64,
+    /// Argument bytes per task (drives failure-rate estimates and
+    /// transfer costs of cross-node edges).
+    pub argument_bytes: u64,
+    /// Every `k`-th chain position also depends on the same chain of
+    /// the next node (`0` disables cross-node edges).
+    pub cross_node_every: usize,
+    /// Seed for the flop jitter.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Total number of tasks the spec generates.
+    pub fn total_tasks(&self) -> usize {
+        self.nodes * self.chains_per_node * self.tasks_per_chain
+    }
+}
+
+/// SplitMix64 — the same avalanche mixer the fault injector uses, kept
+/// local so graph generation stays dependency-free.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed.wrapping_add(x.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimGraph {
+    /// Builds a placed synthetic graph directly (no runtime graph, no
+    /// data), deterministic in `spec`. See [`SyntheticSpec`].
+    pub fn synthetic(spec: &SyntheticSpec, rates: &RateModel) -> Self {
+        assert!(spec.nodes >= 1, "need at least one node");
+        let n = spec.total_tasks();
+        let task_rates = rates.rates_for_arguments([spec.argument_bytes]);
+        let half = spec.argument_bytes / 2;
+        let mut tasks: Vec<SimTask> = Vec::with_capacity(n);
+        for node in 0..spec.nodes {
+            for chain in 0..spec.chains_per_node {
+                let chain_base =
+                    (node * spec.chains_per_node + chain) * spec.tasks_per_chain;
+                for pos in 0..spec.tasks_per_chain {
+                    let id = (chain_base + pos) as u32;
+                    let unit = (mix(spec.seed, id as u64) >> 11) as f64 / (1u64 << 53) as f64;
+                    let jitter = 1.0 + spec.jitter * (2.0 * unit - 1.0);
+                    let mut preds = Vec::new();
+                    let mut sources = Vec::new();
+                    if pos > 0 {
+                        preds.push(id - 1);
+                        sources.push((id - 1, half));
+                        if spec.cross_node_every > 0
+                            && pos % spec.cross_node_every == 0
+                            && spec.nodes > 1
+                        {
+                            // Halo edge: previous position of the same
+                            // chain index on the next node.
+                            let neighbour = (node + 1) % spec.nodes;
+                            let other = ((neighbour * spec.chains_per_node + chain)
+                                * spec.tasks_per_chain
+                                + pos
+                                - 1) as u32;
+                            preds.push(other);
+                            sources.push((other, half));
+                        }
+                    }
+                    tasks.push(SimTask {
+                        id,
+                        label: "synth".to_string(),
+                        preds,
+                        succs: Vec::new(),
+                        flops: spec.flops_per_task * jitter,
+                        bytes_in: half,
+                        bytes_out: half,
+                        argument_bytes: spec.argument_bytes,
+                        rates: task_rates,
+                        node: node as u32,
+                        sources,
+                        is_barrier: false,
+                    });
+                }
+            }
+        }
+        // Successor lists from the predecessor lists (indexed access —
+        // this loop runs over millions of tasks, no per-task clones).
+        for id in 0..n {
+            for k in 0..tasks[id].preds.len() {
+                let p = tasks[id].preds[k] as usize;
+                tasks[p].succs.push(id as u32);
+            }
+        }
+        SimGraph { tasks }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

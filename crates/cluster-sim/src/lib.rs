@@ -4,14 +4,29 @@
 //! cluster — this reproduction's substitute for the MareNostrum III
 //! system (16-core nodes, up to 64 nodes / 1024 cores) the paper's
 //! Figures 4–6 were measured on, which a single-core container cannot
-//! time-slice honestly.
+//! time-slice honestly. Two engines share one timing model:
 //!
-//! The simulator models exactly the quantities those figures depend on:
+//! * [`simulate`] — the **sequential reference engine**: one global
+//!   event heap, event-exact everywhere, the simplest thing that can be
+//!   trusted;
+//! * [`simulate_sharded`] — the **sharded parallel engine**: machines
+//!   partitioned into shards with local event heaps and
+//!   struct-of-arrays epoch calendars ([`events`]), synchronized at
+//!   epoch barriers, scaling to millions of tasks over thousands of
+//!   simulated machines (see [`shard`] for the determinism contract and
+//!   `ARCHITECTURE.md` for the design).
+//!
+//! ## What the model captures
+//!
+//! The simulator models exactly the quantities the paper's figures
+//! depend on:
 //!
 //! * **nodes × cores** plus per-node **spare cores** that only replicas
-//!   may use (the paper executes replicas on spare cores);
+//!   may use (the paper executes replicas on spare cores) —
+//!   [`ClusterSpec`], [`NodeSpec`];
 //! * a roofline-style **task cost model** (`max(flops/rate,
-//!   bytes/bandwidth)`) fed by the workloads' analytic flop counts;
+//!   bytes/bandwidth)`) fed by the workloads' analytic flop counts —
+//!   [`CostModel`], with [`PreparedCost`] as its hot-path form;
 //! * an interconnect with **latency + bandwidth** charged when a task's
 //!   inputs were produced on another node;
 //! * the full replication pipeline in virtual time: checkpoint copy,
@@ -20,22 +35,42 @@
 //! * seeded per-task **fault injection** so recovery costs appear in
 //!   the makespan (the paper's "per task fixed fault rates").
 //!
-//! Simulation is single-threaded and fully deterministic: identical
-//! inputs (graph, cluster, policy, seed) give identical virtual
-//! timelines, so App_FIT decision sequences are exactly reproducible.
+//! ## Inputs and outputs
 //!
-//! The model's simplifications (no link contention, transfers serialized
-//! per task, replica serialized onto its originating core when no spare
-//! is free) are documented on the relevant items and in DESIGN.md §2.
+//! A run consumes a [`SimGraph`] — extracted from a real
+//! [`dataflow_rt::TaskGraph`] via [`SimGraph::from_task_graph`], or
+//! generated directly at cluster scale via [`SimGraph::synthetic`] —
+//! plus a [`SimConfig`] bundling machine model, cost model, replication
+//! policy and fault model. It produces a [`SimReport`] with per-task
+//! [`SimTaskRecord`]s and the aggregate metrics behind Figures 4–6.
+//!
+//! ## Determinism
+//!
+//! Both engines are fully deterministic: identical inputs give
+//! identical virtual timelines, so App_FIT decision sequences are
+//! exactly reproducible. The sharded engine additionally guarantees
+//! that its results never depend on the shard count or thread count,
+//! and coincide bit-for-bit with [`simulate`] for single-node
+//! scenarios — property-tested in `tests/sharded.rs`.
+//!
+//! The model's simplifications (no link contention, transfers
+//! serialized per task, replica serialized onto its originating core
+//! when no spare is free) are documented on the relevant items and in
+//! DESIGN.md §2.
+
+#![deny(missing_docs)]
 
 pub mod cost;
+pub mod events;
 pub mod graph;
 pub mod machine;
 pub mod report;
+pub mod shard;
 pub mod sim;
 
-pub use cost::CostModel;
-pub use graph::{SimGraph, SimTask};
-pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec};
-pub use report::{SimReport, SimTaskRecord};
+pub use cost::{CostModel, PreparedCost};
+pub use graph::{SimGraph, SimTask, SyntheticSpec};
+pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
+pub use report::{LabelStats, SimReport, SimTaskRecord};
+pub use shard::{simulate_sharded, ShardedConfig};
 pub use sim::{simulate, SimConfig};

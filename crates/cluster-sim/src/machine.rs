@@ -110,6 +110,61 @@ impl ClusterSpec {
     }
 }
 
+/// A balanced, contiguous partition of node ids into shards.
+///
+/// Shard `s` owns a contiguous range of nodes; the first `nodes %
+/// shards` shards own one node more than the rest. Used by the sharded
+/// engine ([`crate::shard`]) — the partition is pure bookkeeping and
+/// never influences simulation results (that is the engine's
+/// determinism contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    nodes: usize,
+    shards: usize,
+    /// Quotient: minimum nodes per shard.
+    q: usize,
+    /// Remainder: number of leading shards with `q + 1` nodes.
+    r: usize,
+}
+
+impl ShardMap {
+    /// Partitions `nodes` node ids into `shards` contiguous ranges.
+    /// Shards in excess of nodes own empty ranges.
+    pub fn new(nodes: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardMap {
+            nodes,
+            shards,
+            q: nodes / shards,
+            r: nodes % shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The node range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        assert!(s < self.shards, "shard {s} out of {}", self.shards);
+        let start = s * self.q + s.min(self.r);
+        let len = self.q + usize::from(s < self.r);
+        start..start + len
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        assert!(node < self.nodes, "node {node} out of {}", self.nodes);
+        let fat = self.r * (self.q + 1); // nodes covered by the fat shards
+        if node < fat {
+            node / (self.q + 1)
+        } else {
+            self.r + (node - fat) / self.q
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +194,30 @@ mod tests {
         // 51.2 GB/s node total across 16 busy workers = 3.2 GB/s each.
         assert_eq!(n.bytes_per_sec(16), 3.2e9);
         assert_eq!(n.spare_cores, 16);
+    }
+
+    #[test]
+    fn shard_map_partitions_exactly() {
+        for &(nodes, shards) in &[(1usize, 1usize), (10, 3), (7, 7), (5, 9), (1024, 16)] {
+            let map = ShardMap::new(nodes, shards);
+            let mut covered = 0;
+            for s in 0..shards {
+                let range = map.range(s);
+                assert_eq!(range.start, covered, "ranges contiguous");
+                for node in range.clone() {
+                    assert_eq!(map.shard_of(node), s, "inverse of range ({nodes}/{shards})");
+                }
+                covered = range.end;
+            }
+            assert_eq!(covered, nodes, "every node owned exactly once");
+        }
+    }
+
+    #[test]
+    fn shard_map_is_balanced() {
+        let map = ShardMap::new(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| map.range(s).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
     }
 
     #[test]

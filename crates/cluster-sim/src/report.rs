@@ -31,7 +31,10 @@ pub struct SimTaskRecord {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares exactly (including float fields bit-for-bit on
+/// equal values) — the sharded engine's determinism tests rely on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Virtual makespan in seconds.
     pub makespan: f64,
@@ -73,11 +76,14 @@ impl SimReport {
         if total == 0.0 {
             return 0.0;
         }
-        self.compute_records()
+        let replicated = self
+            .compute_records()
             .filter(|r| r.replicated)
             .map(|r| r.base_secs)
-            .sum::<f64>()
-            / total
+            .sum::<f64>();
+        // An empty `f64` sum is -0.0; keep the zero positive so
+        // formatted tables don't show "-0.0%".
+        replicated.max(0.0) / total
     }
 
     /// Speedup of this run relative to `baseline` (same workload on a

@@ -1,0 +1,753 @@
+//! The sharded, parallel simulation engine.
+//!
+//! [`simulate_sharded`] partitions the cluster's nodes into **shards**,
+//! each with its own event heap, epoch calendar and scheduling state,
+//! and advances all shards in lock step through fixed-width windows of
+//! virtual time (**epochs**). Within a window a shard touches only its
+//! own nodes; everything that crosses a node boundary — dependency
+//! activations and global App_FIT accounting — is buffered and
+//! exchanged at the **epoch barrier** in a canonical order, so the
+//! result is a pure function of `(graph, config, epoch length)` and
+//! never depends on the shard count or thread count.
+//!
+//! # Semantics and the determinism contract
+//!
+//! * **Within one node** the engine is event-exact: the same FIFO list
+//!   scheduler, contention snapshot, protection costs and recovery
+//!   timing as [`crate::sim::simulate`], computed by the same code
+//!   path ([`crate::sim`]'s `dispatch_task`). A scenario placed
+//!   entirely on one node therefore reproduces the sequential engine
+//!   **bit for bit**, for any shard count and any epoch length.
+//! * **Across nodes** the engine is epoch-quantized: a dependency edge
+//!   between tasks on different nodes (even two nodes of the same
+//!   shard — the partition must not be observable) delivers at the
+//!   next barrier, so a cross-node activation can start up to one
+//!   epoch later than the sequential engine would start it. Shorter
+//!   epochs approach event-exact cross-node timing at the price of
+//!   more barriers.
+//! * **Global accounting** ([`appfit_core::AppFit`]) is *epoch
+//!   consistent*: each node decides one window against the global
+//!   state frozen at the last barrier plus its own in-window charges
+//!   ([`appfit_core::ReplicationPolicy::fork_epoch`]), and all
+//!   decisions merge at the barrier in canonical `(dispatch time,
+//!   node, within-node order)`
+//!   ([`appfit_core::ReplicationPolicy::commit_epoch`]).
+//!   Staleness is bounded by one epoch; the committed sums are
+//!   order-independent, so forks opened next window see identical
+//!   state regardless of sharding.
+//!
+//! Tie-breaking is deterministic end to end: in-window events order by
+//! `(time, insertion sequence)` exactly like the sequential engine;
+//! calendar batches re-enter stably by time (preserving dispatch
+//! order); barrier deliveries sort by `(time, task id)`.
+//!
+//! See `ARCHITECTURE.md` §"Sharded simulation" for the design
+//! rationale and the proof sketch of shard-count invariance.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use appfit_core::{DecisionCtx, EpochDecider, EpochDecision};
+
+use crate::cost::PreparedCost;
+use crate::events::{EpochCalendar, EventBatch};
+use crate::graph::{SimGraph, SimTask};
+use crate::machine::ShardMap;
+use crate::report::{SimReport, SimTaskRecord};
+use crate::sim::{dispatch_task, NodeState, SimConfig, Time};
+
+/// Sharding parameters for [`simulate_sharded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of shards the cluster's nodes are partitioned into
+    /// (contiguous, balanced). More shards than nodes is allowed; the
+    /// extras idle. **Never affects results.**
+    pub shards: usize,
+    /// Epoch (synchronization window) length in virtual seconds. This
+    /// **is** part of the simulated semantics: cross-node events
+    /// quantize to barriers (see the module docs).
+    pub epoch: f64,
+    /// Worker threads driving shards (capped at the shard count; `1`
+    /// runs everything inline). **Never affects results.**
+    pub threads: usize,
+}
+
+impl ShardedConfig {
+    /// A configuration with `shards` shards, an `epoch`-second window
+    /// and one thread per shard.
+    pub fn new(shards: usize, epoch: f64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(epoch > 0.0 && epoch.is_finite(), "epoch must be positive");
+        ShardedConfig {
+            shards,
+            epoch,
+            threads: shards,
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Picks an epoch length from the workload: roughly eight mean
+    /// task durations (at full contention), so a window amortizes many
+    /// events while cross-node quantization stays small against the
+    /// makespan. Falls back to 1 s for empty or zero-cost graphs.
+    pub fn auto(graph: &SimGraph, cfg: &SimConfig, shards: usize) -> Self {
+        let node = &cfg.cluster.node;
+        let (mut total, mut count) = (0.0f64, 0u64);
+        for t in graph.tasks().iter().filter(|t| !t.is_barrier) {
+            total += cfg
+                .cost
+                .kernel_secs(node, node.cores, t.flops, t.bytes_in, t.bytes_out);
+            count += 1;
+        }
+        let mean = if count == 0 { 0.0 } else { total / count as f64 };
+        let epoch = if mean > 0.0 { mean * 8.0 } else { 1.0 };
+        ShardedConfig::new(shards, epoch)
+    }
+}
+
+/// A replication decision recorded during a window, awaiting the
+/// barrier commit.
+///
+/// The commit order is `(time, node, node_seq)`: virtual dispatch
+/// time, then owner node, then the decision's rank *within that
+/// node's window*. All three are properties of the scenario, never of
+/// the shard layout — and on a single node the order reduces to exact
+/// dispatch order, which keeps stateful-policy accumulation (a
+/// non-associative float sum) bit-identical to the sequential engine.
+#[derive(Debug, Clone, Copy)]
+struct DecisionRec {
+    time: f64,
+    node: u32,
+    node_seq: u32,
+    task: u32,
+    replicate: bool,
+}
+
+/// One shard's private simulation state.
+struct ShardState {
+    /// First global node id this shard owns.
+    first_node: usize,
+    /// Scheduling state per owned node.
+    nodes: Vec<NodeState>,
+    /// Remaining predecessor count per owned task (local index).
+    indegree: Vec<u32>,
+    /// Completed-task records (local index).
+    records: Vec<Option<SimTaskRecord>>,
+    /// Current-window completion events: `(time, seq, task)`.
+    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    /// Tie-break sequence for the heap.
+    seq: u64,
+    /// Future-window completion events, batched per epoch.
+    calendar: EpochCalendar,
+    /// Cross-node activations delivered to this shard at the last
+    /// barrier (canonically sorted).
+    inbox: EventBatch,
+    /// Cross-node activations produced this window.
+    outbox: EventBatch,
+    /// Replication decisions taken this window.
+    decisions: Vec<DecisionRec>,
+    /// Completions processed so far.
+    done: usize,
+}
+
+/// Runs the simulation sharded and (optionally) in parallel.
+///
+/// Semantics are those described in the [module docs](self): identical
+/// to [`crate::sim::simulate`] within a node, epoch-quantized across
+/// nodes, and invariant in `shards`/`threads`.
+pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedConfig) -> SimReport {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let nodes = cfg.cluster.nodes;
+    let map = ShardMap::new(nodes, shard_cfg.shards);
+
+    if n == 0 {
+        return SimReport {
+            makespan: 0.0,
+            total_cores: cfg.cluster.total_cores(),
+            records: Vec::new(),
+        };
+    }
+
+    // Per-task shard-local index, and per-shard task counts.
+    let mut local_of: Vec<u32> = vec![0; n];
+    let mut counts: Vec<usize> = vec![0; map.shards()];
+    for t in tasks {
+        assert!(
+            (t.node as usize) < nodes,
+            "task {} placed on node {} but the cluster has {nodes}",
+            t.id,
+            t.node
+        );
+        let s = map.shard_of(t.node as usize);
+        local_of[t.id as usize] = counts[s] as u32;
+        counts[s] += 1;
+    }
+
+    let mut shards: Vec<ShardState> = (0..map.shards())
+        .map(|s| {
+            let range = map.range(s);
+            ShardState {
+                first_node: range.start,
+                nodes: range.map(|_| NodeState::new(&cfg.cluster)).collect(),
+                indegree: Vec::with_capacity(counts[s]),
+                records: vec![None; counts[s]],
+                heap: BinaryHeap::new(),
+                seq: 0,
+                calendar: EpochCalendar::new(),
+                inbox: EventBatch::new(),
+                outbox: EventBatch::new(),
+                decisions: Vec::new(),
+                done: 0,
+            }
+        })
+        .collect();
+
+    // Indegrees and initial ready queues, in task-id order (the same
+    // submission order the sequential engine seeds with).
+    for t in tasks {
+        let s = map.shard_of(t.node as usize);
+        let shard = &mut shards[s];
+        shard.indegree.push(t.preds.len() as u32);
+        if t.preds.is_empty() {
+            let ln = t.node as usize - shard.first_node;
+            shard.nodes[ln].ready.push_back(t.id);
+        }
+    }
+
+    let epoch = shard_cfg.epoch;
+    let threads = shard_cfg.threads.clamp(1, map.shards());
+    let cost = cfg.cost.prepare(&cfg.cluster.node);
+    let mut window: u64 = 0;
+    let mut first_window = true;
+
+    loop {
+        // ---- compute phase: every shard advances through the window.
+        let chunk = shards.len().div_ceil(threads);
+        if threads == 1 {
+            for shard in &mut shards {
+                process_window(shard, tasks, cfg, &cost, &local_of, window, epoch, first_window);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for chunk_shards in shards.chunks_mut(chunk) {
+                    let local_of = &local_of;
+                    let cost = &cost;
+                    scope.spawn(move || {
+                        for shard in chunk_shards {
+                            process_window(
+                                shard, tasks, cfg, cost, local_of, window, epoch, first_window,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        first_window = false;
+
+        // ---- barrier phase: commit decisions, exchange messages,
+        // advance the window. Single-threaded by design: this is the
+        // global sequencing point that makes cross-shard effects
+        // commute.
+        let mut all_decisions: Vec<DecisionRec> = Vec::new();
+        for shard in &mut shards {
+            all_decisions.append(&mut shard.decisions);
+        }
+        if !all_decisions.is_empty() {
+            all_decisions.sort_by(|a, b| {
+                a.time
+                    .total_cmp(&b.time)
+                    .then(a.node.cmp(&b.node))
+                    .then(a.node_seq.cmp(&b.node_seq))
+            });
+            let committed: Vec<EpochDecision> = all_decisions
+                .iter()
+                .map(|d| EpochDecision {
+                    ctx: decision_ctx(&tasks[d.task as usize]),
+                    replicate: d.replicate,
+                })
+                .collect();
+            cfg.policy.commit_epoch(&committed);
+        }
+
+        let mut messages = EventBatch::new();
+        for shard in &mut shards {
+            messages.extend_from(&shard.outbox);
+            shard.outbox.clear();
+        }
+        messages.sort_canonical();
+        let any_messages = !messages.is_empty();
+        for (time, task) in messages.iter() {
+            let s = map.shard_of(tasks[task as usize].node as usize);
+            shards[s].inbox.push(time, task);
+        }
+
+        let done: usize = shards.iter().map(|s| s.done).sum();
+        if done == n {
+            break;
+        }
+        window = if any_messages {
+            window + 1
+        } else {
+            let next = shards
+                .iter()
+                .filter_map(|s| s.calendar.min_epoch())
+                .min()
+                .unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
+            next.max(window + 1)
+        };
+    }
+
+    // ---- merge shard records into submission order.
+    let mut records: Vec<Option<SimTaskRecord>> = vec![None; n];
+    for t in tasks {
+        let s = map.shard_of(t.node as usize);
+        let li = local_of[t.id as usize] as usize;
+        records[t.id as usize] = shards[s].records[li].take();
+    }
+    let records: Vec<SimTaskRecord> = records
+        .into_iter()
+        .map(|r| r.expect("all simulated"))
+        .collect();
+    let makespan = records.iter().map(|r| r.completed).fold(0.0f64, f64::max);
+
+    SimReport {
+        makespan,
+        total_cores: cfg.cluster.total_cores(),
+        records,
+    }
+}
+
+/// Advances one shard through the window `[window·epoch, (window+1)·epoch)`.
+#[allow(clippy::too_many_arguments)]
+fn process_window<'c>(
+    shard: &mut ShardState,
+    tasks: &[SimTask],
+    cfg: &'c SimConfig,
+    cost: &PreparedCost,
+    local_of: &[u32],
+    window: u64,
+    epoch: f64,
+    first_window: bool,
+) {
+    let w_start = window as f64 * epoch;
+    let w_end = (window + 1) as f64 * epoch;
+    // One policy fork per node per window, opened lazily on the first
+    // decision so idle nodes cost nothing; `node_seqs` ranks each
+    // node's decisions within the window for the canonical commit
+    // order.
+    let mut forks: Vec<Option<Box<dyn EpochDecider + 'c>>> =
+        (0..shard.nodes.len()).map(|_| None).collect();
+    let mut node_seqs: Vec<u32> = vec![0; shard.nodes.len()];
+    // Local node indices that gained ready tasks at the barrier.
+    let mut woken: Vec<usize> = Vec::new();
+
+    // Deliver barrier messages (already in canonical order).
+    for (time, task) in shard.inbox.iter() {
+        let li = local_of[task as usize] as usize;
+        debug_assert!(shard.indegree[li] > 0, "duplicate activation");
+        shard.indegree[li] -= 1;
+        let _ = time; // readiness is quantized to the barrier
+        if shard.indegree[li] == 0 {
+            let ln = tasks[task as usize].node as usize - shard.first_node;
+            shard.nodes[ln].ready.push_back(task);
+            if !woken.contains(&ln) {
+                woken.push(ln);
+            }
+        }
+    }
+    shard.inbox.clear();
+
+    // Open this window's calendar batch: stable by time, so
+    // simultaneous completions keep dispatch order — the sequential
+    // engine's tie-break.
+    if let Some(mut batch) = shard.calendar.take(window) {
+        batch.sort_stable_by_time();
+        for (time, task) in batch.iter() {
+            shard.heap.push(Reverse((Time(time), shard.seq, task)));
+            shard.seq += 1;
+        }
+    }
+
+    // The first window seeds source tasks at t = 0.
+    if first_window {
+        woken = (0..shard.nodes.len())
+            .filter(|&ln| !shard.nodes[ln].ready.is_empty())
+            .collect();
+    }
+    for ln in woken {
+        dispatch_node(
+            shard, &mut forks, &mut node_seqs, ln, w_start, epoch, window, tasks, cfg, cost,
+            local_of,
+        );
+    }
+
+    // Event loop: by construction the heap only ever holds events of
+    // the current window.
+    while let Some(Reverse((Time(now), _, id))) = shard.heap.pop() {
+        debug_assert!(now < w_end || epoch <= 0.0, "event leaked past window");
+        shard.done += 1;
+        let task = &tasks[id as usize];
+        let ln = task.node as usize - shard.first_node;
+        if !task.is_barrier {
+            shard.nodes[ln].free_cores += 1;
+        }
+        for &succ in &task.succs {
+            let st = &tasks[succ as usize];
+            if st.node == task.node {
+                // Same node: event-exact activation.
+                let li = local_of[succ as usize] as usize;
+                shard.indegree[li] -= 1;
+                if shard.indegree[li] == 0 {
+                    shard.nodes[ln].ready.push_back(succ);
+                }
+            } else {
+                // Any other node — even on this shard — defers to the
+                // barrier, so the partition is unobservable.
+                shard.outbox.push(now, succ);
+            }
+        }
+        dispatch_node(
+            shard, &mut forks, &mut node_seqs, ln, now, epoch, window, tasks, cfg, cost, local_of,
+        );
+    }
+}
+
+/// Dispatches everything currently startable on one node, mirroring the
+/// sequential engine's `dispatch_ready` for a single node. Completion
+/// events landing inside the current window go to the heap; later ones
+/// go to the epoch calendar.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_node<'c>(
+    shard: &mut ShardState,
+    forks: &mut [Option<Box<dyn EpochDecider + 'c>>],
+    node_seqs: &mut [u32],
+    ln: usize,
+    now: f64,
+    epoch: f64,
+    window: u64,
+    tasks: &[SimTask],
+    cfg: &'c SimConfig,
+    cost: &PreparedCost,
+    local_of: &[u32],
+) {
+    let w_end = (window + 1) as f64 * epoch;
+    loop {
+        let ns = &mut shard.nodes[ln];
+        let startable = !ns.ready.is_empty()
+            && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier);
+        if !startable {
+            return;
+        }
+        let id = ns.ready.pop_front().expect("nonempty");
+        let task = &tasks[id as usize];
+        let fork = forks[ln].get_or_insert_with(|| cfg.policy.fork_epoch());
+        let mut decided: Option<bool> = None;
+        let (record, completion, uses_core) =
+            dispatch_task(tasks, task, ns, now, cfg, cost, &mut |ctx| {
+                let replicate = fork.decide(ctx);
+                decided = Some(replicate);
+                replicate
+            });
+        if let Some(replicate) = decided {
+            shard.decisions.push(DecisionRec {
+                time: now,
+                node: task.node,
+                node_seq: node_seqs[ln],
+                task: id,
+                replicate,
+            });
+            node_seqs[ln] += 1;
+        }
+        if uses_core {
+            ns.free_cores -= 1;
+        }
+        shard.records[local_of[id as usize] as usize] = Some(record);
+        if completion < w_end {
+            shard.heap.push(Reverse((Time(completion), shard.seq, id)));
+            shard.seq += 1;
+        } else {
+            // The epoch index comes from the absolute time on the
+            // fixed global epoch grid, so it cannot depend on which
+            // window created the event; the clamp keeps boundary
+            // events out of the already-closed window when
+            // `completion / epoch` rounds down across the boundary.
+            let bucket = ((completion / epoch) as u64).max(window + 1);
+            shard.calendar.push(bucket, completion, id);
+        }
+    }
+}
+
+fn decision_ctx(task: &SimTask) -> DecisionCtx {
+    DecisionCtx {
+        id: task.id as u64,
+        rates: task.rates,
+        argument_bytes: task.argument_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::graph::SyntheticSpec;
+    use crate::machine::{ClusterSpec, NodeSpec};
+    use crate::sim::simulate;
+    use appfit_core::{AppFit, AppFitConfig, ReplicateAll, ReplicateNone};
+    use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+    use fit_model::{Fit, RateModel};
+    use std::sync::Arc;
+
+    fn unit_cluster(nodes: usize, cores: usize, spares: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            node: NodeSpec {
+                cores,
+                spare_cores: spares,
+                gflops_per_core: 1e-9,
+                mem_bw_gbs: f64::INFINITY,
+            },
+            net_latency_us: 0.0,
+            net_bandwidth_gbs: f64::INFINITY,
+        }
+    }
+
+    fn config(cluster: ClusterSpec, replicate: bool, seed: Option<u64>) -> SimConfig {
+        SimConfig {
+            cluster,
+            cost: CostModel::default(),
+            policy: if replicate {
+                Arc::new(ReplicateAll)
+            } else {
+                Arc::new(ReplicateNone)
+            },
+            faults: match seed {
+                Some(s) => Arc::new(SeededInjector::new(s)),
+                None => Arc::new(NoFaults),
+            },
+            injection: match seed {
+                Some(_) => InjectionConfig::PerTask {
+                    p_due: 0.05,
+                    p_sdc: 0.08,
+                },
+                None => InjectionConfig::Disabled,
+            },
+        }
+    }
+
+    fn single_node_graph() -> SimGraph {
+        SimGraph::synthetic(
+            &SyntheticSpec {
+                nodes: 1,
+                chains_per_node: 5,
+                tasks_per_chain: 40,
+                flops_per_task: 3.0,
+                jitter: 0.25,
+                argument_bytes: 4096,
+                cross_node_every: 0,
+                seed: 7,
+            },
+            &RateModel::roadrunner(),
+        )
+    }
+
+    fn multi_node_graph(nodes: usize) -> SimGraph {
+        SimGraph::synthetic(
+            &SyntheticSpec {
+                nodes,
+                chains_per_node: 3,
+                tasks_per_chain: 25,
+                flops_per_task: 2.0,
+                jitter: 0.25,
+                argument_bytes: 8192,
+                cross_node_every: 4,
+                seed: 21,
+            },
+            &RateModel::roadrunner(),
+        )
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = SimGraph::synthetic(
+            &SyntheticSpec {
+                nodes: 2,
+                chains_per_node: 1,
+                tasks_per_chain: 0,
+                flops_per_task: 1.0,
+                jitter: 0.25,
+                argument_bytes: 8,
+                cross_node_every: 0,
+                seed: 0,
+            },
+            &RateModel::roadrunner(),
+        );
+        let report = simulate_sharded(
+            &g,
+            &config(unit_cluster(2, 2, 0), false, None),
+            &ShardedConfig::new(2, 1.0),
+        );
+        assert_eq!(report.makespan, 0.0);
+        assert!(report.records.is_empty());
+    }
+
+    /// The headline contract half 1: on a single node the sharded
+    /// engine reproduces the sequential engine bit for bit — for any
+    /// shard count, thread count and epoch length, with faults and
+    /// replication on.
+    #[test]
+    fn single_node_matches_sequential_bitwise() {
+        let g = single_node_graph();
+        for &(replicate, seed) in &[(false, None), (true, None), (true, Some(13u64))] {
+            let cfg = config(unit_cluster(1, 4, 2), replicate, seed);
+            let reference = simulate(&g, &cfg);
+            for shards in [1usize, 2, 5] {
+                for epoch in [0.7, 3.0, 1e6] {
+                    let sharded =
+                        simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, epoch));
+                    assert_eq!(
+                        reference, sharded,
+                        "shards={shards} epoch={epoch} replicate={replicate} seed={seed:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The headline contract half 2: N-shard runs equal the 1-shard
+    /// run exactly on multi-node graphs with cross-shard edges.
+    #[test]
+    fn shard_count_never_changes_results() {
+        let g = multi_node_graph(10);
+        for &(replicate, seed) in &[(false, None), (true, Some(3u64))] {
+            let cfg = config(unit_cluster(10, 3, 1), replicate, seed);
+            let reference = simulate_sharded(&g, &cfg, &ShardedConfig::new(1, 2.5));
+            for shards in [2usize, 3, 7, 10, 16] {
+                for threads in [1usize, 4] {
+                    let got = simulate_sharded(
+                        &g,
+                        &cfg,
+                        &ShardedConfig::new(shards, 2.5).with_threads(threads),
+                    );
+                    assert_eq!(reference, got, "shards={shards} threads={threads}");
+                }
+            }
+        }
+    }
+
+    /// Stateful App_FIT on a single node: the sharded engine must
+    /// reproduce the sequential engine bit for bit — including the
+    /// policy's final accumulated state, whose float sum is
+    /// non-associative and therefore sensitive to commit order.
+    #[test]
+    fn single_node_appfit_matches_sequential_bitwise() {
+        let g = single_node_graph();
+        let total: f64 = g.tasks().iter().map(|t| t.rates.total().value()).sum();
+        let make = |frac: f64| {
+            let policy = Arc::new(AppFit::new(AppFitConfig::new(
+                Fit::new(total * frac),
+                g.len() as u64,
+            )));
+            let cfg = SimConfig {
+                cluster: unit_cluster(1, 4, 2),
+                cost: CostModel::default(),
+                policy: Arc::clone(&policy) as Arc<dyn appfit_core::ReplicationPolicy>,
+                faults: Arc::new(SeededInjector::new(5)),
+                injection: InjectionConfig::PerTask {
+                    p_due: 0.03,
+                    p_sdc: 0.05,
+                },
+            };
+            (cfg, policy)
+        };
+        for frac in [0.2, 0.5, 0.8] {
+            let (seq_cfg, seq_policy) = make(frac);
+            let reference = simulate(&g, &seq_cfg);
+            for (shards, epoch) in [(1usize, 0.9), (3, 2.0), (2, 1e6)] {
+                let (sh_cfg, sh_policy) = make(frac);
+                let sharded = simulate_sharded(&g, &sh_cfg, &ShardedConfig::new(shards, epoch));
+                assert_eq!(reference, sharded, "frac={frac} shards={shards} epoch={epoch}");
+                assert_eq!(
+                    seq_policy.current_fit().value().to_bits(),
+                    sh_policy.current_fit().value().to_bits(),
+                    "accumulated FIT must match bitwise (frac={frac})"
+                );
+                assert_eq!(seq_policy.replicated(), sh_policy.replicated());
+            }
+        }
+    }
+
+    /// App_FIT's stateful global accounting commits at barriers; the
+    /// decision sequence must still be shard-count invariant, and the
+    /// unprotected FIT must respect the threshold accounting.
+    #[test]
+    fn appfit_accounting_is_shard_invariant() {
+        let g = multi_node_graph(8);
+        let n_tasks = g.tasks().iter().filter(|t| !t.is_barrier).count() as u64;
+        // Half the graph's total failure rate: forces a real split.
+        let threshold: f64 =
+            g.tasks().iter().map(|t| t.rates.total().value()).sum::<f64>() * 0.5;
+        let run = |shards: usize| {
+            let policy = Arc::new(AppFit::new(AppFitConfig::new(Fit::new(threshold), n_tasks)));
+            let cfg = SimConfig {
+                cluster: unit_cluster(8, 3, 1),
+                cost: CostModel::default(),
+                policy: Arc::clone(&policy) as Arc<dyn appfit_core::ReplicationPolicy>,
+                faults: Arc::new(NoFaults),
+                injection: InjectionConfig::Disabled,
+            };
+            let report = simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, 2.0));
+            (report, policy.current_fit().value(), policy.decided())
+        };
+        let (r1, fit1, decided1) = run(1);
+        assert!(
+            r1.replicated_task_fraction() > 0.0 && r1.replicated_task_fraction() < 1.0,
+            "threshold should split the tasks, got {}",
+            r1.replicated_task_fraction()
+        );
+        for shards in [2usize, 4, 8] {
+            let (rn, fitn, decidedn) = run(shards);
+            assert_eq!(r1, rn, "shards={shards}");
+            assert_eq!(decided1, decidedn);
+            assert!((fit1 - fitn).abs() <= f64::EPSILON * fit1.abs());
+        }
+    }
+
+    /// Epoch length is part of the semantics (cross-node quantization):
+    /// makespans may differ across epochs, but each epoch length is
+    /// itself deterministic, and coarse epochs can only delay (never
+    /// accelerate) cross-node activations.
+    #[test]
+    fn epoch_quantization_is_monotone_on_chains() {
+        let g = multi_node_graph(6);
+        let cfg = config(unit_cluster(6, 3, 0), false, None);
+        let fine = simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 0.5));
+        let coarse = simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 8.0));
+        assert!(
+            coarse.makespan >= fine.makespan - 1e-9,
+            "coarse {} fine {}",
+            coarse.makespan,
+            fine.makespan
+        );
+        // And each is reproducible.
+        assert_eq!(fine, simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 0.5)));
+    }
+
+    /// `auto` picks a usable epoch for an arbitrary workload.
+    #[test]
+    fn auto_epoch_runs() {
+        let g = multi_node_graph(4);
+        let cfg = config(unit_cluster(4, 2, 0), false, None);
+        let sc = ShardedConfig::auto(&g, &cfg, 4);
+        assert!(sc.epoch > 0.0);
+        let report = simulate_sharded(&g, &cfg, &sc);
+        assert_eq!(report.records.len(), g.len());
+    }
+}

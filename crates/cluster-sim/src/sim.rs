@@ -7,7 +7,7 @@ use std::sync::Arc;
 use appfit_core::{DecisionCtx, ReplicationPolicy};
 use fault_inject::{ErrorClass, FaultModel, InjectionConfig, InjectionDecision};
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, PreparedCost};
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ClusterSpec;
 use crate::report::{SimReport, SimTaskRecord};
@@ -27,9 +27,10 @@ pub struct SimConfig {
     pub injection: InjectionConfig,
 }
 
-/// Totally ordered f64 for the event heap.
+/// Totally ordered f64 for the event heap (shared with the sharded
+/// engine's per-shard heaps).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
+pub(crate) struct Time(pub(crate) f64);
 
 impl Eq for Time {}
 impl PartialOrd for Time {
@@ -43,11 +44,25 @@ impl Ord for Time {
     }
 }
 
-struct NodeState {
-    free_cores: usize,
+/// Per-node scheduling state, shared between the sequential engine and
+/// the sharded engine (`crate::shard`) so both compute identical
+/// per-task timelines.
+pub(crate) struct NodeState {
+    pub(crate) free_cores: usize,
     /// Next-free time of each spare (replica-only) core.
-    spare_free: Vec<f64>,
-    ready: VecDeque<u32>,
+    pub(crate) spare_free: Vec<f64>,
+    pub(crate) ready: VecDeque<u32>,
+}
+
+impl NodeState {
+    /// Fresh state for one node of `cluster`.
+    pub(crate) fn new(cluster: &ClusterSpec) -> Self {
+        NodeState {
+            free_cores: cluster.node.cores,
+            spare_free: vec![0.0; cluster.node.spare_cores],
+            ready: VecDeque::new(),
+        }
+    }
 }
 
 /// Runs the simulation. Deterministic: ties in the event heap break by
@@ -58,18 +73,13 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
     let n = tasks.len();
     let nodes = cfg.cluster.nodes;
     let mut indegree: Vec<u32> = tasks.iter().map(|t| t.preds.len() as u32).collect();
-    let mut state: Vec<NodeState> = (0..nodes)
-        .map(|_| NodeState {
-            free_cores: cfg.cluster.node.cores,
-            spare_free: vec![0.0; cfg.cluster.node.spare_cores],
-            ready: VecDeque::new(),
-        })
-        .collect();
+    let mut state: Vec<NodeState> = (0..nodes).map(|_| NodeState::new(&cfg.cluster)).collect();
     let mut records: Vec<Option<SimTaskRecord>> = (0..n).map(|_| None).collect();
     // Completion events: (time, seq, task). `seq` keeps ties FIFO.
     let mut heap: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut makespan = 0.0f64;
+    let cost = cfg.cost.prepare(&cfg.cluster.node);
 
     for t in tasks {
         assert!(
@@ -83,7 +93,7 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
         }
     }
 
-    dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, 0.0, cfg);
+    dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, 0.0, cfg, &cost);
 
     let mut done = 0usize;
     while let Some(Reverse((Time(now), _, id))) = heap.pop() {
@@ -100,7 +110,7 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
                 state[owner].ready.push_back(s);
             }
         }
-        dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, now, cfg);
+        dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, now, cfg, &cost);
     }
     assert_eq!(done, n, "cycle or lost task in simulation graph");
 
@@ -123,6 +133,7 @@ fn dispatch_ready(
     records: &mut [Option<SimTaskRecord>],
     now: f64,
     cfg: &SimConfig,
+    cost: &PreparedCost,
 ) {
     for ns in state.iter_mut() {
         while !ns.ready.is_empty()
@@ -130,7 +141,12 @@ fn dispatch_ready(
         {
             let id = ns.ready.pop_front().expect("nonempty");
             let task = &tasks[id as usize];
-            let (record, completion, uses_core) = dispatch(tasks, task, ns, now, cfg);
+            let (record, completion, uses_core) =
+                dispatch_task(tasks, task, ns, now, cfg, cost, &mut |ctx| {
+                    let replicate = cfg.policy.decide(ctx);
+                    cfg.policy.on_complete(ctx, replicate);
+                    replicate
+                });
             records[id as usize] = Some(record);
             if uses_core {
                 ns.free_cores -= 1;
@@ -145,12 +161,22 @@ fn dispatch_ready(
 /// completion time, and whether it occupied a worker core (the core is
 /// held until completion — the original waits at the end-of-task
 /// synchronization point, as in the paper's design).
-fn dispatch(
+///
+/// The replication decision is delegated to `decide` so the two engines
+/// can plug in their own policy wiring: the sequential engine consults
+/// the global policy directly (decisions in global dispatch order), the
+/// sharded engine consults a per-node epoch fork (decisions committed
+/// at the next barrier). Everything else — transfers, contention
+/// snapshot, protection and recovery timing — is this one shared code
+/// path, which is what makes the engines bit-comparable.
+pub(crate) fn dispatch_task(
     tasks: &[SimTask],
     task: &SimTask,
     ns: &mut NodeState,
     now: f64,
     cfg: &SimConfig,
+    cost: &PreparedCost,
+    decide: &mut dyn FnMut(&DecisionCtx) -> bool,
 ) -> (SimTaskRecord, f64, bool) {
     let mut rec = SimTaskRecord {
         task: task.id,
@@ -169,7 +195,6 @@ fn dispatch(
         return (rec, now, false);
     }
 
-    let node = &cfg.cluster.node;
     // Remote inputs: one transfer per remote producer, serialized
     // (documented simplification — no link contention model).
     let transfer: f64 = task
@@ -181,9 +206,7 @@ fn dispatch(
 
     // Snapshot contention: this task plus the cores already busy.
     let active = (cfg.cluster.node.cores - ns.free_cores + 1).min(cfg.cluster.node.cores);
-    let dur = cfg
-        .cost
-        .kernel_secs(node, active, task.flops, task.bytes_in, task.bytes_out);
+    let dur = cost.kernel_secs(active, task.flops, task.bytes_in, task.bytes_out);
     rec.base_secs = dur;
 
     let ctx = DecisionCtx {
@@ -191,7 +214,7 @@ fn dispatch(
         rates: task.rates,
         argument_bytes: task.argument_bytes,
     };
-    let replicate = cfg.policy.decide(&ctx);
+    let replicate = decide(&ctx);
     rec.replicated = replicate;
 
     let p = cfg.injection.probabilities(task.rates, dur);
@@ -208,8 +231,8 @@ fn dispatch(
         // time. Higher-order faults *during recovery* are modelled by
         // the threaded engine but ignored in sim timing (second-order
         // effect on makespan).
-        let ckpt = cfg.cost.checkpoint_secs(node, task.bytes_in);
-        let cmp = cfg.cost.compare_secs(node, task.bytes_out);
+        let ckpt = cost.checkpoint_secs(task.bytes_in);
+        let cmp = cost.compare_secs(task.bytes_out);
         let t0 = now + transfer + ckpt;
         let orig_end = t0 + dur;
         let replica_end = if ns.spare_free.is_empty() {
@@ -252,7 +275,6 @@ fn dispatch(
     };
 
     rec.completed = completion;
-    cfg.policy.on_complete(&ctx, replicate);
     (rec, completion, true)
 }
 

@@ -1,0 +1,192 @@
+//! Property tests of the sharded engine's determinism contract, plus a
+//! regression test for event ordering at epoch boundaries.
+
+use std::sync::Arc;
+
+use appfit_core::{AppFit, AppFitConfig, ReplicateAll, ReplicateNone};
+use cluster_sim::{
+    simulate, simulate_sharded, ClusterSpec, CostModel, NodeSpec, ShardedConfig, SimConfig,
+    SimGraph, SyntheticSpec,
+};
+use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+use fit_model::{Fit, RateModel};
+use proptest::prelude::*;
+
+fn unit_cluster(nodes: usize, cores: usize, spares: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        node: NodeSpec {
+            cores,
+            spare_cores: spares,
+            gflops_per_core: 1e-9, // 1 flop = 1 virtual second
+            mem_bw_gbs: f64::INFINITY,
+        },
+        net_latency_us: 0.0,
+        net_bandwidth_gbs: f64::INFINITY,
+    }
+}
+
+fn config(cluster: ClusterSpec, replicate: bool, seed: Option<u64>) -> SimConfig {
+    SimConfig {
+        cluster,
+        cost: CostModel::default(),
+        policy: if replicate {
+            Arc::new(ReplicateAll)
+        } else {
+            Arc::new(ReplicateNone)
+        },
+        faults: match seed {
+            Some(s) => Arc::new(SeededInjector::new(s)),
+            None => Arc::new(NoFaults),
+        },
+        injection: match seed {
+            Some(_) => InjectionConfig::PerTask {
+                p_due: 0.04,
+                p_sdc: 0.06,
+            },
+            None => InjectionConfig::Disabled,
+        },
+    }
+}
+
+fn graph(nodes: usize, chains: usize, len: usize, cross: usize, seed: u64) -> SimGraph {
+    SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes,
+            chains_per_node: chains,
+            tasks_per_chain: len,
+            flops_per_task: 2.5,
+            jitter: 0.25,
+            argument_bytes: 4096,
+            cross_node_every: cross,
+            seed,
+        },
+        &RateModel::roadrunner(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core acceptance property: an N-shard run of a seeded scenario is
+    /// bit-identical to the 1-shard run — any shard count, any thread
+    /// count, faults and replication on or off.
+    #[test]
+    fn n_shards_equal_one_shard(
+        nodes in 1usize..12,
+        chains in 1usize..4,
+        len in 1usize..30,
+        cross in 0usize..5,
+        seed in any::<u64>(),
+        shards in 2usize..16,
+        threads in 1usize..6,
+        epoch_q in 1u32..40,
+        replicate in any::<bool>(),
+        faults in any::<bool>(),
+    ) {
+        let g = graph(nodes, chains, len, cross, seed);
+        let cfg = config(unit_cluster(nodes, 2, 1), replicate, faults.then_some(seed));
+        let epoch = f64::from(epoch_q) * 0.25;
+        let one = simulate_sharded(&g, &cfg, &ShardedConfig::new(1, epoch));
+        let many = simulate_sharded(
+            &g,
+            &cfg,
+            &ShardedConfig::new(shards, epoch).with_threads(threads),
+        );
+        prop_assert_eq!(one, many);
+    }
+
+    /// On a single node (no cross-node edges exist, whatever `cross`
+    /// says) the sharded engine must equal the *sequential* engine bit
+    /// for bit — the window machinery dissolves completely.
+    #[test]
+    fn single_node_equals_sequential_engine(
+        chains in 1usize..6,
+        len in 1usize..40,
+        seed in any::<u64>(),
+        shards in 1usize..5,
+        epoch_q in 1u32..40,
+        replicate in any::<bool>(),
+        faults in any::<bool>(),
+    ) {
+        let g = graph(1, chains, len, 0, seed);
+        let cfg = config(unit_cluster(1, 3, 2), replicate, faults.then_some(seed ^ 0xabc));
+        let reference = simulate(&g, &cfg);
+        let epoch = f64::from(epoch_q) * 0.3;
+        let sharded = simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, epoch));
+        prop_assert_eq!(reference, sharded);
+    }
+
+    /// App_FIT (global, stateful accounting) stays shard-count
+    /// invariant through the fork/commit path.
+    #[test]
+    fn appfit_decisions_shard_invariant(
+        nodes in 2usize..8,
+        len in 2usize..20,
+        seed in any::<u64>(),
+        shards in 2usize..8,
+        budget_percent in 10u32..90,
+    ) {
+        let g = graph(nodes, 2, len, 3, seed);
+        let total: f64 = g.tasks().iter().map(|t| t.rates.total().value()).sum();
+        let threshold = total * f64::from(budget_percent) / 100.0;
+        let n_tasks = g.len() as u64;
+        let run = |s: usize| {
+            let policy = Arc::new(AppFit::new(AppFitConfig::new(Fit::new(threshold), n_tasks)));
+            let cfg = SimConfig {
+                cluster: unit_cluster(nodes, 2, 1),
+                cost: CostModel::default(),
+                policy,
+                faults: Arc::new(NoFaults),
+                injection: InjectionConfig::Disabled,
+            };
+            simulate_sharded(&g, &cfg, &ShardedConfig::new(s, 2.0))
+        };
+        prop_assert_eq!(run(1), run(shards));
+    }
+}
+
+/// Regression: events that land exactly **on** an epoch boundary must
+/// migrate to the next window (never be lost in the closed one), and
+/// simultaneous cross-shard activations must deliver in canonical
+/// (time, task id) order regardless of which shard emitted them.
+///
+/// The construction pins both: unit tasks on every node complete at
+/// exactly t = 1.0, 2.0, … with `epoch = 1.0`, so *every* completion
+/// sits on a boundary, and every cross-node activation of a window is
+/// simultaneous with all the others.
+#[test]
+fn epoch_boundary_events_survive_and_order() {
+    for nodes in [2usize, 3, 5, 8] {
+        let g = boundary_aligned_graph(nodes, 2, 12);
+        let cfg = config(unit_cluster(nodes, 2, 0), false, None);
+        let reference = simulate_sharded(&g, &cfg, &ShardedConfig::new(1, 1.0));
+        // Everything completed (nothing dropped at boundaries)…
+        assert_eq!(reference.records.len(), g.len());
+        // …and the partition cannot be observed even when every event
+        // is boundary-aligned and simultaneous.
+        for shards in [2usize, 3, nodes, nodes + 3] {
+            let got = simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, 1.0));
+            assert_eq!(reference, got, "nodes={nodes} shards={shards}");
+        }
+    }
+}
+
+/// Unit-flop, jitter-free chains with a cross-node edge at every
+/// position: on the 1-flop-per-second unit cluster, every completion
+/// lands exactly on the t = 1.0, 2.0, … epoch grid.
+fn boundary_aligned_graph(nodes: usize, chains: usize, len: usize) -> SimGraph {
+    SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes,
+            chains_per_node: chains,
+            tasks_per_chain: len,
+            flops_per_task: 1.0,
+            jitter: 0.0,
+            argument_bytes: 0,
+            cross_node_every: 1,
+            seed: 0,
+        },
+        &RateModel::roadrunner(),
+    )
+}

@@ -12,7 +12,7 @@
 //! argument sizes** — information a dataflow runtime has for free from the
 //! `in`/`out`/`inout` annotations:
 //!
-//! > "if the crash failure is 2.22 × 10³ for 32 GBs as given in [29], then
+//! > "if the crash failure is 2.22 × 10³ for 32 GBs as given in \[29\], then
 //! > for 32 MB program input the crash failure would be 2.22, or for a task
 //! > argument of 32 KB the crash failure would be 2.22 × 10⁻³."
 //!
@@ -28,6 +28,37 @@
 //! The model is deliberately orthogonal to *how* base rates are obtained
 //! (paper §IV-A): replace [`RateModel`] constants to plug in rates from
 //! system logs or vulnerability analyses.
+//!
+//! ## Example: from argument sizes to a task's failure rates
+//!
+//! ```
+//! use fit_model::{Fit, RateModel};
+//!
+//! // The paper's reference rates (Michalak et al.'s Roadrunner data),
+//! // accelerated 10× for the pessimistic-exascale scenario.
+//! let model = RateModel::roadrunner().with_multiplier(10.0);
+//!
+//! // A task reading two 32 MB tiles and writing one.
+//! let tile = 32_000_000u64;
+//! let rates = model.rates_for_arguments([tile, tile, tile]);
+//!
+//! // Rates scale linearly with bytes: three tiles, three shares.
+//! let one = model.rates_for_bytes(tile);
+//! assert!((rates.total().value() - 3.0 * one.total().value()).abs() < 1e-9);
+//!
+//! // FIT values convert to failure probabilities over an exposure time.
+//! let p = rates.total().failure_probability(3600.0);
+//! assert!(p > 0.0 && p < 1.0);
+//!
+//! // And support the budget arithmetic App_FIT's Eq. 1 needs: three
+//! // 32 MB arguments at 10× Roadrunner rates ≈ 100 FIT.
+//! let budget = Fit::new(150.0);
+//! assert!(rates.total() < budget);
+//! ```
+//!
+//! The worked example from the paper (§IV-A): 2.22 × 10³ FIT for 32 GB
+//! scales to 2.22 FIT for a 32 MB input — the crate pins that exact
+//! arithmetic in its tests.
 
 pub mod fit;
 pub mod rates;

@@ -13,8 +13,11 @@
 //!   ablate-oracle      A1 — App_FIT vs offline knapsack oracles
 //!   ablate-sweep       A2 — replication vs error-rate multiplier
 //!   ablate-accounting  A3 — Eq. 1 accounting variants
+//!   ablate-epoch       A4 — sharded-engine epoch sensitivity
 //!   all                everything above
 //! ```
+//!
+//! (The cluster-scale grid lives in the separate `sweep` binary.)
 
 use std::process::ExitCode;
 
@@ -73,6 +76,14 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
             "{}",
             ablations::render_accounting(&ablations::run_accounting(opt.scale, 10.0))
         ),
+        "ablate-epoch" => print!(
+            "{}",
+            ablations::render_epoch_sensitivity(&ablations::run_epoch_sensitivity(
+                opt.scale,
+                8,
+                &[0.25, 1.0, 4.0, 16.0],
+            ))
+        ),
         "all" => {
             for c in [
                 "table1",
@@ -84,6 +95,7 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
                 "ablate-oracle",
                 "ablate-sweep",
                 "ablate-accounting",
+                "ablate-epoch",
             ] {
                 run_command(c, opt)?;
                 println!();

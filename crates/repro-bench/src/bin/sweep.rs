@@ -1,0 +1,68 @@
+//! CLI for the cluster-scale parallel sweep (see `repro_bench::sweep`).
+//!
+//! ```text
+//! sweep                 # full grid: up to 1024 machines, ≥1M tasks
+//! sweep --quick         # seconds-scale smoke grid
+//! sweep --machines 512 --tasks-per-machine 2048 --shards 16
+//! ```
+
+use repro_bench::sweep::{render, run, SweepSpec};
+
+fn main() {
+    let mut spec = SweepSpec::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => spec = SweepSpec::quick(),
+            "--machines" => {
+                let v: usize = parse(args.next(), "--machines");
+                if v == 0 {
+                    eprintln!("--machines must be at least 1");
+                    std::process::exit(2);
+                }
+                spec.machine_counts = vec![v];
+            }
+            "--tasks-per-machine" => {
+                let v: usize = parse(args.next(), "--tasks-per-machine");
+                if v == 0 {
+                    eprintln!("--tasks-per-machine must be at least 1");
+                    std::process::exit(2);
+                }
+                spec.tasks_per_machine = v;
+            }
+            "--shards" => spec.shards = parse(args.next(), "--shards"),
+            "--threads" => spec.grid_threads = parse(args.next(), "--threads"),
+            "--seed" => spec.seed = parse(args.next(), "--seed"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sweep [--quick] [--machines N] [--tasks-per-machine N] \
+                     [--shards N] [--threads N] [--seed N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let total_cells = spec.cells();
+    let max_tasks = spec.machine_counts.iter().max().copied().unwrap_or(0)
+        * spec.tasks_per_machine;
+    eprintln!(
+        "sweep: {total_cells} cells, largest scenario {max_tasks} tasks on {} machines, {} grid threads",
+        spec.machine_counts.iter().max().copied().unwrap_or(0),
+        spec.grid_threads,
+    );
+    let t0 = std::time::Instant::now();
+    let cells = run(&spec);
+    println!("{}", render(&cells));
+    eprintln!("sweep: completed in {:.1} s", t0.elapsed().as_secs_f64());
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}

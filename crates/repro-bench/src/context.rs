@@ -140,6 +140,14 @@ pub fn pct(x: f64) -> String {
     format!("{:5.1}%", 100.0 * x)
 }
 
+/// Worker threads for experiment fan-out: the machine's available
+/// parallelism, with a small fallback when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod sweep;
 pub mod table1;
 
 pub use context::{natural_cluster, sum_rates_at_1x, ExperimentScale};

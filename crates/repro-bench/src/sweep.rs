@@ -1,0 +1,346 @@
+//! The cluster-scale parallel sweep driver.
+//!
+//! Fans a grid of **(machine count × fault rate × App_FIT target)**
+//! configurations across worker threads; every cell runs the sharded
+//! engine ([`cluster_sim::simulate_sharded`]) over a deterministic
+//! synthetic workload ([`cluster_sim::SyntheticSpec`]) sized
+//! proportionally to the machine count. This is the experiment regime
+//! the paper-scale figure drivers cannot reach — millions of tasks
+//! over thousands of simulated machines — and the consumer the sharded
+//! refactor exists for.
+//!
+//! Grid cells are independent simulations, so the fan-out is a simple
+//! work queue: each worker claims the next unclaimed cell. Results are
+//! deterministic per cell (the engine's contract) regardless of which
+//! worker runs it or in which order cells complete.
+//!
+//! ```text
+//! cargo run --release -p repro-bench --bin sweep            # full grid, ≥1M tasks
+//! cargo run --release -p repro-bench --bin sweep -- --quick # CI-sized grid
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use appfit_core::{AppFit, AppFitConfig, ReplicateAll, ReplicateNone, ReplicationPolicy};
+use cluster_sim::{
+    simulate_sharded, ClusterSpec, CostModel, ShardedConfig, SimConfig, SimGraph, SyntheticSpec,
+};
+use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+use fit_model::{Fit, RateModel};
+
+use crate::context::{default_threads, pct, TextTable};
+
+/// The sweep grid and scaling knobs.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Machine (node) counts; each node models 16 MareNostrum-like
+    /// cores plus spares.
+    pub machine_counts: Vec<usize>,
+    /// Per-task fault probabilities (split evenly DUE/SDC; `0.0`
+    /// disables injection).
+    pub fault_rates: Vec<f64>,
+    /// App_FIT reliability targets as a fraction of the workload's
+    /// total failure rate. `1.0` ⇒ run unprotected is acceptable
+    /// (replicates ~nothing); tiny fractions approach complete
+    /// replication. A negative value selects the `ReplicateAll`
+    /// baseline instead of App_FIT.
+    pub target_fractions: Vec<f64>,
+    /// Synthetic tasks per machine, rounded up to a multiple of the 16
+    /// per-node chains (so total tasks = machines × 16 ×
+    /// ⌈tasks_per_machine / 16⌉).
+    pub tasks_per_machine: usize,
+    /// Shards per simulation (results never depend on this).
+    pub shards: usize,
+    /// Outer worker threads fanning the grid (inner simulations run
+    /// single-threaded to avoid oversubscription).
+    pub grid_threads: usize,
+    /// Fault-injection / workload seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The full-scale default: tops out at 1024 machines ×
+    /// 1024 tasks/machine = 1,048,576 tasks in one scenario.
+    pub fn full() -> Self {
+        SweepSpec {
+            machine_counts: vec![64, 256, 1024],
+            fault_rates: vec![0.0, 0.01],
+            target_fractions: vec![-1.0, 0.25, 1.0],
+            tasks_per_machine: 1024,
+            shards: 32,
+            grid_threads: default_threads(),
+            seed: 2016,
+        }
+    }
+
+
+    /// A seconds-scale grid for tests and smoke runs.
+    pub fn quick() -> Self {
+        SweepSpec {
+            machine_counts: vec![4, 16],
+            fault_rates: vec![0.0, 0.01],
+            target_fractions: vec![-1.0, 0.5],
+            tasks_per_machine: 64,
+            shards: 4,
+            grid_threads: 2,
+            seed: 2016,
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.machine_counts.len() * self.fault_rates.len() * self.target_fractions.len()
+    }
+}
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Simulated machines.
+    pub machines: usize,
+    /// Per-task fault probability.
+    pub fault_rate: f64,
+    /// Target fraction (negative ⇒ `ReplicateAll` baseline).
+    pub target_fraction: f64,
+    /// Tasks simulated.
+    pub tasks: usize,
+    /// Virtual makespan (seconds).
+    pub makespan: f64,
+    /// Fraction of tasks replicated.
+    pub replicated_tasks: f64,
+    /// Fraction of computation time replicated.
+    pub replicated_time: f64,
+    /// Detected-and-recovered SDCs.
+    pub sdc_detected: usize,
+    /// Recovered crashes.
+    pub due_recovered: usize,
+    /// SDCs that struck unprotected tasks.
+    pub uncovered_sdc: usize,
+    /// Wall-clock milliseconds this cell took to simulate.
+    pub wall_ms: u128,
+}
+
+/// The workload one machine count simulates: 16 chains per node (one
+/// per core) with halo edges every 8 steps.
+fn synthetic_for(machines: usize, tasks_per_machine: usize, seed: u64) -> SimGraph {
+    let chains = 16usize;
+    let len = tasks_per_machine.div_ceil(chains).max(1);
+    SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes: machines,
+            chains_per_node: chains,
+            tasks_per_chain: len,
+            flops_per_task: 4.0e8, // 0.1 s on a 4 Gflop/s core
+            jitter: 0.25,
+            argument_bytes: 1 << 20,
+            cross_node_every: 8,
+            seed,
+        },
+        &RateModel::roadrunner().with_multiplier(10.0),
+    )
+}
+
+fn run_cell(
+    graph: &SimGraph,
+    machines: usize,
+    fault_rate: f64,
+    target_fraction: f64,
+    shards: usize,
+    seed: u64,
+) -> SweepCell {
+    let policy: Arc<dyn ReplicationPolicy> = if target_fraction < 0.0 {
+        Arc::new(ReplicateAll)
+    } else if target_fraction >= 1.0 {
+        Arc::new(ReplicateNone)
+    } else {
+        let total: f64 = graph.tasks().iter().map(|t| t.rates.total().value()).sum();
+        Arc::new(AppFit::new(AppFitConfig::new(
+            Fit::new(total * target_fraction),
+            graph.len() as u64,
+        )))
+    };
+    let cfg = SimConfig {
+        cluster: ClusterSpec::distributed(machines),
+        cost: CostModel::default(),
+        policy,
+        faults: if fault_rate > 0.0 {
+            Arc::new(SeededInjector::new(seed))
+        } else {
+            Arc::new(NoFaults)
+        },
+        injection: if fault_rate > 0.0 {
+            InjectionConfig::PerTask {
+                p_due: fault_rate / 2.0,
+                p_sdc: fault_rate / 2.0,
+            }
+        } else {
+            InjectionConfig::Disabled
+        },
+    };
+    let sharded = ShardedConfig::auto(graph, &cfg, shards.clamp(1, machines)).with_threads(1);
+    let t0 = Instant::now();
+    let report = simulate_sharded(graph, &cfg, &sharded);
+    SweepCell {
+        machines,
+        fault_rate,
+        target_fraction,
+        tasks: report.records.len(),
+        makespan: report.makespan,
+        replicated_tasks: report.replicated_task_fraction(),
+        replicated_time: report.replicated_time_fraction(),
+        sdc_detected: report.sdc_detected_count(),
+        due_recovered: report.due_recovered_count(),
+        uncovered_sdc: report.uncovered_sdc_count(),
+        wall_ms: t0.elapsed().as_millis(),
+    }
+}
+
+/// Runs the whole grid, fanning cells across `spec.grid_threads`
+/// workers. Cell results are position-stable (indexed by the grid
+/// order: machines-major, then fault rate, then target).
+pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
+    // One shared graph per machine count (the expensive part).
+    let graphs: Vec<Arc<SimGraph>> = spec
+        .machine_counts
+        .iter()
+        .map(|&m| Arc::new(synthetic_for(m, spec.tasks_per_machine, spec.seed)))
+        .collect();
+
+    // The flattened grid.
+    struct Job {
+        graph_idx: usize,
+        machines: usize,
+        fault_rate: f64,
+        target: f64,
+    }
+    let mut jobs = Vec::with_capacity(spec.cells());
+    for (gi, &machines) in spec.machine_counts.iter().enumerate() {
+        for &fault_rate in &spec.fault_rates {
+            for &target in &spec.target_fractions {
+                jobs.push(Job {
+                    graph_idx: gi,
+                    machines,
+                    fault_rate,
+                    target,
+                });
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SweepCell>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let workers = spec.grid_threads.clamp(1, jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let cell = run_cell(
+                    &graphs[job.graph_idx],
+                    job.machines,
+                    job.fault_rate,
+                    job.target,
+                    spec.shards,
+                    spec.seed,
+                );
+                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every cell simulated")
+        })
+        .collect()
+}
+
+/// Renders the sweep as a text table.
+pub fn render(cells: &[SweepCell]) -> String {
+    let mut t = TextTable::new(vec![
+        "machines",
+        "tasks",
+        "fault/task",
+        "policy",
+        "makespan[s]",
+        "tasks repl.",
+        "time repl.",
+        "sdc det.",
+        "due rec.",
+        "sdc uncov.",
+        "wall[ms]",
+    ]);
+    for c in cells {
+        let policy = if c.target_fraction < 0.0 {
+            "replicate-all".to_string()
+        } else if c.target_fraction >= 1.0 {
+            "none".to_string()
+        } else {
+            format!("app-fit@{:.0}%", c.target_fraction * 100.0)
+        };
+        t.row(vec![
+            format!("{}", c.machines),
+            format!("{}", c.tasks),
+            format!("{}", c.fault_rate),
+            policy,
+            format!("{:.2}", c.makespan),
+            pct(c.replicated_tasks),
+            pct(c.replicated_time),
+            format!("{}", c.sdc_detected),
+            format!("{}", c.due_recovered),
+            format!("{}", c.uncovered_sdc),
+            format!("{}", c.wall_ms),
+        ]);
+    }
+    format!(
+        "Cluster sweep — sharded engine over (machines × fault rate × App_FIT target)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_completes_and_is_deterministic() {
+        let spec = SweepSpec::quick();
+        let a = run(&spec);
+        assert_eq!(a.len(), spec.cells());
+        for c in &a {
+            assert!(c.makespan > 0.0 && c.makespan.is_finite());
+            assert_eq!(c.tasks, c.machines * 64);
+        }
+        // The engine contract makes re-runs (and any thread schedule)
+        // produce identical numbers.
+        let b = run(&spec);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.makespan, y.makespan);
+            assert_eq!(x.replicated_tasks, y.replicated_tasks);
+            assert_eq!(x.sdc_detected, y.sdc_detected);
+        }
+    }
+
+    #[test]
+    fn appfit_targets_order_replication_fractions() {
+        // Tighter targets must replicate at least as much.
+        let spec = SweepSpec {
+            machine_counts: vec![8],
+            fault_rates: vec![0.0],
+            target_fractions: vec![0.1, 0.5, 0.9],
+            tasks_per_machine: 128,
+            shards: 4,
+            grid_threads: 1,
+            seed: 1,
+        };
+        let cells = run(&spec);
+        assert!(cells[0].replicated_tasks >= cells[1].replicated_tasks);
+        assert!(cells[1].replicated_tasks >= cells[2].replicated_tasks);
+        // Baselines bracket the heuristic.
+        assert!(cells[0].replicated_tasks <= 1.0);
+    }
+}

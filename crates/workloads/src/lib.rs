@@ -27,6 +27,34 @@
 //! layout the OmpSs benchmarks use, so block arguments are contiguous
 //! regions; the FFT's transpose uses strided tile regions on a
 //! row-major matrix instead, exercising that part of the runtime.
+//!
+//! ## Example: build, execute, verify
+//!
+//! ```
+//! use dataflow_rt::Executor;
+//! use workloads::{cholesky::Cholesky, Scale, Workload};
+//!
+//! // A small, materialized Cholesky factorization (real buffers).
+//! let mut built = Cholesky.build(Scale::Small, 1, true);
+//! Executor::new(2).run(&built.graph, &mut built.arena);
+//! assert!((built.verify)(&mut built.arena).is_ok(), "L·Lᵀ must reproduce A");
+//! ```
+//!
+//! ## Example: describe only, then simulate at paper scale
+//!
+//! ```
+//! use fit_model::RateModel;
+//! use cluster_sim::SimGraph;
+//! use workloads::{all_workloads, Scale};
+//!
+//! // Described builds carry structure + argument sizes but no data,
+//! // so even Table-I dimensions fit in memory; the cluster simulator
+//! // consumes them directly.
+//! let w = &all_workloads()[0];
+//! let built = w.build(Scale::Small, 1, false);
+//! let graph = SimGraph::from_task_graph(&built.graph, &RateModel::roadrunner(), built.placement_fn());
+//! assert!(!graph.is_empty());
+//! ```
 
 pub mod catalog;
 pub mod cholesky;

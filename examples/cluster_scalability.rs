@@ -1,17 +1,23 @@
 //! Scalability of complete replication on the simulated cluster (the
 //! engine behind the paper's Figures 5 and 6): sweeps core counts for
-//! a shared-memory workload and node counts for a distributed one.
+//! a shared-memory workload and node counts for a distributed one,
+//! then scales the *simulator itself* out with the sharded engine on a
+//! million-task synthetic scenario.
 //!
 //! ```text
 //! cargo run --release --example cluster_scalability
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use appfit::fault::{InjectionConfig, NoFaults, SeededInjector};
 use appfit::fit::RateModel;
 use appfit::heuristic::ReplicateAll;
-use appfit::sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use appfit::sim::{
+    simulate, simulate_sharded, ClusterSpec, CostModel, ShardedConfig, SimConfig, SimGraph,
+    SyntheticSpec,
+};
 use appfit::workloads::{cholesky::Cholesky, linpack::Linpack, Scale, Workload};
 
 fn sim_once(graph: &SimGraph, cluster: ClusterSpec, p_fault: f64) -> f64 {
@@ -72,5 +78,47 @@ fn main() {
         let t = sim_once(&g, ClusterSpec::distributed(nodes), 0.0);
         println!("  {nodes:>5}  {:>5}  {:>6.2}", nodes * 16, base / t);
     }
-    println!("\n(Virtual time from the discrete-event simulator — see `repro fig5`/`fig6`.)");
+
+    println!("\nSharded engine: 1,048,576-task synthetic workload on 1024 machines");
+    let machines = 1024usize;
+    let graph = SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes: machines,
+            chains_per_node: 16,
+            tasks_per_chain: 64, // 1024 × 16 × 64 = 1,048,576 tasks
+            flops_per_task: 4.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 20,
+            cross_node_every: 8,
+            seed: 42,
+        },
+        &rates,
+    );
+    let cfg = SimConfig {
+        cluster: ClusterSpec::distributed(machines),
+        cost: CostModel::default(),
+        policy: Arc::new(ReplicateAll),
+        faults: Arc::new(SeededInjector::new(7)),
+        injection: InjectionConfig::PerTask {
+            p_due: 0.005,
+            p_sdc: 0.005,
+        },
+    };
+    println!("  shards  threads  wall[s]  makespan[s]  (identical results by contract)");
+    let mut reference_makespan = None;
+    for (shards, threads) in [(1usize, 1usize), (32, 1), (32, 8)] {
+        let sharded = ShardedConfig::auto(&graph, &cfg, shards).with_threads(threads);
+        let t0 = Instant::now();
+        let report = simulate_sharded(&graph, &cfg, &sharded);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "  {shards:>6}  {threads:>7}  {wall:>7.2}  {:>11.2}",
+            report.makespan
+        );
+        match reference_makespan {
+            None => reference_makespan = Some(report.makespan),
+            Some(m) => assert_eq!(m, report.makespan, "sharding must not change results"),
+        }
+    }
+    println!("\n(Virtual time from the discrete-event simulator — see `repro fig5`/`fig6`,\n and `cargo run --release -p repro-bench --bin sweep` for the full grid.)");
 }

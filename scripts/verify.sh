@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for this workspace.
+#
+# Runs everything a change must keep green:
+#   1. release build of all workspace members,
+#   2. the full test suite (unit + integration + property tests),
+#   3. rustdoc with warnings denied (broken intra-doc links fail),
+#   4. the documentation examples as tests.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> cargo test --doc -q"
+cargo test --doc -q
+
+echo "verify: all gates green"

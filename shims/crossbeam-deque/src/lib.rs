@@ -1,0 +1,155 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Same `Worker`/`Stealer`/`Injector`/`Steal` API, implemented with
+//! mutex-protected `VecDeque`s instead of lock-free Chase–Lev deques.
+//! Correctness and the FIFO discipline are preserved; peak scalability
+//! is not (fine for the core counts this container offers).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The queue was empty.
+    Empty,
+    /// Contention; try again. (Never produced by this shim.)
+    Retry,
+}
+
+/// A worker-owned FIFO queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the next task (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A handle for stealing from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the victim's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A global injection queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the global queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals a batch into `worker`'s queue and pops one task.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remainder over to the worker.
+        let batch = q.len() / 2;
+        if batch > 0 {
+            let mut w = lock(&worker.queue);
+            w.extend(q.drain(..batch));
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_and_steal() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_pop() {
+        let inj = Injector::new();
+        let w = Worker::new_fifo();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty(), "batch moved into worker");
+    }
+}

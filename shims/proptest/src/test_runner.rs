@@ -1,0 +1,65 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The per-case RNG: seeded from the test's module path + name and the
+/// case index, so every run of the suite sees the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes to bytes; the derives exist so
+//! that public types advertise the same trait bounds they would with the
+//! real crate. The traits are empty markers and the derives emit empty
+//! impls (see `serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

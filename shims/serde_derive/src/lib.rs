@@ -1,0 +1,52 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! Emits `impl serde::Serialize for T {}` (and the `Deserialize`
+//! equivalent) for the non-generic structs and enums this workspace
+//! derives on. Generic types are rejected with a clear error rather
+//! than silently miscompiled.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde shim: generic type `{name}` not supported \
+                                     (extend shims/serde_derive if needed)"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("serde shim: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum/union found in derive input");
+}
