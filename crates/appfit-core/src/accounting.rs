@@ -129,7 +129,11 @@ mod tests {
         let sum = evaluate_policy(&h, &s);
         assert!(sum.unprotected_fit <= 16.0 + 1e-9);
         // Budget admits a quarter of the tasks.
-        assert!((sum.task_fraction - 0.75).abs() < 0.05, "{}", sum.task_fraction);
+        assert!(
+            (sum.task_fraction - 0.75).abs() < 0.05,
+            "{}",
+            sum.task_fraction
+        );
     }
 
     #[test]

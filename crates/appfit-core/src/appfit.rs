@@ -128,7 +128,11 @@ impl AppFit {
     }
 
     fn charge(state: &mut State, lambda: f64, replicated: bool, residual: f64) {
-        state.current_fit += if replicated { lambda * residual } else { lambda };
+        state.current_fit += if replicated {
+            lambda * residual
+        } else {
+            lambda
+        };
     }
 }
 

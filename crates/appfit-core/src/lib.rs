@@ -30,11 +30,13 @@
 
 pub mod accounting;
 pub mod appfit;
+pub mod hooks;
 pub mod oracle;
 pub mod policy;
 
 pub use accounting::{evaluate_policy, PolicySummary, TaskSample};
 pub use appfit::{AppFit, AppFitConfig, ChargeOn};
+pub use hooks::{DecisionSink, Observed};
 pub use oracle::{oracle_dp, oracle_greedy, OracleSolution};
 pub use policy::{
     DecisionCtx, EpochDecider, EpochDecision, PeriodicPolicy, RandomPolicy, ReplicateAll,

@@ -188,7 +188,10 @@ mod tests {
         assert!(dp.unprotected_fit <= threshold + 1e-9);
         assert!(greedy.unprotected_fit <= threshold + 1e-9);
         let dp_kept: f64 = 160.0 - dp.replicated_cost;
-        assert!((dp_kept - brute).abs() < 1e-6, "dp {dp_kept} vs brute {brute}");
+        assert!(
+            (dp_kept - brute).abs() < 1e-6,
+            "dp {dp_kept} vs brute {brute}"
+        );
     }
 
     #[test]

@@ -95,6 +95,27 @@ impl<P: ReplicationPolicy + ?Sized> EpochDecider for PassThroughDecider<'_, P> {
     }
 }
 
+/// Shared handles delegate: lets callers keep a concrete `Arc<AppFit>`
+/// for statistics while handing the same instance to the engine (or an
+/// [`crate::hooks::Observed`] wrapper) as the deciding policy.
+impl<P: ReplicationPolicy + ?Sized> ReplicationPolicy for std::sync::Arc<P> {
+    fn decide(&self, ctx: &DecisionCtx) -> bool {
+        (**self).decide(ctx)
+    }
+    fn on_complete(&self, ctx: &DecisionCtx, replicated: bool) {
+        (**self).on_complete(ctx, replicated);
+    }
+    fn fork_epoch(&self) -> Box<dyn EpochDecider + '_> {
+        (**self).fork_epoch()
+    }
+    fn commit_epoch(&self, decisions: &[EpochDecision]) {
+        (**self).commit_epoch(decisions);
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Complete task replication — the paper's baseline whose cost App_FIT
 /// undercuts ("complete task replication is overkill").
 #[derive(Debug, Clone, Copy, Default)]
@@ -141,7 +162,8 @@ impl RandomPolicy {
 
 impl ReplicationPolicy for RandomPolicy {
     fn decide(&self, ctx: &DecisionCtx) -> bool {
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ ctx.id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ ctx.id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         rng.gen::<f64>() < self.p
     }
     fn name(&self) -> &'static str {

@@ -5,12 +5,18 @@ use fit_model::{RateModel, TaskRates};
 
 /// One task as the simulator sees it: structure + costs + placement,
 /// no data.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares exactly (floats bit-for-bit on equal values) —
+/// the streamed-construction identity tests rely on it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimTask {
     /// Task index (== position in the graph).
     pub id: u32,
-    /// Task-kind label (for per-kind breakdowns).
-    pub label: String,
+    /// Interned task-kind label: an index into the owning
+    /// [`SimGraph`]'s symbol table ([`SimGraph::label_name`]). Numeric
+    /// ids keep million-task graphs free of per-task `String`
+    /// allocations.
+    pub label: u32,
     /// Direct predecessors.
     pub preds: Vec<u32>,
     /// Direct successors.
@@ -36,9 +42,15 @@ pub struct SimTask {
 }
 
 /// The simulator's input: a placed, costed task DAG.
-#[derive(Debug, Clone)]
+///
+/// Task-kind labels are interned: each [`SimTask`] carries a numeric
+/// symbol id resolved through this graph's side table (one `String`
+/// per distinct kind, not per task).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimGraph {
     tasks: Vec<SimTask>,
+    /// Symbol table: `labels[task.label as usize]` is the task's kind.
+    labels: Vec<String>,
 }
 
 impl SimGraph {
@@ -58,6 +70,7 @@ impl SimGraph {
         P: FnMut(&Task) -> u32,
     {
         let mut tasks: Vec<SimTask> = Vec::with_capacity(graph.len());
+        let mut labels: Vec<String> = Vec::new();
         for task in graph.tasks() {
             let mut sources: Vec<(u32, u64)> = Vec::new();
             for access in task.accesses.iter().filter(|a| a.mode.reads()) {
@@ -67,9 +80,11 @@ impl SimGraph {
                     .iter()
                     .rev()
                     .find(|p| {
-                        graph.task(**p).accesses.iter().any(|pa| {
-                            pa.mode.writes() && pa.region.overlaps(&access.region)
-                        })
+                        graph
+                            .task(**p)
+                            .accesses
+                            .iter()
+                            .any(|pa| pa.mode.writes() && pa.region.overlaps(&access.region))
                     })
                     .copied();
                 if let Some(p) = producer {
@@ -83,7 +98,7 @@ impl SimGraph {
             }
             tasks.push(SimTask {
                 id: task.id.index() as u32,
-                label: task.label.clone(),
+                label: intern(&mut labels, &task.label),
                 preds: task_ids(graph.predecessors(task.id)),
                 succs: task_ids(graph.successors(task.id)),
                 flops: task.flops,
@@ -96,12 +111,29 @@ impl SimGraph {
                 is_barrier: task.is_barrier,
             });
         }
-        SimGraph { tasks }
+        SimGraph { tasks, labels }
     }
 
     /// All tasks, indexed by id.
     pub fn tasks(&self) -> &[SimTask] {
         &self.tasks
+    }
+
+    /// The label symbol table: `labels()[sym as usize]` is the kind
+    /// name for symbol `sym` (see [`SimTask::label`]).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Resolves an interned label symbol to its kind name.
+    pub fn label_name(&self, sym: u32) -> &str {
+        &self.labels[sym as usize]
+    }
+
+    /// Assembles a graph from pre-built parts (used by the streamed
+    /// constructor; `labels` is the symbol table `tasks` index into).
+    pub(crate) fn from_parts(tasks: Vec<SimTask>, labels: Vec<String>) -> Self {
+        SimGraph { tasks, labels }
     }
 
     /// Number of tasks.
@@ -125,6 +157,19 @@ impl SimGraph {
 
 fn task_ids(ids: &[dataflow_rt::TaskId]) -> Vec<u32> {
     ids.iter().map(|t| t.index() as u32).collect()
+}
+
+/// Interns `name` into `labels`, returning its symbol id. Label sets
+/// are tiny (a handful of kinds per workload), so a linear scan beats
+/// hashing.
+pub(crate) fn intern(labels: &mut Vec<String>, name: &str) -> u32 {
+    match labels.iter().position(|l| l == name) {
+        Some(i) => i as u32,
+        None => {
+            labels.push(name.to_string());
+            (labels.len() - 1) as u32
+        }
+    }
 }
 
 /// Shape of a [`SimGraph::synthetic`] workload: per-node task chains
@@ -186,11 +231,14 @@ impl SimGraph {
         let n = spec.total_tasks();
         let task_rates = rates.rates_for_arguments([spec.argument_bytes]);
         let half = spec.argument_bytes / 2;
+        // One interned symbol shared by every task — the million-task
+        // hot path allocates no per-task strings.
+        let labels = vec!["synth".to_string()];
+        let synth = 0u32;
         let mut tasks: Vec<SimTask> = Vec::with_capacity(n);
         for node in 0..spec.nodes {
             for chain in 0..spec.chains_per_node {
-                let chain_base =
-                    (node * spec.chains_per_node + chain) * spec.tasks_per_chain;
+                let chain_base = (node * spec.chains_per_node + chain) * spec.tasks_per_chain;
                 for pos in 0..spec.tasks_per_chain {
                     let id = (chain_base + pos) as u32;
                     let unit = (mix(spec.seed, id as u64) >> 11) as f64 / (1u64 << 53) as f64;
@@ -217,7 +265,7 @@ impl SimGraph {
                     }
                     tasks.push(SimTask {
                         id,
-                        label: "synth".to_string(),
+                        label: synth,
                         preds,
                         succs: Vec::new(),
                         flops: spec.flops_per_task * jitter,
@@ -240,7 +288,7 @@ impl SimGraph {
                 tasks[p].succs.push(id as u32);
             }
         }
-        SimGraph { tasks }
+        SimGraph { tasks, labels }
     }
 }
 
@@ -308,9 +356,8 @@ mod tests {
         for i in 0..8 {
             g.submit(TaskSpec::new("t").writes(Region::contiguous(a, i, 1)));
         }
-        let mut sim = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| {
-            t.id.index() as u32
-        });
+        let mut sim =
+            SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| t.id.index() as u32);
         sim.remap_nodes(|n| n % 2);
         assert!(sim.tasks().iter().all(|t| t.node < 2));
     }

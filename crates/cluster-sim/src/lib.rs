@@ -38,8 +38,10 @@
 //! ## Inputs and outputs
 //!
 //! A run consumes a [`SimGraph`] — extracted from a real
-//! [`dataflow_rt::TaskGraph`] via [`SimGraph::from_task_graph`], or
-//! generated directly at cluster scale via [`SimGraph::synthetic`] —
+//! [`dataflow_rt::TaskGraph`] via [`SimGraph::from_task_graph`],
+//! streamed at million-task scale from a [`TaskStream`] via
+//! [`SimGraph::from_stream`] (bit-identical to the extracted form —
+//! see [`stream`]), or generated directly via [`SimGraph::synthetic`] —
 //! plus a [`SimConfig`] bundling machine model, cost model, replication
 //! policy and fault model. It produces a [`SimReport`] with per-task
 //! [`SimTaskRecord`]s and the aggregate metrics behind Figures 4–6.
@@ -67,6 +69,7 @@ pub mod machine;
 pub mod report;
 pub mod shard;
 pub mod sim;
+pub mod stream;
 
 pub use cost::{CostModel, PreparedCost};
 pub use graph::{SimGraph, SimTask, SyntheticSpec};
@@ -74,3 +77,4 @@ pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
 pub use report::{LabelStats, SimReport, SimTaskRecord};
 pub use shard::{simulate_sharded, ShardedConfig};
 pub use sim::{simulate, SimConfig};
+pub use stream::{StreamTask, TaskStream};

@@ -125,12 +125,12 @@ impl SimReport {
     pub fn label_breakdown(&self, graph: &crate::graph::SimGraph) -> Vec<LabelStats> {
         let mut out: Vec<LabelStats> = Vec::new();
         for rec in self.compute_records() {
-            let label = &graph.tasks()[rec.task as usize].label;
-            let entry = match out.iter_mut().find(|e| &e.label == label) {
+            let label = graph.label_name(graph.tasks()[rec.task as usize].label);
+            let entry = match out.iter_mut().find(|e| e.label == label) {
                 Some(e) => e,
                 None => {
                     out.push(LabelStats {
-                        label: label.clone(),
+                        label: label.to_string(),
                         tasks: 0,
                         replicated: 0,
                         base_secs: 0.0,
@@ -212,9 +212,22 @@ mod tests {
             makespan: 1.0,
             total_cores: 1,
             records: vec![
-                SimTaskRecord { task: 0, replicated: true, base_secs: 2.0, ..rec(2.0, true) },
-                SimTaskRecord { task: 1, replicated: false, ..rec(1.0, false) },
-                SimTaskRecord { task: 2, replicated: true, ..rec(4.0, true) },
+                SimTaskRecord {
+                    task: 0,
+                    replicated: true,
+                    base_secs: 2.0,
+                    ..rec(2.0, true)
+                },
+                SimTaskRecord {
+                    task: 1,
+                    replicated: false,
+                    ..rec(1.0, false)
+                },
+                SimTaskRecord {
+                    task: 2,
+                    replicated: true,
+                    ..rec(4.0, true)
+                },
             ],
         };
         let stats = report.label_breakdown(&sim);

@@ -106,7 +106,11 @@ impl ShardedConfig {
                 .kernel_secs(node, node.cores, t.flops, t.bytes_in, t.bytes_out);
             count += 1;
         }
-        let mean = if count == 0 { 0.0 } else { total / count as f64 };
+        let mean = if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        };
         let epoch = if mean > 0.0 { mean * 8.0 } else { 1.0 };
         ShardedConfig::new(shards, epoch)
     }
@@ -233,7 +237,16 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         let chunk = shards.len().div_ceil(threads);
         if threads == 1 {
             for shard in &mut shards {
-                process_window(shard, tasks, cfg, &cost, &local_of, window, epoch, first_window);
+                process_window(
+                    shard,
+                    tasks,
+                    cfg,
+                    &cost,
+                    &local_of,
+                    window,
+                    epoch,
+                    first_window,
+                );
             }
         } else {
             std::thread::scope(|scope| {
@@ -243,7 +256,14 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
                     scope.spawn(move || {
                         for shard in chunk_shards {
                             process_window(
-                                shard, tasks, cfg, cost, local_of, window, epoch, first_window,
+                                shard,
+                                tasks,
+                                cfg,
+                                cost,
+                                local_of,
+                                window,
+                                epoch,
+                                first_window,
                             );
                         }
                     });
@@ -384,7 +404,16 @@ fn process_window<'c>(
     }
     for ln in woken {
         dispatch_node(
-            shard, &mut forks, &mut node_seqs, ln, w_start, epoch, window, tasks, cfg, cost,
+            shard,
+            &mut forks,
+            &mut node_seqs,
+            ln,
+            w_start,
+            epoch,
+            window,
+            tasks,
+            cfg,
+            cost,
             local_of,
         );
     }
@@ -415,7 +444,17 @@ fn process_window<'c>(
             }
         }
         dispatch_node(
-            shard, &mut forks, &mut node_seqs, ln, now, epoch, window, tasks, cfg, cost, local_of,
+            shard,
+            &mut forks,
+            &mut node_seqs,
+            ln,
+            now,
+            epoch,
+            window,
+            tasks,
+            cfg,
+            cost,
+            local_of,
         );
     }
 }
@@ -441,8 +480,8 @@ fn dispatch_node<'c>(
     let w_end = (window + 1) as f64 * epoch;
     loop {
         let ns = &mut shard.nodes[ln];
-        let startable = !ns.ready.is_empty()
-            && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier);
+        let startable =
+            !ns.ready.is_empty() && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier);
         if !startable {
             return;
         }
@@ -610,8 +649,7 @@ mod tests {
             let reference = simulate(&g, &cfg);
             for shards in [1usize, 2, 5] {
                 for epoch in [0.7, 3.0, 1e6] {
-                    let sharded =
-                        simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, epoch));
+                    let sharded = simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, epoch));
                     assert_eq!(
                         reference, sharded,
                         "shards={shards} epoch={epoch} replicate={replicate} seed={seed:?}"
@@ -673,7 +711,10 @@ mod tests {
             for (shards, epoch) in [(1usize, 0.9), (3, 2.0), (2, 1e6)] {
                 let (sh_cfg, sh_policy) = make(frac);
                 let sharded = simulate_sharded(&g, &sh_cfg, &ShardedConfig::new(shards, epoch));
-                assert_eq!(reference, sharded, "frac={frac} shards={shards} epoch={epoch}");
+                assert_eq!(
+                    reference, sharded,
+                    "frac={frac} shards={shards} epoch={epoch}"
+                );
                 assert_eq!(
                     seq_policy.current_fit().value().to_bits(),
                     sh_policy.current_fit().value().to_bits(),
@@ -692,8 +733,12 @@ mod tests {
         let g = multi_node_graph(8);
         let n_tasks = g.tasks().iter().filter(|t| !t.is_barrier).count() as u64;
         // Half the graph's total failure rate: forces a real split.
-        let threshold: f64 =
-            g.tasks().iter().map(|t| t.rates.total().value()).sum::<f64>() * 0.5;
+        let threshold: f64 = g
+            .tasks()
+            .iter()
+            .map(|t| t.rates.total().value())
+            .sum::<f64>()
+            * 0.5;
         let run = |shards: usize| {
             let policy = Arc::new(AppFit::new(AppFitConfig::new(Fit::new(threshold), n_tasks)));
             let cfg = SimConfig {
@@ -737,7 +782,10 @@ mod tests {
             fine.makespan
         );
         // And each is reproducible.
-        assert_eq!(fine, simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 0.5)));
+        assert_eq!(
+            fine,
+            simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 0.5))
+        );
     }
 
     /// `auto` picks a usable epoch for an arbitrary workload.

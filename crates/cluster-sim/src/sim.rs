@@ -93,7 +93,16 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
         }
     }
 
-    dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, 0.0, cfg, &cost);
+    dispatch_ready(
+        tasks,
+        &mut state,
+        &mut heap,
+        &mut seq,
+        &mut records,
+        0.0,
+        cfg,
+        &cost,
+    );
 
     let mut done = 0usize;
     while let Some(Reverse((Time(now), _, id))) = heap.pop() {
@@ -110,7 +119,16 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
                 state[owner].ready.push_back(s);
             }
         }
-        dispatch_ready(tasks, &mut state, &mut heap, &mut seq, &mut records, now, cfg, &cost);
+        dispatch_ready(
+            tasks,
+            &mut state,
+            &mut heap,
+            &mut seq,
+            &mut records,
+            now,
+            cfg,
+            &cost,
+        );
     }
     assert_eq!(done, n, "cycle or lost task in simulation graph");
 
@@ -136,8 +154,7 @@ fn dispatch_ready(
     cost: &PreparedCost,
 ) {
     for ns in state.iter_mut() {
-        while !ns.ready.is_empty()
-            && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier)
+        while !ns.ready.is_empty() && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier)
         {
             let id = ns.ready.pop_front().expect("nonempty");
             let task = &tasks[id as usize];
@@ -384,7 +401,10 @@ mod tests {
         let g = independent_tasks(4);
         let plain = simulate(&g, &config(unit_node(1, 0), false)).makespan;
         let repl = simulate(&g, &config(unit_node(1, 0), true)).makespan;
-        assert!((repl / plain - 2.0).abs() < 1e-9, "plain {plain} repl {repl}");
+        assert!(
+            (repl / plain - 2.0).abs() < 1e-9,
+            "plain {plain} repl {repl}"
+        );
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Streamed construction of simulation graphs.
+//!
+//! [`SimGraph::from_task_graph`] needs a fully materialized
+//! [`dataflow_rt::TaskGraph`] — per-task access vectors, kernel
+//! closures, predecessor/successor lists — which tops out around a few
+//! hundred thousand tasks before graph construction dominates the
+//! experiment. This module builds the same [`SimGraph`] **directly from
+//! a stream of task descriptions** ([`TaskStream`]): one task at a
+//! time, region accesses in, placed-and-costed [`SimTask`]s out, with
+//! no intermediate graph and no per-task `String` labels (labels are
+//! interned symbols). The nine Table-I benchmarks implement
+//! [`TaskStream`] in the `workloads` crate and reach the million-task
+//! regime this way.
+//!
+//! # Fidelity contract
+//!
+//! [`SimGraph::from_stream`] is **bit-identical** to building the same
+//! access sequence through [`dataflow_rt::TaskGraph::submit`] and
+//! extracting it with [`SimGraph::from_task_graph`]:
+//!
+//! * dependency edges are inferred with the same chunk-indexed
+//!   conflict rules as `dataflow_rt`'s `DepTracker` (RAW/WAR/WAW on
+//!   overlapping regions, covered-chunk pruning, per-access
+//!   deduplication, sorted predecessor lists);
+//! * transfer *sources* use the same latest-overlapping-writer
+//!   attribution as [`SimGraph::from_task_graph`];
+//! * failure rates fold per-access byte sizes in declaration order, so
+//!   even the non-associative float sums agree bitwise.
+//!
+//! The contract is property-tested in `tests/stream_prop.rs` against
+//! randomized access sequences, and per benchmark in the `workloads`
+//! crate at small scales.
+//!
+//! What the streamed path trades away: `taskwait` barriers are not
+//! supported (no Table-I benchmark uses them), and read records on
+//! never-written buffers accumulate for the lifetime of the build (the
+//! same holds for `DepTracker`; memory stays proportional to the
+//! access count, not the buffer sizes).
+
+use std::collections::HashMap;
+
+use dataflow_rt::deps::covers_chunk;
+use dataflow_rt::{Access, AccessMode, Region};
+use fit_model::RateModel;
+
+use crate::graph::{intern, SimGraph, SimTask};
+
+/// One streamed task description, filled in by
+/// [`TaskStream::next_task`]. The buffer is reused across tasks so a
+/// million-task stream performs no per-task allocations beyond the
+/// [`SimTask`] itself.
+#[derive(Debug, Default)]
+pub struct StreamTask {
+    /// Task-kind label (e.g. `"gemm"`).
+    pub label: &'static str,
+    /// Declared region accesses, in declaration order (the same order
+    /// the in-memory builder would pass to
+    /// [`dataflow_rt::TaskSpec::reads`]/`writes`/`updates`).
+    pub accesses: Vec<Access>,
+    /// Analytic flop count.
+    pub flops: f64,
+    /// Owner node (owner-computes placement).
+    pub node: u32,
+}
+
+impl StreamTask {
+    /// Resets the description for the next task (keeps allocations).
+    pub fn reset(&mut self, label: &'static str, node: u32, flops: f64) {
+        self.label = label;
+        self.accesses.clear();
+        self.flops = flops;
+        self.node = node;
+    }
+
+    /// Declares an `in` region.
+    pub fn reads(&mut self, region: Region) -> &mut Self {
+        self.accesses.push(Access::new(region, AccessMode::In));
+        self
+    }
+
+    /// Declares an `out` region.
+    pub fn writes(&mut self, region: Region) -> &mut Self {
+        self.accesses.push(Access::new(region, AccessMode::Out));
+        self
+    }
+
+    /// Declares an `inout` region.
+    pub fn updates(&mut self, region: Region) -> &mut Self {
+        self.accesses.push(Access::new(region, AccessMode::InOut));
+        self
+    }
+}
+
+/// A lazily generated sequence of task descriptions — the streamed
+/// counterpart of submitting [`dataflow_rt::TaskSpec`]s to a
+/// [`dataflow_rt::TaskGraph`].
+///
+/// Implementations must yield tasks in submission order (dependencies
+/// can only point backwards) and must know their exact length up
+/// front, so [`SimGraph::from_stream`] can size its vectors once.
+pub trait TaskStream {
+    /// Exact number of tasks the stream yields.
+    fn len(&self) -> usize;
+
+    /// `true` if the stream yields no tasks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dependency-index granularity in elements — must match the
+    /// `chunk_size` the in-memory builder passes to
+    /// [`dataflow_rt::TaskGraph::with_chunk_size`] for the identity
+    /// contract to hold.
+    fn chunk_size(&self) -> usize;
+
+    /// Fills `out` with the next task; returns `false` when the stream
+    /// is exhausted (and leaves `out` unspecified).
+    fn next_task(&mut self, out: &mut StreamTask) -> bool;
+}
+
+/// One recorded access of the streaming dependency tracker.
+struct AccessRec {
+    region: Region,
+    mode: AccessMode,
+    task: u32,
+}
+
+/// The streaming reimplementation of `dataflow_rt`'s `DepTracker`,
+/// engineered for million-task streams: access records live once in an
+/// arena (chunk lists hold indexes, so multi-chunk records are not
+/// duplicated), per-access deduplication uses an `O(1)` stamp instead
+/// of a linear `seen` list, and each chunk keeps writer and reader
+/// records apart so a read access never walks the (potentially long,
+/// e.g. a never-written input matrix's) reader history it cannot
+/// conflict with. Conflict and pruning semantics are identical — only
+/// read–read pairs commute, so skipping reader records for `In`
+/// accesses drops no edge; preds are sorted and deduplicated, so the
+/// changed scan order is unobservable. See the module docs and
+/// `tests/stream_prop.rs`.
+struct StreamTracker {
+    chunk_size: usize,
+    /// All recorded accesses, in registration order.
+    arena: Vec<AccessRec>,
+    /// Per-record stamp of the last query that visited it.
+    last_seen: Vec<u64>,
+    /// Query counter backing `last_seen`.
+    stamp: u64,
+    /// Chunk index: `(buffer, chunk) → arena indexes`, insertion order
+    /// within each class.
+    chunks: HashMap<(u32, usize), ChunkRecs>,
+}
+
+/// One chunk's recorded accesses, writers and readers apart.
+#[derive(Default)]
+struct ChunkRecs {
+    writers: Vec<u32>,
+    readers: Vec<u32>,
+}
+
+impl StreamTracker {
+    fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        StreamTracker {
+            chunk_size,
+            arena: Vec::new(),
+            last_seen: Vec::new(),
+            stamp: 0,
+            chunks: HashMap::new(),
+        }
+    }
+
+    /// Registers `task`'s accesses and appends its data-dependency
+    /// predecessors to `preds` (sorted, deduplicated) — the exact
+    /// semantics of `DepTracker::record`.
+    fn record(&mut self, task: u32, accesses: &[Access], preds: &mut Vec<u32>) {
+        preds.clear();
+        for access in accesses {
+            self.record_one(task, access, preds);
+        }
+        preds.sort_unstable();
+        preds.dedup();
+    }
+
+    fn record_one(&mut self, task: u32, access: &Access, preds: &mut Vec<u32>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let buf = access.region.buf.index() as u32;
+
+        // Phase 1: collect conflicting predecessors (each record tested
+        // once per access, however many chunks it spans). A pure read
+        // can only conflict with writers; a write conflicts with both.
+        let (arena, last_seen) = (&self.arena, &mut self.last_seen);
+        for_each_chunk(&access.region, self.chunk_size, |c| {
+            if let Some(lists) = self.chunks.get(&(buf, c)) {
+                let mut scan = |list: &[u32]| {
+                    for &idx in list {
+                        let rec = &arena[idx as usize];
+                        if rec.task == task || last_seen[idx as usize] == stamp {
+                            continue;
+                        }
+                        last_seen[idx as usize] = stamp;
+                        if rec.mode.conflicts_with(access.mode)
+                            && rec.region.overlaps(&access.region)
+                        {
+                            preds.push(rec.task);
+                        }
+                    }
+                };
+                scan(&lists.writers);
+                if access.mode.writes() {
+                    scan(&lists.readers);
+                }
+            }
+        });
+
+        // Phase 2: insert the new record, pruning chunks it fully
+        // overwrites (tasks ordered before a covering writer are
+        // reachable through it transitively).
+        let idx = self.arena.len() as u32;
+        self.arena.push(AccessRec {
+            region: access.region,
+            mode: access.mode,
+            task,
+        });
+        self.last_seen.push(0);
+        let (chunks, chunk_size) = (&mut self.chunks, self.chunk_size);
+        for_each_chunk(&access.region, chunk_size, |c| {
+            let lists = chunks.entry((buf, c)).or_default();
+            if access.mode.writes() {
+                if covers_chunk(&access.region, c, chunk_size) {
+                    lists.writers.clear();
+                    lists.readers.clear();
+                }
+                lists.writers.push(idx);
+            } else {
+                lists.readers.push(idx);
+            }
+        });
+    }
+}
+
+/// Visits the chunk indices touched by `region`, ascending and
+/// deduplicated — the allocation-free equivalent of
+/// [`Region::chunk_ids`].
+fn for_each_chunk(region: &Region, chunk: usize, mut f: impl FnMut(usize)) {
+    let mut prev: Option<usize> = None;
+    for k in 0..region.blocks {
+        let (s, e) = region.block_range(k);
+        let first = s / chunk;
+        let last = (e - 1) / chunk;
+        for c in first..=last {
+            // Chunk ids are non-decreasing across ascending blocks;
+            // consecutive blocks may share one across the boundary.
+            if prev != Some(c) {
+                prev = Some(c);
+                f(c);
+            }
+        }
+    }
+}
+
+impl SimGraph {
+    /// Builds a placed, costed simulation graph from a task stream —
+    /// the scalable sibling of [`SimGraph::from_task_graph`], with the
+    /// bit-identity contract documented in [the module docs](self).
+    ///
+    /// * `stream` — the task descriptions, in submission order;
+    /// * `rates` — the failure-rate model (as in
+    ///   [`SimGraph::from_task_graph`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream yields a different number of tasks than
+    /// [`TaskStream::len`] promised.
+    pub fn from_stream<S: TaskStream + ?Sized>(stream: &mut S, rates: &RateModel) -> SimGraph {
+        let n = stream.len();
+        let mut tracker = StreamTracker::new(stream.chunk_size());
+        let mut tasks: Vec<SimTask> = Vec::with_capacity(n);
+        let mut labels: Vec<String> = Vec::new();
+        // Flat side table of every task's *write* regions, for
+        // latest-overlapping-writer source attribution.
+        let mut write_regions: Vec<Region> = Vec::new();
+        let mut write_starts: Vec<u32> = Vec::with_capacity(n + 1);
+        write_starts.push(0);
+
+        let mut spec = StreamTask::default();
+        let mut preds: Vec<u32> = Vec::new();
+        while stream.next_task(&mut spec) {
+            let id = tasks.len() as u32;
+            assert!(
+                (id as usize) < n,
+                "stream yielded more than the {n} tasks its len() promised"
+            );
+            tracker.record(id, &spec.accesses, &mut preds);
+
+            // Input sources: per read access, the latest predecessor
+            // with an overlapping write — the exact attribution of
+            // `from_task_graph`.
+            let mut sources: Vec<(u32, u64)> = Vec::new();
+            for access in spec.accesses.iter().filter(|a| a.mode.reads()) {
+                let producer = preds.iter().rev().copied().find(|&p| {
+                    let (ws, we) = (write_starts[p as usize], write_starts[p as usize + 1]);
+                    write_regions[ws as usize..we as usize]
+                        .iter()
+                        .any(|w| w.overlaps(&access.region))
+                });
+                if let Some(p) = producer {
+                    let bytes = access.bytes();
+                    match sources.iter_mut().find(|(s, _)| *s == p) {
+                        Some(entry) => entry.1 += bytes,
+                        None => sources.push((p, bytes)),
+                    }
+                }
+            }
+
+            for access in spec.accesses.iter().filter(|a| a.mode.writes()) {
+                write_regions.push(access.region);
+            }
+            write_starts.push(write_regions.len() as u32);
+
+            tasks.push(SimTask {
+                id,
+                label: intern(&mut labels, spec.label),
+                preds: preds.clone(),
+                succs: Vec::new(),
+                flops: spec.flops,
+                bytes_in: spec
+                    .accesses
+                    .iter()
+                    .filter(|a| a.mode.reads())
+                    .map(Access::bytes)
+                    .sum(),
+                bytes_out: spec
+                    .accesses
+                    .iter()
+                    .filter(|a| a.mode.writes())
+                    .map(Access::bytes)
+                    .sum(),
+                argument_bytes: spec.accesses.iter().map(Access::bytes).sum(),
+                rates: rates.rates_for_arguments(spec.accesses.iter().map(Access::bytes)),
+                node: spec.node,
+                sources,
+                is_barrier: false,
+            });
+        }
+        assert_eq!(
+            tasks.len(),
+            n,
+            "stream yielded fewer tasks than its len() promised"
+        );
+
+        // Successor lists from the predecessor lists, indexed (no
+        // per-task clones on the million-task path).
+        for id in 0..tasks.len() {
+            for k in 0..tasks[id].preds.len() {
+                let p = tasks[id].preds[k] as usize;
+                debug_assert!(p < id, "edges must point forward");
+                tasks[p].succs.push(id as u32);
+            }
+        }
+        SimGraph::from_parts(tasks, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_rt::BufferId;
+
+    /// A stream of `k` independent writers over one buffer.
+    struct Writers {
+        next: usize,
+        k: usize,
+    }
+
+    impl TaskStream for Writers {
+        fn len(&self) -> usize {
+            self.k
+        }
+        fn chunk_size(&self) -> usize {
+            8
+        }
+        fn next_task(&mut self, out: &mut StreamTask) -> bool {
+            if self.next >= self.k {
+                return false;
+            }
+            out.reset("w", 0, 1.0);
+            out.writes(Region::contiguous(BufferId::from_raw(0), self.next * 8, 8));
+            self.next += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn independent_writers_have_no_edges() {
+        let g = SimGraph::from_stream(&mut Writers { next: 0, k: 5 }, &RateModel::roadrunner());
+        assert_eq!(g.len(), 5);
+        assert!(g.tasks().iter().all(|t| t.preds.is_empty()));
+        assert_eq!(g.label_name(g.tasks()[0].label), "w");
+        assert_eq!(g.tasks()[3].bytes_out, 64);
+    }
+
+    /// A chain through one cell: writer then readers then a writer.
+    struct Chain {
+        next: usize,
+    }
+
+    impl TaskStream for Chain {
+        fn len(&self) -> usize {
+            4
+        }
+        fn chunk_size(&self) -> usize {
+            16
+        }
+        fn next_task(&mut self, out: &mut StreamTask) -> bool {
+            let buf = BufferId::from_raw(0);
+            match self.next {
+                0 => {
+                    out.reset("w", 0, 1.0);
+                    out.writes(Region::contiguous(buf, 0, 16));
+                }
+                1 | 2 => {
+                    out.reset("r", 1, 1.0);
+                    out.reads(Region::contiguous(buf, 0, 16));
+                }
+                3 => {
+                    out.reset("w2", 0, 1.0);
+                    out.writes(Region::contiguous(buf, 0, 16));
+                }
+                _ => return false,
+            }
+            self.next += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn chain_edges_and_sources() {
+        let g = SimGraph::from_stream(&mut Chain { next: 0 }, &RateModel::roadrunner());
+        // Readers depend on the writer and bill their bytes to it.
+        assert_eq!(g.tasks()[1].preds, vec![0]);
+        assert_eq!(g.tasks()[1].sources, vec![(0, 128)]);
+        // The second writer conflicts with writer and both readers.
+        assert_eq!(g.tasks()[3].preds, vec![0, 1, 2]);
+        assert!(g.tasks()[3].sources.is_empty());
+        // Successors mirror predecessors.
+        assert_eq!(g.tasks()[0].succs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer tasks")]
+    fn short_stream_panics() {
+        struct Lying;
+        impl TaskStream for Lying {
+            fn len(&self) -> usize {
+                3
+            }
+            fn chunk_size(&self) -> usize {
+                8
+            }
+            fn next_task(&mut self, _out: &mut StreamTask) -> bool {
+                false
+            }
+        }
+        let _ = SimGraph::from_stream(&mut Lying, &RateModel::roadrunner());
+    }
+}

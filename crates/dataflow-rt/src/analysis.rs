@@ -124,8 +124,7 @@ mod tests {
         let df = figure1(false);
         let fj = figure1(true);
         assert!(
-            average_parallelism(&df, fig1_cost(&df))
-                > average_parallelism(&fj, fig1_cost(&fj))
+            average_parallelism(&df, fig1_cost(&df)) > average_parallelism(&fj, fig1_cost(&fj))
         );
     }
 

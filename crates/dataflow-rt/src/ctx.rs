@@ -159,7 +159,11 @@ impl ArgRef<'_> {
     /// The k-th block as a slice.
     #[inline]
     pub fn block(&self, k: usize) -> &[f64] {
-        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        assert!(
+            k < self.bound.blocks,
+            "block {k} out of {}",
+            self.bound.blocks
+        );
         // SAFETY: the scheduler guarantees no conflicting concurrent
         // access to this region; the pointer is in bounds by graph
         // validation.
@@ -229,7 +233,11 @@ impl ArgMut<'_> {
     /// The k-th block, read-only.
     #[inline]
     pub fn block(&self, k: usize) -> &[f64] {
-        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        assert!(
+            k < self.bound.blocks,
+            "block {k} out of {}",
+            self.bound.blocks
+        );
         // SAFETY: see ArgRef::block; additionally this view is the single
         // checked-out writer of the access.
         unsafe { core::slice::from_raw_parts(self.bound.block_ptr(k), self.bound.block_len) }
@@ -238,7 +246,11 @@ impl ArgMut<'_> {
     /// The k-th block, mutable.
     #[inline]
     pub fn block_mut(&mut self, k: usize) -> &mut [f64] {
-        assert!(k < self.bound.blocks, "block {k} out of {}", self.bound.blocks);
+        assert!(
+            k < self.bound.blocks,
+            "block {k} out of {}",
+            self.bound.blocks
+        );
         // SAFETY: `&mut self` makes this the only live block view of the
         // single checked-out writer; see ArgRef::block for the
         // cross-task argument.
@@ -289,8 +301,8 @@ impl ArgMut<'_> {
 mod tests {
     use super::*;
     use crate::access::{Access, AccessMode};
-    use crate::region::Region;
     use crate::arena::BufferId;
+    use crate::region::Region;
 
     fn mk_task(accesses: Vec<Access>) -> Task {
         Task {

@@ -70,7 +70,10 @@ impl DepTracker {
 
     fn record_one(&mut self, task: TaskId, access: &Access, preds: &mut Vec<TaskId>) {
         let chunk_size = self.chunk_size;
-        let users = self.buffers.entry(access.region.buf.index() as u32).or_default();
+        let users = self
+            .buffers
+            .entry(access.region.buf.index() as u32)
+            .or_default();
         let chunk_ids = access.region.chunk_ids(chunk_size);
 
         // Phase 1: collect conflicting predecessors, deduplicating
@@ -83,9 +86,7 @@ impl DepTracker {
                         continue;
                     }
                     seen_seq.push(rec.seq);
-                    if rec.mode.conflicts_with(access.mode)
-                        && rec.region.overlaps(&access.region)
-                    {
+                    if rec.mode.conflicts_with(access.mode) && rec.region.overlaps(&access.region) {
                         preds.push(rec.task);
                     }
                 }
@@ -135,7 +136,12 @@ impl Default for DepTracker {
 
 /// Does `region` contain every element of chunk `c` (element range
 /// `[c*size, (c+1)*size)`)?
-fn covers_chunk(region: &Region, c: usize, size: usize) -> bool {
+///
+/// Public because the pruning rule is part of the dependency
+/// *semantics*: `cluster_sim`'s streaming tracker must apply the
+/// exact same rule to uphold its bit-identity contract with
+/// [`DepTracker`]-built graphs.
+pub fn covers_chunk(region: &Region, c: usize, size: usize) -> bool {
     let (s, e) = (c * size, (c + 1) * size);
     if region.stride == region.block_len || region.blocks == 1 {
         // Dense span.
@@ -190,7 +196,10 @@ mod tests {
         let mut d = DepTracker::new(16);
         d.record(t(0), &[acc(contig(0, 8), AccessMode::In)]);
         // Write after read.
-        assert_eq!(d.record(t(1), &[acc(contig(4, 8), AccessMode::Out)]), vec![t(0)]);
+        assert_eq!(
+            d.record(t(1), &[acc(contig(4, 8), AccessMode::Out)]),
+            vec![t(0)]
+        );
         // Write after write. The partial write of t1 could not prune
         // t0's read record, so a redundant (but harmless) edge to t0 is
         // allowed; the WAW edge to t1 is required.
@@ -203,14 +212,18 @@ mod tests {
     fn readers_commute() {
         let mut d = DepTracker::new(16);
         d.record(t(0), &[acc(contig(0, 8), AccessMode::In)]);
-        assert!(d.record(t(1), &[acc(contig(0, 8), AccessMode::In)]).is_empty());
+        assert!(d
+            .record(t(1), &[acc(contig(0, 8), AccessMode::In)])
+            .is_empty());
     }
 
     #[test]
     fn disjoint_regions_no_dependency() {
         let mut d = DepTracker::new(4);
         d.record(t(0), &[acc(contig(0, 8), AccessMode::Out)]);
-        assert!(d.record(t(1), &[acc(contig(8, 8), AccessMode::Out)]).is_empty());
+        assert!(d
+            .record(t(1), &[acc(contig(8, 8), AccessMode::Out)])
+            .is_empty());
     }
 
     #[test]
@@ -280,7 +293,9 @@ mod tests {
         let mut d = DepTracker::new(16);
         d.record(t(0), &[acc(contig(0, 8), AccessMode::Out)]);
         d.clear();
-        assert!(d.record(t(1), &[acc(contig(0, 8), AccessMode::In)]).is_empty());
+        assert!(d
+            .record(t(1), &[acc(contig(0, 8), AccessMode::In)])
+            .is_empty());
     }
 
     #[test]
@@ -294,7 +309,7 @@ mod tests {
         assert!(covers_chunk(&s, 0, 8)); // [0,8) inside block 0
         assert!(!covers_chunk(&s, 2, 8)); // [16,24) in the gap
         assert!(covers_chunk(&s, 4, 8)); // [32,40) inside block 1
-        // Dense multi-block (stride == block_len) is a dense span.
+                                         // Dense multi-block (stride == block_len) is a dense span.
         let dense = Region::strided(BufferId::from_raw(0), 0, 8, 8, 4); // [0,32)
         assert!(covers_chunk(&dense, 1, 16));
     }

@@ -210,7 +210,11 @@ impl<'a> TaskExecution<'a> {
                     let buf = ckpt[i].as_ref().expect("readable access needs checkpoint");
                     // Kernel cannot write In accesses (TaskCtx enforces),
                     // so the mut cast is never exercised for writing.
-                    Self::bind_scratch(buf.as_ptr() as *mut f64, a.region.block_len, a.region.blocks)
+                    Self::bind_scratch(
+                        buf.as_ptr() as *mut f64,
+                        a.region.block_len,
+                        a.region.blocks,
+                    )
                 }
             })
             .collect();
@@ -258,8 +262,7 @@ impl<'a> TaskExecution<'a> {
             let (s, _) = region.block_range(k);
             // SAFETY: graph validation bounds-checked the region against
             // the arena; the scheduler serializes conflicting access.
-            let block =
-                unsafe { core::slice::from_raw_parts(base.add(s), region.block_len) };
+            let block = unsafe { core::slice::from_raw_parts(base.add(s), region.block_len) };
             out.extend_from_slice(block);
         }
         out
@@ -272,8 +275,7 @@ impl<'a> TaskExecution<'a> {
             let (s, _) = region.block_range(k);
             // SAFETY: see `gather`; this task is the region's unique
             // live writer.
-            let block =
-                unsafe { core::slice::from_raw_parts_mut(base.add(s), region.block_len) };
+            let block = unsafe { core::slice::from_raw_parts_mut(base.add(s), region.block_len) };
             block.copy_from_slice(&data[k * region.block_len..(k + 1) * region.block_len]);
         }
     }

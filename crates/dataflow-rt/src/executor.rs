@@ -128,7 +128,10 @@ impl Executor {
             }
         }
         assert_eq!(done, graph.len(), "cycle or lost task in graph");
-        records.into_iter().map(|r| r.expect("all tasks ran")).collect()
+        records
+            .into_iter()
+            .map(|r| r.expect("all tasks ran"))
+            .collect()
     }
 
     fn run_parallel(&self, graph: &TaskGraph, ptrs: &ArenaPtrs) -> Vec<ExecRecord> {
@@ -363,11 +366,7 @@ fn validate(graph: &TaskGraph, arena: &mut DataArena) {
             );
         }
         if !task.is_barrier {
-            assert!(
-                task.kernel.is_some(),
-                "task `{}` has no kernel",
-                task.label
-            );
+            assert!(task.kernel.is_some(), "task `{}` has no kernel", task.label);
         }
     }
 }
@@ -507,7 +506,11 @@ mod tests {
         let mut g = TaskGraph::new();
         g.submit(
             TaskSpec::new("bad")
-                .writes(Region::contiguous(crate::arena::BufferId::from_raw(7), 0, 4))
+                .writes(Region::contiguous(
+                    crate::arena::BufferId::from_raw(7),
+                    0,
+                    4,
+                ))
                 .kernel(|_| {}),
         );
         Executor::sequential().run(&g, &mut arena);

@@ -52,7 +52,13 @@ impl Region {
     /// given `stride` between block starts. Used for 2-D tiles of
     /// row-major matrices: a `r×c` tile at `(i0, j0)` of an `n`-column
     /// matrix is `strided(buf, i0*n + j0, c, n, r)`.
-    pub fn strided(buf: BufferId, offset: usize, block_len: usize, stride: usize, blocks: usize) -> Region {
+    pub fn strided(
+        buf: BufferId,
+        offset: usize,
+        block_len: usize,
+        stride: usize,
+        blocks: usize,
+    ) -> Region {
         assert!(block_len >= 1 && blocks >= 1, "region must be non-empty");
         assert!(
             blocks == 1 || stride >= block_len,

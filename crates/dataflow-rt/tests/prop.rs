@@ -59,7 +59,10 @@ proptest! {
 /// region through `x → a·x + b`. Distinct (a, b) pairs do not commute,
 /// so any dependency violation in the parallel schedule changes the
 /// result versus the sequential reference.
-fn affine_graph(ops: &[(usize, usize, f64, f64)], buf_len: usize) -> (TaskGraph, DataArena, dataflow_rt::BufferId) {
+fn affine_graph(
+    ops: &[(usize, usize, f64, f64)],
+    buf_len: usize,
+) -> (TaskGraph, DataArena, dataflow_rt::BufferId) {
     let mut arena = DataArena::new();
     let v = arena.alloc_from("v", (0..buf_len).map(|i| i as f64 + 1.0).collect());
     let mut g = TaskGraph::new();

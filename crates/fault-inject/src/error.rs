@@ -133,9 +133,24 @@ mod tests {
     #[test]
     fn counts_classify_coverage() {
         let log = FaultLog::new();
-        log.record(FaultEvent { task: 1, attempt: 0, class: ErrorClass::Sdc, covered: true });
-        log.record(FaultEvent { task: 2, attempt: 0, class: ErrorClass::Sdc, covered: false });
-        log.record(FaultEvent { task: 3, attempt: 1, class: ErrorClass::Due, covered: true });
+        log.record(FaultEvent {
+            task: 1,
+            attempt: 0,
+            class: ErrorClass::Sdc,
+            covered: true,
+        });
+        log.record(FaultEvent {
+            task: 2,
+            attempt: 0,
+            class: ErrorClass::Sdc,
+            covered: false,
+        });
+        log.record(FaultEvent {
+            task: 3,
+            attempt: 1,
+            class: ErrorClass::Due,
+            covered: true,
+        });
         let c = log.counts();
         assert_eq!(c.sdc, 2);
         assert_eq!(c.uncovered_sdc, 1);
@@ -147,7 +162,12 @@ mod tests {
     #[test]
     fn clear_resets() {
         let log = FaultLog::new();
-        log.record(FaultEvent { task: 0, attempt: 0, class: ErrorClass::Due, covered: false });
+        log.record(FaultEvent {
+            task: 0,
+            attempt: 0,
+            class: ErrorClass::Due,
+            covered: false,
+        });
         assert!(!log.is_empty());
         log.clear();
         assert!(log.is_empty());

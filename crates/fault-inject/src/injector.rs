@@ -166,7 +166,10 @@ impl InjectionConfig {
         !matches!(
             self,
             InjectionConfig::Disabled
-                | InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }
+                | InjectionConfig::PerTask {
+                    p_due: 0.0,
+                    p_sdc: 0.0
+                }
         )
     }
 }
@@ -192,7 +195,10 @@ mod tests {
     #[test]
     fn decisions_are_deterministic() {
         let inj = SeededInjector::new(1234);
-        let p = ExecProbabilities { p_due: 0.3, p_sdc: 0.3 };
+        let p = ExecProbabilities {
+            p_due: 0.3,
+            p_sdc: 0.3,
+        };
         for task in 0..50u64 {
             for attempt in 0..3u32 {
                 assert_eq!(inj.decide(task, attempt, p), inj.decide(task, attempt, p));
@@ -206,7 +212,10 @@ mod tests {
         // check that among 200 tasks at least one (task, 0)/(task, 1) pair
         // differs — overwhelmingly likely for independent draws.
         let inj = SeededInjector::new(7);
-        let p = ExecProbabilities { p_due: 0.5, p_sdc: 0.0 };
+        let p = ExecProbabilities {
+            p_due: 0.5,
+            p_sdc: 0.0,
+        };
         let disagree = (0..200u64).any(|t| inj.decide(t, 0, p) != inj.decide(t, 1, p));
         assert!(disagree);
     }
@@ -214,7 +223,10 @@ mod tests {
     #[test]
     fn empirical_rate_tracks_probability() {
         let inj = SeededInjector::new(99);
-        let p = ExecProbabilities { p_due: 0.1, p_sdc: 0.2 };
+        let p = ExecProbabilities {
+            p_due: 0.1,
+            p_sdc: 0.2,
+        };
         let n = 20_000u64;
         let mut due = 0;
         let mut sdc = 0;
@@ -264,8 +276,16 @@ mod tests {
     #[test]
     fn disabled_config_reports_disabled() {
         assert!(!InjectionConfig::Disabled.enabled());
-        assert!(!InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }.enabled());
-        assert!(InjectionConfig::PerTask { p_due: 0.01, p_sdc: 0.0 }.enabled());
+        assert!(!InjectionConfig::PerTask {
+            p_due: 0.0,
+            p_sdc: 0.0
+        }
+        .enabled());
+        assert!(InjectionConfig::PerTask {
+            p_due: 0.01,
+            p_sdc: 0.0
+        }
+        .enabled());
         assert!(InjectionConfig::FitBased { time_scale: 1.0 }.enabled());
     }
 

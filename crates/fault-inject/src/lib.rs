@@ -38,5 +38,7 @@ pub mod plan;
 
 pub use corrupt::{flip_random_bit, scribble_partial_write};
 pub use error::{ErrorClass, FaultEvent, FaultLog};
-pub use injector::{ExecProbabilities, FaultModel, InjectionConfig, InjectionDecision, NoFaults, SeededInjector};
+pub use injector::{
+    ExecProbabilities, FaultModel, InjectionConfig, InjectionDecision, NoFaults, SeededInjector,
+};
 pub use plan::FaultPlan;

@@ -72,9 +72,15 @@ mod tests {
             .with(1, 1, ErrorClass::Sdc);
         let p = ExecProbabilities::default();
         assert_eq!(plan.remaining(), 2);
-        assert_eq!(plan.decide(1, 1, p), InjectionDecision::Inject(ErrorClass::Sdc));
+        assert_eq!(
+            plan.decide(1, 1, p),
+            InjectionDecision::Inject(ErrorClass::Sdc)
+        );
         assert_eq!(plan.decide(1, 1, p), InjectionDecision::None);
-        assert_eq!(plan.decide(1, 0, p), InjectionDecision::Inject(ErrorClass::Due));
+        assert_eq!(
+            plan.decide(1, 0, p),
+            InjectionDecision::Inject(ErrorClass::Due)
+        );
         assert_eq!(plan.remaining(), 0);
     }
 

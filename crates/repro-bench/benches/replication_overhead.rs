@@ -37,10 +37,8 @@ fn bench_replication(c: &mut Criterion) {
                             } else {
                                 Arc::new(ReplicateNone)
                             };
-                            let engine = Arc::new(ReplicationEngine::new(
-                                policy,
-                                RateModel::roadrunner(),
-                            ));
+                            let engine =
+                                Arc::new(ReplicationEngine::new(policy, RateModel::roadrunner()));
                             Executor::sequential()
                                 .with_conflict_checker(false)
                                 .with_hooks(engine)

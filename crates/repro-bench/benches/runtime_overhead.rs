@@ -7,7 +7,12 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dataflow_rt::{DataArena, Executor, Region, TaskGraph, TaskSpec};
 
 /// Builds a Stream-like blocked graph of `iters × blocks × 2` tasks.
-fn build_graph(arena_len: usize, blocks: usize, iters: usize, barrier: bool) -> (TaskGraph, DataArena) {
+fn build_graph(
+    arena_len: usize,
+    blocks: usize,
+    iters: usize,
+    barrier: bool,
+) -> (TaskGraph, DataArena) {
     let mut arena = DataArena::new();
     let a = arena.alloc("a", arena_len);
     let b = arena.alloc("b", arena_len);

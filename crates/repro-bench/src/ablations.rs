@@ -87,11 +87,7 @@ pub struct OracleRow {
     pub periodic: OracleCell,
 }
 
-fn cell_from_plan(
-    samples: &[TaskSample],
-    replicate: &[bool],
-    threshold: f64,
-) -> OracleCell {
+fn cell_from_plan(samples: &[TaskSample], replicate: &[bool], threshold: f64) -> OracleCell {
     let total_time: f64 = samples.iter().map(|s| s.duration).sum();
     let mut time = 0.0;
     let mut fit = 0.0;
@@ -106,7 +102,11 @@ fn cell_from_plan(
     }
     OracleCell {
         task_fraction: count as f64 / samples.len().max(1) as f64,
-        time_fraction: if total_time > 0.0 { time / total_time } else { 0.0 },
+        time_fraction: if total_time > 0.0 {
+            time / total_time
+        } else {
+            0.0
+        },
         unprotected_fit: fit,
         target_met: fit <= threshold * (1.0 + 1e-9),
     }
@@ -137,10 +137,7 @@ pub fn run_oracle(scale: ExperimentScale, multiplier: f64, seed: u64) -> Vec<Ora
         .iter()
         .map(|w| {
             let (samples, threshold) = task_samples(w.as_ref(), scale, multiplier);
-            let appfit = AppFit::new(AppFitConfig::new(
-                Fit::new(threshold),
-                samples.len() as u64,
-            ));
+            let appfit = AppFit::new(AppFitConfig::new(Fit::new(threshold), samples.len() as u64));
             let appfit_cell = cell_from_policy(&samples, &appfit, threshold);
 
             let pairs: Vec<(TaskRates, f64)> =
@@ -190,7 +187,11 @@ pub fn render_oracle(rows: &[OracleRow]) -> String {
                 name.to_string(),
                 pct(c.task_fraction),
                 pct(c.time_fraction),
-                if c.target_met { "yes".into() } else { "NO".into() },
+                if c.target_met {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         };
         add("app-fit", &r.appfit, true);
@@ -230,10 +231,8 @@ pub fn run_sweep(scale: ExperimentScale, multipliers: &[f64]) -> Vec<SweepRow> {
                 .iter()
                 .map(|&m| {
                     let (samples, threshold) = task_samples(w.as_ref(), scale, m);
-                    let appfit = AppFit::new(AppFitConfig::new(
-                        Fit::new(threshold),
-                        samples.len() as u64,
-                    ));
+                    let appfit =
+                        AppFit::new(AppFitConfig::new(Fit::new(threshold), samples.len() as u64));
                     let s = evaluate_policy(&appfit, &samples);
                     (m, s.task_fraction)
                 })
@@ -442,7 +441,11 @@ mod tests {
                 // Quantization can only delay cross-node activations,
                 // and list-scheduling anomalies aside the effect is
                 // bounded and mild at test scale.
-                assert!(ratio.is_finite() && ratio > 0.5, "{}: {m}x → {ratio}", r.name);
+                assert!(
+                    ratio.is_finite() && ratio > 0.5,
+                    "{}: {m}x → {ratio}",
+                    r.name
+                );
             }
         }
     }
@@ -452,8 +455,16 @@ mod tests {
         let rows = run_oracle(ExperimentScale::Small, 10.0, 42);
         assert_eq!(rows.len(), 9);
         for r in &rows {
-            assert!(r.appfit.target_met, "{}: app-fit must meet its target", r.name);
-            assert!(r.greedy.target_met, "{}: greedy is feasible by construction", r.name);
+            assert!(
+                r.appfit.target_met,
+                "{}: app-fit must meet its target",
+                r.name
+            );
+            assert!(
+                r.greedy.target_met,
+                "{}: greedy is feasible by construction",
+                r.name
+            );
             if let Some(dp) = &r.dp {
                 assert!(dp.target_met);
                 // The oracles replicate no more *time* than App_FIT

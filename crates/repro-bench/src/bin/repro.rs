@@ -1,4 +1,5 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and
+//! runs declarative scenarios.
 //!
 //! ```text
 //! repro <command> [--scale small|medium|paper] [--seed N]
@@ -15,6 +16,14 @@
 //!   ablate-accounting  A3 — Eq. 1 accounting variants
 //!   ablate-epoch       A4 — sharded-engine epoch sensitivity
 //!   all                everything above
+//!
+//! scenario subcommands (NAME = preset name or spec-file path):
+//!   scenario list                 preset catalog
+//!   scenario show NAME            print the spec text
+//!   scenario run NAME             run and summarize
+//!   scenario record NAME --out F  run, write the binary trace to F
+//!   scenario replay F             re-run F's spec, assert bitwise identity
+//!   scenario diff A B             compare two traces
 //! ```
 //!
 //! (The cluster-scale grid lives in the separate `sweep` binary.)
@@ -22,7 +31,7 @@
 use std::process::ExitCode;
 
 use repro_bench::context::ExperimentScale;
-use repro_bench::{ablations, fig1, fig3, fig4, fig5, fig6, table1};
+use repro_bench::{ablations, fig1, fig3, fig4, fig5, fig6, scenario_cli, table1};
 
 struct Options {
     scale: ExperimentScale,
@@ -108,6 +117,15 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scenario") {
+        return match scenario_cli::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let (cmd, opt) = match parse_args(&args) {
         Ok(v) => v,
         Err(e) => {

@@ -1,19 +1,27 @@
 //! CLI for the cluster-scale parallel sweep (see `repro_bench::sweep`).
 //!
+//! Every grid cell is a declarative scenario spec; `--emit-scenarios`
+//! prints them instead of running, so any cell can be saved and
+//! re-driven (or recorded/replayed) standalone via
+//! `repro scenario run <file>`.
+//!
 //! ```text
 //! sweep                 # full grid: up to 1024 machines, ≥1M tasks
 //! sweep --quick         # seconds-scale smoke grid
 //! sweep --machines 512 --tasks-per-machine 2048 --shards 16
+//! sweep --quick --emit-scenarios   # print the grid's scenario specs
 //! ```
 
 use repro_bench::sweep::{render, run, SweepSpec};
 
 fn main() {
     let mut spec = SweepSpec::full();
+    let mut emit_scenarios = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => spec = SweepSpec::quick(),
+            "--emit-scenarios" => emit_scenarios = true,
             "--machines" => {
                 let v: usize = parse(args.next(), "--machines");
                 if v == 0 {
@@ -36,7 +44,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sweep [--quick] [--machines N] [--tasks-per-machine N] \
-                     [--shards N] [--threads N] [--seed N]"
+                     [--shards N] [--threads N] [--seed N] [--emit-scenarios]"
                 );
                 return;
             }
@@ -46,9 +54,21 @@ fn main() {
             }
         }
     }
+    if emit_scenarios {
+        // One self-contained spec per grid cell, separated by blank
+        // lines; pipe through `split` or save individually for
+        // `repro scenario run/record`.
+        for &machines in &spec.machine_counts {
+            for &fault_rate in &spec.fault_rates {
+                for &target in &spec.target_fractions {
+                    println!("{}", spec.cell_scenario(machines, fault_rate, target));
+                }
+            }
+        }
+        return;
+    }
     let total_cells = spec.cells();
-    let max_tasks = spec.machine_counts.iter().max().copied().unwrap_or(0)
-        * spec.tasks_per_machine;
+    let max_tasks = spec.machine_counts.iter().max().copied().unwrap_or(0) * spec.tasks_per_machine;
     eprintln!(
         "sweep: {total_cells} cells, largest scenario {max_tasks} tasks on {} machines, {} grid threads",
         spec.machine_counts.iter().max().copied().unwrap_or(0),

@@ -164,13 +164,22 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(ExperimentScale::parse("paper").unwrap(), ExperimentScale::Paper);
+        assert_eq!(
+            ExperimentScale::parse("paper").unwrap(),
+            ExperimentScale::Paper
+        );
         assert!(ExperimentScale::parse("huge").is_err());
     }
 
     #[test]
     fn natural_clusters_match_paper() {
-        assert_eq!(natural_cluster(WorkloadKind::SharedMemory).total_cores(), 16);
-        assert_eq!(natural_cluster(WorkloadKind::Distributed).total_cores(), 1024);
+        assert_eq!(
+            natural_cluster(WorkloadKind::SharedMemory).total_cores(),
+            16
+        );
+        assert_eq!(
+            natural_cluster(WorkloadKind::Distributed).total_cores(),
+            1024
+        );
     }
 }

@@ -127,10 +127,19 @@ pub fn render(r: &Fig1Result) -> String {
          {:<10} {:>6.1} {:>13.2} {:>17.1}s\n\
          {:<10} {:>6.1} {:>13.2} {:>17.1}s\n\n\
          Dataflow lets B overlap the A-chain; the taskwait serializes it.\n",
-        "model", "span", "parallelism", "makespan(2 cores)",
+        "model",
+        "span",
+        "parallelism",
+        "makespan(2 cores)",
         "-".repeat(52),
-        "dataflow", r.dataflow.span, r.dataflow.parallelism, r.dataflow.makespan_2core,
-        "fork-join", r.forkjoin.span, r.forkjoin.parallelism, r.forkjoin.makespan_2core,
+        "dataflow",
+        r.dataflow.span,
+        r.dataflow.parallelism,
+        r.dataflow.makespan_2core,
+        "fork-join",
+        r.forkjoin.span,
+        r.forkjoin.parallelism,
+        r.forkjoin.makespan_2core,
     )
 }
 

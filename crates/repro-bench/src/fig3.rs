@@ -56,11 +56,7 @@ pub fn evaluate_one(
 ) -> (usize, Fig3Point) {
     let (_built, graph) = described_sim_graph(workload, scale, multiplier);
     let threshold = sum_rates_at_1x(&graph, multiplier);
-    let n_tasks = graph
-        .tasks()
-        .iter()
-        .filter(|t| !t.is_barrier)
-        .count();
+    let n_tasks = graph.tasks().iter().filter(|t| !t.is_barrier).count();
     let policy = Arc::new(AppFit::new(AppFitConfig::new(
         Fit::new(threshold),
         n_tasks as u64,
@@ -139,10 +135,18 @@ pub fn render(r: &Fig3Result) -> String {
     // Averages row.
     let mut cells = vec!["AVERAGE".to_string(), String::new()];
     for (i, _) in r.multipliers.iter().enumerate() {
-        let tf: f64 =
-            r.rows.iter().map(|row| row.points[i].task_fraction).sum::<f64>() / r.rows.len() as f64;
-        let cf: f64 =
-            r.rows.iter().map(|row| row.points[i].time_fraction).sum::<f64>() / r.rows.len() as f64;
+        let tf: f64 = r
+            .rows
+            .iter()
+            .map(|row| row.points[i].task_fraction)
+            .sum::<f64>()
+            / r.rows.len() as f64;
+        let cf: f64 = r
+            .rows
+            .iter()
+            .map(|row| row.points[i].time_fraction)
+            .sum::<f64>()
+            / r.rows.len() as f64;
         cells.push(pct(tf));
         cells.push(pct(cf));
     }

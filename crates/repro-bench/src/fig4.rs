@@ -67,7 +67,12 @@ pub fn render(rows: &[Fig4Row]) -> String {
         ]);
     }
     let avg = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
-    t.row(vec!["AVERAGE".to_string(), String::new(), String::new(), pct(avg)]);
+    t.row(vec![
+        "AVERAGE".to_string(),
+        String::new(),
+        String::new(),
+        pct(avg),
+    ]);
     format!(
         "Figure 4 — fault-free overhead of complete replication (replicas on spare cores)\n\n{}",
         t.render()

@@ -83,7 +83,11 @@ pub fn render(rows: &[Fig6Row]) -> String {
     for r in rows {
         for (ri, &rate) in FAULT_RATES.iter().enumerate() {
             let mut cells = vec![
-                if ri == 0 { r.name.clone() } else { String::new() },
+                if ri == 0 {
+                    r.name.clone()
+                } else {
+                    String::new()
+                },
                 format!("{rate:.0e}"),
             ];
             for s in &r.speedups[ri] {

@@ -36,6 +36,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod scenario_cli;
 pub mod sweep;
 pub mod table1;
 

@@ -1,0 +1,205 @@
+//! The `repro scenario …` subcommand family: list/show/run presets or
+//! spec files, and drive the trace record → replay → diff pipeline
+//! from the command line (the cross-process half of the determinism
+//! contract).
+
+use std::fs;
+use std::time::Instant;
+
+use scenario::{diff, preset, presets, record, replay, Outcome, ScenarioSpec, Trace};
+
+use crate::context::pct;
+
+/// Resolves `name` as a preset first, then as a spec-file path.
+fn resolve(name: &str) -> Result<ScenarioSpec, String> {
+    if let Some(spec) = preset(name) {
+        return Ok(spec);
+    }
+    match fs::read_to_string(name) {
+        Ok(text) => ScenarioSpec::parse(&text).map_err(|e| e.to_string()),
+        Err(io) => Err(format!(
+            "`{name}` is neither a preset (see `repro scenario list`) nor a readable spec file ({io})"
+        )),
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Trace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders a finished run.
+fn summarize(spec: &ScenarioSpec, outcome: &Outcome, wall_secs: f64) -> String {
+    let r = &outcome.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scenario `{}`: {} tasks on {} nodes, policy {}\n",
+        spec.name,
+        r.task_count(),
+        spec.topology.nodes,
+        outcome.policy,
+    ));
+    out.push_str(&format!(
+        "  makespan {:.3} s (virtual), wall {:.2} s\n",
+        r.makespan, wall_secs
+    ));
+    out.push_str(&format!(
+        "  replicated: {} of tasks, {} of compute time\n",
+        pct(r.replicated_task_fraction()),
+        pct(r.replicated_time_fraction()),
+    ));
+    out.push_str(&format!(
+        "  faults: {} SDC detected, {} DUE recovered, {} SDC / {} DUE uncovered\n",
+        r.sdc_detected_count(),
+        r.due_recovered_count(),
+        r.uncovered_sdc_count(),
+        r.uncovered_due_count(),
+    ));
+    if let Some(stats) = &outcome.appfit {
+        out.push_str(&format!(
+            "  App_FIT: threshold {:.4} FIT, accumulated {:.4} FIT, {}/{} replicated\n",
+            stats.threshold, stats.current_fit, stats.replicated, stats.decided,
+        ));
+    }
+    out
+}
+
+/// Entry point for `repro scenario <args>`.
+pub fn run_cli(args: &[String]) -> Result<(), String> {
+    let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE | replay FILE | diff A B>";
+    let sub = args.first().map(String::as_str).ok_or(usage)?;
+    match sub {
+        "list" => {
+            println!("{:<22} {:>9}  workload", "preset", "engine");
+            for p in presets() {
+                let engine = match p.engine {
+                    scenario::EngineSpec::Sequential => "seq".to_string(),
+                    scenario::EngineSpec::Sharded { shards, .. } => format!("shard×{shards}"),
+                };
+                let workload = match &p.workload {
+                    scenario::WorkloadSpec::Bench {
+                        bench,
+                        scale,
+                        streamed,
+                    } => format!(
+                        "{bench} ({scale:?}{})",
+                        if *streamed { ", streamed" } else { "" }
+                    ),
+                    scenario::WorkloadSpec::Synthetic {
+                        chains_per_node,
+                        tasks_per_chain,
+                        ..
+                    } => format!(
+                        "synthetic ({} tasks)",
+                        p.topology.nodes * chains_per_node * tasks_per_chain
+                    ),
+                };
+                println!("{:<22} {engine:>9}  {workload}", p.name);
+            }
+            Ok(())
+        }
+        "show" => {
+            let name = args.get(1).map(String::as_str).ok_or(usage)?;
+            print!("{}", resolve(name)?);
+            Ok(())
+        }
+        "run" => {
+            let name = args.get(1).map(String::as_str).ok_or(usage)?;
+            let spec = resolve(name)?;
+            let t0 = Instant::now();
+            let outcome = scenario::run(&spec).map_err(|e| e.to_string())?;
+            print!("{}", summarize(&spec, &outcome, t0.elapsed().as_secs_f64()));
+            Ok(())
+        }
+        "record" => {
+            let name = args.get(1).map(String::as_str).ok_or(usage)?;
+            let out_path = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--out"), Some(path)) => path.clone(),
+                _ => return Err(format!("record needs `--out FILE`\n{usage}")),
+            };
+            let spec = resolve(name)?;
+            let t0 = Instant::now();
+            let (outcome, trace) = record(&spec).map_err(|e| e.to_string())?;
+            let bytes = trace.to_bytes();
+            fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
+            print!("{}", summarize(&spec, &outcome, t0.elapsed().as_secs_f64()));
+            println!(
+                "  trace: {} decisions in {} epochs, {} bytes → {out_path}",
+                trace.decision_count(),
+                trace.epochs.len(),
+                bytes.len(),
+            );
+            Ok(())
+        }
+        "replay" => {
+            let path = args.get(1).map(String::as_str).ok_or(usage)?;
+            let trace = load_trace(path)?;
+            let t0 = Instant::now();
+            let report = replay(&trace).map_err(|e| e.to_string())?;
+            println!(
+                "replay OK: {} decisions and {} epochs reproduced bitwise \
+                 (final FIT {:.6}, makespan {:.3} s) in {:.2} s",
+                report.decisions,
+                report.epochs,
+                report.final_fit,
+                report.makespan,
+                t0.elapsed().as_secs_f64(),
+            );
+            Ok(())
+        }
+        "diff" => {
+            let a = args.get(1).map(String::as_str).ok_or(usage)?;
+            let b = args.get(2).map(String::as_str).ok_or(usage)?;
+            let report = diff(&load_trace(a)?, &load_trace(b)?);
+            print!("{report}");
+            if report.identical() {
+                Ok(())
+            } else {
+                Err("traces differ".into())
+            }
+        }
+        other => Err(format!("unknown scenario subcommand `{other}`\n{usage}")),
+    }
+}
+
+/// Alias used by the `repro` binary.
+pub use run_cli as run;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_finds_presets() {
+        assert!(resolve("smoke").is_ok());
+        assert!(resolve("definitely-not-a-preset").is_err());
+    }
+
+    #[test]
+    fn run_smoke_preset() {
+        run_cli(&["run".into(), "smoke".into()]).expect("smoke preset runs");
+    }
+
+    #[test]
+    fn record_replay_diff_through_files() {
+        let dir = std::env::temp_dir().join("scenario-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke.trace");
+        let path = path.to_str().unwrap().to_string();
+        run_cli(&[
+            "record".into(),
+            "smoke".into(),
+            "--out".into(),
+            path.clone(),
+        ])
+        .expect("records");
+        run_cli(&["replay".into(), path.clone()]).expect("replays");
+        run_cli(&["diff".into(), path.clone(), path.clone()]).expect("self-diff is clean");
+    }
+
+    #[test]
+    fn list_and_show() {
+        run_cli(&["list".into()]).expect("lists");
+        run_cli(&["show".into(), "fig6-linpack".into()]).expect("shows");
+    }
+}

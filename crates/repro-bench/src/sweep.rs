@@ -1,13 +1,15 @@
 //! The cluster-scale parallel sweep driver.
 //!
 //! Fans a grid of **(machine count × fault rate × App_FIT target)**
-//! configurations across worker threads; every cell runs the sharded
-//! engine ([`cluster_sim::simulate_sharded`]) over a deterministic
-//! synthetic workload ([`cluster_sim::SyntheticSpec`]) sized
-//! proportionally to the machine count. This is the experiment regime
-//! the paper-scale figure drivers cannot reach — millions of tasks
-//! over thousands of simulated machines — and the consumer the sharded
-//! refactor exists for.
+//! configurations across worker threads. Every grid cell is expressed
+//! as a declarative [`scenario::ScenarioSpec`] — the same description
+//! the `repro scenario` subcommands and the examples consume — and
+//! executed through [`scenario::run_on`] over a per-machine-count
+//! graph shared across the cells (building a million-task graph once
+//! instead of once per cell). This is the experiment regime the
+//! paper-scale figure drivers cannot reach — millions of tasks over
+//! thousands of simulated machines — and the consumer the sharded
+//! engine and the scenario subsystem exist for.
 //!
 //! Grid cells are independent simulations, so the fan-out is a simple
 //! work queue: each worker claims the next unclaimed cell. Results are
@@ -23,12 +25,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use appfit_core::{AppFit, AppFitConfig, ReplicateAll, ReplicateNone, ReplicationPolicy};
-use cluster_sim::{
-    simulate_sharded, ClusterSpec, CostModel, ShardedConfig, SimConfig, SimGraph, SyntheticSpec,
+use cluster_sim::SimGraph;
+use scenario::{
+    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TargetSpec, TopologySpec,
+    WorkloadSpec,
 };
-use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
-use fit_model::{Fit, RateModel};
 
 use crate::context::{default_threads, pct, TextTable};
 
@@ -74,7 +75,6 @@ impl SweepSpec {
             seed: 2016,
         }
     }
-
 
     /// A seconds-scale grid for tests and smoke runs.
     pub fn quick() -> Self {
@@ -122,66 +122,65 @@ pub struct SweepCell {
     pub wall_ms: u128,
 }
 
-/// The workload one machine count simulates: 16 chains per node (one
-/// per core) with halo edges every 8 steps.
-fn synthetic_for(machines: usize, tasks_per_machine: usize, seed: u64) -> SimGraph {
-    let chains = 16usize;
-    let len = tasks_per_machine.div_ceil(chains).max(1);
-    SimGraph::synthetic(
-        &SyntheticSpec {
-            nodes: machines,
-            chains_per_node: chains,
-            tasks_per_chain: len,
-            flops_per_task: 4.0e8, // 0.1 s on a 4 Gflop/s core
-            jitter: 0.25,
-            argument_bytes: 1 << 20,
-            cross_node_every: 8,
-            seed,
-        },
-        &RateModel::roadrunner().with_multiplier(10.0),
-    )
+impl SweepSpec {
+    /// The declarative scenario one grid cell describes — the sweep is
+    /// just a batch runner over these specs (`scenario::run` executes
+    /// any of them standalone, rebuilding the graph).
+    pub fn cell_scenario(
+        &self,
+        machines: usize,
+        fault_rate: f64,
+        target_fraction: f64,
+    ) -> ScenarioSpec {
+        let chains = 16usize;
+        let policy = if target_fraction < 0.0 {
+            PolicySpec::ReplicateAll
+        } else if target_fraction >= 1.0 {
+            PolicySpec::ReplicateNone
+        } else {
+            PolicySpec::AppFit {
+                target: TargetSpec::Fraction(target_fraction),
+            }
+        };
+        ScenarioSpec {
+            name: format!("sweep-m{machines}-f{fault_rate}-t{target_fraction}"),
+            topology: TopologySpec::distributed(machines),
+            workload: WorkloadSpec::Synthetic {
+                chains_per_node: chains,
+                tasks_per_chain: self.tasks_per_machine.div_ceil(chains).max(1),
+                flops_per_task: 4.0e8, // 0.1 s on a 4 Gflop/s core
+                jitter: 0.25,
+                argument_bytes: 1 << 20,
+                cross_node_every: 8,
+                seed: self.seed,
+            },
+            faults: FaultSpec {
+                multiplier: 10.0,
+                p_due: fault_rate / 2.0,
+                p_sdc: fault_rate / 2.0,
+                seed: self.seed,
+            },
+            policy,
+            engine: EngineSpec::Sharded {
+                shards: self.shards.clamp(1, machines),
+                epoch: EpochSpec::Auto,
+                threads: 1,
+            },
+        }
+    }
 }
 
 fn run_cell(
+    spec: &SweepSpec,
     graph: &SimGraph,
     machines: usize,
     fault_rate: f64,
     target_fraction: f64,
-    shards: usize,
-    seed: u64,
 ) -> SweepCell {
-    let policy: Arc<dyn ReplicationPolicy> = if target_fraction < 0.0 {
-        Arc::new(ReplicateAll)
-    } else if target_fraction >= 1.0 {
-        Arc::new(ReplicateNone)
-    } else {
-        let total: f64 = graph.tasks().iter().map(|t| t.rates.total().value()).sum();
-        Arc::new(AppFit::new(AppFitConfig::new(
-            Fit::new(total * target_fraction),
-            graph.len() as u64,
-        )))
-    };
-    let cfg = SimConfig {
-        cluster: ClusterSpec::distributed(machines),
-        cost: CostModel::default(),
-        policy,
-        faults: if fault_rate > 0.0 {
-            Arc::new(SeededInjector::new(seed))
-        } else {
-            Arc::new(NoFaults)
-        },
-        injection: if fault_rate > 0.0 {
-            InjectionConfig::PerTask {
-                p_due: fault_rate / 2.0,
-                p_sdc: fault_rate / 2.0,
-            }
-        } else {
-            InjectionConfig::Disabled
-        },
-    };
-    let sharded = ShardedConfig::auto(graph, &cfg, shards.clamp(1, machines)).with_threads(1);
+    let cell = spec.cell_scenario(machines, fault_rate, target_fraction);
     let t0 = Instant::now();
-    let report = simulate_sharded(graph, &cfg, &sharded);
+    let outcome = scenario::run_on(&cell, graph, None).expect("sweep scenarios are valid");
+    let report = outcome.report;
     SweepCell {
         machines,
         fault_rate,
@@ -201,11 +200,16 @@ fn run_cell(
 /// workers. Cell results are position-stable (indexed by the grid
 /// order: machines-major, then fault rate, then target).
 pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
-    // One shared graph per machine count (the expensive part).
+    // One shared graph per machine count (the expensive part); the
+    // cells of one machine count share identical workload sections, so
+    // any cell's scenario describes the graph.
     let graphs: Vec<Arc<SimGraph>> = spec
         .machine_counts
         .iter()
-        .map(|&m| Arc::new(synthetic_for(m, spec.tasks_per_machine, spec.seed)))
+        .map(|&m| {
+            let cell = spec.cell_scenario(m, 0.0, -1.0);
+            Arc::new(scenario::build_graph(&cell).expect("sweep scenarios are valid"))
+        })
         .collect();
 
     // The flattened grid.
@@ -230,7 +234,8 @@ pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
     }
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SweepCell>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<SweepCell>>> =
+        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
     let workers = spec.grid_threads.clamp(1, jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -238,14 +243,15 @@ pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
                 let cell = run_cell(
+                    spec,
                     &graphs[job.graph_idx],
                     job.machines,
                     job.fault_rate,
                     job.target,
-                    spec.shards,
-                    spec.seed,
                 );
-                *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
             });
         }
     });
@@ -342,5 +348,19 @@ mod tests {
         assert!(cells[1].replicated_tasks >= cells[2].replicated_tasks);
         // Baselines bracket the heuristic.
         assert!(cells[0].replicated_tasks <= 1.0);
+    }
+
+    #[test]
+    fn sweep_1m_preset_matches_the_full_grid_cell() {
+        // The catalog's `sweep-1m` preset is documented as "the sweep
+        // driver's largest cell as a named scenario" — keep the two in
+        // lockstep (engine threading may differ; the simulated
+        // quantities may not depend on it by the engine contract).
+        let cell = SweepSpec::full().cell_scenario(1024, 0.01, 0.25);
+        let preset = scenario::preset("sweep-1m").expect("catalog preset");
+        assert_eq!(cell.topology, preset.topology);
+        assert_eq!(cell.workload, preset.workload);
+        assert_eq!(cell.faults, preset.faults);
+        assert_eq!(cell.policy, preset.policy);
     }
 }

@@ -1,0 +1,65 @@
+//! # scenario
+//!
+//! The experiment front door: **declarative scenario specs**, a
+//! **preset catalog**, and **deterministic trace record/replay** for
+//! the App_FIT reproduction.
+//!
+//! A scenario describes one experiment end to end — machine topology,
+//! workload (a Table-I benchmark at any scale, built in memory or
+//! streamed to the million-task regime, or the chain+halo synthetic),
+//! fault model, replication policy and simulation engine — in a small
+//! self-contained text format ([`spec`]). The `repro-bench` binaries
+//! and the examples consume these specs instead of hand-coded
+//! configuration, so every experiment in the repository is nameable,
+//! diffable and replayable.
+//!
+//! ## Sixty-second tour
+//!
+//! ```
+//! use scenario::{preset, record, replay, diff, Trace};
+//!
+//! // Named presets cover the paper's Figures 3–6 plus stress runs.
+//! let spec = preset("smoke").expect("catalog preset");
+//!
+//! // Record: run the scenario, capturing every replication decision
+//! // and the App_FIT accounting trajectory into a compact trace.
+//! let (outcome, trace) = record(&spec).expect("runs");
+//! assert!(outcome.report.makespan > 0.0);
+//!
+//! // The trace is self-contained (it embeds the spec) and replays
+//! // bit-identically — across processes and machines.
+//! let bytes = trace.to_bytes();
+//! let decoded = Trace::from_bytes(&bytes).expect("decodes");
+//! let report = replay(&decoded).expect("bitwise identical");
+//! assert_eq!(report.decisions, trace.decision_count());
+//!
+//! // And two traces can be compared structurally.
+//! assert!(diff(&trace, &decoded).identical());
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! Both simulation engines are pure functions of `(graph, config)`;
+//! the decision stream a trace records is therefore reproducible by
+//! construction. [`replay`] re-runs the embedded spec and compares
+//! **bitwise** — task ids, decisions, per-epoch `current_fit` (an
+//! order-sensitive float fold) and makespan. See
+//! `ARCHITECTURE.md` §"Scenario subsystem" for the full contract.
+
+#![deny(missing_docs)]
+
+pub mod preset;
+pub mod runner;
+pub mod spec;
+pub mod trace;
+
+pub use preset::{preset, preset_names, presets};
+pub use runner::{
+    build_graph, rate_model, record, record_on, replay, run, run_on, AppFitOutcome, Outcome,
+    ReplayReport, ScenarioError,
+};
+pub use spec::{
+    EngineSpec, EpochSpec, FaultSpec, ParseError, PolicySpec, ScenarioSpec, TargetSpec,
+    TopologySpec, WorkloadSpec,
+};
+pub use trace::{diff, Divergence, Trace, TraceDecision, TraceDiff, TraceEpoch, TraceError};

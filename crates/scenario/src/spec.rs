@@ -1,0 +1,899 @@
+//! The scenario specification: a small, self-contained text format
+//! describing one experiment end to end — topology, workload, fault
+//! model, replication policy and engine.
+//!
+//! # Grammar
+//!
+//! Line-oriented; `#` starts a comment, blank lines are ignored. The
+//! file opens with the scenario name, followed by five sections whose
+//! keys are fixed per section (unknown keys and duplicate keys are
+//! errors, so specs round-trip losslessly):
+//!
+//! ```text
+//! scenario = fig5-cholesky
+//! [topology]
+//! nodes = 1
+//! cores = 16
+//! spare-cores = 16
+//! gflops-per-core = 4
+//! mem-bw-gbs = 51.2
+//! net-latency-us = 0
+//! net-bandwidth-gbs = inf
+//! [workload]
+//! kind = bench            # bench | synthetic
+//! bench = Cholesky        # Table-I name
+//! scale = medium          # small | medium | paper | huge
+//! streamed = false        # construction path (huge ⇒ streamed)
+//! [faults]
+//! multiplier = 10         # error-rate multiplier (the paper's 5×/10×)
+//! p-due = 0.005           # per-task crash probability (0 disables)
+//! p-sdc = 0.005           # per-task SDC probability (0 disables)
+//! seed = 2016
+//! [policy]
+//! kind = app-fit          # app-fit | replicate-all | replicate-none
+//!                         # | random | periodic
+//! target-fraction = 0.5   # app-fit: fraction of the graph's total FIT
+//! [engine]
+//! kind = sharded          # sequential | sharded
+//! shards = 8
+//! epoch = auto            # auto | seconds (virtual)
+//! threads = 1
+//! ```
+//!
+//! Synthetic workloads replace the `bench`/`scale`/`streamed` keys with
+//! `chains-per-node`, `tasks-per-chain`, `flops-per-task`, `jitter`,
+//! `argument-bytes`, `cross-node-every` and `seed`; an `app-fit` policy
+//! may state its target as `target-fit` (absolute FIT) instead of
+//! `target-fraction`; `random` takes `probability` + `seed`, `periodic`
+//! takes `every`.
+//!
+//! [`ScenarioSpec::parse`] and the [`core::fmt::Display`] rendering are
+//! exact inverses (property-fuzzed in `tests/spec_roundtrip.rs`).
+
+use std::fmt;
+
+use workloads::Scale;
+
+/// A parse or validation failure, with the offending line when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number, 0 for whole-document errors.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario spec: {}", self.message)
+        } else {
+            write!(f, "scenario spec line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// The machine model, mirroring [`cluster_sim::ClusterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Cluster nodes.
+    pub nodes: usize,
+    /// Worker cores per node.
+    pub cores: usize,
+    /// Replica-only spare cores per node.
+    pub spare_cores: usize,
+    /// Sustained per-core compute rate (Gflop/s).
+    pub gflops_per_core: f64,
+    /// Node-total memory bandwidth (GB/s).
+    pub mem_bw_gbs: f64,
+    /// One-way interconnect latency (µs).
+    pub net_latency_us: f64,
+    /// Point-to-point interconnect bandwidth (GB/s).
+    pub net_bandwidth_gbs: f64,
+}
+
+impl TopologySpec {
+    /// One MareNostrum-like shared-memory node (Figures 4–5).
+    pub fn shared_memory(cores: usize) -> Self {
+        TopologySpec {
+            nodes: 1,
+            cores,
+            spare_cores: cores,
+            gflops_per_core: 4.0,
+            mem_bw_gbs: 51.2,
+            net_latency_us: 0.0,
+            net_bandwidth_gbs: f64::INFINITY,
+        }
+    }
+
+    /// `nodes` MareNostrum-like 16-core nodes over Infiniband (Fig. 6).
+    pub fn distributed(nodes: usize) -> Self {
+        TopologySpec {
+            nodes,
+            cores: 16,
+            spare_cores: 16,
+            gflops_per_core: 4.0,
+            mem_bw_gbs: 51.2,
+            net_latency_us: 1.5,
+            net_bandwidth_gbs: 5.0,
+        }
+    }
+
+    /// The equivalent simulator machine model.
+    pub fn to_cluster(self) -> cluster_sim::ClusterSpec {
+        cluster_sim::ClusterSpec {
+            nodes: self.nodes,
+            node: cluster_sim::NodeSpec {
+                cores: self.cores,
+                spare_cores: self.spare_cores,
+                gflops_per_core: self.gflops_per_core,
+                mem_bw_gbs: self.mem_bw_gbs,
+            },
+            net_latency_us: self.net_latency_us,
+            net_bandwidth_gbs: self.net_bandwidth_gbs,
+        }
+    }
+}
+
+/// What graph the scenario simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// One of the nine Table-I benchmarks.
+    Bench {
+        /// The benchmark's [`workloads::Workload::name`] (e.g.
+        /// `"Cholesky"`).
+        bench: String,
+        /// Problem-size preset.
+        scale: Scale,
+        /// Build through the streamed path
+        /// ([`workloads::streamed`]) instead of the in-memory graph.
+        /// [`Scale::Huge`] requires it.
+        streamed: bool,
+    },
+    /// The chain+halo synthetic ([`cluster_sim::SyntheticSpec`]); node
+    /// count comes from the topology.
+    Synthetic {
+        /// Independent chains per node.
+        chains_per_node: usize,
+        /// Tasks per chain.
+        tasks_per_chain: usize,
+        /// Mean flops per task.
+        flops_per_task: f64,
+        /// Deterministic flop jitter fraction.
+        jitter: f64,
+        /// Argument bytes per task.
+        argument_bytes: u64,
+        /// Halo-edge period (0 disables cross-node edges).
+        cross_node_every: usize,
+        /// Jitter seed.
+        seed: u64,
+    },
+}
+
+/// Fault model and rate scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Error-rate multiplier on the Roadrunner base rates (the paper's
+    /// 5×/10× scenarios).
+    pub multiplier: f64,
+    /// Per-task crash (DUE) injection probability; 0 together with
+    /// `p_sdc = 0` disables injection.
+    pub p_due: f64,
+    /// Per-task silent-corruption injection probability.
+    pub p_sdc: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+/// An App_FIT reliability target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetSpec {
+    /// Threshold as a fraction of the workload's total failure rate
+    /// (the sweep drivers' knob; `0` ⇒ replicate everything, `1` ⇒
+    /// nothing needs protection).
+    Fraction(f64),
+    /// Absolute threshold in FIT (the paper's user-facing knob).
+    Fit(f64),
+}
+
+/// The replication selection policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// Complete task replication (baseline).
+    ReplicateAll,
+    /// No protection (baseline).
+    ReplicateNone,
+    /// Rate-oblivious coin flip (ablation strawman).
+    Random {
+        /// Replication probability.
+        probability: f64,
+        /// Decision seed.
+        seed: u64,
+    },
+    /// Every `k`-th task (ablation strawman).
+    Periodic {
+        /// Replication period (≥ 1).
+        every: u64,
+    },
+    /// The paper's App_FIT heuristic.
+    AppFit {
+        /// The reliability target.
+        target: TargetSpec,
+    },
+}
+
+/// Sharded-engine epoch selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochSpec {
+    /// Derive from the workload (≈ 8 mean task durations).
+    Auto,
+    /// Fixed window length in virtual seconds.
+    Seconds(f64),
+}
+
+/// Which simulation engine drives the scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineSpec {
+    /// The event-exact sequential reference engine.
+    Sequential,
+    /// The sharded parallel engine (epoch-quantized across nodes).
+    Sharded {
+        /// Shard count (never affects results).
+        shards: usize,
+        /// Epoch length.
+        epoch: EpochSpec,
+        /// Worker threads (never affects results).
+        threads: usize,
+    },
+}
+
+/// One fully described experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (one line, informational).
+    pub name: String,
+    /// Machine model.
+    pub topology: TopologySpec,
+    /// Simulated graph.
+    pub workload: WorkloadSpec,
+    /// Fault model.
+    pub faults: FaultSpec,
+    /// Replication policy.
+    pub policy: PolicySpec,
+    /// Simulation engine.
+    pub engine: EngineSpec,
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario = {}", self.name)?;
+        let t = &self.topology;
+        writeln!(f, "[topology]")?;
+        writeln!(f, "nodes = {}", t.nodes)?;
+        writeln!(f, "cores = {}", t.cores)?;
+        writeln!(f, "spare-cores = {}", t.spare_cores)?;
+        writeln!(f, "gflops-per-core = {}", t.gflops_per_core)?;
+        writeln!(f, "mem-bw-gbs = {}", t.mem_bw_gbs)?;
+        writeln!(f, "net-latency-us = {}", t.net_latency_us)?;
+        writeln!(f, "net-bandwidth-gbs = {}", t.net_bandwidth_gbs)?;
+        writeln!(f, "[workload]")?;
+        match &self.workload {
+            WorkloadSpec::Bench {
+                bench,
+                scale,
+                streamed,
+            } => {
+                writeln!(f, "kind = bench")?;
+                writeln!(f, "bench = {bench}")?;
+                writeln!(f, "scale = {}", scale_name(*scale))?;
+                writeln!(f, "streamed = {streamed}")?;
+            }
+            WorkloadSpec::Synthetic {
+                chains_per_node,
+                tasks_per_chain,
+                flops_per_task,
+                jitter,
+                argument_bytes,
+                cross_node_every,
+                seed,
+            } => {
+                writeln!(f, "kind = synthetic")?;
+                writeln!(f, "chains-per-node = {chains_per_node}")?;
+                writeln!(f, "tasks-per-chain = {tasks_per_chain}")?;
+                writeln!(f, "flops-per-task = {flops_per_task}")?;
+                writeln!(f, "jitter = {jitter}")?;
+                writeln!(f, "argument-bytes = {argument_bytes}")?;
+                writeln!(f, "cross-node-every = {cross_node_every}")?;
+                writeln!(f, "seed = {seed}")?;
+            }
+        }
+        let fa = &self.faults;
+        writeln!(f, "[faults]")?;
+        writeln!(f, "multiplier = {}", fa.multiplier)?;
+        writeln!(f, "p-due = {}", fa.p_due)?;
+        writeln!(f, "p-sdc = {}", fa.p_sdc)?;
+        writeln!(f, "seed = {}", fa.seed)?;
+        writeln!(f, "[policy]")?;
+        match self.policy {
+            PolicySpec::ReplicateAll => writeln!(f, "kind = replicate-all")?,
+            PolicySpec::ReplicateNone => writeln!(f, "kind = replicate-none")?,
+            PolicySpec::Random { probability, seed } => {
+                writeln!(f, "kind = random")?;
+                writeln!(f, "probability = {probability}")?;
+                writeln!(f, "seed = {seed}")?;
+            }
+            PolicySpec::Periodic { every } => {
+                writeln!(f, "kind = periodic")?;
+                writeln!(f, "every = {every}")?;
+            }
+            PolicySpec::AppFit { target } => {
+                writeln!(f, "kind = app-fit")?;
+                match target {
+                    TargetSpec::Fraction(x) => writeln!(f, "target-fraction = {x}")?,
+                    TargetSpec::Fit(x) => writeln!(f, "target-fit = {x}")?,
+                }
+            }
+        }
+        writeln!(f, "[engine]")?;
+        match self.engine {
+            EngineSpec::Sequential => writeln!(f, "kind = sequential")?,
+            EngineSpec::Sharded {
+                shards,
+                epoch,
+                threads,
+            } => {
+                writeln!(f, "kind = sharded")?;
+                writeln!(f, "shards = {shards}")?;
+                match epoch {
+                    EpochSpec::Auto => writeln!(f, "epoch = auto")?,
+                    EpochSpec::Seconds(s) => writeln!(f, "epoch = {s}")?,
+                }
+                writeln!(f, "threads = {threads}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Paper => "paper",
+        Scale::Huge => "huge",
+    }
+}
+
+/// One `key = value` line with its source line number.
+struct Kv<'a> {
+    line: usize,
+    key: &'a str,
+    value: &'a str,
+    used: bool,
+}
+
+/// The keys of one `[section]`, consumed by the per-section builders.
+struct Section<'a> {
+    line: usize,
+    name: &'a str,
+    keys: Vec<Kv<'a>>,
+}
+
+impl<'a> Section<'a> {
+    /// Takes a required key's value.
+    fn take(&mut self, key: &str) -> Result<(usize, &'a str), ParseError> {
+        match self.keys.iter_mut().find(|kv| kv.key == key && !kv.used) {
+            Some(kv) => {
+                kv.used = true;
+                Ok((kv.line, kv.value))
+            }
+            None => err(
+                self.line,
+                format!("[{}] is missing the `{key}` key", self.name),
+            ),
+        }
+    }
+
+    /// Takes an optional key's value.
+    fn take_opt(&mut self, key: &str) -> Option<(usize, &'a str)> {
+        self.keys
+            .iter_mut()
+            .find(|kv| kv.key == key && !kv.used)
+            .map(|kv| {
+                kv.used = true;
+                (kv.line, kv.value)
+            })
+    }
+
+    /// Errors on any unconsumed key (strict, lossless specs).
+    fn finish(&self) -> Result<(), ParseError> {
+        match self.keys.iter().find(|kv| !kv.used) {
+            Some(kv) => err(
+                kv.line,
+                format!("unknown key `{}` in [{}]", kv.key, self.name),
+            ),
+            None => Ok(()),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, value: &str, what: &str) -> Result<T, ParseError> {
+    value.parse().map_err(|_| ParseError {
+        line,
+        message: format!("`{value}` is not a valid {what}"),
+    })
+}
+
+impl ScenarioSpec {
+    /// Parses the text format described in [the module docs](self).
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        // Tokenize into the name line plus sections of key/value pairs.
+        let mut name: Option<String> = None;
+        let mut sections: Vec<Section<'_>> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let Some(section) = section.strip_suffix(']') else {
+                    return err(line_no, "unterminated [section] header");
+                };
+                if !matches!(
+                    section,
+                    "topology" | "workload" | "faults" | "policy" | "engine"
+                ) {
+                    return err(line_no, format!("unknown section [{section}]"));
+                }
+                if sections.iter().any(|s| s.name == section) {
+                    return err(line_no, format!("duplicate section [{section}]"));
+                }
+                sections.push(Section {
+                    line: line_no,
+                    name: section,
+                    keys: Vec::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(line_no, "expected `key = value` or `[section]`");
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match sections.last_mut() {
+                None if key == "scenario" => {
+                    if name.replace(value.to_string()).is_some() {
+                        return err(line_no, "duplicate `scenario` name");
+                    }
+                }
+                None => return err(line_no, "expected `scenario = <name>` before sections"),
+                Some(section) => {
+                    if section.keys.iter().any(|kv| kv.key == key) {
+                        return err(
+                            line_no,
+                            format!("duplicate key `{key}` in [{}]", section.name),
+                        );
+                    }
+                    section.keys.push(Kv {
+                        line: line_no,
+                        key,
+                        value,
+                        used: false,
+                    });
+                }
+            }
+        }
+
+        let Some(name) = name else {
+            return err(0, "missing `scenario = <name>` line");
+        };
+        let mut take_section = |wanted: &str| -> Result<Section<'_>, ParseError> {
+            match sections.iter().position(|s| s.name == wanted) {
+                Some(i) => Ok(sections.remove(i)),
+                None => err(0, format!("missing section [{wanted}]")),
+            }
+        };
+
+        let mut s = take_section("topology")?;
+        let topology = TopologySpec {
+            nodes: {
+                let (l, v) = s.take("nodes")?;
+                parse_num(l, v, "node count")?
+            },
+            cores: {
+                let (l, v) = s.take("cores")?;
+                parse_num(l, v, "core count")?
+            },
+            spare_cores: {
+                let (l, v) = s.take("spare-cores")?;
+                parse_num(l, v, "spare-core count")?
+            },
+            gflops_per_core: {
+                let (l, v) = s.take("gflops-per-core")?;
+                parse_num(l, v, "rate")?
+            },
+            mem_bw_gbs: {
+                let (l, v) = s.take("mem-bw-gbs")?;
+                parse_num(l, v, "bandwidth")?
+            },
+            net_latency_us: {
+                let (l, v) = s.take("net-latency-us")?;
+                parse_num(l, v, "latency")?
+            },
+            net_bandwidth_gbs: {
+                let (l, v) = s.take("net-bandwidth-gbs")?;
+                parse_num(l, v, "bandwidth")?
+            },
+        };
+        s.finish()?;
+
+        let mut s = take_section("workload")?;
+        let (kind_line, kind) = s.take("kind")?;
+        let workload = match kind {
+            "bench" => {
+                let bench = s.take("bench")?.1.to_string();
+                let (l, scale) = s.take("scale")?;
+                let scale = match scale {
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "paper" => Scale::Paper,
+                    "huge" => Scale::Huge,
+                    other => return err(l, format!("unknown scale `{other}`")),
+                };
+                let (l, streamed) = s.take("streamed")?;
+                let streamed: bool = parse_num(l, streamed, "boolean")?;
+                if scale == Scale::Huge && !streamed {
+                    return err(l, "scale = huge requires streamed = true");
+                }
+                WorkloadSpec::Bench {
+                    bench,
+                    scale,
+                    streamed,
+                }
+            }
+            "synthetic" => WorkloadSpec::Synthetic {
+                chains_per_node: {
+                    let (l, v) = s.take("chains-per-node")?;
+                    parse_num(l, v, "count")?
+                },
+                tasks_per_chain: {
+                    let (l, v) = s.take("tasks-per-chain")?;
+                    parse_num(l, v, "count")?
+                },
+                flops_per_task: {
+                    let (l, v) = s.take("flops-per-task")?;
+                    parse_num(l, v, "flop count")?
+                },
+                jitter: {
+                    let (l, v) = s.take("jitter")?;
+                    parse_num(l, v, "fraction")?
+                },
+                argument_bytes: {
+                    let (l, v) = s.take("argument-bytes")?;
+                    parse_num(l, v, "byte count")?
+                },
+                cross_node_every: {
+                    let (l, v) = s.take("cross-node-every")?;
+                    parse_num(l, v, "period")?
+                },
+                seed: {
+                    let (l, v) = s.take("seed")?;
+                    parse_num(l, v, "seed")?
+                },
+            },
+            other => return err(kind_line, format!("unknown workload kind `{other}`")),
+        };
+        s.finish()?;
+
+        let mut s = take_section("faults")?;
+        let faults = FaultSpec {
+            multiplier: {
+                let (l, v) = s.take("multiplier")?;
+                parse_num(l, v, "multiplier")?
+            },
+            p_due: {
+                let (l, v) = s.take("p-due")?;
+                parse_num(l, v, "probability")?
+            },
+            p_sdc: {
+                let (l, v) = s.take("p-sdc")?;
+                parse_num(l, v, "probability")?
+            },
+            seed: {
+                let (l, v) = s.take("seed")?;
+                parse_num(l, v, "seed")?
+            },
+        };
+        s.finish()?;
+
+        let mut s = take_section("policy")?;
+        let (kind_line, kind) = s.take("kind")?;
+        let policy = match kind {
+            "replicate-all" => PolicySpec::ReplicateAll,
+            "replicate-none" => PolicySpec::ReplicateNone,
+            "random" => PolicySpec::Random {
+                probability: {
+                    let (l, v) = s.take("probability")?;
+                    parse_num(l, v, "probability")?
+                },
+                seed: {
+                    let (l, v) = s.take("seed")?;
+                    parse_num(l, v, "seed")?
+                },
+            },
+            "periodic" => PolicySpec::Periodic {
+                every: {
+                    let (l, v) = s.take("every")?;
+                    parse_num(l, v, "period")?
+                },
+            },
+            "app-fit" => {
+                let target = match (s.take_opt("target-fraction"), s.take_opt("target-fit")) {
+                    (Some((l, v)), None) => TargetSpec::Fraction(parse_num(l, v, "fraction")?),
+                    (None, Some((l, v))) => TargetSpec::Fit(parse_num(l, v, "FIT value")?),
+                    (Some(_), Some((l, _))) => {
+                        return err(l, "give either target-fraction or target-fit, not both")
+                    }
+                    (None, None) => {
+                        return err(
+                            kind_line,
+                            "app-fit needs a target-fraction or target-fit key",
+                        )
+                    }
+                };
+                PolicySpec::AppFit { target }
+            }
+            other => return err(kind_line, format!("unknown policy kind `{other}`")),
+        };
+        s.finish()?;
+
+        let mut s = take_section("engine")?;
+        let (kind_line, kind) = s.take("kind")?;
+        let engine = match kind {
+            "sequential" => EngineSpec::Sequential,
+            "sharded" => EngineSpec::Sharded {
+                shards: {
+                    let (l, v) = s.take("shards")?;
+                    parse_num(l, v, "shard count")?
+                },
+                epoch: {
+                    let (l, v) = s.take("epoch")?;
+                    if v == "auto" {
+                        EpochSpec::Auto
+                    } else {
+                        EpochSpec::Seconds(parse_num(l, v, "epoch length")?)
+                    }
+                },
+                threads: {
+                    let (l, v) = s.take("threads")?;
+                    parse_num(l, v, "thread count")?
+                },
+            },
+            other => return err(kind_line, format!("unknown engine kind `{other}`")),
+        };
+        s.finish()?;
+
+        if let Some(extra) = sections.first() {
+            return err(extra.line, format!("unexpected section [{}]", extra.name));
+        }
+
+        let spec = ScenarioSpec {
+            name,
+            topology,
+            workload,
+            faults,
+            policy,
+            engine,
+        };
+        spec.validate()
+            .map_err(|message| ParseError { line: 0, message })?;
+        Ok(spec)
+    }
+
+    /// Semantic validation shared by [`ScenarioSpec::parse`] and the
+    /// runner (programmatically built specs go through it too).
+    pub fn validate(&self) -> Result<(), String> {
+        // The name is written verbatim by `Display`; characters the
+        // parser strips (comments, line breaks, surrounding space)
+        // would silently break the parse ⇄ render inverse — and with
+        // it trace replay, which re-parses the embedded spec.
+        if self.name.contains(['#', '\n', '\r']) {
+            return Err("scenario name must not contain `#` or line breaks".into());
+        }
+        if self.name != self.name.trim() || self.name.is_empty() {
+            return Err("scenario name must be non-empty without surrounding whitespace".into());
+        }
+        let t = &self.topology;
+        if t.nodes == 0 || t.cores == 0 {
+            return Err("topology needs at least one node and one core".into());
+        }
+        if !(t.gflops_per_core > 0.0) || !(t.mem_bw_gbs > 0.0) {
+            return Err("compute rate and memory bandwidth must be positive".into());
+        }
+        let fa = &self.faults;
+        if !(fa.multiplier > 0.0) {
+            return Err("error-rate multiplier must be positive".into());
+        }
+        for (what, p) in [("p-due", fa.p_due), ("p-sdc", fa.p_sdc)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what} must be a probability, got {p}"));
+            }
+        }
+        match self.policy {
+            PolicySpec::Random { probability, .. } => {
+                if !(0.0..=1.0).contains(&probability) {
+                    return Err(format!(
+                        "random policy probability must be in [0, 1], got {probability}"
+                    ));
+                }
+            }
+            PolicySpec::Periodic { every } => {
+                if every == 0 {
+                    return Err("periodic policy period must be at least 1".into());
+                }
+            }
+            PolicySpec::AppFit { target } => {
+                let value = match target {
+                    TargetSpec::Fraction(x) => x,
+                    TargetSpec::Fit(x) => x,
+                };
+                if !(value >= 0.0) || !value.is_finite() {
+                    return Err(format!(
+                        "app-fit target must be finite and ≥ 0, got {value}"
+                    ));
+                }
+            }
+            PolicySpec::ReplicateAll | PolicySpec::ReplicateNone => {}
+        }
+        match self.workload {
+            WorkloadSpec::Bench {
+                scale, streamed, ..
+            } => {
+                if scale == Scale::Huge && !streamed {
+                    return Err("scale = huge requires streamed = true".into());
+                }
+            }
+            WorkloadSpec::Synthetic { jitter, .. } => {
+                if !(0.0..=1.0).contains(&jitter) {
+                    return Err(format!("jitter must be in [0, 1], got {jitter}"));
+                }
+            }
+        }
+        if let EngineSpec::Sharded {
+            shards,
+            epoch,
+            threads,
+        } = self.engine
+        {
+            if shards == 0 || threads == 0 {
+                return Err("sharded engine needs at least one shard and one thread".into());
+            }
+            if let EpochSpec::Seconds(s) = epoch {
+                if !(s > 0.0) || !s.is_finite() {
+                    return Err(format!("epoch length must be positive and finite, got {s}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "sample".into(),
+            topology: TopologySpec::distributed(8),
+            workload: WorkloadSpec::Bench {
+                bench: "Cholesky".into(),
+                scale: Scale::Small,
+                streamed: true,
+            },
+            faults: FaultSpec {
+                multiplier: 10.0,
+                p_due: 0.01,
+                p_sdc: 0.02,
+                seed: 7,
+            },
+            policy: PolicySpec::AppFit {
+                target: TargetSpec::Fraction(0.5),
+            },
+            engine: EngineSpec::Sharded {
+                shards: 4,
+                epoch: EpochSpec::Auto,
+                threads: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let spec = sample();
+        let text = spec.to_string();
+        let back = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(spec, back);
+        // And rendering is canonical: a second trip is identical text.
+        assert_eq!(text, back.to_string());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("# heading\n\n{}\n# trailing", sample());
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let text = sample().to_string().replace("cores = 16", "coares = 16");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(
+            e.message.contains("coares") || e.message.contains("cores"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let text = sample()
+            .to_string()
+            .replace("nodes = 8", "nodes = 8\nnodes = 9");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn missing_section_is_rejected() {
+        let text: String = sample()
+            .to_string()
+            .lines()
+            .filter(|l| !l.starts_with("multiplier") && !l.starts_with("p-") && *l != "[faults]")
+            .filter(|l| !l.starts_with("seed"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("faults"), "{e}");
+    }
+
+    #[test]
+    fn huge_requires_streamed() {
+        let mut spec = sample();
+        spec.workload = WorkloadSpec::Bench {
+            bench: "Matmul".into(),
+            scale: Scale::Huge,
+            streamed: false,
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn names_that_break_the_grammar_are_rejected() {
+        for bad in ["run #1", "two\nlines", " padded ", ""] {
+            let mut spec = sample();
+            spec.name = bad.into();
+            assert!(spec.validate().is_err(), "name {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn infinity_round_trips() {
+        let mut spec = sample();
+        spec.topology.net_bandwidth_gbs = f64::INFINITY;
+        let back = ScenarioSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(back.topology.net_bandwidth_gbs, f64::INFINITY);
+    }
+}

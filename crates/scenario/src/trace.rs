@@ -1,0 +1,525 @@
+//! Compact binary execution traces: the record half of the
+//! record → replay → diff pipeline.
+//!
+//! A [`Trace`] captures a scenario run's **decision stream** — every
+//! replication decision in the exact order the engine accounted it —
+//! plus the running App_FIT accounting after each epoch, and the
+//! resulting makespan. Together with the embedded scenario spec the
+//! trace is self-contained: a replay re-parses the spec, re-runs the
+//! simulation in a fresh process and must reproduce every byte (the
+//! engines are deterministic, so any divergence is a bug or an
+//! environment difference worth knowing about).
+//!
+//! The serialized form is a little-endian binary layout (13 bytes per
+//! decision), small enough that million-task traces stay in the tens
+//! of megabytes.
+
+use std::fmt;
+
+/// One recorded replication decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceDecision {
+    /// Task id the decision was taken for.
+    pub task: u32,
+    /// Was the task replicated?
+    pub replicate: bool,
+    /// The task's total failure rate λF+λSDC (FIT) — the quantity
+    /// App_FIT's Eq. 1 charges.
+    pub lambda: f64,
+}
+
+/// One accounting epoch: a batch of decisions plus the accounting
+/// state after it. Sequential-engine runs record a single epoch;
+/// sharded runs record one per barrier that committed decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEpoch {
+    /// The epoch's decisions, in canonical commit order.
+    pub decisions: Vec<TraceDecision>,
+    /// Unprotected FIT accumulated after this epoch (the App_FIT
+    /// `current_fit` trajectory; derived identically for baseline
+    /// policies).
+    pub fit_after: f64,
+    /// Decisions taken so far.
+    pub decided_after: u64,
+    /// Replicate-decisions taken so far.
+    pub replicated_after: u64,
+}
+
+/// A recorded scenario execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The canonical text of the scenario that produced the trace.
+    pub spec_text: String,
+    /// Virtual makespan of the run (seconds).
+    pub makespan: f64,
+    /// The decision stream, batched per accounting epoch.
+    pub epochs: Vec<TraceEpoch>,
+}
+
+/// Where two traces first disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The embedded scenario specs differ.
+    Spec,
+    /// Decision `index` (into the flattened stream) differs; `None` on
+    /// one side means that stream ended early.
+    Decision {
+        /// Flattened decision index.
+        index: usize,
+        /// Left decision, if present.
+        a: Option<TraceDecision>,
+        /// Right decision, if present.
+        b: Option<TraceDecision>,
+    },
+    /// Epoch `index`'s post-state (fit/decided/replicated) differs.
+    EpochState {
+        /// Epoch index.
+        index: usize,
+    },
+    /// The makespans differ.
+    Makespan,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Spec => write!(f, "embedded scenario specs differ"),
+            Divergence::Decision { index, a, b } => {
+                write!(f, "decision #{index} differs: ")?;
+                match (a, b) {
+                    (Some(a), Some(b)) => write!(
+                        f,
+                        "task {} {} (λ={}) vs task {} {} (λ={})",
+                        a.task,
+                        if a.replicate {
+                            "replicated"
+                        } else {
+                            "unprotected"
+                        },
+                        a.lambda,
+                        b.task,
+                        if b.replicate {
+                            "replicated"
+                        } else {
+                            "unprotected"
+                        },
+                        b.lambda,
+                    ),
+                    (Some(_), None) => write!(f, "right trace ends early"),
+                    (None, Some(_)) => write!(f, "left trace ends early"),
+                    (None, None) => unreachable!("divergence needs a side"),
+                }
+            }
+            Divergence::EpochState { index } => {
+                write!(f, "accounting state after epoch {index} differs")
+            }
+            Divergence::Makespan => write!(f, "makespans differ"),
+        }
+    }
+}
+
+/// A malformed trace byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const MAGIC: &[u8; 4] = b"APFT";
+const VERSION: u16 = 1;
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TraceError(format!(
+                "truncated while reading {what} at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, TraceError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+}
+
+impl Trace {
+    /// Total decisions across all epochs.
+    pub fn decision_count(&self) -> usize {
+        self.epochs.iter().map(|e| e.decisions.len()).sum()
+    }
+
+    /// Replicate-decisions across all epochs.
+    pub fn replicated_count(&self) -> usize {
+        self.epochs
+            .iter()
+            .map(|e| e.decisions.iter().filter(|d| d.replicate).count())
+            .sum()
+    }
+
+    /// The final accumulated unprotected FIT (0 for an empty trace).
+    pub fn final_fit(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |e| e.fit_after)
+    }
+
+    /// All decisions, flattened in accounting order.
+    pub fn decisions(&self) -> impl Iterator<Item = &TraceDecision> {
+        self.epochs.iter().flat_map(|e| e.decisions.iter())
+    }
+
+    /// Serializes to the compact binary layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            4 + 2
+                + 2
+                + 4
+                + self.spec_text.len()
+                + 8
+                + 4
+                + self.decision_count() * 13
+                + self.epochs.len() * 28,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&(self.spec_text.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.spec_text.as_bytes());
+        out.extend_from_slice(&self.makespan.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.epochs.len() as u32).to_le_bytes());
+        for epoch in &self.epochs {
+            out.extend_from_slice(&(epoch.decisions.len() as u32).to_le_bytes());
+            for d in &epoch.decisions {
+                out.extend_from_slice(&d.task.to_le_bytes());
+                out.push(u8::from(d.replicate));
+                out.extend_from_slice(&d.lambda.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&epoch.fit_after.to_bits().to_le_bytes());
+            out.extend_from_slice(&epoch.decided_after.to_le_bytes());
+            out.extend_from_slice(&epoch.replicated_after.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a trace produced by [`Trace::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4, "magic")? != MAGIC {
+            return Err(TraceError("not a scenario trace (bad magic)".into()));
+        }
+        let version = r.u16("version")?;
+        if version != VERSION {
+            return Err(TraceError(format!(
+                "unsupported trace version {version} (expected {VERSION})"
+            )));
+        }
+        let _reserved = r.u16("reserved")?;
+        let spec_len = r.u32("spec length")? as usize;
+        let spec_text = String::from_utf8(r.take(spec_len, "spec text")?.to_vec())
+            .map_err(|_| TraceError("spec text is not UTF-8".into()))?;
+        let makespan = r.f64("makespan")?;
+        let epoch_count = r.u32("epoch count")? as usize;
+        let mut epochs = Vec::with_capacity(epoch_count.min(1 << 20));
+        for _ in 0..epoch_count {
+            let n = r.u32("decision count")? as usize;
+            let mut decisions = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                let task = r.u32("task id")?;
+                let replicate = match r.take(1, "replicate flag")?[0] {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(TraceError(format!("bad replicate flag {other}")));
+                    }
+                };
+                let lambda = r.f64("lambda")?;
+                decisions.push(TraceDecision {
+                    task,
+                    replicate,
+                    lambda,
+                });
+            }
+            epochs.push(TraceEpoch {
+                decisions,
+                fit_after: r.f64("fit")?,
+                decided_after: r.u64("decided")?,
+                replicated_after: r.u64("replicated")?,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(TraceError(format!(
+                "{} trailing bytes after the last epoch",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(Trace {
+            spec_text,
+            makespan,
+            epochs,
+        })
+    }
+
+    /// Bitwise comparison (floats by bit pattern): `None` if the
+    /// traces are identical, otherwise the first divergence.
+    pub fn divergence_from(&self, other: &Trace) -> Option<Divergence> {
+        if self.spec_text != other.spec_text {
+            return Some(Divergence::Spec);
+        }
+        let mut index = 0usize;
+        let (mut a_it, mut b_it) = (self.decisions(), other.decisions());
+        loop {
+            match (a_it.next(), b_it.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    let same = match (a, b) {
+                        (Some(a), Some(b)) => {
+                            a.task == b.task
+                                && a.replicate == b.replicate
+                                && a.lambda.to_bits() == b.lambda.to_bits()
+                        }
+                        _ => false,
+                    };
+                    if !same {
+                        return Some(Divergence::Decision {
+                            index,
+                            a: a.copied(),
+                            b: b.copied(),
+                        });
+                    }
+                }
+            }
+            index += 1;
+        }
+        for (i, (ea, eb)) in self.epochs.iter().zip(&other.epochs).enumerate() {
+            if ea.fit_after.to_bits() != eb.fit_after.to_bits()
+                || ea.decided_after != eb.decided_after
+                || ea.replicated_after != eb.replicated_after
+            {
+                return Some(Divergence::EpochState { index: i });
+            }
+        }
+        if self.epochs.len() != other.epochs.len() {
+            return Some(Divergence::EpochState {
+                index: self.epochs.len().min(other.epochs.len()),
+            });
+        }
+        if self.makespan.to_bits() != other.makespan.to_bits() {
+            return Some(Divergence::Makespan);
+        }
+        None
+    }
+}
+
+/// A structured comparison of two traces (the `trace diff` report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Do the embedded specs match?
+    pub same_spec: bool,
+    /// Decision counts on each side.
+    pub decisions: (usize, usize),
+    /// Replicate-decision counts on each side.
+    pub replicated: (usize, usize),
+    /// Decisions that differ position-wise (over the common prefix,
+    /// plus the length difference).
+    pub differing_decisions: usize,
+    /// First divergence, if any.
+    pub first: Option<Divergence>,
+    /// Final unprotected FIT on each side.
+    pub final_fit: (f64, f64),
+    /// Makespans on each side.
+    pub makespan: (f64, f64),
+}
+
+impl TraceDiff {
+    /// `true` if the traces are bitwise identical.
+    pub fn identical(&self) -> bool {
+        self.first.is_none()
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace diff")?;
+        writeln!(
+            f,
+            "  specs:       {}",
+            if self.same_spec {
+                "identical"
+            } else {
+                "DIFFER"
+            }
+        )?;
+        writeln!(
+            f,
+            "  decisions:   {} vs {} ({} differ)",
+            self.decisions.0, self.decisions.1, self.differing_decisions
+        )?;
+        writeln!(
+            f,
+            "  replicated:  {} vs {}",
+            self.replicated.0, self.replicated.1
+        )?;
+        writeln!(
+            f,
+            "  final FIT:   {} vs {}",
+            self.final_fit.0, self.final_fit.1
+        )?;
+        writeln!(
+            f,
+            "  makespan[s]: {} vs {}",
+            self.makespan.0, self.makespan.1
+        )?;
+        match &self.first {
+            None => writeln!(f, "  verdict:     bitwise identical")?,
+            Some(d) => writeln!(f, "  verdict:     DIVERGED — {d}")?,
+        }
+        Ok(())
+    }
+}
+
+/// Compares two traces decision by decision.
+pub fn diff(a: &Trace, b: &Trace) -> TraceDiff {
+    let differing = {
+        let mut n = 0usize;
+        let (mut a_it, mut b_it) = (a.decisions(), b.decisions());
+        loop {
+            match (a_it.next(), b_it.next()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    if x.task != y.task
+                        || x.replicate != y.replicate
+                        || x.lambda.to_bits() != y.lambda.to_bits()
+                    {
+                        n += 1;
+                    }
+                }
+                _ => n += 1,
+            }
+        }
+        n
+    };
+    TraceDiff {
+        same_spec: a.spec_text == b.spec_text,
+        decisions: (a.decision_count(), b.decision_count()),
+        replicated: (a.replicated_count(), b.replicated_count()),
+        differing_decisions: differing,
+        first: a.divergence_from(b),
+        final_fit: (a.final_fit(), b.final_fit()),
+        makespan: (a.makespan, b.makespan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spec_text: "scenario = t\n".into(),
+            makespan: 12.5,
+            epochs: vec![
+                TraceEpoch {
+                    decisions: vec![
+                        TraceDecision {
+                            task: 0,
+                            replicate: true,
+                            lambda: 0.25,
+                        },
+                        TraceDecision {
+                            task: 1,
+                            replicate: false,
+                            lambda: 0.5,
+                        },
+                    ],
+                    fit_after: 0.5,
+                    decided_after: 2,
+                    replicated_after: 1,
+                },
+                TraceEpoch {
+                    decisions: vec![TraceDecision {
+                        task: 2,
+                        replicate: false,
+                        lambda: 0.125,
+                    }],
+                    fit_after: 0.625,
+                    decided_after: 3,
+                    replicated_after: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let t = sample();
+        let back = Trace::from_bytes(&t.to_bytes()).expect("decodes");
+        assert_eq!(t, back);
+        assert!(t.divergence_from(&back).is_none());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [3, 10, bytes.len() - 1] {
+            assert!(Trace::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(Trace::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = sample();
+        let mut b = sample();
+        b.epochs[1].decisions[0].replicate = true;
+        let d = diff(&a, &b);
+        assert!(!d.identical());
+        assert_eq!(d.differing_decisions, 1);
+        match d.first {
+            Some(Divergence::Decision { index: 2, .. }) => {}
+            other => panic!("wrong divergence: {other:?}"),
+        }
+        // Identical traces diff clean.
+        assert!(diff(&a, &sample()).identical());
+    }
+
+    #[test]
+    fn counters_and_fit() {
+        let t = sample();
+        assert_eq!(t.decision_count(), 3);
+        assert_eq!(t.replicated_count(), 1);
+        assert_eq!(t.final_fit(), 0.625);
+    }
+}

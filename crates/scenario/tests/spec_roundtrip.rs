@@ -1,0 +1,131 @@
+//! Property fuzz of the spec grammar: for randomized scenario specs,
+//! `spec → text → spec` is lossless and the rendering is canonical
+//! (`text → spec → text` is a fixed point).
+
+use proptest::prelude::*;
+use scenario::{
+    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TargetSpec, TopologySpec,
+    WorkloadSpec,
+};
+use workloads::Scale;
+
+fn frac(x: u32) -> f64 {
+    f64::from(x % 1001) / 1000.0
+}
+
+fn topology(seed: (u8, u8, u8, u32, u32)) -> TopologySpec {
+    let (nodes, cores, spares, bw, lat) = seed;
+    TopologySpec {
+        nodes: 1 + nodes as usize % 128,
+        cores: 1 + cores as usize % 64,
+        spare_cores: spares as usize % 64,
+        gflops_per_core: 0.5 + f64::from(bw % 100),
+        mem_bw_gbs: 1.0 + f64::from(bw % 977) / 3.0,
+        net_latency_us: f64::from(lat % 100) / 7.0,
+        net_bandwidth_gbs: if lat % 5 == 0 {
+            f64::INFINITY
+        } else {
+            1.0 + f64::from(lat % 50)
+        },
+    }
+}
+
+fn workload(sel: u8, a: u32, b: u32) -> WorkloadSpec {
+    const BENCHES: [&str; 9] = [
+        "SparseLU", "Cholesky", "FFT", "Perlin", "Stream", "Nbody", "Matmul", "Pingpong", "Linpack",
+    ];
+    if sel % 2 == 0 {
+        let scale = match a % 4 {
+            0 => Scale::Small,
+            1 => Scale::Medium,
+            2 => Scale::Paper,
+            _ => Scale::Huge,
+        };
+        WorkloadSpec::Bench {
+            bench: BENCHES[b as usize % BENCHES.len()].to_string(),
+            scale,
+            // Huge requires the streamed path; otherwise alternate.
+            streamed: scale == Scale::Huge || b % 2 == 0,
+        }
+    } else {
+        WorkloadSpec::Synthetic {
+            chains_per_node: 1 + a as usize % 32,
+            tasks_per_chain: 1 + b as usize % 512,
+            flops_per_task: 1.0 + f64::from(a % 10_000) * 1.0e5,
+            jitter: frac(b),
+            argument_bytes: u64::from(a % (1 << 24)),
+            cross_node_every: b as usize % 16,
+            seed: u64::from(a ^ b),
+        }
+    }
+}
+
+fn policy(sel: u8, x: u32) -> PolicySpec {
+    match sel % 5 {
+        0 => PolicySpec::ReplicateAll,
+        1 => PolicySpec::ReplicateNone,
+        2 => PolicySpec::Random {
+            probability: frac(x),
+            seed: u64::from(x),
+        },
+        3 => PolicySpec::Periodic {
+            every: 1 + u64::from(x % 100),
+        },
+        _ => PolicySpec::AppFit {
+            target: if x % 2 == 0 {
+                TargetSpec::Fraction(frac(x))
+            } else {
+                TargetSpec::Fit(f64::from(x % 100_000) / 13.0)
+            },
+        },
+    }
+}
+
+fn engine(sel: u8, x: u32) -> EngineSpec {
+    match sel % 3 {
+        0 => EngineSpec::Sequential,
+        1 => EngineSpec::Sharded {
+            shards: 1 + x as usize % 64,
+            epoch: EpochSpec::Auto,
+            threads: 1 + x as usize % 8,
+        },
+        _ => EngineSpec::Sharded {
+            shards: 1 + x as usize % 64,
+            epoch: EpochSpec::Seconds(0.001 + f64::from(x % 10_000) / 17.0),
+            threads: 1 + x as usize % 8,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn spec_to_text_to_spec_is_lossless(
+        topo in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>()),
+        wl in (any::<u8>(), any::<u32>(), any::<u32>()),
+        pol in (any::<u8>(), any::<u32>()),
+        eng in (any::<u8>(), any::<u32>()),
+        faults in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+        name_sel in any::<u16>(),
+    ) {
+        let spec = ScenarioSpec {
+            name: format!("fuzz-{name_sel}"),
+            topology: topology(topo),
+            workload: workload(wl.0, wl.1, wl.2),
+            faults: FaultSpec {
+                multiplier: 0.5 + f64::from(faults.0 % 100),
+                p_due: frac(faults.1),
+                p_sdc: frac(faults.2),
+                seed: faults.3,
+            },
+            policy: policy(pol.0, pol.1),
+            engine: engine(eng.0, eng.1),
+        };
+        // The generators only produce semantically valid specs.
+        prop_assert!(spec.validate().is_ok(), "generator made an invalid spec");
+        let text = spec.to_string();
+        let back = ScenarioSpec::parse(&text).expect("generated spec parses");
+        prop_assert_eq!(&spec, &back, "round trip lost information:\n{}", text);
+        // Canonical rendering: a second trip is byte-identical.
+        prop_assert_eq!(text, back.to_string());
+    }
+}

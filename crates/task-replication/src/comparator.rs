@@ -21,10 +21,7 @@ pub struct BitwiseComparator;
 
 impl Comparator for BitwiseComparator {
     fn equal(&self, a: &[f64], b: &[f64]) -> bool {
-        a.len() == b.len()
-            && a.iter()
-                .zip(b)
-                .all(|(x, y)| x.to_bits() == y.to_bits())
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
     fn name(&self) -> &'static str {
@@ -53,9 +50,9 @@ impl ToleranceComparator {
 impl Comparator for ToleranceComparator {
     fn equal(&self, a: &[f64], b: &[f64]) -> bool {
         a.len() == b.len()
-            && a.iter().zip(b).all(|(x, y)| {
-                (x.is_nan() && y.is_nan()) || (x - y).abs() <= self.abs_tol
-            })
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.is_nan() && y.is_nan()) || (x - y).abs() <= self.abs_tol)
     }
 
     fn name(&self) -> &'static str {

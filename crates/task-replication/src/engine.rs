@@ -201,7 +201,9 @@ impl ReplicationEngine {
             }
         }
         self.counters.compares.fetch_add(1, Ordering::Relaxed);
-        self.counters.compare_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.counters
+            .compare_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
         equal
     }
 

@@ -62,8 +62,10 @@ mod tests {
             (good.clone(), good.clone(), bad.clone()),
         ] {
             let v = majority_vote(&a, &b, &c);
-            assert_eq!(v.winner.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
-                       good.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+            assert_eq!(
+                v.winner.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                good.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
             assert_eq!(v.unresolved, 0);
         }
     }

@@ -45,18 +45,31 @@ fn expected_out() -> Vec<f64> {
     (1..=8).map(|i| (i * i) as f64).collect()
 }
 
-fn run_with_plan(plan: FaultPlan) -> (DataArena, dataflow_rt::RunReport, Arc<fault_inject::FaultLog>, Region, Region) {
+fn run_with_plan(
+    plan: FaultPlan,
+) -> (
+    DataArena,
+    dataflow_rt::RunReport,
+    Arc<fault_inject::FaultLog>,
+    Region,
+    Region,
+) {
     let mut arena = DataArena::new();
     let (g, _r_in, r_out, r_acc) = build_square_graph(&mut arena);
     let engine = Arc::new(
         ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner()).with_faults(
             Arc::new(plan),
             // Probabilities are ignored by FaultPlan; any enabled config works.
-            InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 },
+            InjectionConfig::PerTask {
+                p_due: 0.0,
+                p_sdc: 0.0,
+            },
         ),
     );
     let log = engine.log();
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     (arena, report, log, r_out, r_acc)
 }
 
@@ -147,7 +160,10 @@ fn triple_crash_with_retries_eventually_recovers() {
         .with(0, 2, ErrorClass::Due);
     let (mut arena, report, _log, r_out, _) = run_with_plan(plan);
     assert_eq!(arena.read_region(r_out), expected_out());
-    assert_eq!(report.records[0].attempts, 5, "two crashes + retry crash + two clean copies");
+    assert_eq!(
+        report.records[0].attempts, 5,
+        "two crashes + retry crash + two clean copies"
+    );
     assert_eq!(report.records[0].outcome, TaskOutcome::Completed);
 }
 
@@ -162,10 +178,18 @@ fn crash_retries_exhausted_reports_crashed() {
         .with(0, 3, ErrorClass::Due);
     let engine = Arc::new(
         ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
-            .with_faults(Arc::new(plan), InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 })
+            .with_faults(
+                Arc::new(plan),
+                InjectionConfig::PerTask {
+                    p_due: 0.0,
+                    p_sdc: 0.0,
+                },
+            )
             .with_max_crash_retries(2),
     );
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     assert_eq!(report.records[0].outcome, TaskOutcome::Crashed);
     assert_eq!(report.records[0].attempts, 4); // original + replica + 2 retries
 }
@@ -176,16 +200,27 @@ fn unreplicated_sdc_silently_corrupts_output() {
     let (g, _r_in, r_out, r_acc) = build_square_graph(&mut arena);
     let plan = FaultPlan::new().with(0, 0, ErrorClass::Sdc);
     let engine = Arc::new(
-        ReplicationEngine::new(Arc::new(ReplicateNone), RateModel::roadrunner())
-            .with_faults(Arc::new(plan), InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }),
+        ReplicationEngine::new(Arc::new(ReplicateNone), RateModel::roadrunner()).with_faults(
+            Arc::new(plan),
+            InjectionConfig::PerTask {
+                p_due: 0.0,
+                p_sdc: 0.0,
+            },
+        ),
     );
     let log = engine.log();
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     // Exactly one f64 somewhere in the outputs differs by one bit.
     let out = arena.read_region(r_out);
     let acc = arena.read_region(r_acc);
     let mut flipped_bits = 0u32;
-    for (got, want) in out.iter().zip(expected_out()).chain(acc.iter().zip(vec![11.0; 4])) {
+    for (got, want) in out
+        .iter()
+        .zip(expected_out())
+        .chain(acc.iter().zip(vec![11.0; 4]))
+    {
         flipped_bits += (got.to_bits() ^ want.to_bits()).count_ones();
     }
     assert_eq!(flipped_bits, 1, "exactly one bit flipped");
@@ -199,11 +234,18 @@ fn unreplicated_due_reports_crash() {
     let (g, ..) = build_square_graph(&mut arena);
     let plan = FaultPlan::new().with(0, 0, ErrorClass::Due);
     let engine = Arc::new(
-        ReplicationEngine::new(Arc::new(ReplicateNone), RateModel::roadrunner())
-            .with_faults(Arc::new(plan), InjectionConfig::PerTask { p_due: 0.0, p_sdc: 0.0 }),
+        ReplicationEngine::new(Arc::new(ReplicateNone), RateModel::roadrunner()).with_faults(
+            Arc::new(plan),
+            InjectionConfig::PerTask {
+                p_due: 0.0,
+                p_sdc: 0.0,
+            },
+        ),
     );
     let log = engine.log();
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     assert_eq!(report.records[0].outcome, TaskOutcome::Crashed);
     assert!(report.records[0].uncovered_due);
     assert_eq!(log.counts().uncovered_due, 1);
@@ -218,7 +260,9 @@ fn checkpoint_stats_track_bytes() {
         RateModel::roadrunner(),
     ));
     let stats_handle = Arc::clone(&engine);
-    Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     let stats = stats_handle.stats();
     assert_eq!(stats.checkpoints, 1);
     // Inputs: 8 (in) + 4 (inout) doubles.
@@ -247,20 +291,35 @@ fn probabilistic_injection_under_full_replication_preserves_results() {
     let engine = Arc::new(
         ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner()).with_faults(
             Arc::new(SeededInjector::new(2024)),
-            InjectionConfig::PerTask { p_due: 0.1, p_sdc: 0.25 },
+            InjectionConfig::PerTask {
+                p_due: 0.1,
+                p_sdc: 0.25,
+            },
         ),
     );
     let log = engine.log();
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
 
     let mut expected = 1.0f64;
     for _ in 0..40 {
         expected = 1.5 * expected + 0.25;
     }
-    assert!(arena.read(v).iter().all(|&x| x == expected), "bit-exact recovery");
+    assert!(
+        arena.read(v).iter().all(|&x| x == expected),
+        "bit-exact recovery"
+    );
     assert!(!log.is_empty(), "faults were injected");
-    assert_eq!(log.counts().uncovered_sdc, 0, "replication covered all SDCs");
-    assert!(report.records.iter().any(|r| r.sdc_detected || r.due_recovered));
+    assert_eq!(
+        log.counts().uncovered_sdc,
+        0,
+        "replication covered all SDCs"
+    );
+    assert!(report
+        .records
+        .iter()
+        .any(|r| r.sdc_detected || r.due_recovered));
 }
 
 #[test]
@@ -289,7 +348,9 @@ fn tolerance_comparator_ignores_tiny_divergence() {
         ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
             .with_comparator(Box::new(ToleranceComparator::new(1e-9))),
     );
-    let report = Executor::sequential().with_hooks(engine).run(&g, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&g, &mut arena);
     assert!(!report.records[0].sdc_detected, "noise within tolerance");
     assert_eq!(report.records[0].attempts, 2);
 }

@@ -54,8 +54,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "SparseLU", "Cholesky", "FFT", "Perlin", "Stream", "Nbody", "Matmul",
-                "Pingpong", "Linpack"
+                "SparseLU", "Cholesky", "FFT", "Perlin", "Stream", "Nbody", "Matmul", "Pingpong",
+                "Linpack"
             ]
         );
         assert_eq!(shared_memory_workloads().len(), 5);

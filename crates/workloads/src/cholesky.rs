@@ -25,8 +25,26 @@ impl CholeskyConfig {
             Scale::Small => CholeskyConfig { n: 96, block: 24 },
             Scale::Medium => CholeskyConfig { n: 512, block: 64 },
             // Table I: 16384×16384, block 512×512.
-            Scale::Paper => CholeskyConfig { n: 16384, block: 512 },
+            Scale::Paper => CholeskyConfig {
+                n: 16384,
+                block: 512,
+            },
+            // 184 tiles per dimension: 184 + 2·C(184,2) + C(184,3)
+            // = 1,055,240 tasks.
+            Scale::Huge => CholeskyConfig {
+                n: 11776,
+                block: 64,
+            },
         }
+    }
+
+    /// Tasks the configuration generates
+    /// (`nt` potrf + `C(nt,2)` trsm + `C(nt,2)` syrk + `C(nt,3)` gemm).
+    pub fn task_count(&self) -> usize {
+        let nt = self.nt();
+        // Saturating: a single-tile factorization (nt = 1) is just its
+        // potrf, and nt = 0 (block > n) generates nothing.
+        nt + nt * nt.saturating_sub(1) + nt * nt.saturating_sub(1) * nt.saturating_sub(2) / 6
     }
 
     /// Tiles per dimension.
@@ -141,7 +159,13 @@ impl Workload for Cholesky {
                                 let aik = ctx.r(0);
                                 let ajk = ctx.r(1);
                                 let mut aij = ctx.w(2);
-                                dgemm_nt(aij.as_mut_slice(), aik.as_slice(), ajk.as_slice(), bsz, -1.0);
+                                dgemm_nt(
+                                    aij.as_mut_slice(),
+                                    aik.as_slice(),
+                                    ajk.as_slice(),
+                                    bsz,
+                                    -1.0,
+                                );
                             }),
                     );
                 }
@@ -149,9 +173,7 @@ impl Workload for Cholesky {
         }
 
         let placement = vec![0; graph.len()];
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
+        let verify: crate::Verifier = if materialize && scale == Scale::Small {
             let (n, ntc, bc) = (cfg.n, nt, b);
             Box::new(move |arena: &mut DataArena| {
                 // Reference: naive dense Cholesky of the original matrix.
@@ -227,10 +249,12 @@ mod tests {
         let nt = CholeskyConfig::at(Scale::Small).nt();
         // nt potrf + nt(nt−1)/2 trsm + nt(nt−1)/2 syrk + Σ C(m,2) gemm.
         let trsm = nt * (nt - 1) / 2;
-        let gemm: usize = (0..nt).map(|k| {
-            let m = nt - k - 1;
-            m * m.saturating_sub(1) / 2
-        }).sum();
+        let gemm: usize = (0..nt)
+            .map(|k| {
+                let m = nt - k - 1;
+                m * m.saturating_sub(1) / 2
+            })
+            .sum();
         assert_eq!(built.graph.len(), nt + 2 * trsm + gemm);
     }
 

@@ -21,6 +21,10 @@ pub struct FftConfig {
     pub rows_per_block: usize,
     /// Transpose tile dimension.
     pub tile: usize,
+    /// Repeated 2-D transforms (each = FFT, transpose, FFT, transpose;
+    /// the scaling knob that reaches the million-task regime, as
+    /// `reps`/`iters` do for the other repeated benchmarks).
+    pub rounds: usize,
 }
 
 impl FftConfig {
@@ -31,19 +35,38 @@ impl FftConfig {
                 n: 64,
                 rows_per_block: 8,
                 tile: 8,
+                rounds: 1,
             },
             Scale::Medium => FftConfig {
                 n: 512,
                 rows_per_block: 64,
                 tile: 64,
+                rounds: 1,
             },
             // Table I: 16384×16384 complex doubles, 16384×128 blocks.
             Scale::Paper => FftConfig {
                 n: 16384,
                 rows_per_block: 128,
                 tile: 128,
+                rounds: 1,
+            },
+            // 1986 × (2·8 + 2·16²) = 1,048,608 tasks.
+            Scale::Huge => FftConfig {
+                n: 128,
+                rows_per_block: 16,
+                tile: 8,
+                rounds: 1986,
             },
         }
+    }
+
+    /// Tasks the configuration generates: per round, two row-FFT
+    /// phases of `n / rows_per_block` tasks and two transpose phases of
+    /// `(n / tile)²` tasks.
+    pub fn task_count(&self) -> usize {
+        let fft = self.n / self.rows_per_block;
+        let tr = (self.n / self.tile) * (self.n / self.tile);
+        self.rounds * 2 * (fft + tr)
     }
 }
 
@@ -131,6 +154,20 @@ impl Workload for Fft2d {
 
     fn build(&self, scale: Scale, _nodes: usize, materialize: bool) -> BuiltWorkload {
         let cfg = FftConfig::at(scale);
+        self.build_config(&cfg, materialize, scale == Scale::Small)
+    }
+}
+
+impl Fft2d {
+    /// [`Workload::build`] for an explicit configuration (tests use
+    /// this to exercise multi-round setups at small dimensions).
+    pub fn build_config(
+        &self,
+        cfg: &FftConfig,
+        materialize: bool,
+        verified: bool,
+    ) -> BuiltWorkload {
+        let cfg = *cfg;
         assert!(cfg.n.is_power_of_two());
         let len = 2 * cfg.n * cfg.n;
         let mut arena = DataArena::new();
@@ -142,45 +179,43 @@ impl Workload for Fft2d {
             }
             (a, arena.alloc("T", len))
         } else {
-            (
-                arena.alloc_virtual("A", len),
-                arena.alloc_virtual("T", len),
-            )
+            (arena.alloc_virtual("A", len), arena.alloc_virtual("T", len))
         };
 
         let mut graph = TaskGraph::with_chunk_size(2 * cfg.n);
-        Self::submit_fft_phase(&mut graph, a, &cfg);
-        Self::submit_transpose_phase(&mut graph, a, t, &cfg);
-        Self::submit_fft_phase(&mut graph, t, &cfg);
-        Self::submit_transpose_phase(&mut graph, t, a, &cfg);
+        for _round in 0..cfg.rounds {
+            Self::submit_fft_phase(&mut graph, a, &cfg);
+            Self::submit_transpose_phase(&mut graph, a, t, &cfg);
+            Self::submit_fft_phase(&mut graph, t, &cfg);
+            Self::submit_transpose_phase(&mut graph, t, a, &cfg);
+        }
 
         let placement = vec![0; graph.len()];
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
-            let n = cfg.n;
+        let verify: crate::Verifier = if materialize && verified {
+            let (n, rounds) = (cfg.n, cfg.rounds);
             Box::new(move |arena: &mut DataArena| {
                 // Host reference: the same row-FFT/transpose pipeline on
-                // the regenerated input.
-                let mut input: Vec<f64> = (0..2 * n * n).map(fft_elem).collect();
-                for r in 0..n {
-                    fft1d(&mut input[2 * r * n..2 * (r + 1) * n], n, false);
-                }
-                let mut tr = vec![0.0; 2 * n * n];
-                for r in 0..n {
-                    for c in 0..n {
-                        tr[2 * (c * n + r)] = input[2 * (r * n + c)];
-                        tr[2 * (c * n + r) + 1] = input[2 * (r * n + c) + 1];
+                // the regenerated input, repeated per round.
+                let mut want: Vec<f64> = (0..2 * n * n).map(fft_elem).collect();
+                for _ in 0..rounds {
+                    for r in 0..n {
+                        fft1d(&mut want[2 * r * n..2 * (r + 1) * n], n, false);
                     }
-                }
-                for r in 0..n {
-                    fft1d(&mut tr[2 * r * n..2 * (r + 1) * n], n, false);
-                }
-                let mut want = vec![0.0; 2 * n * n];
-                for r in 0..n {
-                    for c in 0..n {
-                        want[2 * (c * n + r)] = tr[2 * (r * n + c)];
-                        want[2 * (c * n + r) + 1] = tr[2 * (r * n + c) + 1];
+                    let mut tr = vec![0.0; 2 * n * n];
+                    for r in 0..n {
+                        for c in 0..n {
+                            tr[2 * (c * n + r)] = want[2 * (r * n + c)];
+                            tr[2 * (c * n + r) + 1] = want[2 * (r * n + c) + 1];
+                        }
+                    }
+                    for r in 0..n {
+                        fft1d(&mut tr[2 * r * n..2 * (r + 1) * n], n, false);
+                    }
+                    for r in 0..n {
+                        for c in 0..n {
+                            want[2 * (c * n + r)] = tr[2 * (r * n + c)];
+                            want[2 * (c * n + r) + 1] = tr[2 * (r * n + c) + 1];
+                        }
                     }
                 }
                 let got = arena.read(a).to_vec();

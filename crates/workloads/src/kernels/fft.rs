@@ -56,7 +56,11 @@ pub fn fft1d(data: &mut [f64], n: usize, inverse: bool) {
 pub fn fft_rows(data: &mut [f64], rows: usize, width: usize, inverse: bool) {
     debug_assert_eq!(data.len(), 2 * rows * width);
     for r in 0..rows {
-        fft1d(&mut data[2 * r * width..2 * (r + 1) * width], width, inverse);
+        fft1d(
+            &mut data[2 * r * width..2 * (r + 1) * width],
+            width,
+            inverse,
+        );
     }
 }
 

@@ -12,7 +12,7 @@ pub mod nbody;
 pub mod perlin;
 
 pub use blas::{daxpy, dgemm, dgemm_nt, dsyrk_lower, dtrsm_right_lower_trans};
-pub use factor::{dgetrf_nopiv, dpotrf, fwd_lower_unit, bdiv_upper};
+pub use factor::{bdiv_upper, dgetrf_nopiv, dpotrf, fwd_lower_unit};
 pub use fft::{bit_reverse_permute, dft2_reference, fft1d, fft_rows};
 pub use nbody::accumulate_forces;
 pub use perlin::Perlin;

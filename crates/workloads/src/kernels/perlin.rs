@@ -151,7 +151,10 @@ mod tests {
     fn not_identically_zero() {
         let p = Perlin::new(3);
         let sum: f64 = (0..100)
-            .map(|i| p.noise2(i as f64 * 0.37 + 0.13, i as f64 * 0.21 + 0.7).abs())
+            .map(|i| {
+                p.noise2(i as f64 * 0.37 + 0.13, i as f64 * 0.21 + 0.7)
+                    .abs()
+            })
             .sum();
         assert!(sum > 1.0);
     }

@@ -55,6 +55,12 @@
 //! let graph = SimGraph::from_task_graph(&built.graph, &RateModel::roadrunner(), built.placement_fn());
 //! assert!(!graph.is_empty());
 //! ```
+//!
+//! At [`Scale::Huge`] every benchmark also has a **streamed builder**
+//! ([`streamed`]) that reaches ≥ 2²⁰ tasks without materializing a
+//! `TaskGraph`, bit-identical to the in-memory path at any scale.
+
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod cholesky;
@@ -67,8 +73,10 @@ pub mod perlin_noise;
 pub mod pingpong;
 pub mod sparse_lu;
 pub mod stream;
+pub mod streamed;
 
 pub use catalog::{all_workloads, distributed_workloads, shared_memory_workloads};
+pub use streamed::streamed_workload;
 
 use dataflow_rt::{DataArena, TaskGraph};
 
@@ -87,6 +95,12 @@ pub enum Scale {
     /// The paper's Table-I dimensions (build with `materialize =
     /// false`; the data would not fit the container).
     Paper,
+    /// The million-task stress regime: every benchmark's dimensions are
+    /// chosen so the graph has at least 2²⁰ tasks. Intended for the
+    /// streamed construction path ([`streamed`]); an in-memory
+    /// [`Workload::build`] at this scale is permitted but slow and
+    /// memory-hungry.
+    Huge,
 }
 
 /// Shared-memory vs distributed benchmark (Table I's two groups).

@@ -48,7 +48,25 @@ impl LinpackConfig {
                 block: 2048,
                 grid: 8,
             },
+            // 147 tiles per dimension: Σ (m+1)² = 1,069,670 tasks.
+            Scale::Huge => LinpackConfig {
+                n: 9408,
+                block: 64,
+                grid: 8,
+            },
         }
+    }
+
+    /// Tasks the configuration generates
+    /// (per elimination step `k`: `1 + 2m + m²` with `m = nt − k − 1`).
+    pub fn task_count(&self) -> usize {
+        let nt = self.nt();
+        (0..nt)
+            .map(|k| {
+                let m = nt - k - 1;
+                1 + 2 * m + m * m
+            })
+            .sum()
     }
 
     /// Tiles per dimension.
@@ -171,7 +189,13 @@ impl Workload for Linpack {
                                 let aik = ctx.r(0);
                                 let akj = ctx.r(1);
                                 let mut aij = ctx.w(2);
-                                dgemm(aij.as_mut_slice(), aik.as_slice(), akj.as_slice(), bsz, -1.0);
+                                dgemm(
+                                    aij.as_mut_slice(),
+                                    aik.as_slice(),
+                                    akj.as_slice(),
+                                    bsz,
+                                    -1.0,
+                                );
                             }),
                     );
                     placement.push(owner(i, j));
@@ -179,9 +203,7 @@ impl Workload for Linpack {
             }
         }
 
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
+        let verify: crate::Verifier = if materialize && scale == Scale::Small {
             let (n, ntc, bc) = (cfg.n, nt, b);
             Box::new(move |arena: &mut DataArena| {
                 // HPL-style check: solve A·x = b for b = A·1 using the

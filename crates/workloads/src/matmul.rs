@@ -52,7 +52,19 @@ impl MatmulConfig {
                 block: 1024,
                 reps: 40,
             },
+            // 241 × (16³ + 16²) = 1,048,832 tasks.
+            Scale::Huge => MatmulConfig {
+                n: 1024,
+                block: 64,
+                reps: 241,
+            },
         }
+    }
+
+    /// Tasks the configuration generates (partials + reductions).
+    pub fn task_count(&self) -> usize {
+        let nt = self.nt();
+        self.reps * (nt * nt * nt + nt * nt)
     }
 
     /// Tiles per dimension.
@@ -133,10 +145,9 @@ impl Workload for Matmul {
 
         // Partial tile (i,j,k); the k-partials of one C tile are
         // contiguous, so the reduce task takes a single span.
-        let part_tile =
-            |i: usize, j: usize, k: usize| {
-                Region::contiguous(parts, ((i * nt + j) * nt + k) * b * b, b * b)
-            };
+        let part_tile = |i: usize, j: usize, k: usize| {
+            Region::contiguous(parts, ((i * nt + j) * nt + k) * b * b, b * b)
+        };
         let part_span =
             |i: usize, j: usize| Region::contiguous(parts, (i * nt + j) * nt * b * b, nt * b * b);
 
@@ -161,7 +172,13 @@ impl Workload for Matmul {
                                     let bt = ctx.r(1);
                                     let mut pt = ctx.w(2);
                                     pt.as_mut_slice().fill(0.0);
-                                    dgemm(pt.as_mut_slice(), at.as_slice(), bt.as_slice(), bsz, 1.0);
+                                    dgemm(
+                                        pt.as_mut_slice(),
+                                        at.as_slice(),
+                                        bt.as_slice(),
+                                        bsz,
+                                        1.0,
+                                    );
                                 }),
                         );
                         placement.push(owner(i, j));
@@ -194,9 +211,7 @@ impl Workload for Matmul {
             }
         }
 
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
+        let verify: crate::Verifier = if materialize && scale == Scale::Small {
             let (n, ntc, bc, reps) = (cfg.n, nt, b, cfg.reps);
             Box::new(move |arena: &mut DataArena| {
                 // Naive reference: C = reps × A·B.

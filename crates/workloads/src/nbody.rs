@@ -52,7 +52,20 @@ impl NbodyConfig {
                 blocks: 64,
                 steps: 8,
             },
+            // 64 blocks × (4 partials + reduce + update) × 2731 steps
+            // = 1,048,704 tasks (on ≤ 16 nodes).
+            Scale::Huge => NbodyConfig {
+                bodies: 65536,
+                blocks: 64,
+                steps: 2731,
+            },
         }
+    }
+
+    /// Tasks the configuration generates on `nodes` nodes
+    /// (`blocks × (GROUPS + 2)` per step).
+    pub fn task_count(&self, nodes: usize) -> usize {
+        self.blocks_for(nodes) * (GROUPS + 2) * self.steps
     }
 
     /// Actual block count when running on `nodes` nodes: at least four
@@ -85,7 +98,11 @@ fn body_init(i: usize) -> ([f64; 3], [f64; 3], f64) {
         (h >> 11) as f64 / (1u64 << 53) as f64
     };
     let pos = [next(), next(), next()];
-    let vel = [0.1 * (next() - 0.5), 0.1 * (next() - 0.5), 0.1 * (next() - 0.5)];
+    let vel = [
+        0.1 * (next() - 0.5),
+        0.1 * (next() - 0.5),
+        0.1 * (next() - 0.5),
+    ];
     let mass = 0.5 + next();
     (pos, vel, mass)
 }
@@ -147,14 +164,12 @@ impl Workload for Nbody {
         let force_blk = |i: usize| Region::contiguous(force, 3 * i * bl, 3 * bl);
         // Partial (i, g) lives at ((i·G)+g)·3bl; block i's partials are
         // one contiguous span, so the reduce task takes a single region.
-        let part_slot = |i: usize, g: usize| {
-            Region::contiguous(parts, (i * GROUPS + g) * 3 * bl, 3 * bl)
-        };
+        let part_slot =
+            |i: usize, g: usize| Region::contiguous(parts, (i * GROUPS + g) * 3 * bl, 3 * bl);
         let part_span = |i: usize| Region::contiguous(parts, i * GROUPS * 3 * bl, GROUPS * 3 * bl);
         // Source group g = contiguous blocks [g·nb/G, (g+1)·nb/G).
-        let group_pos = |g: usize| {
-            Region::contiguous(pos, g * group_blocks * 3 * bl, group_blocks * 3 * bl)
-        };
+        let group_pos =
+            |g: usize| Region::contiguous(pos, g * group_blocks * 3 * bl, group_blocks * 3 * bl);
         let group_mass =
             |g: usize| Region::contiguous(mass, g * group_blocks * bl, group_blocks * bl);
 
@@ -244,9 +259,7 @@ impl Workload for Nbody {
             }
         }
 
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
+        let verify: crate::Verifier = if materialize && scale == Scale::Small {
             Box::new(move |arena: &mut DataArena| {
                 // Host reference with identical group-partial order.
                 let mut rp = vec![0.0; 3 * n];
@@ -303,9 +316,7 @@ impl Workload for Nbody {
                         })
                         .sum();
                     if (p_total - p_init).abs() > 1e-6 {
-                        return Err(format!(
-                            "momentum drift in axis {d}: {p_total} vs {p_init}"
-                        ));
+                        return Err(format!("momentum drift in axis {d}: {p_total} vs {p_init}"));
                     }
                 }
                 Ok(())

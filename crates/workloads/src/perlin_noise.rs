@@ -50,7 +50,19 @@ impl PerlinConfig {
                 frames: 1000,
                 octaves: 4,
             },
+            // 32 blocks × 32768 frames = 1,048,576 tasks.
+            Scale::Huge => PerlinConfig {
+                pixels: 65536,
+                block: 2048,
+                frames: 32768,
+                octaves: 4,
+            },
         }
+    }
+
+    /// Tasks the configuration generates (`frames × blocks`).
+    pub fn task_count(&self) -> usize {
+        self.frames * self.blocks()
     }
 
     /// Image width (pixels are a square image).
@@ -206,7 +218,9 @@ mod tests {
         let nb = PerlinConfig::at(Scale::Small).blocks();
         // Frame 1's block 0 task depends (WAW) on frame 0's block 0.
         let f1b0 = dataflow_rt::TaskId::from_raw(nb as u32);
-        assert!(g.predecessors(f1b0).contains(&dataflow_rt::TaskId::from_raw(0)));
+        assert!(g
+            .predecessors(f1b0)
+            .contains(&dataflow_rt::TaskId::from_raw(0)));
         // Blocks within a frame are independent.
         assert!(g.predecessors(dataflow_rt::TaskId::from_raw(1)).is_empty());
     }
@@ -214,8 +228,11 @@ mod tests {
     #[test]
     fn paper_scale_lands_in_fine_task_regime() {
         let built = PerlinNoise.build(Scale::Paper, 1, false);
-        assert!(built.graph.len() >= 25_000 && built.graph.len() <= 48_000,
-            "{} tasks", built.graph.len());
+        assert!(
+            built.graph.len() >= 25_000 && built.graph.len() <= 48_000,
+            "{} tasks",
+            built.graph.len()
+        );
     }
 
     #[test]

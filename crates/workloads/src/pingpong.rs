@@ -44,7 +44,20 @@ impl PingpongConfig {
                 block: 1024,
                 iters: 3,
             },
+            // 86 × (128 + 64) ranks-worth × 64 blocks = 1,056,768 tasks.
+            Scale::Huge => PingpongConfig {
+                ranks: 128,
+                elems: 65536,
+                block: 1024,
+                iters: 86,
+            },
         }
+    }
+
+    /// Tasks the configuration generates (per iteration: one compute
+    /// per rank-block plus one exchange per pair-block).
+    pub fn task_count(&self) -> usize {
+        self.iters * (self.ranks + self.ranks / 2) * self.blocks()
     }
 
     /// Blocks per rank.

@@ -30,13 +30,53 @@ impl SparseLuConfig {
             Scale::Small => SparseLuConfig { n: 96, block: 16 },
             Scale::Medium => SparseLuConfig { n: 768, block: 64 },
             // Table I: 12800×12800, block 200×200.
-            Scale::Paper => SparseLuConfig { n: 12800, block: 200 },
+            Scale::Paper => SparseLuConfig {
+                n: 12800,
+                block: 200,
+            },
+            // 216 tiles per dimension; the fill-in pattern yields
+            // 1,117,333 tasks (see [`SparseLuConfig::task_count`]).
+            Scale::Huge => SparseLuConfig {
+                n: 13824,
+                block: 64,
+            },
         }
     }
 
     /// Tiles per dimension.
     pub fn nt(&self) -> usize {
         self.n / self.block
+    }
+
+    /// Tasks the configuration generates, computed by replaying the
+    /// fill-in pattern without emitting tasks (the sparsity makes a
+    /// closed form impractical).
+    pub fn task_count(&self) -> usize {
+        let nt = self.nt();
+        let mut present = vec![false; nt * nt];
+        for i in 0..nt {
+            for j in 0..nt {
+                present[i * nt + j] = initially_present(i, j);
+            }
+        }
+        let mut count = 0usize;
+        for k in 0..nt {
+            count += 1; // lu0
+            count += (k + 1..nt).filter(|&j| present[k * nt + j]).count(); // fwd
+            count += (k + 1..nt).filter(|&i| present[i * nt + k]).count(); // bdiv
+            for i in k + 1..nt {
+                if !present[i * nt + k] {
+                    continue;
+                }
+                for j in k + 1..nt {
+                    if present[k * nt + j] {
+                        present[i * nt + j] = true;
+                        count += 1; // bmod
+                    }
+                }
+            }
+        }
+        count
     }
 }
 
@@ -93,8 +133,7 @@ impl Workload for SparseLu {
                     let base = (ti * nt + tj) * b * b;
                     for r in 0..b {
                         for c in 0..b {
-                            data[base + r * b + c] =
-                                lu_elem(cfg.n, nt, b, ti * b + r, tj * b + c);
+                            data[base + r * b + c] = lu_elem(cfg.n, nt, b, ti * b + r, tj * b + c);
                         }
                     }
                 }
@@ -178,7 +217,13 @@ impl Workload for SparseLu {
                                 let aik = ctx.r(0);
                                 let akj = ctx.r(1);
                                 let mut aij = ctx.w(2);
-                                dgemm(aij.as_mut_slice(), aik.as_slice(), akj.as_slice(), bsz, -1.0);
+                                dgemm(
+                                    aij.as_mut_slice(),
+                                    aik.as_slice(),
+                                    akj.as_slice(),
+                                    bsz,
+                                    -1.0,
+                                );
                             }),
                     );
                 }
@@ -186,9 +231,7 @@ impl Workload for SparseLu {
         }
 
         let placement = vec![0; graph.len()];
-        let verify: crate::Verifier = if materialize
-            && scale == Scale::Small
-        {
+        let verify: crate::Verifier = if materialize && scale == Scale::Small {
             let (n, ntc, bc) = (cfg.n, nt, b);
             Box::new(move |arena: &mut DataArena| {
                 // Reference: dense unpivoted LU of the same initial

@@ -47,7 +47,19 @@ impl StreamConfig {
                 block: 32768,
                 iters: 96, // 128 blocks × 4 kernels × 96 ≈ 49k tasks
             },
+            // 128 blocks × 4 kernels × 2048 iters = 1,048,576 tasks.
+            Scale::Huge => StreamConfig {
+                elems: 2048 * 2048,
+                block: 32768,
+                iters: 2048,
+            },
         }
+    }
+
+    /// Tasks the configuration generates (4 kernels per block per
+    /// iteration).
+    pub fn task_count(&self) -> usize {
+        self.blocks() * 4 * self.iters
     }
 
     /// Number of blocks.

@@ -1,0 +1,798 @@
+//! Streamed Table-I graph builders — the million-task construction
+//! path.
+//!
+//! Each of the nine benchmarks gets a [`cluster_sim::TaskStream`]
+//! implementation that replays **exactly** the access sequence its
+//! in-memory [`crate::Workload::build`] submits — same labels, same
+//! regions in the same declaration order, same flop formulas, same
+//! owner-computes placement — but one task at a time, with no
+//! [`dataflow_rt::TaskGraph`], no kernels and no buffers. Feeding the
+//! stream to [`cluster_sim::SimGraph::from_stream`] therefore yields a
+//! graph **bit-identical** to
+//! `SimGraph::from_task_graph(&build(..).graph, ..)` (property-tested
+//! in `tests/streamed_props.rs`), while scaling to [`Scale::Huge`]'s
+//! ≥2²⁰-task dimensions in seconds.
+//!
+//! Buffer identities are the dense ids a [`dataflow_rt::DataArena`]
+//! would assign in the in-memory builder's allocation order; since the
+//! streamed path never touches data, the ids are synthesized directly.
+
+use cluster_sim::{StreamTask, TaskStream};
+use dataflow_rt::{BufferId, Region};
+
+use crate::cholesky::CholeskyConfig;
+use crate::fft2d::FftConfig;
+use crate::linpack::LinpackConfig;
+use crate::matmul::MatmulConfig;
+use crate::nbody::NbodyConfig;
+use crate::perlin_noise::PerlinConfig;
+use crate::pingpong::PingpongConfig;
+use crate::sparse_lu::{initially_present, SparseLuConfig};
+use crate::stream::StreamConfig;
+use crate::{nbody, Scale};
+
+/// Dense tile region of a tile-major matrix (the same layout as
+/// `matmul::tile`, recreated here for synthesized buffer ids).
+fn tile(buf: BufferId, nt: usize, b: usize, i: usize, j: usize) -> Region {
+    Region::contiguous(buf, (i * nt + j) * b * b, b * b)
+}
+
+/// Looks up the streamed builder for a Table-I benchmark by its
+/// [`crate::Workload::name`]. `nodes` is the placement breadth for the
+/// distributed benchmarks (as in [`crate::Workload::build`]).
+pub fn streamed_workload(
+    name: &str,
+    scale: Scale,
+    nodes: usize,
+) -> Option<Box<dyn TaskStream + Send>> {
+    Some(match name {
+        "SparseLU" => Box::new(SparseLuStream::new(SparseLuConfig::at(scale))),
+        "Cholesky" => Box::new(CholeskyStream::new(CholeskyConfig::at(scale))),
+        "FFT" => Box::new(FftStream::new(FftConfig::at(scale))),
+        "Perlin" => Box::new(PerlinStream::new(PerlinConfig::at(scale))),
+        "Stream" => Box::new(StreamStream::new(StreamConfig::at(scale))),
+        "Nbody" => Box::new(NbodyStream::new(NbodyConfig::at(scale), nodes)),
+        "Matmul" => Box::new(MatmulStream::new(MatmulConfig::at(scale), nodes)),
+        "Pingpong" => Box::new(PingpongStream::new(PingpongConfig::at(scale), nodes)),
+        "Linpack" => Box::new(LinpackStream::new(LinpackConfig::at(scale), nodes)),
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------- Matmul
+
+/// Streamed [`crate::matmul::Matmul`]: per repetition, `nt³`
+/// independent partial products then `nt²` reductions.
+pub struct MatmulStream {
+    cfg: MatmulConfig,
+    nodes: u32,
+    /// Flat cursor: `rep × (nt³ + nt²) + position`.
+    next: usize,
+}
+
+impl MatmulStream {
+    /// A stream over the given configuration, placed on `nodes` nodes.
+    pub fn new(cfg: MatmulConfig, nodes: usize) -> Self {
+        MatmulStream {
+            cfg,
+            nodes: nodes.max(1) as u32,
+            next: 0,
+        }
+    }
+}
+
+impl TaskStream for MatmulStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block * self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let (nt, b) = (self.cfg.nt(), self.cfg.block);
+        let (a, bb, c, parts) = (
+            BufferId::from_raw(0),
+            BufferId::from_raw(1),
+            BufferId::from_raw(2),
+            BufferId::from_raw(3),
+        );
+        let per_rep = nt * nt * nt + nt * nt;
+        let pos = self.next % per_rep;
+        let owner = |i: usize, j: usize| ((i * nt + j) % self.nodes as usize) as u32;
+        if pos < nt * nt * nt {
+            let (i, rest) = (pos / (nt * nt), pos % (nt * nt));
+            let (j, k) = (rest / nt, rest % nt);
+            out.reset("gemm_part", owner(i, j), 2.0 * (b as f64).powi(3));
+            out.reads(tile(a, nt, b, i, k))
+                .reads(tile(bb, nt, b, k, j))
+                .writes(Region::contiguous(
+                    parts,
+                    ((i * nt + j) * nt + k) * b * b,
+                    b * b,
+                ));
+        } else {
+            let rest = pos - nt * nt * nt;
+            let (i, j) = (rest / nt, rest % nt);
+            out.reset("reduce", owner(i, j), (nt * b * b) as f64);
+            out.reads(Region::contiguous(
+                parts,
+                (i * nt + j) * nt * b * b,
+                nt * b * b,
+            ))
+            .updates(tile(c, nt, b, i, j));
+        }
+        self.next += 1;
+        true
+    }
+}
+
+// -------------------------------------------------------------- Cholesky
+
+/// Streamed [`crate::cholesky::Cholesky`]: the right-looking
+/// POTRF/TRSM/SYRK/GEMM elimination order.
+pub struct CholeskyStream {
+    cfg: CholeskyConfig,
+    remaining: usize,
+    /// Elimination step, and position within it (see `next_task`).
+    k: usize,
+    phase: CholPhase,
+}
+
+enum CholPhase {
+    Potrf,
+    Trsm {
+        i: usize,
+    },
+    /// The per-`i` tail: `syrk(i)` then `gemm(i, j)` for `j < i`.
+    Update {
+        i: usize,
+        j: usize,
+    },
+}
+
+impl CholeskyStream {
+    /// A stream over the given configuration (shared-memory: node 0).
+    pub fn new(cfg: CholeskyConfig) -> Self {
+        CholeskyStream {
+            cfg,
+            remaining: cfg.task_count(),
+            k: 0,
+            phase: CholPhase::Potrf,
+        }
+    }
+}
+
+impl TaskStream for CholeskyStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block * self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        let (nt, b) = (self.cfg.nt(), self.cfg.block);
+        let a = BufferId::from_raw(0);
+        let bf = b as f64;
+        let k = self.k;
+        match self.phase {
+            CholPhase::Potrf => {
+                out.reset("potrf", 0, bf.powi(3) / 3.0);
+                out.updates(tile(a, nt, b, k, k));
+                self.phase = if k + 1 < nt {
+                    CholPhase::Trsm { i: k + 1 }
+                } else {
+                    self.k += 1;
+                    CholPhase::Potrf
+                };
+            }
+            CholPhase::Trsm { i } => {
+                out.reset("trsm", 0, bf.powi(3));
+                out.reads(tile(a, nt, b, k, k))
+                    .updates(tile(a, nt, b, i, k));
+                self.phase = if i + 1 < nt {
+                    CholPhase::Trsm { i: i + 1 }
+                } else {
+                    CholPhase::Update { i: k + 1, j: k + 1 }
+                };
+            }
+            CholPhase::Update { i, j } => {
+                if j == k + 1 {
+                    // First position of row `i` is its syrk; gemms follow.
+                    out.reset("syrk", 0, bf.powi(3));
+                    out.reads(tile(a, nt, b, i, k))
+                        .updates(tile(a, nt, b, i, i));
+                } else {
+                    // gemm(i, j−1): emitted for j−1 in k+1..i.
+                    out.reset("gemm", 0, 2.0 * bf.powi(3));
+                    out.reads(tile(a, nt, b, i, k))
+                        .reads(tile(a, nt, b, j - 1, k))
+                        .updates(tile(a, nt, b, i, j - 1));
+                }
+                // Advance: syrk(i) is followed by gemm(i, k+1..i), then
+                // row i+1.
+                self.phase = if j < i {
+                    CholPhase::Update { i, j: j + 1 }
+                } else if i + 1 < nt {
+                    CholPhase::Update { i: i + 1, j: k + 1 }
+                } else {
+                    self.k += 1;
+                    CholPhase::Potrf
+                };
+            }
+        }
+        true
+    }
+}
+
+// ------------------------------------------------------------------ FFT
+
+/// Streamed [`crate::fft2d::Fft2d`]: per round, row FFTs over `A`,
+/// transpose `A→T`, row FFTs over `T`, transpose `T→A`.
+pub struct FftStream {
+    cfg: FftConfig,
+    next: usize,
+}
+
+impl FftStream {
+    /// A stream over the given configuration (shared-memory: node 0).
+    pub fn new(cfg: FftConfig) -> Self {
+        assert!(cfg.n.is_power_of_two());
+        FftStream { cfg, next: 0 }
+    }
+}
+
+impl TaskStream for FftStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        2 * self.cfg.n
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let (n, r, tb) = (self.cfg.n, self.cfg.rows_per_block, self.cfg.tile);
+        let (a, t) = (BufferId::from_raw(0), BufferId::from_raw(1));
+        let (nfft, ntr) = (n / r, (n / tb) * (n / tb));
+        let per_round = 2 * (nfft + ntr);
+        let pos = self.next % per_round;
+        // Strided complex tile at (row0, col0) — `fft2d::complex_tile`.
+        let ctile = |buf: BufferId, row0: usize, col0: usize| {
+            Region::strided(buf, 2 * (row0 * n + col0), 2 * tb, 2 * n, tb)
+        };
+        let fft_rows = |out: &mut StreamTask, buf: BufferId, blk: usize| {
+            out.reset("fft_rows", 0, 5.0 * (r * n) as f64 * (n as f64).log2());
+            out.updates(Region::contiguous(buf, 2 * blk * r * n, 2 * r * n));
+        };
+        let transpose = |out: &mut StreamTask, src: BufferId, dst: BufferId, idx: usize| {
+            let (ti, tj) = (idx / (n / tb), idx % (n / tb));
+            out.reset("transpose", 0, 0.0);
+            out.reads(ctile(src, ti * tb, tj * tb))
+                .writes(ctile(dst, tj * tb, ti * tb));
+        };
+        if pos < nfft {
+            fft_rows(out, a, pos);
+        } else if pos < nfft + ntr {
+            transpose(out, a, t, pos - nfft);
+        } else if pos < 2 * nfft + ntr {
+            fft_rows(out, t, pos - nfft - ntr);
+        } else {
+            transpose(out, t, a, pos - 2 * nfft - ntr);
+        }
+        self.next += 1;
+        true
+    }
+}
+
+// --------------------------------------------------------------- Perlin
+
+/// Streamed [`crate::perlin_noise::PerlinNoise`]: `frames × blocks`
+/// independent-within-frame renders chained per block across frames.
+pub struct PerlinStream {
+    cfg: PerlinConfig,
+    next: usize,
+}
+
+impl PerlinStream {
+    /// A stream over the given configuration (shared-memory: node 0).
+    pub fn new(cfg: PerlinConfig) -> Self {
+        PerlinStream { cfg, next: 0 }
+    }
+}
+
+impl TaskStream for PerlinStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let img = BufferId::from_raw(0);
+        let blk = self.next % self.cfg.blocks();
+        out.reset(
+            "render",
+            0,
+            (self.cfg.block as u32 * self.cfg.octaves * 36) as f64,
+        );
+        out.writes(Region::contiguous(
+            img,
+            blk * self.cfg.block,
+            self.cfg.block,
+        ));
+        self.next += 1;
+        true
+    }
+}
+
+// --------------------------------------------------------------- Stream
+
+/// Streamed [`crate::stream::Stream`]: the four McCalpin kernels per
+/// block per iteration.
+pub struct StreamStream {
+    cfg: StreamConfig,
+    next: usize,
+}
+
+impl StreamStream {
+    /// A stream over the given configuration (shared-memory: node 0).
+    pub fn new(cfg: StreamConfig) -> Self {
+        assert_eq!(cfg.elems % cfg.block, 0, "block must divide array size");
+        StreamStream { cfg, next: 0 }
+    }
+}
+
+impl TaskStream for StreamStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let (a, b, c) = (
+            BufferId::from_raw(0),
+            BufferId::from_raw(1),
+            BufferId::from_raw(2),
+        );
+        let bl = self.cfg.block;
+        let pos = self.next % (self.cfg.blocks() * 4);
+        let (blk, kernel) = (pos / 4, pos % 4);
+        let ra = Region::contiguous(a, blk * bl, bl);
+        let rb = Region::contiguous(b, blk * bl, bl);
+        let rc = Region::contiguous(c, blk * bl, bl);
+        let flops = bl as f64;
+        match kernel {
+            0 => {
+                out.reset("copy", 0, flops);
+                out.reads(ra).writes(rc);
+            }
+            1 => {
+                out.reset("scale", 0, flops);
+                out.reads(rc).writes(rb);
+            }
+            2 => {
+                out.reset("add", 0, flops);
+                out.reads(ra).reads(rb).writes(rc);
+            }
+            _ => {
+                out.reset("triad", 0, flops);
+                out.reads(rb).reads(rc).writes(ra);
+            }
+        }
+        self.next += 1;
+        true
+    }
+}
+
+// ---------------------------------------------------------------- Nbody
+
+/// Streamed [`crate::nbody::Nbody`]: per step, `blocks × GROUPS` force
+/// partials, `blocks` reductions, `blocks` integrations.
+pub struct NbodyStream {
+    cfg: NbodyConfig,
+    nodes: usize,
+    nb: usize,
+    next: usize,
+}
+
+impl NbodyStream {
+    /// A stream over the given configuration on `nodes` nodes (the
+    /// block count grows with the node count, as in Table I).
+    pub fn new(cfg: NbodyConfig, nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        NbodyStream {
+            cfg,
+            nodes,
+            nb: cfg.blocks_for(nodes),
+            next: 0,
+        }
+    }
+}
+
+impl TaskStream for NbodyStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count(self.nodes)
+    }
+
+    fn chunk_size(&self) -> usize {
+        (3 * (self.cfg.bodies / self.nb)).max(64)
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let (n, nb) = (self.cfg.bodies, self.nb);
+        let bl = n / nb;
+        let group_blocks = nb / nbody::GROUPS;
+        let (pos, vel, mass, force, parts) = (
+            BufferId::from_raw(0),
+            BufferId::from_raw(1),
+            BufferId::from_raw(2),
+            BufferId::from_raw(3),
+            BufferId::from_raw(4),
+        );
+        let pos_blk = |i: usize| Region::contiguous(pos, 3 * i * bl, 3 * bl);
+        let vel_blk = |i: usize| Region::contiguous(vel, 3 * i * bl, 3 * bl);
+        let mass_blk = |i: usize| Region::contiguous(mass, i * bl, bl);
+        let force_blk = |i: usize| Region::contiguous(force, 3 * i * bl, 3 * bl);
+        let owner = |i: usize| ((i * self.nodes) / nb) as u32;
+
+        let per_step = nb * (nbody::GROUPS + 2);
+        let p = self.next % per_step;
+        if p < nb * nbody::GROUPS {
+            let (i, g) = (p / nbody::GROUPS, p % nbody::GROUPS);
+            out.reset(
+                "force_part",
+                owner(i),
+                20.0 * (bl * (n / nbody::GROUPS)) as f64,
+            );
+            out.reads(pos_blk(i))
+                .reads(mass_blk(i))
+                .reads(Region::contiguous(
+                    pos,
+                    g * group_blocks * 3 * bl,
+                    group_blocks * 3 * bl,
+                ))
+                .reads(Region::contiguous(
+                    mass,
+                    g * group_blocks * bl,
+                    group_blocks * bl,
+                ))
+                .writes(Region::contiguous(
+                    parts,
+                    (i * nbody::GROUPS + g) * 3 * bl,
+                    3 * bl,
+                ));
+        } else if p < nb * (nbody::GROUPS + 1) {
+            let i = p - nb * nbody::GROUPS;
+            out.reset("reduce", owner(i), (nbody::GROUPS * 3 * bl) as f64);
+            out.reads(Region::contiguous(
+                parts,
+                i * nbody::GROUPS * 3 * bl,
+                nbody::GROUPS * 3 * bl,
+            ))
+            .writes(force_blk(i));
+        } else {
+            let i = p - nb * (nbody::GROUPS + 1);
+            out.reset("update", owner(i), 10.0 * bl as f64);
+            out.reads(force_blk(i))
+                .reads(mass_blk(i))
+                .updates(pos_blk(i))
+                .updates(vel_blk(i));
+        }
+        self.next += 1;
+        true
+    }
+}
+
+// ------------------------------------------------------------- Pingpong
+
+/// Streamed [`crate::pingpong::Pingpong`]: per iteration, every rank
+/// computes on its blocks, then pairs swap them.
+pub struct PingpongStream {
+    cfg: PingpongConfig,
+    nodes: u32,
+    next: usize,
+}
+
+impl PingpongStream {
+    /// A stream over the given configuration on `nodes` nodes.
+    pub fn new(cfg: PingpongConfig, nodes: usize) -> Self {
+        assert!(cfg.ranks % 2 == 0, "ranks must pair up");
+        PingpongStream {
+            cfg,
+            nodes: nodes.max(1) as u32,
+            next: 0,
+        }
+    }
+}
+
+impl TaskStream for PingpongStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.next >= self.len() {
+            return false;
+        }
+        let (bl, nb, ranks) = (self.cfg.block, self.cfg.blocks(), self.cfg.ranks);
+        let rank_buf = |r: usize| BufferId::from_raw(r as u32);
+        let rank_node = |r: usize| r as u32 % self.nodes;
+        let per_iter = ranks * nb + ranks / 2 * nb;
+        let p = self.next % per_iter;
+        if p < ranks * nb {
+            let (r, blk) = (p / nb, p % nb);
+            out.reset("compute", rank_node(r), 2.0 * bl as f64);
+            out.updates(Region::contiguous(rank_buf(r), blk * bl, bl));
+        } else {
+            let q = p - ranks * nb;
+            let (pair, blk) = (q / nb, q % nb);
+            let r = 2 * pair;
+            out.reset("exchange", rank_node(r), bl as f64);
+            out.updates(Region::contiguous(rank_buf(r), blk * bl, bl))
+                .updates(Region::contiguous(rank_buf(r + 1), blk * bl, bl));
+        }
+        self.next += 1;
+        true
+    }
+}
+
+// -------------------------------------------------------------- Linpack
+
+/// Streamed [`crate::linpack::Linpack`]: unpivoted blocked LU with 2-D
+/// block-cyclic placement.
+pub struct LinpackStream {
+    cfg: LinpackConfig,
+    nodes: usize,
+    remaining: usize,
+    k: usize,
+    phase: LuPhase,
+}
+
+enum LuPhase {
+    Diag,
+    RowPanel { j: usize },
+    ColPanel { i: usize },
+    Trail { i: usize, j: usize },
+}
+
+impl LinpackStream {
+    /// A stream over the given configuration on `nodes` nodes.
+    pub fn new(cfg: LinpackConfig, nodes: usize) -> Self {
+        LinpackStream {
+            cfg,
+            nodes: nodes.max(1),
+            remaining: cfg.task_count(),
+            k: 0,
+            phase: LuPhase::Diag,
+        }
+    }
+
+    fn owner(&self, i: usize, j: usize) -> u32 {
+        let grid = self.cfg.grid;
+        (((i % grid) * grid + (j % grid)) % self.nodes) as u32
+    }
+}
+
+impl TaskStream for LinpackStream {
+    fn len(&self) -> usize {
+        self.cfg.task_count()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block * self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        let (nt, b) = (self.cfg.nt(), self.cfg.block);
+        let a = BufferId::from_raw(0);
+        let bf = b as f64;
+        let k = self.k;
+        match self.phase {
+            LuPhase::Diag => {
+                out.reset("getrf", self.owner(k, k), 2.0 / 3.0 * bf.powi(3));
+                out.updates(tile(a, nt, b, k, k));
+                self.phase = if k + 1 < nt {
+                    LuPhase::RowPanel { j: k + 1 }
+                } else {
+                    self.k += 1;
+                    LuPhase::Diag
+                };
+            }
+            LuPhase::RowPanel { j } => {
+                out.reset("trsm_l", self.owner(k, j), bf.powi(3));
+                out.reads(tile(a, nt, b, k, k))
+                    .updates(tile(a, nt, b, k, j));
+                self.phase = if j + 1 < nt {
+                    LuPhase::RowPanel { j: j + 1 }
+                } else {
+                    LuPhase::ColPanel { i: k + 1 }
+                };
+            }
+            LuPhase::ColPanel { i } => {
+                out.reset("trsm_u", self.owner(i, k), bf.powi(3));
+                out.reads(tile(a, nt, b, k, k))
+                    .updates(tile(a, nt, b, i, k));
+                self.phase = if i + 1 < nt {
+                    LuPhase::ColPanel { i: i + 1 }
+                } else {
+                    LuPhase::Trail { i: k + 1, j: k + 1 }
+                };
+            }
+            LuPhase::Trail { i, j } => {
+                out.reset("gemm", self.owner(i, j), 2.0 * bf.powi(3));
+                out.reads(tile(a, nt, b, i, k))
+                    .reads(tile(a, nt, b, k, j))
+                    .updates(tile(a, nt, b, i, j));
+                self.phase = if j + 1 < nt {
+                    LuPhase::Trail { i, j: j + 1 }
+                } else if i + 1 < nt {
+                    LuPhase::Trail { i: i + 1, j: k + 1 }
+                } else {
+                    self.k += 1;
+                    LuPhase::Diag
+                };
+            }
+        }
+        true
+    }
+}
+
+// ------------------------------------------------------------- SparseLU
+
+/// Streamed [`crate::sparse_lu::SparseLu`]: the block-sparse LU with
+/// fill-in tracked during emission, exactly as the in-memory builder
+/// tracks it during submission.
+pub struct SparseLuStream {
+    cfg: SparseLuConfig,
+    len: usize,
+    emitted: usize,
+    present: Vec<bool>,
+    k: usize,
+    phase: SluPhase,
+}
+
+enum SluPhase {
+    Lu0,
+    Fwd { j: usize },
+    Bdiv { i: usize },
+    Bmod { i: usize, j: usize },
+}
+
+impl SparseLuStream {
+    /// A stream over the given configuration (shared-memory: node 0).
+    pub fn new(cfg: SparseLuConfig) -> Self {
+        let nt = cfg.nt();
+        let mut present = vec![false; nt * nt];
+        for i in 0..nt {
+            for j in 0..nt {
+                present[i * nt + j] = initially_present(i, j);
+            }
+        }
+        SparseLuStream {
+            cfg,
+            len: cfg.task_count(),
+            emitted: 0,
+            present,
+            k: 0,
+            phase: SluPhase::Lu0,
+        }
+    }
+}
+
+impl TaskStream for SparseLuStream {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.cfg.block * self.cfg.block
+    }
+
+    fn next_task(&mut self, out: &mut StreamTask) -> bool {
+        if self.emitted >= self.len {
+            return false;
+        }
+        let (nt, b) = (self.cfg.nt(), self.cfg.block);
+        let a = BufferId::from_raw(0);
+        let bf = b as f64;
+        // Walk the elimination order, skipping absent blocks, until one
+        // position emits — the loop mirrors the in-memory builder's
+        // `if present` guards.
+        loop {
+            let k = self.k;
+            match self.phase {
+                SluPhase::Lu0 => {
+                    out.reset("lu0", 0, 2.0 / 3.0 * bf.powi(3));
+                    out.updates(tile(a, nt, b, k, k));
+                    self.phase = SluPhase::Fwd { j: k + 1 };
+                    break;
+                }
+                SluPhase::Fwd { j } => {
+                    if j >= nt {
+                        self.phase = SluPhase::Bdiv { i: k + 1 };
+                        continue;
+                    }
+                    self.phase = SluPhase::Fwd { j: j + 1 };
+                    if self.present[k * nt + j] {
+                        out.reset("fwd", 0, bf.powi(3));
+                        out.reads(tile(a, nt, b, k, k))
+                            .updates(tile(a, nt, b, k, j));
+                        break;
+                    }
+                }
+                SluPhase::Bdiv { i } => {
+                    if i >= nt {
+                        self.phase = SluPhase::Bmod { i: k + 1, j: k + 1 };
+                        continue;
+                    }
+                    self.phase = SluPhase::Bdiv { i: i + 1 };
+                    if self.present[i * nt + k] {
+                        out.reset("bdiv", 0, bf.powi(3));
+                        out.reads(tile(a, nt, b, k, k))
+                            .updates(tile(a, nt, b, i, k));
+                        break;
+                    }
+                }
+                SluPhase::Bmod { i, j } => {
+                    if i >= nt {
+                        self.k += 1;
+                        self.phase = SluPhase::Lu0;
+                        continue;
+                    }
+                    if j >= nt || !self.present[i * nt + k] {
+                        self.phase = SluPhase::Bmod { i: i + 1, j: k + 1 };
+                        continue;
+                    }
+                    self.phase = SluPhase::Bmod { i, j: j + 1 };
+                    if self.present[k * nt + j] {
+                        // Fill-in, exactly as the builder records it.
+                        self.present[i * nt + j] = true;
+                        out.reset("bmod", 0, 2.0 * bf.powi(3));
+                        out.reads(tile(a, nt, b, i, k))
+                            .reads(tile(a, nt, b, k, j))
+                            .updates(tile(a, nt, b, i, j));
+                        break;
+                    }
+                }
+            }
+        }
+        self.emitted += 1;
+        true
+    }
+}

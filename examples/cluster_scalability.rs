@@ -1,61 +1,80 @@
 //! Scalability of complete replication on the simulated cluster (the
-//! engine behind the paper's Figures 5 and 6): sweeps core counts for
-//! a shared-memory workload and node counts for a distributed one,
-//! then scales the *simulator itself* out with the sharded engine on a
-//! million-task synthetic scenario.
+//! engine behind the paper's Figures 5 and 6), driven entirely by
+//! **declarative scenario specs**: sweeps core counts for a
+//! shared-memory workload and node counts for a distributed one, then
+//! scales the *simulator itself* out with the sharded engine on the
+//! catalog's million-task `sweep-1m` scenario — asserting along the
+//! way that shard/thread counts never change results (the engine
+//! contract) and that a recorded trace replays bit-identically (the
+//! scenario contract).
 //!
 //! ```text
 //! cargo run --release --example cluster_scalability
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use appfit::fault::{InjectionConfig, NoFaults, SeededInjector};
-use appfit::fit::RateModel;
-use appfit::heuristic::ReplicateAll;
-use appfit::sim::{
-    simulate, simulate_sharded, ClusterSpec, CostModel, ShardedConfig, SimConfig, SimGraph,
-    SyntheticSpec,
+use appfit::scenario::{
+    self, preset, EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TopologySpec,
+    WorkloadSpec,
 };
-use appfit::workloads::{cholesky::Cholesky, linpack::Linpack, Scale, Workload};
+use appfit::workloads::Scale;
 
-fn sim_once(graph: &SimGraph, cluster: ClusterSpec, p_fault: f64) -> f64 {
-    simulate(
-        graph,
-        &SimConfig {
-            cluster,
-            cost: CostModel::default(),
-            policy: Arc::new(ReplicateAll),
-            faults: if p_fault > 0.0 {
-                Arc::new(SeededInjector::new(7))
-            } else {
-                Arc::new(NoFaults)
-            },
-            injection: if p_fault > 0.0 {
-                InjectionConfig::PerTask {
-                    p_due: p_fault / 2.0,
-                    p_sdc: p_fault / 2.0,
-                }
-            } else {
-                InjectionConfig::Disabled
-            },
+/// A Figure-5-style cell: `bench` at `scale` on one `cores`-core node
+/// under complete replication.
+fn shared_memory_cell(bench: &str, cores: usize, p_fault: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("scal-{}-{cores}c", bench.to_lowercase()),
+        topology: TopologySpec::shared_memory(cores),
+        workload: WorkloadSpec::Bench {
+            bench: bench.into(),
+            scale: Scale::Medium,
+            streamed: false,
         },
-    )
-    .makespan
+        faults: FaultSpec {
+            multiplier: 1.0,
+            p_due: p_fault / 2.0,
+            p_sdc: p_fault / 2.0,
+            seed: 7,
+        },
+        policy: PolicySpec::ReplicateAll,
+        engine: EngineSpec::Sequential,
+    }
+}
+
+/// A Figure-6-style cell: paper-scale Linpack on `nodes` nodes (the
+/// workload's 2-D block-cyclic owner folds the 8×8 grid onto them).
+fn distributed_cell(nodes: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("scal-linpack-{nodes}n"),
+        topology: TopologySpec::distributed(nodes),
+        workload: WorkloadSpec::Bench {
+            bench: "Linpack".into(),
+            scale: Scale::Paper,
+            streamed: false,
+        },
+        faults: FaultSpec {
+            multiplier: 1.0,
+            p_due: 0.0,
+            p_sdc: 0.0,
+            seed: 7,
+        },
+        policy: PolicySpec::ReplicateAll,
+        engine: EngineSpec::Sequential,
+    }
+}
+
+fn makespan(spec: &ScenarioSpec) -> f64 {
+    scenario::run(spec).expect("scenario runs").report.makespan
 }
 
 fn main() {
-    let rates = RateModel::roadrunner();
-
     println!("Shared memory (Cholesky, complete replication on spare cores):");
-    let built = Cholesky.build(Scale::Medium, 1, false);
-    let graph = SimGraph::from_task_graph(&built.graph, &rates, |_| 0);
-    let base = sim_once(&graph, ClusterSpec::shared_memory(1), 0.0);
+    let base = makespan(&shared_memory_cell("Cholesky", 1, 0.0));
     println!("  cores  speedup  speedup(1% faults/task)");
     for cores in [1usize, 2, 4, 8, 16] {
-        let clean = sim_once(&graph, ClusterSpec::shared_memory(cores), 0.0);
-        let faulty = sim_once(&graph, ClusterSpec::shared_memory(cores), 0.01);
+        let clean = makespan(&shared_memory_cell("Cholesky", cores, 0.0));
+        let faulty = makespan(&shared_memory_cell("Cholesky", cores, 0.01));
         println!(
             "  {cores:>5}  {:>7.2}  {:>7.2}",
             base / clean,
@@ -64,61 +83,50 @@ fn main() {
     }
 
     println!("\nDistributed (paper-scale Linpack over an 8x8 block-cyclic grid):");
-    let built = Linpack.build(Scale::Paper, 64, false);
-    let graph64 = SimGraph::from_task_graph(&built.graph, &rates, built.placement_fn());
-    let base = {
-        let mut g = graph64.clone();
-        g.remap_nodes(|n| n % 4);
-        sim_once(&g, ClusterSpec::distributed(4), 0.0)
-    };
+    let base = makespan(&distributed_cell(4));
     println!("  nodes  cores  speedup over 64 cores");
     for nodes in [4usize, 8, 16, 32, 64] {
-        let mut g = graph64.clone();
-        g.remap_nodes(|n| n % nodes as u32);
-        let t = sim_once(&g, ClusterSpec::distributed(nodes), 0.0);
+        let t = makespan(&distributed_cell(nodes));
         println!("  {nodes:>5}  {:>5}  {:>6.2}", nodes * 16, base / t);
     }
 
-    println!("\nSharded engine: 1,048,576-task synthetic workload on 1024 machines");
-    let machines = 1024usize;
-    let graph = SimGraph::synthetic(
-        &SyntheticSpec {
-            nodes: machines,
-            chains_per_node: 16,
-            tasks_per_chain: 64, // 1024 × 16 × 64 = 1,048,576 tasks
-            flops_per_task: 4.0e8,
-            jitter: 0.25,
-            argument_bytes: 1 << 20,
-            cross_node_every: 8,
-            seed: 42,
-        },
-        &rates,
+    println!(
+        "\nSharded engine: the catalog's `sweep-1m` scenario (1,048,576 tasks, 1024 machines)"
     );
-    let cfg = SimConfig {
-        cluster: ClusterSpec::distributed(machines),
-        cost: CostModel::default(),
-        policy: Arc::new(ReplicateAll),
-        faults: Arc::new(SeededInjector::new(7)),
-        injection: InjectionConfig::PerTask {
-            p_due: 0.005,
-            p_sdc: 0.005,
-        },
-    };
+    let reference = preset("sweep-1m").expect("catalog preset");
+    let graph = scenario::build_graph(&reference).expect("builds");
     println!("  shards  threads  wall[s]  makespan[s]  (identical results by contract)");
     let mut reference_makespan = None;
     for (shards, threads) in [(1usize, 1usize), (32, 1), (32, 8)] {
-        let sharded = ShardedConfig::auto(&graph, &cfg, shards).with_threads(threads);
+        let mut spec = reference.clone();
+        spec.engine = EngineSpec::Sharded {
+            shards,
+            epoch: EpochSpec::Auto,
+            threads,
+        };
         let t0 = Instant::now();
-        let report = simulate_sharded(&graph, &cfg, &sharded);
+        let outcome = scenario::run_on(&spec, &graph, None).expect("runs");
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "  {shards:>6}  {threads:>7}  {wall:>7.2}  {:>11.2}",
-            report.makespan
+            outcome.report.makespan
         );
         match reference_makespan {
-            None => reference_makespan = Some(report.makespan),
-            Some(m) => assert_eq!(m, report.makespan, "sharding must not change results"),
+            None => reference_makespan = Some(outcome.report.makespan),
+            Some(m) => assert_eq!(
+                m, outcome.report.makespan,
+                "sharding must not change results"
+            ),
         }
     }
-    println!("\n(Virtual time from the discrete-event simulator — see `repro fig5`/`fig6`,\n and `cargo run --release -p repro-bench --bin sweep` for the full grid.)");
+
+    println!("\nTrace record → replay on the catalog's `smoke` scenario:");
+    let smoke = preset("smoke").expect("catalog preset");
+    let (_, trace) = scenario::record(&smoke).expect("records");
+    let report = scenario::replay(&trace).expect("replays bitwise");
+    println!(
+        "  {} decisions reproduced bitwise (final FIT {:.4})",
+        report.decisions, report.final_fit
+    );
+    println!("\n(Virtual time from the discrete-event simulator — see `repro fig5`/`fig6`,\n `repro scenario list`, and `cargo run --release -p repro-bench --bin sweep`.)");
 }

@@ -19,14 +19,26 @@ fn build(fork_join: bool) -> (TaskGraph, DataArena) {
             *x = (*x + 1.0).sqrt() + 1.0;
         }
     };
-    g.submit(TaskSpec::new("A1").updates(Region::full(a, 1 << 16)).kernel(bump));
+    g.submit(
+        TaskSpec::new("A1")
+            .updates(Region::full(a, 1 << 16))
+            .kernel(bump),
+    );
     if fork_join {
         // OpenMP-3.0 style: a taskwait between A1 and A2 — which also
         // blocks the unrelated B.
         g.taskwait();
     }
-    g.submit(TaskSpec::new("A2").updates(Region::full(a, 1 << 16)).kernel(bump));
-    g.submit(TaskSpec::new("B").updates(Region::full(b, 1 << 17)).kernel(bump));
+    g.submit(
+        TaskSpec::new("A2")
+            .updates(Region::full(a, 1 << 16))
+            .kernel(bump),
+    );
+    g.submit(
+        TaskSpec::new("B")
+            .updates(Region::full(b, 1 << 17))
+            .kernel(bump),
+    );
     (g, arena)
 }
 

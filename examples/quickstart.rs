@@ -105,8 +105,8 @@ fn main() {
             println!("\nnumerical verification: PASS (all faults were covered)");
         }
         Ok(()) => println!("\nnumerical verification: PASS (uncovered faults missed the result)"),
-        Err(e) => println!(
-            "\nnumerical verification: corrupted by uncovered faults, as expected — {e}"
-        ),
+        Err(e) => {
+            println!("\nnumerical verification: corrupted by uncovered faults, as expected — {e}")
+        }
     }
 }

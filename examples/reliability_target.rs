@@ -25,12 +25,12 @@ fn main() {
             duration: t.flops.max(1.0),
         })
         .collect();
-    let todays_fit: f64 = samples
-        .iter()
-        .map(|s| s.rates.total().value() / 10.0)
-        .sum();
+    let todays_fit: f64 = samples.iter().map(|s| s.rates.total().value() / 10.0).sum();
 
-    println!("SparseLU, {} tasks, 10x exascale error rates", samples.len());
+    println!(
+        "SparseLU, {} tasks, 10x exascale error rates",
+        samples.len()
+    );
     println!("today's application FIT (the natural target): {todays_fit:.3e}\n");
     println!("target (× today's FIT)   tasks replicated   compute replicated   achieved FIT");
     println!("{}", "-".repeat(78));

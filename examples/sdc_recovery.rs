@@ -48,10 +48,15 @@ fn run_scenario(name: &str, plan: FaultPlan) {
         ),
     );
     let log = engine.log();
-    let report = Executor::sequential().with_hooks(engine).run(&graph, &mut arena);
+    let report = Executor::sequential()
+        .with_hooks(engine)
+        .run(&graph, &mut arena);
     let rec = &report.records[0];
     println!("  ① inputs checkpointed (safe memory)");
-    println!("  ② original + replica executed: {} kernel attempts total", rec.attempts);
+    println!(
+        "  ② original + replica executed: {} kernel attempts total",
+        rec.attempts
+    );
     for e in log.events() {
         println!(
             "     injected {} into attempt {} ({})",
@@ -65,7 +70,11 @@ fn run_scenario(name: &str, plan: FaultPlan) {
         println!("  ④ re-executed from checkpoint");
         println!(
             "  ⑤ majority vote: {}",
-            if rec.sdc_corrected { "corrected" } else { "unresolved" }
+            if rec.sdc_corrected {
+                "corrected"
+            } else {
+                "unresolved"
+            }
         );
     } else {
         println!("  ③ comparison at sync point: results agree");

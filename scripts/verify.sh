@@ -2,14 +2,21 @@
 # Tier-1 verification gate for this workspace.
 #
 # Runs everything a change must keep green:
-#   1. release build of all workspace members,
-#   2. the full test suite (unit + integration + property tests),
-#   3. rustdoc with warnings denied (broken intra-doc links fail),
-#   4. the documentation examples as tests.
+#   1. formatting (rustfmt, check only),
+#   2. release build of all workspace members,
+#   3. the full test suite (unit + integration + property tests),
+#   4. rustdoc with warnings denied (broken intra-doc links fail),
+#   5. the documentation examples as tests,
+#   6. a scenario smoke run: record → replay → diff of a tiny preset
+#      through the release binary (the cross-process half of the
+#      trace determinism contract).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -22,5 +29,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "==> cargo test --doc -q"
 cargo test --doc -q
+
+echo "==> scenario smoke (record → replay → diff)"
+smoke_trace="target/verify-smoke.trace"
+cargo run --release -q -p repro-bench --bin repro -- scenario record smoke --out "$smoke_trace"
+cargo run --release -q -p repro-bench --bin repro -- scenario replay "$smoke_trace"
+cargo run --release -q -p repro-bench --bin repro -- scenario diff "$smoke_trace" "$smoke_trace"
 
 echo "verify: all gates green"

@@ -207,7 +207,10 @@ impl Bencher {
             }
             None => String::new(),
         };
-        println!("  {group}/{id}: {ns:.1} ns/iter over {} iters{rate}", self.iters);
+        println!(
+            "  {group}/{id}: {ns:.1} ns/iter over {} iters{rate}",
+            self.iters
+        );
     }
 }
 

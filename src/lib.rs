@@ -20,7 +20,10 @@
 //!   zoo (complete/none/random/periodic/oracle).
 //! * [`sim`] — the discrete-event cluster simulator (the MareNostrum
 //!   substitute behind Figures 4–6).
-//! * [`workloads`] — the nine Table-I benchmarks.
+//! * [`workloads`] — the nine Table-I benchmarks, buildable in memory
+//!   or streamed to the million-task regime.
+//! * [`scenario`] — declarative experiment specs, the preset catalog,
+//!   and deterministic trace record/replay.
 //!
 //! ## Sixty-second tour
 //!
@@ -56,5 +59,6 @@ pub use cluster_sim as sim;
 pub use dataflow_rt as dataflow;
 pub use fault_inject as fault;
 pub use fit_model as fit;
+pub use scenario;
 pub use task_replication as replication;
 pub use workloads;

@@ -64,7 +64,14 @@ fn different_seed_different_faults() {
         let faults = |r: &appfit::sim::SimReport| {
             r.records
                 .iter()
-                .map(|t| (t.sdc_detected, t.due_recovered, t.uncovered_sdc, t.uncovered_due))
+                .map(|t| {
+                    (
+                        t.sdc_detected,
+                        t.due_recovered,
+                        t.uncovered_sdc,
+                        t.uncovered_due,
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         if faults(&a) != faults(&b) {

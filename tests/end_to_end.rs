@@ -52,7 +52,9 @@ fn every_workload_verifies_under_complete_replication_with_faults() {
             ),
         );
         let log = engine.log();
-        let report = Executor::new(2).with_hooks(engine).run(&built.graph, &mut arena);
+        let report = Executor::new(2)
+            .with_hooks(engine)
+            .run(&built.graph, &mut arena);
         (built.verify)(&mut arena).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         assert_eq!(
             log.counts().uncovered_sdc,
@@ -79,7 +81,9 @@ fn appfit_meets_threshold_on_every_workload() {
             Arc::clone(&policy) as Arc<dyn ReplicationPolicy>,
             RateModel::roadrunner().with_multiplier(10.0),
         ));
-        let report = Executor::new(2).with_hooks(engine).run(&built.graph, &mut arena);
+        let report = Executor::new(2)
+            .with_hooks(engine)
+            .run(&built.graph, &mut arena);
         (built.verify)(&mut arena).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
         assert!(
             policy.current_fit().value() <= threshold * (1.0 + 1e-9),
@@ -115,12 +119,17 @@ fn uncovered_sdc_actually_corrupts_results() {
             ),
         );
         let log = engine.log();
-        Executor::sequential().with_hooks(engine).run(&built.graph, &mut arena);
+        Executor::sequential()
+            .with_hooks(engine)
+            .run(&built.graph, &mut arena);
         if log.counts().uncovered_sdc > 0 && (built.verify)(&mut arena).is_err() {
             any_corrupted = true;
         }
     }
-    assert!(any_corrupted, "SDC injection must corrupt unprotected results");
+    assert!(
+        any_corrupted,
+        "SDC injection must corrupt unprotected results"
+    );
 }
 
 #[test]
@@ -142,7 +151,9 @@ fn parallel_and_sequential_protected_runs_agree() {
             Arc::new(ReplicateAll),
             RateModel::roadrunner(),
         ));
-        Executor::new(threads).with_hooks(engine).run(&built.graph, &mut arena);
+        Executor::new(threads)
+            .with_hooks(engine)
+            .run(&built.graph, &mut arena);
         let c = appfit::dataflow::BufferId::from_raw(2);
         assert_eq!(arena.read(c), &reference[..], "threads={threads}");
     }
