@@ -1,4 +1,4 @@
-//! Batched event storage for the sharded engine.
+//! Batched event storage and the packed event key for both engines.
 //!
 //! The sharded engine ([`crate::shard`]) keeps only the *current*
 //! window's events in an ordered heap; everything scheduled further out
@@ -7,6 +7,78 @@
 //! sorted once when their epoch opens, which replaces millions of
 //! per-event heap rebalances with one cache-friendly sort per epoch —
 //! the "batching" leg of the sharding/batching/async roadmap item.
+//!
+//! Heap entries themselves are [`EventKey`]s: the former
+//! `(Time, u64, u32)` tuple packed into two ordered machine words, so a
+//! heap rebalance moves 16 bytes and compares integers instead of
+//! moving 24 bytes and calling `f64::total_cmp`.
+
+/// A completion event `(time, seq, task)` packed into one `u128` whose
+/// integer order equals the tuple order `(time.total_cmp, seq, task)`.
+///
+/// The high 64 bits are the timestamp mapped through [`time_to_bits`]
+/// (monotone in `total_cmp` order); the low 64 bits are
+/// `seq << 32 | task`. `seq` is unique within one heap, so the packed
+/// comparison breaks time ties by insertion sequence exactly like the
+/// unpacked tuple did (the trailing task id never decides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey(u128);
+
+impl EventKey {
+    /// Packs a `(time, seq, task)` completion event.
+    #[inline]
+    pub fn new(time: f64, seq: u32, task: u32) -> Self {
+        EventKey(
+            (u128::from(time_to_bits(time)) << 64) | (u128::from(seq) << 32) | u128::from(task),
+        )
+    }
+
+    /// The event's timestamp (bit-exact round trip of the `f64` given
+    /// to [`EventKey::new`]).
+    #[inline]
+    pub fn time(self) -> f64 {
+        time_from_bits((self.0 >> 64) as u64)
+    }
+
+    /// The completing task's id.
+    #[inline]
+    pub fn task(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order equals
+/// [`f64::total_cmp`] order: negative values flip all bits (reversing
+/// their descending raw-bits order), non-negative values set the sign
+/// bit (lifting them above every negative image). Bijective, so
+/// [`time_from_bits`] recovers the exact input.
+#[inline]
+pub fn time_to_bits(t: f64) -> u64 {
+    let b = t.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`time_to_bits`].
+#[inline]
+pub fn time_from_bits(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
+}
+
+/// Reusable scratch for [`EventBatch::sort_stable_by_time`] and
+/// [`EventBatch::sort_canonical`]: the permutation index plus the
+/// double buffers the permutation is applied through. Owning one per
+/// shard (and one for the barrier merge) means epoch opens allocate
+/// nothing once the buffers have grown to the high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct SortScratch {
+    order: Vec<u32>,
+    times: Vec<f64>,
+    tasks: Vec<u32>,
+}
 
 /// A struct-of-arrays batch of `(time, task)` events.
 ///
@@ -56,31 +128,35 @@ impl EventBatch {
 
     /// Stable-sorts the batch by time only: simultaneous events keep
     /// their insertion order, which is how the sequential engine breaks
-    /// ties (heap insertion sequence).
-    pub fn sort_stable_by_time(&mut self) {
+    /// ties (heap insertion sequence). `scratch` is caller-owned and
+    /// reused across calls.
+    pub fn sort_stable_by_time(&mut self, scratch: &mut SortScratch) {
         if self.is_sorted_by_time() {
             return;
         }
-        let mut order: Vec<u32> = (0..self.len() as u32).collect();
-        order.sort_by(|&a, &b| {
+        scratch.order.clear();
+        scratch.order.extend(0..self.len() as u32);
+        scratch.order.sort_by(|&a, &b| {
             self.times[a as usize]
                 .total_cmp(&self.times[b as usize])
                 .then(a.cmp(&b)) // stability, explicitly
         });
-        self.apply_permutation(&order);
+        self.apply_permutation(scratch);
     }
 
     /// Sorts the batch by `(time, task id)` — the canonical order for
     /// cross-shard deliveries, which must not depend on which shard
-    /// (hence which buffer position) a message came from.
-    pub fn sort_canonical(&mut self) {
-        let mut order: Vec<u32> = (0..self.len() as u32).collect();
-        order.sort_by(|&a, &b| {
+    /// (hence which buffer position) a message came from. `scratch` is
+    /// caller-owned and reused across calls.
+    pub fn sort_canonical(&mut self, scratch: &mut SortScratch) {
+        scratch.order.clear();
+        scratch.order.extend(0..self.len() as u32);
+        scratch.order.sort_by(|&a, &b| {
             self.times[a as usize]
                 .total_cmp(&self.times[b as usize])
                 .then(self.tasks[a as usize].cmp(&self.tasks[b as usize]))
         });
-        self.apply_permutation(&order);
+        self.apply_permutation(scratch);
     }
 
     /// Iterates `(time, task)` pairs in storage order.
@@ -92,18 +168,32 @@ impl EventBatch {
         self.times.windows(2).all(|w| w[0] <= w[1])
     }
 
-    fn apply_permutation(&mut self, order: &[u32]) {
-        let times = order.iter().map(|&i| self.times[i as usize]).collect();
-        let tasks = order.iter().map(|&i| self.tasks[i as usize]).collect();
-        self.times = times;
-        self.tasks = tasks;
+    /// Applies `scratch.order` by gathering into the scratch buffers,
+    /// then swaps storage with them — the retired buffers become next
+    /// call's scratch, so steady state allocates nothing.
+    fn apply_permutation(&mut self, scratch: &mut SortScratch) {
+        scratch.times.clear();
+        scratch.tasks.clear();
+        scratch
+            .times
+            .extend(scratch.order.iter().map(|&i| self.times[i as usize]));
+        scratch
+            .tasks
+            .extend(scratch.order.iter().map(|&i| self.tasks[i as usize]));
+        std::mem::swap(&mut self.times, &mut scratch.times);
+        std::mem::swap(&mut self.tasks, &mut scratch.tasks);
     }
 }
 
 /// Future events bucketed by epoch index, struct-of-arrays per bucket.
+///
+/// Drained batches can be handed back via [`EpochCalendar::recycle`];
+/// their buffers are reused for new buckets instead of reallocating
+/// every epoch.
 #[derive(Debug, Clone, Default)]
 pub struct EpochCalendar {
     buckets: std::collections::BTreeMap<u64, EventBatch>,
+    spare: Vec<EventBatch>,
 }
 
 impl EpochCalendar {
@@ -115,12 +205,26 @@ impl EpochCalendar {
     /// Buffers an event for the epoch containing `time`.
     #[inline]
     pub fn push(&mut self, epoch: u64, time: f64, task: u32) {
-        self.buckets.entry(epoch).or_default().push(time, task);
+        use std::collections::btree_map::Entry;
+        match self.buckets.entry(epoch) {
+            Entry::Occupied(e) => e.into_mut().push(time, task),
+            Entry::Vacant(v) => {
+                let mut batch = self.spare.pop().unwrap_or_default();
+                batch.clear();
+                batch.push(time, task);
+                v.insert(batch);
+            }
+        }
     }
 
     /// Takes the batch for `epoch`, if any.
     pub fn take(&mut self, epoch: u64) -> Option<EventBatch> {
         self.buckets.remove(&epoch)
+    }
+
+    /// Returns a drained batch's buffers to the recycling pool.
+    pub fn recycle(&mut self, batch: EventBatch) {
+        self.spare.push(batch);
     }
 
     /// Earliest epoch with buffered events.
@@ -146,10 +250,11 @@ mod tests {
     #[test]
     fn stable_time_sort_preserves_insertion_ties() {
         let mut b = EventBatch::new();
+        let mut scratch = SortScratch::default();
         b.push(2.0, 9);
         b.push(1.0, 5);
         b.push(1.0, 3); // same time as task 5, inserted later
-        b.sort_stable_by_time();
+        b.sort_stable_by_time(&mut scratch);
         let got: Vec<_> = b.iter().collect();
         assert_eq!(got, vec![(1.0, 5), (1.0, 3), (2.0, 9)]);
     }
@@ -157,11 +262,26 @@ mod tests {
     #[test]
     fn canonical_sort_breaks_ties_by_task() {
         let mut b = EventBatch::new();
+        let mut scratch = SortScratch::default();
         b.push(1.0, 5);
         b.push(1.0, 3);
-        b.sort_canonical();
+        b.sort_canonical(&mut scratch);
         let got: Vec<_> = b.iter().collect();
         assert_eq!(got, vec![(1.0, 3), (1.0, 5)]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_batches() {
+        let mut scratch = SortScratch::default();
+        for n in [7u32, 3, 11] {
+            let mut b = EventBatch::new();
+            for i in 0..n {
+                b.push(f64::from(n - i), i);
+            }
+            b.sort_canonical(&mut scratch);
+            let times: Vec<f64> = b.iter().map(|(t, _)| t).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted for n={n}");
+        }
     }
 
     #[test]
@@ -176,5 +296,49 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(c.min_epoch(), Some(1));
         assert!(c.take(3).is_none());
+        c.recycle(b);
+        // The recycled buffer backs the next fresh bucket, starting
+        // empty regardless of its previous contents.
+        c.push(9, 9.5, 4);
+        assert_eq!(c.take(9).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn event_key_orders_like_the_unpacked_tuple() {
+        // Times crossing zero, subnormals and infinities; seq breaks
+        // ties before task (task never decides when seq is unique).
+        let samples = [
+            (-1.5, 4u32, 9u32),
+            (-0.0, 0, 0),
+            (0.0, 1, 7),
+            (f64::MIN_POSITIVE / 2.0, 2, 1),
+            (1.0, 0, u32::MAX),
+            (1.0, 1, 0),
+            (f64::INFINITY, 3, 2),
+        ];
+        let mut packed: Vec<EventKey> = samples
+            .iter()
+            .map(|&(t, s, id)| EventKey::new(t, s, id))
+            .collect();
+        packed.sort();
+        let mut tuples: Vec<(f64, u32, u32)> = samples.to_vec();
+        tuples.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let unpacked: Vec<(f64, u32, u32)> =
+            packed.iter().map(|k| (k.time(), 0, k.task())).collect();
+        for (got, want) in unpacked.iter().zip(&tuples) {
+            assert_eq!(
+                got.0.to_bits(),
+                want.0.to_bits(),
+                "time round-trips bitwise"
+            );
+            assert_eq!(got.2, want.2, "task id survives packing");
+        }
+    }
+
+    #[test]
+    fn time_bits_round_trip_is_exact() {
+        for t in [0.0, -0.0, 1.25e-300, 7.5, -2.0, f64::INFINITY] {
+            assert_eq!(time_from_bits(time_to_bits(t)).to_bits(), t.to_bits());
+        }
     }
 }

@@ -1,10 +1,14 @@
-//! Extraction of a simulation graph from a runtime task graph.
+//! Extraction of a simulation graph from a runtime task graph, stored
+//! flat: CSR adjacency and CSR transfer sources, no per-task heap
+//! allocations.
 
 use dataflow_rt::{Task, TaskGraph};
 use fit_model::{RateModel, TaskRates};
 
-/// One task as the simulator sees it: structure + costs + placement,
-/// no data.
+/// One task as the simulator sees it: costs + placement, no data and
+/// no structure — adjacency lives in the owning [`SimGraph`]'s CSR
+/// arrays ([`SimGraph::preds`], [`SimGraph::succs`],
+/// [`SimGraph::sources`]).
 ///
 /// `PartialEq` compares exactly (floats bit-for-bit on equal values) —
 /// the streamed-construction identity tests rely on it.
@@ -17,10 +21,6 @@ pub struct SimTask {
     /// ids keep million-task graphs free of per-task `String`
     /// allocations.
     pub label: u32,
-    /// Direct predecessors.
-    pub preds: Vec<u32>,
-    /// Direct successors.
-    pub succs: Vec<u32>,
     /// Analytic flop count (from the workload's cost hint).
     pub flops: f64,
     /// Bytes read (`in` + `inout`).
@@ -33,24 +33,40 @@ pub struct SimTask {
     pub rates: TaskRates,
     /// Owner node (owner-computes placement).
     pub node: u32,
-    /// `(producer task, bytes)` pairs: inputs produced by these
-    /// predecessors; a transfer is charged when the producer lives on a
-    /// different node.
-    pub sources: Vec<(u32, u64)>,
     /// Barrier pseudo-task (zero cost, no core).
     pub is_barrier: bool,
 }
 
-/// The simulator's input: a placed, costed task DAG.
+/// The simulator's input: a placed, costed task DAG in flat memory.
 ///
 /// Task-kind labels are interned: each [`SimTask`] carries a numeric
 /// symbol id resolved through this graph's side table (one `String`
-/// per distinct kind, not per task).
+/// per distinct kind, not per task). Dependency structure is stored as
+/// **compressed sparse rows** — one offset array plus one flat edge
+/// array per direction, and a parallel `(producer, bytes)` pair of
+/// columns for transfer sources — so a million-task graph is a handful
+/// of large allocations instead of three small `Vec`s per task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimGraph {
     tasks: Vec<SimTask>,
     /// Symbol table: `labels[task.label as usize]` is the task's kind.
     labels: Vec<String>,
+    /// CSR predecessors: task `i`'s direct predecessors are
+    /// `pred_edges[pred_offsets[i]..pred_offsets[i + 1]]` (sorted,
+    /// deduplicated — the `DepTracker` contract).
+    pred_offsets: Vec<u32>,
+    pred_edges: Vec<u32>,
+    /// CSR successors, derived from the predecessors: each task's
+    /// successor list is ascending (successors register in submission
+    /// order).
+    succ_offsets: Vec<u32>,
+    succ_edges: Vec<u32>,
+    /// CSR transfer sources: task `i`'s `(producer, bytes)` pairs are
+    /// `src_tasks[src_offsets[i]..src_offsets[i + 1]]` zipped with the
+    /// same range of `src_bytes`.
+    src_offsets: Vec<u32>,
+    src_tasks: Vec<u32>,
+    src_bytes: Vec<u64>,
 }
 
 impl SimGraph {
@@ -69,10 +85,11 @@ impl SimGraph {
     where
         P: FnMut(&Task) -> u32,
     {
-        let mut tasks: Vec<SimTask> = Vec::with_capacity(graph.len());
-        let mut labels: Vec<String> = Vec::new();
+        let mut b = GraphBuilder::with_capacity(graph.len());
+        let mut preds: Vec<u32> = Vec::new();
+        let mut sources: Vec<(u32, u64)> = Vec::new();
         for task in graph.tasks() {
-            let mut sources: Vec<(u32, u64)> = Vec::new();
+            sources.clear();
             for access in task.accesses.iter().filter(|a| a.mode.reads()) {
                 // Latest predecessor writing an overlapping region.
                 let producer = graph
@@ -96,27 +113,77 @@ impl SimGraph {
                     }
                 }
             }
-            tasks.push(SimTask {
-                id: task.id.index() as u32,
-                label: intern(&mut labels, &task.label),
-                preds: task_ids(graph.predecessors(task.id)),
-                succs: task_ids(graph.successors(task.id)),
-                flops: task.flops,
-                bytes_in: task.input_bytes(),
-                bytes_out: task.output_bytes(),
-                argument_bytes: task.argument_bytes(),
-                rates: rates.rates_for_arguments(task.accesses.iter().map(|a| a.bytes())),
-                node: placement(task),
-                sources,
-                is_barrier: task.is_barrier,
-            });
+            preds.clear();
+            preds.extend(graph.predecessors(task.id).iter().map(|t| t.index() as u32));
+            let label = b.intern(&task.label);
+            b.push(
+                SimTask {
+                    id: task.id.index() as u32,
+                    label,
+                    flops: task.flops,
+                    bytes_in: task.input_bytes(),
+                    bytes_out: task.output_bytes(),
+                    argument_bytes: task.argument_bytes(),
+                    rates: rates.rates_for_arguments(task.accesses.iter().map(|a| a.bytes())),
+                    node: placement(task),
+                    is_barrier: task.is_barrier,
+                },
+                &preds,
+                &sources,
+            );
         }
-        SimGraph { tasks, labels }
+        b.finish()
     }
 
     /// All tasks, indexed by id.
     pub fn tasks(&self) -> &[SimTask] {
         &self.tasks
+    }
+
+    /// One task by id.
+    #[inline]
+    pub fn task(&self, id: u32) -> &SimTask {
+        &self.tasks[id as usize]
+    }
+
+    /// Task `id`'s direct predecessors (sorted, deduplicated).
+    #[inline]
+    pub fn preds(&self, id: u32) -> &[u32] {
+        let (s, e) = (
+            self.pred_offsets[id as usize] as usize,
+            self.pred_offsets[id as usize + 1] as usize,
+        );
+        &self.pred_edges[s..e]
+    }
+
+    /// Task `id`'s direct successors (ascending).
+    #[inline]
+    pub fn succs(&self, id: u32) -> &[u32] {
+        let (s, e) = (
+            self.succ_offsets[id as usize] as usize,
+            self.succ_offsets[id as usize + 1] as usize,
+        );
+        &self.succ_edges[s..e]
+    }
+
+    /// Task `id`'s `(producer task, bytes)` transfer sources: inputs
+    /// produced by these predecessors; a transfer is charged when the
+    /// producer lives on a different node.
+    #[inline]
+    pub fn sources(&self, id: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let (s, e) = (
+            self.src_offsets[id as usize] as usize,
+            self.src_offsets[id as usize + 1] as usize,
+        );
+        self.src_tasks[s..e]
+            .iter()
+            .copied()
+            .zip(self.src_bytes[s..e].iter().copied())
+    }
+
+    /// Total dependency edges (one direction).
+    pub fn edge_count(&self) -> usize {
+        self.pred_edges.len()
     }
 
     /// The label symbol table: `labels()[sym as usize]` is the kind
@@ -128,12 +195,6 @@ impl SimGraph {
     /// Resolves an interned label symbol to its kind name.
     pub fn label_name(&self, sym: u32) -> &str {
         &self.labels[sym as usize]
-    }
-
-    /// Assembles a graph from pre-built parts (used by the streamed
-    /// constructor; `labels` is the symbol table `tasks` index into).
-    pub(crate) fn from_parts(tasks: Vec<SimTask>, labels: Vec<String>) -> Self {
-        SimGraph { tasks, labels }
     }
 
     /// Number of tasks.
@@ -155,19 +216,116 @@ impl SimGraph {
     }
 }
 
-fn task_ids(ids: &[dataflow_rt::TaskId]) -> Vec<u32> {
-    ids.iter().map(|t| t.index() as u32).collect()
+/// Incremental CSR assembly shared by all three construction paths
+/// ([`SimGraph::from_task_graph`], [`SimGraph::from_stream`],
+/// [`SimGraph::synthetic`]): tasks are appended in id order with their
+/// predecessor and source slices, and [`GraphBuilder::finish`] derives
+/// the successor CSR in one counting-sort pass — the same ascending
+/// scatter order every path produced before, so the streamed-identity
+/// contract is untouched.
+pub(crate) struct GraphBuilder {
+    tasks: Vec<SimTask>,
+    labels: Vec<String>,
+    pred_offsets: Vec<u32>,
+    pred_edges: Vec<u32>,
+    src_offsets: Vec<u32>,
+    src_tasks: Vec<u32>,
+    src_bytes: Vec<u64>,
 }
 
-/// Interns `name` into `labels`, returning its symbol id. Label sets
-/// are tiny (a handful of kinds per workload), so a linear scan beats
-/// hashing.
-pub(crate) fn intern(labels: &mut Vec<String>, name: &str) -> u32 {
-    match labels.iter().position(|l| l == name) {
-        Some(i) => i as u32,
-        None => {
-            labels.push(name.to_string());
-            (labels.len() - 1) as u32
+impl GraphBuilder {
+    /// An empty builder expecting about `n` tasks.
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        let mut pred_offsets = Vec::with_capacity(n + 1);
+        pred_offsets.push(0);
+        let mut src_offsets = Vec::with_capacity(n + 1);
+        src_offsets.push(0);
+        GraphBuilder {
+            tasks: Vec::with_capacity(n),
+            labels: Vec::new(),
+            pred_offsets,
+            pred_edges: Vec::new(),
+            src_offsets,
+            src_tasks: Vec::new(),
+            src_bytes: Vec::new(),
+        }
+    }
+
+    /// Interns `name`, returning its symbol id. Label sets are tiny (a
+    /// handful of kinds per workload), so a linear scan beats hashing.
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
+        match self.labels.iter().position(|l| l == name) {
+            Some(i) => i as u32,
+            None => {
+                self.labels.push(name.to_string());
+                (self.labels.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Appends one task with its predecessor ids and `(producer,
+    /// bytes)` sources. Tasks must arrive in id order and edges point
+    /// backwards.
+    pub(crate) fn push(&mut self, task: SimTask, preds: &[u32], sources: &[(u32, u64)]) {
+        debug_assert_eq!(
+            task.id as usize,
+            self.tasks.len(),
+            "tasks must arrive in order"
+        );
+        self.tasks.push(task);
+        self.pred_edges.extend_from_slice(preds);
+        self.pred_offsets.push(self.pred_edges.len() as u32);
+        for &(p, bytes) in sources {
+            self.src_tasks.push(p);
+            self.src_bytes.push(bytes);
+        }
+        self.src_offsets.push(self.src_tasks.len() as u32);
+    }
+
+    /// Seals the graph: derives the successor CSR from the predecessor
+    /// CSR (counting sort, ascending successor ids per task).
+    pub(crate) fn finish(self) -> SimGraph {
+        let n = self.tasks.len();
+        assert!(
+            self.pred_edges.len() <= u32::MAX as usize,
+            "edge count overflows the u32 CSR offsets"
+        );
+        // Sources are per read access (not deduplicated like preds),
+        // so they can outnumber edges — guard their offsets too.
+        assert!(
+            self.src_tasks.len() <= u32::MAX as usize,
+            "source count overflows the u32 CSR offsets"
+        );
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &p in &self.pred_edges {
+            succ_offsets[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut succ_edges = vec![0u32; self.pred_edges.len()];
+        for id in 0..n {
+            let (s, e) = (
+                self.pred_offsets[id] as usize,
+                self.pred_offsets[id + 1] as usize,
+            );
+            for &p in &self.pred_edges[s..e] {
+                let c = &mut cursor[p as usize];
+                succ_edges[*c as usize] = id as u32;
+                *c += 1;
+            }
+        }
+        SimGraph {
+            tasks: self.tasks,
+            labels: self.labels,
+            pred_offsets: self.pred_offsets,
+            pred_edges: self.pred_edges,
+            succ_offsets,
+            succ_edges,
+            src_offsets: self.src_offsets,
+            src_tasks: self.src_tasks,
+            src_bytes: self.src_bytes,
         }
     }
 }
@@ -231,11 +389,12 @@ impl SimGraph {
         let n = spec.total_tasks();
         let task_rates = rates.rates_for_arguments([spec.argument_bytes]);
         let half = spec.argument_bytes / 2;
+        let mut b = GraphBuilder::with_capacity(n);
         // One interned symbol shared by every task — the million-task
         // hot path allocates no per-task strings.
-        let labels = vec!["synth".to_string()];
-        let synth = 0u32;
-        let mut tasks: Vec<SimTask> = Vec::with_capacity(n);
+        let synth = b.intern("synth");
+        let mut preds: Vec<u32> = Vec::with_capacity(2);
+        let mut sources: Vec<(u32, u64)> = Vec::with_capacity(2);
         for node in 0..spec.nodes {
             for chain in 0..spec.chains_per_node {
                 let chain_base = (node * spec.chains_per_node + chain) * spec.tasks_per_chain;
@@ -243,8 +402,8 @@ impl SimGraph {
                     let id = (chain_base + pos) as u32;
                     let unit = (mix(spec.seed, id as u64) >> 11) as f64 / (1u64 << 53) as f64;
                     let jitter = 1.0 + spec.jitter * (2.0 * unit - 1.0);
-                    let mut preds = Vec::new();
-                    let mut sources = Vec::new();
+                    preds.clear();
+                    sources.clear();
                     if pos > 0 {
                         preds.push(id - 1);
                         sources.push((id - 1, half));
@@ -263,32 +422,25 @@ impl SimGraph {
                             sources.push((other, half));
                         }
                     }
-                    tasks.push(SimTask {
-                        id,
-                        label: synth,
-                        preds,
-                        succs: Vec::new(),
-                        flops: spec.flops_per_task * jitter,
-                        bytes_in: half,
-                        bytes_out: half,
-                        argument_bytes: spec.argument_bytes,
-                        rates: task_rates,
-                        node: node as u32,
-                        sources,
-                        is_barrier: false,
-                    });
+                    b.push(
+                        SimTask {
+                            id,
+                            label: synth,
+                            flops: spec.flops_per_task * jitter,
+                            bytes_in: half,
+                            bytes_out: half,
+                            argument_bytes: spec.argument_bytes,
+                            rates: task_rates,
+                            node: node as u32,
+                            is_barrier: false,
+                        },
+                        &preds,
+                        &sources,
+                    );
                 }
             }
         }
-        // Successor lists from the predecessor lists (indexed access —
-        // this loop runs over millions of tasks, no per-task clones).
-        for id in 0..n {
-            for k in 0..tasks[id].preds.len() {
-                let p = tasks[id].preds[k] as usize;
-                tasks[p].succs.push(id as u32);
-            }
-        }
-        SimGraph { tasks, labels }
+        b.finish()
     }
 }
 
@@ -307,13 +459,13 @@ mod tests {
         let w3 = g.submit(TaskSpec::new("w3").updates(Region::contiguous(a, 0, 32)));
         let r = g.submit(TaskSpec::new("r").reads(Region::full(a, 64)));
         let sim = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
-        let rt = &sim.tasks()[r.index()];
         // The read of [0,64) overlaps writes of w1, w2 and w3; the
         // latest overlapping writer is w3 (w1 is superseded; w2 writes a
         // disjoint half but also overlaps the full-range read).
         // Attribution picks the latest overlapping writer for the whole
         // access: w3.
-        assert_eq!(rt.sources, vec![(w3.index() as u32, 64 * 8)]);
+        let sources: Vec<_> = sim.sources(r.index() as u32).collect();
+        assert_eq!(sources, vec![(w3.index() as u32, 64 * 8)]);
         let _ = (w1, w2);
     }
 
@@ -360,5 +512,27 @@ mod tests {
             SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| t.id.index() as u32);
         sim.remap_nodes(|n| n % 2);
         assert!(sim.tasks().iter().all(|t| t.node < 2));
+    }
+
+    #[test]
+    fn csr_adjacency_matches_the_runtime_graph() {
+        // A chain with a fan-out: CSR rows must equal the TaskGraph's
+        // own per-task lists in both directions.
+        let mut arena = DataArena::new();
+        let a = arena.alloc("a", 16);
+        let mut g = TaskGraph::new();
+        let w = g.submit(TaskSpec::new("w").writes(Region::full(a, 16)));
+        let r1 = g.submit(TaskSpec::new("r1").reads(Region::full(a, 16)));
+        let r2 = g.submit(TaskSpec::new("r2").reads(Region::full(a, 16)));
+        let w2 = g.submit(TaskSpec::new("w2").writes(Region::full(a, 16)));
+        let sim = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
+        for t in [w, r1, r2, w2] {
+            let id = t.index() as u32;
+            let want_preds: Vec<u32> = g.predecessors(t).iter().map(|p| p.index() as u32).collect();
+            let want_succs: Vec<u32> = g.successors(t).iter().map(|s| s.index() as u32).collect();
+            assert_eq!(sim.preds(id), &want_preds[..], "preds of {id}");
+            assert_eq!(sim.succs(id), &want_succs[..], "succs of {id}");
+        }
+        assert_eq!(sim.edge_count(), g.edge_count());
     }
 }

@@ -59,6 +59,18 @@
 //! serialized per task, replica serialized onto its originating core
 //! when no spare is free) are documented on the relevant items and in
 //! DESIGN.md §2.
+//!
+//! ## Memory layout
+//!
+//! The hot path is flat (see `ARCHITECTURE.md` §"Memory layout"):
+//! [`SimGraph`] stores adjacency and transfer sources as CSR arrays
+//! (no per-task `Vec`s), in-flight results live in a struct-of-arrays
+//! [`RecordStore`] (packed flag bitsets) that converts to
+//! [`SimReport`] at the boundary, event-heap entries are packed
+//! [`events::EventKey`]s, and per-node ready queues are intrusive
+//! index-linked lists over one shared arena. `repro bench-sim`
+//! (`scripts/bench.sh`) tracks the resulting throughput and peak
+//! memory per release in `BENCH_sim.json`.
 
 #![deny(missing_docs)]
 
@@ -66,6 +78,8 @@ pub mod cost;
 pub mod events;
 pub mod graph;
 pub mod machine;
+pub(crate) mod ready;
+pub mod records;
 pub mod report;
 pub mod shard;
 pub mod sim;
@@ -74,6 +88,7 @@ pub mod stream;
 pub use cost::{CostModel, PreparedCost};
 pub use graph::{SimGraph, SimTask, SyntheticSpec};
 pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
+pub use records::RecordStore;
 pub use report::{LabelStats, SimReport, SimTaskRecord};
 pub use shard::{simulate_sharded, ShardedConfig};
 pub use sim::{simulate, SimConfig};

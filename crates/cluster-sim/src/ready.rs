@@ -1,0 +1,118 @@
+//! Index-linked FIFO ready queues over one shared arena.
+//!
+//! Both engines used to keep a `VecDeque<u32>` per node — one heap
+//! allocation (and one reallocating ring buffer) per node, a thousand
+//! of them for cluster-scale sweeps. [`ReadyList`] replaces them with
+//! intrusive singly linked lists threaded through a single `next`
+//! arena: each task owns exactly one link slot (a task enters a ready
+//! queue exactly once, when its last predecessor completes), and each
+//! queue is a `(head, tail)` pair of indices. Push and pop are O(1),
+//! FIFO order is preserved, and the whole structure is three flat
+//! vectors regardless of node count.
+
+/// Sentinel for "no task" / "no slot" in heads, tails and links.
+const NONE: u32 = u32::MAX;
+
+/// FIFO ready queues for a set of nodes, stored as intrusive linked
+/// lists over one shared link arena.
+///
+/// Queues hold task **ids** (the values pushed and popped); the link
+/// arena is indexed by a caller-chosen **slot** per task (the task id
+/// itself in the sequential engine, the shard-local index in the
+/// sharded engine) so per-shard arenas stay proportional to the
+/// shard's own task count.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadyList {
+    /// Front task id per queue (`NONE` when empty).
+    head: Vec<u32>,
+    /// Link slot of the back task per queue (`NONE` when empty).
+    tail_slot: Vec<u32>,
+    /// Link arena: `next[slot of id]` is the task queued behind `id`.
+    next: Vec<u32>,
+}
+
+impl ReadyList {
+    /// Empty queues for `queues` nodes and `slots` link positions.
+    pub(crate) fn new(queues: usize, slots: usize) -> Self {
+        ReadyList {
+            head: vec![NONE; queues],
+            tail_slot: vec![NONE; queues],
+            next: vec![NONE; slots],
+        }
+    }
+
+    /// The task at the front of queue `q`, if any.
+    #[inline]
+    pub(crate) fn front(&self, q: usize) -> Option<u32> {
+        let id = self.head[q];
+        (id != NONE).then_some(id)
+    }
+
+    /// Appends task `id` (whose link slot is `slot`) to queue `q`.
+    #[inline]
+    pub(crate) fn push_back(&mut self, q: usize, id: u32, slot: usize) {
+        debug_assert_ne!(id, NONE, "task id collides with the sentinel");
+        debug_assert_eq!(self.next[slot], NONE, "slot already linked");
+        let tail = self.tail_slot[q];
+        if tail == NONE {
+            self.head[q] = id;
+        } else {
+            self.next[tail as usize] = id;
+        }
+        self.tail_slot[q] = slot as u32;
+    }
+
+    /// Removes and returns the front of queue `q`. `slot_of` maps a
+    /// task id to its link-arena slot (only called on the popped id).
+    #[inline]
+    pub(crate) fn pop_front(
+        &mut self,
+        q: usize,
+        slot_of: impl FnOnce(u32) -> usize,
+    ) -> Option<u32> {
+        let id = self.head[q];
+        if id == NONE {
+            return None;
+        }
+        let next = self.next[slot_of(id)];
+        self.head[q] = next;
+        if next == NONE {
+            self.tail_slot[q] = NONE;
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_queue_with_shared_arena() {
+        let mut rl = ReadyList::new(2, 8);
+        rl.push_back(0, 3, 3);
+        rl.push_back(0, 5, 5);
+        rl.push_back(1, 7, 7);
+        rl.push_back(0, 1, 1);
+        assert_eq!(rl.front(0), Some(3));
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(3));
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(5));
+        assert_eq!(rl.front(1), Some(7));
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(1));
+        assert_eq!(rl.pop_front(0, |id| id as usize), None);
+        assert_eq!(rl.pop_front(1, |id| id as usize), Some(7));
+        assert_eq!(rl.front(1), None);
+    }
+
+    #[test]
+    fn emptied_queue_accepts_new_tasks() {
+        let mut rl = ReadyList::new(1, 4);
+        rl.push_back(0, 0, 0);
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(0));
+        rl.push_back(0, 2, 2);
+        rl.push_back(0, 3, 3);
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(2));
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(3));
+        assert_eq!(rl.pop_front(0, |id| id as usize), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Struct-of-arrays storage for in-flight simulation records.
+//!
+//! The engines used to accumulate results in a
+//! `Vec<Option<SimTaskRecord>>` — 72 bytes per task (64-byte record
+//! plus discriminant padding) written field-by-field across the whole
+//! struct. [`RecordStore`] keeps the same data in parallel columns:
+//! one `u32`/`f64` vector per numeric field and one packed bitset per
+//! boolean field, about 29 bytes per task. The per-task `Option` is a
+//! single bit in the `filled` set, and whole-column reductions (the
+//! sharded engine's makespan fold) scan one dense `f64` array instead
+//! of striding through records. At the simulation boundary the store
+//! converts back to [`SimTaskRecord`]s, so [`crate::SimReport`] — and
+//! its serde output — is unchanged.
+
+use crate::report::SimTaskRecord;
+
+/// A packed bitset sized at construction.
+#[derive(Debug, Clone)]
+struct Bits(Vec<u64>);
+
+impl Bits {
+    fn new(len: usize) -> Self {
+        Bits(vec![0; len.div_ceil(64)])
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0[i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    #[inline]
+    fn assign(&mut self, i: usize, v: bool) {
+        let (w, m) = (i >> 6, 1u64 << (i & 63));
+        if v {
+            self.0[w] |= m;
+        } else {
+            self.0[w] &= !m;
+        }
+    }
+}
+
+/// Column-major storage for one engine's (or one shard's) task
+/// records, indexed by a caller-chosen dense slot (the task id in the
+/// sequential engine, the shard-local index in the sharded engine).
+///
+/// The `task` field of [`SimTaskRecord`] is *not* stored: the
+/// slot→task mapping is the caller's, and is supplied back to
+/// [`RecordStore::get`] at conversion time.
+#[derive(Debug, Clone)]
+pub struct RecordStore {
+    node: Vec<u32>,
+    dispatched: Vec<f64>,
+    completed: Vec<f64>,
+    base_secs: Vec<f64>,
+    replicated: Bits,
+    sdc_detected: Bits,
+    due_recovered: Bits,
+    uncovered_sdc: Bits,
+    uncovered_due: Bits,
+    is_barrier: Bits,
+    filled: Bits,
+}
+
+impl RecordStore {
+    /// An empty store with `len` slots.
+    pub fn new(len: usize) -> Self {
+        RecordStore {
+            node: vec![0; len],
+            dispatched: vec![0.0; len],
+            completed: vec![0.0; len],
+            base_secs: vec![0.0; len],
+            replicated: Bits::new(len),
+            sdc_detected: Bits::new(len),
+            due_recovered: Bits::new(len),
+            uncovered_sdc: Bits::new(len),
+            uncovered_due: Bits::new(len),
+            is_barrier: Bits::new(len),
+            filled: Bits::new(len),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.node.len()
+    }
+
+    /// `true` if the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_empty()
+    }
+
+    /// Whether `slot` has been written.
+    #[inline]
+    pub fn is_set(&self, slot: usize) -> bool {
+        self.filled.get(slot)
+    }
+
+    /// Stores `rec` in `slot` (every field except `rec.task`, whose
+    /// mapping the caller owns). Each slot is written exactly once per
+    /// simulation.
+    #[inline]
+    pub fn set(&mut self, slot: usize, rec: &SimTaskRecord) {
+        debug_assert!(!self.filled.get(slot), "slot {slot} written twice");
+        self.node[slot] = rec.node;
+        self.dispatched[slot] = rec.dispatched;
+        self.completed[slot] = rec.completed;
+        self.base_secs[slot] = rec.base_secs;
+        self.replicated.assign(slot, rec.replicated);
+        self.sdc_detected.assign(slot, rec.sdc_detected);
+        self.due_recovered.assign(slot, rec.due_recovered);
+        self.uncovered_sdc.assign(slot, rec.uncovered_sdc);
+        self.uncovered_due.assign(slot, rec.uncovered_due);
+        self.is_barrier.assign(slot, rec.is_barrier);
+        self.filled.assign(slot, true);
+    }
+
+    /// Reassembles the record in `slot` as task `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never written — the engines' "all tasks
+    /// simulated" invariant, previously the `Option::expect` on every
+    /// record.
+    #[inline]
+    pub fn get(&self, slot: usize, task: u32) -> SimTaskRecord {
+        assert!(self.filled.get(slot), "task {task} was never simulated");
+        SimTaskRecord {
+            task,
+            node: self.node[slot],
+            dispatched: self.dispatched[slot],
+            completed: self.completed[slot],
+            base_secs: self.base_secs[slot],
+            replicated: self.replicated.get(slot),
+            sdc_detected: self.sdc_detected.get(slot),
+            due_recovered: self.due_recovered.get(slot),
+            uncovered_sdc: self.uncovered_sdc.get(slot),
+            uncovered_due: self.uncovered_due.get(slot),
+            is_barrier: self.is_barrier.get(slot),
+        }
+    }
+
+    /// Maximum completion time across all filled slots (0.0 when none
+    /// are filled) — one dense column scan, used for the makespan fold.
+    pub fn max_completed(&self) -> f64 {
+        self.completed
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.filled.get(i))
+            .map(|(_, &c)| c)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(task: u32, flags: u8) -> SimTaskRecord {
+        SimTaskRecord {
+            task,
+            node: task * 3 + 1,
+            dispatched: f64::from(task) * 0.5,
+            completed: f64::from(task) * 0.5 + 2.25,
+            base_secs: 1.0 + f64::from(task),
+            replicated: flags & 1 != 0,
+            sdc_detected: flags & 2 != 0,
+            due_recovered: flags & 4 != 0,
+            uncovered_sdc: flags & 8 != 0,
+            uncovered_due: flags & 16 != 0,
+            is_barrier: flags & 32 != 0,
+        }
+    }
+
+    /// Every flag field survives the store → record round trip, alone
+    /// and in combination — the SoA bitsets must not alias each other.
+    #[test]
+    fn round_trips_every_flag_field() {
+        // 64 flag combinations plus the all-off and all-on extremes,
+        // spread across word boundaries of the bitsets.
+        let n = 70usize;
+        let mut store = RecordStore::new(n);
+        let expected: Vec<SimTaskRecord> = (0..n).map(|i| rec(i as u32, (i % 64) as u8)).collect();
+        // Fill out of order to exercise slot independence.
+        for i in (0..n).rev() {
+            store.set(i, &expected[i]);
+        }
+        for (i, want) in expected.iter().enumerate() {
+            assert!(store.is_set(i));
+            assert_eq!(store.get(i, want.task), *want, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn max_completed_ignores_unfilled_slots() {
+        let mut store = RecordStore::new(4);
+        assert_eq!(store.max_completed(), 0.0);
+        store.set(2, &rec(2, 0));
+        store.set(0, &rec(0, 1));
+        assert_eq!(store.max_completed(), 2.0 * 0.5 + 2.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "never simulated")]
+    fn reading_an_unfilled_slot_panics() {
+        let store = RecordStore::new(2);
+        let _ = store.get(1, 1);
+    }
+}

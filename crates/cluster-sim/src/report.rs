@@ -1,5 +1,7 @@
 //! Simulation results and the aggregate metrics behind Figures 4–6.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 /// Per-task simulation record.
@@ -30,60 +32,142 @@ pub struct SimTaskRecord {
     pub is_barrier: bool,
 }
 
+/// Every aggregate the per-metric accessors serve, computed together
+/// in one pass over the records and cached — callers that read several
+/// metrics (the sweep driver reads six per cell) scan a million-record
+/// report once instead of once per metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Aggregates {
+    tasks: usize,
+    barriers: usize,
+    base_time: f64,
+    replicated: usize,
+    replicated_time: f64,
+    sdc_detected: usize,
+    due_recovered: usize,
+    uncovered_sdc: usize,
+    uncovered_due: usize,
+}
+
 /// The result of one simulation run.
 ///
 /// `PartialEq` compares exactly (including float fields bit-for-bit on
 /// equal values) — the sharded engine's determinism tests rely on it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Records are immutable once constructed (read them via
+/// [`SimReport::records`]), which is what makes the lazily computed
+/// aggregate cache sound.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SimReport {
     /// Virtual makespan in seconds.
     pub makespan: f64,
     /// Worker cores in the simulated cluster.
     pub total_cores: usize,
-    /// One record per task.
-    pub records: Vec<SimTaskRecord>,
+    /// One record per task (private: mutation would invalidate the
+    /// aggregate cache).
+    records: Vec<SimTaskRecord>,
+    /// Single-pass aggregate cache, filled on first metric access.
+    #[serde(skip)]
+    stats: OnceLock<Aggregates>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.makespan == other.makespan
+            && self.total_cores == other.total_cores
+            && self.records == other.records
+    }
+}
+
+impl Clone for SimReport {
+    fn clone(&self) -> Self {
+        SimReport {
+            makespan: self.makespan,
+            total_cores: self.total_cores,
+            records: self.records.clone(),
+            stats: self.stats.clone(),
+        }
+    }
 }
 
 impl SimReport {
+    /// Assembles a report from an engine's outputs.
+    pub fn new(makespan: f64, total_cores: usize, records: Vec<SimTaskRecord>) -> Self {
+        SimReport {
+            makespan,
+            total_cores,
+            records,
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// One record per task, in task-id order.
+    pub fn records(&self) -> &[SimTaskRecord] {
+        &self.records
+    }
+
     fn compute_records(&self) -> impl Iterator<Item = &SimTaskRecord> {
         self.records.iter().filter(|r| !r.is_barrier)
     }
 
+    /// The cached aggregates, computed in a single pass on first use.
+    fn stats(&self) -> &Aggregates {
+        self.stats.get_or_init(|| {
+            let mut a = Aggregates::default();
+            for r in &self.records {
+                if r.is_barrier {
+                    a.barriers += 1;
+                    continue;
+                }
+                a.tasks += 1;
+                a.base_time += r.base_secs;
+                if r.replicated {
+                    a.replicated += 1;
+                    a.replicated_time += r.base_secs;
+                }
+                a.sdc_detected += usize::from(r.sdc_detected);
+                a.due_recovered += usize::from(r.due_recovered);
+                a.uncovered_sdc += usize::from(r.uncovered_sdc);
+                a.uncovered_due += usize::from(r.uncovered_due);
+            }
+            a
+        })
+    }
+
     /// Number of non-barrier tasks.
     pub fn task_count(&self) -> usize {
-        self.compute_records().count()
+        self.stats().tasks
+    }
+
+    /// Number of barrier pseudo-tasks.
+    pub fn barrier_count(&self) -> usize {
+        self.stats().barriers
     }
 
     /// Sum of unprotected kernel time (the denominator of the paper's
     /// "% computation time replicated").
     pub fn total_base_time(&self) -> f64 {
-        self.compute_records().map(|r| r.base_secs).sum()
+        self.stats().base_time
     }
 
     /// Fraction of tasks replicated (Fig. 3 metric).
     pub fn replicated_task_fraction(&self) -> f64 {
-        let n = self.task_count();
-        if n == 0 {
+        let s = self.stats();
+        if s.tasks == 0 {
             return 0.0;
         }
-        self.compute_records().filter(|r| r.replicated).count() as f64 / n as f64
+        s.replicated as f64 / s.tasks as f64
     }
 
     /// Fraction of computation time belonging to replicated tasks
     /// (Fig. 3 metric).
     pub fn replicated_time_fraction(&self) -> f64 {
-        let total = self.total_base_time();
-        if total == 0.0 {
+        let s = self.stats();
+        if s.base_time == 0.0 {
             return 0.0;
         }
-        let replicated = self
-            .compute_records()
-            .filter(|r| r.replicated)
-            .map(|r| r.base_secs)
-            .sum::<f64>();
-        // An empty `f64` sum is -0.0; keep the zero positive so
-        // formatted tables don't show "-0.0%".
-        replicated.max(0.0) / total
+        // Keep the zero positive so formatted tables don't show
+        // "-0.0%".
+        s.replicated_time.max(0.0) / s.base_time
     }
 
     /// Speedup of this run relative to `baseline` (same workload on a
@@ -100,22 +184,22 @@ impl SimReport {
 
     /// Detected-SDC count.
     pub fn sdc_detected_count(&self) -> usize {
-        self.compute_records().filter(|r| r.sdc_detected).count()
+        self.stats().sdc_detected
     }
 
     /// Recovered-crash count.
     pub fn due_recovered_count(&self) -> usize {
-        self.compute_records().filter(|r| r.due_recovered).count()
+        self.stats().due_recovered
     }
 
     /// Unprotected SDC strikes.
     pub fn uncovered_sdc_count(&self) -> usize {
-        self.compute_records().filter(|r| r.uncovered_sdc).count()
+        self.stats().uncovered_sdc
     }
 
     /// Unprotected DUE strikes (application-fatal in the paper's model).
     pub fn uncovered_due_count(&self) -> usize {
-        self.compute_records().filter(|r| r.uncovered_due).count()
+        self.stats().uncovered_due
     }
 
     /// Per-task-kind replication breakdown — the paper's Figure-3
@@ -208,10 +292,10 @@ mod tests {
         g.submit(TaskSpec::new("alpha").writes(Region::contiguous(v, 1, 1)));
         g.submit(TaskSpec::new("beta").writes(Region::contiguous(v, 2, 1)));
         let sim = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |_| 0);
-        let report = SimReport {
-            makespan: 1.0,
-            total_cores: 1,
-            records: vec![
+        let report = SimReport::new(
+            1.0,
+            1,
+            vec![
                 SimTaskRecord {
                     task: 0,
                     replicated: true,
@@ -229,7 +313,7 @@ mod tests {
                     ..rec(4.0, true)
                 },
             ],
-        };
+        );
         let stats = report.label_breakdown(&sim);
         assert_eq!(stats.len(), 2);
         let alpha = stats.iter().find(|s| s.label == "alpha").unwrap();
@@ -243,20 +327,38 @@ mod tests {
 
     #[test]
     fn fractions_and_speedup() {
-        let a = SimReport {
-            makespan: 10.0,
-            total_cores: 1,
-            records: vec![rec(1.0, true), rec(3.0, false)],
-        };
-        let b = SimReport {
-            makespan: 5.0,
-            total_cores: 2,
-            records: vec![],
-        };
+        let a = SimReport::new(10.0, 1, vec![rec(1.0, true), rec(3.0, false)]);
+        let b = SimReport::new(5.0, 2, vec![]);
         assert_eq!(a.replicated_task_fraction(), 0.5);
         assert_eq!(a.replicated_time_fraction(), 0.25);
         assert_eq!(b.speedup_over(&a), 2.0);
         assert!((a.overhead_over(&b) - 1.0).abs() < 1e-12);
         assert_eq!(a.total_base_time(), 4.0);
+    }
+
+    #[test]
+    fn aggregates_count_barriers_and_faults_in_one_pass() {
+        let mut barrier = rec(0.0, false);
+        barrier.is_barrier = true;
+        let mut sdc = rec(1.0, true);
+        sdc.sdc_detected = true;
+        let mut due = rec(1.0, false);
+        due.uncovered_due = true;
+        let report = SimReport::new(3.0, 4, vec![barrier, sdc, due, rec(2.0, false)]);
+        assert_eq!(report.task_count(), 3);
+        assert_eq!(report.barrier_count(), 1);
+        assert_eq!(report.sdc_detected_count(), 1);
+        assert_eq!(report.uncovered_due_count(), 1);
+        assert_eq!(report.due_recovered_count(), 0);
+        assert_eq!(report.uncovered_sdc_count(), 0);
+        assert_eq!(report.total_base_time(), 4.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_aggregate_cache() {
+        let a = SimReport::new(1.0, 1, vec![rec(1.0, true)]);
+        let b = a.clone();
+        let _ = a.task_count(); // warm a's cache only
+        assert_eq!(a, b);
     }
 }

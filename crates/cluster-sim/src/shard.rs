@@ -50,11 +50,13 @@ use std::collections::BinaryHeap;
 use appfit_core::{DecisionCtx, EpochDecider, EpochDecision};
 
 use crate::cost::PreparedCost;
-use crate::events::{EpochCalendar, EventBatch};
+use crate::events::{EpochCalendar, EventBatch, EventKey, SortScratch};
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ShardMap;
+use crate::ready::ReadyList;
+use crate::records::RecordStore;
 use crate::report::{SimReport, SimTaskRecord};
-use crate::sim::{dispatch_task, NodeState, SimConfig, Time};
+use crate::sim::{dispatch_task, NodeState, SimConfig};
 
 /// Sharding parameters for [`simulate_sharded`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,12 +100,14 @@ impl ShardedConfig {
     /// events while cross-node quantization stays small against the
     /// makespan. Falls back to 1 s for empty or zero-cost graphs.
     pub fn auto(graph: &SimGraph, cfg: &SimConfig, shards: usize) -> Self {
-        let node = &cfg.cluster.node;
+        // The prepared form evaluates the same expressions as
+        // `CostModel::kernel_secs` (bit-identical), without redoing the
+        // unit conversions for every task of a million-task graph.
+        let cost = cfg.cost.prepare(&cfg.cluster.node);
+        let cores = cfg.cluster.node.cores;
         let (mut total, mut count) = (0.0f64, 0u64);
         for t in graph.tasks().iter().filter(|t| !t.is_barrier) {
-            total += cfg
-                .cost
-                .kernel_secs(node, node.cores, t.flops, t.bytes_in, t.bytes_out);
+            total += cost.kernel_secs(cores, t.flops, t.bytes_in, t.bytes_out);
             count += 1;
         }
         let mean = if count == 0 {
@@ -125,13 +129,32 @@ impl ShardedConfig {
 /// the shard layout — and on a single node the order reduces to exact
 /// dispatch order, which keeps stateful-policy accumulation (a
 /// non-associative float sum) bit-identical to the sequential engine.
+///
+/// The three order components are pre-packed into one `u128` (time
+/// through [`crate::events::time_to_bits`], then node, then seq) so
+/// the single-threaded barrier sort is one integer key compare instead
+/// of a three-way `total_cmp` chain; the key is unique per decision
+/// (`node_seq` ranks within a node), so an unstable sort is
+/// deterministic.
 #[derive(Debug, Clone, Copy)]
 struct DecisionRec {
-    time: f64,
-    node: u32,
-    node_seq: u32,
+    /// `time_to_bits(time) << 64 | node << 32 | node_seq`.
+    key: u128,
     task: u32,
     replicate: bool,
+}
+
+impl DecisionRec {
+    #[inline]
+    fn new(time: f64, node: u32, node_seq: u32, task: u32, replicate: bool) -> Self {
+        DecisionRec {
+            key: (u128::from(crate::events::time_to_bits(time)) << 64)
+                | (u128::from(node) << 32)
+                | u128::from(node_seq),
+            task,
+            replicate,
+        }
+    }
 }
 
 /// One shard's private simulation state.
@@ -140,14 +163,17 @@ struct ShardState {
     first_node: usize,
     /// Scheduling state per owned node.
     nodes: Vec<NodeState>,
+    /// FIFO ready queues for the owned nodes (link slots are
+    /// shard-local task indices).
+    ready: ReadyList,
     /// Remaining predecessor count per owned task (local index).
     indegree: Vec<u32>,
-    /// Completed-task records (local index).
-    records: Vec<Option<SimTaskRecord>>,
-    /// Current-window completion events: `(time, seq, task)`.
-    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    /// Completed-task records, struct-of-arrays (local index).
+    records: RecordStore,
+    /// Current-window completion events, packed `(time, seq, task)`.
+    heap: BinaryHeap<Reverse<EventKey>>,
     /// Tie-break sequence for the heap.
-    seq: u64,
+    seq: u32,
     /// Future-window completion events, batched per epoch.
     calendar: EpochCalendar,
     /// Cross-node activations delivered to this shard at the last
@@ -155,6 +181,8 @@ struct ShardState {
     inbox: EventBatch,
     /// Cross-node activations produced this window.
     outbox: EventBatch,
+    /// Reused permutation scratch for calendar-batch sorts.
+    scratch: SortScratch,
     /// Replication decisions taken this window.
     decisions: Vec<DecisionRec>,
     /// Completions processed so far.
@@ -173,11 +201,7 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     let map = ShardMap::new(nodes, shard_cfg.shards);
 
     if n == 0 {
-        return SimReport {
-            makespan: 0.0,
-            total_cores: cfg.cluster.total_cores(),
-            records: Vec::new(),
-        };
+        return SimReport::new(0.0, cfg.cluster.total_cores(), Vec::new());
     }
 
     // Per-task shard-local index, and per-shard task counts.
@@ -198,16 +222,19 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     let mut shards: Vec<ShardState> = (0..map.shards())
         .map(|s| {
             let range = map.range(s);
+            let owned_nodes = range.len();
             ShardState {
                 first_node: range.start,
                 nodes: range.map(|_| NodeState::new(&cfg.cluster)).collect(),
+                ready: ReadyList::new(owned_nodes, counts[s]),
                 indegree: Vec::with_capacity(counts[s]),
-                records: vec![None; counts[s]],
+                records: RecordStore::new(counts[s]),
                 heap: BinaryHeap::new(),
                 seq: 0,
                 calendar: EpochCalendar::new(),
                 inbox: EventBatch::new(),
                 outbox: EventBatch::new(),
+                scratch: SortScratch::default(),
                 decisions: Vec::new(),
                 done: 0,
             }
@@ -219,10 +246,12 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     for t in tasks {
         let s = map.shard_of(t.node as usize);
         let shard = &mut shards[s];
-        shard.indegree.push(t.preds.len() as u32);
-        if t.preds.is_empty() {
+        shard.indegree.push(graph.preds(t.id).len() as u32);
+        if graph.preds(t.id).is_empty() {
             let ln = t.node as usize - shard.first_node;
-            shard.nodes[ln].ready.push_back(t.id);
+            shard
+                .ready
+                .push_back(ln, t.id, local_of[t.id as usize] as usize);
         }
     }
 
@@ -231,6 +260,11 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     let cost = cfg.cost.prepare(&cfg.cluster.node);
     let mut window: u64 = 0;
     let mut first_window = true;
+    // Barrier-phase buffers, reused across windows.
+    let mut messages = EventBatch::new();
+    let mut barrier_scratch = SortScratch::default();
+    let mut all_decisions: Vec<DecisionRec> = Vec::new();
+    let mut committed: Vec<EpochDecision> = Vec::new();
 
     loop {
         // ---- compute phase: every shard advances through the window.
@@ -239,7 +273,7 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
             for shard in &mut shards {
                 process_window(
                     shard,
-                    tasks,
+                    graph,
                     cfg,
                     &cost,
                     &local_of,
@@ -257,7 +291,7 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
                         for shard in chunk_shards {
                             process_window(
                                 shard,
-                                tasks,
+                                graph,
                                 cfg,
                                 cost,
                                 local_of,
@@ -276,33 +310,26 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         // advance the window. Single-threaded by design: this is the
         // global sequencing point that makes cross-shard effects
         // commute.
-        let mut all_decisions: Vec<DecisionRec> = Vec::new();
+        all_decisions.clear();
         for shard in &mut shards {
             all_decisions.append(&mut shard.decisions);
         }
         if !all_decisions.is_empty() {
-            all_decisions.sort_by(|a, b| {
-                a.time
-                    .total_cmp(&b.time)
-                    .then(a.node.cmp(&b.node))
-                    .then(a.node_seq.cmp(&b.node_seq))
-            });
-            let committed: Vec<EpochDecision> = all_decisions
-                .iter()
-                .map(|d| EpochDecision {
-                    ctx: decision_ctx(&tasks[d.task as usize]),
-                    replicate: d.replicate,
-                })
-                .collect();
+            all_decisions.sort_unstable_by_key(|d| d.key);
+            committed.clear();
+            committed.extend(all_decisions.iter().map(|d| EpochDecision {
+                ctx: decision_ctx(&tasks[d.task as usize]),
+                replicate: d.replicate,
+            }));
             cfg.policy.commit_epoch(&committed);
         }
 
-        let mut messages = EventBatch::new();
+        messages.clear();
         for shard in &mut shards {
             messages.extend_from(&shard.outbox);
             shard.outbox.clear();
         }
-        messages.sort_canonical();
+        messages.sort_canonical(&mut barrier_scratch);
         let any_messages = !messages.is_empty();
         for (time, task) in messages.iter() {
             let s = map.shard_of(tasks[task as usize].node as usize);
@@ -326,30 +353,25 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     }
 
     // ---- merge shard records into submission order.
-    let mut records: Vec<Option<SimTaskRecord>> = vec![None; n];
+    let mut records: Vec<SimTaskRecord> = Vec::with_capacity(n);
     for t in tasks {
         let s = map.shard_of(t.node as usize);
         let li = local_of[t.id as usize] as usize;
-        records[t.id as usize] = shards[s].records[li].take();
+        records.push(shards[s].records.get(li, t.id));
     }
-    let records: Vec<SimTaskRecord> = records
-        .into_iter()
-        .map(|r| r.expect("all simulated"))
-        .collect();
-    let makespan = records.iter().map(|r| r.completed).fold(0.0f64, f64::max);
+    let makespan = shards
+        .iter()
+        .map(|s| s.records.max_completed())
+        .fold(0.0f64, f64::max);
 
-    SimReport {
-        makespan,
-        total_cores: cfg.cluster.total_cores(),
-        records,
-    }
+    SimReport::new(makespan, cfg.cluster.total_cores(), records)
 }
 
 /// Advances one shard through the window `[window·epoch, (window+1)·epoch)`.
 #[allow(clippy::too_many_arguments)]
 fn process_window<'c>(
     shard: &mut ShardState,
-    tasks: &[SimTask],
+    graph: &SimGraph,
     cfg: &'c SimConfig,
     cost: &PreparedCost,
     local_of: &[u32],
@@ -357,6 +379,7 @@ fn process_window<'c>(
     epoch: f64,
     first_window: bool,
 ) {
+    let tasks = graph.tasks();
     let w_start = window as f64 * epoch;
     let w_end = (window + 1) as f64 * epoch;
     // One policy fork per node per window, opened lazily on the first
@@ -377,7 +400,7 @@ fn process_window<'c>(
         let _ = time; // readiness is quantized to the barrier
         if shard.indegree[li] == 0 {
             let ln = tasks[task as usize].node as usize - shard.first_node;
-            shard.nodes[ln].ready.push_back(task);
+            shard.ready.push_back(ln, task, li);
             if !woken.contains(&ln) {
                 woken.push(ln);
             }
@@ -389,17 +412,20 @@ fn process_window<'c>(
     // simultaneous completions keep dispatch order — the sequential
     // engine's tie-break.
     if let Some(mut batch) = shard.calendar.take(window) {
-        batch.sort_stable_by_time();
+        batch.sort_stable_by_time(&mut shard.scratch);
         for (time, task) in batch.iter() {
-            shard.heap.push(Reverse((Time(time), shard.seq, task)));
+            shard
+                .heap
+                .push(Reverse(EventKey::new(time, shard.seq, task)));
             shard.seq += 1;
         }
+        shard.calendar.recycle(batch);
     }
 
     // The first window seeds source tasks at t = 0.
     if first_window {
         woken = (0..shard.nodes.len())
-            .filter(|&ln| !shard.nodes[ln].ready.is_empty())
+            .filter(|&ln| shard.ready.front(ln).is_some())
             .collect();
     }
     for ln in woken {
@@ -411,7 +437,7 @@ fn process_window<'c>(
             w_start,
             epoch,
             window,
-            tasks,
+            graph,
             cfg,
             cost,
             local_of,
@@ -420,7 +446,8 @@ fn process_window<'c>(
 
     // Event loop: by construction the heap only ever holds events of
     // the current window.
-    while let Some(Reverse((Time(now), _, id))) = shard.heap.pop() {
+    while let Some(Reverse(key)) = shard.heap.pop() {
+        let (now, id) = (key.time(), key.task());
         debug_assert!(now < w_end || epoch <= 0.0, "event leaked past window");
         shard.done += 1;
         let task = &tasks[id as usize];
@@ -428,14 +455,14 @@ fn process_window<'c>(
         if !task.is_barrier {
             shard.nodes[ln].free_cores += 1;
         }
-        for &succ in &task.succs {
+        for &succ in graph.succs(id) {
             let st = &tasks[succ as usize];
             if st.node == task.node {
                 // Same node: event-exact activation.
                 let li = local_of[succ as usize] as usize;
                 shard.indegree[li] -= 1;
                 if shard.indegree[li] == 0 {
-                    shard.nodes[ln].ready.push_back(succ);
+                    shard.ready.push_back(ln, succ, li);
                 }
             } else {
                 // Any other node — even on this shard — defers to the
@@ -451,7 +478,7 @@ fn process_window<'c>(
             now,
             epoch,
             window,
-            tasks,
+            graph,
             cfg,
             cost,
             local_of,
@@ -472,45 +499,52 @@ fn dispatch_node<'c>(
     now: f64,
     epoch: f64,
     window: u64,
-    tasks: &[SimTask],
+    graph: &SimGraph,
     cfg: &'c SimConfig,
     cost: &PreparedCost,
     local_of: &[u32],
 ) {
+    let tasks = graph.tasks();
     let w_end = (window + 1) as f64 * epoch;
     loop {
+        let Some(front) = shard.ready.front(ln) else {
+            return;
+        };
         let ns = &mut shard.nodes[ln];
-        let startable =
-            !ns.ready.is_empty() && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier);
-        if !startable {
+        if ns.free_cores == 0 && !tasks[front as usize].is_barrier {
             return;
         }
-        let id = ns.ready.pop_front().expect("nonempty");
+        let id = shard
+            .ready
+            .pop_front(ln, |t| local_of[t as usize] as usize)
+            .expect("nonempty");
         let task = &tasks[id as usize];
         let fork = forks[ln].get_or_insert_with(|| cfg.policy.fork_epoch());
         let mut decided: Option<bool> = None;
         let (record, completion, uses_core) =
-            dispatch_task(tasks, task, ns, now, cfg, cost, &mut |ctx| {
+            dispatch_task(graph, task, ns, now, cfg, cost, &mut |ctx| {
                 let replicate = fork.decide(ctx);
                 decided = Some(replicate);
                 replicate
             });
         if let Some(replicate) = decided {
-            shard.decisions.push(DecisionRec {
-                time: now,
-                node: task.node,
-                node_seq: node_seqs[ln],
-                task: id,
+            shard.decisions.push(DecisionRec::new(
+                now,
+                task.node,
+                node_seqs[ln],
+                id,
                 replicate,
-            });
+            ));
             node_seqs[ln] += 1;
         }
         if uses_core {
             ns.free_cores -= 1;
         }
-        shard.records[local_of[id as usize] as usize] = Some(record);
+        shard.records.set(local_of[id as usize] as usize, &record);
         if completion < w_end {
-            shard.heap.push(Reverse((Time(completion), shard.seq, id)));
+            shard
+                .heap
+                .push(Reverse(EventKey::new(completion, shard.seq, id)));
             shard.seq += 1;
         } else {
             // The epoch index comes from the absolute time on the
@@ -634,7 +668,7 @@ mod tests {
             &ShardedConfig::new(2, 1.0),
         );
         assert_eq!(report.makespan, 0.0);
-        assert!(report.records.is_empty());
+        assert!(report.records().is_empty());
     }
 
     /// The headline contract half 1: on a single node the sharded
@@ -796,6 +830,6 @@ mod tests {
         let sc = ShardedConfig::auto(&g, &cfg, 4);
         assert!(sc.epoch > 0.0);
         let report = simulate_sharded(&g, &cfg, &sc);
-        assert_eq!(report.records.len(), g.len());
+        assert_eq!(report.records().len(), g.len());
     }
 }

@@ -1,15 +1,18 @@
 //! The discrete-event simulation loop.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use appfit_core::{DecisionCtx, ReplicationPolicy};
 use fault_inject::{ErrorClass, FaultModel, InjectionConfig, InjectionDecision};
 
 use crate::cost::{CostModel, PreparedCost};
+use crate::events::EventKey;
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ClusterSpec;
+use crate::ready::ReadyList;
+use crate::records::RecordStore;
 use crate::report::{SimReport, SimTaskRecord};
 
 /// Everything a simulation run needs besides the graph.
@@ -27,31 +30,14 @@ pub struct SimConfig {
     pub injection: InjectionConfig,
 }
 
-/// Totally ordered f64 for the event heap (shared with the sharded
-/// engine's per-shard heaps).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct Time(pub(crate) f64);
-
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
 /// Per-node scheduling state, shared between the sequential engine and
 /// the sharded engine (`crate::shard`) so both compute identical
-/// per-task timelines.
+/// per-task timelines. Ready queues live outside, in a shared
+/// [`ReadyList`] arena.
 pub(crate) struct NodeState {
     pub(crate) free_cores: usize,
     /// Next-free time of each spare (replica-only) core.
     pub(crate) spare_free: Vec<f64>,
-    pub(crate) ready: VecDeque<u32>,
 }
 
 impl NodeState {
@@ -60,7 +46,6 @@ impl NodeState {
         NodeState {
             free_cores: cluster.node.cores,
             spare_free: vec![0.0; cluster.node.spare_cores],
-            ready: VecDeque::new(),
         }
     }
 }
@@ -68,16 +53,24 @@ impl NodeState {
 /// Runs the simulation. Deterministic: ties in the event heap break by
 /// insertion sequence, ready queues are FIFO, and policy decisions
 /// happen in dispatch order.
+///
+/// Dispatch visits nodes in ascending node order. Only nodes whose
+/// state changed since the last drain (a freed core or a newly ready
+/// task) are visited — every other node is still drained from before,
+/// so the dispatch sequence (and with it every policy decision and
+/// heap tie-break) is identical to scanning all nodes.
 pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
     let tasks = graph.tasks();
     let n = tasks.len();
     let nodes = cfg.cluster.nodes;
-    let mut indegree: Vec<u32> = tasks.iter().map(|t| t.preds.len() as u32).collect();
+    let mut indegree: Vec<u32> = (0..n as u32).map(|i| graph.preds(i).len() as u32).collect();
     let mut state: Vec<NodeState> = (0..nodes).map(|_| NodeState::new(&cfg.cluster)).collect();
-    let mut records: Vec<Option<SimTaskRecord>> = (0..n).map(|_| None).collect();
-    // Completion events: (time, seq, task). `seq` keeps ties FIFO.
-    let mut heap: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let mut ready = ReadyList::new(nodes, n);
+    let mut records = RecordStore::new(n);
+    // Completion events, packed `(time, seq, task)`. `seq` keeps ties
+    // FIFO.
+    let mut heap: BinaryHeap<Reverse<EventKey>> = BinaryHeap::new();
+    let mut seq = 0u32;
     let mut makespan = 0.0f64;
     let cost = cfg.cost.prepare(&cfg.cluster.node);
 
@@ -88,14 +81,18 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
             t.id,
             t.node
         );
-        if t.preds.is_empty() {
-            state[t.node as usize].ready.push_back(t.id);
+        if graph.preds(t.id).is_empty() {
+            ready.push_back(t.node as usize, t.id, t.id as usize);
         }
     }
 
+    // Seed dispatch visits every node; afterwards only woken nodes.
+    let mut woken: Vec<u32> = (0..nodes as u32).collect();
     dispatch_ready(
-        tasks,
+        graph,
         &mut state,
+        &mut ready,
+        &woken,
         &mut heap,
         &mut seq,
         &mut records,
@@ -105,23 +102,31 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
     );
 
     let mut done = 0usize;
-    while let Some(Reverse((Time(now), _, id))) = heap.pop() {
+    while let Some(Reverse(key)) = heap.pop() {
+        let (now, id) = (key.time(), key.task());
         done += 1;
         makespan = makespan.max(now);
         let task = &tasks[id as usize];
+        woken.clear();
+        woken.push(task.node);
         if !task.is_barrier {
             state[task.node as usize].free_cores += 1;
         }
-        for &s in &task.succs {
+        for &s in graph.succs(id) {
             indegree[s as usize] -= 1;
             if indegree[s as usize] == 0 {
-                let owner = tasks[s as usize].node as usize;
-                state[owner].ready.push_back(s);
+                let owner = tasks[s as usize].node;
+                ready.push_back(owner as usize, s, s as usize);
+                woken.push(owner);
             }
         }
+        woken.sort_unstable();
+        woken.dedup();
         dispatch_ready(
-            tasks,
+            graph,
             &mut state,
+            &mut ready,
+            &woken,
             &mut heap,
             &mut seq,
             &mut records,
@@ -132,43 +137,48 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
     }
     assert_eq!(done, n, "cycle or lost task in simulation graph");
 
-    SimReport {
+    SimReport::new(
         makespan,
-        total_cores: cfg.cluster.total_cores(),
-        records: records
-            .into_iter()
-            .map(|r| r.expect("all simulated"))
-            .collect(),
-    }
+        cfg.cluster.total_cores(),
+        (0..n).map(|i| records.get(i, i as u32)).collect(),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
 fn dispatch_ready(
-    tasks: &[SimTask],
+    graph: &SimGraph,
     state: &mut [NodeState],
-    heap: &mut BinaryHeap<Reverse<(Time, u64, u32)>>,
-    seq: &mut u64,
-    records: &mut [Option<SimTaskRecord>],
+    ready: &mut ReadyList,
+    woken: &[u32],
+    heap: &mut BinaryHeap<Reverse<EventKey>>,
+    seq: &mut u32,
+    records: &mut RecordStore,
     now: f64,
     cfg: &SimConfig,
     cost: &PreparedCost,
 ) {
-    for ns in state.iter_mut() {
-        while !ns.ready.is_empty() && (ns.free_cores > 0 || tasks[ns.ready[0] as usize].is_barrier)
-        {
-            let id = ns.ready.pop_front().expect("nonempty");
+    let tasks = graph.tasks();
+    for &node in woken {
+        let ns = &mut state[node as usize];
+        while let Some(front) = ready.front(node as usize) {
+            if ns.free_cores == 0 && !tasks[front as usize].is_barrier {
+                break;
+            }
+            let id = ready
+                .pop_front(node as usize, |t| t as usize)
+                .expect("nonempty");
             let task = &tasks[id as usize];
             let (record, completion, uses_core) =
-                dispatch_task(tasks, task, ns, now, cfg, cost, &mut |ctx| {
+                dispatch_task(graph, task, ns, now, cfg, cost, &mut |ctx| {
                     let replicate = cfg.policy.decide(ctx);
                     cfg.policy.on_complete(ctx, replicate);
                     replicate
                 });
-            records[id as usize] = Some(record);
+            records.set(id as usize, &record);
             if uses_core {
                 ns.free_cores -= 1;
             }
-            heap.push(Reverse((Time(completion), *seq, id)));
+            heap.push(Reverse(EventKey::new(completion, *seq, id)));
             *seq += 1;
         }
     }
@@ -187,7 +197,7 @@ fn dispatch_ready(
 /// snapshot, protection and recovery timing — is this one shared code
 /// path, which is what makes the engines bit-comparable.
 pub(crate) fn dispatch_task(
-    tasks: &[SimTask],
+    graph: &SimGraph,
     task: &SimTask,
     ns: &mut NodeState,
     now: f64,
@@ -214,11 +224,10 @@ pub(crate) fn dispatch_task(
 
     // Remote inputs: one transfer per remote producer, serialized
     // (documented simplification — no link contention model).
-    let transfer: f64 = task
-        .sources
-        .iter()
-        .filter(|(p, _)| tasks[*p as usize].node != task.node)
-        .map(|(_, bytes)| cfg.cluster.transfer_secs(*bytes))
+    let transfer: f64 = graph
+        .sources(task.id)
+        .filter(|&(p, _)| graph.task(p).node != task.node)
+        .map(|(_, bytes)| cfg.cluster.transfer_secs(bytes))
         .sum();
 
     // Snapshot contention: this task plus the cores already busy.
@@ -257,14 +266,18 @@ pub(crate) fn dispatch_task(
             // the full 2× compute cost becomes visible.
             orig_end + dur
         } else {
-            // Earliest-free spare core runs the replica.
-            let (best, _) = ns
-                .spare_free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("nonempty spare pool");
-            let start = t0.max(ns.spare_free[best]);
+            // Earliest-free spare core runs the replica (first minimal
+            // slot; spare times are non-negative finite, so `<` agrees
+            // with the former `total_cmp` scan).
+            let mut best = 0usize;
+            let mut best_free = ns.spare_free[0];
+            for (i, &free) in ns.spare_free.iter().enumerate().skip(1) {
+                if free < best_free {
+                    best = i;
+                    best_free = free;
+                }
+            }
+            let start = t0.max(best_free);
             ns.spare_free[best] = start + dur;
             start + dur
         };
@@ -500,8 +513,8 @@ mod tests {
         let a = simulate(&g, &cfg);
         let b = simulate(&g, &cfg);
         assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.records.len(), b.records.len());
-        for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
             assert_eq!(x, y);
         }
     }

@@ -43,7 +43,7 @@ use dataflow_rt::deps::covers_chunk;
 use dataflow_rt::{Access, AccessMode, Region};
 use fit_model::RateModel;
 
-use crate::graph::{intern, SimGraph, SimTask};
+use crate::graph::{GraphBuilder, SimGraph, SimTask};
 
 /// One streamed task description, filled in by
 /// [`TaskStream::next_task`]. The buffer is reused across tasks so a
@@ -275,8 +275,7 @@ impl SimGraph {
     pub fn from_stream<S: TaskStream + ?Sized>(stream: &mut S, rates: &RateModel) -> SimGraph {
         let n = stream.len();
         let mut tracker = StreamTracker::new(stream.chunk_size());
-        let mut tasks: Vec<SimTask> = Vec::with_capacity(n);
-        let mut labels: Vec<String> = Vec::new();
+        let mut b = GraphBuilder::with_capacity(n);
         // Flat side table of every task's *write* regions, for
         // latest-overlapping-writer source attribution.
         let mut write_regions: Vec<Region> = Vec::new();
@@ -285,18 +284,21 @@ impl SimGraph {
 
         let mut spec = StreamTask::default();
         let mut preds: Vec<u32> = Vec::new();
+        let mut sources: Vec<(u32, u64)> = Vec::new();
+        let mut count = 0usize;
         while stream.next_task(&mut spec) {
-            let id = tasks.len() as u32;
+            let id = count as u32;
             assert!(
-                (id as usize) < n,
+                count < n,
                 "stream yielded more than the {n} tasks its len() promised"
             );
+            count += 1;
             tracker.record(id, &spec.accesses, &mut preds);
 
             // Input sources: per read access, the latest predecessor
             // with an overlapping write — the exact attribution of
             // `from_task_graph`.
-            let mut sources: Vec<(u32, u64)> = Vec::new();
+            sources.clear();
             for access in spec.accesses.iter().filter(|a| a.mode.reads()) {
                 let producer = preds.iter().rev().copied().find(|&p| {
                     let (ws, we) = (write_starts[p as usize], write_starts[p as usize + 1]);
@@ -318,47 +320,38 @@ impl SimGraph {
             }
             write_starts.push(write_regions.len() as u32);
 
-            tasks.push(SimTask {
-                id,
-                label: intern(&mut labels, spec.label),
-                preds: preds.clone(),
-                succs: Vec::new(),
-                flops: spec.flops,
-                bytes_in: spec
-                    .accesses
-                    .iter()
-                    .filter(|a| a.mode.reads())
-                    .map(Access::bytes)
-                    .sum(),
-                bytes_out: spec
-                    .accesses
-                    .iter()
-                    .filter(|a| a.mode.writes())
-                    .map(Access::bytes)
-                    .sum(),
-                argument_bytes: spec.accesses.iter().map(Access::bytes).sum(),
-                rates: rates.rates_for_arguments(spec.accesses.iter().map(Access::bytes)),
-                node: spec.node,
-                sources,
-                is_barrier: false,
-            });
+            let label = b.intern(spec.label);
+            b.push(
+                SimTask {
+                    id,
+                    label,
+                    flops: spec.flops,
+                    bytes_in: spec
+                        .accesses
+                        .iter()
+                        .filter(|a| a.mode.reads())
+                        .map(Access::bytes)
+                        .sum(),
+                    bytes_out: spec
+                        .accesses
+                        .iter()
+                        .filter(|a| a.mode.writes())
+                        .map(Access::bytes)
+                        .sum(),
+                    argument_bytes: spec.accesses.iter().map(Access::bytes).sum(),
+                    rates: rates.rates_for_arguments(spec.accesses.iter().map(Access::bytes)),
+                    node: spec.node,
+                    is_barrier: false,
+                },
+                &preds,
+                &sources,
+            );
         }
         assert_eq!(
-            tasks.len(),
-            n,
+            count, n,
             "stream yielded fewer tasks than its len() promised"
         );
-
-        // Successor lists from the predecessor lists, indexed (no
-        // per-task clones on the million-task path).
-        for id in 0..tasks.len() {
-            for k in 0..tasks[id].preds.len() {
-                let p = tasks[id].preds[k] as usize;
-                debug_assert!(p < id, "edges must point forward");
-                tasks[p].succs.push(id as u32);
-            }
-        }
-        SimGraph::from_parts(tasks, labels)
+        b.finish()
     }
 }
 
@@ -395,7 +388,8 @@ mod tests {
     fn independent_writers_have_no_edges() {
         let g = SimGraph::from_stream(&mut Writers { next: 0, k: 5 }, &RateModel::roadrunner());
         assert_eq!(g.len(), 5);
-        assert!(g.tasks().iter().all(|t| t.preds.is_empty()));
+        assert!((0..5).all(|id| g.preds(id).is_empty()));
+        assert_eq!(g.edge_count(), 0);
         assert_eq!(g.label_name(g.tasks()[0].label), "w");
         assert_eq!(g.tasks()[3].bytes_out, 64);
     }
@@ -438,13 +432,13 @@ mod tests {
     fn chain_edges_and_sources() {
         let g = SimGraph::from_stream(&mut Chain { next: 0 }, &RateModel::roadrunner());
         // Readers depend on the writer and bill their bytes to it.
-        assert_eq!(g.tasks()[1].preds, vec![0]);
-        assert_eq!(g.tasks()[1].sources, vec![(0, 128)]);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.sources(1).collect::<Vec<_>>(), vec![(0, 128)]);
         // The second writer conflicts with writer and both readers.
-        assert_eq!(g.tasks()[3].preds, vec![0, 1, 2]);
-        assert!(g.tasks()[3].sources.is_empty());
+        assert_eq!(g.preds(3), &[0, 1, 2]);
+        assert_eq!(g.sources(3).count(), 0);
         // Successors mirror predecessors.
-        assert_eq!(g.tasks()[0].succs, vec![1, 2, 3]);
+        assert_eq!(g.succs(0), &[1, 2, 3]);
     }
 
     #[test]

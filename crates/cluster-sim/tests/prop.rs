@@ -81,9 +81,9 @@ proptest! {
     fn makespan_bounded_below_by_work_and_span(ops in ops_strategy(), cores in 1usize..8) {
         let graph = random_graph(&ops, 8);
         let report = simulate(&graph, &config(unit_cluster(cores, 0), false, None));
-        let total: f64 = report.records.iter().map(|r| r.base_secs).sum();
+        let total: f64 = report.records().iter().map(|r| r.base_secs).sum();
         let longest = report
-            .records
+            .records()
             .iter()
             .map(|r| r.base_secs)
             .fold(0.0f64, f64::max);
@@ -126,7 +126,7 @@ proptest! {
         let graph = random_graph(&ops, 8);
         let report = simulate(&graph, &config(unit_cluster(4, 2), true, seed));
         let mut latest = 0.0f64;
-        for r in &report.records {
+        for r in report.records() {
             prop_assert!(r.completed >= r.dispatched - 1e-12);
             prop_assert!(r.completed.is_finite());
             latest = latest.max(r.completed);

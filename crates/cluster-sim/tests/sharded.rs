@@ -8,6 +8,7 @@ use cluster_sim::{
     simulate, simulate_sharded, ClusterSpec, CostModel, NodeSpec, ShardedConfig, SimConfig,
     SimGraph, SyntheticSpec,
 };
+use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
 use fit_model::{Fit, RateModel};
 use proptest::prelude::*;
@@ -117,6 +118,50 @@ proptest! {
         prop_assert_eq!(reference, sharded);
     }
 
+    /// Randomized *in-memory* DAGs (runtime dependency inference, then
+    /// CSR extraction — not the synthetic generator): both engines and
+    /// every shard count must agree bit for bit, the same determinism
+    /// gate the seed layout passed.
+    #[test]
+    fn random_dags_are_engine_and_shard_invariant(
+        ops in proptest::collection::vec((any::<u8>(), 1u32..500, any::<bool>(), any::<u8>()), 1..50),
+        nodes in 1usize..6,
+        shards in 2usize..8,
+        seed in any::<u64>(),
+        replicate in any::<bool>(),
+    ) {
+        let blocks = 8usize;
+        let bl = 64usize;
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", blocks * bl);
+        let mut g = TaskGraph::new();
+        for &(blk, flops, cross, _node) in &ops {
+            let blk = blk as usize % blocks;
+            let mut spec = TaskSpec::new("op")
+                .updates(Region::contiguous(v, blk * bl, bl))
+                .flops(f64::from(flops) + 1.0);
+            if cross {
+                let other = (blk + 1) % blocks;
+                spec = spec.reads(Region::contiguous(v, other * bl, bl));
+            }
+            g.submit(spec);
+        }
+        let placements: Vec<u32> = ops.iter().map(|&(_, _, _, n)| u32::from(n) % nodes as u32).collect();
+        let sim_graph = SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| {
+            placements[t.id.index()]
+        });
+        let cfg = config(unit_cluster(nodes, 2, 1), replicate, Some(seed));
+        let one = simulate_sharded(&sim_graph, &cfg, &ShardedConfig::new(1, 1.5));
+        let many = simulate_sharded(&sim_graph, &cfg, &ShardedConfig::new(shards, 1.5));
+        prop_assert_eq!(&one, &many);
+        if nodes == 1 {
+            // Single node: the window machinery must dissolve and match
+            // the sequential engine exactly.
+            let sequential = simulate(&sim_graph, &cfg);
+            prop_assert_eq!(&sequential, &one);
+        }
+    }
+
     /// App_FIT (global, stateful accounting) stays shard-count
     /// invariant through the fork/commit path.
     #[test]
@@ -162,7 +207,7 @@ fn epoch_boundary_events_survive_and_order() {
         let cfg = config(unit_cluster(nodes, 2, 0), false, None);
         let reference = simulate_sharded(&g, &cfg, &ShardedConfig::new(1, 1.0));
         // Everything completed (nothing dropped at boundaries)…
-        assert_eq!(reference.records.len(), g.len());
+        assert_eq!(reference.records().len(), g.len());
         // …and the partition cannot be observed even when every event
         // is boundary-aligned and simultaneous.
         for shards in [2usize, 3, nodes, nodes + 3] {

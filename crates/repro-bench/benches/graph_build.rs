@@ -1,0 +1,57 @@
+//! Graph-construction throughput: streamed million-task CSR builds and
+//! the synthetic cluster-scale generator, so regressions in
+//! `SimGraph::from_stream` / `SimGraph::synthetic` (dependency
+//! inference, CSR assembly, successor derivation) show up alongside
+//! the simulation benches rather than hiding inside end-to-end runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cluster_sim::{SimGraph, SyntheticSpec};
+use fit_model::RateModel;
+use workloads::{streamed_workload, Scale};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+
+    // The sweep driver's synthetic shape at 2²⁰ tasks: pure CSR
+    // assembly, no dependency inference.
+    group.bench_function("synthetic_1m", |b| {
+        let spec = SyntheticSpec {
+            nodes: 1024,
+            chains_per_node: 16,
+            tasks_per_chain: 64,
+            flops_per_task: 4.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 20,
+            cross_node_every: 8,
+            seed: 2016,
+        };
+        let rates = RateModel::roadrunner();
+        b.iter(|| {
+            let g = SimGraph::synthetic(&spec, &rates);
+            assert_eq!(g.len(), 1 << 20);
+            g.len()
+        });
+    });
+
+    // Streamed Table-I builds at the ≥2²⁰-task Huge scale: the full
+    // pipeline — region conflict inference, source attribution, CSR
+    // assembly.
+    let rates = RateModel::roadrunner().with_multiplier(10.0);
+    for name in ["Cholesky", "Pingpong"] {
+        group.bench_with_input(BenchmarkId::new("streamed_huge", name), &name, |b, name| {
+            b.iter(|| {
+                let mut stream = streamed_workload(name, Scale::Huge, 64).expect("known benchmark");
+                let g = SimGraph::from_stream(stream.as_mut(), &rates);
+                assert!(g.len() >= 1 << 20);
+                g.len()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

@@ -24,6 +24,12 @@
 //!   scenario record NAME --out F  run, write the binary trace to F
 //!   scenario replay F             re-run F's spec, assert bitwise identity
 //!   scenario diff A B             compare two traces
+//!
+//! perf tracking:
+//!   bench-sim [--smoke] [--out F] [--repeat N]
+//!                                 measure sweep-1m + stress-huge-*
+//!                                 throughput/memory (best of N runs),
+//!                                 write BENCH_sim.json
 //! ```
 //!
 //! (The cluster-scale grid lives in the separate `sweep` binary.)
@@ -31,7 +37,7 @@
 use std::process::ExitCode;
 
 use repro_bench::context::ExperimentScale;
-use repro_bench::{ablations, fig1, fig3, fig4, fig5, fig6, scenario_cli, table1};
+use repro_bench::{ablations, bench_sim, fig1, fig3, fig4, fig5, fig6, scenario_cli, table1};
 
 struct Options {
     scale: ExperimentScale,
@@ -117,6 +123,15 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-sim") {
+        return match bench_sim::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("scenario") {
         return match scenario_cli::run(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,

@@ -30,6 +30,7 @@
 //! with heterogeneous tasks — is reproduced.
 
 pub mod ablations;
+pub mod bench_sim;
 pub mod context;
 pub mod fig1;
 pub mod fig3;

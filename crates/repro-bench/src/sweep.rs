@@ -185,7 +185,7 @@ fn run_cell(
         machines,
         fault_rate,
         target_fraction,
-        tasks: report.records.len(),
+        tasks: report.records().len(),
         makespan: report.makespan,
         replicated_tasks: report.replicated_task_fraction(),
         replicated_time: report.replicated_time_fraction(),

@@ -421,7 +421,7 @@ mod tests {
             },
         );
         let outcome = run(&spec).expect("runs");
-        assert_eq!(outcome.report.records.len(), 4 * 2 * 30);
+        assert_eq!(outcome.report.records().len(), 4 * 2 * 30);
         let stats = outcome.appfit.expect("app-fit stats");
         assert_eq!(stats.decided, 240);
         assert!(stats.current_fit <= stats.threshold + 1e-12);

@@ -720,11 +720,14 @@ impl ScenarioSpec {
         if t.nodes == 0 || t.cores == 0 {
             return Err("topology needs at least one node and one core".into());
         }
-        if !(t.gflops_per_core > 0.0) || !(t.mem_bw_gbs > 0.0) {
+        // NaN must fail these too, so compare via `partial_cmp` (None
+        // for NaN) rather than `<= 0.0` (false for NaN).
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(t.gflops_per_core) || !positive(t.mem_bw_gbs) {
             return Err("compute rate and memory bandwidth must be positive".into());
         }
         let fa = &self.faults;
-        if !(fa.multiplier > 0.0) {
+        if !positive(fa.multiplier) {
             return Err("error-rate multiplier must be positive".into());
         }
         for (what, p) in [("p-due", fa.p_due), ("p-sdc", fa.p_sdc)] {
@@ -750,7 +753,7 @@ impl ScenarioSpec {
                     TargetSpec::Fraction(x) => x,
                     TargetSpec::Fit(x) => x,
                 };
-                if !(value >= 0.0) || !value.is_finite() {
+                if value < 0.0 || !value.is_finite() {
                     return Err(format!(
                         "app-fit target must be finite and ≥ 0, got {value}"
                     ));
@@ -782,7 +785,7 @@ impl ScenarioSpec {
                 return Err("sharded engine needs at least one shard and one thread".into());
             }
             if let EpochSpec::Seconds(s) = epoch {
-                if !(s > 0.0) || !s.is_finite() {
+                if s <= 0.0 || !s.is_finite() {
                     return Err(format!("epoch length must be positive and finite, got {s}"));
                 }
             }

@@ -34,7 +34,7 @@ fn workload(sel: u8, a: u32, b: u32) -> WorkloadSpec {
     const BENCHES: [&str; 9] = [
         "SparseLU", "Cholesky", "FFT", "Perlin", "Stream", "Nbody", "Matmul", "Pingpong", "Linpack",
     ];
-    if sel % 2 == 0 {
+    if sel.is_multiple_of(2) {
         let scale = match a % 4 {
             0 => Scale::Small,
             1 => Scale::Medium,
@@ -45,7 +45,7 @@ fn workload(sel: u8, a: u32, b: u32) -> WorkloadSpec {
             bench: BENCHES[b as usize % BENCHES.len()].to_string(),
             scale,
             // Huge requires the streamed path; otherwise alternate.
-            streamed: scale == Scale::Huge || b % 2 == 0,
+            streamed: scale == Scale::Huge || b.is_multiple_of(2),
         }
     } else {
         WorkloadSpec::Synthetic {
@@ -72,7 +72,7 @@ fn policy(sel: u8, x: u32) -> PolicySpec {
             every: 1 + u64::from(x % 100),
         },
         _ => PolicySpec::AppFit {
-            target: if x % 2 == 0 {
+            target: if x.is_multiple_of(2) {
                 TargetSpec::Fraction(frac(x))
             } else {
                 TargetSpec::Fit(f64::from(x % 100_000) / 13.0)

@@ -524,7 +524,7 @@ pub struct PingpongStream {
 impl PingpongStream {
     /// A stream over the given configuration on `nodes` nodes.
     pub fn new(cfg: PingpongConfig, nodes: usize) -> Self {
-        assert!(cfg.ranks % 2 == 0, "ranks must pair up");
+        assert!(cfg.ranks.is_multiple_of(2), "ranks must pair up");
         PingpongStream {
             cfg,
             nodes: nodes.max(1) as u32,

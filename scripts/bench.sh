@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Simulator performance baseline: builds the workspace in release mode
+# and runs `repro bench-sim`, which measures graph-build and simulation
+# throughput (tasks/sec) plus peak resident memory for the heavyweight
+# presets (`sweep-1m`, `stress-huge-*`) and writes `BENCH_sim.json`.
+#
+# Usage:
+#   scripts/bench.sh                # full run, writes BENCH_sim.json
+#   scripts/bench.sh --smoke        # seconds-scale CI run + schema check
+#   scripts/bench.sh --out FILE     # alternate output path
+#   scripts/bench.sh --repeat N     # best-of-N per preset (default 3)
+#
+# Every perf-focused PR should re-run this and commit the refreshed
+# BENCH_sim.json so the throughput trajectory stays visible in history.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p repro-bench --bin repro
+exec target/release/repro bench-sim "$@"

@@ -3,13 +3,17 @@
 #
 # Runs everything a change must keep green:
 #   1. formatting (rustfmt, check only),
-#   2. release build of all workspace members,
-#   3. the full test suite (unit + integration + property tests),
-#   4. rustdoc with warnings denied (broken intra-doc links fail),
-#   5. the documentation examples as tests,
-#   6. a scenario smoke run: record → replay → diff of a tiny preset
+#   2. clippy over every target with warnings denied,
+#   3. release build of all workspace members,
+#   4. the full test suite (unit + integration + property tests),
+#   5. rustdoc with warnings denied (broken intra-doc links fail),
+#   6. the documentation examples as tests,
+#   7. a scenario smoke run: record → replay → diff of a tiny preset
 #      through the release binary (the cross-process half of the
-#      trace determinism contract).
+#      trace determinism contract),
+#   8. a release-mode `bench-sim --smoke` run (small preset; asserts
+#      the BENCH_sim.json schema so the perf-tracking machinery can't
+#      rot).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -17,6 +21,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets (-D warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -35,5 +42,8 @@ smoke_trace="target/verify-smoke.trace"
 cargo run --release -q -p repro-bench --bin repro -- scenario record smoke --out "$smoke_trace"
 cargo run --release -q -p repro-bench --bin repro -- scenario replay "$smoke_trace"
 cargo run --release -q -p repro-bench --bin repro -- scenario diff "$smoke_trace" "$smoke_trace"
+
+echo "==> bench-sim smoke (schema check)"
+cargo run --release -q -p repro-bench --bin repro -- bench-sim --smoke --out target/verify-bench-sim.json
 
 echo "verify: all gates green"

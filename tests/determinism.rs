@@ -49,7 +49,7 @@ fn same_seed_same_timeline() {
         let a = simulate_workload(w.as_ref(), 99);
         let b = simulate_workload(w.as_ref(), 99);
         assert_eq!(a.makespan, b.makespan, "{}", w.name());
-        assert_eq!(a.records, b.records, "{}", w.name());
+        assert_eq!(a.records(), b.records(), "{}", w.name());
     }
 }
 
@@ -62,7 +62,7 @@ fn different_seed_different_faults() {
         let a = simulate_workload(w.as_ref(), 1);
         let b = simulate_workload(w.as_ref(), 2);
         let faults = |r: &appfit::sim::SimReport| {
-            r.records
+            r.records()
                 .iter()
                 .map(|t| {
                     (
