@@ -4,11 +4,14 @@
 //! A [`DecisionSink`] receives every replication decision a policy
 //! takes, in the exact order the engine accounts it: per dispatch on
 //! the sequential path ([`ReplicationPolicy::decide`]), per barrier
-//! batch in canonical commit order on the sharded path
-//! ([`ReplicationPolicy::commit_epoch`]). Because both engines are
-//! deterministic, the observed sequence is a pure function of
-//! `(graph, config)` — which is what makes recorded traces replayable
-//! bit-for-bit across process boundaries.
+//! batch in canonical commit order on the windowed paths
+//! ([`ReplicationPolicy::commit_epoch`]) — fixed epoch barriers or
+//! the lookahead engine's variable-horizon windows alike; the commit
+//! cadence follows the barrier schedule, whatever places the
+//! barriers. Because the engines are deterministic, the observed
+//! sequence is a pure function of `(graph, config)` — which is what
+//! makes recorded traces replayable bit-for-bit across process
+//! boundaries.
 //!
 //! [`Observed`] wraps any policy with a sink without disturbing its
 //! decisions: `decide`/`fork_epoch`/`commit_epoch` forward to the

@@ -30,11 +30,13 @@ pub trait ReplicationPolicy: Send + Sync {
         let _ = (ctx, replicated);
     }
 
-    /// Forks a decision view for one *epoch* of sharded simulation
-    /// (`cluster-sim`'s parallel engine). The fork sees this policy's
-    /// global state frozen as of the fork plus whatever it accumulates
-    /// locally; the definitive state update happens later through
-    /// [`ReplicationPolicy::commit_epoch`] with the epoch's decisions
+    /// Forks a decision view for one *synchronization window* of
+    /// windowed simulation (`cluster-sim`'s sharded engine — a fixed
+    /// epoch or a variable lookahead horizon — and its sequential
+    /// lookahead reference). The fork sees this policy's global state
+    /// frozen as of the fork plus whatever it accumulates locally; the
+    /// definitive state update happens later through
+    /// [`ReplicationPolicy::commit_epoch`] with the window's decisions
     /// in canonical order. Stateless policies (the default) just pass
     /// decisions through to [`ReplicationPolicy::decide`], which is
     /// order-independent for them.

@@ -13,34 +13,69 @@
 //! heap rebalance moves 16 bytes and compares integers instead of
 //! moving 24 bytes and calling `f64::total_cmp`.
 
-/// A completion event `(time, seq, task)` packed into one `u128` whose
-/// integer order equals the tuple order `(time.total_cmp, seq, task)`.
+/// A simulation event packed into one `u128` whose integer order is
+/// the engines' canonical event order.
 ///
-/// The high 64 bits are the timestamp mapped through [`time_to_bits`]
-/// (monotone in `total_cmp` order); the low 64 bits are
-/// `seq << 32 | task`. `seq` is unique within one heap, so the packed
-/// comparison breaks time ties by insertion sequence exactly like the
-/// unpacked tuple did (the trailing task id never decides).
+/// Two event classes share the key space:
+///
+/// * **Completions** `(time, seq, task)`: the high 64 bits are the
+///   timestamp mapped through [`time_to_bits`] (monotone in
+///   `total_cmp` order); the low 64 bits are `seq << 32 | task`.
+///   `seq` is unique within one heap (and kept below 2³¹ — see
+///   [`EventKey::new`]), so the packed comparison breaks time ties by
+///   insertion sequence exactly like the unpacked tuple did (the
+///   trailing task id never decides).
+/// * **Deliveries** `(time, task)` ([`EventKey::delivery`]): a delayed
+///   cross-node activation arriving at the consumer `task`. The low 64
+///   bits are `DELIVERY_BIT | task`, so at equal timestamps every
+///   completion orders *before* every delivery, and simultaneous
+///   deliveries order by consumer task id — both canonical properties
+///   of the scenario, never of shard layout or insertion history
+///   (the lookahead engine's cross-engine bit-identity relies on
+///   this; see [`crate::shard`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EventKey(u128);
 
+/// Low-word class bit: set for delivery events. Completion sequence
+/// numbers stay below 2³¹ so their `seq << 32` never reaches this bit.
+const DELIVERY_BIT: u64 = 1 << 63;
+
 impl EventKey {
-    /// Packs a `(time, seq, task)` completion event.
+    /// Packs a `(time, seq, task)` completion event. `seq` must stay
+    /// below 2³¹ (one heap never holds that many insertions; the
+    /// engines assert their task counts fit).
     #[inline]
     pub fn new(time: f64, seq: u32, task: u32) -> Self {
+        debug_assert!(seq >> 31 == 0, "completion seq must stay below 2^31");
         EventKey(
             (u128::from(time_to_bits(time)) << 64) | (u128::from(seq) << 32) | u128::from(task),
         )
     }
 
+    /// Packs a `(time, consumer task)` delayed-activation delivery
+    /// event (the lookahead engine's cross-node arrivals).
+    #[inline]
+    pub fn delivery(time: f64, task: u32) -> Self {
+        EventKey(
+            (u128::from(time_to_bits(time)) << 64) | u128::from(DELIVERY_BIT | u64::from(task)),
+        )
+    }
+
+    /// `true` for delivery events, `false` for completions.
+    #[inline]
+    pub fn is_delivery(self) -> bool {
+        (self.0 as u64) & DELIVERY_BIT != 0
+    }
+
     /// The event's timestamp (bit-exact round trip of the `f64` given
-    /// to [`EventKey::new`]).
+    /// to [`EventKey::new`] / [`EventKey::delivery`]).
     #[inline]
     pub fn time(self) -> f64 {
         time_from_bits((self.0 >> 64) as u64)
     }
 
-    /// The completing task's id.
+    /// The event's task id: the completing task for completions, the
+    /// activated consumer for deliveries.
     #[inline]
     pub fn task(self) -> u32 {
         self.0 as u32
@@ -68,6 +103,19 @@ pub fn time_from_bits(k: u64) -> f64 {
     f64::from_bits(if k >> 63 == 1 { k & !(1 << 63) } else { !k })
 }
 
+/// Calendar bucket index for the lookahead engine: the high bits of
+/// [`time_to_bits`]. Unlike a `floor(time / width)` grid this is
+/// **exactly** monotone in time (no float-division slop), so an event
+/// strictly before a horizon provably lives in a bucket no later than
+/// the horizon's — the property [`EpochCalendar::take_before`] and
+/// [`EpochCalendar::min_time`] need. Bucket widths are relative
+/// (≈ time / 2¹⁴ within a binade), which keeps the bucket count
+/// bounded at any time scale.
+#[inline]
+pub fn time_bucket(t: f64) -> u64 {
+    time_to_bits(t) >> 38
+}
+
 /// Reusable scratch for [`EventBatch::sort_stable_by_time`] and
 /// [`EventBatch::sort_canonical`]: the permutation index plus the
 /// double buffers the permutation is applied through. Owning one per
@@ -84,11 +132,23 @@ pub struct SortScratch {
 ///
 /// The two hot fields live in parallel vectors so sweeps over times
 /// (sorting, window filtering) don't drag task ids through the cache
-/// and vice versa.
-#[derive(Debug, Clone, Default)]
+/// and vice versa. The batch tracks its minimum buffered time (for the
+/// lookahead engine's horizon computation) incrementally on `push`.
+#[derive(Debug, Clone)]
 pub struct EventBatch {
     times: Vec<f64>,
     tasks: Vec<u32>,
+    min_time: f64,
+}
+
+impl Default for EventBatch {
+    fn default() -> Self {
+        EventBatch {
+            times: Vec::new(),
+            tasks: Vec::new(),
+            min_time: f64::INFINITY,
+        }
+    }
 }
 
 impl EventBatch {
@@ -100,6 +160,9 @@ impl EventBatch {
     /// Appends one event.
     #[inline]
     pub fn push(&mut self, time: f64, task: u32) {
+        if time < self.min_time {
+            self.min_time = time;
+        }
         self.times.push(time);
         self.tasks.push(task);
     }
@@ -114,14 +177,24 @@ impl EventBatch {
         self.times.is_empty()
     }
 
+    /// The earliest buffered timestamp (`+∞` when empty).
+    #[inline]
+    pub fn min_time(&self) -> f64 {
+        self.min_time
+    }
+
     /// Removes all events.
     pub fn clear(&mut self) {
         self.times.clear();
         self.tasks.clear();
+        self.min_time = f64::INFINITY;
     }
 
     /// Appends all of `other`'s events.
     pub fn extend_from(&mut self, other: &EventBatch) {
+        if other.min_time < self.min_time {
+            self.min_time = other.min_time;
+        }
         self.times.extend_from_slice(&other.times);
         self.tasks.extend_from_slice(&other.tasks);
     }
@@ -220,6 +293,65 @@ impl EpochCalendar {
     /// Takes the batch for `epoch`, if any.
     pub fn take(&mut self, epoch: u64) -> Option<EventBatch> {
         self.buckets.remove(&epoch)
+    }
+
+    /// Drains every event with `time < horizon` into `out`, visiting
+    /// buckets in ascending index order and preserving each bucket's
+    /// insertion order — the lookahead engine's horizon-bounded batch
+    /// extraction, where windows are not bucket-aligned.
+    ///
+    /// `horizon_bucket` must be the bucket index of `horizon` under the
+    /// same monotone bucketing the events were pushed with (the engine
+    /// uses [`time_bucket`], which is exactly monotone): buckets past
+    /// it provably hold no event before the horizon, and a bucket *at*
+    /// it may straddle the horizon and is split, keeping later events
+    /// buffered.
+    pub fn take_before(&mut self, horizon: f64, horizon_bucket: u64, out: &mut EventBatch) {
+        while let Some((&bucket, _)) = self.buckets.range(..=horizon_bucket).next() {
+            let mut batch = self.buckets.remove(&bucket).expect("bucket exists");
+            if batch.min_time >= horizon {
+                // Entirely past the horizon: keep it buffered. Only the
+                // straddling bucket can look like this, so stop.
+                self.buckets.insert(bucket, batch);
+                break;
+            }
+            let keeps_any = batch.times.iter().any(|&t| t >= horizon);
+            if !keeps_any {
+                out.extend_from(&batch);
+                batch.clear();
+                self.spare.push(batch);
+                continue;
+            }
+            // Straddling bucket: split, preserving insertion order on
+            // both sides. Under monotone bucketing a kept event
+            // (time ≥ horizon) can only live in the horizon's own
+            // bucket — the largest in range — so nothing below the
+            // horizon remains and the scan is done.
+            let mut keep = self.spare.pop().unwrap_or_default();
+            keep.clear();
+            for (t, task) in batch.iter() {
+                if t < horizon {
+                    out.push(t, task);
+                } else {
+                    keep.push(t, task);
+                }
+            }
+            batch.clear();
+            self.spare.push(batch);
+            self.buckets.insert(bucket, keep);
+            break;
+        }
+    }
+
+    /// The earliest buffered timestamp across all buckets (`+∞` when
+    /// empty). Exact when bucket indices are monotone in time (the
+    /// lookahead engine's [`time_bucket`] scheme): the first bucket
+    /// then holds the global minimum.
+    pub fn min_time(&self) -> f64 {
+        self.buckets
+            .values()
+            .next()
+            .map_or(f64::INFINITY, EventBatch::min_time)
     }
 
     /// Returns a drained batch's buffers to the recycling pool.
@@ -340,5 +472,76 @@ mod tests {
         for t in [0.0, -0.0, 1.25e-300, 7.5, -2.0, f64::INFINITY] {
             assert_eq!(time_from_bits(time_to_bits(t)).to_bits(), t.to_bits());
         }
+    }
+
+    #[test]
+    fn delivery_keys_order_canonically() {
+        // At equal time: all completions before all deliveries, then
+        // deliveries by consumer task id — independent of insertion.
+        let c = EventKey::new(1.0, 5, 9);
+        let d3 = EventKey::delivery(1.0, 3);
+        let d7 = EventKey::delivery(1.0, 7);
+        let later = EventKey::new(2.0, 0, 0);
+        let mut keys = vec![d7, later, c, d3];
+        keys.sort();
+        assert_eq!(keys, vec![c, d3, d7, later]);
+        assert!(!c.is_delivery() && d3.is_delivery());
+        assert_eq!(d3.task(), 3);
+        assert_eq!(d3.time().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn time_bucket_is_exactly_monotone() {
+        let samples = [0.0, 1e-9, 0.1, 0.1000001, 1.0, 1.5, 2.0, 1e6, 1e12];
+        for w in samples.windows(2) {
+            assert!(
+                time_bucket(w[0]) <= time_bucket(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_tracks_min_time() {
+        let mut b = EventBatch::new();
+        assert_eq!(b.min_time(), f64::INFINITY);
+        b.push(3.0, 1);
+        b.push(1.5, 2);
+        b.push(2.0, 3);
+        assert_eq!(b.min_time(), 1.5);
+        let mut other = EventBatch::new();
+        other.push(0.5, 4);
+        b.extend_from(&other);
+        assert_eq!(b.min_time(), 0.5);
+        b.clear();
+        assert_eq!(b.min_time(), f64::INFINITY);
+    }
+
+    #[test]
+    fn take_before_splits_straddling_buckets() {
+        let mut c = EpochCalendar::new();
+        for &(t, task) in &[(1.0f64, 1u32), (2.5, 2), (2.0, 3), (4.0, 4), (2.25, 5)] {
+            c.push(time_bucket(t), t, task);
+        }
+        let mut out = EventBatch::new();
+        let horizon = 2.25;
+        c.take_before(horizon, time_bucket(horizon), &mut out);
+        let drained: Vec<_> = out.iter().collect();
+        // Everything strictly before 2.25, ascending buckets with
+        // per-bucket insertion order preserved.
+        assert_eq!(drained, vec![(1.0, 1), (2.0, 3)]);
+        // The rest stays buffered with an exact minimum.
+        assert_eq!(c.min_time(), 2.25);
+        assert_eq!(c.len(), 3);
+        // A later horizon drains the remainder, preserving insertion
+        // order of the previously split bucket.
+        let mut rest = EventBatch::new();
+        c.take_before(5.0, time_bucket(5.0), &mut rest);
+        let rest: Vec<_> = rest.iter().collect();
+        assert_eq!(rest, vec![(2.25, 5), (2.5, 2), (4.0, 4)]);
+        assert!(c.is_empty());
+        assert_eq!(c.min_time(), f64::INFINITY);
     }
 }

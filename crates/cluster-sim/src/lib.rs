@@ -11,10 +11,15 @@
 //!   trusted;
 //! * [`simulate_sharded`] — the **sharded parallel engine**: machines
 //!   partitioned into shards with local event heaps and
-//!   struct-of-arrays epoch calendars ([`events`]), synchronized at
-//!   epoch barriers, scaling to millions of tasks over thousands of
+//!   struct-of-arrays calendars ([`events`]), synchronized either at
+//!   fixed **epoch barriers** or through **conservative-lookahead**
+//!   windows ([`SyncMode`]) — null-message horizon exchange with
+//!   cross-node activations delayed by exactly the interconnect's
+//!   latency floor — scaling to millions of tasks over thousands of
 //!   simulated machines (see [`shard`] for the determinism contract and
-//!   `ARCHITECTURE.md` for the design).
+//!   `ARCHITECTURE.md` for the design). [`simulate_delayed`] is the
+//!   sequential reference implementation of the lookahead semantics;
+//!   `tests/conformance.rs` asserts all engine variants agree.
 //!
 //! ## What the model captures
 //!
@@ -90,6 +95,6 @@ pub use graph::{SimGraph, SimTask, SyntheticSpec};
 pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
 pub use records::RecordStore;
 pub use report::{LabelStats, SimReport, SimTaskRecord};
-pub use shard::{simulate_sharded, ShardedConfig};
-pub use sim::{simulate, SimConfig};
+pub use shard::{simulate_sharded, ShardedConfig, SyncMode};
+pub use sim::{simulate, simulate_delayed, SimConfig};
 pub use stream::{StreamTask, TaskStream};

@@ -2,13 +2,34 @@
 //!
 //! [`simulate_sharded`] partitions the cluster's nodes into **shards**,
 //! each with its own event heap, epoch calendar and scheduling state,
-//! and advances all shards in lock step through fixed-width windows of
-//! virtual time (**epochs**). Within a window a shard touches only its
-//! own nodes; everything that crosses a node boundary — dependency
-//! activations and global App_FIT accounting — is buffered and
-//! exchanged at the **epoch barrier** in a canonical order, so the
-//! result is a pure function of `(graph, config, epoch length)` and
-//! never depends on the shard count or thread count.
+//! and advances all shards in lock step through windows of virtual
+//! time. Within a window a shard touches only its own nodes;
+//! everything that crosses a node boundary — dependency activations
+//! and global App_FIT accounting — is buffered and exchanged at the
+//! **barrier** in a canonical order, so the result is a pure function
+//! of `(graph, config, synchronization mode)` and never depends on the
+//! shard count or thread count.
+//!
+//! Two synchronization modes place the barriers ([`SyncMode`]):
+//!
+//! * **Epoch** (`sync = epoch`): fixed-width windows of
+//!   [`ShardedConfig::epoch`] virtual seconds; cross-node activations
+//!   quantize to the next barrier (readiness at the window start).
+//! * **Conservative lookahead** (`sync = lookahead`): adaptive windows
+//!   `[T, H + L)` where `H` is the global horizon — the earliest
+//!   pending event any shard holds, reported at the barrier (the
+//!   null-message exchange) — and `L` is the lookahead, derived from
+//!   the interconnect transfer latency floor
+//!   ([`ShardedConfig::auto_lookahead`]) or set explicitly. A
+//!   cross-node activation produced at `t` becomes visible to its
+//!   consumer at exactly `t + L` (the activation message takes the
+//!   interconnect's latency floor to arrive), which is **at or past
+//!   the next barrier** — so deliveries are event-exact, never
+//!   quantized, and the engine is an exact simulator of the
+//!   `L`-delayed-activation semantics at *any* shard count.
+//!   [`crate::sim::simulate_delayed`] is the independent sequential
+//!   reference of the same semantics; the two agree bit for bit
+//!   (`tests/conformance.rs`).
 //!
 //! # Semantics and the determinism contract
 //!
@@ -18,13 +39,16 @@
 //!   path ([`crate::sim`]'s `dispatch_task`). A scenario placed
 //!   entirely on one node therefore reproduces the sequential engine
 //!   **bit for bit**, for any shard count and any epoch length.
-//! * **Across nodes** the engine is epoch-quantized: a dependency edge
-//!   between tasks on different nodes (even two nodes of the same
+//! * **Across nodes**, epoch mode is epoch-quantized: a dependency
+//!   edge between tasks on different nodes (even two nodes of the same
 //!   shard — the partition must not be observable) delivers at the
 //!   next barrier, so a cross-node activation can start up to one
 //!   epoch later than the sequential engine would start it. Shorter
 //!   epochs approach event-exact cross-node timing at the price of
-//!   more barriers.
+//!   more barriers. Lookahead mode replaces the quantization with an
+//!   exact, uniform `+L` activation delay: timing error against the
+//!   zero-delay sequential oracle is bounded by `L` per cross-node
+//!   hop, independent of the barrier schedule.
 //! * **Global accounting** ([`appfit_core::AppFit`]) is *epoch
 //!   consistent*: each node decides one window against the global
 //!   state frozen at the last barrier plus its own in-window charges
@@ -39,7 +63,16 @@
 //! Tie-breaking is deterministic end to end: in-window events order by
 //! `(time, insertion sequence)` exactly like the sequential engine;
 //! calendar batches re-enter stably by time (preserving dispatch
-//! order); barrier deliveries sort by `(time, task id)`.
+//! order); barrier deliveries sort by `(time, task id)`, and in
+//! lookahead mode simultaneous delivery events additionally order
+//! *after* all completions at the same timestamp, by consumer task id
+//! ([`EventKey::delivery`]) — canonical orders no layout can perturb.
+//!
+//! Lookahead mode never deadlocks: every shard reports a horizon at
+//! every barrier (an idle shard reports `+∞` — the null message), the
+//! global horizon `H` is finite while work remains, and the next
+//! window `[T, H + L)` with `L > 0` always contains the pending event
+//! at `H` — so every window completes at least one event.
 //!
 //! See `ARCHITECTURE.md` §"Sharded simulation" for the design
 //! rationale and the proof sketch of shard-count invariance.
@@ -58,6 +91,26 @@ use crate::records::RecordStore;
 use crate::report::{SimReport, SimTaskRecord};
 use crate::sim::{dispatch_task, NodeState, SimConfig};
 
+/// Cross-node synchronization mode of the sharded engine (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMode {
+    /// Fixed-width epoch windows; cross-node activations quantize to
+    /// the next barrier. The default.
+    Epoch,
+    /// Conservative lookahead: adaptive windows extend to the global
+    /// horizon plus `lookahead`; cross-node activations become visible
+    /// exactly `lookahead` seconds after production, delivered at
+    /// their exact effect times. **Part of the simulated semantics**
+    /// (like the epoch length in epoch mode), but independent of the
+    /// shard layout.
+    Lookahead {
+        /// The activation delay / window extension in virtual seconds
+        /// (positive, finite; see [`ShardedConfig::with_lookahead`]).
+        lookahead: f64,
+    },
+}
+
 /// Sharding parameters for [`simulate_sharded`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardedConfig {
@@ -65,18 +118,21 @@ pub struct ShardedConfig {
     /// (contiguous, balanced). More shards than nodes is allowed; the
     /// extras idle. **Never affects results.**
     pub shards: usize,
-    /// Epoch (synchronization window) length in virtual seconds. This
-    /// **is** part of the simulated semantics: cross-node events
-    /// quantize to barriers (see the module docs).
+    /// Epoch (synchronization window) length in virtual seconds. In
+    /// epoch mode this **is** part of the simulated semantics:
+    /// cross-node events quantize to barriers (see the module docs).
+    /// In lookahead mode it is ignored (windows are adaptive).
     pub epoch: f64,
     /// Worker threads driving shards (capped at the shard count; `1`
     /// runs everything inline). **Never affects results.**
     pub threads: usize,
+    /// Barrier placement and cross-node delivery semantics.
+    pub sync: SyncMode,
 }
 
 impl ShardedConfig {
     /// A configuration with `shards` shards, an `epoch`-second window
-    /// and one thread per shard.
+    /// and one thread per shard, in epoch mode.
     pub fn new(shards: usize, epoch: f64) -> Self {
         assert!(shards >= 1, "need at least one shard");
         assert!(epoch > 0.0 && epoch.is_finite(), "epoch must be positive");
@@ -84,6 +140,7 @@ impl ShardedConfig {
             shards,
             epoch,
             threads: shards,
+            sync: SyncMode::Epoch,
         }
     }
 
@@ -95,28 +152,121 @@ impl ShardedConfig {
         self
     }
 
+    /// Switches to conservative-lookahead synchronization with the
+    /// given activation delay in virtual seconds.
+    ///
+    /// An **infinite** lookahead degenerates to epoch mode by
+    /// definition — a window that never closes early and an activation
+    /// that is never seen before the barrier is exactly the epoch
+    /// engine — so `with_lookahead(f64::INFINITY)` keeps
+    /// [`SyncMode::Epoch`] (property-tested in the `scenario` crate).
+    /// A lookahead at or below the floating-point resolution of the
+    /// simulated clock is not meaningful (the delayed activation would
+    /// round onto its production time) and panics via the positivity
+    /// check when exactly zero.
+    #[must_use]
+    pub fn with_lookahead(mut self, lookahead: f64) -> Self {
+        assert!(lookahead > 0.0, "lookahead must be positive");
+        self.sync = if lookahead.is_finite() {
+            SyncMode::Lookahead { lookahead }
+        } else {
+            SyncMode::Epoch
+        };
+        self
+    }
+
     /// Picks an epoch length from the workload: roughly eight mean
     /// task durations (at full contention), so a window amortizes many
     /// events while cross-node quantization stays small against the
     /// makespan. Falls back to 1 s for empty or zero-cost graphs.
     pub fn auto(graph: &SimGraph, cfg: &SimConfig, shards: usize) -> Self {
-        // The prepared form evaluates the same expressions as
-        // `CostModel::kernel_secs` (bit-identical), without redoing the
-        // unit conversions for every task of a million-task graph.
-        let cost = cfg.cost.prepare(&cfg.cluster.node);
-        let cores = cfg.cluster.node.cores;
-        let (mut total, mut count) = (0.0f64, 0u64);
-        for t in graph.tasks().iter().filter(|t| !t.is_barrier) {
-            total += cost.kernel_secs(cores, t.flops, t.bytes_in, t.bytes_out);
-            count += 1;
-        }
-        let mean = if count == 0 {
-            0.0
-        } else {
-            total / count as f64
-        };
+        let mean = mean_task_secs(graph, cfg);
         let epoch = if mean > 0.0 { mean * 8.0 } else { 1.0 };
         ShardedConfig::new(shards, epoch)
+    }
+
+    /// Derives the lookahead from the **interconnect's activation
+    /// latency floor**. A cross-node activation is a control message:
+    /// no real runtime can deliver one faster than the wire latency
+    /// ([`crate::ClusterSpec::transfer_secs`] of zero bytes), so
+    /// delaying every activation by exactly that floor stays within
+    /// the machine model's own fidelity — and, unlike the data
+    /// transfer itself (still charged in full at consumer dispatch),
+    /// it double-counts nothing.
+    ///
+    /// On a zero-latency fabric the derivation falls back to the
+    /// **per-edge transfer floor**: the minimum over the graph's
+    /// cross-node `(producer, bytes)` source columns of the edge's
+    /// data transfer time — the consumer cannot observe the producer's
+    /// output before its data could arrive.
+    ///
+    /// Either floor is **capped at one mean task duration** (an eighth
+    /// of the auto epoch). A larger lookahead is never needed for
+    /// correctness — smaller only moves the semantics *closer* to the
+    /// zero-delay sequential oracle — and on workloads whose tasks are
+    /// shorter than the wire latency an uncapped floor would trade
+    /// away more timing fidelity than epoch quantization does,
+    /// inverting the mode's whole point (asserted on the A4 ablation
+    /// grid). When the graph has no cross-node data movement at all
+    /// (or both floors are zero), the mean duration itself keeps
+    /// windows meaningful, and 1 s covers empty or zero-cost graphs —
+    /// the lookahead must be positive for windows to make progress.
+    pub fn auto_lookahead(graph: &SimGraph, cfg: &SimConfig) -> f64 {
+        let tasks = graph.tasks();
+        let cluster = &cfg.cluster;
+        // Mean task duration — the workload's own timescale.
+        let mean = mean_task_secs(graph, cfg);
+        // Wire latency floor — zero on single-node or zero-latency
+        // topologies.
+        let mut floor = cluster.transfer_secs(0);
+        if floor <= 0.0 {
+            // Per-edge data-transfer floor from the CSR source columns.
+            let mut edge_floor = f64::INFINITY;
+            for t in tasks {
+                for (p, bytes) in graph.sources(t.id) {
+                    if graph.task(p).node != t.node {
+                        edge_floor = edge_floor.min(cluster.transfer_secs(bytes));
+                    }
+                }
+            }
+            if edge_floor.is_finite() {
+                floor = edge_floor;
+            }
+        }
+        let lookahead = if floor > 0.0 && mean > 0.0 {
+            floor.min(mean)
+        } else if floor > 0.0 {
+            floor
+        } else {
+            mean
+        };
+        if lookahead > 0.0 {
+            lookahead
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Mean non-barrier task duration at full contention — the timescale
+/// both auto derivations ([`ShardedConfig::auto`],
+/// [`ShardedConfig::auto_lookahead`]) measure against. Zero for empty
+/// or zero-cost graphs.
+fn mean_task_secs(graph: &SimGraph, cfg: &SimConfig) -> f64 {
+    // The prepared form evaluates the same expressions as
+    // `CostModel::kernel_secs` (bit-identical), without redoing the
+    // unit conversions for every task of a million-task graph.
+    let cost = cfg.cost.prepare(&cfg.cluster.node);
+    let cores = cfg.cluster.node.cores;
+    let (mut total, mut count) = (0.0f64, 0u64);
+    for t in graph.tasks().iter().filter(|t| !t.is_barrier) {
+        total += cost.kernel_secs(cores, t.flops, t.bytes_in, t.bytes_out);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
     }
 }
 
@@ -137,7 +287,7 @@ impl ShardedConfig {
 /// (`node_seq` ranks within a node), so an unstable sort is
 /// deterministic.
 #[derive(Debug, Clone, Copy)]
-struct DecisionRec {
+pub(crate) struct DecisionRec {
     /// `time_to_bits(time) << 64 | node << 32 | node_seq`.
     key: u128,
     task: u32,
@@ -146,7 +296,7 @@ struct DecisionRec {
 
 impl DecisionRec {
     #[inline]
-    fn new(time: f64, node: u32, node_seq: u32, task: u32, replicate: bool) -> Self {
+    pub(crate) fn new(time: f64, node: u32, node_seq: u32, task: u32, replicate: bool) -> Self {
         DecisionRec {
             key: (u128::from(crate::events::time_to_bits(time)) << 64)
                 | (u128::from(node) << 32)
@@ -155,6 +305,31 @@ impl DecisionRec {
             replicate,
         }
     }
+}
+
+/// Commits one window's pending decisions in canonical
+/// `(time, node, node_seq)` order — shared by the sharded engine's
+/// barrier and the sequential lookahead reference
+/// ([`crate::sim::simulate_delayed`]), so the two consult
+/// [`appfit_core::ReplicationPolicy::commit_epoch`] identically.
+/// No-op (no `commit_epoch` call) when nothing was decided.
+pub(crate) fn commit_pending(
+    policy: &dyn appfit_core::ReplicationPolicy,
+    tasks: &[SimTask],
+    pending: &mut Vec<DecisionRec>,
+    committed: &mut Vec<EpochDecision>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    pending.sort_unstable_by_key(|d| d.key);
+    committed.clear();
+    committed.extend(pending.iter().map(|d| EpochDecision {
+        ctx: decision_ctx(&tasks[d.task as usize]),
+        replicate: d.replicate,
+    }));
+    policy.commit_epoch(committed);
+    pending.clear();
 }
 
 /// One shard's private simulation state.
@@ -174,10 +349,17 @@ struct ShardState {
     heap: BinaryHeap<Reverse<EventKey>>,
     /// Tie-break sequence for the heap.
     seq: u32,
-    /// Future-window completion events, batched per epoch.
+    /// Future-window completion events, batched per epoch (epoch mode)
+    /// or per [`crate::events::time_bucket`] (lookahead mode).
     calendar: EpochCalendar,
+    /// Lookahead mode: future delivery events (delayed cross-node
+    /// activations) at exact effect times, bucketed like `calendar`.
+    deliveries: EpochCalendar,
+    /// Lookahead mode: scratch batch for horizon-bounded extraction.
+    staged: EventBatch,
     /// Cross-node activations delivered to this shard at the last
-    /// barrier (canonically sorted).
+    /// barrier (canonically sorted; epoch mode only — lookahead mode
+    /// delivers through `deliveries` at exact effect times).
     inbox: EventBatch,
     /// Cross-node activations produced this window.
     outbox: EventBatch,
@@ -232,6 +414,8 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
                 heap: BinaryHeap::new(),
                 seq: 0,
                 calendar: EpochCalendar::new(),
+                deliveries: EpochCalendar::new(),
+                staged: EventBatch::new(),
                 inbox: EventBatch::new(),
                 outbox: EventBatch::new(),
                 scratch: SortScratch::default(),
@@ -255,10 +439,27 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         }
     }
 
+    assert!(
+        n < (1 << 31),
+        "the packed event key reserves completion sequence numbers below 2^31"
+    );
     let epoch = shard_cfg.epoch;
+    let lookahead = match shard_cfg.sync {
+        SyncMode::Epoch => None,
+        SyncMode::Lookahead { lookahead } => {
+            assert!(
+                lookahead > 0.0 && lookahead.is_finite(),
+                "lookahead must be positive and finite (use with_lookahead)"
+            );
+            Some(lookahead)
+        }
+    };
     let threads = shard_cfg.threads.clamp(1, map.shards());
     let cost = cfg.cost.prepare(&cfg.cluster.node);
     let mut window: u64 = 0;
+    // Lookahead mode: the first window ends one lookahead past the
+    // t = 0 seed horizon.
+    let mut w_end: f64 = lookahead.unwrap_or(0.0);
     let mut first_window = true;
     // Barrier-phase buffers, reused across windows.
     let mut messages = EventBatch::new();
@@ -267,20 +468,22 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     let mut committed: Vec<EpochDecision> = Vec::new();
 
     loop {
+        let win = match lookahead {
+            None => Win::Epoch {
+                window,
+                epoch,
+                first: first_window,
+            },
+            Some(_) => Win::Lookahead {
+                w_end,
+                first: first_window,
+            },
+        };
         // ---- compute phase: every shard advances through the window.
         let chunk = shards.len().div_ceil(threads);
         if threads == 1 {
             for shard in &mut shards {
-                process_window(
-                    shard,
-                    graph,
-                    cfg,
-                    &cost,
-                    &local_of,
-                    window,
-                    epoch,
-                    first_window,
-                );
+                process_window(shard, graph, cfg, &cost, &local_of, win);
             }
         } else {
             std::thread::scope(|scope| {
@@ -289,16 +492,7 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
                     let cost = &cost;
                     scope.spawn(move || {
                         for shard in chunk_shards {
-                            process_window(
-                                shard,
-                                graph,
-                                cfg,
-                                cost,
-                                local_of,
-                                window,
-                                epoch,
-                                first_window,
-                            );
+                            process_window(shard, graph, cfg, cost, local_of, win);
                         }
                     });
                 }
@@ -314,15 +508,7 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         for shard in &mut shards {
             all_decisions.append(&mut shard.decisions);
         }
-        if !all_decisions.is_empty() {
-            all_decisions.sort_unstable_by_key(|d| d.key);
-            committed.clear();
-            committed.extend(all_decisions.iter().map(|d| EpochDecision {
-                ctx: decision_ctx(&tasks[d.task as usize]),
-                replicate: d.replicate,
-            }));
-            cfg.policy.commit_epoch(&committed);
-        }
+        commit_pending(&*cfg.policy, tasks, &mut all_decisions, &mut committed);
 
         messages.clear();
         for shard in &mut shards {
@@ -331,25 +517,70 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         }
         messages.sort_canonical(&mut barrier_scratch);
         let any_messages = !messages.is_empty();
-        for (time, task) in messages.iter() {
-            let s = map.shard_of(tasks[task as usize].node as usize);
-            shards[s].inbox.push(time, task);
+        match lookahead {
+            None => {
+                for (time, task) in messages.iter() {
+                    let s = map.shard_of(tasks[task as usize].node as usize);
+                    shards[s].inbox.push(time, task);
+                }
+            }
+            Some(l) => {
+                // Deliveries at exact effect times: production + L.
+                // The no-retroactivity invariant — every event of the
+                // closed window had time ≥ the window's opening
+                // horizon, so its effect lands at or past the window
+                // end just processed.
+                for (time, task) in messages.iter() {
+                    let effect = time + l;
+                    debug_assert!(
+                        effect >= w_end,
+                        "delayed activation ({effect}) must not land inside the closed window (end {w_end})"
+                    );
+                    let s = map.shard_of(tasks[task as usize].node as usize);
+                    shards[s]
+                        .deliveries
+                        .push(crate::events::time_bucket(effect), effect, task);
+                }
+            }
         }
 
         let done: usize = shards.iter().map(|s| s.done).sum();
         if done == n {
             break;
         }
-        window = if any_messages {
-            window + 1
-        } else {
-            let next = shards
-                .iter()
-                .filter_map(|s| s.calendar.min_epoch())
-                .min()
-                .unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
-            next.max(window + 1)
-        };
+        match lookahead {
+            None => {
+                window = if any_messages {
+                    window + 1
+                } else {
+                    let next = shards
+                        .iter()
+                        .filter_map(|s| s.calendar.min_epoch())
+                        .min()
+                        .unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
+                    next.max(window + 1)
+                };
+            }
+            Some(l) => {
+                // Null-message horizon exchange: every shard reports
+                // its earliest pending event (+∞ when idle); the next
+                // window extends one lookahead past the global
+                // horizon, so it always contains the horizon event.
+                let horizon = shards
+                    .iter()
+                    .map(|s| s.calendar.min_time().min(s.deliveries.min_time()))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    horizon.is_finite(),
+                    "cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"
+                );
+                w_end = horizon + l;
+                if w_end <= horizon {
+                    // Sub-ulp lookahead: force minimal progress.
+                    w_end = crate::events::time_from_bits(crate::events::time_to_bits(horizon) + 1);
+                }
+            }
+        }
     }
 
     // ---- merge shard records into submission order.
@@ -367,21 +598,67 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     SimReport::new(makespan, cfg.cluster.total_cores(), records)
 }
 
-/// Advances one shard through the window `[window·epoch, (window+1)·epoch)`.
-#[allow(clippy::too_many_arguments)]
+/// One window's parameters, shared by every shard of the window (and
+/// by [`crate::sim::simulate_delayed`]'s barrier schedule).
+#[derive(Debug, Clone, Copy)]
+enum Win {
+    /// Fixed-grid epoch window `[window·epoch, (window+1)·epoch)`.
+    Epoch {
+        window: u64,
+        epoch: f64,
+        first: bool,
+    },
+    /// Adaptive lookahead window ending at `w_end` (= global horizon
+    /// plus lookahead, computed at the previous barrier).
+    Lookahead { w_end: f64, first: bool },
+}
+
+impl Win {
+    /// The window's (exclusive) end time.
+    #[inline]
+    fn w_end(self) -> f64 {
+        match self {
+            Win::Epoch { window, epoch, .. } => (window + 1) as f64 * epoch,
+            Win::Lookahead { w_end, .. } => w_end,
+        }
+    }
+
+    /// Whether this is the t = 0 seed window.
+    #[inline]
+    fn first(self) -> bool {
+        match self {
+            Win::Epoch { first, .. } | Win::Lookahead { first, .. } => first,
+        }
+    }
+
+    /// Calendar bucket for a future completion at `time`.
+    #[inline]
+    fn bucket(self, time: f64) -> u64 {
+        match self {
+            // The epoch index comes from the absolute time on the
+            // fixed global epoch grid, so it cannot depend on which
+            // window created the event; the clamp keeps boundary
+            // events out of the already-closed window when
+            // `time / epoch` rounds down across the boundary.
+            Win::Epoch { window, epoch, .. } => ((time / epoch) as u64).max(window + 1),
+            // Lookahead windows are not grid-aligned: bucket by the
+            // exactly monotone time_bucket and extract by horizon.
+            Win::Lookahead { .. } => crate::events::time_bucket(time),
+        }
+    }
+}
+
+/// Advances one shard through one window.
 fn process_window<'c>(
     shard: &mut ShardState,
     graph: &SimGraph,
     cfg: &'c SimConfig,
     cost: &PreparedCost,
     local_of: &[u32],
-    window: u64,
-    epoch: f64,
-    first_window: bool,
+    win: Win,
 ) {
     let tasks = graph.tasks();
-    let w_start = window as f64 * epoch;
-    let w_end = (window + 1) as f64 * epoch;
+    let w_end = win.w_end();
     // One policy fork per node per window, opened lazily on the first
     // decision so idle nodes cost nothing; `node_seqs` ranks each
     // node's decisions within the window for the canonical commit
@@ -392,42 +669,78 @@ fn process_window<'c>(
     // Local node indices that gained ready tasks at the barrier.
     let mut woken: Vec<usize> = Vec::new();
 
-    // Deliver barrier messages (already in canonical order).
-    for (time, task) in shard.inbox.iter() {
-        let li = local_of[task as usize] as usize;
-        debug_assert!(shard.indegree[li] > 0, "duplicate activation");
-        shard.indegree[li] -= 1;
-        let _ = time; // readiness is quantized to the barrier
-        if shard.indegree[li] == 0 {
-            let ln = tasks[task as usize].node as usize - shard.first_node;
-            shard.ready.push_back(ln, task, li);
-            if !woken.contains(&ln) {
-                woken.push(ln);
+    match win {
+        Win::Epoch { window, .. } => {
+            // Deliver barrier messages (already in canonical order);
+            // readiness is quantized to the barrier.
+            for (time, task) in shard.inbox.iter() {
+                let li = local_of[task as usize] as usize;
+                debug_assert!(shard.indegree[li] > 0, "duplicate activation");
+                shard.indegree[li] -= 1;
+                let _ = time;
+                if shard.indegree[li] == 0 {
+                    let ln = tasks[task as usize].node as usize - shard.first_node;
+                    shard.ready.push_back(ln, task, li);
+                    if !woken.contains(&ln) {
+                        woken.push(ln);
+                    }
+                }
+            }
+            shard.inbox.clear();
+
+            // Open this window's calendar batch: stable by time, so
+            // simultaneous completions keep dispatch order — the
+            // sequential engine's tie-break.
+            if let Some(mut batch) = shard.calendar.take(window) {
+                batch.sort_stable_by_time(&mut shard.scratch);
+                for (time, task) in batch.iter() {
+                    shard
+                        .heap
+                        .push(Reverse(EventKey::new(time, shard.seq, task)));
+                    shard.seq += 1;
+                }
+                shard.calendar.recycle(batch);
             }
         }
-    }
-    shard.inbox.clear();
-
-    // Open this window's calendar batch: stable by time, so
-    // simultaneous completions keep dispatch order — the sequential
-    // engine's tie-break.
-    if let Some(mut batch) = shard.calendar.take(window) {
-        batch.sort_stable_by_time(&mut shard.scratch);
-        for (time, task) in batch.iter() {
-            shard
-                .heap
-                .push(Reverse(EventKey::new(time, shard.seq, task)));
-            shard.seq += 1;
+        Win::Lookahead { .. } => {
+            // Horizon-bounded extraction: stage every future
+            // completion before the window end, stable by time (the
+            // batch concatenates ascending buckets in insertion order,
+            // so equal-time completions keep dispatch order), then
+            // every pending delivery — delivery keys are canonical
+            // `(time, consumer)` and need no sequencing.
+            let hb = crate::events::time_bucket(w_end);
+            shard.staged.clear();
+            shard.calendar.take_before(w_end, hb, &mut shard.staged);
+            shard.staged.sort_stable_by_time(&mut shard.scratch);
+            for (time, task) in shard.staged.iter() {
+                shard
+                    .heap
+                    .push(Reverse(EventKey::new(time, shard.seq, task)));
+                shard.seq += 1;
+            }
+            shard.staged.clear();
+            shard.deliveries.take_before(w_end, hb, &mut shard.staged);
+            for (time, task) in shard.staged.iter() {
+                shard.heap.push(Reverse(EventKey::delivery(time, task)));
+            }
+            shard.staged.clear();
         }
-        shard.calendar.recycle(batch);
     }
 
     // The first window seeds source tasks at t = 0.
-    if first_window {
+    if win.first() {
         woken = (0..shard.nodes.len())
             .filter(|&ln| shard.ready.front(ln).is_some())
             .collect();
     }
+    // Barrier-woken dispatches run at the window start; in lookahead
+    // mode only the t = 0 seed window wakes nodes this way (every
+    // later activation is a timed delivery event).
+    let w_start = match win {
+        Win::Epoch { window, epoch, .. } => window as f64 * epoch,
+        Win::Lookahead { .. } => 0.0,
+    };
     for ln in woken {
         dispatch_node(
             shard,
@@ -435,8 +748,7 @@ fn process_window<'c>(
             &mut node_seqs,
             ln,
             w_start,
-            epoch,
-            window,
+            win,
             graph,
             cfg,
             cost,
@@ -448,7 +760,31 @@ fn process_window<'c>(
     // the current window.
     while let Some(Reverse(key)) = shard.heap.pop() {
         let (now, id) = (key.time(), key.task());
-        debug_assert!(now < w_end || epoch <= 0.0, "event leaked past window");
+        debug_assert!(now < w_end, "event leaked past window");
+        if key.is_delivery() {
+            // A delayed cross-node activation arriving at its exact
+            // effect time (lookahead mode only).
+            let li = local_of[id as usize] as usize;
+            debug_assert!(shard.indegree[li] > 0, "duplicate activation");
+            shard.indegree[li] -= 1;
+            if shard.indegree[li] == 0 {
+                let ln = tasks[id as usize].node as usize - shard.first_node;
+                shard.ready.push_back(ln, id, li);
+                dispatch_node(
+                    shard,
+                    &mut forks,
+                    &mut node_seqs,
+                    ln,
+                    now,
+                    win,
+                    graph,
+                    cfg,
+                    cost,
+                    local_of,
+                );
+            }
+            continue;
+        }
         shard.done += 1;
         let task = &tasks[id as usize];
         let ln = task.node as usize - shard.first_node;
@@ -476,8 +812,7 @@ fn process_window<'c>(
             &mut node_seqs,
             ln,
             now,
-            epoch,
-            window,
+            win,
             graph,
             cfg,
             cost,
@@ -489,7 +824,7 @@ fn process_window<'c>(
 /// Dispatches everything currently startable on one node, mirroring the
 /// sequential engine's `dispatch_ready` for a single node. Completion
 /// events landing inside the current window go to the heap; later ones
-/// go to the epoch calendar.
+/// go to the calendar.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_node<'c>(
     shard: &mut ShardState,
@@ -497,15 +832,14 @@ fn dispatch_node<'c>(
     node_seqs: &mut [u32],
     ln: usize,
     now: f64,
-    epoch: f64,
-    window: u64,
+    win: Win,
     graph: &SimGraph,
     cfg: &'c SimConfig,
     cost: &PreparedCost,
     local_of: &[u32],
 ) {
     let tasks = graph.tasks();
-    let w_end = (window + 1) as f64 * epoch;
+    let w_end = win.w_end();
     loop {
         let Some(front) = shard.ready.front(ln) else {
             return;
@@ -547,13 +881,7 @@ fn dispatch_node<'c>(
                 .push(Reverse(EventKey::new(completion, shard.seq, id)));
             shard.seq += 1;
         } else {
-            // The epoch index comes from the absolute time on the
-            // fixed global epoch grid, so it cannot depend on which
-            // window created the event; the clamp keeps boundary
-            // events out of the already-closed window when
-            // `completion / epoch` rounds down across the boundary.
-            let bucket = ((completion / epoch) as u64).max(window + 1);
-            shard.calendar.push(bucket, completion, id);
+            shard.calendar.push(win.bucket(completion), completion, id);
         }
     }
 }
@@ -831,5 +1159,72 @@ mod tests {
         assert!(sc.epoch > 0.0);
         let report = simulate_sharded(&g, &cfg, &sc);
         assert_eq!(report.records().len(), g.len());
+    }
+
+    /// An infinite lookahead is the epoch engine by definition: the
+    /// builder normalizes it, so the two spellings are one code path.
+    #[test]
+    fn infinite_lookahead_is_epoch_mode() {
+        let sc = ShardedConfig::new(3, 2.0).with_lookahead(f64::INFINITY);
+        assert_eq!(sc.sync, SyncMode::Epoch);
+        let g = multi_node_graph(6);
+        let cfg = config(unit_cluster(6, 3, 1), true, Some(7));
+        assert_eq!(
+            simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 2.0)),
+            simulate_sharded(&g, &cfg, &sc),
+        );
+    }
+
+    /// Lookahead mode on a latency-bearing cluster: results are
+    /// shard-count invariant and equal to the sequential lookahead
+    /// reference (the full cross-engine contract lives in
+    /// `tests/conformance.rs`; this is the in-crate smoke).
+    #[test]
+    fn lookahead_matches_delayed_reference() {
+        let g = multi_node_graph(6);
+        let mut cluster = unit_cluster(6, 3, 1);
+        cluster.net_latency_us = 150_000.0; // 0.15 virtual seconds
+        cluster.net_bandwidth_gbs = 5.0;
+        let cfg = config(cluster, true, Some(13));
+        let lookahead = ShardedConfig::auto_lookahead(&g, &cfg);
+        assert!(lookahead > 0.0 && lookahead.is_finite());
+        let reference = crate::sim::simulate_delayed(&g, &cfg, lookahead);
+        for shards in [1usize, 2, 5] {
+            let got = simulate_sharded(
+                &g,
+                &cfg,
+                &ShardedConfig::new(shards, 2.5).with_lookahead(lookahead),
+            );
+            assert_eq!(reference, got, "shards={shards}");
+        }
+    }
+
+    /// The lookahead delay can only push cross-node activations later,
+    /// never earlier, so makespans dominate the sequential oracle's —
+    /// and by far less than coarse epoch quantization does.
+    #[test]
+    fn lookahead_fidelity_beats_epoch_quantization() {
+        let g = multi_node_graph(6);
+        let mut cluster = unit_cluster(6, 3, 0);
+        cluster.net_latency_us = 100_000.0; // 0.1 virtual seconds
+        cluster.net_bandwidth_gbs = 5.0;
+        let cfg = config(cluster, false, None);
+        let oracle = simulate(&g, &cfg).makespan;
+        let lookahead = ShardedConfig::auto_lookahead(&g, &cfg);
+        let la = simulate_sharded(
+            &g,
+            &cfg,
+            &ShardedConfig::new(3, 8.0).with_lookahead(lookahead),
+        )
+        .makespan;
+        let epoch = simulate_sharded(&g, &cfg, &ShardedConfig::new(3, 8.0)).makespan;
+        assert!(
+            la >= oracle - 1e-9,
+            "delay never accelerates: {la} vs {oracle}"
+        );
+        assert!(
+            (la - oracle).abs() <= (epoch - oracle).abs() + 1e-9,
+            "lookahead error must not exceed epoch error: la {la}, epoch {epoch}, seq {oracle}"
+        );
     }
 }

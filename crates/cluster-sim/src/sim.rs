@@ -4,16 +4,17 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use appfit_core::{DecisionCtx, ReplicationPolicy};
+use appfit_core::{DecisionCtx, EpochDecider, EpochDecision, ReplicationPolicy};
 use fault_inject::{ErrorClass, FaultModel, InjectionConfig, InjectionDecision};
 
 use crate::cost::{CostModel, PreparedCost};
-use crate::events::EventKey;
+use crate::events::{time_from_bits, time_to_bits, EventKey};
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ClusterSpec;
 use crate::ready::ReadyList;
 use crate::records::RecordStore;
 use crate::report::{SimReport, SimTaskRecord};
+use crate::shard::{commit_pending, DecisionRec};
 
 /// Everything a simulation run needs besides the graph.
 pub struct SimConfig {
@@ -62,6 +63,10 @@ impl NodeState {
 pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
     let tasks = graph.tasks();
     let n = tasks.len();
+    assert!(
+        n < (1 << 31),
+        "the packed event key reserves completion sequence numbers below 2^31"
+    );
     let nodes = cfg.cluster.nodes;
     let mut indegree: Vec<u32> = (0..n as u32).map(|i| graph.preds(i).len() as u32).collect();
     let mut state: Vec<NodeState> = (0..nodes).map(|_| NodeState::new(&cfg.cluster)).collect();
@@ -142,6 +147,204 @@ pub fn simulate(graph: &SimGraph, cfg: &SimConfig) -> SimReport {
         cfg.cluster.total_cores(),
         (0..n).map(|i| records.get(i, i as u32)).collect(),
     )
+}
+
+/// The sequential reference of the **conservative-lookahead
+/// semantics**: event-exact like [`simulate`], except that every
+/// cross-node dependency activation becomes visible to its consumer
+/// exactly `lookahead` virtual seconds after the producer completes
+/// (the activation message pays the interconnect's latency floor), and
+/// the replication policy is consulted through the same
+/// fork-per-node / commit-at-horizon schedule the sharded lookahead
+/// engine uses — policy forks open per node per window `[T, H + L)`
+/// (`H` the earliest pending event at the window's opening barrier)
+/// and commit in canonical `(time, node, within-node order)`.
+///
+/// This is an independent, single-heap implementation of the exact
+/// semantics [`crate::shard::simulate_sharded`] implements with
+/// per-shard calendars and null-message windows — the cross-engine
+/// conformance harness (`tests/conformance.rs`) asserts the two agree
+/// **bit for bit** at every shard count. `lookahead` must be positive
+/// and finite.
+pub fn simulate_delayed(graph: &SimGraph, cfg: &SimConfig, lookahead: f64) -> SimReport {
+    assert!(
+        lookahead > 0.0 && lookahead.is_finite(),
+        "lookahead must be positive and finite"
+    );
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    assert!(
+        n < (1 << 31),
+        "the packed event key reserves completion sequence numbers below 2^31"
+    );
+    let nodes = cfg.cluster.nodes;
+    let mut indegree: Vec<u32> = (0..n as u32).map(|i| graph.preds(i).len() as u32).collect();
+    let mut makespan = 0.0f64;
+    let cost = cfg.cost.prepare(&cfg.cluster.node);
+    let mut committed: Vec<EpochDecision> = Vec::new();
+    // Policy windows: one fork per node per window, committed at the
+    // horizon barrier in canonical order (shared with the sharded
+    // engine via `commit_pending`).
+    let mut dw = DelayedState {
+        state: (0..nodes).map(|_| NodeState::new(&cfg.cluster)).collect(),
+        ready: ReadyList::new(nodes, n),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        records: RecordStore::new(n),
+        forks: (0..nodes).map(|_| None).collect(),
+        node_seqs: vec![0; nodes],
+        pending: Vec::new(),
+    };
+
+    for t in tasks {
+        assert!(
+            (t.node as usize) < nodes,
+            "task {} placed on node {} but the cluster has {nodes}",
+            t.id,
+            t.node
+        );
+        if graph.preds(t.id).is_empty() {
+            dw.ready.push_back(t.node as usize, t.id, t.id as usize);
+        }
+    }
+
+    // Seed window: dispatch every node with ready sources at t = 0.
+    for node in 0..nodes {
+        dispatch_node_delayed(node, 0.0, graph, cfg, &cost, &mut dw);
+    }
+
+    // First window ends one lookahead past the t = 0 seed horizon —
+    // the same schedule the sharded engine derives.
+    let mut w_end = lookahead;
+    let mut done = 0usize;
+    while let Some(&Reverse(peek)) = dw.heap.peek() {
+        if peek.time() >= w_end {
+            // Horizon barrier: commit this window's decisions in
+            // canonical order, drop the forks, extend the window one
+            // lookahead past the earliest pending event.
+            commit_pending(&*cfg.policy, tasks, &mut dw.pending, &mut committed);
+            dw.forks.iter_mut().for_each(|f| *f = None);
+            dw.node_seqs.fill(0);
+            let horizon = peek.time();
+            w_end = horizon + lookahead;
+            if w_end <= horizon {
+                // Sub-ulp lookahead: force minimal progress.
+                w_end = time_from_bits(time_to_bits(horizon) + 1);
+            }
+            continue;
+        }
+        let Reverse(key) = dw.heap.pop().expect("peeked");
+        let (now, id) = (key.time(), key.task());
+        if key.is_delivery() {
+            // A delayed cross-node activation arriving at its exact
+            // effect time.
+            indegree[id as usize] -= 1;
+            if indegree[id as usize] == 0 {
+                let owner = tasks[id as usize].node as usize;
+                dw.ready.push_back(owner, id, id as usize);
+                dispatch_node_delayed(owner, now, graph, cfg, &cost, &mut dw);
+            }
+            continue;
+        }
+        done += 1;
+        makespan = makespan.max(now);
+        let task = &tasks[id as usize];
+        let node = task.node as usize;
+        if !task.is_barrier {
+            dw.state[node].free_cores += 1;
+        }
+        for &s in graph.succs(id) {
+            if tasks[s as usize].node == task.node {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    dw.ready.push_back(node, s, s as usize);
+                }
+            } else {
+                // Cross-node activation: visible one lookahead later,
+                // at its exact effect time.
+                dw.heap
+                    .push(Reverse(EventKey::delivery(now + lookahead, s)));
+            }
+        }
+        dispatch_node_delayed(node, now, graph, cfg, &cost, &mut dw);
+    }
+    commit_pending(&*cfg.policy, tasks, &mut dw.pending, &mut committed);
+    assert_eq!(done, n, "cycle or lost task in simulation graph");
+
+    SimReport::new(
+        makespan,
+        cfg.cluster.total_cores(),
+        (0..n).map(|i| dw.records.get(i, i as u32)).collect(),
+    )
+}
+
+/// Mutable per-run state of [`simulate_delayed`], bundled so the
+/// dispatch helper can borrow it as one unit.
+struct DelayedState<'c> {
+    state: Vec<NodeState>,
+    ready: ReadyList,
+    heap: BinaryHeap<Reverse<EventKey>>,
+    seq: u32,
+    records: RecordStore,
+    forks: Vec<Option<Box<dyn EpochDecider + 'c>>>,
+    node_seqs: Vec<u32>,
+    pending: Vec<DecisionRec>,
+}
+
+/// [`simulate_delayed`]'s per-node dispatch: the sharded engine's
+/// `dispatch_node` on global state — same fork consultation, same
+/// decision recording, completions straight into the single heap.
+fn dispatch_node_delayed<'c>(
+    node: usize,
+    now: f64,
+    graph: &SimGraph,
+    cfg: &'c SimConfig,
+    cost: &PreparedCost,
+    dw: &mut DelayedState<'c>,
+) {
+    let tasks = graph.tasks();
+    let DelayedState {
+        state,
+        ready,
+        heap,
+        seq,
+        records,
+        forks,
+        node_seqs,
+        pending,
+    } = dw;
+    while let Some(front) = ready.front(node) {
+        let ns = &mut state[node];
+        if ns.free_cores == 0 && !tasks[front as usize].is_barrier {
+            break;
+        }
+        let id = ready.pop_front(node, |t| t as usize).expect("nonempty");
+        let task = &tasks[id as usize];
+        let fork = forks[node].get_or_insert_with(|| cfg.policy.fork_epoch());
+        let mut decided: Option<bool> = None;
+        let (record, completion, uses_core) =
+            dispatch_task(graph, task, ns, now, cfg, cost, &mut |ctx| {
+                let replicate = fork.decide(ctx);
+                decided = Some(replicate);
+                replicate
+            });
+        if let Some(replicate) = decided {
+            pending.push(DecisionRec::new(
+                now,
+                task.node,
+                node_seqs[node],
+                id,
+                replicate,
+            ));
+            node_seqs[node] += 1;
+        }
+        records.set(id as usize, &record);
+        if uses_core {
+            ns.free_cores -= 1;
+        }
+        heap.push(Reverse(EventKey::new(completion, *seq, id)));
+        *seq += 1;
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

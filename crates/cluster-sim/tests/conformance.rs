@@ -1,0 +1,463 @@
+//! Cross-engine differential conformance harness.
+//!
+//! Drives randomized DAGs and fault plans through every engine variant
+//! — the sequential oracle (`simulate`), the sequential lookahead
+//! reference (`simulate_delayed`), and the sharded engine in both
+//! synchronization modes at shard counts {1, 2, 7} — and asserts the
+//! contract the lookahead work is sold on:
+//!
+//! (a) **lookahead ≡ sequential reference, bit for bit** — at one
+//!     shard *and every other shard count*, the sharded lookahead
+//!     engine reproduces `simulate_delayed` exactly: per-task records,
+//!     makespan, and the policy's accumulated App_FIT state;
+//! (b) **lookahead fidelity ≥ epoch fidelity** — measured against the
+//!     event-exact sequential oracle, lookahead mode's makespan and
+//!     App_FIT error never exceed epoch mode's (the lookahead is the
+//!     interconnect latency floor; the epoch is ~8 task durations);
+//! (c) **decision traces are shard-layout-invariant per mode** — the
+//!     committed decision stream observed through the policy hook is
+//!     identical across shard counts and thread counts for each mode.
+//!
+//! Everything is driven by fixed seeds (no proptest), so the harness
+//! is deterministic in CI — `scripts/verify.sh` runs it in release
+//! mode.
+
+use std::sync::{Arc, Mutex};
+
+use appfit_core::{
+    AppFit, AppFitConfig, DecisionCtx, DecisionSink, EpochDecision, Observed, PeriodicPolicy,
+    RandomPolicy, ReplicateAll, ReplicateNone, ReplicationPolicy,
+};
+use cluster_sim::{
+    simulate, simulate_delayed, simulate_sharded, ClusterSpec, CostModel, NodeSpec, ShardedConfig,
+    SimConfig, SimGraph, SimReport, SyntheticSpec,
+};
+use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
+use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+use fit_model::{Fit, RateModel};
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 7];
+
+/// A unit-cost cluster (1 flop = 1 virtual second) with a *real*
+/// interconnect: 0.2 s one-way latency, finite bandwidth. The latency
+/// is what the lookahead derives from; tasks run seconds, so the
+/// lookahead delay is small against task durations while the auto
+/// epoch (~8 mean durations) is large.
+fn cluster(nodes: usize, cores: usize, spares: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        node: NodeSpec {
+            cores,
+            spare_cores: spares,
+            gflops_per_core: 1e-9,
+            mem_bw_gbs: f64::INFINITY,
+        },
+        net_latency_us: 200_000.0, // 0.2 virtual seconds
+        net_bandwidth_gbs: 5.0,
+    }
+}
+
+/// The policies the harness fans across.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PolicyKind {
+    None,
+    All,
+    Random,
+    Periodic,
+    /// App_FIT at this fraction of the graph's total failure rate —
+    /// the stateful policy whose non-associative accumulation is the
+    /// hard case for cross-engine bit-identity.
+    AppFit(f64),
+}
+
+/// Records the committed decision stream ((task, replicate) pairs in
+/// accounting order) through the policy observation hook.
+#[derive(Default)]
+struct TraceSink(Mutex<Vec<(u64, bool)>>);
+
+impl DecisionSink for TraceSink {
+    fn on_decision(&self, ctx: &DecisionCtx, replicate: bool) {
+        self.0.lock().unwrap().push((ctx.id, replicate));
+    }
+    fn on_epoch_commit(&self, decisions: &[EpochDecision]) {
+        let mut v = self.0.lock().unwrap();
+        for d in decisions {
+            v.push((d.ctx.id, d.replicate));
+        }
+    }
+}
+
+/// One engine run's full observable outcome.
+struct RunOutcome {
+    report: SimReport,
+    /// App_FIT `(current_fit bits, decided, replicated)` when the
+    /// policy was App_FIT.
+    appfit: Option<(u64, u64, u64)>,
+    /// Committed decision stream, in accounting order.
+    trace: Vec<(u64, bool)>,
+}
+
+/// Builds a fresh config (policies are stateful — every run needs its
+/// own instance) plus the handles the assertions need.
+fn build_cfg(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    fault_seed: Option<u64>,
+) -> (SimConfig, Option<Arc<AppFit>>, Arc<TraceSink>) {
+    let mut appfit = None;
+    let base: Arc<dyn ReplicationPolicy> = match kind {
+        PolicyKind::None => Arc::new(ReplicateNone),
+        PolicyKind::All => Arc::new(ReplicateAll),
+        PolicyKind::Random => Arc::new(RandomPolicy::new(0.4, 77)),
+        PolicyKind::Periodic => Arc::new(PeriodicPolicy::new(3)),
+        PolicyKind::AppFit(fraction) => {
+            let total: f64 = graph.tasks().iter().map(|t| t.rates.total().value()).sum();
+            let n = graph
+                .tasks()
+                .iter()
+                .filter(|t| !t.is_barrier)
+                .count()
+                .max(1) as u64;
+            let handle = Arc::new(AppFit::new(AppFitConfig::new(
+                Fit::new(total * fraction),
+                n,
+            )));
+            appfit = Some(Arc::clone(&handle));
+            handle
+        }
+    };
+    let sink = Arc::new(TraceSink::default());
+    let policy = Arc::new(Observed::new(
+        base,
+        Arc::clone(&sink) as Arc<dyn DecisionSink>,
+    ));
+    let cfg = SimConfig {
+        cluster: cluster(
+            graph.tasks().iter().map(|t| t.node).max().unwrap_or(0) as usize + 1,
+            2,
+            1,
+        ),
+        cost: CostModel::default(),
+        policy,
+        faults: match fault_seed {
+            Some(s) => Arc::new(SeededInjector::new(s)),
+            None => Arc::new(NoFaults),
+        },
+        injection: match fault_seed {
+            Some(_) => InjectionConfig::PerTask {
+                p_due: 0.04,
+                p_sdc: 0.06,
+            },
+            None => InjectionConfig::Disabled,
+        },
+    };
+    (cfg, appfit, sink)
+}
+
+fn outcome_of(report: SimReport, appfit: Option<Arc<AppFit>>, sink: Arc<TraceSink>) -> RunOutcome {
+    RunOutcome {
+        report,
+        appfit: appfit.map(|h| {
+            (
+                h.current_fit().value().to_bits(),
+                h.decided(),
+                h.replicated(),
+            )
+        }),
+        trace: std::mem::take(&mut *sink.0.lock().unwrap()),
+    }
+}
+
+fn run_sequential(graph: &SimGraph, kind: PolicyKind, fault_seed: Option<u64>) -> RunOutcome {
+    let (cfg, appfit, sink) = build_cfg(graph, kind, fault_seed);
+    outcome_of(simulate(graph, &cfg), appfit, sink)
+}
+
+fn run_delayed_reference(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    fault_seed: Option<u64>,
+    lookahead: f64,
+) -> RunOutcome {
+    let (cfg, appfit, sink) = build_cfg(graph, kind, fault_seed);
+    outcome_of(simulate_delayed(graph, &cfg, lookahead), appfit, sink)
+}
+
+fn run_sharded(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    fault_seed: Option<u64>,
+    shards: usize,
+    threads: usize,
+    lookahead: Option<f64>,
+) -> RunOutcome {
+    let (cfg, appfit, sink) = build_cfg(graph, kind, fault_seed);
+    let mut sc = ShardedConfig::auto(graph, &cfg, shards).with_threads(threads);
+    if let Some(l) = lookahead {
+        sc = sc.with_lookahead(l);
+    }
+    outcome_of(simulate_sharded(graph, &cfg, &sc), appfit, sink)
+}
+
+/// The scenario grid: chain+halo synthetics over several shapes.
+fn synthetic_graphs() -> Vec<(String, SimGraph)> {
+    let mut out = Vec::new();
+    for &(nodes, chains, len, cross, seed) in &[
+        (2usize, 2usize, 20usize, 1usize, 11u64),
+        (5, 3, 15, 3, 12),
+        (7, 2, 25, 2, 13),
+        (4, 1, 40, 4, 14),
+    ] {
+        let g = SimGraph::synthetic(
+            &SyntheticSpec {
+                nodes,
+                chains_per_node: chains,
+                tasks_per_chain: len,
+                flops_per_task: 2.5,
+                jitter: 0.25,
+                argument_bytes: 4096,
+                cross_node_every: cross,
+                seed,
+            },
+            &RateModel::roadrunner(),
+        );
+        out.push((format!("synthetic-{nodes}n-{chains}c-{len}l-x{cross}"), g));
+    }
+    out
+}
+
+/// Randomized in-memory DAGs: runtime dependency inference over a
+/// seeded op list (a tiny xorshift RNG — fixed seeds, no proptest).
+fn random_dags() -> Vec<(String, SimGraph)> {
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+    let mut out = Vec::new();
+    for &(seed, ops, nodes) in &[
+        (0xA11CEu64, 60usize, 4usize),
+        (0xB0B5, 45, 6),
+        (0xC0FFEE, 80, 3),
+    ] {
+        let blocks = 8usize;
+        let bl = 64usize;
+        let mut arena = DataArena::new();
+        let v = arena.alloc("v", blocks * bl);
+        let mut g = TaskGraph::new();
+        let mut state = seed;
+        let mut placements = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let r = xorshift(&mut state);
+            let blk = (r % blocks as u64) as usize;
+            let flops = (r >> 8) % 400 + 1;
+            let cross = (r >> 20) & 1 == 1;
+            placements.push(((r >> 24) % nodes as u64) as u32);
+            let mut spec = TaskSpec::new("op")
+                .updates(Region::contiguous(v, blk * bl, bl))
+                .flops(flops as f64 + 1.0);
+            if cross {
+                let other = (blk + 1) % blocks;
+                spec = spec.reads(Region::contiguous(v, other * bl, bl));
+            }
+            g.submit(spec);
+        }
+        let sg =
+            SimGraph::from_task_graph(&g, &RateModel::roadrunner(), |t| placements[t.id.index()]);
+        out.push((format!("dag-{seed:x}-{ops}ops-{nodes}n"), sg));
+    }
+    out
+}
+
+fn all_graphs() -> Vec<(String, SimGraph)> {
+    let mut graphs = synthetic_graphs();
+    graphs.extend(random_dags());
+    graphs
+}
+
+fn policy_grid() -> Vec<(PolicyKind, Option<u64>)> {
+    vec![
+        (PolicyKind::None, None),
+        (PolicyKind::All, Some(5)),
+        (PolicyKind::Random, Some(9)),
+        (PolicyKind::Periodic, None),
+        (PolicyKind::AppFit(0.3), None),
+        (PolicyKind::AppFit(0.6), Some(21)),
+    ]
+}
+
+/// (a): the sharded lookahead engine reproduces the sequential
+/// lookahead reference bit for bit — at one shard, and (stronger) at
+/// every shard and thread count: the conservative protocol is an exact
+/// simulator of the delayed-activation semantics, so the layout
+/// dissolves entirely.
+#[test]
+fn lookahead_equals_sequential_reference_bitwise() {
+    for (name, graph) in all_graphs() {
+        let (probe_cfg, _, _) = build_cfg(&graph, PolicyKind::None, None);
+        let lookahead = ShardedConfig::auto_lookahead(&graph, &probe_cfg);
+        for (kind, fault_seed) in policy_grid() {
+            let reference = run_delayed_reference(&graph, kind, fault_seed, lookahead);
+            for &shards in SHARD_COUNTS {
+                for threads in [1usize, 3] {
+                    let got =
+                        run_sharded(&graph, kind, fault_seed, shards, threads, Some(lookahead));
+                    assert_eq!(
+                        reference.report, got.report,
+                        "{name}: lookahead shards={shards} threads={threads} {kind:?} must equal simulate_delayed"
+                    );
+                    assert_eq!(
+                        reference.appfit, got.appfit,
+                        "{name}: App_FIT state must match bitwise (shards={shards} {kind:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// (c): per synchronization mode, the committed decision stream is
+/// shard-layout-invariant (and for lookahead, equal to the sequential
+/// reference's stream).
+#[test]
+fn decision_traces_are_shard_layout_invariant_per_mode() {
+    for (name, graph) in all_graphs() {
+        let (probe_cfg, _, _) = build_cfg(&graph, PolicyKind::None, None);
+        let lookahead = ShardedConfig::auto_lookahead(&graph, &probe_cfg);
+        for (kind, fault_seed) in policy_grid() {
+            // Epoch mode: {1,2,7} shards agree.
+            let epoch_ref = run_sharded(&graph, kind, fault_seed, 1, 1, None);
+            for &shards in &SHARD_COUNTS[1..] {
+                let got = run_sharded(&graph, kind, fault_seed, shards, 2, None);
+                assert_eq!(
+                    epoch_ref.trace, got.trace,
+                    "{name}: epoch decision trace must be layout-invariant (shards={shards} {kind:?})"
+                );
+                assert_eq!(
+                    epoch_ref.report, got.report,
+                    "{name}: epoch reports must be layout-invariant (shards={shards} {kind:?})"
+                );
+            }
+            // Lookahead mode: {1,2,7} shards agree with the reference.
+            let la_ref = run_delayed_reference(&graph, kind, fault_seed, lookahead);
+            for &shards in SHARD_COUNTS {
+                let got = run_sharded(&graph, kind, fault_seed, shards, 2, Some(lookahead));
+                assert_eq!(
+                    la_ref.trace, got.trace,
+                    "{name}: lookahead decision trace must equal the reference (shards={shards} {kind:?})"
+                );
+            }
+        }
+    }
+}
+
+/// (b): against the event-exact sequential oracle, lookahead mode's
+/// timing and App_FIT error never exceed epoch mode's — the lookahead
+/// (interconnect latency floor) is orders of magnitude tighter than
+/// the auto epoch (~8 mean task durations).
+#[test]
+fn lookahead_error_is_bounded_by_epoch_error() {
+    let mut cross_node_cases = 0usize;
+    for (name, graph) in all_graphs() {
+        let (probe_cfg, _, _) = build_cfg(&graph, PolicyKind::None, None);
+        let lookahead = ShardedConfig::auto_lookahead(&graph, &probe_cfg);
+        for (kind, fault_seed) in policy_grid() {
+            let oracle = run_sequential(&graph, kind, fault_seed);
+            let epoch = run_sharded(&graph, kind, fault_seed, 2, 1, None);
+            let la = run_sharded(&graph, kind, fault_seed, 2, 1, Some(lookahead));
+            let mk = oracle.report.makespan;
+            let ep_err = (epoch.report.makespan - mk).abs();
+            let la_err = (la.report.makespan - mk).abs();
+            assert!(
+                la_err <= ep_err + 1e-9 * mk.abs().max(1.0),
+                "{name} {kind:?}: lookahead makespan error {la_err} exceeds epoch error {ep_err} \
+                 (seq {mk}, epoch {}, lookahead {})",
+                epoch.report.makespan,
+                la.report.makespan
+            );
+            if let (Some(seq_fit), Some(ep_fit), Some(la_fit)) =
+                (oracle.appfit, epoch.appfit, la.appfit)
+            {
+                let seq = f64::from_bits(seq_fit.0);
+                let ep_fit_err = (f64::from_bits(ep_fit.0) - seq).abs();
+                let la_fit_err = (f64::from_bits(la_fit.0) - seq).abs();
+                assert!(
+                    la_fit_err <= ep_fit_err + 1e-12 * seq.abs().max(1.0),
+                    "{name} {kind:?}: lookahead App_FIT error {la_fit_err} exceeds epoch error {ep_fit_err}"
+                );
+            }
+            if ep_err > 0.0 {
+                cross_node_cases += 1;
+            }
+        }
+    }
+    // The grid must actually exercise cross-node quantization, or the
+    // comparison is vacuous.
+    assert!(
+        cross_node_cases > 0,
+        "no scenario showed epoch-quantization error — the grid is too easy"
+    );
+}
+
+/// Lookahead windows and delivery timing stay deterministic under
+/// repetition (same inputs, same bits) — the cheap smoke half of the
+/// determinism contract.
+#[test]
+fn lookahead_is_reproducible() {
+    let (name, graph) = &synthetic_graphs()[1];
+    let (probe_cfg, _, _) = build_cfg(graph, PolicyKind::None, None);
+    let lookahead = ShardedConfig::auto_lookahead(graph, &probe_cfg);
+    let a = run_sharded(
+        graph,
+        PolicyKind::AppFit(0.5),
+        Some(3),
+        3,
+        2,
+        Some(lookahead),
+    );
+    let b = run_sharded(
+        graph,
+        PolicyKind::AppFit(0.5),
+        Some(3),
+        3,
+        2,
+        Some(lookahead),
+    );
+    assert_eq!(
+        a.report, b.report,
+        "{name}: repeat runs must be bitwise equal"
+    );
+    assert_eq!(a.trace, b.trace);
+}
+
+/// The derived lookahead is the interconnect latency floor: positive,
+/// finite, and no larger than any cross-node edge's transfer time.
+#[test]
+fn auto_lookahead_is_the_transfer_floor() {
+    let (_, graph) = &synthetic_graphs()[0];
+    let (cfg, _, _) = build_cfg(graph, PolicyKind::None, None);
+    let lookahead = ShardedConfig::auto_lookahead(graph, &cfg);
+    assert!(lookahead > 0.0 && lookahead.is_finite());
+    // The floor is at least the wire latency and at most the smallest
+    // actual transfer.
+    let latency = cfg.cluster.transfer_secs(0);
+    assert!(
+        lookahead >= latency,
+        "{lookahead} < latency floor {latency}"
+    );
+    let min_edge = graph
+        .tasks()
+        .iter()
+        .flat_map(|t| {
+            graph
+                .sources(t.id)
+                .filter(|&(p, _)| graph.task(p).node != t.node)
+                .map(|(_, bytes)| cfg.cluster.transfer_secs(bytes))
+                .collect::<Vec<_>>()
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(lookahead <= min_edge, "{lookahead} > min edge {min_edge}");
+}

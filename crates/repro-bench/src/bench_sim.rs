@@ -27,9 +27,13 @@ use crate::context::TextTable;
 pub const SCHEMA: &str = "bench-sim/v1";
 
 /// The presets a full `bench-sim` run measures, smallest last so the
-/// headline `sweep-1m` number lands first in the file.
+/// headline `sweep-1m` number lands first in the file. `lookahead-1m`
+/// is the same million-task cell as `sweep-1m` under
+/// conservative-lookahead synchronization, so the two rows track the
+/// throughput cost of tighter cross-node timing side by side.
 pub const FULL_PRESETS: &[&str] = &[
     "sweep-1m",
+    "lookahead-1m",
     "stress-huge-matmul",
     "stress-huge-cholesky",
     "stress-huge-pingpong",

@@ -6,7 +6,9 @@
 use std::fs;
 use std::time::Instant;
 
-use scenario::{diff, preset, presets, record, replay, Outcome, ScenarioSpec, Trace};
+use scenario::{
+    diff, preset, presets, record_with, replay, Outcome, ScenarioSpec, Trace, TraceOptions,
+};
 
 use crate::context::pct;
 
@@ -66,7 +68,7 @@ fn summarize(spec: &ScenarioSpec, outcome: &Outcome, wall_secs: f64) -> String {
 
 /// Entry point for `repro scenario <args>`.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
-    let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE | replay FILE | diff A B>";
+    let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE [--timing] | replay FILE | diff A B>";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
     match sub {
         "list" => {
@@ -74,7 +76,10 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             for p in presets() {
                 let engine = match p.engine {
                     scenario::EngineSpec::Sequential => "seq".to_string(),
-                    scenario::EngineSpec::Sharded { shards, .. } => format!("shard×{shards}"),
+                    scenario::EngineSpec::Sharded { shards, sync, .. } => match sync {
+                        scenario::SyncSpec::Epoch => format!("shard×{shards}"),
+                        scenario::SyncSpec::Lookahead(_) => format!("look×{shards}"),
+                    },
                 };
                 let workload = match &p.workload {
                     scenario::WorkloadSpec::Bench {
@@ -113,20 +118,34 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         }
         "record" => {
             let name = args.get(1).map(String::as_str).ok_or(usage)?;
-            let out_path = match (args.get(2).map(String::as_str), args.get(3)) {
-                (Some("--out"), Some(path)) => path.clone(),
-                _ => return Err(format!("record needs `--out FILE`\n{usage}")),
-            };
+            let mut out_path: Option<String> = None;
+            let mut options = TraceOptions::default();
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out_path = Some(rest.next().ok_or("--out needs a path")?.clone());
+                    }
+                    "--timing" => options.timing = true,
+                    other => return Err(format!("unexpected record argument `{other}`\n{usage}")),
+                }
+            }
+            let out_path = out_path.ok_or_else(|| format!("record needs `--out FILE`\n{usage}"))?;
             let spec = resolve(name)?;
             let t0 = Instant::now();
-            let (outcome, trace) = record(&spec).map_err(|e| e.to_string())?;
+            let (outcome, trace) = record_with(&spec, options).map_err(|e| e.to_string())?;
             let bytes = trace.to_bytes();
             fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
             print!("{}", summarize(&spec, &outcome, t0.elapsed().as_secs_f64()));
             println!(
-                "  trace: {} decisions in {} epochs, {} bytes → {out_path}",
+                "  trace: {} decisions in {} epochs{}, {} bytes → {out_path}",
                 trace.decision_count(),
                 trace.epochs.len(),
+                if trace.timing.is_some() {
+                    ", per-task timing"
+                } else {
+                    ""
+                },
                 bytes.len(),
             );
             Ok(())
@@ -195,6 +214,24 @@ mod tests {
         .expect("records");
         run_cli(&["replay".into(), path.clone()]).expect("replays");
         run_cli(&["diff".into(), path.clone(), path.clone()]).expect("self-diff is clean");
+    }
+
+    #[test]
+    fn timed_record_replay_through_files() {
+        let dir = std::env::temp_dir().join("scenario-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke-lookahead-timed.trace");
+        let path = path.to_str().unwrap().to_string();
+        run_cli(&[
+            "record".into(),
+            "smoke-lookahead".into(),
+            "--out".into(),
+            path.clone(),
+            "--timing".into(),
+        ])
+        .expect("records with timing");
+        run_cli(&["replay".into(), path.clone()]).expect("timed replay");
+        run_cli(&["diff".into(), path.clone(), path]).expect("self-diff clean");
     }
 
     #[test]

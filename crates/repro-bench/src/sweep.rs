@@ -165,6 +165,7 @@ impl SweepSpec {
                 shards: self.shards.clamp(1, machines),
                 epoch: EpochSpec::Auto,
                 threads: 1,
+                sync: scenario::SyncSpec::Epoch,
             },
         }
     }

@@ -55,11 +55,14 @@ pub mod trace;
 
 pub use preset::{preset, preset_names, presets};
 pub use runner::{
-    build_graph, rate_model, record, record_on, replay, run, run_on, AppFitOutcome, Outcome,
-    ReplayReport, ScenarioError,
+    build_graph, rate_model, record, record_on, record_on_with, record_with, replay, run, run_on,
+    AppFitOutcome, Outcome, ReplayReport, ScenarioError, TraceOptions,
 };
 pub use spec::{
-    EngineSpec, EpochSpec, FaultSpec, ParseError, PolicySpec, ScenarioSpec, TargetSpec,
-    TopologySpec, WorkloadSpec,
+    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, ParseError, PolicySpec, ScenarioSpec,
+    SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
-pub use trace::{diff, Divergence, Trace, TraceDecision, TraceDiff, TraceEpoch, TraceError};
+pub use trace::{
+    diff, Divergence, TimingDiff, Trace, TraceDecision, TraceDiff, TraceEpoch, TraceError,
+    TraceTiming,
+};

@@ -9,8 +9,8 @@
 use workloads::{all_workloads, Scale, WorkloadKind};
 
 use crate::spec::{
-    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TargetSpec, TopologySpec,
-    WorkloadSpec,
+    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, ScenarioSpec, SyncSpec,
+    TargetSpec, TopologySpec, WorkloadSpec,
 };
 
 /// No injection; rates still scaled by the multiplier.
@@ -52,6 +52,16 @@ fn sharded(shards: usize, threads: usize) -> EngineSpec {
         shards,
         epoch: EpochSpec::Auto,
         threads,
+        sync: SyncSpec::Epoch,
+    }
+}
+
+fn lookahead(shards: usize, threads: usize, lookahead: LookaheadSpec) -> EngineSpec {
+    EngineSpec::Sharded {
+        shards,
+        epoch: EpochSpec::Auto,
+        threads,
+        sync: SyncSpec::Lookahead(lookahead),
     }
 }
 
@@ -76,6 +86,27 @@ pub fn presets() -> Vec<ScenarioSpec> {
         faults: faulty(10.0),
         policy: appfit(0.5),
         engine: sharded(2, 2),
+    });
+
+    // The smoke scenario under conservative-lookahead synchronization:
+    // cross-node activations arrive one interconnect-latency-floor
+    // after production instead of quantizing to epoch barriers. CI
+    // runs it as the lookahead pipeline smoke.
+    out.push(ScenarioSpec {
+        name: "smoke-lookahead".into(),
+        topology: TopologySpec::distributed(4),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 4,
+            tasks_per_chain: 32,
+            flops_per_task: 2.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 18,
+            cross_node_every: 4,
+            seed: 2016,
+        },
+        faults: faulty(10.0),
+        policy: appfit(0.5),
+        engine: lookahead(2, 2, LookaheadSpec::Auto),
     });
 
     // Figure 3 — App_FIT replication percentages per benchmark at a
@@ -155,6 +186,28 @@ pub fn presets() -> Vec<ScenarioSpec> {
         faults: faulty(10.0),
         policy: appfit(0.25),
         engine: sharded(32, 8),
+    });
+
+    // The same million-task cell under conservative lookahead: a 10 ms
+    // activation delay (≫ the 1.5 µs wire floor, ≪ the ~0.8 s auto
+    // epoch) trades some of epoch mode's batching throughput for
+    // cross-node timing ~80× tighter than the epoch quantization —
+    // `bench-sim` tracks its throughput next to `sweep-1m`'s.
+    out.push(ScenarioSpec {
+        name: "lookahead-1m".into(),
+        topology: TopologySpec::distributed(1024),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 16,
+            tasks_per_chain: 64,
+            flops_per_task: 4.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 20,
+            cross_node_every: 8,
+            seed: 2016,
+        },
+        faults: faulty(10.0),
+        policy: appfit(0.25),
+        engine: lookahead(32, 8, LookaheadSpec::Ns(1.0e7)),
     });
 
     // Million-task Table-I stress scenarios through the streamed path.

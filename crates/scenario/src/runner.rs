@@ -23,9 +23,10 @@ use parking_lot::Mutex;
 use workloads::{all_workloads, streamed_workload};
 
 use crate::spec::{
-    EngineSpec, EpochSpec, ParseError, PolicySpec, ScenarioSpec, TargetSpec, WorkloadSpec,
+    EngineSpec, EpochSpec, LookaheadSpec, ParseError, PolicySpec, ScenarioSpec, SyncSpec,
+    TargetSpec, WorkloadSpec,
 };
-use crate::trace::{Divergence, Trace, TraceDecision, TraceEpoch, TraceError};
+use crate::trace::{Divergence, Trace, TraceDecision, TraceEpoch, TraceError, TraceTiming};
 
 /// Anything that can go wrong building, running or replaying a
 /// scenario.
@@ -233,12 +234,31 @@ pub fn run_on(
             shards,
             epoch,
             threads,
+            sync,
         } => {
-            let sharded = match epoch {
+            let lookahead_secs = match sync {
+                SyncSpec::Epoch => None,
+                // `auto`: the interconnect transfer latency floor;
+                // explicit values are nanoseconds of virtual time
+                // (`inf` degenerates to epoch mode in with_lookahead).
+                SyncSpec::Lookahead(LookaheadSpec::Auto) => {
+                    Some(ShardedConfig::auto_lookahead(graph, &cfg))
+                }
+                SyncSpec::Lookahead(LookaheadSpec::Ns(ns)) => Some(ns * 1e-9),
+            };
+            let mut sharded = match epoch {
+                // A finite lookahead ignores the epoch entirely — skip
+                // the O(n) auto-epoch cost pass.
+                EpochSpec::Auto if matches!(lookahead_secs, Some(l) if l.is_finite()) => {
+                    ShardedConfig::new(shards, 1.0)
+                }
                 EpochSpec::Auto => ShardedConfig::auto(graph, &cfg, shards),
                 EpochSpec::Seconds(s) => ShardedConfig::new(shards, s),
             }
             .with_threads(threads);
+            if let Some(secs) = lookahead_secs {
+                sharded = sharded.with_lookahead(secs);
+            }
             simulate_sharded(graph, &cfg, &sharded)
         }
     };
@@ -314,15 +334,42 @@ impl DecisionSink for TraceRecorder {
     }
 }
 
+/// Options for [`record_with`] / [`record_on_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Record per-task dispatch/completion timing (the Trace-v2
+    /// timing flag, ~16 bytes per task — roughly 3× the decision
+    /// stream). Lets `trace diff` localize makespan regressions to
+    /// the earliest diverging task in virtual time.
+    pub timing: bool,
+}
+
 /// Runs a scenario with recording on: returns the outcome plus the
 /// [`Trace`] that replays it.
 pub fn record(spec: &ScenarioSpec) -> Result<(Outcome, Trace), ScenarioError> {
+    record_with(spec, TraceOptions::default())
+}
+
+/// [`record`] with explicit [`TraceOptions`].
+pub fn record_with(
+    spec: &ScenarioSpec,
+    options: TraceOptions,
+) -> Result<(Outcome, Trace), ScenarioError> {
     let graph = build_graph(spec)?;
-    record_on(spec, &graph)
+    record_on_with(spec, &graph, options)
 }
 
 /// [`record`] on a pre-built graph.
 pub fn record_on(spec: &ScenarioSpec, graph: &SimGraph) -> Result<(Outcome, Trace), ScenarioError> {
+    record_on_with(spec, graph, TraceOptions::default())
+}
+
+/// [`record_on`] with explicit [`TraceOptions`].
+pub fn record_on_with(
+    spec: &ScenarioSpec,
+    graph: &SimGraph,
+    options: TraceOptions,
+) -> Result<(Outcome, Trace), ScenarioError> {
     let recorder = Arc::new(TraceRecorder {
         state: Mutex::new(RecorderState::default()),
     });
@@ -337,10 +384,23 @@ pub fn record_on(spec: &ScenarioSpec, graph: &SimGraph) -> Result<(Outcome, Trac
         // close them as one epoch.
         state.close_epoch();
     }
+    let timing = options.timing.then(|| {
+        let records = outcome.report.records();
+        let mut timing = TraceTiming {
+            dispatched: Vec::with_capacity(records.len()),
+            completed: Vec::with_capacity(records.len()),
+        };
+        for r in records {
+            timing.dispatched.push(r.dispatched);
+            timing.completed.push(r.completed);
+        }
+        timing
+    });
     let trace = Trace {
         spec_text: spec.to_string(),
         makespan: outcome.report.makespan,
         epochs: state.epochs,
+        timing,
     };
     Ok((outcome, trace))
 }
@@ -366,7 +426,13 @@ pub struct ReplayReport {
 /// today, or something (code, environment, spec) changed.
 pub fn replay(trace: &Trace) -> Result<ReplayReport, ScenarioError> {
     let spec = ScenarioSpec::parse(&trace.spec_text)?;
-    let (_outcome, fresh) = record(&spec)?;
+    let (_outcome, fresh) = record_with(
+        &spec,
+        TraceOptions {
+            // Timed traces replay their per-task timelines bitwise too.
+            timing: trace.timing.is_some(),
+        },
+    )?;
     match trace.divergence_from(&fresh) {
         Some(d) => Err(ScenarioError::Diverged(d)),
         None => Ok(ReplayReport {
@@ -415,6 +481,7 @@ mod tests {
                 shards: 2,
                 epoch: EpochSpec::Auto,
                 threads: 1,
+                sync: SyncSpec::Epoch,
             },
             PolicySpec::AppFit {
                 target: TargetSpec::Fraction(0.5),
@@ -436,6 +503,13 @@ mod tests {
                 shards: 3,
                 epoch: EpochSpec::Seconds(0.4),
                 threads: 2,
+                sync: SyncSpec::Epoch,
+            },
+            EngineSpec::Sharded {
+                shards: 3,
+                epoch: EpochSpec::Auto,
+                threads: 2,
+                sync: SyncSpec::Lookahead(LookaheadSpec::Auto),
             },
         ] {
             let spec = tiny_spec(
@@ -462,6 +536,7 @@ mod tests {
                 shards: 4,
                 epoch: EpochSpec::Auto,
                 threads: 2,
+                sync: SyncSpec::Epoch,
             },
             PolicySpec::AppFit {
                 target: TargetSpec::Fraction(0.3),
@@ -475,6 +550,69 @@ mod tests {
             "recorded trajectory must equal the policy's own accounting"
         );
         assert_eq!(trace.replicated_count() as u64, stats.replicated);
+    }
+
+    #[test]
+    fn timed_record_replays_bitwise_and_localizes_seeded_regression() {
+        // Two runs of the same scenario differing only in the fault
+        // seed: the injected recovery work moves per-task timelines
+        // and the makespan. The Trace-v2 timing diff must localize
+        // where the regression *starts* in virtual time.
+        let timed = |seed: u64| {
+            let mut spec = tiny_spec(
+                EngineSpec::Sharded {
+                    shards: 2,
+                    epoch: EpochSpec::Auto,
+                    threads: 1,
+                    sync: SyncSpec::Epoch,
+                },
+                PolicySpec::AppFit {
+                    target: TargetSpec::Fraction(0.4),
+                },
+            );
+            spec.name = format!("tiny-seed-{seed}");
+            spec.faults.seed = seed;
+            spec.faults.p_due = 0.05;
+            spec.faults.p_sdc = 0.1;
+            record_with(&spec, TraceOptions { timing: true }).expect("records")
+        };
+        let (outcome_a, trace_a) = timed(5);
+        let (outcome_b, trace_b) = timed(1234);
+
+        // Round trip through bytes, then bitwise replay — timing and
+        // all.
+        let decoded = Trace::from_bytes(&trace_a.to_bytes()).expect("decodes");
+        assert_eq!(decoded.timing, trace_a.timing);
+        replay(&decoded).expect("timed replay is bitwise identical");
+
+        // The seeds must actually produce a makespan regression…
+        assert_ne!(
+            outcome_a.report.makespan, outcome_b.report.makespan,
+            "seeds chosen to move the makespan"
+        );
+        // …and the diff localizes it: the reported task is the
+        // earliest-dispatched task whose timeline differs, computed
+        // independently from the reports.
+        let d = crate::trace::diff(&trace_a, &trace_b);
+        let timing = d.timing.expect("both sides timed");
+        assert!(timing.differing > 0);
+        let expected = outcome_a
+            .report
+            .records()
+            .iter()
+            .zip(outcome_b.report.records())
+            .filter(|(x, y)| {
+                x.dispatched.to_bits() != y.dispatched.to_bits()
+                    || x.completed.to_bits() != y.completed.to_bits()
+            })
+            .min_by(|(xa, xb), (ya, yb)| {
+                xa.dispatched
+                    .min(xb.dispatched)
+                    .total_cmp(&ya.dispatched.min(yb.dispatched))
+            })
+            .map(|(x, _)| x.task)
+            .expect("some timeline differs");
+        assert_eq!(timing.first_diverging_task, Some(expected));
     }
 
     #[test]

@@ -38,7 +38,13 @@
 //! shards = 8
 //! epoch = auto            # auto | seconds (virtual)
 //! threads = 1
+//! sync = epoch            # epoch | lookahead (default epoch)
 //! ```
+//!
+//! A `sync = lookahead` engine additionally takes `lookahead-ns`
+//! (`auto` — the interconnect transfer latency floor — or nanoseconds
+//! of virtual time; `inf` degenerates to the epoch engine). The
+//! `lookahead-ns` key is rejected under `sync = epoch`.
 //!
 //! Synthetic workloads replace the `bench`/`scale`/`streamed` keys with
 //! `chains-per-node`, `tasks-per-chain`, `flops-per-task`, `jitter`,
@@ -240,12 +246,37 @@ pub enum EpochSpec {
     Seconds(f64),
 }
 
+/// Sharded-engine lookahead selection (`lookahead-ns`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LookaheadSpec {
+    /// Derive from the workload's interconnect transfer latency floor
+    /// ([`cluster_sim::ShardedConfig::auto_lookahead`]).
+    Auto,
+    /// Fixed lookahead in nanoseconds of virtual time. `inf` is
+    /// allowed and degenerates to the epoch engine (a window that
+    /// never closes early *is* the epoch barrier).
+    Ns(f64),
+}
+
+/// Sharded-engine synchronization mode (`sync`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncSpec {
+    /// Fixed epoch barriers; cross-node activations quantize to the
+    /// next barrier. The default.
+    Epoch,
+    /// Conservative lookahead: adaptive null-message windows,
+    /// cross-node activations delivered at their exact effect time,
+    /// one lookahead after production.
+    Lookahead(LookaheadSpec),
+}
+
 /// Which simulation engine drives the scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EngineSpec {
     /// The event-exact sequential reference engine.
     Sequential,
-    /// The sharded parallel engine (epoch-quantized across nodes).
+    /// The sharded parallel engine (epoch-quantized or
+    /// lookahead-synchronized across nodes, per [`SyncSpec`]).
     Sharded {
         /// Shard count (never affects results).
         shards: usize,
@@ -253,6 +284,8 @@ pub enum EngineSpec {
         epoch: EpochSpec,
         /// Worker threads (never affects results).
         threads: usize,
+        /// Cross-node synchronization mode.
+        sync: SyncSpec,
     },
 }
 
@@ -350,6 +383,7 @@ impl fmt::Display for ScenarioSpec {
                 shards,
                 epoch,
                 threads,
+                sync,
             } => {
                 writeln!(f, "kind = sharded")?;
                 writeln!(f, "shards = {shards}")?;
@@ -358,6 +392,16 @@ impl fmt::Display for ScenarioSpec {
                     EpochSpec::Seconds(s) => writeln!(f, "epoch = {s}")?,
                 }
                 writeln!(f, "threads = {threads}")?;
+                match sync {
+                    SyncSpec::Epoch => writeln!(f, "sync = epoch")?,
+                    SyncSpec::Lookahead(lookahead) => {
+                        writeln!(f, "sync = lookahead")?;
+                        match lookahead {
+                            LookaheadSpec::Auto => writeln!(f, "lookahead-ns = auto")?,
+                            LookaheadSpec::Ns(ns) => writeln!(f, "lookahead-ns = {ns}")?,
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -681,6 +725,24 @@ impl ScenarioSpec {
                     let (l, v) = s.take("threads")?;
                     parse_num(l, v, "thread count")?
                 },
+                // `sync` is optional (pre-lookahead specs default to
+                // epoch barriers); `lookahead-ns` is only meaningful —
+                // and only accepted — under `sync = lookahead` (an
+                // unconsumed key is rejected by `finish`).
+                sync: match s.take_opt("sync") {
+                    None => SyncSpec::Epoch,
+                    Some((_, "epoch")) => SyncSpec::Epoch,
+                    Some((_, "lookahead")) => {
+                        SyncSpec::Lookahead(match s.take_opt("lookahead-ns") {
+                            None => LookaheadSpec::Auto,
+                            Some((_, "auto")) => LookaheadSpec::Auto,
+                            Some((l, v)) => LookaheadSpec::Ns(parse_num(l, v, "lookahead")?),
+                        })
+                    }
+                    Some((l, other)) => {
+                        return err(l, format!("unknown sync mode `{other}`"));
+                    }
+                },
             },
             other => return err(kind_line, format!("unknown engine kind `{other}`")),
         };
@@ -779,6 +841,7 @@ impl ScenarioSpec {
             shards,
             epoch,
             threads,
+            sync,
         } = self.engine
         {
             if shards == 0 || threads == 0 {
@@ -787,6 +850,18 @@ impl ScenarioSpec {
             if let EpochSpec::Seconds(s) = epoch {
                 if s <= 0.0 || !s.is_finite() {
                     return Err(format!("epoch length must be positive and finite, got {s}"));
+                }
+            }
+            if let SyncSpec::Lookahead(LookaheadSpec::Ns(ns)) = sync {
+                // `inf` is allowed (it degenerates to epoch mode);
+                // NaN and non-positive values are not — and neither
+                // are subnormals so small the ns → seconds conversion
+                // the runner performs would underflow to zero.
+                let secs = ns * 1e-9;
+                if secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(format!(
+                        "lookahead-ns must be positive (and not underflow as seconds), got {ns}"
+                    ));
                 }
             }
         }
@@ -820,6 +895,7 @@ mod tests {
                 shards: 4,
                 epoch: EpochSpec::Auto,
                 threads: 2,
+                sync: SyncSpec::Epoch,
             },
         }
     }
@@ -898,5 +974,76 @@ mod tests {
         spec.topology.net_bandwidth_gbs = f64::INFINITY;
         let back = ScenarioSpec::parse(&spec.to_string()).unwrap();
         assert_eq!(back.topology.net_bandwidth_gbs, f64::INFINITY);
+    }
+
+    fn with_sync(sync: SyncSpec) -> ScenarioSpec {
+        let mut spec = sample();
+        spec.engine = EngineSpec::Sharded {
+            shards: 4,
+            epoch: EpochSpec::Auto,
+            threads: 2,
+            sync,
+        };
+        spec
+    }
+
+    #[test]
+    fn lookahead_engine_round_trips_canonically() {
+        for sync in [
+            SyncSpec::Epoch,
+            SyncSpec::Lookahead(LookaheadSpec::Auto),
+            SyncSpec::Lookahead(LookaheadSpec::Ns(1500.0)),
+            SyncSpec::Lookahead(LookaheadSpec::Ns(f64::INFINITY)),
+        ] {
+            let spec = with_sync(sync);
+            let text = spec.to_string();
+            let back = ScenarioSpec::parse(&text).expect("parses");
+            assert_eq!(spec, back, "{text}");
+            assert_eq!(text, back.to_string(), "canonical rendering");
+        }
+    }
+
+    #[test]
+    fn sync_defaults_to_epoch_for_old_specs() {
+        // A pre-lookahead spec (no `sync` line) must still parse.
+        let text: String = sample()
+            .to_string()
+            .lines()
+            .filter(|l| !l.starts_with("sync"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn lookahead_ns_is_rejected_under_epoch_sync() {
+        let text = with_sync(SyncSpec::Epoch)
+            .to_string()
+            .replace("sync = epoch", "sync = epoch\nlookahead-ns = 5");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("lookahead-ns"), "{e}");
+    }
+
+    #[test]
+    fn unknown_sync_mode_is_rejected() {
+        let text = with_sync(SyncSpec::Epoch)
+            .to_string()
+            .replace("sync = epoch", "sync = optimistic");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("optimistic"), "{e}");
+    }
+
+    #[test]
+    fn non_positive_lookahead_is_rejected() {
+        for bad in ["0", "-3", "NaN"] {
+            let text = with_sync(SyncSpec::Lookahead(LookaheadSpec::Auto))
+                .to_string()
+                .replace("lookahead-ns = auto", &format!("lookahead-ns = {bad}"));
+            assert!(
+                ScenarioSpec::parse(&text).is_err(),
+                "lookahead-ns = {bad} must be rejected"
+            );
+        }
     }
 }

@@ -13,6 +13,14 @@
 //! The serialized form is a little-endian binary layout (13 bytes per
 //! decision), small enough that million-task traces stay in the tens
 //! of megabytes.
+//!
+//! **Trace v2** optionally embeds **per-task timing** — each task's
+//! virtual dispatch and completion time, in task-id order — behind a
+//! header flag ([`Trace::timing`], recorded via
+//! [`crate::runner::TraceOptions`]). Timing costs 16 bytes per task
+//! (~3× the decision stream) but lets [`diff`] *localize* a makespan
+//! regression: the first task, in virtual time, whose timeline
+//! diverged. Version-1 traces decode unchanged (no timing).
 
 use std::fmt;
 
@@ -45,6 +53,28 @@ pub struct TraceEpoch {
     pub replicated_after: u64,
 }
 
+/// Per-task virtual timing (Trace v2): one entry per task, in task-id
+/// (submission) order, struct-of-arrays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceTiming {
+    /// Virtual dispatch time per task.
+    pub dispatched: Vec<f64>,
+    /// Virtual completion time per task.
+    pub completed: Vec<f64>,
+}
+
+impl TraceTiming {
+    /// Number of recorded tasks.
+    pub fn len(&self) -> usize {
+        self.dispatched.len()
+    }
+
+    /// `true` when no tasks are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.dispatched.is_empty()
+    }
+}
+
 /// A recorded scenario execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -54,6 +84,8 @@ pub struct Trace {
     pub makespan: f64,
     /// The decision stream, batched per accounting epoch.
     pub epochs: Vec<TraceEpoch>,
+    /// Per-task timing when recorded with the Trace-v2 timing flag.
+    pub timing: Option<TraceTiming>,
 }
 
 /// Where two traces first disagree.
@@ -75,6 +107,15 @@ pub enum Divergence {
     EpochState {
         /// Epoch index.
         index: usize,
+    },
+    /// One trace carries per-task timing and the other does not.
+    TimingPresence,
+    /// Task `task`'s recorded dispatch/completion timing differs
+    /// (bitwise) — the first such task *in virtual time*, which is
+    /// where the executions started to diverge.
+    Timing {
+        /// The earliest diverging task's id.
+        task: u32,
     },
     /// The makespans differ.
     Makespan,
@@ -113,6 +154,15 @@ impl fmt::Display for Divergence {
             Divergence::EpochState { index } => {
                 write!(f, "accounting state after epoch {index} differs")
             }
+            Divergence::TimingPresence => {
+                write!(f, "only one trace carries per-task timing")
+            }
+            Divergence::Timing { task } => {
+                write!(
+                    f,
+                    "task {task} is the earliest (in virtual time) whose dispatch/completion timing differs"
+                )
+            }
             Divergence::Makespan => write!(f, "makespans differ"),
         }
     }
@@ -131,7 +181,11 @@ impl fmt::Display for TraceError {
 impl std::error::Error for TraceError {}
 
 const MAGIC: &[u8; 4] = b"APFT";
-const VERSION: u16 = 1;
+/// Current format version. Version 1 (no flags, no timing) still
+/// decodes.
+const VERSION: u16 = 2;
+/// Header flag: the trace carries per-task timing.
+const FLAG_TIMING: u16 = 1;
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -194,6 +248,7 @@ impl Trace {
 
     /// Serializes to the compact binary layout.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let timing_len = self.timing.as_ref().map_or(0, |t| 4 + t.len() * 16);
         let mut out = Vec::with_capacity(
             4 + 2
                 + 2
@@ -202,11 +257,17 @@ impl Trace {
                 + 8
                 + 4
                 + self.decision_count() * 13
-                + self.epochs.len() * 28,
+                + self.epochs.len() * 28
+                + timing_len,
         );
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        let flags = if self.timing.is_some() {
+            FLAG_TIMING
+        } else {
+            0
+        };
+        out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&(self.spec_text.len() as u32).to_le_bytes());
         out.extend_from_slice(self.spec_text.as_bytes());
         out.extend_from_slice(&self.makespan.to_bits().to_le_bytes());
@@ -222,6 +283,18 @@ impl Trace {
             out.extend_from_slice(&epoch.decided_after.to_le_bytes());
             out.extend_from_slice(&epoch.replicated_after.to_le_bytes());
         }
+        if let Some(timing) = &self.timing {
+            assert_eq!(
+                timing.dispatched.len(),
+                timing.completed.len(),
+                "TraceTiming columns must be parallel"
+            );
+            out.extend_from_slice(&(timing.len() as u32).to_le_bytes());
+            for (&d, &c) in timing.dispatched.iter().zip(&timing.completed) {
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+                out.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
         out
     }
 
@@ -232,12 +305,18 @@ impl Trace {
             return Err(TraceError("not a scenario trace (bad magic)".into()));
         }
         let version = r.u16("version")?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(TraceError(format!(
-                "unsupported trace version {version} (expected {VERSION})"
+                "unsupported trace version {version} (expected ≤ {VERSION})"
             )));
         }
-        let _reserved = r.u16("reserved")?;
+        let flags = r.u16("flags")?;
+        if version == 1 && flags != 0 {
+            return Err(TraceError("version-1 traces carry no flags".into()));
+        }
+        if flags & !FLAG_TIMING != 0 {
+            return Err(TraceError(format!("unknown header flags {flags:#06x}")));
+        }
         let spec_len = r.u32("spec length")? as usize;
         let spec_text = String::from_utf8(r.take(spec_len, "spec text")?.to_vec())
             .map_err(|_| TraceError("spec text is not UTF-8".into()))?;
@@ -270,9 +349,23 @@ impl Trace {
                 replicated_after: r.u64("replicated")?,
             });
         }
+        let timing = if flags & FLAG_TIMING != 0 {
+            let n = r.u32("timing count")? as usize;
+            let mut timing = TraceTiming {
+                dispatched: Vec::with_capacity(n.min(1 << 22)),
+                completed: Vec::with_capacity(n.min(1 << 22)),
+            };
+            for _ in 0..n {
+                timing.dispatched.push(r.f64("dispatch time")?);
+                timing.completed.push(r.f64("completion time")?);
+            }
+            Some(timing)
+        } else {
+            None
+        };
         if r.pos != bytes.len() {
             return Err(TraceError(format!(
-                "{} trailing bytes after the last epoch",
+                "{} trailing bytes after the last section",
                 bytes.len() - r.pos
             )));
         }
@@ -280,6 +373,7 @@ impl Trace {
             spec_text,
             makespan,
             epochs,
+            timing,
         })
     }
 
@@ -327,11 +421,71 @@ impl Trace {
                 index: self.epochs.len().min(other.epochs.len()),
             });
         }
+        match (&self.timing, &other.timing) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                if let (_, Some(task)) = compare_timing(a, b) {
+                    return Some(Divergence::Timing { task });
+                }
+            }
+            _ => return Some(Divergence::TimingPresence),
+        }
         if self.makespan.to_bits() != other.makespan.to_bits() {
             return Some(Divergence::Makespan);
         }
         None
     }
+}
+
+/// Compares two timing blocks in one pass, returning how many task
+/// timelines differ and the task where they first diverge **in
+/// virtual time**: among all tasks whose `(dispatched, completed)`
+/// pair differs bitwise (or that only one side recorded), the one
+/// with the smallest dispatch time on either side — i.e. where the
+/// executions actually started to drift, which is what localizes a
+/// makespan regression. Ties break toward the lower task id.
+fn compare_timing(a: &TraceTiming, b: &TraceTiming) -> (usize, Option<u32>) {
+    let n = a.len().max(b.len());
+    let mut differing = 0usize;
+    let mut best: Option<(f64, u32)> = None;
+    for i in 0..n {
+        let differs = match (
+            a.dispatched.get(i).zip(a.completed.get(i)),
+            b.dispatched.get(i).zip(b.completed.get(i)),
+        ) {
+            (Some((ad, ac)), Some((bd, bc))) => {
+                ad.to_bits() != bd.to_bits() || ac.to_bits() != bc.to_bits()
+            }
+            _ => true,
+        };
+        if !differs {
+            continue;
+        }
+        differing += 1;
+        let at = a.dispatched.get(i).copied().unwrap_or(f64::INFINITY);
+        let bt = b.dispatched.get(i).copied().unwrap_or(f64::INFINITY);
+        let t = at.min(bt);
+        if best.is_none_or(|(bt, _)| t < bt) {
+            best = Some((t, i as u32));
+        }
+    }
+    (differing, best.map(|(_, task)| task))
+}
+
+/// The timing half of a [`TraceDiff`], present when both traces carry
+/// per-task timing (Trace v2): how many task timelines differ, and
+/// where the divergence *starts* in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingDiff {
+    /// Recorded task counts on each side.
+    pub tasks: (usize, usize),
+    /// Tasks whose `(dispatched, completed)` pair differs bitwise.
+    pub differing: usize,
+    /// The earliest diverging task in virtual time — the localization
+    /// a makespan regression wants. `None` when timing is identical.
+    pub first_diverging_task: Option<u32>,
+    /// That task's dispatch times on each side (`NaN` when absent).
+    pub first_dispatched: (f64, f64),
 }
 
 /// A structured comparison of two traces (the `trace diff` report).
@@ -352,6 +506,8 @@ pub struct TraceDiff {
     pub final_fit: (f64, f64),
     /// Makespans on each side.
     pub makespan: (f64, f64),
+    /// Per-task timing comparison when both traces recorded it.
+    pub timing: Option<TimingDiff>,
 }
 
 impl TraceDiff {
@@ -393,6 +549,20 @@ impl fmt::Display for TraceDiff {
             "  makespan[s]: {} vs {}",
             self.makespan.0, self.makespan.1
         )?;
+        if let Some(t) = &self.timing {
+            writeln!(
+                f,
+                "  timing:      {} vs {} tasks recorded, {} timelines differ",
+                t.tasks.0, t.tasks.1, t.differing
+            )?;
+            if let Some(task) = t.first_diverging_task {
+                writeln!(
+                    f,
+                    "  regression:  starts at task {task} (dispatched {} vs {})",
+                    t.first_dispatched.0, t.first_dispatched.1
+                )?;
+            }
+        }
         match &self.first {
             None => writeln!(f, "  verdict:     bitwise identical")?,
             Some(d) => writeln!(f, "  verdict:     DIVERGED — {d}")?,
@@ -422,6 +592,29 @@ pub fn diff(a: &Trace, b: &Trace) -> TraceDiff {
         }
         n
     };
+    let timing = match (&a.timing, &b.timing) {
+        (Some(ta), Some(tb)) => {
+            let (count, first) = compare_timing(ta, tb);
+            Some(TimingDiff {
+                tasks: (ta.len(), tb.len()),
+                differing: count,
+                first_diverging_task: first,
+                first_dispatched: first.map_or((f64::NAN, f64::NAN), |task| {
+                    (
+                        ta.dispatched
+                            .get(task as usize)
+                            .copied()
+                            .unwrap_or(f64::NAN),
+                        tb.dispatched
+                            .get(task as usize)
+                            .copied()
+                            .unwrap_or(f64::NAN),
+                    )
+                }),
+            })
+        }
+        _ => None,
+    };
     TraceDiff {
         same_spec: a.spec_text == b.spec_text,
         decisions: (a.decision_count(), b.decision_count()),
@@ -430,6 +623,7 @@ pub fn diff(a: &Trace, b: &Trace) -> TraceDiff {
         first: a.divergence_from(b),
         final_fit: (a.final_fit(), b.final_fit()),
         makespan: (a.makespan, b.makespan),
+        timing,
     }
 }
 
@@ -470,7 +664,17 @@ mod tests {
                     replicated_after: 1,
                 },
             ],
+            timing: None,
         }
+    }
+
+    fn sample_timed() -> Trace {
+        let mut t = sample();
+        t.timing = Some(TraceTiming {
+            dispatched: vec![0.0, 1.0, 2.5],
+            completed: vec![1.0, 2.5, 4.0],
+        });
+        t
     }
 
     #[test]
@@ -521,5 +725,68 @@ mod tests {
         assert_eq!(t.decision_count(), 3);
         assert_eq!(t.replicated_count(), 1);
         assert_eq!(t.final_fit(), 0.625);
+    }
+
+    #[test]
+    fn timed_traces_round_trip() {
+        let t = sample_timed();
+        let back = Trace::from_bytes(&t.to_bytes()).expect("decodes");
+        assert_eq!(t, back);
+        assert!(t.divergence_from(&back).is_none());
+        // Truncating inside the timing block is detected.
+        let bytes = t.to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn version_1_traces_still_decode() {
+        // A v1 trace is the v2 layout with version 1, zero flags and
+        // no timing block.
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1; // version low byte
+        let back = Trace::from_bytes(&bytes).expect("v1 decodes");
+        assert_eq!(back, sample());
+        // …but a v1 trace claiming flags is malformed.
+        let mut flagged = bytes.clone();
+        flagged[6] = 1;
+        assert!(Trace::from_bytes(&flagged).is_err());
+    }
+
+    #[test]
+    fn timing_presence_mismatch_diverges() {
+        let plain = sample();
+        let timed = sample_timed();
+        assert_eq!(
+            plain.divergence_from(&timed),
+            Some(Divergence::TimingPresence)
+        );
+        let d = diff(&plain, &timed);
+        assert!(d.timing.is_none(), "no timing half without both sides");
+    }
+
+    #[test]
+    fn timing_divergence_localizes_earliest_in_virtual_time() {
+        let a = sample_timed();
+        let mut b = sample_timed();
+        // Perturb task 2 (dispatched 2.5) *and* task 1 (dispatched
+        // 1.0): the divergence must point at task 1 — the earliest in
+        // virtual time — not the lowest-id differing entry order.
+        {
+            let t = b.timing.as_mut().unwrap();
+            t.completed[2] = 9.0;
+            t.completed[1] = 3.0;
+        }
+        assert_eq!(a.divergence_from(&b), Some(Divergence::Timing { task: 1 }));
+        let d = diff(&a, &b);
+        let timing = d.timing.expect("both sides timed");
+        assert_eq!(timing.differing, 2);
+        assert_eq!(timing.first_diverging_task, Some(1));
+        assert_eq!(timing.first_dispatched, (1.0, 1.0));
+        // Identical timing reports no divergence.
+        assert!(diff(&a, &sample_timed())
+            .timing
+            .unwrap()
+            .first_diverging_task
+            .is_none());
     }
 }

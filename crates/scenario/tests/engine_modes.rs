@@ -1,0 +1,99 @@
+//! Engine synchronization-mode properties at the scenario level.
+//!
+//! The satellite contract for the conservative-lookahead engine: a
+//! `sync = lookahead` engine with `lookahead-ns = inf` **is** the
+//! epoch-barrier engine — an adaptive window that never closes early
+//! and an activation never seen before the barrier degenerate to
+//! exactly the epoch protocol, and the config builder normalizes the
+//! spelling onto the same code path. Asserted here on the `smoke` and
+//! `fig3` preset families (every workload family the catalog's CI
+//! tier covers), bit for bit through the full scenario runner.
+
+use scenario::{
+    preset, presets, record_with, run_on, EngineSpec, EpochSpec, LookaheadSpec, ScenarioSpec,
+    SyncSpec, TraceOptions,
+};
+use workloads::Scale;
+
+/// The `smoke` + `fig3-*` preset families, with two CI-friendliness
+/// adjustments that do not change what is being tested: every
+/// scenario gets a sharded engine (the property under test is a
+/// sharded-engine property; five fig3 presets default to the
+/// sequential engine), and fig3's Medium workloads drop to Small so
+/// the whole family runs in seconds in debug CI.
+fn family() -> Vec<ScenarioSpec> {
+    presets()
+        .into_iter()
+        .filter(|p| p.name == "smoke" || p.name.starts_with("fig3-"))
+        .map(|mut p| {
+            if let scenario::WorkloadSpec::Bench { scale, .. } = &mut p.workload {
+                if *scale == Scale::Medium {
+                    *scale = Scale::Small;
+                }
+            }
+            p.engine = EngineSpec::Sharded {
+                shards: 4,
+                epoch: EpochSpec::Auto,
+                threads: 2,
+                sync: SyncSpec::Epoch,
+            };
+            p
+        })
+        .collect()
+}
+
+fn with_sync(mut spec: ScenarioSpec, sync: SyncSpec) -> ScenarioSpec {
+    if let EngineSpec::Sharded {
+        sync: ref mut s, ..
+    } = spec.engine
+    {
+        *s = sync;
+    }
+    spec
+}
+
+/// `lookahead-ns = inf` reproduces the epoch-barrier engine's results
+/// on the smoke and fig3 preset families — pinning the two sync modes
+/// to a shared code path.
+#[test]
+fn infinite_lookahead_reproduces_epoch_engine_on_smoke_and_fig3() {
+    let family = family();
+    assert!(family.len() >= 10, "smoke + nine fig3 presets");
+    for spec in family {
+        let graph = scenario::build_graph(&spec).expect("builds");
+        let epoch_spec = with_sync(spec.clone(), SyncSpec::Epoch);
+        let inf_spec = with_sync(
+            spec.clone(),
+            SyncSpec::Lookahead(LookaheadSpec::Ns(f64::INFINITY)),
+        );
+        let epoch = run_on(&epoch_spec, &graph, None).expect("epoch runs");
+        let inf = run_on(&inf_spec, &graph, None).expect("lookahead-inf runs");
+        assert_eq!(
+            epoch.report, inf.report,
+            "{}: lookahead-ns = inf must reproduce the epoch engine bitwise",
+            spec.name
+        );
+        assert_eq!(epoch.appfit, inf.appfit, "{}: App_FIT stats", spec.name);
+    }
+}
+
+/// A *finite* lookahead is a genuinely different (tighter) semantics:
+/// on the cross-node smoke scenario it must produce a different
+/// schedule than epoch quantization, and stay deterministic through
+/// the full record pipeline.
+#[test]
+fn finite_lookahead_differs_from_epoch_and_records_deterministically() {
+    let smoke = preset("smoke-lookahead").expect("catalog preset");
+    let (a, trace_a) = record_with(&smoke, TraceOptions { timing: true }).expect("records");
+    let (b, trace_b) = record_with(&smoke, TraceOptions { timing: true }).expect("records");
+    assert_eq!(a.report, b.report, "lookahead runs are deterministic");
+    assert!(trace_a.divergence_from(&trace_b).is_none());
+
+    let epoch_smoke = preset("smoke").expect("catalog preset");
+    let graph = scenario::build_graph(&smoke).expect("builds");
+    let epoch = run_on(&epoch_smoke, &graph, None).expect("epoch runs");
+    assert_ne!(
+        epoch.report.makespan, a.report.makespan,
+        "the lookahead semantics must actually differ from epoch quantization"
+    );
+}

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use scenario::{
-    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TargetSpec, TopologySpec,
-    WorkloadSpec,
+    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, ScenarioSpec, SyncSpec,
+    TargetSpec, TopologySpec, WorkloadSpec,
 };
 use workloads::Scale;
 
@@ -81,6 +81,17 @@ fn policy(sel: u8, x: u32) -> PolicySpec {
     }
 }
 
+/// Fuzzes both synchronization modes: epoch barriers and conservative
+/// lookahead with auto, finite-nanosecond and infinite lookaheads.
+fn sync(sel: u8, x: u32) -> SyncSpec {
+    match sel % 4 {
+        0 => SyncSpec::Epoch,
+        1 => SyncSpec::Lookahead(LookaheadSpec::Auto),
+        2 => SyncSpec::Lookahead(LookaheadSpec::Ns(f64::INFINITY)),
+        _ => SyncSpec::Lookahead(LookaheadSpec::Ns(0.5 + f64::from(x % 100_000) * 13.0)),
+    }
+}
+
 fn engine(sel: u8, x: u32) -> EngineSpec {
     match sel % 3 {
         0 => EngineSpec::Sequential,
@@ -88,11 +99,13 @@ fn engine(sel: u8, x: u32) -> EngineSpec {
             shards: 1 + x as usize % 64,
             epoch: EpochSpec::Auto,
             threads: 1 + x as usize % 8,
+            sync: sync(sel / 3, x),
         },
         _ => EngineSpec::Sharded {
             shards: 1 + x as usize % 64,
             epoch: EpochSpec::Seconds(0.001 + f64::from(x % 10_000) / 17.0),
             threads: 1 + x as usize % 8,
+            sync: sync(sel / 3, x.wrapping_mul(31)),
         },
     }
 }

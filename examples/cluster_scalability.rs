@@ -103,6 +103,7 @@ fn main() {
             shards,
             epoch: EpochSpec::Auto,
             threads,
+            sync: scenario::SyncSpec::Epoch,
         };
         let t0 = Instant::now();
         let outcome = scenario::run_on(&spec, &graph, None).expect("runs");
@@ -119,6 +120,22 @@ fn main() {
             ),
         }
     }
+
+    println!("\nConservative lookahead (`lookahead-1m`): same cell, tighter cross-node timing");
+    // Reuse the already-built graph: swap only the engine onto the
+    // sweep-1m spec, so a future catalog edit cannot desynchronize
+    // the workload from the graph we simulate.
+    let mut lookahead = reference.clone();
+    lookahead.engine = preset("lookahead-1m").expect("catalog preset").engine;
+    let t0 = Instant::now();
+    let outcome = scenario::run_on(&lookahead, &graph, None).expect("runs");
+    println!(
+        "  makespan {:.2} s (epoch mode: {:.2} s — the difference is epoch-quantization \
+         inflation), wall {:.2} s",
+        outcome.report.makespan,
+        reference_makespan.unwrap(),
+        t0.elapsed().as_secs_f64()
+    );
 
     println!("\nTrace record → replay on the catalog's `smoke` scenario:");
     let smoke = preset("smoke").expect("catalog preset");

@@ -2,7 +2,8 @@
 # Simulator performance baseline: builds the workspace in release mode
 # and runs `repro bench-sim`, which measures graph-build and simulation
 # throughput (tasks/sec) plus peak resident memory for the heavyweight
-# presets (`sweep-1m`, `stress-huge-*`) and writes `BENCH_sim.json`.
+# presets (`sweep-1m`, its conservative-lookahead twin `lookahead-1m`,
+# and `stress-huge-*`) and writes `BENCH_sim.json`.
 #
 # Usage:
 #   scripts/bench.sh                # full run, writes BENCH_sim.json

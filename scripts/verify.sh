@@ -13,7 +13,11 @@
 #      trace determinism contract),
 #   8. a release-mode `bench-sim --smoke` run (small preset; asserts
 #      the BENCH_sim.json schema so the perf-tracking machinery can't
-#      rot).
+#      rot),
+#   9. the cross-engine conformance harness in release mode (fixed
+#      seeds: lookahead ≡ sequential reference bitwise, per-mode
+#      shard-layout invariance, lookahead error ≤ epoch error), plus
+#      a `scenario run` smoke of a lookahead preset.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -45,5 +49,11 @@ cargo run --release -q -p repro-bench --bin repro -- scenario diff "$smoke_trace
 
 echo "==> bench-sim smoke (schema check)"
 cargo run --release -q -p repro-bench --bin repro -- bench-sim --smoke --out target/verify-bench-sim.json
+
+echo "==> cross-engine conformance harness (release, fixed seeds)"
+cargo test --release -q -p cluster-sim --test conformance
+
+echo "==> lookahead scenario smoke"
+cargo run --release -q -p repro-bench --bin repro -- scenario run smoke-lookahead
 
 echo "verify: all gates green"
