@@ -80,6 +80,13 @@ impl EventKey {
     pub fn task(self) -> u32 {
         self.0 as u32
     }
+
+    /// The raw packed key — fed to the sharded engine's model-checking
+    /// state hash.
+    #[inline]
+    pub(crate) fn raw_bits(self) -> u128 {
+        self.0
+    }
 }
 
 /// Maps an `f64` to a `u64` whose unsigned order equals
@@ -237,6 +244,18 @@ impl EventBatch {
         self.times.iter().copied().zip(self.tasks.iter().copied())
     }
 
+    /// Mixes the batch contents (in storage order) into the running
+    /// fingerprint `h` — part of the sharded engine's model-checking
+    /// state hash.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        use crate::sched::fnv_step;
+        fnv_step(h, self.times.len() as u64);
+        for (t, task) in self.iter() {
+            fnv_step(h, t.to_bits());
+            fnv_step(h, u64::from(task));
+        }
+    }
+
     fn is_sorted_by_time(&self) -> bool {
         self.times.windows(2).all(|w| w[0] <= w[1])
     }
@@ -359,6 +378,19 @@ impl EpochCalendar {
         self.spare.push(batch);
     }
 
+    /// Mixes every bucket (index plus contents, in ascending bucket
+    /// order) into the running fingerprint `h` — part of the sharded
+    /// engine's model-checking state hash. The recycling pool is
+    /// capacity-only state and is excluded.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        use crate::sched::fnv_step;
+        fnv_step(h, self.buckets.len() as u64);
+        for (&bucket, batch) in &self.buckets {
+            fnv_step(h, bucket);
+            batch.fold_hash(h);
+        }
+    }
+
     /// Earliest epoch with buffered events.
     pub fn min_epoch(&self) -> Option<u64> {
         self.buckets.keys().next().copied()
@@ -471,6 +503,97 @@ mod tests {
     fn time_bits_round_trip_is_exact() {
         for t in [0.0, -0.0, 1.25e-300, 7.5, -2.0, f64::INFINITY] {
             assert_eq!(time_from_bits(time_to_bits(t)).to_bits(), t.to_bits());
+        }
+    }
+
+    /// The adversarial corner cases of the float domain, in strictly
+    /// ascending `total_cmp` order: both NaN signs, both infinities,
+    /// both zeros, subnormals at both ends of their range, and the
+    /// normal-range extremes.
+    fn adversarial_times() -> Vec<f64> {
+        let min_subnormal = f64::from_bits(1);
+        let max_subnormal = f64::from_bits((1 << 52) - 1);
+        vec![
+            -f64::NAN,
+            f64::NEG_INFINITY,
+            -f64::MAX,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -max_subnormal,
+            -min_subnormal,
+            -0.0,
+            0.0,
+            min_subnormal,
+            max_subnormal,
+            f64::MIN_POSITIVE,
+            1.0,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+        ]
+    }
+
+    #[test]
+    fn time_to_bits_matches_total_cmp_on_every_adversarial_pair() {
+        // The mapping's one contract: unsigned bit order ≡ total_cmp
+        // order, on *every* pair including NaNs, signed zeros and
+        // subnormals. (The sample list doubles as a strictness check:
+        // it is strictly ascending, so equal bit images would fail.)
+        let ts = adversarial_times();
+        for (i, &a) in ts.iter().enumerate() {
+            for &b in &ts[i + 1..] {
+                assert_eq!(
+                    a.total_cmp(&b),
+                    std::cmp::Ordering::Less,
+                    "sample list must be strictly ascending: {a:?} vs {b:?}"
+                );
+                assert!(
+                    time_to_bits(a) < time_to_bits(b),
+                    "bit order must match total_cmp: {a:?} ({:#x}) vs {b:?} ({:#x})",
+                    time_to_bits(a),
+                    time_to_bits(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_floats_map_to_adjacent_bits() {
+        // The mapping is not just monotone but *gapless*: stepping to
+        // the next representable float advances the image by exactly
+        // one — including across the subnormal range and MAX → ∞.
+        for x in [
+            -1.5,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::from_bits(1),
+            1.0,
+            1e300,
+            f64::MAX,
+        ] {
+            assert_eq!(
+                time_to_bits(x.next_up()),
+                time_to_bits(x) + 1,
+                "next_up({x:?}) must advance the image by one"
+            );
+        }
+        // The signed zeros are distinct, adjacent points of the total
+        // order: -0.0 maps immediately below +0.0.
+        assert_eq!(time_to_bits(-0.0) + 1, time_to_bits(0.0));
+        // …and the smallest positive subnormal sits right above +0.0.
+        assert_eq!(time_to_bits(0.0) + 1, time_to_bits(f64::from_bits(1)));
+    }
+
+    #[test]
+    fn adversarial_times_round_trip_bitwise() {
+        // Bijectivity on the corners, bit for bit — NaN payloads
+        // included.
+        for t in adversarial_times() {
+            assert_eq!(
+                time_from_bits(time_to_bits(t)).to_bits(),
+                t.to_bits(),
+                "{t:?} must survive the round trip exactly"
+            );
         }
     }
 

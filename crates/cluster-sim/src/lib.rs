@@ -86,6 +86,7 @@ pub mod machine;
 pub(crate) mod ready;
 pub mod records;
 pub mod report;
+pub mod sched;
 pub mod shard;
 pub mod sim;
 pub mod stream;
@@ -95,6 +96,7 @@ pub use graph::{SimGraph, SimTask, SyntheticSpec};
 pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
 pub use records::RecordStore;
 pub use report::{LabelStats, SimReport, SimTaskRecord};
-pub use shard::{simulate_sharded, ShardedConfig, SyncMode};
+pub use sched::{NaturalOrder, ProtocolOp, ShardScheduler};
+pub use shard::{simulate_sharded, simulate_sharded_scheduled, ShardedConfig, SyncMode};
 pub use sim::{simulate, simulate_delayed, SimConfig};
 pub use stream::{StreamTask, TaskStream};

@@ -81,6 +81,22 @@ impl ReadyList {
         }
         Some(id)
     }
+
+    /// Mixes the complete queue state (heads, tails, link arena) into
+    /// the running fingerprint `h` — part of the sharded engine's
+    /// model-checking state hash.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        use crate::sched::fnv_step;
+        for &x in &self.head {
+            fnv_step(h, u64::from(x));
+        }
+        for &x in &self.tail_slot {
+            fnv_step(h, u64::from(x));
+        }
+        for &x in &self.next {
+            fnv_step(h, u64::from(x));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,38 @@ impl RecordStore {
         }
     }
 
+    /// Mixes every column (numeric vectors bitwise, bitsets word-wise)
+    /// into the running fingerprint `h` — part of the sharded engine's
+    /// model-checking state hash.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        use crate::sched::fnv_step;
+        for &x in &self.node {
+            fnv_step(h, u64::from(x));
+        }
+        for &x in &self.dispatched {
+            fnv_step(h, x.to_bits());
+        }
+        for &x in &self.completed {
+            fnv_step(h, x.to_bits());
+        }
+        for &x in &self.base_secs {
+            fnv_step(h, x.to_bits());
+        }
+        for bits in [
+            &self.replicated,
+            &self.sdc_detected,
+            &self.due_recovered,
+            &self.uncovered_sdc,
+            &self.uncovered_due,
+            &self.is_barrier,
+            &self.filled,
+        ] {
+            for &w in &bits.0 {
+                fnv_step(h, w);
+            }
+        }
+    }
+
     /// Maximum completion time across all filled slots (0.0 when none
     /// are filled) — one dense column scan, used for the makespan fold.
     pub fn max_completed(&self) -> f64 {

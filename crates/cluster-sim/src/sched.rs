@@ -1,0 +1,189 @@
+//! The scheduling seam of the sharded engine.
+//!
+//! [`crate::simulate_sharded`] advances shards through windows and
+//! exchanges their cross-shard effects at barriers. The *result* is a
+//! pure function of `(graph, config, sync mode)` — that is the
+//! determinism contract — but the *order* in which the barrier folds
+//! per-shard contributions together is an implementation freedom: which
+//! shard's decisions are appended first, which outbox is merged first,
+//! which horizon is folded first. A real parallel runtime would resolve
+//! those orders nondeterministically; the engine resolves them in
+//! natural shard order.
+//!
+//! [`ShardScheduler`] reifies that freedom as an injectable policy so a
+//! model checker can *drive* it: at every point where the engine is
+//! about to fold per-shard contributions, it asks the scheduler which
+//! shard goes next. The production scheduler, [`NaturalOrder`], always
+//! answers "the first remaining one" and reports itself uncontrolled,
+//! so the generic engine monomorphizes back to the plain loops it had
+//! before the seam existed — zero overhead on the hot path. The
+//! `shard-check` crate installs a controlled scheduler instead and
+//! exhaustively enumerates the orders, asserting the contract holds on
+//! every explored path.
+//!
+//! The schedulable operations are the protocol's cross-shard
+//! interaction points ([`ProtocolOp`]); purely shard-private work can
+//! be reordered trivially (shards share nothing within a window — the
+//! compute phase holds `&mut` access per shard) and is modeled as a
+//! single operation per shard per window.
+
+/// One schedulable operation class of the shard protocol. Each value
+/// names *what* the engine is about to do for one shard (or one
+/// consumer); the scheduler chooses *which* shard goes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolOp {
+    /// Advance one shard through the current window (the compute
+    /// phase). Shard-private: touches only the shard's own state.
+    StepWindow,
+    /// Append one shard's pending replication decisions to the global
+    /// commit buffer at the barrier. Writes a shared buffer — the
+    /// canonical sort must make the append order unobservable.
+    CommitAppend,
+    /// Merge one shard's outbox into the global message buffer at the
+    /// barrier. Writes a shared buffer — the canonical sort must make
+    /// the merge order unobservable.
+    MsgSend,
+    /// Deliver the sorted barrier messages to one consumer shard's
+    /// inbox (epoch mode) or delivery calendar (lookahead mode). Reads
+    /// the shared buffer, writes only the consumer's own state.
+    MsgReceive,
+    /// Fold one shard's horizon report (its earliest pending event —
+    /// the null message) into the global horizon / next-epoch
+    /// computation. Writes the shared horizon accumulator.
+    HorizonReport,
+}
+
+/// The injectable ordering policy of [`crate::simulate_sharded`]'s
+/// barrier protocol — see the [module docs](self).
+///
+/// The engine is generic over `S: ShardScheduler + ?Sized`, so the
+/// production path monomorphizes over [`NaturalOrder`] (and compiles
+/// to the original uncontrolled loops) while a checker passes
+/// `&mut dyn ShardScheduler` through
+/// [`crate::shard::simulate_sharded_scheduled`].
+pub trait ShardScheduler {
+    /// Whether this scheduler drives ordering. When `false` (the
+    /// production default) the engine never calls [`Self::pick`] or
+    /// [`Self::window_boundary`] and runs its natural loops — including
+    /// the multi-threaded compute phase, which a controlled run
+    /// serializes.
+    fn controlled(&self) -> bool {
+        false
+    }
+
+    /// Chooses the next shard to run `op` on, as an index into
+    /// `remaining` (the shard ids — or consumer shard ids for
+    /// [`ProtocolOp::MsgReceive`] — not yet executed in this phase).
+    /// `barrier` is the index of the current window/barrier round.
+    ///
+    /// Only called when [`Self::controlled`] is `true`.
+    fn pick(&mut self, op: ProtocolOp, barrier: u64, remaining: &[u32]) -> usize {
+        let _ = (op, barrier, remaining);
+        0
+    }
+
+    /// Observes the end of barrier round `barrier` with a fingerprint
+    /// of the engine's complete post-barrier state. Returning `false`
+    /// aborts the run (the checker prunes paths that reconverge onto
+    /// already-explored states); the engine then returns `None` from
+    /// [`crate::shard::simulate_sharded_scheduled`].
+    ///
+    /// Only called when [`Self::controlled`] is `true`.
+    fn window_boundary(&mut self, barrier: u64, fingerprint: u64) -> bool {
+        let _ = (barrier, fingerprint);
+        true
+    }
+}
+
+/// The production scheduler: natural shard order, uncontrolled. The
+/// engine monomorphizes over this to the exact pre-seam loops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaturalOrder;
+
+impl ShardScheduler for NaturalOrder {
+    #[inline(always)]
+    fn controlled(&self) -> bool {
+        false
+    }
+}
+
+impl ShardScheduler for &mut dyn ShardScheduler {
+    fn controlled(&self) -> bool {
+        (**self).controlled()
+    }
+    fn pick(&mut self, op: ProtocolOp, barrier: u64, remaining: &[u32]) -> usize {
+        (**self).pick(op, barrier, remaining)
+    }
+    fn window_boundary(&mut self, barrier: u64, fingerprint: u64) -> bool {
+        (**self).window_boundary(barrier, fingerprint)
+    }
+}
+
+/// One FNV-1a style fold step for the engine's state fingerprints:
+/// mixes `x` into the running hash `h`. Shared by the `fold_hash`
+/// helpers across the crate so every component hashes consistently.
+#[inline]
+pub(crate) fn fnv_step(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// The FNV-1a offset basis — seed for [`fnv_step`] chains.
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A bijective 64-bit mixer (splitmix64 finalizer), used to hash heap
+/// contents order-insensitively: each element is mixed independently
+/// and the images combined with wrapping addition, so the unspecified
+/// `BinaryHeap` iteration order cannot leak into the fingerprint.
+#[inline]
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_order_is_uncontrolled_and_picks_first() {
+        let mut s = NaturalOrder;
+        assert!(!s.controlled());
+        assert_eq!(s.pick(ProtocolOp::MsgSend, 3, &[4, 7]), 0);
+        assert!(s.window_boundary(0, 42));
+    }
+
+    #[test]
+    fn dyn_scheduler_forwards() {
+        struct Fixed;
+        impl ShardScheduler for Fixed {
+            fn controlled(&self) -> bool {
+                true
+            }
+            fn pick(&mut self, _op: ProtocolOp, _barrier: u64, remaining: &[u32]) -> usize {
+                remaining.len() - 1
+            }
+            fn window_boundary(&mut self, _barrier: u64, _fp: u64) -> bool {
+                false
+            }
+        }
+        let mut fixed = Fixed;
+        let via: &mut dyn ShardScheduler = &mut fixed;
+        assert!(via.controlled());
+        assert_eq!(via.pick(ProtocolOp::CommitAppend, 0, &[1, 2, 3]), 2);
+        assert!(!via.window_boundary(9, 1));
+    }
+
+    #[test]
+    fn splitmix_is_injective_on_samples() {
+        let xs = [0u64, 1, 2, 42, u64::MAX, 1 << 63];
+        let mut images: Vec<u64> = xs.iter().map(|&x| splitmix(x)).collect();
+        images.sort_unstable();
+        images.dedup();
+        assert_eq!(images.len(), xs.len());
+    }
+}

@@ -89,6 +89,7 @@ use crate::machine::ShardMap;
 use crate::ready::ReadyList;
 use crate::records::RecordStore;
 use crate::report::{SimReport, SimTaskRecord};
+use crate::sched::{fnv_step, splitmix, NaturalOrder, ProtocolOp, ShardScheduler, FNV_SEED};
 use crate::sim::{dispatch_task, NodeState, SimConfig};
 
 /// Cross-node synchronization mode of the sharded engine (see the
@@ -319,10 +320,26 @@ pub(crate) fn commit_pending(
     pending: &mut Vec<DecisionRec>,
     committed: &mut Vec<EpochDecision>,
 ) {
+    commit_pending_with(policy, tasks, pending, committed, true);
+}
+
+/// [`commit_pending`] with the canonical sort made explicit. The only
+/// caller that ever passes `canonical = false` is the sharded barrier
+/// under the [`chaos`] test hook — the seeded bug the `shard-check`
+/// model checker must be able to find.
+pub(crate) fn commit_pending_with(
+    policy: &dyn appfit_core::ReplicationPolicy,
+    tasks: &[SimTask],
+    pending: &mut Vec<DecisionRec>,
+    committed: &mut Vec<EpochDecision>,
+    canonical: bool,
+) {
     if pending.is_empty() {
         return;
     }
-    pending.sort_unstable_by_key(|d| d.key);
+    if canonical {
+        pending.sort_unstable_by_key(|d| d.key);
+    }
     committed.clear();
     committed.extend(pending.iter().map(|d| EpochDecision {
         ctx: decision_ctx(&tasks[d.task as usize]),
@@ -330,6 +347,39 @@ pub(crate) fn commit_pending(
     }));
     policy.commit_epoch(committed);
     pending.clear();
+}
+
+/// Test hooks that deliberately break the shard protocol.
+///
+/// The `shard-check` model checker must demonstrably be able to *fail*
+/// — find a schedule under which the engine diverges from the
+/// sequential oracle — not just pass. These process-global switches
+/// plant such bugs. They are compiled unconditionally (a `#[cfg(test)]`
+/// gate would not be visible to other crates' test binaries) but sit
+/// behind `#[doc(hidden)]`: nothing in the production code path reads
+/// them except the single branch they sabotage, and they default off.
+///
+/// Tests toggling a switch must serialize with each other (the flags
+/// are process-global); the `shard-check` suite guards them with a
+/// mutex.
+#[doc(hidden)]
+pub mod chaos {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When set, the sharded barrier commits decisions in shard-append
+    /// order instead of canonical `(time, node, node_seq)` order —
+    /// exactly the bug the canonical sort exists to prevent.
+    static BREAK_COMMIT_ORDER: AtomicBool = AtomicBool::new(false);
+
+    /// Enables or disables the broken-commit-order bug.
+    pub fn set_break_commit_order(enabled: bool) {
+        BREAK_COMMIT_ORDER.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the broken-commit-order bug is active.
+    pub fn commit_order_broken() -> bool {
+        BREAK_COMMIT_ORDER.load(Ordering::SeqCst)
+    }
 }
 
 /// One shard's private simulation state.
@@ -377,13 +427,97 @@ struct ShardState {
 /// to [`crate::sim::simulate`] within a node, epoch-quantized across
 /// nodes, and invariant in `shards`/`threads`.
 pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedConfig) -> SimReport {
+    run_sharded(graph, cfg, shard_cfg, &mut NaturalOrder)
+        .expect("the natural scheduler never aborts a run")
+}
+
+/// Runs the sharded engine under an external [`ShardScheduler`] — the
+/// model-checking entry point (see [`crate::sched`]).
+///
+/// The scheduler chooses the order in which per-shard contributions
+/// fold together at every barrier phase, and observes a state
+/// fingerprint at every window boundary. Returns `None` when the
+/// scheduler aborted the run from
+/// [`ShardScheduler::window_boundary`] (the checker pruning a path
+/// that reconverged onto an already-explored state), `Some(report)`
+/// otherwise.
+///
+/// A controlled run executes the compute phase serially in the chosen
+/// order regardless of [`ShardedConfig::threads`] — the checker
+/// explores orderings explicitly instead of racing threads.
+pub fn simulate_sharded_scheduled(
+    graph: &SimGraph,
+    cfg: &SimConfig,
+    shard_cfg: &ShardedConfig,
+    sched: &mut dyn ShardScheduler,
+) -> Option<SimReport> {
+    run_sharded(graph, cfg, shard_cfg, sched)
+}
+
+/// Executes one phase of up to `n` per-shard operations in
+/// scheduler-chosen order (controlled) or natural ascending order
+/// (production — compiles to the plain loop).
+#[inline]
+fn drive_range<S: ShardScheduler + ?Sized>(
+    sched: &mut S,
+    op: ProtocolOp,
+    barrier: u64,
+    n: usize,
+    mut f: impl FnMut(usize),
+) {
+    if sched.controlled() {
+        let mut remaining: Vec<u32> = (0..n as u32).collect();
+        while !remaining.is_empty() {
+            let i = sched.pick(op, barrier, &remaining);
+            f(remaining.remove(i) as usize);
+        }
+    } else {
+        for s in 0..n {
+            f(s);
+        }
+    }
+}
+
+/// Like [`drive_range`] but over an explicit id list (the consumer
+/// shards of a delivery phase), so the scheduler sees real shard ids.
+#[inline]
+fn drive_list<S: ShardScheduler + ?Sized>(
+    sched: &mut S,
+    op: ProtocolOp,
+    barrier: u64,
+    ids: &[u32],
+    mut f: impl FnMut(u32),
+) {
+    if sched.controlled() {
+        let mut remaining: Vec<u32> = ids.to_vec();
+        while !remaining.is_empty() {
+            let i = sched.pick(op, barrier, &remaining);
+            f(remaining.remove(i));
+        }
+    } else {
+        for &id in ids {
+            f(id);
+        }
+    }
+}
+
+/// The engine core, generic over the scheduling seam. Monomorphized
+/// with [`NaturalOrder`] this is exactly the pre-seam engine (the
+/// `controlled()` branches fold away); driven through a
+/// `&mut dyn ShardScheduler` it becomes the model checker's subject.
+fn run_sharded<S: ShardScheduler + ?Sized>(
+    graph: &SimGraph,
+    cfg: &SimConfig,
+    shard_cfg: &ShardedConfig,
+    sched: &mut S,
+) -> Option<SimReport> {
     let tasks = graph.tasks();
     let n = tasks.len();
     let nodes = cfg.cluster.nodes;
     let map = ShardMap::new(nodes, shard_cfg.shards);
 
     if n == 0 {
-        return SimReport::new(0.0, cfg.cluster.total_cores(), Vec::new());
+        return Some(SimReport::new(0.0, cfg.cluster.total_cores(), Vec::new()));
     }
 
     // Per-task shard-local index, and per-shard task counts.
@@ -461,11 +595,16 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
     // t = 0 seed horizon.
     let mut w_end: f64 = lookahead.unwrap_or(0.0);
     let mut first_window = true;
+    // Barrier round counter — the model checker's depth coordinate.
+    let mut barrier: u64 = 0;
     // Barrier-phase buffers, reused across windows.
     let mut messages = EventBatch::new();
     let mut barrier_scratch = SortScratch::default();
     let mut all_decisions: Vec<DecisionRec> = Vec::new();
     let mut committed: Vec<EpochDecision> = Vec::new();
+    // Controlled runs only: consumer shard ids of the current barrier's
+    // messages.
+    let mut consumers: Vec<u32> = Vec::new();
 
     loop {
         let win = match lookahead {
@@ -480,12 +619,19 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
             },
         };
         // ---- compute phase: every shard advances through the window.
-        let chunk = shards.len().div_ceil(threads);
-        if threads == 1 {
+        // Shard-private by construction (each shard touches only its
+        // own state), so any order gives the same result; a controlled
+        // run still drives the order to certify exactly that.
+        if sched.controlled() {
+            drive_range(sched, ProtocolOp::StepWindow, barrier, shards.len(), |s| {
+                process_window(&mut shards[s], graph, cfg, &cost, &local_of, win);
+            });
+        } else if threads == 1 {
             for shard in &mut shards {
                 process_window(shard, graph, cfg, &cost, &local_of, win);
             }
         } else {
+            let chunk = shards.len().div_ceil(threads);
             std::thread::scope(|scope| {
                 for chunk_shards in shards.chunks_mut(chunk) {
                     let local_of = &local_of;
@@ -503,25 +649,77 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         // ---- barrier phase: commit decisions, exchange messages,
         // advance the window. Single-threaded by design: this is the
         // global sequencing point that makes cross-shard effects
-        // commute.
+        // commute. The append/merge/fold orders below are exactly the
+        // freedoms a parallel barrier implementation would have — each
+        // is driven through the scheduling seam so the checker can
+        // certify the canonical sorts erase them.
         all_decisions.clear();
-        for shard in &mut shards {
-            all_decisions.append(&mut shard.decisions);
+        drive_range(
+            sched,
+            ProtocolOp::CommitAppend,
+            barrier,
+            shards.len(),
+            |s| {
+                all_decisions.append(&mut shards[s].decisions);
+            },
+        );
+        let had_decisions = !all_decisions.is_empty();
+        commit_pending_with(
+            &*cfg.policy,
+            tasks,
+            &mut all_decisions,
+            &mut committed,
+            !chaos::commit_order_broken(),
+        );
+        // The committed decision sequence feeds the policy's internal
+        // state, which the fingerprint cannot reach — hash the sequence
+        // itself instead (the policy state is a deterministic function
+        // of the sequences committed so far).
+        let mut commit_hash: u64 = 0;
+        if sched.controlled() && had_decisions {
+            let mut h = FNV_SEED;
+            for d in &committed {
+                fnv_step(&mut h, d.ctx.id);
+                fnv_step(&mut h, u64::from(d.replicate));
+            }
+            commit_hash = h;
         }
-        commit_pending(&*cfg.policy, tasks, &mut all_decisions, &mut committed);
 
         messages.clear();
-        for shard in &mut shards {
-            messages.extend_from(&shard.outbox);
-            shard.outbox.clear();
-        }
+        drive_range(sched, ProtocolOp::MsgSend, barrier, shards.len(), |s| {
+            messages.extend_from(&shards[s].outbox);
+            shards[s].outbox.clear();
+        });
         messages.sort_canonical(&mut barrier_scratch);
         let any_messages = !messages.is_empty();
+        if sched.controlled() {
+            consumers.clear();
+            for (_, task) in messages.iter() {
+                consumers.push(map.shard_of(tasks[task as usize].node as usize) as u32);
+            }
+            consumers.sort_unstable();
+            consumers.dedup();
+        }
         match lookahead {
             None => {
-                for (time, task) in messages.iter() {
-                    let s = map.shard_of(tasks[task as usize].node as usize);
-                    shards[s].inbox.push(time, task);
+                if sched.controlled() {
+                    // Per-consumer delivery in scheduler-chosen order:
+                    // consumers partition the sorted messages, so any
+                    // order fills the same inboxes with the same
+                    // (relative-order-preserving) contents.
+                    drive_list(sched, ProtocolOp::MsgReceive, barrier, &consumers, |c| {
+                        let c = c as usize;
+                        for (time, task) in messages.iter() {
+                            if map.shard_of(tasks[task as usize].node as usize) == c {
+                                shards[c].inbox.push(time, task);
+                            }
+                        }
+                    });
+                } else {
+                    for (time, task) in messages.iter() {
+                        let s = map.shard_of(tasks[task as usize].node as usize);
+                        shards[s].inbox.push(time, task);
+                    }
                 }
             }
             Some(l) => {
@@ -530,56 +728,102 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
                 // closed window had time ≥ the window's opening
                 // horizon, so its effect lands at or past the window
                 // end just processed.
-                for (time, task) in messages.iter() {
+                let deliver = |shard: &mut ShardState, time: f64, task: u32| {
                     let effect = time + l;
                     debug_assert!(
                         effect >= w_end,
                         "delayed activation ({effect}) must not land inside the closed window (end {w_end})"
                     );
-                    let s = map.shard_of(tasks[task as usize].node as usize);
-                    shards[s]
+                    shard
                         .deliveries
                         .push(crate::events::time_bucket(effect), effect, task);
+                };
+                if sched.controlled() {
+                    drive_list(sched, ProtocolOp::MsgReceive, barrier, &consumers, |c| {
+                        let c = c as usize;
+                        for (time, task) in messages.iter() {
+                            if map.shard_of(tasks[task as usize].node as usize) == c {
+                                deliver(&mut shards[c], time, task);
+                            }
+                        }
+                    });
+                } else {
+                    for (time, task) in messages.iter() {
+                        let s = map.shard_of(tasks[task as usize].node as usize);
+                        deliver(&mut shards[s], time, task);
+                    }
                 }
             }
         }
 
         let done: usize = shards.iter().map(|s| s.done).sum();
-        if done == n {
-            break;
-        }
-        match lookahead {
-            None => {
-                window = if any_messages {
-                    window + 1
-                } else {
-                    let next = shards
-                        .iter()
-                        .filter_map(|s| s.calendar.min_epoch())
-                        .min()
-                        .unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
-                    next.max(window + 1)
-                };
-            }
-            Some(l) => {
-                // Null-message horizon exchange: every shard reports
-                // its earliest pending event (+∞ when idle); the next
-                // window extends one lookahead past the global
-                // horizon, so it always contains the horizon event.
-                let horizon = shards
-                    .iter()
-                    .map(|s| s.calendar.min_time().min(s.deliveries.min_time()))
-                    .fold(f64::INFINITY, f64::min);
-                assert!(
-                    horizon.is_finite(),
-                    "cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"
-                );
-                w_end = horizon + l;
-                if w_end <= horizon {
-                    // Sub-ulp lookahead: force minimal progress.
-                    w_end = crate::events::time_from_bits(crate::events::time_to_bits(horizon) + 1);
+        let finished = done == n;
+        if !finished {
+            match lookahead {
+                None => {
+                    window = if any_messages {
+                        window + 1
+                    } else {
+                        // Idle-window skip: fold every shard's earliest
+                        // pending epoch (the epoch-mode null message).
+                        let mut next: Option<u64> = None;
+                        drive_range(
+                            sched,
+                            ProtocolOp::HorizonReport,
+                            barrier,
+                            shards.len(),
+                            |s| {
+                                if let Some(e) = shards[s].calendar.min_epoch() {
+                                    next = Some(next.map_or(e, |cur| cur.min(e)));
+                                }
+                            },
+                        );
+                        let next = next.unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
+                        next.max(window + 1)
+                    };
+                }
+                Some(l) => {
+                    // Null-message horizon exchange: every shard reports
+                    // its earliest pending event (+∞ when idle); the next
+                    // window extends one lookahead past the global
+                    // horizon, so it always contains the horizon event.
+                    let mut horizon = f64::INFINITY;
+                    drive_range(
+                        sched,
+                        ProtocolOp::HorizonReport,
+                        barrier,
+                        shards.len(),
+                        |s| {
+                            horizon = horizon.min(
+                                shards[s]
+                                    .calendar
+                                    .min_time()
+                                    .min(shards[s].deliveries.min_time()),
+                            );
+                        },
+                    );
+                    assert!(
+                        horizon.is_finite(),
+                        "cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"
+                    );
+                    w_end = horizon + l;
+                    if w_end <= horizon {
+                        // Sub-ulp lookahead: force minimal progress.
+                        w_end =
+                            crate::events::time_from_bits(crate::events::time_to_bits(horizon) + 1);
+                    }
                 }
             }
+        }
+        if sched.controlled() {
+            let fp = state_fingerprint(&shards, window, w_end, commit_hash, done);
+            if !sched.window_boundary(barrier, fp) {
+                return None;
+            }
+        }
+        barrier += 1;
+        if finished {
+            break;
         }
     }
 
@@ -595,7 +839,59 @@ pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedCo
         .map(|s| s.records.max_completed())
         .fold(0.0f64, f64::max);
 
-    SimReport::new(makespan, cfg.cluster.total_cores(), records)
+    Some(SimReport::new(makespan, cfg.cluster.total_cores(), records))
+}
+
+/// Hashes the engine's complete inter-window state: every shard's
+/// scheduling state, event stores and progress counters, plus the
+/// next-window coordinates and the barrier's committed decision
+/// sequence. Two runs whose fingerprint chains agree at a barrier are
+/// in bit-identical states and evolve identically from there — the
+/// model checker's state-equivalence pruning rests on this (see
+/// `shard-check`).
+fn state_fingerprint(
+    shards: &[ShardState],
+    window: u64,
+    w_end: f64,
+    commit_hash: u64,
+    done: usize,
+) -> u64 {
+    let mut h = FNV_SEED;
+    fnv_step(&mut h, window);
+    fnv_step(&mut h, w_end.to_bits());
+    fnv_step(&mut h, commit_hash);
+    fnv_step(&mut h, done as u64);
+    for shard in shards {
+        fnv_step(&mut h, shard.first_node as u64);
+        for ns in &shard.nodes {
+            fnv_step(&mut h, ns.free_cores as u64);
+            for &t in &ns.spare_free {
+                fnv_step(&mut h, t.to_bits());
+            }
+        }
+        shard.ready.fold_hash(&mut h);
+        for &d in &shard.indegree {
+            fnv_step(&mut h, u64::from(d));
+        }
+        shard.records.fold_hash(&mut h);
+        // The heap's iteration order is unspecified: combine
+        // order-insensitively (each key mixed independently, images
+        // summed), which is exact because heap *contents* — a set of
+        // unique packed keys — are what define the state.
+        let mut acc: u64 = 0;
+        for &Reverse(key) in shard.heap.iter() {
+            let raw = key.raw_bits();
+            acc = acc.wrapping_add(splitmix((raw >> 64) as u64 ^ splitmix(raw as u64)));
+        }
+        fnv_step(&mut h, acc);
+        fnv_step(&mut h, shard.heap.len() as u64);
+        fnv_step(&mut h, u64::from(shard.seq));
+        shard.calendar.fold_hash(&mut h);
+        shard.deliveries.fold_hash(&mut h);
+        shard.inbox.fold_hash(&mut h);
+        fnv_step(&mut h, shard.done as u64);
+    }
+    h
 }
 
 /// One window's parameters, shared by every shard of the window (and

@@ -433,6 +433,70 @@ fn lookahead_is_reproducible() {
     assert_eq!(a.trace, b.trace);
 }
 
+/// The degenerate row of the conformance matrix: one task, a single
+/// node, a zero-latency fabric — no parallelism, no cross-node
+/// traffic, no transfer cost, in **both** synchronization modes at
+/// every shard count (most shards empty). Everything the barrier
+/// protocol does here is pure overhead, so every engine variant must
+/// collapse to the event-exact sequential oracle bit for bit.
+#[test]
+fn degenerate_single_task_single_node_zero_latency_row() {
+    let graph = SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes: 1,
+            chains_per_node: 1,
+            tasks_per_chain: 1,
+            flops_per_task: 2.5,
+            jitter: 0.0,
+            argument_bytes: 64,
+            cross_node_every: 1,
+            seed: 1,
+        },
+        &RateModel::roadrunner(),
+    );
+    assert_eq!(graph.tasks().len(), 1, "the row is one task");
+    // Zero-latency single-node fabric: the auto lookahead falls back
+    // to the workload's own timescale and must stay positive.
+    let zero_latency = |mut cfg: SimConfig| {
+        cfg.cluster.net_latency_us = 0.0;
+        cfg
+    };
+    let (probe, _, _) = build_cfg(&graph, PolicyKind::None, None);
+    let probe = zero_latency(probe);
+    let lookahead = ShardedConfig::auto_lookahead(&graph, &probe);
+    assert!(lookahead > 0.0 && lookahead.is_finite());
+    for kind in [PolicyKind::None, PolicyKind::All, PolicyKind::AppFit(0.5)] {
+        let (cfg, appfit, sink) = build_cfg(&graph, kind, None);
+        let cfg = zero_latency(cfg);
+        let oracle = outcome_of(simulate(&graph, &cfg), appfit, sink);
+        assert_eq!(oracle.trace.len(), 1, "one task, one decision");
+        for &shards in SHARD_COUNTS {
+            for la in [None, Some(lookahead)] {
+                let (cfg, appfit, sink) = build_cfg(&graph, kind, None);
+                let cfg = zero_latency(cfg);
+                let mut sc = ShardedConfig::auto(&graph, &cfg, shards);
+                if let Some(l) = la {
+                    sc = sc.with_lookahead(l);
+                }
+                let got = outcome_of(simulate_sharded(&graph, &cfg, &sc), appfit, sink);
+                let mode = if la.is_some() { "lookahead" } else { "epoch" };
+                assert_eq!(
+                    oracle.report, got.report,
+                    "degenerate row: {mode} shards={shards} {kind:?} report"
+                );
+                assert_eq!(
+                    oracle.appfit, got.appfit,
+                    "degenerate row: {mode} shards={shards} {kind:?} App_FIT"
+                );
+                assert_eq!(
+                    oracle.trace, got.trace,
+                    "degenerate row: {mode} shards={shards} {kind:?} trace"
+                );
+            }
+        }
+    }
+}
+
 /// The derived lookahead is the interconnect latency floor: positive,
 /// finite, and no larger than any cross-node edge's transfer time.
 #[test]

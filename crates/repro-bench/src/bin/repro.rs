@@ -30,6 +30,13 @@
 //!                                 measure sweep-1m + stress-huge-*
 //!                                 throughput/memory (best of N runs),
 //!                                 write BENCH_sim.json
+//!
+//! model checking:
+//!   check-shards [--budget-secs N] [--preemption-bound N]
+//!                [--scenario NAME] [--mode epoch|lookahead]
+//!                                 exhaustively explore the shard
+//!                                 protocol's interleavings (the full
+//!                                 catalog, or one scenario/mode)
 //! ```
 //!
 //! (The cluster-scale grid lives in the separate `sweep` binary.)
@@ -121,8 +128,92 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro check-shards`: ad-hoc front end for the `shard-check`
+/// explorer — the whole catalog by default, or one scenario/mode for
+/// digging into larger configs interactively.
+fn check_shards(args: &[String]) -> Result<(), String> {
+    let mut budget_secs: u64 = 120;
+    let mut preemption_bound: Option<u32> = None;
+    let mut scenario: Option<String> = None;
+    let mut mode: Option<shard_check::Mode> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget-secs" => {
+                let v = it.next().ok_or("--budget-secs needs a value")?;
+                budget_secs = v.parse().map_err(|e| format!("bad budget: {e}"))?;
+            }
+            "--preemption-bound" => {
+                let v = it.next().ok_or("--preemption-bound needs a value")?;
+                preemption_bound = Some(v.parse().map_err(|e| format!("bad bound: {e}"))?);
+            }
+            "--scenario" => {
+                scenario = Some(it.next().ok_or("--scenario needs a name")?.clone());
+            }
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs epoch|lookahead")?;
+                mode = Some(shard_check::Mode::parse(v)?);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let budget = std::time::Duration::from_secs(budget_secs);
+    match scenario {
+        None => {
+            let report = shard_check::run_exhaustive_small(budget, preemption_bound);
+            print!("{}", report.render());
+            if report.passed() {
+                Ok(())
+            } else {
+                Err("shard-check: exploration failed".into())
+            }
+        }
+        Some(name) => {
+            let sc = shard_check::scenario::find(&name).ok_or_else(|| {
+                let known: Vec<_> = shard_check::scenario::catalog()
+                    .iter()
+                    .map(|s| s.name.clone())
+                    .collect();
+                format!("unknown scenario `{name}` (catalog: {})", known.join(", "))
+            })?;
+            let cfg = shard_check::ExploreConfig {
+                preemption_bound,
+                budget: Some(budget),
+                ..shard_check::ExploreConfig::default()
+            };
+            let modes: Vec<shard_check::Mode> = match mode {
+                Some(m) => vec![m],
+                None => shard_check::Mode::ALL.to_vec(),
+            };
+            let mut ok = true;
+            for m in modes {
+                let stats = shard_check::explore(&sc, m, &cfg);
+                println!("{}", stats.summary_line());
+                if let Some(cex) = &stats.counterexample {
+                    print!("{}", cex.to_text());
+                }
+                ok &= stats.passed_exhaustively();
+            }
+            if ok {
+                Ok(())
+            } else {
+                Err("shard-check: exploration failed".into())
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-shards") {
+        return match check_shards(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("bench-sim") {
         return match bench_sim::run(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,146 @@
+//! `shard-check` — exhaustive-interleaving model checking of the
+//! sharded engine's barrier protocol from the command line.
+//!
+//! ```text
+//! shard-check --exhaustive-small [--budget-secs N] [--preemption-bound N]
+//! shard-check --scenario NAME [--mode epoch|lookahead] [--out FILE]
+//! shard-check --replay FILE
+//! ```
+//!
+//! Exit status 0 means every explored interleaving reproduced the
+//! sequential oracle within budget; 1 means a counterexample, a blown
+//! budget, or a usage error. `scripts/verify.sh` runs the
+//! `--exhaustive-small` gate in release mode.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use shard_check::scenario::{find, Mode};
+use shard_check::{explore, run_exhaustive_small, Counterexample, ExploreConfig};
+
+struct Args {
+    exhaustive_small: bool,
+    budget_secs: u64,
+    preemption_bound: Option<u32>,
+    scenario: Option<String>,
+    mode: Option<Mode>,
+    out: Option<String>,
+    replay: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: shard-check --exhaustive-small [--budget-secs N] [--preemption-bound N]\n\
+     \x20      shard-check --scenario NAME [--mode epoch|lookahead] [--budget-secs N] [--out FILE]\n\
+     \x20      shard-check --replay FILE"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        exhaustive_small: false,
+        budget_secs: 120,
+        preemption_bound: None,
+        scenario: None,
+        mode: None,
+        out: None,
+        replay: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--exhaustive-small" => args.exhaustive_small = true,
+            "--budget-secs" => {
+                args.budget_secs = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget-secs: {e}"))?
+            }
+            "--preemption-bound" => {
+                args.preemption_bound = Some(
+                    value("--preemption-bound")?
+                        .parse()
+                        .map_err(|e| format!("bad --preemption-bound: {e}"))?,
+                )
+            }
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--mode" => args.mode = Some(Mode::parse(&value("--mode")?)?),
+            "--out" => args.out = Some(value("--out")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if !args.exhaustive_small && args.scenario.is_none() && args.replay.is_none() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if let Some(path) = &args.replay {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let cex = Counterexample::from_text(&text)?;
+        let (_, diverges) = shard_check::explore::replay_counterexample(&cex)?;
+        if diverges {
+            println!(
+                "counterexample {path:?} still diverges ({} picks): {}",
+                cex.picks.len(),
+                cex.reason
+            );
+        } else {
+            println!("counterexample {path:?} no longer diverges — the bug is gone");
+        }
+        // Replaying a counterexample "passes" when the divergence is
+        // reproduced: the artifact is doing its regression-test job.
+        return Ok(diverges);
+    }
+    if args.exhaustive_small {
+        let report =
+            run_exhaustive_small(Duration::from_secs(args.budget_secs), args.preemption_bound);
+        print!("{}", report.render());
+        return Ok(report.passed());
+    }
+    let name = args.scenario.as_deref().expect("checked by parse_args");
+    let scenario = find(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+    let modes = match args.mode {
+        Some(m) => vec![m],
+        None => Mode::ALL.to_vec(),
+    };
+    let mut ok = true;
+    for mode in modes {
+        let cfg = ExploreConfig {
+            preemption_bound: args.preemption_bound,
+            budget: Some(Duration::from_secs(args.budget_secs)),
+            ..ExploreConfig::default()
+        };
+        let stats = explore(&scenario, mode, &cfg);
+        println!("{}", stats.summary_line());
+        if let Some(cex) = &stats.counterexample {
+            print!("{}", cex.to_text());
+            if let Some(out) = &args.out {
+                std::fs::write(out, cex.to_text())
+                    .map_err(|e| format!("cannot write {out:?}: {e}"))?;
+                println!("counterexample written to {out}");
+            }
+        }
+        ok &= stats.passed_exhaustively();
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(|args| run(&args)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

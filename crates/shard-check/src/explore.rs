@@ -1,0 +1,401 @@
+//! The path explorer: restart-based DFS over scheduling choices.
+//!
+//! Controlled runs are deterministic, so the explorer never needs to
+//! checkpoint engine state — it re-runs the scenario from scratch with
+//! a choice *prefix* and lets the scheduler record the full trace.
+//! Backtracking is deepest-first: the last choice with an untried
+//! alternative is advanced and everything after it truncated, which is
+//! exactly the traversal order under which the scheduler's
+//! visited-state pruning is sound (a revisited state's suffix tree was
+//! fully explored before any shallower choice advanced).
+//!
+//! Every completed (unpruned) path is compared against the sequential
+//! oracle — [`crate::scenario::Scenario::oracle`], computed with the
+//! seeded-bug hook forced off — on the full [`RunOutcome`]: report
+//! bits, App_FIT trajectory, decision trace. Any divergence (or a
+//! happens-before violation from the clock validator) is minimized
+//! into a [`Counterexample`] that replays deterministically.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use cluster_sim::shard::chaos;
+
+use crate::scenario::{Mode, RunOutcome, Scenario};
+use crate::schedule::{Choice, ControlledScheduler, Counterexample};
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum number of non-natural picks per path (`None` =
+    /// unbounded): the bounded-preemption cut standard in systematic
+    /// concurrency testing — most bugs show up within 1–2 preemptions.
+    pub preemption_bound: Option<u32>,
+    /// Hard cap on total runs (explored + pruned) — a runaway
+    /// backstop, not a coverage target.
+    pub max_paths: u64,
+    /// Wall-clock budget for this scenario/mode pair.
+    pub budget: Option<Duration>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            preemption_bound: None,
+            max_paths: 1_000_000,
+            budget: None,
+        }
+    }
+}
+
+/// What one exploration did and found.
+#[derive(Debug, Clone)]
+pub struct ExploreStats {
+    /// Catalog name of the scenario explored.
+    pub scenario: String,
+    /// Synchronization mode explored.
+    pub mode: Mode,
+    /// Complete paths executed and checked against the oracle.
+    pub explored: u64,
+    /// Paths aborted at a barrier whose state chain was already
+    /// visited (their suffixes were covered by an earlier path).
+    pub pruned_equivalent: u64,
+    /// Sibling orderings of happens-before-independent phases credited
+    /// as covered without running (the `k! - 1` accounting).
+    pub hb_pruned_orderings: u64,
+    /// Longest choice trace seen.
+    pub max_depth: usize,
+    /// `true` when [`ExploreConfig::max_paths`] stopped the search.
+    pub hit_path_cap: bool,
+    /// `true` when [`ExploreConfig::budget`] stopped the search.
+    pub timed_out: bool,
+    /// The minimized failing schedule, when any path diverged.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreStats {
+    /// Whether the search finished exhaustively (post-pruning) with
+    /// every path matching the oracle.
+    pub fn passed_exhaustively(&self) -> bool {
+        self.counterexample.is_none() && !self.hit_path_cap && !self.timed_out
+    }
+
+    /// One table row: `scenario mode explored pruned hb-pruned depth
+    /// verdict`.
+    pub fn summary_line(&self) -> String {
+        let verdict = if self.counterexample.is_some() {
+            "COUNTEREXAMPLE"
+        } else if self.timed_out {
+            "TIMEOUT"
+        } else if self.hit_path_cap {
+            "PATH-CAP"
+        } else {
+            "ok"
+        };
+        format!(
+            "{:<16} {:<9} {:>8} {:>8} {:>12} {:>6}  {}",
+            self.scenario,
+            self.mode.name(),
+            self.explored,
+            self.pruned_equivalent,
+            self.hb_pruned_orderings,
+            self.max_depth,
+            verdict
+        )
+    }
+}
+
+/// The scenario's oracle with the seeded-bug hook forced off for the
+/// duration of the computation — the oracle is the *unsabotaged*
+/// protocol even when exploration runs with a bug enabled.
+pub fn clean_oracle(scenario: &Scenario, mode: Mode) -> RunOutcome {
+    let was = chaos::commit_order_broken();
+    chaos::set_break_commit_order(false);
+    let oracle = scenario.oracle(mode);
+    chaos::set_break_commit_order(was);
+    oracle
+}
+
+/// Single-line description of how `got` differs from `oracle` (the
+/// counterexample format is line-oriented).
+fn describe_divergence(oracle: &RunOutcome, got: &RunOutcome) -> String {
+    let mut parts = Vec::new();
+    if got.report != oracle.report {
+        parts.push("SimReport");
+    }
+    if got.appfit != oracle.appfit {
+        parts.push("App_FIT trajectory");
+    }
+    if got.trace != oracle.trace {
+        parts.push("decision trace");
+    }
+    format!(
+        "diverges from the sequential oracle in: {}",
+        parts.join(", ")
+    )
+}
+
+/// Deepest-first backtrack: advance the last choice with an untried
+/// alternative (respecting the preemption bound), truncating the
+/// suffix. `None` when the tree is exhausted.
+fn next_prefix(trace: &[Choice], preemption_bound: Option<u32>) -> Option<Vec<Choice>> {
+    let mut t = trace.to_vec();
+    loop {
+        let last = t.pop()?;
+        if last.taken + 1 < last.alternatives {
+            let preemptions = t.iter().filter(|c| c.taken != 0).count() + 1;
+            if preemption_bound.is_none_or(|b| preemptions <= b as usize) {
+                t.push(Choice {
+                    taken: last.taken + 1,
+                    ..last
+                });
+                return Some(t);
+            }
+            // Advancing here would exceed the bound; so would every
+            // later alternative at this position — pop onward.
+        }
+    }
+}
+
+fn trim_natural_tail(mut picks: Vec<Choice>) -> Vec<Choice> {
+    while picks.last().is_some_and(|c| c.taken == 0) {
+        picks.pop();
+    }
+    picks
+}
+
+/// Replays `picks` and reports whether the run still fails (diverges
+/// from the oracle or violates happens-before).
+fn replay_fails(scenario: &Scenario, mode: Mode, oracle: &RunOutcome, picks: &[Choice]) -> bool {
+    let mut sched = ControlledScheduler::replay(scenario.shards, picks);
+    let outcome = scenario.run_controlled(mode, &mut sched);
+    let race = sched.verify_race_free().is_err();
+    match outcome {
+        Some(outcome) => race || outcome != *oracle,
+        // Replay never prunes; a missing outcome cannot represent the
+        // original failure.
+        None => false,
+    }
+}
+
+/// Greedily minimizes a failing schedule: shortest failing prefix
+/// first (a truncated suffix just runs in natural order), then zeroes
+/// surviving non-natural picks one at a time. Bounded by
+/// `max_replays`; every candidate is re-executed, so the result is
+/// known to still fail.
+pub fn minimize(
+    scenario: &Scenario,
+    mode: Mode,
+    oracle: &RunOutcome,
+    picks: Vec<Choice>,
+    max_replays: u32,
+) -> Vec<Choice> {
+    let mut best = trim_natural_tail(picks);
+    let mut replays = 0u32;
+    // Shortest failing prefix, from the back.
+    while !best.is_empty() && replays < max_replays {
+        replays += 1;
+        let cand = best[..best.len() - 1].to_vec();
+        if replay_fails(scenario, mode, oracle, &cand) {
+            best = trim_natural_tail(cand);
+        } else {
+            break;
+        }
+    }
+    // Zero out remaining non-natural picks where the failure survives.
+    let mut changed = true;
+    while changed && replays < max_replays {
+        changed = false;
+        for i in (0..best.len()).rev() {
+            if best[i].taken == 0 || replays >= max_replays {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand[i].taken = 0;
+            let cand = trim_natural_tail(cand);
+            replays += 1;
+            if replay_fails(scenario, mode, oracle, &cand) {
+                best = cand;
+                changed = true;
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Explores all interleavings of `scenario` under `mode` up to the
+/// configured bounds, comparing every completed path to the sequential
+/// oracle. See the [module docs](self) for the traversal.
+pub fn explore(scenario: &Scenario, mode: Mode, cfg: &ExploreConfig) -> ExploreStats {
+    let oracle = clean_oracle(scenario, mode);
+    let mut stats = ExploreStats {
+        scenario: scenario.name.clone(),
+        mode,
+        explored: 0,
+        pruned_equivalent: 0,
+        hb_pruned_orderings: 0,
+        max_depth: 0,
+        hit_path_cap: false,
+        timed_out: false,
+        counterexample: None,
+    };
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    let mut prefix: Vec<Choice> = Vec::new();
+    let start = Instant::now();
+    loop {
+        if cfg.budget.is_some_and(|b| start.elapsed() >= b) {
+            stats.timed_out = true;
+            break;
+        }
+        if stats.explored + stats.pruned_equivalent >= cfg.max_paths {
+            stats.hit_path_cap = true;
+            break;
+        }
+        let mut sched = ControlledScheduler::explore(scenario.shards, &prefix, &mut visited);
+        let outcome = scenario.run_controlled(mode, &mut sched);
+        stats.hb_pruned_orderings += sched.hb_pruned_orderings();
+        let pruned = sched.was_pruned();
+        let race = if pruned {
+            // A pruned path's executed ops are a prefix of an earlier
+            // fully-validated path.
+            Ok(())
+        } else {
+            sched.verify_race_free()
+        };
+        let trace = sched.into_trace();
+        stats.max_depth = stats.max_depth.max(trace.len());
+        if pruned {
+            stats.pruned_equivalent += 1;
+        } else {
+            stats.explored += 1;
+            let outcome = outcome.expect("unpruned controlled runs complete");
+            let reason = match race {
+                Err(e) => Some(format!("happens-before violation: {e}")),
+                Ok(()) if outcome != oracle => Some(describe_divergence(&oracle, &outcome)),
+                Ok(()) => None,
+            };
+            if let Some(reason) = reason {
+                let minimized = minimize(scenario, mode, &oracle, trace.clone(), 512);
+                stats.counterexample = Some(Counterexample {
+                    scenario: scenario.name.clone(),
+                    mode: mode.name().to_string(),
+                    chaos: chaos::commit_order_broken(),
+                    reason,
+                    picks: minimized,
+                });
+                break;
+            }
+        }
+        match next_prefix(&trace, cfg.preemption_bound) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    stats
+}
+
+/// Replays a persisted counterexample against its scenario, restoring
+/// the seeded-bug hook afterwards. Returns the outcome and whether it
+/// (still) diverges from the clean oracle.
+pub fn replay_counterexample(cex: &Counterexample) -> Result<(RunOutcome, bool), String> {
+    let scenario = crate::scenario::find(&cex.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", cex.scenario))?;
+    let mode = Mode::parse(&cex.mode)?;
+    let oracle = clean_oracle(&scenario, mode);
+    let was = chaos::commit_order_broken();
+    chaos::set_break_commit_order(cex.chaos);
+    let mut sched = ControlledScheduler::replay(scenario.shards, &cex.picks);
+    let outcome = scenario.run_controlled(mode, &mut sched);
+    let mismatches = sched.op_mismatches();
+    chaos::set_break_commit_order(was);
+    if mismatches > 0 {
+        return Err(format!(
+            "schedule does not fit the scenario: {mismatches} op mismatches"
+        ));
+    }
+    let outcome = outcome.ok_or("replay must never prune")?;
+    let diverges = outcome != oracle;
+    Ok((outcome, diverges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ProtocolOp;
+
+    fn choice(op: ProtocolOp, taken: u16, alternatives: u16) -> Choice {
+        Choice {
+            op,
+            taken,
+            alternatives,
+        }
+    }
+
+    #[test]
+    fn next_prefix_advances_deepest_choice_first() {
+        let trace = [
+            choice(ProtocolOp::CommitAppend, 0, 2),
+            choice(ProtocolOp::StepWindow, 0, 1),
+            choice(ProtocolOp::MsgSend, 0, 3),
+        ];
+        let p = next_prefix(&trace, None).unwrap();
+        assert_eq!(
+            p,
+            vec![
+                choice(ProtocolOp::CommitAppend, 0, 2),
+                choice(ProtocolOp::StepWindow, 0, 1),
+                choice(ProtocolOp::MsgSend, 1, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn next_prefix_pops_exhausted_choices_and_terminates() {
+        let trace = [
+            choice(ProtocolOp::CommitAppend, 0, 2),
+            choice(ProtocolOp::MsgSend, 2, 3),
+        ];
+        let p = next_prefix(&trace, None).unwrap();
+        assert_eq!(p, vec![choice(ProtocolOp::CommitAppend, 1, 2)]);
+        let done = [
+            choice(ProtocolOp::CommitAppend, 1, 2),
+            choice(ProtocolOp::MsgSend, 2, 3),
+        ];
+        assert!(next_prefix(&done, None).is_none(), "tree exhausted");
+    }
+
+    #[test]
+    fn preemption_bound_skips_over_budget_branches() {
+        // One preemption already spent at depth 0; advancing depth 1
+        // would make two — with bound 1, the explorer must instead
+        // advance depth 0 further.
+        let trace = [
+            choice(ProtocolOp::CommitAppend, 1, 3),
+            choice(ProtocolOp::MsgSend, 0, 3),
+        ];
+        let bounded = next_prefix(&trace, Some(1)).unwrap();
+        assert_eq!(bounded, vec![choice(ProtocolOp::CommitAppend, 2, 3)]);
+        let unbounded = next_prefix(&trace, None).unwrap();
+        assert_eq!(
+            unbounded,
+            vec![
+                choice(ProtocolOp::CommitAppend, 1, 3),
+                choice(ProtocolOp::MsgSend, 1, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn trim_drops_only_the_natural_tail() {
+        let picks = vec![
+            choice(ProtocolOp::CommitAppend, 0, 2),
+            choice(ProtocolOp::MsgSend, 1, 2),
+            choice(ProtocolOp::MsgSend, 0, 2),
+            choice(ProtocolOp::StepWindow, 0, 1),
+        ];
+        let trimmed = trim_natural_tail(picks);
+        assert_eq!(trimmed.len(), 2);
+        assert_eq!(trimmed[1].taken, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! # shard-check
+//!
+//! An exhaustive-interleaving **model checker** for the sharded
+//! engine's barrier protocol (`cluster_sim::simulate_sharded`). The
+//! conformance and property suites sample the engine's behavior; this
+//! crate *enumerates* it: for small scenarios (2–3 shards, ≤16 tasks)
+//! it drives every schedulable ordering of the protocol's cross-shard
+//! operations — decision commits, message merges, horizon folds —
+//! through the engine's injected [`cluster_sim::ShardScheduler`] seam
+//! and asserts that **every explored path** reproduces the sequential
+//! oracle bit for bit: the `SimReport`, the App_FIT trajectory, and
+//! the committed decision trace.
+//!
+//! The state space is cut two ways, both *sound* for this protocol:
+//!
+//! * **Happens-before pruning** ([`vv`]): operation phases whose
+//!   footprints on the protocol's shared objects are race-free and
+//!   pairwise independent (shard-private window computation, per-shard
+//!   message delivery) run in one fixed order and credit the `k! − 1`
+//!   sibling orderings as covered. Vector clocks re-validate the
+//!   independence claim on every explored path.
+//! * **State-equivalence pruning** ([`schedule`]): the engine
+//!   fingerprints its complete state at every barrier; a path whose
+//!   chained fingerprint history was already visited is abandoned,
+//!   because the depth-first driver ([`explore()`]) fully explores a
+//!   state's suffix tree before any shallower choice advances.
+//!
+//! Divergent schedules are **minimized** (greedy truncation + pick
+//! zeroing, every candidate re-executed) and persisted in a
+//! line-oriented text format ([`Counterexample`]) that replays
+//! deterministically — the seeded-bug regression test in
+//! `tests/model_check.rs` breaks the canonical commit order behind a
+//! test hook and asserts the checker finds, minimizes, and replays the
+//! divergence.
+//!
+//! `scripts/verify.sh` runs the release-mode gate
+//! (`shard-check --exhaustive-small`, also reachable as
+//! `repro check-shards`), which sweeps the scenario catalog
+//! ([`scenario::catalog`]) in **both** synchronization modes under a
+//! wall-clock budget and fails on any counterexample or blown budget.
+
+#![deny(missing_docs)]
+
+pub mod explore;
+pub mod scenario;
+pub mod schedule;
+pub mod vv;
+
+use std::time::{Duration, Instant};
+
+pub use explore::{clean_oracle, explore, minimize, ExploreConfig, ExploreStats};
+pub use scenario::{Mode, RunOutcome, Scenario, ScenarioPolicy};
+pub use schedule::{Choice, ControlledScheduler, Counterexample};
+pub use vv::VersionVec;
+
+/// A bijective 64-bit mixer (splitmix64 finalizer) for fingerprint
+/// chaining.
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The result of one `--exhaustive-small` gate sweep.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One row per (scenario, mode) pair, in sweep order.
+    pub rows: Vec<ExploreStats>,
+    /// Total wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl GateReport {
+    /// `true` when every pair enumerated exhaustively (post-pruning)
+    /// with no counterexample, path cap, or timeout.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(ExploreStats::passed_exhaustively)
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<9} {:>8} {:>8} {:>12} {:>6}  verdict\n",
+            "scenario", "mode", "explored", "pruned", "hb-pruned", "depth"
+        ));
+        let mut explored = 0u64;
+        let mut pruned = 0u64;
+        let mut hb = 0u64;
+        for row in &self.rows {
+            out.push_str(&row.summary_line());
+            out.push('\n');
+            explored += row.explored;
+            pruned += row.pruned_equivalent;
+            hb += row.hb_pruned_orderings;
+        }
+        out.push_str(&format!(
+            "total: {} paths explored, {} state-pruned, {} HB-pruned orderings in {:.2?}\n",
+            explored, pruned, hb, self.elapsed
+        ));
+        if let Some(cex) = self.rows.iter().find_map(|r| r.counterexample.as_ref()) {
+            out.push_str("first counterexample:\n");
+            out.push_str(&cex.to_text());
+        }
+        out
+    }
+}
+
+/// Runs the full exhaustive-small gate: every catalog scenario in both
+/// synchronization modes, splitting `budget` evenly across the
+/// remaining (scenario, mode) pairs. This is what the
+/// `shard-check --exhaustive-small` binary and `repro check-shards`
+/// execute.
+pub fn run_exhaustive_small(budget: Duration, preemption_bound: Option<u32>) -> GateReport {
+    let start = Instant::now();
+    let scenarios = scenario::catalog();
+    let total_jobs = (scenarios.len() * Mode::ALL.len()) as u32;
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        for mode in Mode::ALL {
+            let left = total_jobs - rows.len() as u32;
+            let per_job = budget.saturating_sub(start.elapsed()) / left.max(1);
+            let cfg = ExploreConfig {
+                preemption_bound,
+                budget: Some(per_job),
+                ..ExploreConfig::default()
+            };
+            rows.push(explore(s, mode, &cfg));
+        }
+    }
+    GateReport {
+        rows,
+        elapsed: start.elapsed(),
+    }
+}

@@ -1,0 +1,387 @@
+//! The checked scenarios and engine-run adapters.
+//!
+//! Model checking is exhaustive, so scenarios are deliberately tiny —
+//! 2–3 shards, one task chain per node, ≤16 tasks — while still
+//! crossing every protocol feature: cross-shard messages, multiple
+//! barrier rounds (the epoch is shorter than the chains), the stateful
+//! App_FIT policy (whose non-associative accumulation makes commit
+//! order observable), fault injection, and a zero-latency fabric.
+//!
+//! The run adapters mirror `cluster-sim/tests/conformance.rs`: every
+//! run observes the committed decision stream through an
+//! [`Observed`] policy wrapper and extracts the policy's final
+//! App_FIT state, so two runs compare on *everything* the engine
+//! promises to keep deterministic — the [`SimReport`] bits, the
+//! App_FIT trajectory, and the decision trace.
+
+use std::sync::{Arc, Mutex};
+
+use appfit_core::{
+    AppFit, AppFitConfig, DecisionCtx, DecisionSink, EpochDecision, Observed, ReplicateAll,
+    ReplicateNone, ReplicationPolicy,
+};
+use cluster_sim::{
+    simulate_delayed, simulate_sharded, simulate_sharded_scheduled, ClusterSpec, CostModel,
+    NodeSpec, ShardScheduler, ShardedConfig, SimConfig, SimGraph, SimReport, SyntheticSpec,
+};
+use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
+use fit_model::{Fit, RateModel};
+
+/// Which synchronization protocol a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Fixed epoch barriers.
+    Epoch,
+    /// Conservative-lookahead windows with null-message horizons.
+    Lookahead,
+}
+
+impl Mode {
+    /// Both modes, for iteration.
+    pub const ALL: [Mode; 2] = [Mode::Epoch, Mode::Lookahead];
+
+    /// Stable lowercase name (used in counterexample files and CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Epoch => "epoch",
+            Mode::Lookahead => "lookahead",
+        }
+    }
+
+    /// Parses [`Mode::name`] output.
+    pub fn parse(s: &str) -> Result<Mode, String> {
+        match s {
+            "epoch" => Ok(Mode::Epoch),
+            "lookahead" => Ok(Mode::Lookahead),
+            other => Err(format!("unknown mode {other:?} (epoch|lookahead)")),
+        }
+    }
+}
+
+/// The replication policy a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioPolicy {
+    /// Never replicate (stateless).
+    ReplicateNone,
+    /// Always replicate (stateless, exercises the spare-core path).
+    ReplicateAll,
+    /// App_FIT at this fraction of the graph's total failure rate —
+    /// the stateful policy whose accumulation makes ordering bugs
+    /// observable in the FIT trajectory.
+    AppFit(f64),
+}
+
+/// One model-checked scenario: a small graph plus the engine knobs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Catalog name (stable — persisted in counterexample files).
+    pub name: String,
+    /// The task graph (≤16 tasks).
+    pub graph: SimGraph,
+    /// Shard count for controlled runs (2–3).
+    pub shards: usize,
+    /// Epoch length in virtual seconds — chosen *shorter* than the
+    /// task chains so runs cross several barrier rounds.
+    pub epoch: f64,
+    /// Replication policy.
+    pub policy: ScenarioPolicy,
+    /// Fault-injection seed, if faults are enabled.
+    pub fault_seed: Option<u64>,
+    /// Zero-latency fabric (the degenerate interconnect); otherwise a
+    /// 0.15 s wire latency.
+    pub zero_latency: bool,
+}
+
+/// Records the committed decision stream through the policy hook.
+#[derive(Default)]
+struct TraceSink(Mutex<Vec<(u64, bool)>>);
+
+impl DecisionSink for TraceSink {
+    fn on_decision(&self, ctx: &DecisionCtx, replicate: bool) {
+        self.0.lock().unwrap().push((ctx.id, replicate));
+    }
+    fn on_epoch_commit(&self, decisions: &[EpochDecision]) {
+        let mut v = self.0.lock().unwrap();
+        for d in decisions {
+            v.push((d.ctx.id, d.replicate));
+        }
+    }
+}
+
+/// One engine run's full observable outcome — everything the
+/// determinism contract covers, so `==` is the contract check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The complete simulation report (per-task records + aggregates).
+    pub report: SimReport,
+    /// App_FIT `(current_fit bits, decided, replicated)` when the
+    /// policy was App_FIT.
+    pub appfit: Option<(u64, u64, u64)>,
+    /// Committed decision stream, in accounting order.
+    pub trace: Vec<(u64, bool)>,
+}
+
+impl Scenario {
+    fn cluster(&self) -> ClusterSpec {
+        let nodes = self.graph.tasks().iter().map(|t| t.node).max().unwrap_or(0) as usize + 1;
+        ClusterSpec {
+            nodes,
+            node: NodeSpec {
+                cores: 2,
+                spare_cores: 1,
+                gflops_per_core: 1e-9, // 1 flop = 1 virtual second
+                mem_bw_gbs: f64::INFINITY,
+            },
+            net_latency_us: if self.zero_latency { 0.0 } else { 150_000.0 },
+            net_bandwidth_gbs: 5.0,
+        }
+    }
+
+    /// Builds a fresh config (policies are stateful — every run needs
+    /// its own) plus the observation handles.
+    fn build_cfg(&self) -> (SimConfig, Option<Arc<AppFit>>, Arc<TraceSink>) {
+        let mut appfit = None;
+        let base: Arc<dyn ReplicationPolicy> = match self.policy {
+            ScenarioPolicy::ReplicateNone => Arc::new(ReplicateNone),
+            ScenarioPolicy::ReplicateAll => Arc::new(ReplicateAll),
+            ScenarioPolicy::AppFit(fraction) => {
+                let total: f64 = self
+                    .graph
+                    .tasks()
+                    .iter()
+                    .map(|t| t.rates.total().value())
+                    .sum();
+                let n = self
+                    .graph
+                    .tasks()
+                    .iter()
+                    .filter(|t| !t.is_barrier)
+                    .count()
+                    .max(1) as u64;
+                let handle = Arc::new(AppFit::new(AppFitConfig::new(
+                    Fit::new(total * fraction),
+                    n,
+                )));
+                appfit = Some(Arc::clone(&handle));
+                handle
+            }
+        };
+        let sink = Arc::new(TraceSink::default());
+        let policy = Arc::new(Observed::new(
+            base,
+            Arc::clone(&sink) as Arc<dyn DecisionSink>,
+        ));
+        let cfg = SimConfig {
+            cluster: self.cluster(),
+            cost: CostModel::default(),
+            policy,
+            faults: match self.fault_seed {
+                Some(s) => Arc::new(SeededInjector::new(s)),
+                None => Arc::new(NoFaults),
+            },
+            injection: match self.fault_seed {
+                Some(_) => InjectionConfig::PerTask {
+                    p_due: 0.04,
+                    p_sdc: 0.06,
+                },
+                None => InjectionConfig::Disabled,
+            },
+        };
+        (cfg, appfit, sink)
+    }
+
+    /// The conservative-lookahead delay this scenario's fabric implies.
+    pub fn lookahead(&self) -> f64 {
+        let (cfg, _, _) = self.build_cfg();
+        ShardedConfig::auto_lookahead(&self.graph, &cfg)
+    }
+
+    fn sharded_config(&self, mode: Mode, shards: usize, threads: usize) -> ShardedConfig {
+        let sc = ShardedConfig::new(shards, self.epoch).with_threads(threads);
+        match mode {
+            Mode::Epoch => sc,
+            Mode::Lookahead => sc.with_lookahead(self.lookahead()),
+        }
+    }
+
+    /// Runs the sharded engine with the production (natural-order)
+    /// scheduler.
+    pub fn run_natural(&self, mode: Mode, shards: usize, threads: usize) -> RunOutcome {
+        let (cfg, appfit, sink) = self.build_cfg();
+        let sc = self.sharded_config(mode, shards, threads);
+        outcome_of(simulate_sharded(&self.graph, &cfg, &sc), appfit, sink)
+    }
+
+    /// Runs the sharded engine under an injected scheduler at the
+    /// scenario's shard count. `None` when the scheduler pruned the
+    /// run at a barrier boundary.
+    pub fn run_controlled(&self, mode: Mode, sched: &mut dyn ShardScheduler) -> Option<RunOutcome> {
+        let (cfg, appfit, sink) = self.build_cfg();
+        let sc = self.sharded_config(mode, self.shards, 1);
+        simulate_sharded_scheduled(&self.graph, &cfg, &sc, sched)
+            .map(|report| outcome_of(report, appfit, sink))
+    }
+
+    /// The sequential oracle every explored interleaving must
+    /// reproduce bit for bit: the one-shard engine for epoch mode (the
+    /// layout-invariance contract), `simulate_delayed` for lookahead
+    /// mode (the delayed-activation reference semantics).
+    pub fn oracle(&self, mode: Mode) -> RunOutcome {
+        match mode {
+            Mode::Epoch => self.run_natural(Mode::Epoch, 1, 1),
+            Mode::Lookahead => {
+                let (cfg, appfit, sink) = self.build_cfg();
+                let l = self.lookahead();
+                outcome_of(simulate_delayed(&self.graph, &cfg, l), appfit, sink)
+            }
+        }
+    }
+}
+
+fn outcome_of(report: SimReport, appfit: Option<Arc<AppFit>>, sink: Arc<TraceSink>) -> RunOutcome {
+    RunOutcome {
+        report,
+        appfit: appfit.map(|h| {
+            (
+                h.current_fit().value().to_bits(),
+                h.decided(),
+                h.replicated(),
+            )
+        }),
+        trace: std::mem::take(&mut *sink.0.lock().unwrap()),
+    }
+}
+
+fn chain_graph(nodes: usize, tasks_per_chain: usize, cross: usize, seed: u64) -> SimGraph {
+    SimGraph::synthetic(
+        &SyntheticSpec {
+            nodes,
+            chains_per_node: 1,
+            tasks_per_chain,
+            flops_per_task: 2.5,
+            jitter: 0.25,
+            argument_bytes: 4096,
+            cross_node_every: cross,
+            seed,
+        },
+        &RateModel::roadrunner(),
+    )
+}
+
+/// The scenario catalog — the grid `--exhaustive-small` sweeps.
+pub fn catalog() -> Vec<Scenario> {
+    let pair8 = chain_graph(2, 4, 2, 42);
+    let tri12 = chain_graph(3, 4, 2, 7);
+    vec![
+        Scenario {
+            name: "pair8-none".into(),
+            graph: pair8.clone(),
+            shards: 2,
+            epoch: 3.0,
+            policy: ScenarioPolicy::ReplicateNone,
+            fault_seed: None,
+            zero_latency: false,
+        },
+        Scenario {
+            name: "pair8-appfit".into(),
+            graph: pair8.clone(),
+            shards: 2,
+            epoch: 3.0,
+            policy: ScenarioPolicy::AppFit(0.5),
+            fault_seed: None,
+            zero_latency: false,
+        },
+        Scenario {
+            name: "pair8-faults".into(),
+            graph: pair8.clone(),
+            shards: 2,
+            epoch: 3.0,
+            policy: ScenarioPolicy::ReplicateAll,
+            fault_seed: Some(5),
+            zero_latency: false,
+        },
+        Scenario {
+            name: "pair8-zerolat".into(),
+            graph: pair8,
+            shards: 2,
+            epoch: 3.0,
+            policy: ScenarioPolicy::ReplicateNone,
+            fault_seed: None,
+            zero_latency: true,
+        },
+        Scenario {
+            name: "tri12-appfit".into(),
+            graph: tri12,
+            shards: 3,
+            epoch: 3.0,
+            policy: ScenarioPolicy::AppFit(0.4),
+            fault_seed: Some(3),
+            zero_latency: false,
+        },
+    ]
+}
+
+/// Looks a scenario up by its stable catalog name.
+pub fn find(name: &str) -> Option<Scenario> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_scenarios_are_small_and_named_uniquely() {
+        let cat = catalog();
+        let mut names: Vec<_> = cat.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "names must be unique");
+        for s in &cat {
+            assert!(s.graph.tasks().len() <= 16, "{}: too many tasks", s.name);
+            assert!(
+                (2..=3).contains(&s.shards),
+                "{}: exhaustive checking needs 2-3 shards",
+                s.name
+            );
+            assert!(find(&s.name).is_some());
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenarios_cross_multiple_barrier_rounds() {
+        // The whole point of the catalog: runs must cross several
+        // barriers, or there is nothing to interleave.
+        for s in catalog() {
+            let outcome = s.run_natural(Mode::Epoch, s.shards, 1);
+            assert!(
+                outcome.report.makespan > 2.0 * s.epoch,
+                "{}: makespan {} spans too few epochs of {}",
+                s.name,
+                outcome.report.makespan,
+                s.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_matches_natural_runs_at_the_scenario_layout() {
+        for s in catalog() {
+            for mode in Mode::ALL {
+                let oracle = s.oracle(mode);
+                let natural = s.run_natural(mode, s.shards, 1);
+                assert_eq!(oracle, natural, "{} {:?}", s.name, mode);
+                let threaded = s.run_natural(mode, s.shards, 2);
+                assert_eq!(oracle, threaded, "{} {:?} threaded", s.name, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_latency_scenario_still_derives_a_positive_lookahead() {
+        let s = find("pair8-zerolat").unwrap();
+        let l = s.lookahead();
+        assert!(l > 0.0 && l.is_finite(), "lookahead {l}");
+    }
+}

@@ -1,0 +1,644 @@
+//! The controlled scheduler: schedules, traces, pruning, races.
+//!
+//! A **schedule** is the sequence of choices a
+//! [`cluster_sim::ShardScheduler`] makes while driving one sharded run
+//! — for each barrier phase, which shard's contribution folds next.
+//! [`ControlledScheduler`] implements the seam in two modes:
+//!
+//! * **Exploration** (`explore`): follows a choice *prefix*, records
+//!   the full trace of [`Choice`]s (each annotated with how many
+//!   alternatives existed), and prunes two ways —
+//!   happens-before-independent phases take natural order (crediting
+//!   the `k! - 1` equivalent sibling orderings), and barrier boundaries
+//!   whose chained state fingerprint was already visited abort the run
+//!   (state equivalence: the suffix tree from an identical state was
+//!   already explored, because the driver backtracks deepest-first).
+//! * **Replay** (`replay`): follows a complete recorded schedule with
+//!   no pruning, so a persisted counterexample re-executes the exact
+//!   divergent path deterministically.
+//!
+//! Every executed operation is tagged with a [`VersionVec`] clock
+//! (acquire on read, release on write over the protocol's three shared
+//! objects); [`ControlledScheduler::verify_race_free`] re-checks after
+//! the run that all conflicting operation pairs were clock-ordered —
+//! the precondition for treating the non-branching phases as
+//! independent.
+
+use std::collections::HashSet;
+
+use cluster_sim::{ProtocolOp, ShardScheduler};
+
+use crate::vv::VersionVec;
+
+/// The shared objects of the barrier protocol, for happens-before
+/// footprints. `StepWindow` touches none (shard-private by
+/// construction: the compute phase holds `&mut` per shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SharedObject {
+    /// The global commit buffer of replication decisions.
+    Decisions,
+    /// The global cross-shard message buffer.
+    Messages,
+    /// The global horizon / next-epoch accumulator.
+    Horizon,
+}
+
+/// `(writes, reads)` footprint of one operation class on the shared
+/// objects. Writes imply a read (read-modify-write folds).
+fn footprint(op: ProtocolOp) -> (Option<SharedObject>, Option<SharedObject>) {
+    match op {
+        ProtocolOp::StepWindow => (None, None),
+        ProtocolOp::CommitAppend => (Some(SharedObject::Decisions), None),
+        ProtocolOp::MsgSend => (Some(SharedObject::Messages), None),
+        ProtocolOp::MsgReceive => (None, Some(SharedObject::Messages)),
+        ProtocolOp::HorizonReport => (Some(SharedObject::Horizon), None),
+    }
+}
+
+/// Whether two operation classes conflict: some shared object is
+/// touched by both and written by at least one.
+fn conflicts(a: ProtocolOp, b: ProtocolOp) -> bool {
+    let (wa, ra) = footprint(a);
+    let (wb, rb) = footprint(b);
+    let hits = |w: Option<SharedObject>, other_w: Option<SharedObject>, other_r| {
+        w.is_some() && (w == other_w || w == other_r)
+    };
+    hits(wa, wb, rb) || hits(wb, wa, ra)
+}
+
+/// Whether a phase of this operation class is a branch point. Only
+/// classes that *write* a shared object can produce observably
+/// different folds; read-only and private classes are independent
+/// within their phase, so the checker runs them in natural order and
+/// accounts the sibling orderings as pruned.
+fn branching(op: ProtocolOp) -> bool {
+    footprint(op).0.is_some()
+}
+
+fn object_index(obj: SharedObject) -> usize {
+    match obj {
+        SharedObject::Decisions => 0,
+        SharedObject::Messages => 1,
+        SharedObject::Horizon => 2,
+    }
+}
+
+/// `k! - 1` (saturating): the number of sibling orderings pruned when
+/// an independent phase of `k` operations runs in one fixed order.
+fn sibling_orderings(k: usize) -> u64 {
+    let mut f: u64 = 1;
+    for i in 2..=(k as u64) {
+        f = f.saturating_mul(i);
+    }
+    f - 1
+}
+
+/// One scheduling decision in a run's trace: at a phase of `op`, the
+/// scheduler took alternative `taken` out of `alternatives` remaining
+/// shards. Non-branching phases record `alternatives = 1` (forced), so
+/// the explorer never backtracks over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// The operation class being scheduled.
+    pub op: ProtocolOp,
+    /// Index taken into the remaining-shards list.
+    pub taken: u16,
+    /// How many alternatives the explorer may try here (1 = forced).
+    pub alternatives: u16,
+}
+
+/// One executed operation with its happens-before clock, for
+/// post-run race validation.
+#[derive(Debug, Clone)]
+struct OpEvent {
+    actor: usize,
+    op: ProtocolOp,
+    clock: VersionVec,
+}
+
+/// The injectable scheduler driving one controlled run — see the
+/// [module docs](self).
+pub struct ControlledScheduler<'v> {
+    prefix: Vec<Choice>,
+    cursor: usize,
+    trace: Vec<Choice>,
+    /// `Some` in exploration mode: the cross-run visited set of
+    /// `(barrier, chained fingerprint)` states. `None` in replay mode.
+    visited: Option<&'v mut HashSet<(u64, u64)>>,
+    chain: u64,
+    hb_pruned: u64,
+    pruned: bool,
+    op_mismatches: u64,
+    last_phase: Option<(ProtocolOp, u64)>,
+    actors: Vec<VersionVec>,
+    objects: [VersionVec; 3],
+    events: Vec<OpEvent>,
+}
+
+impl<'v> ControlledScheduler<'v> {
+    fn new(shards: usize, prefix: &[Choice], visited: Option<&'v mut HashSet<(u64, u64)>>) -> Self {
+        ControlledScheduler {
+            prefix: prefix.to_vec(),
+            cursor: 0,
+            trace: Vec::new(),
+            visited,
+            chain: 0x05ca_1ab1_e0dd_ba11,
+            hb_pruned: 0,
+            pruned: false,
+            op_mismatches: 0,
+            last_phase: None,
+            actors: vec![VersionVec::new(shards); shards],
+            objects: [
+                VersionVec::new(shards),
+                VersionVec::new(shards),
+                VersionVec::new(shards),
+            ],
+            events: Vec::new(),
+        }
+    }
+
+    /// An exploration-mode scheduler: follows `prefix`, then natural
+    /// order; prunes barrier states already present in `visited`.
+    pub fn explore(shards: usize, prefix: &[Choice], visited: &'v mut HashSet<(u64, u64)>) -> Self {
+        ControlledScheduler::new(shards, prefix, Some(visited))
+    }
+
+    /// A replay-mode scheduler: follows the complete recorded
+    /// `schedule` with no state pruning, so a counterexample
+    /// re-executes its exact path.
+    pub fn replay(shards: usize, schedule: &[Choice]) -> Self {
+        ControlledScheduler::new(shards, schedule, None)
+    }
+
+    /// Whether the run was aborted by state-equivalence pruning.
+    pub fn was_pruned(&self) -> bool {
+        self.pruned
+    }
+
+    /// How many prefix entries named a different operation class than
+    /// the engine actually scheduled. Nonzero means the schedule does
+    /// not belong to this scenario/mode (the remaining prefix is
+    /// discarded and the run continues in natural order) — replay
+    /// tests assert zero; minimization candidates tolerate it.
+    pub fn op_mismatches(&self) -> u64 {
+        self.op_mismatches
+    }
+
+    /// Total sibling orderings of independent phases credited as
+    /// happens-before-pruned during this run.
+    pub fn hb_pruned_orderings(&self) -> u64 {
+        self.hb_pruned
+    }
+
+    /// The recorded trace of choices so far.
+    pub fn trace(&self) -> &[Choice] {
+        &self.trace
+    }
+
+    /// Consumes the scheduler, returning the recorded trace.
+    pub fn into_trace(self) -> Vec<Choice> {
+        self.trace
+    }
+
+    /// Validates that every pair of conflicting operations executed in
+    /// this run was happens-before ordered (earlier clock ≤ later
+    /// clock). A violation means the protocol raced on a shared object
+    /// — the independence assumption the explorer branches on would be
+    /// unsound — and is reported as a counterexample by the driver.
+    pub fn verify_race_free(&self) -> Result<(), String> {
+        for i in 0..self.events.len() {
+            for j in (i + 1)..self.events.len() {
+                let (a, b) = (&self.events[i], &self.events[j]);
+                if conflicts(a.op, b.op) && !a.clock.le(&b.clock) {
+                    return Err(format!(
+                        "operations {i} ({:?} by shard {}) and {j} ({:?} by shard {}) \
+                         conflict but are not happens-before ordered",
+                        a.op, a.actor, b.op, b.actor
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one executed operation to the clock state: acquire the
+    /// objects it touches, advance the actor, release onto the objects
+    /// it writes; then snapshot the actor clock for race validation.
+    fn record_execution(&mut self, op: ProtocolOp, actor: usize) {
+        let (write, read) = footprint(op);
+        for obj in [write, read].into_iter().flatten() {
+            let obj = &self.objects[object_index(obj)];
+            // Split-borrow dance: clone the (tiny) object clock so the
+            // actor clock can be joined in place.
+            let snapshot = obj.clone();
+            self.actors[actor].join(&snapshot);
+        }
+        self.actors[actor].increment(actor);
+        if let Some(obj) = write {
+            let released = self.actors[actor].clone();
+            self.objects[object_index(obj)].join(&released);
+        }
+        self.events.push(OpEvent {
+            actor,
+            op,
+            clock: self.actors[actor].clone(),
+        });
+    }
+}
+
+impl ShardScheduler for ControlledScheduler<'_> {
+    fn controlled(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, op: ProtocolOp, barrier: u64, remaining: &[u32]) -> usize {
+        let k = remaining.len();
+        // First pick of an independent multi-shard phase: credit the
+        // sibling orderings this run will never branch over.
+        if self.last_phase != Some((op, barrier)) {
+            self.last_phase = Some((op, barrier));
+            if !branching(op) && k > 1 {
+                self.hb_pruned += sibling_orderings(k);
+            }
+        }
+        let taken = if self.cursor < self.prefix.len() {
+            let c = self.prefix[self.cursor];
+            if c.op == op {
+                (c.taken as usize).min(k - 1)
+            } else {
+                // The schedule no longer matches the engine's operation
+                // sequence (an edited minimization candidate changed
+                // the path shape): discard the rest and run natural.
+                self.op_mismatches += 1;
+                self.cursor = self.prefix.len();
+                0
+            }
+        } else {
+            0
+        };
+        self.cursor += 1;
+        self.trace.push(Choice {
+            op,
+            taken: taken as u16,
+            alternatives: if branching(op) { k as u16 } else { 1 },
+        });
+        self.record_execution(op, remaining[taken] as usize);
+        taken
+    }
+
+    fn window_boundary(&mut self, barrier: u64, fingerprint: u64) -> bool {
+        // Barrier synchronization: every shard passes the round
+        // barrier, so all operations before it happen-before all
+        // operations after it. Join every clock into the barrier's and
+        // hand that clock back to every actor and object.
+        let mut joined = VersionVec::new(self.actors.len());
+        for a in &self.actors {
+            joined.join(a);
+        }
+        for o in &self.objects {
+            joined.join(o);
+        }
+        for a in &mut self.actors {
+            *a = joined.clone();
+        }
+        for o in &mut self.objects {
+            *o = joined.clone();
+        }
+        // Chain the fingerprint so the visited key captures the whole
+        // history of states, not just the latest snapshot.
+        self.chain = crate::splitmix(self.chain ^ crate::splitmix(fingerprint ^ barrier));
+        // Boundaries reached while the prefix is still being replayed
+        // retrace the previous run's states — their keys are already
+        // in the visited set, and consulting it here would self-prune
+        // every restart. Only post-prefix boundaries are new territory.
+        if self.cursor >= self.prefix.len() {
+            if let Some(visited) = self.visited.as_mut() {
+                if !visited.insert((barrier, self.chain)) {
+                    self.pruned = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A persisted failing schedule: everything needed to deterministically
+/// re-execute a divergent path as a regression test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Catalog name of the scenario the schedule drives.
+    pub scenario: String,
+    /// Sync mode: `"epoch"` or `"lookahead"`.
+    pub mode: String,
+    /// Whether the seeded `break-commit-order` bug must be enabled for
+    /// the schedule to diverge (the seeded-bug regression test).
+    pub chaos: bool,
+    /// Human-readable description of the observed divergence.
+    pub reason: String,
+    /// The complete minimized schedule.
+    pub picks: Vec<Choice>,
+}
+
+const HEADER: &str = "shard-check counterexample v1";
+
+fn op_name(op: ProtocolOp) -> &'static str {
+    match op {
+        ProtocolOp::StepWindow => "StepWindow",
+        ProtocolOp::CommitAppend => "CommitAppend",
+        ProtocolOp::MsgSend => "MsgSend",
+        ProtocolOp::MsgReceive => "MsgReceive",
+        ProtocolOp::HorizonReport => "HorizonReport",
+    }
+}
+
+fn op_parse(name: &str) -> Result<ProtocolOp, String> {
+    match name {
+        "StepWindow" => Ok(ProtocolOp::StepWindow),
+        "CommitAppend" => Ok(ProtocolOp::CommitAppend),
+        "MsgSend" => Ok(ProtocolOp::MsgSend),
+        "MsgReceive" => Ok(ProtocolOp::MsgReceive),
+        "HorizonReport" => Ok(ProtocolOp::HorizonReport),
+        other => Err(format!("unknown protocol op {other:?}")),
+    }
+}
+
+impl Counterexample {
+    /// Serializes to the line-oriented `shard-check counterexample v1`
+    /// text format (round-trips through [`Counterexample::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("scenario: {}\n", self.scenario));
+        out.push_str(&format!("mode: {}\n", self.mode));
+        out.push_str(&format!(
+            "chaos: {}\n",
+            if self.chaos {
+                "break-commit-order"
+            } else {
+                "none"
+            }
+        ));
+        out.push_str(&format!("reason: {}\n", self.reason));
+        out.push_str("picks:");
+        for c in &self.picks {
+            out.push_str(&format!(
+                " {}={}/{}",
+                op_name(c.op),
+                c.taken,
+                c.alternatives
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses the text format produced by [`Counterexample::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(format!("missing {HEADER:?} header"));
+        }
+        let mut scenario = None;
+        let mut mode = None;
+        let mut chaos = None;
+        let mut reason = None;
+        let mut picks = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("malformed line {line:?}"))?;
+            let value = value.trim();
+            match key.trim() {
+                "scenario" => scenario = Some(value.to_string()),
+                "mode" => mode = Some(value.to_string()),
+                "chaos" => {
+                    chaos = Some(match value {
+                        "break-commit-order" => true,
+                        "none" => false,
+                        other => return Err(format!("unknown chaos flag {other:?}")),
+                    })
+                }
+                "reason" => reason = Some(value.to_string()),
+                "picks" => {
+                    let mut parsed = Vec::new();
+                    for tok in value.split_whitespace() {
+                        let (name, nums) = tok
+                            .split_once('=')
+                            .ok_or_else(|| format!("malformed pick {tok:?}"))?;
+                        let (taken, alts) = nums
+                            .split_once('/')
+                            .ok_or_else(|| format!("malformed pick {tok:?}"))?;
+                        parsed.push(Choice {
+                            op: op_parse(name)?,
+                            taken: taken
+                                .parse()
+                                .map_err(|e| format!("bad pick index in {tok:?}: {e}"))?,
+                            alternatives: alts
+                                .parse()
+                                .map_err(|e| format!("bad alternative count in {tok:?}: {e}"))?,
+                        });
+                    }
+                    picks = Some(parsed);
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        Ok(Counterexample {
+            scenario: scenario.ok_or("missing scenario line")?,
+            mode: mode.ok_or("missing mode line")?,
+            chaos: chaos.ok_or("missing chaos line")?,
+            reason: reason.ok_or("missing reason line")?,
+            picks: picks.ok_or("missing picks line")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_shared_writers_branch() {
+        assert!(branching(ProtocolOp::CommitAppend));
+        assert!(branching(ProtocolOp::MsgSend));
+        assert!(branching(ProtocolOp::HorizonReport));
+        assert!(!branching(ProtocolOp::StepWindow));
+        assert!(!branching(ProtocolOp::MsgReceive));
+    }
+
+    #[test]
+    fn conflict_matrix_matches_footprints() {
+        use ProtocolOp::*;
+        // Same-object writers conflict; write/read on Messages
+        // conflicts; read/read and private ops do not.
+        assert!(conflicts(CommitAppend, CommitAppend));
+        assert!(conflicts(MsgSend, MsgSend));
+        assert!(conflicts(MsgSend, MsgReceive));
+        assert!(conflicts(MsgReceive, MsgSend));
+        assert!(conflicts(HorizonReport, HorizonReport));
+        assert!(!conflicts(MsgReceive, MsgReceive));
+        assert!(!conflicts(StepWindow, StepWindow));
+        assert!(!conflicts(StepWindow, CommitAppend));
+        assert!(!conflicts(CommitAppend, MsgSend));
+    }
+
+    #[test]
+    fn sibling_orderings_is_factorial_minus_one() {
+        assert_eq!(sibling_orderings(1), 0);
+        assert_eq!(sibling_orderings(2), 1);
+        assert_eq!(sibling_orderings(3), 5);
+        assert_eq!(sibling_orderings(4), 23);
+    }
+
+    #[test]
+    fn prefix_then_natural_order_and_trace_records_alternatives() {
+        let mut visited = HashSet::new();
+        let prefix = [Choice {
+            op: ProtocolOp::CommitAppend,
+            taken: 1,
+            alternatives: 2,
+        }];
+        let mut s = ControlledScheduler::explore(2, &prefix, &mut visited);
+        assert!(s.controlled());
+        // Prefixed pick: takes index 1 of two remaining shards.
+        assert_eq!(s.pick(ProtocolOp::CommitAppend, 0, &[0, 1]), 1);
+        // Beyond the prefix: natural order (index 0).
+        assert_eq!(s.pick(ProtocolOp::CommitAppend, 0, &[0]), 0);
+        let trace = s.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].alternatives, 2);
+        assert_eq!(
+            trace[1].alternatives, 1,
+            "a single remaining shard is forced"
+        );
+    }
+
+    #[test]
+    fn independent_phases_credit_prunes_and_stay_forced() {
+        let mut visited = HashSet::new();
+        let mut s = ControlledScheduler::explore(3, &[], &mut visited);
+        for remaining in [&[0u32, 1, 2][..], &[1, 2][..], &[2][..]] {
+            assert_eq!(s.pick(ProtocolOp::StepWindow, 0, remaining), 0);
+        }
+        assert_eq!(s.hb_pruned_orderings(), 5, "3! - 1 sibling orderings");
+        assert!(s.trace().iter().all(|c| c.alternatives == 1));
+    }
+
+    #[test]
+    fn visited_states_prune_and_replay_does_not() {
+        let mut visited = HashSet::new();
+        {
+            let mut first = ControlledScheduler::explore(2, &[], &mut visited);
+            assert!(first.window_boundary(0, 77));
+            assert!(!first.was_pruned());
+        }
+        {
+            let mut second = ControlledScheduler::explore(2, &[], &mut visited);
+            assert!(!second.window_boundary(0, 77), "same state chain is pruned");
+            assert!(second.was_pruned());
+        }
+        let mut replayed = ControlledScheduler::replay(2, &[]);
+        assert!(replayed.window_boundary(0, 77), "replay never prunes");
+    }
+
+    #[test]
+    fn boundaries_inside_the_prefix_are_exempt_from_pruning() {
+        let mut visited = HashSet::new();
+        {
+            let mut first = ControlledScheduler::explore(2, &[], &mut visited);
+            assert!(first.window_boundary(0, 9));
+        }
+        // A restart replaying a one-pick prefix passes the same barrier
+        // state without self-pruning, then resumes checking beyond it.
+        let prefix = [Choice {
+            op: ProtocolOp::CommitAppend,
+            taken: 1,
+            alternatives: 2,
+        }];
+        let mut second = ControlledScheduler::explore(2, &prefix, &mut visited);
+        assert!(
+            second.window_boundary(0, 9),
+            "replayed-prefix boundaries are exempt"
+        );
+        second.pick(ProtocolOp::CommitAppend, 1, &[0, 1]);
+        assert!(
+            second.window_boundary(1, 9),
+            "fresh post-prefix state passes"
+        );
+    }
+
+    #[test]
+    fn op_mismatch_discards_the_remaining_prefix() {
+        let schedule = [
+            Choice {
+                op: ProtocolOp::MsgSend,
+                taken: 1,
+                alternatives: 2,
+            },
+            Choice {
+                op: ProtocolOp::MsgSend,
+                taken: 1,
+                alternatives: 2,
+            },
+        ];
+        let mut s = ControlledScheduler::replay(2, &schedule);
+        // The engine schedules a different op than the prefix expects:
+        // the whole remaining prefix is dropped, natural order onward.
+        assert_eq!(s.pick(ProtocolOp::CommitAppend, 0, &[0, 1]), 0);
+        assert_eq!(s.op_mismatches(), 1);
+        assert_eq!(s.pick(ProtocolOp::MsgSend, 0, &[0, 1]), 0);
+        assert_eq!(s.op_mismatches(), 1);
+    }
+
+    #[test]
+    fn clock_order_holds_through_a_shared_object_and_races_are_caught() {
+        let mut visited = HashSet::new();
+        let mut s = ControlledScheduler::explore(2, &[], &mut visited);
+        // Shard 1 appends first, then shard 0: ordered through the
+        // Decisions object despite running on different actors.
+        s.pick(ProtocolOp::CommitAppend, 0, &[0, 1]);
+        s.pick(ProtocolOp::CommitAppend, 0, &[1]);
+        s.verify_race_free()
+            .expect("release/acquire orders the appends");
+        // Manufacture a race: a conflicting event with a stale clock.
+        s.events.push(OpEvent {
+            actor: 0,
+            op: ProtocolOp::CommitAppend,
+            clock: VersionVec::new(2),
+        });
+        assert!(s.verify_race_free().is_err());
+    }
+
+    #[test]
+    fn counterexample_text_round_trips() {
+        let cex = Counterexample {
+            scenario: "pair8-appfit".into(),
+            mode: "epoch".into(),
+            chaos: true,
+            reason: "SimReport diverges from the sequential oracle".into(),
+            picks: vec![
+                Choice {
+                    op: ProtocolOp::CommitAppend,
+                    taken: 1,
+                    alternatives: 2,
+                },
+                Choice {
+                    op: ProtocolOp::MsgSend,
+                    taken: 0,
+                    alternatives: 2,
+                },
+            ],
+        };
+        let text = cex.to_text();
+        assert!(text.starts_with(HEADER));
+        let back = Counterexample::from_text(&text).expect("parses");
+        assert_eq!(back, cex);
+        assert!(Counterexample::from_text("nonsense").is_err());
+    }
+}

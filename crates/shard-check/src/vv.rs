@@ -1,0 +1,130 @@
+//! Vector clocks (`VersionVec`) for happens-before tracking.
+//!
+//! The controlled scheduler tags every executed protocol operation
+//! with the acting shard's current clock, maintaining the standard
+//! message-passing happens-before relation over the protocol's shared
+//! objects (release on write, acquire on read — the syncbox-fuzz
+//! recipe). Two uses:
+//!
+//! * **Pruning accounting**: operation classes whose footprints are
+//!   pairwise disjoint (no shared object with a write) are independent
+//!   — all `k!` orderings of a phase reach the same state, so the
+//!   explorer runs one and counts the rest as HB-pruned. The clocks
+//!   are what makes that claim checkable rather than asserted.
+//! * **Race validation**: after each explored path,
+//!   [`crate::schedule::ControlledScheduler::verify_race_free`]
+//!   re-checks that every pair of operations touching a common object
+//!   with at least one write is clock-ordered — i.e. the protocol has
+//!   no data race under the model, the precondition for the phase
+//!   structure the explorer branches on.
+
+/// A vector clock over a fixed set of actors (shards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionVec(Vec<u64>);
+
+impl VersionVec {
+    /// The zero clock for `actors` actors.
+    pub fn new(actors: usize) -> Self {
+        VersionVec(vec![0; actors])
+    }
+
+    /// Number of actors.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when tracking zero actors.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component for `actor`.
+    pub fn get(&self, actor: usize) -> u64 {
+        self.0[actor]
+    }
+
+    /// Advances `actor`'s own component — one local step.
+    pub fn increment(&mut self, actor: usize) {
+        self.0[actor] += 1;
+    }
+
+    /// Pointwise maximum — the join after an acquire.
+    pub fn join(&mut self, other: &VersionVec) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (pointwise ≤).
+    pub fn le(&self, other: &VersionVec) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Whether the two clocks are ordered either way — unordered
+    /// clocks mean concurrent operations.
+    pub fn ordered_with(&self, other: &VersionVec) -> bool {
+        self.le(other) || other.le(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal_and_ordered() {
+        let a = VersionVec::new(3);
+        let b = VersionVec::new(3);
+        assert!(a.le(&b) && b.le(&a));
+        assert!(a.ordered_with(&b));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn independent_increments_are_concurrent() {
+        let mut a = VersionVec::new(2);
+        let mut b = VersionVec::new(2);
+        a.increment(0);
+        b.increment(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.ordered_with(&b));
+    }
+
+    #[test]
+    fn join_establishes_order() {
+        // Actor 0 writes (increments), actor 1 acquires via join: the
+        // writer's clock now happens-before the reader's.
+        let mut writer = VersionVec::new(2);
+        writer.increment(0);
+        let release = writer.clone();
+        let mut reader = VersionVec::new(2);
+        reader.increment(1);
+        reader.join(&release);
+        assert!(writer.le(&reader));
+        assert!(!reader.le(&writer));
+        assert_eq!(reader.get(0), 1);
+        assert_eq!(reader.get(1), 1);
+    }
+
+    #[test]
+    fn transitivity_through_a_shared_object() {
+        // 0 → object → 1 → object → 2: clock order is transitive.
+        let mut obj = VersionVec::new(3);
+        let mut a0 = VersionVec::new(3);
+        a0.increment(0);
+        obj.join(&a0); // release by 0
+        let mut a1 = VersionVec::new(3);
+        a1.join(&obj); // acquire by 1
+        a1.increment(1);
+        obj.join(&a1); // release by 1
+        let mut a2 = VersionVec::new(3);
+        a2.join(&obj); // acquire by 2
+        a2.increment(2);
+        assert!(a0.le(&a2));
+        assert!(a1.le(&a2));
+    }
+}

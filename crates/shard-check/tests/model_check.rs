@@ -1,0 +1,195 @@
+//! End-to-end model-checking tests: the exhaustive gate is clean on
+//! the real protocol, and a seeded commit-order bug is found,
+//! minimized, persisted, and deterministically replayed.
+//!
+//! Tests that run engines share one process-global mutex: the seeded
+//! bug lives behind a process-global hook
+//! (`cluster_sim::shard::chaos`), so a test that enables it must not
+//! overlap with tests that expect the healthy protocol.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use cluster_sim::shard::chaos;
+use shard_check::scenario::{catalog, find, Mode};
+use shard_check::{clean_oracle, explore, Counterexample, ExploreConfig};
+
+static CHAOS_GUARD: Mutex<()> = Mutex::new(());
+
+/// Serializes engine-running tests and guarantees the seeded-bug hook
+/// is off on entry and on drop (even across panics).
+struct CleanChaos(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl CleanChaos {
+    fn lock() -> Self {
+        let guard = CHAOS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        chaos::set_break_commit_order(false);
+        CleanChaos(guard)
+    }
+}
+
+impl Drop for CleanChaos {
+    fn drop(&mut self) {
+        chaos::set_break_commit_order(false);
+    }
+}
+
+fn quick_cfg() -> ExploreConfig {
+    ExploreConfig {
+        budget: Some(Duration::from_secs(60)),
+        ..ExploreConfig::default()
+    }
+}
+
+/// The tentpole claim: for every catalog scenario, in both
+/// synchronization modes, the explorer fully enumerates the
+/// interleaving space (post-pruning) and every completed path
+/// reproduces the sequential oracle bit for bit — and both pruning
+/// mechanisms actually fired (the enumeration is exhaustive *because*
+/// of them, not vacuously).
+#[test]
+fn exhaustive_enumeration_is_clean_in_both_modes() {
+    let _guard = CleanChaos::lock();
+    for scenario in catalog() {
+        for mode in Mode::ALL {
+            let stats = explore(&scenario, mode, &quick_cfg());
+            assert!(
+                stats.passed_exhaustively(),
+                "{} {:?}: {:?}",
+                scenario.name,
+                mode,
+                stats.counterexample
+            );
+            assert!(stats.explored >= 1, "{} {:?}", scenario.name, mode);
+            assert!(
+                stats.pruned_equivalent > 0,
+                "{} {:?}: state-equivalence pruning never fired",
+                scenario.name,
+                mode
+            );
+            assert!(
+                stats.hb_pruned_orderings > 0,
+                "{} {:?}: happens-before pruning never fired",
+                scenario.name,
+                mode
+            );
+            assert!(stats.max_depth > 0);
+        }
+    }
+}
+
+/// The preemption bound restricts the tree but a bounded clean pass
+/// still completes and stays clean.
+#[test]
+fn bounded_preemption_pass_is_clean() {
+    let _guard = CleanChaos::lock();
+    let scenario = find("pair8-appfit").unwrap();
+    let cfg = ExploreConfig {
+        preemption_bound: Some(1),
+        ..quick_cfg()
+    };
+    for mode in Mode::ALL {
+        let stats = explore(&scenario, mode, &cfg);
+        assert!(
+            stats.passed_exhaustively(),
+            "{mode:?}: {:?}",
+            stats.counterexample
+        );
+    }
+}
+
+/// The seeded-bug drill: break the canonical commit order behind the
+/// test hook and assert the checker finds a divergent schedule,
+/// minimizes it, and that the persisted artifact replays the same
+/// divergence deterministically — then goes quiet once the bug is off.
+#[test]
+fn seeded_commit_order_bug_is_found_minimized_and_replayed() {
+    let _guard = CleanChaos::lock();
+    let scenario = find("pair8-appfit").unwrap();
+
+    chaos::set_break_commit_order(true);
+    let stats = explore(&scenario, Mode::Epoch, &quick_cfg());
+    let cex = stats
+        .counterexample
+        .clone()
+        .expect("breaking the canonical commit order must produce a counterexample");
+    assert!(cex.chaos, "the artifact records that the seeded bug was on");
+    assert_eq!(cex.scenario, "pair8-appfit");
+    assert!(
+        cex.picks.last().is_none_or(|c| c.taken != 0),
+        "minimization trims the natural tail: {:?}",
+        cex.picks
+    );
+
+    // The text format round-trips.
+    let text = cex.to_text();
+    let parsed = Counterexample::from_text(&text).expect("parses back");
+    assert_eq!(parsed, cex);
+
+    // Golden-file regeneration for the checked-in regression artifact:
+    // SHARD_CHECK_REGEN_CEX=1 cargo test -p shard-check seeded_commit
+    if std::env::var_os("SHARD_CHECK_REGEN_CEX").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/data/break_commit_order.cex"
+        );
+        std::fs::write(path, &text).expect("write golden counterexample");
+    }
+
+    // Replaying the artifact reproduces the divergence — twice, with
+    // bit-identical outcomes (the replay is deterministic).
+    let (first, diverges_a) =
+        shard_check::explore::replay_counterexample(&parsed).expect("replays");
+    let (second, diverges_b) =
+        shard_check::explore::replay_counterexample(&parsed).expect("replays");
+    assert!(diverges_a && diverges_b, "the divergence reproduces");
+    assert_eq!(first, second, "replay must be deterministic");
+
+    // With the bug off, the same exploration is clean again.
+    chaos::set_break_commit_order(false);
+    let healthy = explore(&scenario, Mode::Epoch, &quick_cfg());
+    assert!(
+        healthy.passed_exhaustively(),
+        "healthy protocol must be clean: {:?}",
+        healthy.counterexample
+    );
+}
+
+/// The checked-in counterexample file — generated by the seeded-bug
+/// drill above — keeps replaying as a regression test: parsing the
+/// persisted format, re-enabling the recorded bug flag, and
+/// reproducing the divergence.
+#[test]
+fn checked_in_counterexample_replays_as_a_regression() {
+    let _guard = CleanChaos::lock();
+    let text = include_str!("data/break_commit_order.cex");
+    let cex = Counterexample::from_text(text).expect("persisted format parses");
+    assert!(cex.chaos, "the artifact depends on the seeded bug");
+    let (_, diverges) = shard_check::explore::replay_counterexample(&cex).expect("replays");
+    assert!(
+        diverges,
+        "the persisted schedule must reproduce its divergence"
+    );
+    assert!(
+        !chaos::commit_order_broken(),
+        "replay_counterexample restores the hook"
+    );
+}
+
+/// A divergent outcome is only a *schedule* problem, never a seed
+/// problem: the oracle itself is computed with the bug hook forced
+/// off, so enabling the bug does not move the goalposts.
+#[test]
+fn oracle_is_computed_with_the_bug_hook_off() {
+    let _guard = CleanChaos::lock();
+    let scenario = find("pair8-appfit").unwrap();
+    let clean = clean_oracle(&scenario, Mode::Epoch);
+    chaos::set_break_commit_order(true);
+    let still_clean = clean_oracle(&scenario, Mode::Epoch);
+    assert!(
+        chaos::commit_order_broken(),
+        "clean_oracle restores the caller's hook state"
+    );
+    chaos::set_break_commit_order(false);
+    assert_eq!(clean, still_clean);
+}

@@ -17,7 +17,11 @@
 #   9. the cross-engine conformance harness in release mode (fixed
 #      seeds: lookahead ≡ sequential reference bitwise, per-mode
 #      shard-layout invariance, lookahead error ≤ epoch error), plus
-#      a `scenario run` smoke of a lookahead preset.
+#      a `scenario run` smoke of a lookahead preset,
+#  10. the shard-protocol model-checking gate in release mode:
+#      `shard-check --exhaustive-small` fully enumerates (post-pruning)
+#      every catalog scenario's interleavings in both sync modes
+#      against the sequential oracle, under a wall-clock budget.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -55,5 +59,8 @@ cargo test --release -q -p cluster-sim --test conformance
 
 echo "==> lookahead scenario smoke"
 cargo run --release -q -p repro-bench --bin repro -- scenario run smoke-lookahead
+
+echo "==> shard-protocol model checking (release, exhaustive-small)"
+cargo run --release -q -p shard-check --bin shard-check -- --exhaustive-small --budget-secs 120
 
 echo "verify: all gates green"

@@ -8,8 +8,13 @@
 //!
 //! Differences from the real crate:
 //!
-//! * **No shrinking** — a failing case reports its inputs (via the
-//!   panic message of the assert that fired) but is not minimized.
+//! * **Bounded greedy shrinking** — there is no value tree; instead a
+//!   failing input is minimized by re-executing candidates proposed by
+//!   [`strategy::Strategy::shrink`], greedily keeping any candidate
+//!   that still fails, capped by `max_shrink_iters` and
+//!   `max_shrink_time_ms` in [`ProptestConfig`]. Mapped and
+//!   flat-mapped strategies do not shrink (the closure cannot be
+//!   inverted); their failures are reported unminimized.
 //! * **Fixed seeding** — each test's RNG stream is derived from the
 //!   test name and case index, so failures reproduce exactly across
 //!   runs and machines. There is no `PROPTEST_CASES` env handling.
@@ -24,6 +29,14 @@ pub use test_runner::{ProptestConfig, TestRng};
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes simpler candidates for a failing value, best first.
+    /// Every candidate must be strictly simpler than `self` under some
+    /// well-founded measure, or the shrink loop only terminates at its
+    /// iteration cap.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arb_int {
@@ -31,6 +44,22 @@ macro_rules! arb_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t];
+                let mid = v / 2;
+                if mid != 0 && mid != v {
+                    out.push(mid);
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                if step != 0 && step != mid {
+                    out.push(step);
+                }
+                out
             }
         }
     )*};
@@ -41,11 +70,21 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.unit_f64()
+    }
+    fn shrink(&self) -> Vec<Self> {
+        strategy::shrink_f64_toward(*self, 0.0)
     }
 }
 
@@ -57,6 +96,9 @@ impl<A: Arbitrary> Strategy for Any<A> {
     type Value = A;
     fn generate(&self, rng: &mut TestRng) -> A {
         A::arbitrary(rng)
+    }
+    fn shrink(&self, value: &A) -> Vec<A> {
+        value.shrink()
     }
 }
 
@@ -119,11 +161,40 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = rng.usize_in(self.size.lo, self.size.hi);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let n = value.len();
+            // Structural first: halve toward the minimum length, then
+            // drop each single element. All strictly shorter.
+            if n > self.size.lo {
+                let half = self.size.lo.max(n / 2);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..n {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Then element-wise, keeping the length fixed.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -154,6 +225,16 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            match value {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(v).into_iter().map(Some));
+                    out
+                }
+            }
+        }
     }
 }
 
@@ -174,6 +255,13 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -202,8 +290,71 @@ pub mod num {
                 let mantissa = rng.unit_f64() + f64::MIN_POSITIVE;
                 mantissa * 2f64.powi(exp)
             }
+            fn shrink(&self, value: &f64) -> Vec<f64> {
+                // Shrink toward 1.0, the simplest positive double.
+                // 1.0 is terminal, every other candidate strictly
+                // halves the distance to it, so the loop converges.
+                let v = *value;
+                if v == 1.0 || !v.is_finite() {
+                    return Vec::new();
+                }
+                let mut out = vec![1.0];
+                if v > 1.0 {
+                    let mid = 1.0 + (v - 1.0) / 2.0;
+                    if mid.is_finite() && mid != 1.0 && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     }
+}
+
+/// Greedy bounded shrink loop used by the [`proptest!`] runner: keep
+/// accepting the first candidate that still fails until the strategy
+/// proposes nothing new or a cap trips. Returns the smallest failing
+/// input found plus the number of candidates re-executed.
+///
+/// The default panic hook is silenced for the duration of the loop so
+/// candidate re-runs don't spam stderr; the caller re-runs the result
+/// uncaught afterwards to surface the real assertion message.
+/// Ties a test-body closure's argument type to `strategy`'s `Value`
+/// so the macro expansion type-checks without annotating the tuple
+/// type (which the macro cannot spell).
+#[doc(hidden)]
+pub fn bind_runner<S: Strategy, F: Fn(S::Value)>(_strategy: &S, body: F) -> F {
+    body
+}
+
+#[doc(hidden)]
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    failing: S::Value,
+    config: &ProptestConfig,
+    passes: &dyn Fn(&S::Value) -> bool,
+) -> (S::Value, u32) {
+    use std::time::{Duration, Instant};
+    let deadline = Instant::now() + Duration::from_millis(config.max_shrink_time_ms);
+    let mut best = failing;
+    let mut tried: u32 = 0;
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    'shrinking: loop {
+        for cand in strategy.shrink(&best) {
+            if tried >= config.max_shrink_iters || Instant::now() >= deadline {
+                break 'shrinking;
+            }
+            tried += 1;
+            if !passes(&cand) {
+                best = cand;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(hook);
+    (best, tried)
 }
 
 pub mod prelude {
@@ -236,6 +387,10 @@ macro_rules! prop_assert_ne {
 /// becomes a `#[test]` running `body` over `config.cases` generated
 /// inputs. Accepts an optional leading
 /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+///
+/// On failure, the failing input is minimized by the bounded greedy
+/// shrink loop in [`shrink_failure`] (caps in [`ProptestConfig`]),
+/// printed, and re-run uncaught so the original assertion fires.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -251,11 +406,37 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                let __run = $crate::bind_runner(&__strategy, |__input| {
+                    let ($($arg,)+) = __input;
+                    $body
+                });
                 for __case in 0..__config.cases {
                     let mut __rng =
                         $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), __case);
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
+                    let __input = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    let __failed = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || __run(::std::clone::Clone::clone(&__input)),
+                    ))
+                    .is_err();
+                    if __failed {
+                        let (__best, __tried) =
+                            $crate::shrink_failure(&__strategy, __input, &__config, &|__cand| {
+                                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                    || __run(::std::clone::Clone::clone(__cand)),
+                                ))
+                                .is_ok()
+                            });
+                        eprintln!(
+                            "proptest {}: case {} failed; minimized input after {} shrink candidates: {:?}",
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case,
+                            __tried,
+                            __best,
+                        );
+                        __run(::std::clone::Clone::clone(&__best));
+                        unreachable!("minimized input passed on deterministic replay");
+                    }
                 }
             }
         )*

@@ -6,14 +6,26 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a
-/// strategy is just a deterministic function of the test RNG stream.
+/// Unlike real proptest there is no value tree: a strategy is a
+/// deterministic function of the test RNG stream, plus an optional
+/// [`Strategy::shrink`] step proposing smaller variants of a failing
+/// value. The [`crate::proptest!`] runner drives shrinking greedily
+/// under the caps in [`crate::ProptestConfig`].
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values derived from a
+    /// failing `value`, best candidates first. The default proposes
+    /// nothing (mapped/flat-mapped strategies cannot invert their
+    /// closures); the runner then reports the unshrunk failure.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -38,6 +50,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -52,6 +67,7 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.base.generate(rng))
     }
+    // No shrink: the mapping cannot be inverted.
 }
 
 /// See [`Strategy::prop_flat_map`].
@@ -66,6 +82,7 @@ impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (self.f)(self.base.generate(rng)).generate(rng)
     }
+    // No shrink: the intermediate value is gone.
 }
 
 /// Always generates a clone of the given value.
@@ -79,6 +96,28 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Shrink candidates for an integer confined to `[lo, v]`: the lower
+/// bound itself, the midpoint toward it, and the predecessor —
+/// deduplicated, best first.
+macro_rules! int_shrink_toward {
+    ($v:expr, $lo:expr) => {{
+        let (v, lo) = ($v, $lo);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            let dec = v - 1;
+            if dec != lo && dec != mid {
+                out.push(dec);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! int_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -87,6 +126,9 @@ macro_rules! int_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, self.start)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -100,6 +142,9 @@ macro_rules! int_strategy {
                 }
                 lo + (rng.next_u64() % (span + 1)) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, *self.start())
+            }
         }
     )*};
 }
@@ -112,6 +157,9 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, self.start)
+    }
 }
 
 impl Strategy for RangeInclusive<f64> {
@@ -121,23 +169,62 @@ impl Strategy for RangeInclusive<f64> {
         assert!(lo <= hi, "empty range strategy");
         lo + rng.unit_f64() * (hi - lo)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, *self.start())
+    }
+}
+
+/// Shrink candidates for a float confined to `[lo, v]`: the bound,
+/// then the offset halved.
+pub(crate) fn shrink_f64_toward(v: f64, lo: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2.0;
+        if mid.is_finite() && mid != lo && mid != v {
+            out.push(mid);
+        }
+    }
+    out
 }
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one position, keep the rest.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategy! {
+    (A/0)
     (A/0, B/1)
     (A/0, B/1, C/2)
     (A/0, B/1, C/2, D/3)
     (A/0, B/1, C/2, D/3, E/4)
     (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11)
 }

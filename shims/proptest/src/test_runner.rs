@@ -3,23 +3,37 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// How many cases each property test runs.
+/// How many cases each property test runs, and how hard the runner
+/// tries to shrink a failing input before reporting it.
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {
     /// Number of generated inputs per test.
     pub cases: u32,
+    /// Maximum shrink candidates re-executed for one failure.
+    pub max_shrink_iters: u32,
+    /// Wall-clock cap on one failure's shrink loop, in milliseconds.
+    /// Whichever of the two caps trips first stops the loop; the best
+    /// failing input found so far is reported.
+    pub max_shrink_time_ms: u64,
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` inputs.
+    /// A configuration running `cases` inputs with default shrink caps.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 256,
+            max_shrink_time_ms: 5_000,
+        }
     }
 }
 

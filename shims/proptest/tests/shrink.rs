@@ -1,0 +1,137 @@
+//! Tests for the shim's bounded greedy shrinking: candidate proposals
+//! per strategy, the minimization loop, and its iteration/time caps.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::shrink_failure;
+
+#[test]
+fn int_range_shrink_proposes_toward_the_lower_bound() {
+    let strat = 10u64..100;
+    let cands = Strategy::shrink(&strat, &73);
+    assert_eq!(cands[0], 10, "the lower bound comes first");
+    assert!(cands.iter().all(|&c| (10..73).contains(&c)));
+    assert!(Strategy::shrink(&strat, &10).is_empty(), "lo is terminal");
+}
+
+#[test]
+fn arbitrary_ints_shrink_toward_zero_from_both_signs() {
+    assert_eq!(Arbitrary::shrink(&0i64), Vec::<i64>::new());
+    let neg = Arbitrary::shrink(&-9i64);
+    assert!(neg.contains(&0) && neg.iter().all(|&c| (-9..=0).contains(&c)));
+    let pos = Arbitrary::shrink(&9u32);
+    assert!(pos.contains(&0) && pos.iter().all(|c| *c < 9));
+}
+
+#[test]
+fn vec_shrink_never_goes_below_the_minimum_length() {
+    let strat = collection::vec(0u64..100, 3..=8);
+    let value: Vec<u64> = vec![50, 60, 70, 80, 90, 99];
+    let cands = Strategy::shrink(&strat, &value);
+    assert!(!cands.is_empty());
+    assert!(cands.iter().all(|c| c.len() >= 3));
+    // Both structural and element-wise candidates appear.
+    assert!(cands.iter().any(|c| c.len() < value.len()));
+    assert!(cands.iter().any(|c| c.len() == value.len()));
+}
+
+#[test]
+fn tuple_shrink_changes_one_component_at_a_time() {
+    let strat = (0u64..100, 0u64..100);
+    let cands = Strategy::shrink(&strat, &(40, 50));
+    assert!(!cands.is_empty());
+    for (a, b) in cands {
+        assert!(
+            (a, b) != (40, 50) && (a == 40 || b == 50),
+            "exactly one side moves: ({a}, {b})"
+        );
+    }
+}
+
+#[test]
+fn shrink_failure_finds_the_boundary_of_a_threshold_property() {
+    // Property: v < 10. Everything >= 10 fails; the minimal failing
+    // input is exactly 10 and greedy bisection must reach it.
+    let strat = 0u64..1000;
+    let (best, tried) = shrink_failure(&strat, 973, &ProptestConfig::default(), &|v| *v < 10);
+    assert_eq!(best, 10);
+    assert!(tried > 0 && tried <= ProptestConfig::default().max_shrink_iters);
+}
+
+#[test]
+fn shrink_failure_respects_the_iteration_cap() {
+    let cfg = ProptestConfig {
+        max_shrink_iters: 3,
+        ..ProptestConfig::default()
+    };
+    let strat = 0u64..1000;
+    let (best, tried) = shrink_failure(&strat, 973, &cfg, &|v| *v < 10);
+    assert!(tried <= 3);
+    assert!(best >= 10, "the result still fails the property");
+}
+
+#[test]
+fn shrink_failure_respects_the_time_cap() {
+    let cfg = ProptestConfig {
+        max_shrink_time_ms: 0,
+        ..ProptestConfig::default()
+    };
+    let strat = 0u64..1000;
+    let (best, tried) = shrink_failure(&strat, 973, &cfg, &|v| *v < 10);
+    assert_eq!(tried, 0, "an expired deadline admits no candidates");
+    assert_eq!(best, 973, "the original failing input is reported");
+}
+
+#[test]
+fn shrink_failure_minimizes_vectors_structurally_and_element_wise() {
+    // Property: no element >= 90. The minimal failing input is a
+    // shortest vector holding one minimal offending element.
+    let strat = collection::vec(0u64..100, 1..=8);
+    let failing = vec![12, 95, 3, 91, 40];
+    let (best, _) = shrink_failure(&strat, failing, &ProptestConfig::default(), &|v| {
+        v.iter().all(|&x| x < 90)
+    });
+    assert_eq!(best, vec![90]);
+}
+
+#[test]
+fn shrink_failure_restores_the_panic_hook() {
+    let strat = 0u64..100;
+    // The passing probe panics internally; the silent hook must hide
+    // it during the loop and the default hook must come back after.
+    let (_, _) = shrink_failure(&strat, 50, &ProptestConfig::default(), &|v| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert!(*v >= 10);
+        }))
+        .is_ok()
+    });
+    let caught = std::panic::catch_unwind(|| panic!("hook probe"));
+    assert!(caught.is_err());
+}
+
+// The macro path end to end: multi-arg properties (bundled into one
+// tuple strategy), trailing comma, per-block config, and plain usage.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_inputs_respect_their_strategies(
+        a in 5u64..50,
+        b in 0.0f64..1.0,
+        flip in proptest::bool::ANY,
+        xs in collection::vec(1u64..9, 2..=4),
+    ) {
+        prop_assert!((5..50).contains(&a));
+        prop_assert!((0.0..1.0).contains(&b));
+        let _ = flip;
+        prop_assert!((2..=4).contains(&xs.len()));
+        prop_assert!(xs.iter().all(|&x| (1..9).contains(&x)));
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_macro_path_still_works(v in 0u64..10) {
+        prop_assert!(v < 10);
+    }
+}
