@@ -210,7 +210,25 @@ impl ReplicationPolicy for AppFit {
                 d.replicate,
                 self.config.residual_factor,
             );
+            if d.replica_lagged {
+                // Charge-back at this decision's slot of the canonical
+                // order — the same float-op sequence the sequential
+                // engine performs inline, so single-node runs stay
+                // bit-identical (see `on_replica_failed`).
+                s.current_fit += d.ctx.rates.total().value() * (1.0 - self.config.residual_factor);
+            }
         }
+    }
+
+    /// A lagging replica was abandoned and the primary ran effectively
+    /// unprotected: charge the full rate back to the exposed budget.
+    /// (The decision-time charge was `lambda × residual_factor`; this
+    /// adds the complement so the task ends up charged exactly like an
+    /// unreplicated one.)
+    fn on_replica_failed(&self, ctx: &DecisionCtx) {
+        let lambda = ctx.rates.total().value();
+        let mut s = self.state.lock();
+        s.current_fit += lambda * (1.0 - self.config.residual_factor);
     }
 
     fn name(&self) -> &'static str {
@@ -239,6 +257,13 @@ impl EpochDecider for AppFitEpochFork {
             lambda
         };
         replicate
+    }
+
+    fn on_replica_failed(&mut self, ctx: &DecisionCtx) {
+        // Mirror the commit-time charge-back on the local view so later
+        // in-window decisions on this node see the exposed rate — the
+        // sequential engine's inline charge does the same.
+        self.current_fit += ctx.rates.total().value() * (1.0 - self.config.residual_factor);
     }
 }
 
@@ -344,6 +369,33 @@ mod tests {
         });
         assert!(h.decide(&ctx(0, 2.0))); // threshold 0 ⇒ replicate
         assert_eq!(h.current_fit().value(), 0.5); // 2.0 × 0.25
+    }
+
+    #[test]
+    fn replica_failure_charges_full_rate_back() {
+        // Threshold 0 ⇒ every task is replicated and charged nothing.
+        let h = AppFit::new(AppFitConfig::new(Fit::new(0.0), 2));
+        let c = ctx(0, 3.0);
+        assert!(h.decide(&c));
+        assert_eq!(h.current_fit().value(), 0.0);
+        // The replica lagged out: the task ran effectively unprotected.
+        h.on_replica_failed(&c);
+        assert_eq!(h.current_fit().value(), 3.0);
+    }
+
+    #[test]
+    fn replica_failure_respects_residual_factor() {
+        // With residual 0.25 the decision already charged 0.25 λ; the
+        // charge-back adds the remaining 0.75 λ for a total of λ.
+        let h = AppFit::new(AppFitConfig {
+            residual_factor: 0.25,
+            ..AppFitConfig::new(Fit::new(0.0), 2)
+        });
+        let c = ctx(0, 2.0);
+        assert!(h.decide(&c));
+        assert_eq!(h.current_fit().value(), 0.5);
+        h.on_replica_failed(&c);
+        assert_eq!(h.current_fit().value(), 2.0);
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl<P: ReplicationPolicy> ReplicationPolicy for Observed<P> {
         self.sink.on_epoch_commit(decisions);
     }
 
+    fn on_replica_failed(&self, ctx: &DecisionCtx) {
+        // Recovery charge-backs mutate policy state but are not
+        // decisions; the sink's observed stream stays decisions-only.
+        self.policy.on_replica_failed(ctx);
+    }
+
     fn name(&self) -> &'static str {
         self.policy.name()
     }
@@ -162,6 +168,7 @@ mod tests {
             .map(|i| EpochDecision {
                 ctx: ctx(i, 0.5),
                 replicate: i == 1,
+                replica_lagged: false,
             })
             .collect();
         policy.commit_epoch(&decisions);

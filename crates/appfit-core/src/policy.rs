@@ -53,14 +53,35 @@ pub trait ReplicationPolicy: Send + Sync {
     /// scratch.
     ///
     /// The default forwards each decision to
-    /// [`ReplicationPolicy::on_complete`], preserving completion-time
-    /// accounting for policies that only implement the sequential
-    /// surface; policies that override [`ReplicationPolicy::fork_epoch`]
-    /// should override this too and account exactly once.
+    /// [`ReplicationPolicy::on_complete`] — then, for decisions whose
+    /// replica lagged out at runtime, to
+    /// [`ReplicationPolicy::on_replica_failed`] — preserving
+    /// completion-time accounting for policies that only implement the
+    /// sequential surface; policies that override
+    /// [`ReplicationPolicy::fork_epoch`] should override this too and
+    /// account exactly once.
     fn commit_epoch(&self, decisions: &[EpochDecision]) {
         for d in decisions {
             self.on_complete(&d.ctx, d.replicate);
+            if d.replica_lagged {
+                self.on_replica_failed(&d.ctx);
+            }
         }
+    }
+
+    /// Called when a *replicated* task loses its replica at runtime —
+    /// TeaMPI-style heartbeat detection declared the replica lagging and
+    /// let the primary's result win uncompared. The protection the
+    /// policy paid for (and accounted as covered) never materialized,
+    /// so reliability-accounting policies charge the task's failure
+    /// rate back to the exposed budget here. The sequential engine
+    /// calls this right after [`ReplicationPolicy::on_complete`] for
+    /// the lagging dispatch; on the windowed paths the charge-back
+    /// rides the committed decision itself
+    /// ([`EpochDecision::replica_lagged`]) so it lands at exactly the
+    /// same point of the canonical order.
+    fn on_replica_failed(&self, ctx: &DecisionCtx) {
+        let _ = ctx;
     }
 
     /// Display name for experiment tables.
@@ -74,6 +95,12 @@ pub struct EpochDecision {
     pub ctx: DecisionCtx,
     /// The decision taken by the epoch fork.
     pub replicate: bool,
+    /// The replica was later abandoned by heartbeat detection (only
+    /// meaningful when `replicate` is true): the commit must charge the
+    /// exposed rate back via
+    /// [`ReplicationPolicy::on_replica_failed`] at this decision's
+    /// position in the canonical order.
+    pub replica_lagged: bool,
 }
 
 /// A node-local decision view for one epoch of sharded simulation.
@@ -85,6 +112,16 @@ pub struct EpochDecision {
 pub trait EpochDecider {
     /// Decides one task against the frozen-plus-local view.
     fn decide(&mut self, ctx: &DecisionCtx) -> bool;
+
+    /// Heartbeat detection abandoned the replica of a task this fork
+    /// decided to replicate. Stateful forks mirror the charge-back on
+    /// their local view so later in-window decisions see it (the
+    /// definitive global charge still happens at commit, through
+    /// [`EpochDecision::replica_lagged`]). The default is a no-op,
+    /// matching stateless policies.
+    fn on_replica_failed(&mut self, ctx: &DecisionCtx) {
+        let _ = ctx;
+    }
 }
 
 /// Default [`EpochDecider`]: forwards to the (stateless, hence
@@ -95,6 +132,9 @@ impl<P: ReplicationPolicy + ?Sized> EpochDecider for PassThroughDecider<'_, P> {
     fn decide(&mut self, ctx: &DecisionCtx) -> bool {
         self.0.decide(ctx)
     }
+    // `on_replica_failed` keeps the default no-op: the commit path
+    // delivers the definitive charge-back, and a stateless policy has
+    // no in-window view to keep current.
 }
 
 /// Shared handles delegate: lets callers keep a concrete `Arc<AppFit>`
@@ -112,6 +152,9 @@ impl<P: ReplicationPolicy + ?Sized> ReplicationPolicy for std::sync::Arc<P> {
     }
     fn commit_epoch(&self, decisions: &[EpochDecision]) {
         (**self).commit_epoch(decisions);
+    }
+    fn on_replica_failed(&self, ctx: &DecisionCtx) {
+        (**self).on_replica_failed(ctx);
     }
     fn name(&self) -> &'static str {
         (**self).name()

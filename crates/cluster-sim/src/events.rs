@@ -16,7 +16,7 @@
 /// A simulation event packed into one `u128` whose integer order is
 /// the engines' canonical event order.
 ///
-/// Two event classes share the key space:
+/// Three event classes share the key space:
 ///
 /// * **Completions** `(time, seq, task)`: the high 64 bits are the
 ///   timestamp mapped through [`time_to_bits`] (monotone in
@@ -33,12 +33,54 @@
 ///   of the scenario, never of shard layout or insertion history
 ///   (the lookahead engine's cross-engine bit-identity relies on
 ///   this; see [`crate::shard`]).
+/// * **Controls** `(time, kind, node)` ([`EventKey::control`]): the
+///   recovery subsystem's machine-level events — crashes, preemptions,
+///   repairs. The low 64 bits are
+///   `DELIVERY_BIT | CONTROL_BIT | kind << 32 | node`, so at equal
+///   timestamps controls order after both other classes, and among
+///   themselves by `(kind, node)` — again a property of the scenario
+///   alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EventKey(u128);
 
 /// Low-word class bit: set for delivery events. Completion sequence
 /// numbers stay below 2³¹ so their `seq << 32` never reaches this bit.
 const DELIVERY_BIT: u64 = 1 << 63;
+
+/// Second low-word class bit: set (together with [`DELIVERY_BIT`]) for
+/// node-control events. Delivery low words keep bits 32–62 clear (the
+/// consumer task is a `u32`), so at equal timestamps every delivery
+/// orders *before* every control.
+const CONTROL_BIT: u64 = 1 << 62;
+
+/// The kind of a node-control event — the recovery subsystem's
+/// machine-level happenings, ordered so that at equal timestamps a
+/// repair completes before a fresh crash strikes before a scheduled
+/// preemption fires (a node repaired and re-crashed at the same instant
+/// loses its fresh work, not its already-lost work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ControlKind {
+    /// The node's unavailability window ends; it resumes dispatching.
+    Repair = 0,
+    /// A fail-stop crash drawn by the fault model strikes the node.
+    Crash = 1,
+    /// A scheduled preemption (availability-trace "off" edge) takes the
+    /// node down.
+    Preempt = 2,
+}
+
+impl ControlKind {
+    /// Decodes the two-bit kind encoding used in control keys.
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        match bits {
+            0 => ControlKind::Repair,
+            1 => ControlKind::Crash,
+            _ => ControlKind::Preempt,
+        }
+    }
+}
 
 impl EventKey {
     /// Packs a `(time, seq, task)` completion event. `seq` must stay
@@ -61,10 +103,35 @@ impl EventKey {
         )
     }
 
-    /// `true` for delivery events, `false` for completions.
+    /// Packs a `(time, kind, node)` node-control event — a crash,
+    /// preemption or repair striking machine `node`. At equal
+    /// timestamps controls order after completions and deliveries, and
+    /// among themselves by `(kind, node)`.
+    #[inline]
+    pub fn control(time: f64, kind: ControlKind, node: u32) -> Self {
+        EventKey(
+            (u128::from(time_to_bits(time)) << 64)
+                | u128::from(DELIVERY_BIT | CONTROL_BIT | ((kind as u64) << 32) | u64::from(node)),
+        )
+    }
+
+    /// `true` for delivery events, `false` for completions/controls.
     #[inline]
     pub fn is_delivery(self) -> bool {
-        (self.0 as u64) & DELIVERY_BIT != 0
+        (self.0 as u64) & (DELIVERY_BIT | CONTROL_BIT) == DELIVERY_BIT
+    }
+
+    /// `true` for node-control events.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        (self.0 as u64) & (DELIVERY_BIT | CONTROL_BIT) == (DELIVERY_BIT | CONTROL_BIT)
+    }
+
+    /// The control kind of a control event (see [`EventKey::control`]).
+    #[inline]
+    pub fn control_kind(self) -> ControlKind {
+        debug_assert!(self.is_control());
+        ControlKind::from_bits(((self.0 as u64) >> 32) & 0x3fff_ffff)
     }
 
     /// The event's timestamp (bit-exact round trip of the `f64` given
@@ -75,7 +142,8 @@ impl EventKey {
     }
 
     /// The event's task id: the completing task for completions, the
-    /// activated consumer for deliveries.
+    /// activated consumer for deliveries, the affected machine for
+    /// controls.
     #[inline]
     pub fn task(self) -> u32 {
         self.0 as u32
@@ -611,6 +679,28 @@ mod tests {
         assert!(!c.is_delivery() && d3.is_delivery());
         assert_eq!(d3.task(), 3);
         assert_eq!(d3.time().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn control_keys_order_after_other_classes_then_by_kind_and_node() {
+        let c = EventKey::new(1.0, 2, 4);
+        let d = EventKey::delivery(1.0, u32::MAX);
+        let repair = EventKey::control(1.0, ControlKind::Repair, 9);
+        let crash0 = EventKey::control(1.0, ControlKind::Crash, 0);
+        let crash5 = EventKey::control(1.0, ControlKind::Crash, 5);
+        let preempt = EventKey::control(1.0, ControlKind::Preempt, 0);
+        let later = EventKey::new(2.0, 0, 0);
+        let mut keys = vec![preempt, crash5, later, repair, d, crash0, c];
+        keys.sort();
+        assert_eq!(keys, vec![c, d, repair, crash0, crash5, preempt, later]);
+        assert!(repair.is_control() && !repair.is_delivery());
+        assert!(d.is_delivery() && !d.is_control());
+        assert!(!c.is_control() && !c.is_delivery());
+        assert_eq!(crash5.control_kind(), ControlKind::Crash);
+        assert_eq!(crash5.task(), 5);
+        assert_eq!(preempt.control_kind(), ControlKind::Preempt);
+        assert_eq!(repair.control_kind(), ControlKind::Repair);
+        assert_eq!(repair.time().to_bits(), 1.0f64.to_bits());
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod graph;
 pub mod machine;
 pub(crate) mod ready;
 pub mod records;
+pub mod recovery;
 pub mod report;
 pub mod sched;
 pub mod shard;
@@ -93,8 +94,9 @@ pub mod stream;
 
 pub use cost::{CostModel, PreparedCost};
 pub use graph::{SimGraph, SimTask, SyntheticSpec};
-pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, ShardMap};
+pub use machine::{marenostrum3_node, ClusterSpec, NodeSpec, PreemptSpec, ShardMap};
 pub use records::RecordStore;
+pub use recovery::{RecoveryConfig, RecoveryKind, RecoveryRecord, RecoveryStrategy};
 pub use report::{LabelStats, SimReport, SimTaskRecord};
 pub use sched::{NaturalOrder, ProtocolOp, ShardScheduler};
 pub use shard::{simulate_sharded, simulate_sharded_scheduled, ShardedConfig, SyncMode};

@@ -110,6 +110,51 @@ impl ClusterSpec {
     }
 }
 
+/// A seeded per-node on/off availability trace — the Trua-style
+/// preemptible-machine model. Every node alternates `up_secs` of
+/// availability with `down_secs` of revocation, phase-shifted by a
+/// per-node pseudo-random offset so the fleet never blinks in
+/// lockstep. Preemption uses the same unavailability machinery as
+/// fail-stop crashes: in-flight tasks are lost and re-enqueued, and the
+/// node rejoins after `down_secs`.
+///
+/// The trace is a pure function of `(seed, node)`, so every engine —
+/// at any shard or thread count — derives the identical schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreemptSpec {
+    /// Seconds of availability per cycle (must exceed the longest task,
+    /// or that task can never finish).
+    pub up_secs: f64,
+    /// Seconds of revocation per cycle.
+    pub down_secs: f64,
+    /// Seed of the per-node phase offsets.
+    pub seed: u64,
+}
+
+impl PreemptSpec {
+    /// Full cycle length.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.up_secs + self.down_secs
+    }
+
+    /// Virtual time of `node`'s first revocation: one full availability
+    /// window past its phase offset (uniform in `[0, period)`).
+    pub fn first_down(&self, node: u32) -> f64 {
+        // SplitMix64 over (seed, node) → u01 phase; same finalizer as
+        // the fault injector, independent stream.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(node).wrapping_mul(0xd134_2543_de82_ef95));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let u01 = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u01 * self.period() + self.up_secs
+    }
+}
+
 /// A balanced, contiguous partition of node ids into shards.
 ///
 /// Shard `s` owns a contiguous range of nodes; the first `nodes %
@@ -194,6 +239,33 @@ mod tests {
         // 51.2 GB/s node total across 16 busy workers = 3.2 GB/s each.
         assert_eq!(n.bytes_per_sec(16), 3.2e9);
         assert_eq!(n.spare_cores, 16);
+    }
+
+    #[test]
+    fn preempt_phases_are_seeded_and_spread() {
+        let spec = PreemptSpec {
+            up_secs: 50.0,
+            down_secs: 10.0,
+            seed: 7,
+        };
+        let firsts: Vec<f64> = (0..16).map(|n| spec.first_down(n)).collect();
+        // Deterministic per (seed, node).
+        assert_eq!(
+            firsts,
+            (0..16).map(|n| spec.first_down(n)).collect::<Vec<_>>()
+        );
+        // Every first revocation grants at least one full up window and
+        // lands within one period past it.
+        for &f in &firsts {
+            assert!((50.0..110.0).contains(&f), "got {f}");
+        }
+        // Phases actually spread (not all nodes in lockstep).
+        let distinct: std::collections::BTreeSet<u64> =
+            firsts.iter().map(|f| f.to_bits()).collect();
+        assert!(distinct.len() > 8);
+        // A different seed shifts the schedule.
+        let other = PreemptSpec { seed: 8, ..spec };
+        assert_ne!(other.first_down(0).to_bits(), spec.first_down(0).to_bits());
     }
 
     #[test]

@@ -64,6 +64,9 @@ impl ReadyList {
 
     /// Removes and returns the front of queue `q`. `slot_of` maps a
     /// task id to its link-arena slot (only called on the popped id).
+    ///
+    /// The popped task's link slot is cleared, so a task may re-enter a
+    /// queue later — crash recovery re-enqueues lost in-flight work.
     #[inline]
     pub(crate) fn pop_front(
         &mut self,
@@ -74,7 +77,9 @@ impl ReadyList {
         if id == NONE {
             return None;
         }
-        let next = self.next[slot_of(id)];
+        let slot = slot_of(id);
+        let next = self.next[slot];
+        self.next[slot] = NONE;
         self.head[q] = next;
         if next == NONE {
             self.tail_slot[q] = NONE;
@@ -118,6 +123,22 @@ mod tests {
         assert_eq!(rl.pop_front(0, |id| id as usize), None);
         assert_eq!(rl.pop_front(1, |id| id as usize), Some(7));
         assert_eq!(rl.front(1), None);
+    }
+
+    #[test]
+    fn popped_task_can_be_requeued() {
+        // Crash recovery pushes a previously dispatched (hence popped)
+        // task back onto a queue; its link slot must be clean.
+        let mut rl = ReadyList::new(2, 4);
+        rl.push_back(0, 1, 1);
+        rl.push_back(0, 2, 2);
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(1));
+        rl.push_back(1, 1, 1); // re-enqueue on another queue
+        assert_eq!(rl.pop_front(1, |id| id as usize), Some(1));
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(2));
+        rl.push_back(0, 2, 2); // and on the same queue
+        assert_eq!(rl.pop_front(0, |id| id as usize), Some(2));
+        assert_eq!(rl.pop_front(0, |id| id as usize), None);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub struct RecordStore {
     completed: Vec<f64>,
     base_secs: Vec<f64>,
     replicated: Bits,
+    replica_lagged: Bits,
     sdc_detected: Bits,
     due_recovered: Bits,
     uncovered_sdc: Bits,
@@ -70,6 +71,7 @@ impl RecordStore {
             completed: vec![0.0; len],
             base_secs: vec![0.0; len],
             replicated: Bits::new(len),
+            replica_lagged: Bits::new(len),
             sdc_detected: Bits::new(len),
             due_recovered: Bits::new(len),
             uncovered_sdc: Bits::new(len),
@@ -97,7 +99,8 @@ impl RecordStore {
 
     /// Stores `rec` in `slot` (every field except `rec.task`, whose
     /// mapping the caller owns). Each slot is written exactly once per
-    /// simulation.
+    /// *attempt*; re-dispatching a crash-lost task must call
+    /// [`RecordStore::reset`] first.
     #[inline]
     pub fn set(&mut self, slot: usize, rec: &SimTaskRecord) {
         debug_assert!(!self.filled.get(slot), "slot {slot} written twice");
@@ -106,6 +109,7 @@ impl RecordStore {
         self.completed[slot] = rec.completed;
         self.base_secs[slot] = rec.base_secs;
         self.replicated.assign(slot, rec.replicated);
+        self.replica_lagged.assign(slot, rec.replica_lagged);
         self.sdc_detected.assign(slot, rec.sdc_detected);
         self.due_recovered.assign(slot, rec.due_recovered);
         self.uncovered_sdc.assign(slot, rec.uncovered_sdc);
@@ -131,12 +135,32 @@ impl RecordStore {
             completed: self.completed[slot],
             base_secs: self.base_secs[slot],
             replicated: self.replicated.get(slot),
+            replica_lagged: self.replica_lagged.get(slot),
             sdc_detected: self.sdc_detected.get(slot),
             due_recovered: self.due_recovered.get(slot),
             uncovered_sdc: self.uncovered_sdc.get(slot),
             uncovered_due: self.uncovered_due.get(slot),
             is_barrier: self.is_barrier.get(slot),
         }
+    }
+
+    /// Whether the attempt recorded in `slot` was replicated — read by
+    /// crash recovery to pin the stored decision before the slot is
+    /// [`RecordStore::reset`] for re-dispatch.
+    #[inline]
+    pub(crate) fn replicated_of(&self, slot: usize) -> bool {
+        debug_assert!(self.filled.get(slot), "slot {slot} not filled");
+        self.replicated.get(slot)
+    }
+
+    /// Clears `slot` so a crash-lost in-flight task can be re-dispatched
+    /// and re-recorded. Only the `filled` bit matters for correctness
+    /// (the re-dispatch overwrites every column), but it is the bit
+    /// [`RecordStore::set`]'s write-once debug assertion checks.
+    #[inline]
+    pub(crate) fn reset(&mut self, slot: usize) {
+        debug_assert!(self.filled.get(slot), "slot {slot} reset while empty");
+        self.filled.assign(slot, false);
     }
 
     /// Mixes every column (numeric vectors bitwise, bitsets word-wise)
@@ -158,6 +182,7 @@ impl RecordStore {
         }
         for bits in [
             &self.replicated,
+            &self.replica_lagged,
             &self.sdc_detected,
             &self.due_recovered,
             &self.uncovered_sdc,
@@ -195,6 +220,7 @@ mod tests {
             completed: f64::from(task) * 0.5 + 2.25,
             base_secs: 1.0 + f64::from(task),
             replicated: flags & 1 != 0,
+            replica_lagged: flags & 64 != 0,
             sdc_detected: flags & 2 != 0,
             due_recovered: flags & 4 != 0,
             uncovered_sdc: flags & 8 != 0,
@@ -207,11 +233,11 @@ mod tests {
     /// and in combination — the SoA bitsets must not alias each other.
     #[test]
     fn round_trips_every_flag_field() {
-        // 64 flag combinations plus the all-off and all-on extremes,
+        // 128 flag combinations plus the all-off and all-on extremes,
         // spread across word boundaries of the bitsets.
-        let n = 70usize;
+        let n = 140usize;
         let mut store = RecordStore::new(n);
-        let expected: Vec<SimTaskRecord> = (0..n).map(|i| rec(i as u32, (i % 64) as u8)).collect();
+        let expected: Vec<SimTaskRecord> = (0..n).map(|i| rec(i as u32, (i % 128) as u8)).collect();
         // Fill out of order to exercise slot independence.
         for i in (0..n).rev() {
             store.set(i, &expected[i]);
@@ -236,5 +262,19 @@ mod tests {
     fn reading_an_unfilled_slot_panics() {
         let store = RecordStore::new(2);
         let _ = store.get(1, 1);
+    }
+
+    #[test]
+    fn reset_allows_rewriting_a_slot() {
+        // Crash recovery: a killed attempt's slot is reset and the
+        // retry writes a fresh record over it.
+        let mut store = RecordStore::new(3);
+        store.set(1, &rec(1, 1));
+        assert!(store.replicated_of(1));
+        store.reset(1);
+        assert!(!store.is_set(1));
+        store.set(1, &rec(1, 16));
+        let got = store.get(1, 1);
+        assert!(!got.replicated && got.uncovered_due);
     }
 }

@@ -1,0 +1,569 @@
+//! Multi-class fault recovery: fail-stop crashes, preemptible
+//! machines, heartbeat-detected lagging replicas, and checkpoint/
+//! restart as a rival recovery strategy.
+//!
+//! The paper's injection model ([`fault_inject`]) decides *whether* a
+//! fault strikes and *which class* it is; this module owns what the
+//! cluster does about it. Four mechanisms share one piece of
+//! machinery — per-node **unavailability windows**:
+//!
+//! * **Fail-stop crashes** ([`fault_inject::ErrorClass::NodeCrash`]):
+//!   a dispatch draws a crash, the machine dies mid-execution, every
+//!   in-flight task on it is lost and re-enqueued, and the node
+//!   rejoins after [`RecoveryConfig::crash_repair_secs`].
+//! * **Preemptible machines** ([`PreemptSpec`], Trua-style): seeded
+//!   per-node on/off availability traces revoke machines on a
+//!   schedule; revocation kills in-flight work exactly like a crash.
+//! * **Lagging replicas** ([`RecoveryConfig::heartbeat_secs`],
+//!   TeaMPI-style): when a replica cannot start within the heartbeat
+//!   window of its primary, it is declared failed and abandoned — the
+//!   primary's result wins uncompared and the task runs effectively
+//!   unprotected, which the replication policy hears about through
+//!   [`appfit_core::ReplicationPolicy::on_replica_failed`].
+//! * **Checkpoint/restart** ([`RecoveryStrategy::Checkpoint`]): a
+//!   policy-level *alternative* to replication — unreplicated tasks
+//!   periodically snapshot, a detected DUE re-executes from the last
+//!   checkpoint instead of killing the application, and SDCs stay
+//!   uncovered (checkpoints cannot detect silent corruption — the
+//!   comparison replication buys).
+//!
+//! All recovery actions are node-local, so the sharded engine never
+//! exchanges them across shards; determinism across shard and thread
+//! counts follows from per-node event ordering exactly as for regular
+//! completions (see `shard`'s contract). The engines report what they
+//! did as a [`RecoveryRecord`] stream in canonical
+//! `(time, node, kind, task)` order.
+//!
+//! Recovery records are emitted *eagerly at dispatch* for per-task
+//! events (checkpoints, lag detections): an attempt later killed by a
+//! crash keeps them — they describe the attempt, not the final
+//! timeline.
+
+use serde::{Deserialize, Serialize};
+
+use fault_inject::InjectionConfig;
+
+use crate::events::time_to_bits;
+use crate::machine::PreemptSpec;
+use crate::ready::ReadyList;
+use crate::records::RecordStore;
+use crate::sched::fnv_step;
+
+/// What the runtime does about detected faults — the recovery half of
+/// the fault model (the injection half is [`fault_inject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Seconds a crashed node stays unavailable before rejoining (node
+    /// replacement / reboot). Must be positive and finite.
+    pub crash_repair_secs: f64,
+    /// TeaMPI-style heartbeat window: a replica that cannot *start*
+    /// within this many seconds of its primary is declared lagging and
+    /// abandoned. `None` disables lag detection.
+    pub heartbeat_secs: Option<f64>,
+    /// Preemptible-machine availability traces. `None` = dedicated
+    /// machines.
+    pub preempt: Option<PreemptSpec>,
+    /// The recovery strategy unreplicated tasks fall back on.
+    pub strategy: RecoveryStrategy,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            crash_repair_secs: 30.0,
+            heartbeat_secs: None,
+            preempt: None,
+            strategy: RecoveryStrategy::Replication,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Whether any recovery mechanism can fire under this config, which
+    /// is when the engines allocate the recovery runtime. Crash
+    /// injection is signalled through the injection config's `p_crash`;
+    /// scripted fault plans that inject
+    /// [`fault_inject::ErrorClass::NodeCrash`] must set a non-zero
+    /// `p_crash` (the plan ignores the probabilities themselves) so the
+    /// engines arm crash handling.
+    pub fn any_enabled(&self, injection: &InjectionConfig) -> bool {
+        self.preempt.is_some()
+            || self.heartbeat_secs.is_some()
+            || matches!(self.strategy, RecoveryStrategy::Checkpoint { .. })
+            || matches!(injection, InjectionConfig::PerTask { p_crash, .. } if *p_crash > 0.0)
+    }
+}
+
+/// How unreplicated tasks recover from detected (DUE) faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryStrategy {
+    /// The paper's model: no checkpointing — an unreplicated DUE is
+    /// application-fatal (counted as uncovered), replicated tasks
+    /// recover through their replica.
+    Replication,
+    /// Periodic checkpoint/restart for unreplicated tasks: once a
+    /// node accumulates `interval_secs` of kernel time since its last
+    /// snapshot it writes one (costing the checkpoint-copy time of
+    /// `snapshot_bytes`), and a DUE re-executes the work since the
+    /// last snapshot instead of being fatal. SDCs remain uncovered.
+    Checkpoint {
+        /// Kernel seconds between snapshots (per node).
+        interval_secs: f64,
+        /// Bytes written per snapshot.
+        snapshot_bytes: u64,
+    },
+}
+
+/// One recovery action an engine took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Virtual time of the action.
+    pub time: f64,
+    /// Machine it happened on (global node id).
+    pub node: u32,
+    /// Affected task, or [`u32::MAX`] for machine-level events
+    /// (crash, preemption, repair).
+    pub task: u32,
+    /// What happened.
+    pub kind: RecoveryKind,
+}
+
+/// The classes of recovery action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryKind {
+    /// The node rejoined after a crash or preemption.
+    Repair,
+    /// Fail-stop crash: the node died, in-flight tasks were lost.
+    Crash,
+    /// The machine was revoked by its availability trace.
+    Preempt,
+    /// A crash-lost task was re-dispatched.
+    Restart,
+    /// Heartbeat detection abandoned a lagging replica.
+    ReplicaLag,
+    /// A node wrote a periodic snapshot.
+    Checkpoint,
+}
+
+impl RecoveryKind {
+    /// Stable wire code (trace format v3).
+    pub fn code(self) -> u8 {
+        match self {
+            RecoveryKind::Repair => 0,
+            RecoveryKind::Crash => 1,
+            RecoveryKind::Preempt => 2,
+            RecoveryKind::Restart => 3,
+            RecoveryKind::ReplicaLag => 4,
+            RecoveryKind::Checkpoint => 5,
+        }
+    }
+
+    /// Inverse of [`RecoveryKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => RecoveryKind::Repair,
+            1 => RecoveryKind::Crash,
+            2 => RecoveryKind::Preempt,
+            3 => RecoveryKind::Restart,
+            4 => RecoveryKind::ReplicaLag,
+            5 => RecoveryKind::Checkpoint,
+            _ => return None,
+        })
+    }
+}
+
+/// Sorts a recovery stream into the canonical `(time, node, kind,
+/// task)` order every engine reports — the order is a pure function of
+/// the run, independent of shard layout or thread count.
+pub fn sort_canonical(records: &mut [RecoveryRecord]) {
+    records.sort_unstable_by_key(|r| (time_to_bits(r.time), r.node, r.kind.code(), r.task));
+}
+
+/// "No pending crash" sentinel for [`RecoveryRt::pending_crash`].
+const NO_CRASH: u64 = u64::MAX;
+
+/// "Not in flight" sentinel for [`RecoveryRt::live`].
+const NOT_LIVE: u64 = u64::MAX;
+
+/// Per-engine (per-shard, in the sharded engine) recovery runtime.
+///
+/// Indexing mirrors the owning engine's: `ln` is the local node index
+/// (== queue index of its [`ReadyList`]), `slot` the local record slot.
+/// Task ids and the `node` of emitted [`RecoveryRecord`]s are global.
+///
+/// ## Stale-event protocol
+///
+/// Crash controls and completions both validate against recorded
+/// expectations ([`RecoveryRt::pending_crash`] / [`RecoveryRt::live`]):
+/// killing a node clears them, so control and completion events that
+/// outlive their cause pop as no-ops. "Up" is encoded as
+/// `down_until == 0.0` — repairs validate against the exact scheduled
+/// time, so a superseded repair (a preemption extended the outage) is
+/// ignored.
+#[derive(Debug)]
+pub(crate) struct RecoveryRt {
+    /// Per local node: virtual time the node rejoins, `0.0` = up.
+    down_until: Vec<f64>,
+    /// Per local node: time bits of the armed crash control.
+    pending_crash: Vec<u64>,
+    /// Per local slot: expected completion-time bits of the in-flight
+    /// attempt.
+    live: Vec<u64>,
+    /// Per local node: global ids of in-flight (core-holding) tasks.
+    inflight: Vec<Vec<u32>>,
+    /// Per local slot: how many times the task was crash-killed.
+    retry_count: Vec<u32>,
+    /// Per local slot: the pinned replication decision to reuse on
+    /// re-dispatch (valid when `retry_count > 0`).
+    retry_replicate: Vec<bool>,
+    /// Recovery actions taken, in processing order (canonically sorted
+    /// at the report boundary).
+    events: Vec<RecoveryRecord>,
+}
+
+impl RecoveryRt {
+    /// A runtime for `local_nodes` nodes and `slots` record slots.
+    pub(crate) fn new(local_nodes: usize, slots: usize) -> Self {
+        RecoveryRt {
+            down_until: vec![0.0; local_nodes],
+            pending_crash: vec![NO_CRASH; local_nodes],
+            live: vec![NOT_LIVE; slots],
+            inflight: vec![Vec::new(); local_nodes],
+            retry_count: vec![0; slots],
+            retry_replicate: vec![false; slots],
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether node `ln` is currently unavailable.
+    #[inline]
+    pub(crate) fn is_down(&self, ln: usize) -> bool {
+        self.down_until[ln] != 0.0
+    }
+
+    /// Registers a dispatched core-holding attempt so its completion
+    /// can be validated (and killed if the node dies first).
+    #[inline]
+    pub(crate) fn track(&mut self, ln: usize, slot: usize, task: u32, completion: f64) {
+        debug_assert_eq!(self.live[slot], NOT_LIVE, "task {task} double-tracked");
+        self.live[slot] = time_to_bits(completion);
+        self.inflight[ln].push(task);
+    }
+
+    /// Validates a completion event: `true` iff it belongs to the
+    /// current attempt (stale events of killed attempts return `false`
+    /// and must be discarded without any effect).
+    #[inline]
+    pub(crate) fn complete(&mut self, ln: usize, slot: usize, task: u32, now: f64) -> bool {
+        if self.live[slot] != time_to_bits(now) {
+            return false;
+        }
+        self.live[slot] = NOT_LIVE;
+        let pos = self.inflight[ln]
+            .iter()
+            .position(|&t| t == task)
+            .expect("live task missing from inflight");
+        self.inflight[ln].swap_remove(pos);
+        true
+    }
+
+    /// Arms a crash control at `time` on node `ln`; returns `true` when
+    /// the caller must schedule the control event. A node carries at
+    /// most one armed crash — the earliest wins; superseded controls
+    /// fail [`RecoveryRt::crash_valid`] when they pop.
+    #[inline]
+    pub(crate) fn arm_crash(&mut self, ln: usize, time: f64) -> bool {
+        let bits = time_to_bits(time);
+        if self.pending_crash[ln] <= bits {
+            return false;
+        }
+        self.pending_crash[ln] = bits;
+        true
+    }
+
+    /// Whether a popped crash control is still the armed one.
+    #[inline]
+    pub(crate) fn crash_valid(&self, ln: usize, now: f64) -> bool {
+        self.pending_crash[ln] == time_to_bits(now)
+    }
+
+    /// Whether a popped repair control still matches the scheduled
+    /// rejoin time.
+    #[inline]
+    pub(crate) fn repair_valid(&self, ln: usize, now: f64) -> bool {
+        self.down_until[ln] != 0.0 && time_to_bits(self.down_until[ln]) == time_to_bits(now)
+    }
+
+    /// Marks node `ln` repaired at `now` and records it.
+    pub(crate) fn repair(&mut self, now: f64, node: u32, ln: usize) {
+        debug_assert!(self.repair_valid(ln, now));
+        self.down_until[ln] = 0.0;
+        self.events.push(RecoveryRecord {
+            time: now,
+            node,
+            task: u32::MAX,
+            kind: RecoveryKind::Repair,
+        });
+    }
+
+    /// Kills node `ln` at `now` (`kind` is [`RecoveryKind::Crash`] or
+    /// [`RecoveryKind::Preempt`]): every in-flight task is lost, reset
+    /// and re-enqueued (in ascending task order, pinning its original
+    /// replication decision for the retry), all cores and spares are
+    /// released, and the node stays down until `now + delay` (extending
+    /// any outage already in progress). Returns the rejoin time — the
+    /// caller schedules a repair control there.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn kill(
+        &mut self,
+        now: f64,
+        node: u32,
+        ln: usize,
+        delay: f64,
+        kind: RecoveryKind,
+        ready: &mut ReadyList,
+        records: &mut RecordStore,
+        slot_of: impl Fn(u32) -> usize,
+    ) -> f64 {
+        debug_assert!(matches!(kind, RecoveryKind::Crash | RecoveryKind::Preempt));
+        self.events.push(RecoveryRecord {
+            time: now,
+            node,
+            task: u32::MAX,
+            kind,
+        });
+        // Any armed crash dies with the machine state it was drawn for.
+        self.pending_crash[ln] = NO_CRASH;
+        let mut lost = std::mem::take(&mut self.inflight[ln]);
+        lost.sort_unstable();
+        for &task in &lost {
+            let slot = slot_of(task);
+            self.live[slot] = NOT_LIVE;
+            self.retry_replicate[slot] = records.replicated_of(slot);
+            self.retry_count[slot] += 1;
+            records.reset(slot);
+            ready.push_back(ln, task, slot);
+        }
+        let down_end = (now + delay).max(self.down_until[ln]);
+        self.down_until[ln] = down_end;
+        down_end
+    }
+
+    /// The pinned retry state of `slot`: `(retry count, replication
+    /// decision to reuse)` — `None` for first attempts.
+    #[inline]
+    pub(crate) fn retry_of(&self, slot: usize) -> Option<(u32, bool)> {
+        let count = self.retry_count[slot];
+        (count > 0).then_some((count, self.retry_replicate[slot]))
+    }
+
+    /// Records a recovery action of a specific task.
+    #[inline]
+    pub(crate) fn note(&mut self, time: f64, node: u32, task: u32, kind: RecoveryKind) {
+        self.events.push(RecoveryRecord {
+            time,
+            node,
+            task,
+            kind,
+        });
+    }
+
+    /// Mixes the complete recovery state into the running fingerprint
+    /// `h` — part of the sharded engine's model-checking state hash.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        for &x in &self.down_until {
+            fnv_step(h, x.to_bits());
+        }
+        for &x in &self.pending_crash {
+            fnv_step(h, x);
+        }
+        for &x in &self.live {
+            fnv_step(h, x);
+        }
+        for q in &self.inflight {
+            fnv_step(h, q.len() as u64);
+            for &t in q {
+                fnv_step(h, u64::from(t));
+            }
+        }
+        for &x in &self.retry_count {
+            fnv_step(h, u64::from(x));
+        }
+        for &x in &self.retry_replicate {
+            fnv_step(h, u64::from(x));
+        }
+        fnv_step(h, self.events.len() as u64);
+        for e in &self.events {
+            fnv_step(h, e.time.to_bits());
+            fnv_step(h, u64::from(e.node));
+            fnv_step(h, u64::from(e.task));
+            fnv_step(h, u64::from(e.kind.code()));
+        }
+    }
+
+    /// Consumes the runtime, yielding its event stream (unsorted).
+    pub(crate) fn into_events(self) -> Vec<RecoveryRecord> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SimTaskRecord;
+
+    fn rec(task: u32, replicated: bool) -> SimTaskRecord {
+        SimTaskRecord {
+            task,
+            node: 0,
+            dispatched: 1.0,
+            completed: 5.0,
+            base_secs: 4.0,
+            replicated,
+            replica_lagged: false,
+            sdc_detected: false,
+            due_recovered: false,
+            uncovered_sdc: false,
+            uncovered_due: false,
+            is_barrier: false,
+        }
+    }
+
+    #[test]
+    fn kill_requeues_lost_tasks_in_ascending_order_and_pins_decisions() {
+        let mut rt = RecoveryRt::new(1, 4);
+        let mut ready = ReadyList::new(1, 4);
+        let mut records = RecordStore::new(4);
+        for &(task, replicated) in &[(3u32, true), (1, false)] {
+            records.set(task as usize, &rec(task, replicated));
+            rt.track(0, task as usize, task, 5.0);
+        }
+        let down = rt.kill(
+            2.0,
+            0,
+            0,
+            10.0,
+            RecoveryKind::Crash,
+            &mut ready,
+            &mut records,
+            |t| t as usize,
+        );
+        assert_eq!(down, 12.0);
+        assert!(rt.is_down(0));
+        // Lost set re-enqueued ascending regardless of dispatch order.
+        assert_eq!(ready.pop_front(0, |t| t as usize), Some(1));
+        assert_eq!(ready.pop_front(0, |t| t as usize), Some(3));
+        assert_eq!(rt.retry_of(1), Some((1, false)));
+        assert_eq!(rt.retry_of(3), Some((1, true)));
+        assert_eq!(rt.retry_of(0), None);
+        // Slots are reset for the retries.
+        assert!(!records.is_set(1) && !records.is_set(3));
+        // Stale completions of the killed attempts no longer validate.
+        assert!(!rt.complete(0, 1, 1, 5.0));
+        // Repair validates only at the scheduled time.
+        assert!(!rt.repair_valid(0, 11.0));
+        assert!(rt.repair_valid(0, 12.0));
+        rt.repair(12.0, 0, 0);
+        assert!(!rt.is_down(0));
+        let events = rt.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, RecoveryKind::Crash);
+        assert_eq!(events[0].task, u32::MAX);
+        assert_eq!(events[1].kind, RecoveryKind::Repair);
+    }
+
+    #[test]
+    fn earliest_armed_crash_wins() {
+        let mut rt = RecoveryRt::new(2, 2);
+        assert!(rt.arm_crash(0, 7.0));
+        // A later crash on the same node is subsumed.
+        assert!(!rt.arm_crash(0, 9.0));
+        // An earlier one supersedes; the control at 7.0 goes stale.
+        assert!(rt.arm_crash(0, 4.0));
+        assert!(rt.crash_valid(0, 4.0));
+        assert!(!rt.crash_valid(0, 7.0));
+        // Other nodes are independent.
+        assert!(rt.arm_crash(1, 7.0));
+    }
+
+    #[test]
+    fn completion_validation_is_exact() {
+        let mut rt = RecoveryRt::new(1, 2);
+        rt.track(0, 0, 0, 3.5);
+        assert!(!rt.complete(0, 0, 0, 3.0), "wrong time is stale");
+        assert!(rt.complete(0, 0, 0, 3.5));
+        assert!(!rt.complete(0, 0, 0, 3.5), "second pop is stale");
+    }
+
+    #[test]
+    fn canonical_sort_orders_time_node_kind_task() {
+        let e = |time, node, task, kind| RecoveryRecord {
+            time,
+            node,
+            task,
+            kind,
+        };
+        let mut v = vec![
+            e(2.0, 0, u32::MAX, RecoveryKind::Crash),
+            e(1.0, 1, u32::MAX, RecoveryKind::Preempt),
+            e(1.0, 0, 5, RecoveryKind::Restart),
+            e(1.0, 0, 2, RecoveryKind::Restart),
+            e(1.0, 0, u32::MAX, RecoveryKind::Repair),
+        ];
+        sort_canonical(&mut v);
+        let key: Vec<(u32, u8)> = v.iter().map(|r| (r.node, r.kind.code())).collect();
+        assert_eq!(key, vec![(0, 0), (0, 3), (0, 3), (1, 2), (0, 1)]);
+        assert!(v[1].task < v[2].task);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [
+            RecoveryKind::Repair,
+            RecoveryKind::Crash,
+            RecoveryKind::Preempt,
+            RecoveryKind::Restart,
+            RecoveryKind::ReplicaLag,
+            RecoveryKind::Checkpoint,
+        ] {
+            assert_eq!(RecoveryKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(RecoveryKind::from_code(6), None);
+    }
+
+    #[test]
+    fn config_activation_matrix() {
+        use fault_inject::InjectionConfig;
+        let off = InjectionConfig::Disabled;
+        let base = RecoveryConfig::default();
+        assert!(!base.any_enabled(&off));
+        let crash = InjectionConfig::PerTask {
+            p_due: 0.0,
+            p_sdc: 0.0,
+            p_crash: 0.1,
+        };
+        assert!(base.any_enabled(&crash));
+        let hb = RecoveryConfig {
+            heartbeat_secs: Some(1.0),
+            ..base
+        };
+        assert!(hb.any_enabled(&off));
+        let ckpt = RecoveryConfig {
+            strategy: RecoveryStrategy::Checkpoint {
+                interval_secs: 10.0,
+                snapshot_bytes: 1 << 20,
+            },
+            ..base
+        };
+        assert!(ckpt.any_enabled(&off));
+        let preempt = RecoveryConfig {
+            preempt: Some(crate::machine::PreemptSpec {
+                up_secs: 50.0,
+                down_secs: 5.0,
+                seed: 1,
+            }),
+            ..base
+        };
+        assert!(preempt.any_enabled(&off));
+    }
+}

@@ -4,6 +4,8 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::recovery::RecoveryRecord;
+
 /// Per-task simulation record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTaskRecord {
@@ -20,6 +22,12 @@ pub struct SimTaskRecord {
     pub base_secs: f64,
     /// Was the task replicated?
     pub replicated: bool,
+    /// The replica was declared lagging by heartbeat detection and
+    /// abandoned — the primary's result won uncompared, so the task ran
+    /// effectively unprotected (only meaningful when `replicated`).
+    /// Absent in pre-recovery serialized reports, hence defaulted.
+    #[serde(default)]
+    pub replica_lagged: bool,
     /// A replica comparison detected an SDC.
     pub sdc_detected: bool,
     /// A crash was recovered.
@@ -47,6 +55,7 @@ struct Aggregates {
     due_recovered: usize,
     uncovered_sdc: usize,
     uncovered_due: usize,
+    replica_lagged: usize,
 }
 
 /// The result of one simulation run.
@@ -65,6 +74,13 @@ pub struct SimReport {
     /// One record per task (private: mutation would invalidate the
     /// aggregate cache).
     records: Vec<SimTaskRecord>,
+    /// Recovery actions the engine took (crashes, preemptions, repairs,
+    /// restarts, heartbeat abandonments, checkpoints), in canonical
+    /// `(time, node, kind, task)` order. Empty when no recovery model is
+    /// active; absent in pre-recovery serialized reports, hence
+    /// defaulted.
+    #[serde(default)]
+    recovery: Vec<RecoveryRecord>,
     /// Single-pass aggregate cache, filled on first metric access.
     #[serde(skip)]
     stats: OnceLock<Aggregates>,
@@ -75,6 +91,7 @@ impl PartialEq for SimReport {
         self.makespan == other.makespan
             && self.total_cores == other.total_cores
             && self.records == other.records
+            && self.recovery == other.recovery
     }
 }
 
@@ -84,6 +101,7 @@ impl Clone for SimReport {
             makespan: self.makespan,
             total_cores: self.total_cores,
             records: self.records.clone(),
+            recovery: self.recovery.clone(),
             stats: self.stats.clone(),
         }
     }
@@ -96,13 +114,27 @@ impl SimReport {
             makespan,
             total_cores,
             records,
+            recovery: Vec::new(),
             stats: OnceLock::new(),
         }
+    }
+
+    /// Attaches the engine's recovery-event stream (canonical order —
+    /// see [`crate::recovery::sort_canonical`]).
+    pub fn with_recovery(mut self, recovery: Vec<RecoveryRecord>) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// One record per task, in task-id order.
     pub fn records(&self) -> &[SimTaskRecord] {
         &self.records
+    }
+
+    /// Recovery actions in canonical `(time, node, kind, task)` order —
+    /// empty when the run had no active recovery model.
+    pub fn recovery(&self) -> &[RecoveryRecord] {
+        &self.recovery
     }
 
     fn compute_records(&self) -> impl Iterator<Item = &SimTaskRecord> {
@@ -128,6 +160,7 @@ impl SimReport {
                 a.due_recovered += usize::from(r.due_recovered);
                 a.uncovered_sdc += usize::from(r.uncovered_sdc);
                 a.uncovered_due += usize::from(r.uncovered_due);
+                a.replica_lagged += usize::from(r.replica_lagged);
             }
             a
         })
@@ -202,6 +235,12 @@ impl SimReport {
         self.stats().uncovered_due
     }
 
+    /// Replicated tasks whose replica was abandoned by heartbeat
+    /// detection — they ran effectively unprotected.
+    pub fn replica_lagged_count(&self) -> usize {
+        self.stats().replica_lagged
+    }
+
     /// Per-task-kind replication breakdown — the paper's Figure-3
     /// discussion attributes task-% vs time-% divergence to "tasks that
     /// are clearly more distinctive than other tasks in terms of their
@@ -272,6 +311,7 @@ mod tests {
             completed: base,
             base_secs: base,
             replicated,
+            replica_lagged: false,
             sdc_detected: false,
             due_recovered: false,
             uncovered_sdc: false,

@@ -80,17 +80,18 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use appfit_core::{DecisionCtx, EpochDecider, EpochDecision};
+use appfit_core::{EpochDecider, EpochDecision};
 
 use crate::cost::PreparedCost;
-use crate::events::{EpochCalendar, EventBatch, EventKey, SortScratch};
+use crate::events::{ControlKind, EpochCalendar, EventBatch, EventKey, SortScratch};
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ShardMap;
 use crate::ready::ReadyList;
 use crate::records::RecordStore;
+use crate::recovery::{sort_canonical, RecoveryKind, RecoveryRecord, RecoveryRt};
 use crate::report::{SimReport, SimTaskRecord};
 use crate::sched::{fnv_step, splitmix, NaturalOrder, ProtocolOp, ShardScheduler, FNV_SEED};
-use crate::sim::{dispatch_task, NodeState, SimConfig};
+use crate::sim::{decision_ctx, dispatch_task, NodeState, SimConfig};
 
 /// Cross-node synchronization mode of the sharded engine (see the
 /// [module docs](self)).
@@ -293,17 +294,29 @@ pub(crate) struct DecisionRec {
     key: u128,
     task: u32,
     replicate: bool,
+    /// Heartbeat detection abandoned this dispatch's replica — the
+    /// commit charges the policy's recovery hook at the decision's
+    /// canonical position.
+    lagged: bool,
 }
 
 impl DecisionRec {
     #[inline]
-    pub(crate) fn new(time: f64, node: u32, node_seq: u32, task: u32, replicate: bool) -> Self {
+    pub(crate) fn new(
+        time: f64,
+        node: u32,
+        node_seq: u32,
+        task: u32,
+        replicate: bool,
+        lagged: bool,
+    ) -> Self {
         DecisionRec {
             key: (u128::from(crate::events::time_to_bits(time)) << 64)
                 | (u128::from(node) << 32)
                 | u128::from(node_seq),
             task,
             replicate,
+            lagged,
         }
     }
 }
@@ -344,6 +357,7 @@ pub(crate) fn commit_pending_with(
     committed.extend(pending.iter().map(|d| EpochDecision {
         ctx: decision_ctx(&tasks[d.task as usize]),
         replicate: d.replicate,
+        replica_lagged: d.lagged,
     }));
     policy.commit_epoch(committed);
     pending.clear();
@@ -419,6 +433,32 @@ struct ShardState {
     decisions: Vec<DecisionRec>,
     /// Completions processed so far.
     done: usize,
+    /// Future node-control events (crashes, repairs, preemptions),
+    /// bucketed like `calendar`. Controls are node-local, so they never
+    /// cross shards; payloads pack `kind << 30 | global node`.
+    controls: EpochCalendar,
+    /// Recovery runtime (shard-local node/slot indexing), present only
+    /// when some recovery mechanism is enabled.
+    rt: Option<Box<RecoveryRt>>,
+}
+
+/// Packs a control's `(kind, global node)` into an [`EpochCalendar`]
+/// payload word.
+#[inline]
+fn control_payload(kind: ControlKind, node: u32) -> u32 {
+    debug_assert!(node >> 30 == 0, "node ids must stay below 2^30");
+    ((kind as u32) << 30) | node
+}
+
+/// Inverse of [`control_payload`].
+#[inline]
+fn control_unpack(payload: u32) -> (ControlKind, u32) {
+    let kind = match payload >> 30 {
+        0 => ControlKind::Repair,
+        1 => ControlKind::Crash,
+        _ => ControlKind::Preempt,
+    };
+    (kind, payload & 0x3fff_ffff)
 }
 
 /// Runs the simulation sharded and (optionally) in parallel.
@@ -555,6 +595,11 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
                 scratch: SortScratch::default(),
                 decisions: Vec::new(),
                 done: 0,
+                controls: EpochCalendar::new(),
+                rt: cfg
+                    .recovery
+                    .any_enabled(&cfg.injection)
+                    .then(|| Box::new(RecoveryRt::new(owned_nodes, counts[s]))),
             }
         })
         .collect();
@@ -588,6 +633,24 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
             Some(lookahead)
         }
     };
+    // Seed each owned node's first scheduled revocation — pure function
+    // of `(seed, node)`, so every shard layout derives the identical
+    // trace.
+    if let Some(spec) = cfg.recovery.preempt {
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for gn in map.range(s) {
+                let t = spec.first_down(gn as u32);
+                let bucket = match lookahead {
+                    None => (t / epoch) as u64,
+                    Some(_) => crate::events::time_bucket(t),
+                };
+                shard
+                    .controls
+                    .push(bucket, t, control_payload(ControlKind::Preempt, gn as u32));
+            }
+        }
+    }
+
     let threads = shard_cfg.threads.clamp(1, map.shards());
     let cost = cfg.cost.prepare(&cfg.cluster.node);
     let mut window: u64 = 0;
@@ -776,6 +839,12 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
                                 if let Some(e) = shards[s].calendar.min_epoch() {
                                     next = Some(next.map_or(e, |cur| cur.min(e)));
                                 }
+                                // Pending controls (a repair, a future
+                                // preemption) also bound the skip — a
+                                // ready task may be waiting on one.
+                                if let Some(e) = shards[s].controls.min_epoch() {
+                                    next = Some(next.map_or(e, |cur| cur.min(e)));
+                                }
                             },
                         );
                         let next = next.unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
@@ -798,7 +867,8 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
                                 shards[s]
                                     .calendar
                                     .min_time()
-                                    .min(shards[s].deliveries.min_time()),
+                                    .min(shards[s].deliveries.min_time())
+                                    .min(shards[s].controls.min_time()),
                             );
                         },
                     );
@@ -838,8 +908,16 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
         .iter()
         .map(|s| s.records.max_completed())
         .fold(0.0f64, f64::max);
+    // Per-shard recovery streams merge into one canonical order — the
+    // same stream every shard layout produces.
+    let mut recovery: Vec<RecoveryRecord> = shards
+        .iter_mut()
+        .filter_map(|s| s.rt.take())
+        .flat_map(|rt| rt.into_events())
+        .collect();
+    sort_canonical(&mut recovery);
 
-    Some(SimReport::new(makespan, cfg.cluster.total_cores(), records))
+    Some(SimReport::new(makespan, cfg.cluster.total_cores(), records).with_recovery(recovery))
 }
 
 /// Hashes the engine's complete inter-window state: every shard's
@@ -889,6 +967,10 @@ fn state_fingerprint(
         shard.calendar.fold_hash(&mut h);
         shard.deliveries.fold_hash(&mut h);
         shard.inbox.fold_hash(&mut h);
+        shard.controls.fold_hash(&mut h);
+        if let Some(rt) = &shard.rt {
+            rt.fold_hash(&mut h);
+        }
         fnv_step(&mut h, shard.done as u64);
     }
     h
@@ -997,6 +1079,18 @@ fn process_window<'c>(
                 }
                 shard.calendar.recycle(batch);
             }
+            // This window's controls re-enter with their canonical
+            // packed keys (no sequencing needed — `(time, kind, node)`
+            // is unique), exactly the keys the sequential engine holds.
+            if let Some(batch) = shard.controls.take(window) {
+                for (time, payload) in batch.iter() {
+                    let (kind, node) = control_unpack(payload);
+                    shard
+                        .heap
+                        .push(Reverse(EventKey::control(time, kind, node)));
+                }
+                shard.controls.recycle(batch);
+            }
         }
         Win::Lookahead { .. } => {
             // Horizon-bounded extraction: stage every future
@@ -1019,6 +1113,14 @@ fn process_window<'c>(
             shard.deliveries.take_before(w_end, hb, &mut shard.staged);
             for (time, task) in shard.staged.iter() {
                 shard.heap.push(Reverse(EventKey::delivery(time, task)));
+            }
+            shard.staged.clear();
+            shard.controls.take_before(w_end, hb, &mut shard.staged);
+            for (time, payload) in shard.staged.iter() {
+                let (kind, node) = control_unpack(payload);
+                shard
+                    .heap
+                    .push(Reverse(EventKey::control(time, kind, node)));
             }
             shard.staged.clear();
         }
@@ -1057,6 +1159,95 @@ fn process_window<'c>(
     while let Some(Reverse(key)) = shard.heap.pop() {
         let (now, id) = (key.time(), key.task());
         debug_assert!(now < w_end, "event leaked past window");
+        if key.is_control() {
+            // A machine-level happening on one of this shard's nodes
+            // (controls never cross shards — recovery is node-local).
+            let gn = id;
+            let ln = gn as usize - shard.first_node;
+            match key.control_kind() {
+                ControlKind::Repair => {
+                    let r = shard
+                        .rt
+                        .as_deref_mut()
+                        .expect("control events require the recovery runtime");
+                    if r.repair_valid(ln, now) {
+                        r.repair(now, gn, ln);
+                        dispatch_node(
+                            shard,
+                            &mut forks,
+                            &mut node_seqs,
+                            ln,
+                            now,
+                            win,
+                            graph,
+                            cfg,
+                            cost,
+                            local_of,
+                        );
+                    }
+                }
+                ControlKind::Crash => {
+                    let ShardState {
+                        nodes,
+                        ready,
+                        records,
+                        rt,
+                        ..
+                    } = shard;
+                    let r = rt
+                        .as_deref_mut()
+                        .expect("control events require the recovery runtime");
+                    if r.crash_valid(ln, now) {
+                        let down = r.kill(
+                            now,
+                            gn,
+                            ln,
+                            cfg.recovery.crash_repair_secs,
+                            RecoveryKind::Crash,
+                            ready,
+                            records,
+                            |t| local_of[t as usize] as usize,
+                        );
+                        let ns = &mut nodes[ln];
+                        ns.free_cores = cfg.cluster.node.cores;
+                        ns.spare_free.fill(down);
+                        push_control(shard, win, down, ControlKind::Repair, gn);
+                    }
+                }
+                ControlKind::Preempt => {
+                    let spec = cfg
+                        .recovery
+                        .preempt
+                        .expect("preempt control without a trace");
+                    let ShardState {
+                        nodes,
+                        ready,
+                        records,
+                        rt,
+                        ..
+                    } = shard;
+                    let r = rt
+                        .as_deref_mut()
+                        .expect("control events require the recovery runtime");
+                    let down = r.kill(
+                        now,
+                        gn,
+                        ln,
+                        spec.down_secs,
+                        RecoveryKind::Preempt,
+                        ready,
+                        records,
+                        |t| local_of[t as usize] as usize,
+                    );
+                    let ns = &mut nodes[ln];
+                    ns.free_cores = cfg.cluster.node.cores;
+                    ns.spare_free.fill(down);
+                    push_control(shard, win, down, ControlKind::Repair, gn);
+                    push_control(shard, win, now + spec.period(), ControlKind::Preempt, gn);
+                }
+            }
+            continue;
+        }
         if key.is_delivery() {
             // A delayed cross-node activation arriving at its exact
             // effect time (lookahead mode only).
@@ -1081,9 +1272,15 @@ fn process_window<'c>(
             }
             continue;
         }
-        shard.done += 1;
         let task = &tasks[id as usize];
         let ln = task.node as usize - shard.first_node;
+        if let Some(r) = shard.rt.as_deref_mut() {
+            if !task.is_barrier && !r.complete(ln, local_of[id as usize] as usize, id, now) {
+                // Stale completion of a crash-killed attempt.
+                continue;
+            }
+        }
+        shard.done += 1;
         if !task.is_barrier {
             shard.nodes[ln].free_cores += 1;
         }
@@ -1136,6 +1333,11 @@ fn dispatch_node<'c>(
 ) {
     let tasks = graph.tasks();
     let w_end = win.w_end();
+    if shard.rt.as_ref().is_some_and(|r| r.is_down(ln)) {
+        // A revoked node dispatches nothing; its repair control
+        // revisits the queue.
+        return;
+    }
     loop {
         let Some(front) = shard.ready.front(ln) else {
             return;
@@ -1149,14 +1351,24 @@ fn dispatch_node<'c>(
             .pop_front(ln, |t| local_of[t as usize] as usize)
             .expect("nonempty");
         let task = &tasks[id as usize];
-        let fork = forks[ln].get_or_insert_with(|| cfg.policy.fork_epoch());
+        let li = local_of[id as usize] as usize;
+        // Crash-killed tasks re-dispatch with their pinned decision —
+        // no fork consultation, no decision record (retries replay a
+        // decision already committed).
+        let retry = shard.rt.as_ref().and_then(|r| r.retry_of(li));
         let mut decided: Option<bool> = None;
-        let (record, completion, uses_core) =
-            dispatch_task(graph, task, ns, now, cfg, cost, &mut |ctx| {
+        let (record, completion, uses_core, fx) = if let Some((count, replicate)) = retry {
+            dispatch_task(graph, task, ns, now, cfg, cost, count * 2, &mut |_| {
+                replicate
+            })
+        } else {
+            let fork = forks[ln].get_or_insert_with(|| cfg.policy.fork_epoch());
+            dispatch_task(graph, task, ns, now, cfg, cost, 0, &mut |ctx| {
                 let replicate = fork.decide(ctx);
                 decided = Some(replicate);
                 replicate
-            });
+            })
+        };
         if let Some(replicate) = decided {
             shard.decisions.push(DecisionRec::new(
                 now,
@@ -1164,13 +1376,51 @@ fn dispatch_node<'c>(
                 node_seqs[ln],
                 id,
                 replicate,
+                fx.lagged,
             ));
             node_seqs[ln] += 1;
+            if fx.lagged {
+                // Mirror the lag charge on the local fork so later
+                // decisions in this window see it; the global policy
+                // hears about it at commit, in canonical order.
+                forks[ln]
+                    .as_mut()
+                    .expect("fork exists after a decision")
+                    .on_replica_failed(&decision_ctx(task));
+            }
         }
         if uses_core {
             ns.free_cores -= 1;
         }
-        shard.records.set(local_of[id as usize] as usize, &record);
+        shard.records.set(li, &record);
+        let mut armed_crash: Option<f64> = None;
+        if let Some(r) = shard.rt.as_deref_mut() {
+            if retry.is_some() {
+                r.note(now, task.node, id, RecoveryKind::Restart);
+            }
+            if fx.ckpt {
+                r.note(fx.ckpt_at, task.node, id, RecoveryKind::Checkpoint);
+            }
+            if fx.lagged {
+                r.note(fx.lag_at, task.node, id, RecoveryKind::ReplicaLag);
+            }
+            if !task.is_barrier {
+                r.track(ln, li, id, completion);
+            }
+            if let Some(crash_at) = fx.crash_at {
+                if r.arm_crash(ln, crash_at) {
+                    armed_crash = Some(crash_at);
+                }
+            }
+        } else {
+            debug_assert!(
+                fx.crash_at.is_none(),
+                "crash injection requires the recovery runtime: set a non-zero p_crash"
+            );
+        }
+        if let Some(crash_at) = armed_crash {
+            push_control(shard, win, crash_at, ControlKind::Crash, task.node);
+        }
         if completion < w_end {
             shard
                 .heap
@@ -1182,11 +1432,18 @@ fn dispatch_node<'c>(
     }
 }
 
-fn decision_ctx(task: &SimTask) -> DecisionCtx {
-    DecisionCtx {
-        id: task.id as u64,
-        rates: task.rates,
-        argument_bytes: task.argument_bytes,
+/// Routes a control event to the current window's heap when it lands
+/// inside the window, or to the controls calendar otherwise — the same
+/// placement rule completions use.
+fn push_control(shard: &mut ShardState, win: Win, time: f64, kind: ControlKind, node: u32) {
+    if time < win.w_end() {
+        shard
+            .heap
+            .push(Reverse(EventKey::control(time, kind, node)));
+    } else {
+        shard
+            .controls
+            .push(win.bucket(time), time, control_payload(kind, node));
     }
 }
 
@@ -1233,9 +1490,11 @@ mod tests {
                 Some(_) => InjectionConfig::PerTask {
                     p_due: 0.05,
                     p_sdc: 0.08,
+                    p_crash: 0.0,
                 },
                 None => InjectionConfig::Disabled,
             },
+            recovery: crate::recovery::RecoveryConfig::default(),
         }
     }
 
@@ -1359,7 +1618,9 @@ mod tests {
                 injection: InjectionConfig::PerTask {
                     p_due: 0.03,
                     p_sdc: 0.05,
+                    p_crash: 0.0,
                 },
+                recovery: crate::recovery::RecoveryConfig::default(),
             };
             (cfg, policy)
         };
@@ -1405,6 +1666,7 @@ mod tests {
                 policy: Arc::clone(&policy) as Arc<dyn appfit_core::ReplicationPolicy>,
                 faults: Arc::new(NoFaults),
                 injection: InjectionConfig::Disabled,
+                recovery: crate::recovery::RecoveryConfig::default(),
             };
             let report = simulate_sharded(&g, &cfg, &ShardedConfig::new(shards, 2.0));
             (report, policy.current_fit().value(), policy.decided())

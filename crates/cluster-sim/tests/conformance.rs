@@ -29,8 +29,9 @@ use appfit_core::{
     RandomPolicy, ReplicateAll, ReplicateNone, ReplicationPolicy,
 };
 use cluster_sim::{
-    simulate, simulate_delayed, simulate_sharded, ClusterSpec, CostModel, NodeSpec, ShardedConfig,
-    SimConfig, SimGraph, SimReport, SyntheticSpec,
+    simulate, simulate_delayed, simulate_sharded, ClusterSpec, CostModel, NodeSpec, PreemptSpec,
+    RecoveryConfig, RecoveryKind, RecoveryStrategy, ShardedConfig, SimConfig, SimGraph, SimReport,
+    SyntheticSpec,
 };
 use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
@@ -104,6 +105,18 @@ fn build_cfg(
     kind: PolicyKind,
     fault_seed: Option<u64>,
 ) -> (SimConfig, Option<Arc<AppFit>>, Arc<TraceSink>) {
+    build_cfg_with(graph, kind, fault_seed, 0.0, RecoveryConfig::default())
+}
+
+/// [`build_cfg`] with the fault/recovery knobs the crash-bearing rows
+/// fan over: a per-task crash probability and a full recovery config.
+fn build_cfg_with(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    fault_seed: Option<u64>,
+    p_crash: f64,
+    recovery: RecoveryConfig,
+) -> (SimConfig, Option<Arc<AppFit>>, Arc<TraceSink>) {
     let mut appfit = None;
     let base: Arc<dyn ReplicationPolicy> = match kind {
         PolicyKind::None => Arc::new(ReplicateNone),
@@ -147,9 +160,11 @@ fn build_cfg(
             Some(_) => InjectionConfig::PerTask {
                 p_due: 0.04,
                 p_sdc: 0.06,
+                p_crash,
             },
             None => InjectionConfig::Disabled,
         },
+        recovery,
     };
     (cfg, appfit, sink)
 }
@@ -524,4 +539,191 @@ fn auto_lookahead_is_the_transfer_floor() {
         })
         .fold(f64::INFINITY, f64::min);
     assert!(lookahead <= min_edge, "{lookahead} > min edge {min_edge}");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-bearing rows: every fault class the recovery subsystem models
+// (fail-stop crashes, preemption traces, heartbeat lag, checkpoint/
+// restart) must conform across engines exactly like the fault-free
+// grid — same reports, same App_FIT bits, same decision streams, and
+// additionally identical canonical recovery-event streams.
+// ---------------------------------------------------------------------------
+
+/// The fault/recovery profiles the crash-bearing grid fans over. Each
+/// pairs a policy with the injection + recovery knobs that exercise one
+/// fault class (the checkpoint row leans on DUEs, so its crash
+/// probability stays low and its policy replicates nothing).
+fn recovery_profiles() -> Vec<(&'static str, PolicyKind, u64, f64, RecoveryConfig)> {
+    vec![
+        (
+            "crash",
+            PolicyKind::AppFit(0.5),
+            31,
+            0.08,
+            RecoveryConfig {
+                crash_repair_secs: 5.0,
+                ..RecoveryConfig::default()
+            },
+        ),
+        (
+            "preempt",
+            PolicyKind::Random,
+            7,
+            0.0,
+            RecoveryConfig {
+                crash_repair_secs: 5.0,
+                preempt: Some(PreemptSpec {
+                    up_secs: 60.0,
+                    down_secs: 4.0,
+                    seed: 3,
+                }),
+                ..RecoveryConfig::default()
+            },
+        ),
+        (
+            "heartbeat",
+            PolicyKind::All,
+            13,
+            0.0,
+            RecoveryConfig {
+                heartbeat_secs: Some(0.5),
+                ..RecoveryConfig::default()
+            },
+        ),
+        (
+            "checkpoint",
+            PolicyKind::None,
+            19,
+            0.02,
+            RecoveryConfig {
+                crash_repair_secs: 5.0,
+                strategy: RecoveryStrategy::Checkpoint {
+                    interval_secs: 6.0,
+                    snapshot_bytes: 4096,
+                },
+                ..RecoveryConfig::default()
+            },
+        ),
+    ]
+}
+
+fn run_profile_delayed(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    seed: u64,
+    p_crash: f64,
+    recovery: RecoveryConfig,
+    lookahead: f64,
+) -> RunOutcome {
+    let (cfg, appfit, sink) = build_cfg_with(graph, kind, Some(seed), p_crash, recovery);
+    outcome_of(simulate_delayed(graph, &cfg, lookahead), appfit, sink)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_profile_sharded(
+    graph: &SimGraph,
+    kind: PolicyKind,
+    seed: u64,
+    p_crash: f64,
+    recovery: RecoveryConfig,
+    shards: usize,
+    threads: usize,
+    lookahead: Option<f64>,
+) -> RunOutcome {
+    let (cfg, appfit, sink) = build_cfg_with(graph, kind, Some(seed), p_crash, recovery);
+    let mut sc = ShardedConfig::auto(graph, &cfg, shards).with_threads(threads);
+    if let Some(l) = lookahead {
+        sc = sc.with_lookahead(l);
+    }
+    outcome_of(simulate_sharded(graph, &cfg, &sc), appfit, sink)
+}
+
+/// Crash-bearing conformance: for every fault class, the sharded
+/// lookahead engine at {1, 2, 7} shards × {1, 3} threads reproduces
+/// the sequential lookahead reference bit for bit — reports (which
+/// embed the canonical recovery stream), App_FIT bits, and decision
+/// traces — and epoch mode stays shard-layout-invariant.
+#[test]
+fn crash_bearing_rows_conform_across_engines() {
+    let graphs: Vec<_> = all_graphs().into_iter().take(4).collect();
+    // Non-vacuousness: every recovery event class must actually fire
+    // somewhere in the grid, or the conformance claim is empty.
+    let mut seen = std::collections::BTreeSet::new();
+    for (name, graph) in &graphs {
+        let (probe_cfg, _, _) = build_cfg(graph, PolicyKind::None, None);
+        let lookahead = ShardedConfig::auto_lookahead(graph, &probe_cfg);
+        for (pname, kind, seed, p_crash, recovery) in recovery_profiles() {
+            let reference = run_profile_delayed(graph, kind, seed, p_crash, recovery, lookahead);
+            for r in reference.report.recovery() {
+                seen.insert(r.kind.code());
+            }
+            for &shards in SHARD_COUNTS {
+                for threads in [1usize, 3] {
+                    let got = run_profile_sharded(
+                        graph,
+                        kind,
+                        seed,
+                        p_crash,
+                        recovery,
+                        shards,
+                        threads,
+                        Some(lookahead),
+                    );
+                    assert_eq!(
+                        reference.report, got.report,
+                        "{name}/{pname}: lookahead shards={shards} threads={threads} report"
+                    );
+                    assert_eq!(
+                        reference.appfit, got.appfit,
+                        "{name}/{pname}: lookahead shards={shards} App_FIT bits"
+                    );
+                    assert_eq!(
+                        reference.trace, got.trace,
+                        "{name}/{pname}: lookahead shards={shards} decision trace"
+                    );
+                }
+            }
+            let epoch_ref = run_profile_sharded(graph, kind, seed, p_crash, recovery, 1, 1, None);
+            for &shards in &SHARD_COUNTS[1..] {
+                let got =
+                    run_profile_sharded(graph, kind, seed, p_crash, recovery, shards, 2, None);
+                assert_eq!(
+                    epoch_ref.report, got.report,
+                    "{name}/{pname}: epoch shards={shards} report must be layout-invariant"
+                );
+                assert_eq!(
+                    epoch_ref.trace, got.trace,
+                    "{name}/{pname}: epoch shards={shards} decision trace"
+                );
+            }
+        }
+    }
+    for kind in [
+        RecoveryKind::Crash,
+        RecoveryKind::Repair,
+        RecoveryKind::Restart,
+        RecoveryKind::Preempt,
+        RecoveryKind::ReplicaLag,
+    ] {
+        assert!(
+            seen.contains(&kind.code()),
+            "no scenario produced a {kind:?} event — the crash grid is vacuous for it"
+        );
+    }
+}
+
+/// The recovery stream itself is canonical: sorted by `(time, node,
+/// kind, task)` and byte-identical between repeat runs.
+#[test]
+fn recovery_stream_is_canonical_and_reproducible() {
+    let (_, graph) = &synthetic_graphs()[1];
+    let (_, kind, seed, p_crash, recovery) = recovery_profiles().remove(0);
+    let a = run_profile_sharded(graph, kind, seed, p_crash, recovery, 3, 2, None);
+    let b = run_profile_sharded(graph, kind, seed, p_crash, recovery, 3, 2, None);
+    assert_eq!(a.report, b.report, "repeat runs must be bitwise equal");
+    let stream = a.report.recovery();
+    assert!(!stream.is_empty(), "the crash profile must produce events");
+    let mut sorted = stream.to_vec();
+    cluster_sim::recovery::sort_canonical(&mut sorted);
+    assert_eq!(stream, &sorted[..], "reported stream must be canonical");
 }

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use appfit_core::{ReplicateAll, ReplicateNone};
-use cluster_sim::{simulate, ClusterSpec, CostModel, NodeSpec, SimConfig, SimGraph};
+use cluster_sim::{
+    simulate, ClusterSpec, CostModel, NodeSpec, RecoveryConfig, SimConfig, SimGraph,
+};
 use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
 use fit_model::RateModel;
@@ -62,9 +64,11 @@ fn config(cluster: ClusterSpec, replicate: bool, seed: Option<u64>) -> SimConfig
             Some(_) => InjectionConfig::PerTask {
                 p_due: 0.05,
                 p_sdc: 0.05,
+                p_crash: 0.0,
             },
             None => InjectionConfig::Disabled,
         },
+        recovery: RecoveryConfig::default(),
     }
 }
 

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use appfit_core::{AppFit, AppFitConfig, ReplicateAll, ReplicateNone};
 use cluster_sim::{
-    simulate, simulate_sharded, ClusterSpec, CostModel, NodeSpec, ShardedConfig, SimConfig,
-    SimGraph, SyntheticSpec,
+    simulate, simulate_sharded, ClusterSpec, CostModel, NodeSpec, RecoveryConfig, ShardedConfig,
+    SimConfig, SimGraph, SyntheticSpec,
 };
 use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
@@ -44,9 +44,11 @@ fn config(cluster: ClusterSpec, replicate: bool, seed: Option<u64>) -> SimConfig
             Some(_) => InjectionConfig::PerTask {
                 p_due: 0.04,
                 p_sdc: 0.06,
+                p_crash: 0.0,
             },
             None => InjectionConfig::Disabled,
         },
+        recovery: RecoveryConfig::default(),
     }
 }
 
@@ -184,6 +186,7 @@ proptest! {
                 policy,
                 faults: Arc::new(NoFaults),
                 injection: InjectionConfig::Disabled,
+                recovery: RecoveryConfig::default(),
             };
             simulate_sharded(&g, &cfg, &ShardedConfig::new(s, 2.0))
         };

@@ -8,7 +8,8 @@ use std::sync::Arc;
 
 use appfit_core::ReplicateAll;
 use cluster_sim::{
-    simulate, ClusterSpec, CostModel, NodeSpec, SimConfig, SimGraph, StreamTask, TaskStream,
+    simulate, ClusterSpec, CostModel, NodeSpec, RecoveryConfig, SimConfig, SimGraph, StreamTask,
+    TaskStream,
 };
 use dataflow_rt::{DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, SeededInjector};
@@ -207,7 +208,8 @@ proptest! {
             cost: CostModel::default(),
             policy: Arc::new(ReplicateAll),
             faults: Arc::new(SeededInjector::new(seed)),
-            injection: InjectionConfig::PerTask { p_due: 0.05, p_sdc: 0.05 },
+            injection: InjectionConfig::PerTask { p_due: 0.05, p_sdc: 0.05, p_crash: 0.0 },
+            recovery: RecoveryConfig::default(),
         };
         let a = simulate(&reference, &cfg);
         let b = simulate(&streamed, &cfg);

@@ -19,6 +19,12 @@ pub enum ErrorClass {
     /// Silent Data Corruption — the computation finishes with wrong
     /// results and nothing notices (unless software compares replicas).
     Sdc,
+    /// Fail-stop node crash — the whole machine executing the task goes
+    /// down mid-execution, losing every in-flight task on it (TeaMPI's
+    /// fail-stop rank model). Recovery is an engine concern: the node
+    /// stays unavailable for a repair window and the lost tasks are
+    /// re-enqueued.
+    NodeCrash,
 }
 
 impl fmt::Display for ErrorClass {
@@ -27,6 +33,7 @@ impl fmt::Display for ErrorClass {
             ErrorClass::Dce => write!(f, "DCE"),
             ErrorClass::Due => write!(f, "DUE"),
             ErrorClass::Sdc => write!(f, "SDC"),
+            ErrorClass::NodeCrash => write!(f, "CRASH"),
         }
     }
 }
@@ -68,6 +75,11 @@ pub struct FaultCounts {
     /// SDCs that struck unreplicated executions (silently corrupt final
     /// output).
     pub uncovered_sdc: u64,
+    /// Total injected fail-stop node crashes. Crashes are never
+    /// "covered" by replication in the coverage sense — the engine
+    /// recovers them by re-enqueueing the lost work — so there is no
+    /// uncovered counter for them.
+    pub node_crash: u64,
 }
 
 impl FaultLog {
@@ -114,6 +126,7 @@ impl FaultLog {
                         c.uncovered_sdc += 1;
                     }
                 }
+                ErrorClass::NodeCrash => c.node_crash += 1,
                 ErrorClass::Dce => {}
             }
         }
@@ -179,5 +192,21 @@ mod tests {
         assert_eq!(ErrorClass::Dce.to_string(), "DCE");
         assert_eq!(ErrorClass::Due.to_string(), "DUE");
         assert_eq!(ErrorClass::Sdc.to_string(), "SDC");
+        assert_eq!(ErrorClass::NodeCrash.to_string(), "CRASH");
+    }
+
+    #[test]
+    fn node_crashes_are_counted() {
+        let log = FaultLog::new();
+        log.record(FaultEvent {
+            task: 7,
+            attempt: 0,
+            class: ErrorClass::NodeCrash,
+            covered: false,
+        });
+        let c = log.counts();
+        assert_eq!(c.node_crash, 1);
+        assert_eq!(c.due, 0);
+        assert_eq!(c.sdc, 0);
     }
 }

@@ -14,6 +14,11 @@ pub struct ExecProbabilities {
     pub p_due: f64,
     /// Probability that this execution suffers a silent corruption (SDC).
     pub p_sdc: f64,
+    /// Probability that the *machine* executing this attempt fail-stops
+    /// mid-execution, taking every in-flight task on it down. Only
+    /// meaningful for primary attempts — the engine draws one crash per
+    /// dispatch, not per replica.
+    pub p_crash: f64,
 }
 
 /// What the injector decided for one task execution.
@@ -70,7 +75,7 @@ impl FaultModel for NoFaults {
 /// ```
 /// use fault_inject::{SeededInjector, FaultModel, ExecProbabilities, InjectionDecision};
 /// let inj = SeededInjector::new(42);
-/// let p = ExecProbabilities { p_due: 0.0, p_sdc: 1.0 };
+/// let p = ExecProbabilities { p_due: 0.0, p_sdc: 1.0, p_crash: 0.0 };
 /// assert!(matches!(inj.decide(7, 0, p), InjectionDecision::Inject(_)));
 /// // Replayable: same inputs, same decision.
 /// assert_eq!(inj.decide(7, 0, p), inj.decide(7, 0, p));
@@ -94,16 +99,25 @@ impl SeededInjector {
 
 impl FaultModel for SeededInjector {
     fn decide(&self, task: u64, attempt: u32, p: ExecProbabilities) -> InjectionDecision {
-        debug_assert!(p.p_due >= 0.0 && p.p_sdc >= 0.0 && p.p_due + p.p_sdc <= 1.0 + 1e-9);
-        if p.p_due == 0.0 && p.p_sdc == 0.0 {
+        debug_assert!(
+            p.p_due >= 0.0
+                && p.p_sdc >= 0.0
+                && p.p_crash >= 0.0
+                && p.p_due + p.p_sdc + p.p_crash <= 1.0 + 1e-9
+        );
+        if p.p_due == 0.0 && p.p_sdc == 0.0 && p.p_crash == 0.0 {
             return InjectionDecision::None;
         }
         let mut rng = SmallRng::seed_from_u64(mix(self.seed, task, attempt));
         let u: f64 = rng.gen();
+        // The crash range is appended *after* DUE and SDC so that runs
+        // with p_crash = 0 draw exactly the historical fault schedule.
         if u < p.p_due {
             InjectionDecision::Inject(ErrorClass::Due)
         } else if u < p.p_due + p.p_sdc {
             InjectionDecision::Inject(ErrorClass::Sdc)
+        } else if u < p.p_due + p.p_sdc + p.p_crash {
+            InjectionDecision::Inject(ErrorClass::NodeCrash)
         } else {
             InjectionDecision::None
         }
@@ -135,6 +149,8 @@ pub enum InjectionConfig {
         p_due: f64,
         /// Silent-corruption probability per execution.
         p_sdc: f64,
+        /// Fail-stop node-crash probability per dispatch.
+        p_crash: f64,
     },
     /// Probabilities follow the task's estimated FIT rates over its
     /// execution time, accelerated by `time_scale` (1.0 = real time).
@@ -150,12 +166,21 @@ impl InjectionConfig {
     pub fn probabilities(&self, rates: TaskRates, duration_secs: f64) -> ExecProbabilities {
         match *self {
             InjectionConfig::Disabled => ExecProbabilities::default(),
-            InjectionConfig::PerTask { p_due, p_sdc } => ExecProbabilities { p_due, p_sdc },
+            InjectionConfig::PerTask {
+                p_due,
+                p_sdc,
+                p_crash,
+            } => ExecProbabilities {
+                p_due,
+                p_sdc,
+                p_crash,
+            },
             InjectionConfig::FitBased { time_scale } => {
                 let t = duration_secs * time_scale;
                 ExecProbabilities {
                     p_due: rates.due.failure_probability(t),
                     p_sdc: rates.sdc.failure_probability(t),
+                    p_crash: 0.0,
                 }
             }
         }
@@ -168,7 +193,8 @@ impl InjectionConfig {
             InjectionConfig::Disabled
                 | InjectionConfig::PerTask {
                     p_due: 0.0,
-                    p_sdc: 0.0
+                    p_sdc: 0.0,
+                    p_crash: 0.0
                 }
         )
     }
@@ -198,6 +224,7 @@ mod tests {
         let p = ExecProbabilities {
             p_due: 0.3,
             p_sdc: 0.3,
+            p_crash: 0.1,
         };
         for task in 0..50u64 {
             for attempt in 0..3u32 {
@@ -215,6 +242,7 @@ mod tests {
         let p = ExecProbabilities {
             p_due: 0.5,
             p_sdc: 0.0,
+            p_crash: 0.0,
         };
         let disagree = (0..200u64).any(|t| inj.decide(t, 0, p) != inj.decide(t, 1, p));
         assert!(disagree);
@@ -226,21 +254,26 @@ mod tests {
         let p = ExecProbabilities {
             p_due: 0.1,
             p_sdc: 0.2,
+            p_crash: 0.05,
         };
         let n = 20_000u64;
         let mut due = 0;
         let mut sdc = 0;
+        let mut crash = 0;
         for t in 0..n {
             match inj.decide(t, 0, p) {
                 InjectionDecision::Inject(ErrorClass::Due) => due += 1,
                 InjectionDecision::Inject(ErrorClass::Sdc) => sdc += 1,
+                InjectionDecision::Inject(ErrorClass::NodeCrash) => crash += 1,
                 _ => {}
             }
         }
         let f_due = due as f64 / n as f64;
         let f_sdc = sdc as f64 / n as f64;
+        let f_crash = crash as f64 / n as f64;
         assert!((f_due - 0.1).abs() < 0.01, "due rate {f_due}");
         assert!((f_sdc - 0.2).abs() < 0.01, "sdc rate {f_sdc}");
+        assert!((f_crash - 0.05).abs() < 0.01, "crash rate {f_crash}");
     }
 
     #[test]
@@ -278,15 +311,54 @@ mod tests {
         assert!(!InjectionConfig::Disabled.enabled());
         assert!(!InjectionConfig::PerTask {
             p_due: 0.0,
-            p_sdc: 0.0
+            p_sdc: 0.0,
+            p_crash: 0.0
         }
         .enabled());
         assert!(InjectionConfig::PerTask {
             p_due: 0.01,
-            p_sdc: 0.0
+            p_sdc: 0.0,
+            p_crash: 0.0
+        }
+        .enabled());
+        assert!(InjectionConfig::PerTask {
+            p_due: 0.0,
+            p_sdc: 0.0,
+            p_crash: 0.02
         }
         .enabled());
         assert!(InjectionConfig::FitBased { time_scale: 1.0 }.enabled());
+    }
+
+    #[test]
+    fn crash_range_does_not_perturb_due_sdc_schedule() {
+        // Enabling crashes only converts some previously fault-free
+        // draws into crashes; every DUE/SDC decision stays put.
+        let inj = SeededInjector::new(314);
+        let base = ExecProbabilities {
+            p_due: 0.1,
+            p_sdc: 0.2,
+            p_crash: 0.0,
+        };
+        let with_crash = ExecProbabilities {
+            p_crash: 0.15,
+            ..base
+        };
+        let mut crashes = 0;
+        for t in 0..2000u64 {
+            let a = inj.decide(t, 0, base);
+            let b = inj.decide(t, 0, with_crash);
+            match a {
+                InjectionDecision::Inject(_) => assert_eq!(a, b),
+                InjectionDecision::None => {
+                    if let InjectionDecision::Inject(c) = b {
+                        assert_eq!(c, ErrorClass::NodeCrash);
+                        crashes += 1;
+                    }
+                }
+            }
+        }
+        assert!(crashes > 0);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! (The third class, DCE — detected *and corrected* — never reaches
 //! software and is represented only in the taxonomy.)
 //!
+//! Beyond the paper's per-execution model, the crate also injects
+//! **fail-stop node crashes** ([`ErrorClass::NodeCrash`]): the machine
+//! running the attempt goes down mid-execution, losing every in-flight
+//! task on it. Recovery — unavailability windows, re-enqueueing lost
+//! work, checkpoint/restart — is the simulation engine's job; this crate
+//! only decides *whether* a fault strikes and *which class* it is.
+//!
 //! Experiments in the paper exercise recovery with "per task fixed fault
 //! rates"; this crate reproduces that with a seeded, **replayable**
 //! injector: the decision for a given `(task, attempt)` pair is a pure

@@ -15,6 +15,20 @@ use crate::injector::{ExecProbabilities, FaultModel, InjectionDecision};
 /// most once; [`FaultPlan::remaining`] exposes what has not fired, so
 /// tests can assert full consumption.
 ///
+/// # Lifecycle
+///
+/// A plan has a *build phase* and a *drain phase*. All entries are added
+/// up front ([`FaultPlan::with`] / [`FaultPlan::insert`]); the simulation
+/// then drains them through [`FaultModel::decide`], which removes each
+/// entry as it fires. The phases must not interleave: inserting after the
+/// run has started — in particular, re-arming a `(task, attempt)` key the
+/// run already consumed — makes the "fires at most once" guarantee
+/// meaningless and usually signals a test bug (two scripted faults
+/// silently collapsing into one). Inserting a duplicate `(task, attempt)`
+/// key therefore panics under `debug_assertions`; in release builds the
+/// last insertion wins, as with any map. Build a fresh plan per run
+/// instead of reusing a drained one.
+///
 /// ```
 /// use fault_inject::{FaultPlan, ErrorClass, FaultModel, ExecProbabilities, InjectionDecision};
 /// let plan = FaultPlan::new().with(3, 0, ErrorClass::Sdc);
@@ -35,15 +49,26 @@ impl FaultPlan {
     }
 
     /// Adds an injection for attempt `attempt` of task `task`.
+    ///
+    /// Panics under `debug_assertions` if `(task, attempt)` is already
+    /// scripted — see the [lifecycle notes](FaultPlan#lifecycle).
     #[must_use]
     pub fn with(self, task: u64, attempt: u32, class: ErrorClass) -> Self {
-        self.entries.lock().insert((task, attempt), class);
+        self.insert(task, attempt, class);
         self
     }
 
     /// Adds an injection in place (for plans built in a loop).
+    ///
+    /// Panics under `debug_assertions` if `(task, attempt)` is already
+    /// scripted — see the [lifecycle notes](FaultPlan#lifecycle).
     pub fn insert(&self, task: u64, attempt: u32, class: ErrorClass) {
-        self.entries.lock().insert((task, attempt), class);
+        let previous = self.entries.lock().insert((task, attempt), class);
+        debug_assert!(
+            previous.is_none(),
+            "duplicate FaultPlan entry for task {task} attempt {attempt}: \
+             {previous:?} would be silently replaced by {class:?}"
+        );
     }
 
     /// Number of scripted injections that have not fired yet.
@@ -91,5 +116,40 @@ mod tests {
             plan.insert(t, 0, ErrorClass::Sdc);
         }
         assert_eq!(plan.remaining(), 5);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "duplicate FaultPlan entry"))]
+    fn duplicate_insert_panics_in_debug() {
+        let plan = FaultPlan::new().with(1, 0, ErrorClass::Due);
+        plan.insert(1, 0, ErrorClass::Sdc);
+        // Release builds keep map semantics: the last insertion wins.
+        #[cfg(not(debug_assertions))]
+        {
+            let p = ExecProbabilities::default();
+            assert_eq!(
+                plan.decide(1, 0, p),
+                InjectionDecision::Inject(ErrorClass::Sdc)
+            );
+        }
+    }
+
+    #[test]
+    fn reinsert_after_drain_is_allowed_but_distinct_keys_preferred() {
+        // The debug assertion guards *pending* duplicates; a key that has
+        // already fired may be re-armed (the lifecycle docs advise a
+        // fresh plan instead, but the map itself permits it).
+        let plan = FaultPlan::new().with(2, 0, ErrorClass::Due);
+        let p = ExecProbabilities::default();
+        assert_eq!(
+            plan.decide(2, 0, p),
+            InjectionDecision::Inject(ErrorClass::Due)
+        );
+        plan.insert(2, 0, ErrorClass::Sdc);
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(
+            plan.decide(2, 0, p),
+            InjectionDecision::Inject(ErrorClass::Sdc)
+        );
     }
 }

@@ -1,8 +1,10 @@
 //! Ablation studies beyond the paper's figures (DESIGN.md §5, rows
-//! A1–A3, plus A4 for the sharded engine): how far is App_FIT from the
-//! offline knapsack optimum, how does the replication fraction respond
-//! to the threshold, what do the accounting variants change, and how
-//! sensitive are sharded-simulation results to the epoch length.
+//! A1–A3, plus A4 for the sharded engine and A5 for the recovery
+//! subsystem): how far is App_FIT from the offline knapsack optimum,
+//! how does the replication fraction respond to the threshold, what do
+//! the accounting variants change, how sensitive are
+//! sharded-simulation results to the epoch length, and what does
+//! checkpoint/restart buy compared to replication at equal overhead.
 
 use std::sync::Arc;
 
@@ -10,7 +12,9 @@ use appfit_core::{
     evaluate_policy, oracle_dp, oracle_greedy, AppFit, AppFitConfig, ChargeOn, PeriodicPolicy,
     RandomPolicy, ReplicateAll, TaskSample,
 };
-use cluster_sim::{simulate, simulate_sharded, CostModel, ShardedConfig, SimConfig};
+use cluster_sim::{
+    simulate, simulate_sharded, CostModel, RecoveryConfig, ShardedConfig, SimConfig,
+};
 use fault_inject::{InjectionConfig, NoFaults};
 use fit_model::{Fit, TaskRates};
 use workloads::{all_workloads, distributed_workloads};
@@ -388,6 +392,7 @@ pub fn run_epoch_sensitivity(
                 policy: Arc::new(ReplicateAll),
                 faults: Arc::new(NoFaults),
                 injection: InjectionConfig::Disabled,
+                recovery: RecoveryConfig::default(),
             };
             let sequential = simulate(&graph, &cfg).makespan;
             let auto = ShardedConfig::auto(&graph, &cfg, shards);
@@ -445,6 +450,171 @@ pub fn render_epoch_sensitivity(rows: &[EpochRow]) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// A5: replication vs checkpoint/restart under fail-stop crashes
+// ---------------------------------------------------------------------
+
+/// One recovery strategy's outcome on the crash-bearing scenario.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Strategy label (`replication (App_FIT 50%)`, `checkpoint @ 5s`, …).
+    pub label: String,
+    /// Virtual makespan under crashes and the strategy's costs.
+    pub makespan: f64,
+    /// Makespan overhead over the clean, unprotected baseline (%).
+    pub overhead_pct: f64,
+    /// Unprotected FIT the strategy leaves exposed (App_FIT's
+    /// `current_fit` for replication; the whole graph for
+    /// checkpoint/restart, which recovers crashed *work* but covers no
+    /// silent corruption).
+    pub unprotected_fit: f64,
+    /// Fail-stop crashes the run absorbed.
+    pub crashes: usize,
+    /// Lost in-flight tasks re-dispatched.
+    pub restarts: usize,
+    /// Snapshots taken (checkpoint strategy only).
+    pub checkpoints: usize,
+    /// Marks the checkpoint row whose overhead is nearest the
+    /// replication row's — the equal-overhead comparison point.
+    pub matched_overhead: bool,
+}
+
+/// The A5 comparison: both strategies over the same crash schedule.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Clean (no faults, no protection) reference makespan.
+    pub baseline_makespan: f64,
+    /// Total FIT of the graph (the exposure with nothing replicated).
+    pub total_fit: f64,
+    /// One row per strategy cell.
+    pub rows: Vec<RecoveryRow>,
+}
+
+fn recovery_counts(report: &cluster_sim::SimReport) -> (usize, usize, usize) {
+    use cluster_sim::RecoveryKind;
+    let count = |k: RecoveryKind| report.recovery().iter().filter(|e| e.kind == k).count();
+    (
+        count(RecoveryKind::Crash),
+        count(RecoveryKind::Restart),
+        count(RecoveryKind::Checkpoint),
+    )
+}
+
+/// Compares replication (App_FIT at 50 %) against checkpoint/restart
+/// at several snapshot intervals, all on the `crash-sweep` preset's
+/// crash schedule. Replication pays for duplicate execution but keeps
+/// FIT under the target *and* absorbs crashes via the surviving
+/// sibling; checkpoint/restart pays snapshot and rollback costs,
+/// recovers the lost work, but leaves the full FIT exposure — the
+/// equal-overhead row makes the trade concrete.
+pub fn run_recovery(intervals: &[f64]) -> RecoveryReport {
+    let crash = scenario::preset("crash-sweep").expect("crash-sweep preset");
+
+    // Clean baseline: same workload and engine, nothing injected,
+    // nothing replicated.
+    let mut clean = crash.clone();
+    clean.name = "recovery-baseline".into();
+    clean.faults.p_due = 0.0;
+    clean.faults.p_sdc = 0.0;
+    clean.faults.p_crash = 0.0;
+    clean.policy = scenario::PolicySpec::ReplicateNone;
+    let graph = scenario::build_graph(&clean).expect("baseline graph");
+    let total_fit: f64 = graph.tasks().iter().map(|t| t.rates.total().value()).sum();
+    let baseline = scenario::run_on(&clean, &graph, None).expect("baseline runs");
+    let baseline_makespan = baseline.report.makespan;
+    let overhead = |makespan: f64| (makespan / baseline_makespan - 1.0) * 100.0;
+
+    let mut rows = Vec::new();
+    let rep = scenario::run_on(&crash, &graph, None).expect("replication cell runs");
+    let (crashes, restarts, checkpoints) = recovery_counts(&rep.report);
+    rows.push(RecoveryRow {
+        label: "replication (App_FIT 50%)".into(),
+        makespan: rep.report.makespan,
+        overhead_pct: overhead(rep.report.makespan),
+        unprotected_fit: rep.appfit.expect("App_FIT stats").current_fit,
+        crashes,
+        restarts,
+        checkpoints,
+        matched_overhead: false,
+    });
+
+    for &interval in intervals {
+        let mut spec = crash.clone();
+        spec.name = format!("ckpt-{interval}s");
+        spec.policy = scenario::PolicySpec::ReplicateNone;
+        spec.recovery.checkpoint = Some(scenario::CheckpointSpec {
+            interval_secs: interval,
+            snapshot_bytes: 1 << 20,
+        });
+        let out = scenario::run_on(&spec, &graph, None).expect("checkpoint cell runs");
+        let (crashes, restarts, checkpoints) = recovery_counts(&out.report);
+        rows.push(RecoveryRow {
+            label: format!("checkpoint @ {interval}s"),
+            makespan: out.report.makespan,
+            overhead_pct: overhead(out.report.makespan),
+            unprotected_fit: total_fit,
+            crashes,
+            restarts,
+            checkpoints,
+            matched_overhead: false,
+        });
+    }
+
+    // Mark the checkpoint row closest in overhead to replication.
+    let rep_overhead = rows[0].overhead_pct;
+    if let Some(nearest) = (1..rows.len()).min_by(|&a, &b| {
+        let da = (rows[a].overhead_pct - rep_overhead).abs();
+        let db = (rows[b].overhead_pct - rep_overhead).abs();
+        da.total_cmp(&db)
+    }) {
+        rows[nearest].matched_overhead = true;
+    }
+
+    RecoveryReport {
+        baseline_makespan,
+        total_fit,
+        rows,
+    }
+}
+
+/// Renders the recovery-strategy ablation.
+pub fn render_recovery(report: &RecoveryReport) -> String {
+    let mut t = TextTable::new(vec![
+        "strategy",
+        "makespan",
+        "overhead",
+        "unprotected FIT",
+        "FIT exposure",
+        "crashes",
+        "restarts",
+        "snapshots",
+    ]);
+    for r in &report.rows {
+        t.row(vec![
+            if r.matched_overhead {
+                format!("{} *", r.label)
+            } else {
+                r.label.clone()
+            },
+            format!("{:.3e}s", r.makespan),
+            format!("{:+.2}%", r.overhead_pct),
+            format!("{:.3e}", r.unprotected_fit),
+            pct(r.unprotected_fit / report.total_fit),
+            r.crashes.to_string(),
+            r.restarts.to_string(),
+            r.checkpoints.to_string(),
+        ]);
+    }
+    format!(
+        "Ablation A5 — replication vs checkpoint/restart under fail-stop crashes\n\
+         (same crash schedule everywhere; baseline makespan {:.3e}s is the clean unprotected run;\n\
+          * marks the checkpoint interval nearest the replication row's overhead — at equal\n\
+          overhead, replication also bounds FIT while checkpointing leaves it all exposed)\n\n{}",
+        report.baseline_makespan,
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +636,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recovery_comparison_small() {
+        // Intervals are per-node accumulated *kernel work*, which at
+        // this scale is a handful of seconds per node — keep them
+        // small enough that snapshots actually fire.
+        let report = run_recovery(&[1.0, 5.0]);
+        assert!(report.baseline_makespan > 0.0);
+        assert!(report.total_fit > 0.0);
+        assert_eq!(report.rows.len(), 3, "replication + two checkpoint cells");
+
+        let rep = &report.rows[0];
+        // Replication under App_FIT keeps the unprotected FIT strictly
+        // below the whole graph's exposure…
+        assert!(rep.unprotected_fit < report.total_fit);
+        // …while checkpoint/restart covers no FIT at all.
+        for ck in &report.rows[1..] {
+            assert_eq!(ck.unprotected_fit, report.total_fit, "{}", ck.label);
+            assert!(ck.checkpoints > 0, "{}: snapshots must be taken", ck.label);
+        }
+        // The crash schedule is shared and actually fires; every
+        // strategy absorbs it and re-dispatches the lost work.
+        for r in &report.rows {
+            assert!(r.crashes > 0, "{}: crashes must fire", r.label);
+            assert!(r.restarts > 0, "{}: lost tasks must restart", r.label);
+            assert!(r.overhead_pct > 0.0, "{}: protection is not free", r.label);
+        }
+        // Exactly one checkpoint row is the equal-overhead marker.
+        assert!(!rep.matched_overhead);
+        assert_eq!(report.rows.iter().filter(|r| r.matched_overhead).count(), 1);
+        let rendered = render_recovery(&report);
+        assert!(rendered.contains("Ablation A5"));
+        assert!(rendered.contains("checkpoint @ 1s"));
     }
 
     /// The acceptance criterion for the lookahead engine on the A4

@@ -30,13 +30,21 @@ pub const SCHEMA: &str = "bench-sim/v1";
 /// headline `sweep-1m` number lands first in the file. `lookahead-1m`
 /// is the same million-task cell as `sweep-1m` under
 /// conservative-lookahead synchronization, so the two rows track the
-/// throughput cost of tighter cross-node timing side by side.
+/// throughput cost of tighter cross-node timing side by side;
+/// `preempt-1m` is the million-task cell with the recovery runtime
+/// armed (preemptible nodes), tracking the fault-path overhead at
+/// scale. The seconds-scale `crash-sweep` and `ckpt-vs-rep` rows pin
+/// the crash-repair and checkpoint/restart paths so regressions there
+/// are visible even though they never dominate wall time.
 pub const FULL_PRESETS: &[&str] = &[
     "sweep-1m",
     "lookahead-1m",
+    "preempt-1m",
     "stress-huge-matmul",
     "stress-huge-cholesky",
     "stress-huge-pingpong",
+    "crash-sweep",
+    "ckpt-vs-rep",
 ];
 
 /// One preset's measurements.

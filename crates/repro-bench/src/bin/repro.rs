@@ -15,6 +15,7 @@
 //!   ablate-sweep       A2 — replication vs error-rate multiplier
 //!   ablate-accounting  A3 — Eq. 1 accounting variants
 //!   ablate-epoch       A4 — sharded-engine epoch sensitivity
+//!   ablate-recovery    A5 — replication vs checkpoint/restart under crashes
 //!   all                everything above
 //!
 //! scenario subcommands (NAME = preset name or spec-file path):
@@ -106,6 +107,10 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
                 &[0.25, 1.0, 4.0, 16.0],
             ))
         ),
+        "ablate-recovery" => print!(
+            "{}",
+            ablations::render_recovery(&ablations::run_recovery(&[0.5, 1.0, 2.0, 5.0]))
+        ),
         "all" => {
             for c in [
                 "table1",
@@ -118,6 +123,7 @@ fn run_command(cmd: &str, opt: &Options) -> Result<(), String> {
                 "ablate-sweep",
                 "ablate-accounting",
                 "ablate-epoch",
+                "ablate-recovery",
             ] {
                 run_command(c, opt)?;
                 println!();

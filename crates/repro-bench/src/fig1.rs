@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use appfit_core::ReplicateNone;
-use cluster_sim::{simulate, ClusterSpec, CostModel, NodeSpec, SimConfig, SimGraph};
+use cluster_sim::{
+    simulate, ClusterSpec, CostModel, NodeSpec, RecoveryConfig, SimConfig, SimGraph,
+};
 use dataflow_rt::{analysis, DataArena, Region, TaskGraph, TaskSpec};
 use fault_inject::{InjectionConfig, NoFaults};
 use fit_model::RateModel;
@@ -102,6 +104,7 @@ fn measure(fork_join: bool) -> Fig1Side {
             policy: Arc::new(ReplicateNone),
             faults: Arc::new(NoFaults),
             injection: InjectionConfig::Disabled,
+            recovery: RecoveryConfig::default(),
         },
     );
     Fig1Side {

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use appfit_core::{AppFit, AppFitConfig};
-use cluster_sim::{simulate, CostModel, SimConfig};
+use cluster_sim::{simulate, CostModel, RecoveryConfig, SimConfig};
 use fault_inject::{InjectionConfig, NoFaults};
 use fit_model::Fit;
 use workloads::all_workloads;
@@ -69,6 +69,7 @@ pub fn evaluate_one(
             policy: Arc::clone(&policy) as Arc<dyn appfit_core::ReplicationPolicy>,
             faults: Arc::new(NoFaults),
             injection: InjectionConfig::Disabled,
+            recovery: RecoveryConfig::default(),
         },
     );
     (

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use appfit_core::{ReplicateAll, ReplicateNone};
-use cluster_sim::{simulate, CostModel, SimConfig};
+use cluster_sim::{simulate, CostModel, RecoveryConfig, SimConfig};
 use fault_inject::{InjectionConfig, NoFaults};
 use workloads::all_workloads;
 
@@ -40,6 +40,7 @@ pub fn run(scale: ExperimentScale) -> Vec<Fig4Row> {
                         policy,
                         faults: Arc::new(NoFaults),
                         injection: InjectionConfig::Disabled,
+                        recovery: RecoveryConfig::default(),
                     },
                 )
             };

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use appfit_core::ReplicateAll;
-use cluster_sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use cluster_sim::{simulate, ClusterSpec, CostModel, RecoveryConfig, SimConfig, SimGraph};
 use fault_inject::{InjectionConfig, SeededInjector};
 use workloads::distributed_workloads;
 
@@ -42,8 +42,10 @@ fn run_one(graph: &SimGraph, nodes: usize, p_fault: f64, seed: u64) -> f64 {
                 InjectionConfig::PerTask {
                     p_due: p_fault / 2.0,
                     p_sdc: p_fault / 2.0,
+                    p_crash: 0.0,
                 }
             },
+            recovery: RecoveryConfig::default(),
         },
     );
     report.makespan

@@ -68,7 +68,7 @@ fn summarize(spec: &ScenarioSpec, outcome: &Outcome, wall_secs: f64) -> String {
 
 /// Entry point for `repro scenario <args>`.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
-    let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE [--timing] | replay FILE | diff A B>";
+    let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE [--timing] [--recovery] | replay FILE | diff A B>";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
     match sub {
         "list" => {
@@ -127,6 +127,7 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
                         out_path = Some(rest.next().ok_or("--out needs a path")?.clone());
                     }
                     "--timing" => options.timing = true,
+                    "--recovery" => options.recovery = true,
                     other => return Err(format!("unexpected record argument `{other}`\n{usage}")),
                 }
             }
@@ -138,13 +139,17 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             fs::write(&out_path, &bytes).map_err(|e| format!("writing {out_path}: {e}"))?;
             print!("{}", summarize(&spec, &outcome, t0.elapsed().as_secs_f64()));
             println!(
-                "  trace: {} decisions in {} epochs{}, {} bytes → {out_path}",
+                "  trace: {} decisions in {} epochs{}{}, {} bytes → {out_path}",
                 trace.decision_count(),
                 trace.epochs.len(),
                 if trace.timing.is_some() {
                     ", per-task timing"
                 } else {
                     ""
+                },
+                match &trace.recovery {
+                    Some(r) => format!(", {} recovery events", r.len()),
+                    None => String::new(),
                 },
                 bytes.len(),
             );
@@ -231,6 +236,32 @@ mod tests {
         ])
         .expect("records with timing");
         run_cli(&["replay".into(), path.clone()]).expect("timed replay");
+        run_cli(&["diff".into(), path.clone(), path]).expect("self-diff clean");
+    }
+
+    #[test]
+    fn recovery_record_replay_through_files() {
+        // The crash-sweep preset actually crashes; the recorded
+        // recovery stream must survive the file round trip and replay
+        // bitwise.
+        let dir = std::env::temp_dir().join("scenario-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crash-sweep-recovery.trace");
+        let path = path.to_str().unwrap().to_string();
+        run_cli(&[
+            "record".into(),
+            "crash-sweep".into(),
+            "--out".into(),
+            path.clone(),
+            "--recovery".into(),
+        ])
+        .expect("records with recovery events");
+        let trace = load_trace(&path).expect("trace loads");
+        assert!(
+            trace.recovery.as_ref().is_some_and(|r| !r.is_empty()),
+            "crash-sweep must record recovery events"
+        );
+        run_cli(&["replay".into(), path.clone()]).expect("recovery replay");
         run_cli(&["diff".into(), path.clone(), path]).expect("self-diff clean");
     }
 

@@ -159,8 +159,10 @@ impl SweepSpec {
                 p_due: fault_rate / 2.0,
                 p_sdc: fault_rate / 2.0,
                 seed: self.seed,
+                ..FaultSpec::default()
             },
             policy,
+            recovery: scenario::RecoverySpec::default(),
             engine: EngineSpec::Sharded {
                 shards: self.shards.clamp(1, machines),
                 epoch: EpochSpec::Auto,

@@ -59,10 +59,10 @@ pub use runner::{
     AppFitOutcome, Outcome, ReplayReport, ScenarioError, TraceOptions,
 };
 pub use spec::{
-    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, ParseError, PolicySpec, ScenarioSpec,
-    SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, ParseError, PolicySpec,
+    RecoverySpec, ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 pub use trace::{
     diff, Divergence, TimingDiff, Trace, TraceDecision, TraceDiff, TraceEpoch, TraceError,
-    TraceTiming,
+    TraceRecovery, TraceTiming,
 };

@@ -9,8 +9,8 @@
 use workloads::{all_workloads, Scale, WorkloadKind};
 
 use crate::spec::{
-    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, ScenarioSpec, SyncSpec,
-    TargetSpec, TopologySpec, WorkloadSpec,
+    CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, RecoverySpec,
+    ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 
 /// No injection; rates still scaled by the multiplier.
@@ -20,6 +20,7 @@ fn clean_faults(multiplier: f64) -> FaultSpec {
         p_due: 0.0,
         p_sdc: 0.0,
         seed: 2016,
+        ..FaultSpec::default()
     }
 }
 
@@ -30,6 +31,7 @@ fn faulty(multiplier: f64) -> FaultSpec {
         p_due: 0.005,
         p_sdc: 0.005,
         seed: 2016,
+        ..FaultSpec::default()
     }
 }
 
@@ -85,6 +87,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         },
         faults: faulty(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: sharded(2, 2),
     });
 
@@ -106,6 +109,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         },
         faults: faulty(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: lookahead(2, 2, LookaheadSpec::Auto),
     });
 
@@ -123,6 +127,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
             workload: bench(w.name(), Scale::Medium, false),
             faults: clean_faults(10.0),
             policy: appfit(0.5),
+            recovery: RecoverySpec::default(),
             engine,
         });
     }
@@ -135,6 +140,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Cholesky", Scale::Medium, false),
         faults: clean_faults(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     });
     out.push(ScenarioSpec {
@@ -143,6 +149,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Stream", Scale::Medium, false),
         faults: clean_faults(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     });
 
@@ -155,6 +162,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Cholesky", Scale::Medium, false),
         faults: faulty(10.0),
         policy: PolicySpec::ReplicateAll,
+        recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     });
 
@@ -166,6 +174,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Linpack", Scale::Paper, false),
         faults: faulty(10.0),
         policy: PolicySpec::ReplicateAll,
+        recovery: RecoverySpec::default(),
         engine: sharded(8, 4),
     });
 
@@ -185,6 +194,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         },
         faults: faulty(10.0),
         policy: appfit(0.25),
+        recovery: RecoverySpec::default(),
         engine: sharded(32, 8),
     });
 
@@ -207,6 +217,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         },
         faults: faulty(10.0),
         policy: appfit(0.25),
+        recovery: RecoverySpec::default(),
         engine: lookahead(32, 8, LookaheadSpec::Ns(1.0e7)),
     });
 
@@ -217,6 +228,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Matmul", Scale::Huge, true),
         faults: faulty(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: sharded(16, 4),
     });
     out.push(ScenarioSpec {
@@ -225,6 +237,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Cholesky", Scale::Huge, true),
         faults: faulty(10.0),
         policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     });
     out.push(ScenarioSpec {
@@ -233,7 +246,105 @@ pub fn presets() -> Vec<ScenarioSpec> {
         workload: bench("Pingpong", Scale::Huge, true),
         faults: faulty(10.0),
         policy: appfit(0.25),
+        recovery: RecoverySpec::default(),
         engine: sharded(16, 4),
+    });
+
+    // Fail-stop sweep: machines crash mid-run (2 % of tasks draw a
+    // NodeCrash), losing every task in flight on the victim, and come
+    // back after a 5 s outage. Small enough that `verify.sh` records,
+    // replays and diffs it in well under a second.
+    out.push(ScenarioSpec {
+        name: "crash-sweep".into(),
+        topology: TopologySpec::distributed(4),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 4,
+            tasks_per_chain: 32,
+            flops_per_task: 2.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 18,
+            cross_node_every: 4,
+            seed: 2016,
+        },
+        faults: FaultSpec {
+            multiplier: 10.0,
+            p_due: 0.004,
+            p_sdc: 0.004,
+            p_crash: 0.02,
+            seed: 2016,
+            crash_repair_secs: 5.0,
+            preempt: None,
+        },
+        policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
+        engine: sharded(2, 2),
+    });
+
+    // Preemptible machines at the million-task cell: every node runs a
+    // seeded on/off availability trace (up an hour, down a minute —
+    // Trua-style spot semantics) through the same unavailability
+    // machinery as crashes.
+    out.push(ScenarioSpec {
+        name: "preempt-1m".into(),
+        topology: TopologySpec::distributed(1024),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 16,
+            tasks_per_chain: 64,
+            flops_per_task: 4.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 20,
+            cross_node_every: 8,
+            seed: 2016,
+        },
+        faults: FaultSpec {
+            multiplier: 10.0,
+            p_due: 0.005,
+            p_sdc: 0.005,
+            preempt: Some(cluster_sim::PreemptSpec {
+                up_secs: 3600.0,
+                down_secs: 60.0,
+                seed: 2016,
+            }),
+            ..FaultSpec::default()
+        },
+        policy: appfit(0.25),
+        recovery: RecoverySpec::default(),
+        engine: sharded(32, 8),
+    });
+
+    // Checkpoint/restart as the rival of replication: no replicas at
+    // all — crashed work restarts from the last 30 s snapshot instead
+    // (`repro -- ablate-recovery` compares the two at equal overhead).
+    out.push(ScenarioSpec {
+        name: "ckpt-vs-rep".into(),
+        topology: TopologySpec::distributed(4),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 4,
+            tasks_per_chain: 32,
+            flops_per_task: 2.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 18,
+            cross_node_every: 4,
+            seed: 2016,
+        },
+        faults: FaultSpec {
+            multiplier: 10.0,
+            p_due: 0.005,
+            p_sdc: 0.0,
+            p_crash: 0.02,
+            seed: 2016,
+            crash_repair_secs: 5.0,
+            preempt: None,
+        },
+        policy: PolicySpec::ReplicateNone,
+        recovery: RecoverySpec {
+            heartbeat_secs: None,
+            checkpoint: Some(CheckpointSpec {
+                interval_secs: 30.0,
+                snapshot_bytes: 1 << 20,
+            }),
+        },
+        engine: sharded(2, 2),
     });
 
     out
@@ -291,5 +402,16 @@ mod tests {
         assert!(preset("smoke").is_some());
         assert!(preset("fig3-cholesky").is_some());
         assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn recovery_presets_exercise_each_fault_class() {
+        let crash = preset("crash-sweep").unwrap();
+        assert!(crash.faults.p_crash > 0.0);
+        let pre = preset("preempt-1m").unwrap();
+        assert!(pre.faults.preempt.is_some());
+        let ckpt = preset("ckpt-vs-rep").unwrap();
+        assert!(ckpt.recovery.checkpoint.is_some());
+        assert_eq!(ckpt.policy, PolicySpec::ReplicateNone);
     }
 }

@@ -14,8 +14,8 @@ use appfit_core::{
     RandomPolicy, ReplicateAll, ReplicateNone, ReplicationPolicy,
 };
 use cluster_sim::{
-    simulate, simulate_sharded, CostModel, ShardedConfig, SimConfig, SimGraph, SimReport,
-    SyntheticSpec,
+    simulate, simulate_sharded, CostModel, RecoveryConfig, RecoveryStrategy, ShardedConfig,
+    SimConfig, SimGraph, SimReport, SyntheticSpec,
 };
 use fault_inject::{FaultModel, InjectionConfig, NoFaults, SeededInjector};
 use fit_model::{Fit, RateModel};
@@ -26,7 +26,9 @@ use crate::spec::{
     EngineSpec, EpochSpec, LookaheadSpec, ParseError, PolicySpec, ScenarioSpec, SyncSpec,
     TargetSpec, WorkloadSpec,
 };
-use crate::trace::{Divergence, Trace, TraceDecision, TraceEpoch, TraceError, TraceTiming};
+use crate::trace::{
+    Divergence, Trace, TraceDecision, TraceEpoch, TraceError, TraceRecovery, TraceTiming,
+};
 
 /// Anything that can go wrong building, running or replaying a
 /// scenario.
@@ -207,7 +209,7 @@ pub fn run_on(
         None => base,
     };
 
-    let inject = spec.faults.p_due > 0.0 || spec.faults.p_sdc > 0.0;
+    let inject = spec.faults.p_due > 0.0 || spec.faults.p_sdc > 0.0 || spec.faults.p_crash > 0.0;
     let faults: Arc<dyn FaultModel> = if inject {
         Arc::new(SeededInjector::new(spec.faults.seed))
     } else {
@@ -222,9 +224,22 @@ pub fn run_on(
             InjectionConfig::PerTask {
                 p_due: spec.faults.p_due,
                 p_sdc: spec.faults.p_sdc,
+                p_crash: spec.faults.p_crash,
             }
         } else {
             InjectionConfig::Disabled
+        },
+        recovery: RecoveryConfig {
+            crash_repair_secs: spec.faults.crash_repair_secs,
+            heartbeat_secs: spec.recovery.heartbeat_secs,
+            preempt: spec.faults.preempt,
+            strategy: match spec.recovery.checkpoint {
+                Some(ck) => RecoveryStrategy::Checkpoint {
+                    interval_secs: ck.interval_secs,
+                    snapshot_bytes: ck.snapshot_bytes,
+                },
+                None => RecoveryStrategy::Replication,
+            },
         },
     };
 
@@ -342,6 +357,11 @@ pub struct TraceOptions {
     /// stream). Lets `trace diff` localize makespan regressions to
     /// the earliest diverging task in virtual time.
     pub timing: bool,
+    /// Record the recovery stream (the Trace-v3 recovery flag, 17
+    /// bytes per crash/repair/preempt/restart/lag/checkpoint event).
+    /// Lets `trace diff` localize a divergence between crash-bearing
+    /// runs to the first recovery *action* that differs.
+    pub recovery: bool,
 }
 
 /// Runs a scenario with recording on: returns the outcome plus the
@@ -396,11 +416,25 @@ pub fn record_on_with(
         }
         timing
     });
+    let recovery = options.recovery.then(|| {
+        outcome
+            .report
+            .recovery()
+            .iter()
+            .map(|e| TraceRecovery {
+                time: e.time,
+                node: e.node,
+                task: e.task,
+                kind: e.kind.code(),
+            })
+            .collect()
+    });
     let trace = Trace {
         spec_text: spec.to_string(),
         makespan: outcome.report.makespan,
         epochs: state.epochs,
         timing,
+        recovery,
     };
     Ok((outcome, trace))
 }
@@ -429,8 +463,10 @@ pub fn replay(trace: &Trace) -> Result<ReplayReport, ScenarioError> {
     let (_outcome, fresh) = record_with(
         &spec,
         TraceOptions {
-            // Timed traces replay their per-task timelines bitwise too.
+            // Timed traces replay their per-task timelines bitwise too,
+            // and recovery-bearing traces their recovery streams.
             timing: trace.timing.is_some(),
+            recovery: trace.recovery.is_some(),
         },
     )?;
     match trace.divergence_from(&fresh) {
@@ -468,8 +504,10 @@ mod tests {
                 p_due: 0.01,
                 p_sdc: 0.02,
                 seed: 5,
+                ..FaultSpec::default()
             },
             policy,
+            recovery: crate::spec::RecoverySpec::default(),
             engine,
         }
     }
@@ -574,7 +612,14 @@ mod tests {
             spec.faults.seed = seed;
             spec.faults.p_due = 0.05;
             spec.faults.p_sdc = 0.1;
-            record_with(&spec, TraceOptions { timing: true }).expect("records")
+            record_with(
+                &spec,
+                TraceOptions {
+                    timing: true,
+                    ..TraceOptions::default()
+                },
+            )
+            .expect("records")
         };
         let (outcome_a, trace_a) = timed(5);
         let (outcome_b, trace_b) = timed(1234);
@@ -613,6 +658,48 @@ mod tests {
             .map(|(x, _)| x.task)
             .expect("some timeline differs");
         assert_eq!(timing.first_diverging_task, Some(expected));
+    }
+
+    #[test]
+    fn crash_bearing_record_replays_and_localizes_recovery_divergence() {
+        // A crash-bearing scenario recorded with the Trace-v3 recovery
+        // stream: the stream is non-empty, replays bitwise through
+        // bytes, and a doctored recovery event is what the diff
+        // reports — before any timing fallout.
+        let mut spec = tiny_spec(
+            EngineSpec::Sharded {
+                shards: 2,
+                epoch: EpochSpec::Auto,
+                threads: 2,
+                sync: SyncSpec::Epoch,
+            },
+            PolicySpec::AppFit {
+                target: TargetSpec::Fraction(0.5),
+            },
+        );
+        spec.name = "tiny-crash".into();
+        spec.faults.p_crash = 0.05;
+        spec.faults.crash_repair_secs = 5.0;
+        let (_, trace) = record_with(
+            &spec,
+            TraceOptions {
+                timing: true,
+                recovery: true,
+            },
+        )
+        .expect("records");
+        let events = trace.recovery.as_ref().expect("recovery recorded");
+        assert!(!events.is_empty(), "p-crash = 0.05 must crash something");
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("decodes");
+        assert_eq!(decoded.recovery, trace.recovery);
+        replay(&decoded).expect("crash-bearing replay is bitwise identical");
+
+        let mut doctored = decoded.clone();
+        doctored.recovery.as_mut().unwrap()[0].time += 1.0;
+        match replay(&doctored) {
+            Err(ScenarioError::Diverged(Divergence::Recovery { index: 0, .. })) => {}
+            other => panic!("expected recovery divergence, got {other:?}"),
+        }
     }
 
     #[test]

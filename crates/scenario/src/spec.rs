@@ -26,7 +26,7 @@
 //! streamed = false        # construction path (huge ⇒ streamed)
 //! [faults]
 //! multiplier = 10         # error-rate multiplier (the paper's 5×/10×)
-//! p-due = 0.005           # per-task crash probability (0 disables)
+//! p-due = 0.005           # per-task DUE probability (0 disables)
 //! p-sdc = 0.005           # per-task SDC probability (0 disables)
 //! seed = 2016
 //! [policy]
@@ -52,6 +52,24 @@
 //! may state its target as `target-fit` (absolute FIT) instead of
 //! `target-fraction`; `random` takes `probability` + `seed`, `periodic`
 //! takes `every`.
+//!
+//! # Fault and recovery knobs
+//!
+//! `[faults]` optionally grows the multi-class fault model (each key is
+//! rendered only when it departs from its default, so pre-recovery
+//! specs — including those embedded in old traces — parse unchanged):
+//! `p-crash` (per-task fail-stop node-crash probability, default 0),
+//! `crash-repair-secs` (outage length before a crashed node rejoins,
+//! default 30), and a preemptible-machine availability trace given as
+//! the trio `preempt-up-secs` / `preempt-down-secs` / `preempt-seed`
+//! (the first two must appear together; the seed defaults to 0).
+//!
+//! `[policy]` optionally grows the recovery side: `heartbeat-secs`
+//! (TeaMPI-style lag detection window for replicas) and the rival
+//! recovery strategy `recovery = checkpoint` with its required
+//! `ckpt-interval-secs` + `ckpt-snapshot-bytes` keys (`recovery =
+//! replication`, the paper's model, is the implied default and is
+//! never rendered).
 //!
 //! [`ScenarioSpec::parse`] and the [`core::fmt::Display`] rendering are
 //! exact inverses (property-fuzzed in `tests/spec_roundtrip.rs`).
@@ -191,13 +209,64 @@ pub struct FaultSpec {
     /// Error-rate multiplier on the Roadrunner base rates (the paper's
     /// 5×/10× scenarios).
     pub multiplier: f64,
-    /// Per-task crash (DUE) injection probability; 0 together with
-    /// `p_sdc = 0` disables injection.
+    /// Per-task detected-error (DUE) injection probability; injection
+    /// is disabled when all three probabilities are 0.
     pub p_due: f64,
     /// Per-task silent-corruption injection probability.
     pub p_sdc: f64,
+    /// Per-task fail-stop node-crash probability (`p-crash`; default
+    /// 0). A crash takes the whole machine down mid-execution: every
+    /// in-flight task on it is lost and re-dispatched after repair.
+    pub p_crash: f64,
     /// Injection seed.
     pub seed: u64,
+    /// Seconds a crashed node stays unavailable before rejoining
+    /// (`crash-repair-secs`; default 30).
+    pub crash_repair_secs: f64,
+    /// Preemptible-machine availability trace (`preempt-up-secs` /
+    /// `preempt-down-secs` / `preempt-seed`); `None` = dedicated
+    /// machines.
+    pub preempt: Option<cluster_sim::PreemptSpec>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            multiplier: 1.0,
+            p_due: 0.0,
+            p_sdc: 0.0,
+            p_crash: 0.0,
+            seed: 0,
+            crash_repair_secs: 30.0,
+            preempt: None,
+        }
+    }
+}
+
+/// Checkpoint/restart parameters (`recovery = checkpoint`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointSpec {
+    /// Kernel seconds between snapshots, per node
+    /// (`ckpt-interval-secs`).
+    pub interval_secs: f64,
+    /// Bytes written per snapshot (`ckpt-snapshot-bytes`).
+    pub snapshot_bytes: u64,
+}
+
+/// The recovery side of the policy section: what the runtime does
+/// about detected faults beyond the replication decision itself. Every
+/// field defaults to the paper's model (replication-only recovery, no
+/// lag detection) and is rendered only when it departs from it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoverySpec {
+    /// TeaMPI-style heartbeat window (`heartbeat-secs`): a replica
+    /// that cannot start within this many seconds of its primary is
+    /// declared lagging and abandoned.
+    pub heartbeat_secs: Option<f64>,
+    /// Checkpoint/restart as the rival recovery strategy for
+    /// unreplicated tasks (`recovery = checkpoint`); `None` keeps the
+    /// paper's replication-only model.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 /// An App_FIT reliability target.
@@ -302,6 +371,8 @@ pub struct ScenarioSpec {
     pub faults: FaultSpec,
     /// Replication policy.
     pub policy: PolicySpec,
+    /// Recovery-side knobs (rendered within `[policy]`).
+    pub recovery: RecoverySpec,
     /// Simulation engine.
     pub engine: EngineSpec,
 }
@@ -355,6 +426,19 @@ impl fmt::Display for ScenarioSpec {
         writeln!(f, "p-due = {}", fa.p_due)?;
         writeln!(f, "p-sdc = {}", fa.p_sdc)?;
         writeln!(f, "seed = {}", fa.seed)?;
+        // Recovery-era knobs render only when non-default, so
+        // pre-recovery specs (and traces embedding them) stay stable.
+        if fa.p_crash != 0.0 {
+            writeln!(f, "p-crash = {}", fa.p_crash)?;
+        }
+        if fa.crash_repair_secs != 30.0 {
+            writeln!(f, "crash-repair-secs = {}", fa.crash_repair_secs)?;
+        }
+        if let Some(p) = fa.preempt {
+            writeln!(f, "preempt-up-secs = {}", p.up_secs)?;
+            writeln!(f, "preempt-down-secs = {}", p.down_secs)?;
+            writeln!(f, "preempt-seed = {}", p.seed)?;
+        }
         writeln!(f, "[policy]")?;
         match self.policy {
             PolicySpec::ReplicateAll => writeln!(f, "kind = replicate-all")?,
@@ -375,6 +459,14 @@ impl fmt::Display for ScenarioSpec {
                     TargetSpec::Fit(x) => writeln!(f, "target-fit = {x}")?,
                 }
             }
+        }
+        if let Some(hb) = self.recovery.heartbeat_secs {
+            writeln!(f, "heartbeat-secs = {hb}")?;
+        }
+        if let Some(c) = self.recovery.checkpoint {
+            writeln!(f, "recovery = checkpoint")?;
+            writeln!(f, "ckpt-interval-secs = {}", c.interval_secs)?;
+            writeln!(f, "ckpt-snapshot-bytes = {}", c.snapshot_bytes)?;
         }
         writeln!(f, "[engine]")?;
         match self.engine {
@@ -660,6 +752,36 @@ impl ScenarioSpec {
                 let (l, v) = s.take("seed")?;
                 parse_num(l, v, "seed")?
             },
+            // Recovery-era knobs are optional (pre-recovery specs
+            // carry none of them) and default to the clean model.
+            p_crash: match s.take_opt("p-crash") {
+                Some((l, v)) => parse_num(l, v, "probability")?,
+                None => 0.0,
+            },
+            crash_repair_secs: match s.take_opt("crash-repair-secs") {
+                Some((l, v)) => parse_num(l, v, "duration")?,
+                None => 30.0,
+            },
+            preempt: match (
+                s.take_opt("preempt-up-secs"),
+                s.take_opt("preempt-down-secs"),
+            ) {
+                (Some((lu, up)), Some((ld, down))) => Some(cluster_sim::PreemptSpec {
+                    up_secs: parse_num(lu, up, "duration")?,
+                    down_secs: parse_num(ld, down, "duration")?,
+                    seed: match s.take_opt("preempt-seed") {
+                        Some((l, v)) => parse_num(l, v, "seed")?,
+                        None => 0,
+                    },
+                }),
+                (None, None) => None,
+                (Some((l, _)), None) | (None, Some((l, _))) => {
+                    return err(
+                        l,
+                        "preempt-up-secs and preempt-down-secs must be given together",
+                    )
+                }
+            },
         };
         s.finish()?;
 
@@ -701,6 +823,26 @@ impl ScenarioSpec {
                 PolicySpec::AppFit { target }
             }
             other => return err(kind_line, format!("unknown policy kind `{other}`")),
+        };
+        let recovery = RecoverySpec {
+            heartbeat_secs: match s.take_opt("heartbeat-secs") {
+                Some((l, v)) => Some(parse_num(l, v, "duration")?),
+                None => None,
+            },
+            checkpoint: match s.take_opt("recovery") {
+                None | Some((_, "replication")) => None,
+                Some((_, "checkpoint")) => Some(CheckpointSpec {
+                    interval_secs: {
+                        let (l, v) = s.take("ckpt-interval-secs")?;
+                        parse_num(l, v, "duration")?
+                    },
+                    snapshot_bytes: {
+                        let (l, v) = s.take("ckpt-snapshot-bytes")?;
+                        parse_num(l, v, "byte count")?
+                    },
+                }),
+                Some((l, other)) => return err(l, format!("unknown recovery strategy `{other}`")),
+            },
         };
         s.finish()?;
 
@@ -758,6 +900,7 @@ impl ScenarioSpec {
             workload,
             faults,
             policy,
+            recovery,
             engine,
         };
         spec.validate()
@@ -792,9 +935,44 @@ impl ScenarioSpec {
         if !positive(fa.multiplier) {
             return Err("error-rate multiplier must be positive".into());
         }
-        for (what, p) in [("p-due", fa.p_due), ("p-sdc", fa.p_sdc)] {
+        for (what, p) in [
+            ("p-due", fa.p_due),
+            ("p-sdc", fa.p_sdc),
+            ("p-crash", fa.p_crash),
+        ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{what} must be a probability, got {p}"));
+            }
+        }
+        if !positive(fa.crash_repair_secs) || !fa.crash_repair_secs.is_finite() {
+            return Err(format!(
+                "crash-repair-secs must be positive and finite, got {}",
+                fa.crash_repair_secs
+            ));
+        }
+        if let Some(p) = fa.preempt {
+            for (what, v) in [
+                ("preempt-up-secs", p.up_secs),
+                ("preempt-down-secs", p.down_secs),
+            ] {
+                if !positive(v) || !v.is_finite() {
+                    return Err(format!("{what} must be positive and finite, got {v}"));
+                }
+            }
+        }
+        if let Some(hb) = self.recovery.heartbeat_secs {
+            if !positive(hb) || !hb.is_finite() {
+                return Err(format!(
+                    "heartbeat-secs must be positive and finite, got {hb}"
+                ));
+            }
+        }
+        if let Some(ck) = self.recovery.checkpoint {
+            if !positive(ck.interval_secs) || !ck.interval_secs.is_finite() {
+                return Err(format!(
+                    "ckpt-interval-secs must be positive and finite, got {}",
+                    ck.interval_secs
+                ));
             }
         }
         match self.policy {
@@ -887,10 +1065,12 @@ mod tests {
                 p_due: 0.01,
                 p_sdc: 0.02,
                 seed: 7,
+                ..FaultSpec::default()
             },
             policy: PolicySpec::AppFit {
                 target: TargetSpec::Fraction(0.5),
             },
+            recovery: RecoverySpec::default(),
             engine: EngineSpec::Sharded {
                 shards: 4,
                 epoch: EpochSpec::Auto,
@@ -1045,5 +1225,124 @@ mod tests {
                 "lookahead-ns = {bad} must be rejected"
             );
         }
+    }
+
+    /// A spec exercising every recovery-era knob at once.
+    fn recovery_sample() -> ScenarioSpec {
+        let mut spec = sample();
+        spec.faults.p_crash = 0.05;
+        spec.faults.crash_repair_secs = 12.5;
+        spec.faults.preempt = Some(cluster_sim::PreemptSpec {
+            up_secs: 3600.0,
+            down_secs: 60.0,
+            seed: 9,
+        });
+        spec.recovery = RecoverySpec {
+            heartbeat_secs: Some(0.75),
+            checkpoint: Some(CheckpointSpec {
+                interval_secs: 30.0,
+                snapshot_bytes: 1 << 20,
+            }),
+        };
+        spec
+    }
+
+    #[test]
+    fn recovery_knobs_round_trip_canonically() {
+        let spec = recovery_sample();
+        let text = spec.to_string();
+        let back = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_string(), "canonical rendering");
+    }
+
+    #[test]
+    fn default_recovery_knobs_are_omitted_from_rendering() {
+        // Pre-recovery embedded trace specs must replay unchanged, so
+        // the defaults may never surface in the canonical text.
+        let text = sample().to_string();
+        for key in [
+            "p-crash",
+            "crash-repair-secs",
+            "preempt-",
+            "heartbeat-secs",
+            "recovery =",
+            "ckpt-",
+        ] {
+            assert!(!text.contains(key), "default rendering leaked `{key}`");
+        }
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back.faults.p_crash, 0.0);
+        assert_eq!(back.faults.crash_repair_secs, 30.0);
+        assert_eq!(back.faults.preempt, None);
+        assert_eq!(back.recovery, RecoverySpec::default());
+    }
+
+    #[test]
+    fn preempt_knobs_must_come_as_a_pair() {
+        let text = sample()
+            .to_string()
+            .replace("seed = 7", "seed = 7\npreempt-up-secs = 100");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("together"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_requires_its_parameters() {
+        let spec = recovery_sample();
+        let text = spec
+            .to_string()
+            .lines()
+            .filter(|l| !l.starts_with("ckpt-interval-secs"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("ckpt-interval-secs"), "{e}");
+    }
+
+    #[test]
+    fn unknown_recovery_strategy_is_rejected() {
+        let text = recovery_sample()
+            .to_string()
+            .replace("recovery = checkpoint", "recovery = prayer");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("prayer"), "{e}");
+    }
+
+    #[test]
+    fn replication_strategy_is_the_explicit_default() {
+        // `recovery = replication` parses to the same spec as omitting
+        // the key entirely (and therefore renders without it).
+        let text = sample()
+            .to_string()
+            .replace("target-fraction", "recovery = replication\ntarget-fraction");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn invalid_recovery_values_are_rejected() {
+        let mut spec = recovery_sample();
+        spec.faults.p_crash = 1.5;
+        assert!(spec.validate().is_err(), "p-crash > 1");
+        let mut spec = recovery_sample();
+        spec.faults.crash_repair_secs = 0.0;
+        assert!(spec.validate().is_err(), "zero repair time");
+        let mut spec = recovery_sample();
+        spec.faults.preempt = Some(cluster_sim::PreemptSpec {
+            up_secs: -1.0,
+            down_secs: 60.0,
+            seed: 0,
+        });
+        assert!(spec.validate().is_err(), "negative preempt up time");
+        let mut spec = recovery_sample();
+        spec.recovery.heartbeat_secs = Some(f64::NAN);
+        assert!(spec.validate().is_err(), "NaN heartbeat");
+        let mut spec = recovery_sample();
+        spec.recovery.checkpoint = Some(CheckpointSpec {
+            interval_secs: f64::INFINITY,
+            snapshot_bytes: 1,
+        });
+        assert!(spec.validate().is_err(), "infinite checkpoint interval");
     }
 }

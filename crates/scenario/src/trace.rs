@@ -21,6 +21,17 @@
 //! (~3× the decision stream) but lets [`diff`] *localize* a makespan
 //! regression: the first task, in virtual time, whose timeline
 //! diverged. Version-1 traces decode unchanged (no timing).
+//!
+//! **Trace v3** optionally embeds the **recovery stream** — every
+//! crash, repair, preemption, restart, lagging-replica abandonment and
+//! checkpoint the engine recorded, in canonical order — behind a
+//! second header flag ([`Trace::recovery`]). 17 bytes per event, and
+//! recovery streams are short (events, not tasks), so the cost is
+//! negligible; in exchange [`diff`] localizes a divergence between two
+//! crash-bearing runs to the **first recovery action** that differs,
+//! which is almost always the actual root cause (per-task timing then
+//! only confirms the downstream fallout). Version-1 and version-2
+//! traces decode unchanged (no recovery stream).
 
 use std::fmt;
 
@@ -75,6 +86,23 @@ impl TraceTiming {
     }
 }
 
+/// One recorded recovery event (Trace v3): the wire form of a
+/// [`cluster_sim::RecoveryRecord`], kept as a plain
+/// `(time, node, task, kind)` tuple so the trace format does not
+/// depend on the engine's enum layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecovery {
+    /// Virtual time of the event (seconds).
+    pub time: f64,
+    /// The machine involved.
+    pub node: u32,
+    /// The task involved (`u32::MAX` for machine-level events such as
+    /// crashes, repairs and preemptions).
+    pub task: u32,
+    /// The event class — [`cluster_sim::RecoveryKind::code`].
+    pub kind: u8,
+}
+
 /// A recorded scenario execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
@@ -86,6 +114,10 @@ pub struct Trace {
     pub epochs: Vec<TraceEpoch>,
     /// Per-task timing when recorded with the Trace-v2 timing flag.
     pub timing: Option<TraceTiming>,
+    /// The recovery stream (crashes, repairs, preemptions, restarts,
+    /// lagging replicas, checkpoints) when recorded with the Trace-v3
+    /// recovery flag, in the engine's canonical order.
+    pub recovery: Option<Vec<TraceRecovery>>,
 }
 
 /// Where two traces first disagree.
@@ -107,6 +139,19 @@ pub enum Divergence {
     EpochState {
         /// Epoch index.
         index: usize,
+    },
+    /// One trace carries a recovery stream and the other does not.
+    RecoveryPresence,
+    /// Recovery event `index` (into the canonical stream) differs —
+    /// the first recovery *action* where the two executions split,
+    /// reported before any timing fallout.
+    Recovery {
+        /// Index into the canonical recovery stream.
+        index: usize,
+        /// Left event, if present.
+        a: Option<TraceRecovery>,
+        /// Right event, if present.
+        b: Option<TraceRecovery>,
     },
     /// One trace carries per-task timing and the other does not.
     TimingPresence,
@@ -154,6 +199,29 @@ impl fmt::Display for Divergence {
             Divergence::EpochState { index } => {
                 write!(f, "accounting state after epoch {index} differs")
             }
+            Divergence::RecoveryPresence => {
+                write!(f, "only one trace carries a recovery stream")
+            }
+            Divergence::Recovery { index, a, b } => {
+                write!(f, "recovery event #{index} differs: ")?;
+                let show = |f: &mut fmt::Formatter<'_>, e: &TraceRecovery| {
+                    write!(
+                        f,
+                        "kind {} at t={} node {} task {}",
+                        e.kind, e.time, e.node, e.task
+                    )
+                };
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        show(f, a)?;
+                        write!(f, " vs ")?;
+                        show(f, b)
+                    }
+                    (Some(_), None) => write!(f, "right stream ends early"),
+                    (None, Some(_)) => write!(f, "left stream ends early"),
+                    (None, None) => unreachable!("divergence needs a side"),
+                }
+            }
             Divergence::TimingPresence => {
                 write!(f, "only one trace carries per-task timing")
             }
@@ -181,11 +249,13 @@ impl fmt::Display for TraceError {
 impl std::error::Error for TraceError {}
 
 const MAGIC: &[u8; 4] = b"APFT";
-/// Current format version. Version 1 (no flags, no timing) still
-/// decodes.
-const VERSION: u16 = 2;
+/// Current format version. Version 1 (no flags, no timing) and
+/// version 2 (timing flag only) still decode.
+const VERSION: u16 = 3;
 /// Header flag: the trace carries per-task timing.
 const FLAG_TIMING: u16 = 1;
+/// Header flag (v3): the trace carries the recovery stream.
+const FLAG_RECOVERY: u16 = 2;
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -249,6 +319,7 @@ impl Trace {
     /// Serializes to the compact binary layout.
     pub fn to_bytes(&self) -> Vec<u8> {
         let timing_len = self.timing.as_ref().map_or(0, |t| 4 + t.len() * 16);
+        let recovery_len = self.recovery.as_ref().map_or(0, |r| 4 + r.len() * 17);
         let mut out = Vec::with_capacity(
             4 + 2
                 + 2
@@ -258,15 +329,18 @@ impl Trace {
                 + 4
                 + self.decision_count() * 13
                 + self.epochs.len() * 28
-                + timing_len,
+                + timing_len
+                + recovery_len,
         );
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
-        let flags = if self.timing.is_some() {
-            FLAG_TIMING
-        } else {
-            0
-        };
+        let mut flags = 0u16;
+        if self.timing.is_some() {
+            flags |= FLAG_TIMING;
+        }
+        if self.recovery.is_some() {
+            flags |= FLAG_RECOVERY;
+        }
         out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&(self.spec_text.len() as u32).to_le_bytes());
         out.extend_from_slice(self.spec_text.as_bytes());
@@ -295,6 +369,15 @@ impl Trace {
                 out.extend_from_slice(&c.to_bits().to_le_bytes());
             }
         }
+        if let Some(recovery) = &self.recovery {
+            out.extend_from_slice(&(recovery.len() as u32).to_le_bytes());
+            for e in recovery {
+                out.extend_from_slice(&e.time.to_bits().to_le_bytes());
+                out.extend_from_slice(&e.node.to_le_bytes());
+                out.extend_from_slice(&e.task.to_le_bytes());
+                out.push(e.kind);
+            }
+        }
         out
     }
 
@@ -311,11 +394,20 @@ impl Trace {
             )));
         }
         let flags = r.u16("flags")?;
+        // Each version introduced its flags: v1 none, v2 timing,
+        // v3 recovery. A flag ahead of its version is malformed.
+        let known = match version {
+            1 => 0,
+            2 => FLAG_TIMING,
+            _ => FLAG_TIMING | FLAG_RECOVERY,
+        };
         if version == 1 && flags != 0 {
             return Err(TraceError("version-1 traces carry no flags".into()));
         }
-        if flags & !FLAG_TIMING != 0 {
-            return Err(TraceError(format!("unknown header flags {flags:#06x}")));
+        if flags & !known != 0 {
+            return Err(TraceError(format!(
+                "unknown header flags {flags:#06x} for version {version}"
+            )));
         }
         let spec_len = r.u32("spec length")? as usize;
         let spec_text = String::from_utf8(r.take(spec_len, "spec text")?.to_vec())
@@ -363,6 +455,21 @@ impl Trace {
         } else {
             None
         };
+        let recovery = if flags & FLAG_RECOVERY != 0 {
+            let n = r.u32("recovery count")? as usize;
+            let mut events = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                events.push(TraceRecovery {
+                    time: r.f64("recovery time")?,
+                    node: r.u32("recovery node")?,
+                    task: r.u32("recovery task")?,
+                    kind: r.take(1, "recovery kind")?[0],
+                });
+            }
+            Some(events)
+        } else {
+            None
+        };
         if r.pos != bytes.len() {
             return Err(TraceError(format!(
                 "{} trailing bytes after the last section",
@@ -374,6 +481,7 @@ impl Trace {
             makespan,
             epochs,
             timing,
+            recovery,
         })
     }
 
@@ -420,6 +528,41 @@ impl Trace {
             return Some(Divergence::EpochState {
                 index: self.epochs.len().min(other.epochs.len()),
             });
+        }
+        // Recovery before timing: when two crash-bearing runs split,
+        // the first differing recovery *action* is the root cause and
+        // the timing drift is its fallout.
+        match (&self.recovery, &other.recovery) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                let mut i = 0usize;
+                let (mut a_it, mut b_it) = (a.iter(), b.iter());
+                loop {
+                    match (a_it.next(), b_it.next()) {
+                        (None, None) => break,
+                        (x, y) => {
+                            let same = match (x, y) {
+                                (Some(x), Some(y)) => {
+                                    x.time.to_bits() == y.time.to_bits()
+                                        && x.node == y.node
+                                        && x.task == y.task
+                                        && x.kind == y.kind
+                                }
+                                _ => false,
+                            };
+                            if !same {
+                                return Some(Divergence::Recovery {
+                                    index: i,
+                                    a: x.copied(),
+                                    b: y.copied(),
+                                });
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => return Some(Divergence::RecoveryPresence),
         }
         match (&self.timing, &other.timing) {
             (None, None) => {}
@@ -508,6 +651,9 @@ pub struct TraceDiff {
     pub makespan: (f64, f64),
     /// Per-task timing comparison when both traces recorded it.
     pub timing: Option<TimingDiff>,
+    /// Recovery-stream event counts on each side, when both traces
+    /// recorded the stream (Trace v3).
+    pub recovery_events: Option<(usize, usize)>,
 }
 
 impl TraceDiff {
@@ -549,6 +695,9 @@ impl fmt::Display for TraceDiff {
             "  makespan[s]: {} vs {}",
             self.makespan.0, self.makespan.1
         )?;
+        if let Some((ra, rb)) = self.recovery_events {
+            writeln!(f, "  recovery:    {ra} vs {rb} events recorded")?;
+        }
         if let Some(t) = &self.timing {
             writeln!(
                 f,
@@ -624,6 +773,10 @@ pub fn diff(a: &Trace, b: &Trace) -> TraceDiff {
         final_fit: (a.final_fit(), b.final_fit()),
         makespan: (a.makespan, b.makespan),
         timing,
+        recovery_events: match (&a.recovery, &b.recovery) {
+            (Some(ra), Some(rb)) => Some((ra.len(), rb.len())),
+            _ => None,
+        },
     }
 }
 
@@ -665,6 +818,7 @@ mod tests {
                 },
             ],
             timing: None,
+            recovery: None,
         }
     }
 
@@ -674,6 +828,31 @@ mod tests {
             dispatched: vec![0.0, 1.0, 2.5],
             completed: vec![1.0, 2.5, 4.0],
         });
+        t
+    }
+
+    fn sample_recovered() -> Trace {
+        let mut t = sample_timed();
+        t.recovery = Some(vec![
+            TraceRecovery {
+                time: 1.5,
+                node: 1,
+                task: u32::MAX,
+                kind: 1, // crash
+            },
+            TraceRecovery {
+                time: 1.5,
+                node: 1,
+                task: 2,
+                kind: 3, // restart
+            },
+            TraceRecovery {
+                time: 6.5,
+                node: 1,
+                task: u32::MAX,
+                kind: 0, // repair
+            },
+        ]);
         t
     }
 
@@ -740,8 +919,8 @@ mod tests {
 
     #[test]
     fn version_1_traces_still_decode() {
-        // A v1 trace is the v2 layout with version 1, zero flags and
-        // no timing block.
+        // A v1 trace is the current layout with version 1, zero flags
+        // and no optional sections.
         let mut bytes = sample().to_bytes();
         bytes[4] = 1; // version low byte
         let back = Trace::from_bytes(&bytes).expect("v1 decodes");
@@ -750,6 +929,81 @@ mod tests {
         let mut flagged = bytes.clone();
         flagged[6] = 1;
         assert!(Trace::from_bytes(&flagged).is_err());
+    }
+
+    #[test]
+    fn version_2_traces_still_decode() {
+        // A v2 trace: version 2, timing flag, no recovery section.
+        let mut bytes = sample_timed().to_bytes();
+        bytes[4] = 2;
+        let back = Trace::from_bytes(&bytes).expect("v2 decodes");
+        assert_eq!(back, sample_timed());
+        // …but a v2 trace claiming the recovery flag is malformed.
+        let mut flagged = bytes.clone();
+        flagged[6] |= 2;
+        assert!(Trace::from_bytes(&flagged).is_err());
+    }
+
+    #[test]
+    fn recovered_traces_round_trip() {
+        let t = sample_recovered();
+        let back = Trace::from_bytes(&t.to_bytes()).expect("decodes");
+        assert_eq!(t, back);
+        assert!(t.divergence_from(&back).is_none());
+        // Truncating inside the recovery block is detected.
+        let bytes = t.to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn recovery_divergence_is_reported_before_timing_fallout() {
+        let a = sample_recovered();
+        let mut b = sample_recovered();
+        // A crash at a different node *and* the timing drift it would
+        // cause: the diff must point at the recovery action, not the
+        // downstream timeline.
+        b.recovery.as_mut().unwrap()[0].node = 2;
+        b.timing.as_mut().unwrap().completed[1] = 99.0;
+        match a.divergence_from(&b) {
+            Some(Divergence::Recovery {
+                index: 0,
+                a: Some(x),
+                b: Some(y),
+            }) => {
+                assert_eq!(x.node, 1);
+                assert_eq!(y.node, 2);
+            }
+            other => panic!("expected recovery divergence, got {other:?}"),
+        }
+        // An extra trailing event is an early-ending stream.
+        let mut c = sample_recovered();
+        c.recovery.as_mut().unwrap().push(TraceRecovery {
+            time: 7.0,
+            node: 0,
+            task: u32::MAX,
+            kind: 2,
+        });
+        match a.divergence_from(&c) {
+            Some(Divergence::Recovery {
+                index: 3,
+                a: None,
+                b: Some(_),
+            }) => {}
+            other => panic!("expected stream-length divergence, got {other:?}"),
+        }
+        let d = diff(&a, &c);
+        assert_eq!(d.recovery_events, Some((3, 4)));
+    }
+
+    #[test]
+    fn recovery_presence_mismatch_diverges() {
+        let with = sample_recovered();
+        let without = sample_timed();
+        assert_eq!(
+            with.divergence_from(&without),
+            Some(Divergence::RecoveryPresence)
+        );
+        assert!(diff(&with, &without).recovery_events.is_none());
     }
 
     #[test]

@@ -84,8 +84,22 @@ fn infinite_lookahead_reproduces_epoch_engine_on_smoke_and_fig3() {
 #[test]
 fn finite_lookahead_differs_from_epoch_and_records_deterministically() {
     let smoke = preset("smoke-lookahead").expect("catalog preset");
-    let (a, trace_a) = record_with(&smoke, TraceOptions { timing: true }).expect("records");
-    let (b, trace_b) = record_with(&smoke, TraceOptions { timing: true }).expect("records");
+    let (a, trace_a) = record_with(
+        &smoke,
+        TraceOptions {
+            timing: true,
+            recovery: false,
+        },
+    )
+    .expect("records");
+    let (b, trace_b) = record_with(
+        &smoke,
+        TraceOptions {
+            timing: true,
+            recovery: false,
+        },
+    )
+    .expect("records");
     assert_eq!(a.report, b.report, "lookahead runs are deterministic");
     assert!(trace_a.divergence_from(&trace_b).is_none());
 

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use scenario::{
-    EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, ScenarioSpec, SyncSpec,
-    TargetSpec, TopologySpec, WorkloadSpec,
+    CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, RecoverySpec,
+    ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 use workloads::Scale;
 
@@ -92,6 +92,38 @@ fn sync(sel: u8, x: u32) -> SyncSpec {
     }
 }
 
+/// Fuzzes the recovery-era `[faults]` knobs: sometimes the clean-model
+/// defaults (which must render to *no* extra lines), sometimes a
+/// scripted crash probability, a non-default repair time and a
+/// preemption trace.
+fn fault_extras(sel: u8, x: u32) -> (f64, f64, Option<cluster_sim::PreemptSpec>) {
+    let p_crash = if sel & 1 != 0 { frac(x) } else { 0.0 };
+    let repair = if sel & 2 != 0 {
+        0.5 + f64::from(x % 10_000) / 7.0
+    } else {
+        30.0
+    };
+    let preempt = (sel & 4 != 0).then(|| cluster_sim::PreemptSpec {
+        up_secs: 1.0 + f64::from(x % 100_000) / 3.0,
+        down_secs: 0.5 + f64::from(x % 7_919) / 5.0,
+        seed: u64::from(x),
+    });
+    (p_crash, repair, preempt)
+}
+
+/// Fuzzes the `[policy]` recovery knobs: heartbeat detection on or
+/// off, and checkpoint/restart versus the default replication
+/// strategy.
+fn recovery(sel: u8, x: u32) -> RecoverySpec {
+    RecoverySpec {
+        heartbeat_secs: (sel & 1 != 0).then(|| 0.1 + f64::from(x % 1_000) / 9.0),
+        checkpoint: (sel & 2 != 0).then(|| CheckpointSpec {
+            interval_secs: 1.0 + f64::from(x % 10_000) / 11.0,
+            snapshot_bytes: u64::from(x % (1 << 26)),
+        }),
+    }
+}
+
 fn engine(sel: u8, x: u32) -> EngineSpec {
     match sel % 3 {
         0 => EngineSpec::Sequential,
@@ -118,8 +150,10 @@ proptest! {
         pol in (any::<u8>(), any::<u32>()),
         eng in (any::<u8>(), any::<u32>()),
         faults in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+        rec in (any::<u8>(), any::<u32>(), any::<u8>(), any::<u32>()),
         name_sel in any::<u16>(),
     ) {
+        let (p_crash, crash_repair_secs, preempt) = fault_extras(rec.0, rec.1);
         let spec = ScenarioSpec {
             name: format!("fuzz-{name_sel}"),
             topology: topology(topo),
@@ -129,8 +163,12 @@ proptest! {
                 p_due: frac(faults.1),
                 p_sdc: frac(faults.2),
                 seed: faults.3,
+                p_crash,
+                crash_repair_secs,
+                preempt,
             },
             policy: policy(pol.0, pol.1),
+            recovery: recovery(rec.2, rec.3),
             engine: engine(eng.0, eng.1),
         };
         // The generators only produce semantically valid specs.

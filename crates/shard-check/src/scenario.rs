@@ -22,7 +22,8 @@ use appfit_core::{
 };
 use cluster_sim::{
     simulate_delayed, simulate_sharded, simulate_sharded_scheduled, ClusterSpec, CostModel,
-    NodeSpec, ShardScheduler, ShardedConfig, SimConfig, SimGraph, SimReport, SyntheticSpec,
+    NodeSpec, RecoveryConfig, ShardScheduler, ShardedConfig, SimConfig, SimGraph, SimReport,
+    SyntheticSpec,
 };
 use fault_inject::{InjectionConfig, NoFaults, SeededInjector};
 use fit_model::{Fit, RateModel};
@@ -87,6 +88,11 @@ pub struct Scenario {
     pub policy: ScenarioPolicy,
     /// Fault-injection seed, if faults are enabled.
     pub fault_seed: Option<u64>,
+    /// Per-task fail-stop crash probability (needs `fault_seed`).
+    /// Crashes mark the machine down, lose its in-flight tasks and
+    /// re-dispatch them after repair — the recovery protocol whose
+    /// control events the checker interleaves alongside completions.
+    pub p_crash: f64,
     /// Zero-latency fabric (the degenerate interconnect); otherwise a
     /// 0.15 s wire latency.
     pub zero_latency: bool,
@@ -183,8 +189,15 @@ impl Scenario {
                 Some(_) => InjectionConfig::PerTask {
                     p_due: 0.04,
                     p_sdc: 0.06,
+                    p_crash: self.p_crash,
                 },
                 None => InjectionConfig::Disabled,
+            },
+            recovery: RecoveryConfig {
+                // Short enough that repair control events land inside
+                // the checked window, not after every task finished.
+                crash_repair_secs: 5.0,
+                ..RecoveryConfig::default()
             },
         };
         (cfg, appfit, sink)
@@ -280,6 +293,7 @@ pub fn catalog() -> Vec<Scenario> {
             epoch: 3.0,
             policy: ScenarioPolicy::ReplicateNone,
             fault_seed: None,
+            p_crash: 0.0,
             zero_latency: false,
         },
         Scenario {
@@ -289,6 +303,7 @@ pub fn catalog() -> Vec<Scenario> {
             epoch: 3.0,
             policy: ScenarioPolicy::AppFit(0.5),
             fault_seed: None,
+            p_crash: 0.0,
             zero_latency: false,
         },
         Scenario {
@@ -298,16 +313,28 @@ pub fn catalog() -> Vec<Scenario> {
             epoch: 3.0,
             policy: ScenarioPolicy::ReplicateAll,
             fault_seed: Some(5),
+            p_crash: 0.0,
             zero_latency: false,
         },
         Scenario {
             name: "pair8-zerolat".into(),
-            graph: pair8,
+            graph: pair8.clone(),
             shards: 2,
             epoch: 3.0,
             policy: ScenarioPolicy::ReplicateNone,
             fault_seed: None,
+            p_crash: 0.0,
             zero_latency: true,
+        },
+        Scenario {
+            name: "pair8-crash".into(),
+            graph: pair8,
+            shards: 2,
+            epoch: 3.0,
+            policy: ScenarioPolicy::AppFit(0.5),
+            fault_seed: Some(11),
+            p_crash: 0.35,
+            zero_latency: false,
         },
         Scenario {
             name: "tri12-appfit".into(),
@@ -316,6 +343,7 @@ pub fn catalog() -> Vec<Scenario> {
             epoch: 3.0,
             policy: ScenarioPolicy::AppFit(0.4),
             fault_seed: Some(3),
+            p_crash: 0.0,
             zero_latency: false,
         },
     ]
@@ -374,6 +402,30 @@ mod tests {
                 assert_eq!(oracle, natural, "{} {:?}", s.name, mode);
                 let threaded = s.run_natural(mode, s.shards, 2);
                 assert_eq!(oracle, threaded, "{} {:?} threaded", s.name, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_scenario_actually_crashes_and_conforms() {
+        // The crash-bearing catalog entry is only worth checking if
+        // its seed really fires: the natural run must record a crash,
+        // its restarts and the repair, and still match the oracle in
+        // both modes at 1 and 2 threads.
+        let s = find("pair8-crash").unwrap();
+        let outcome = s.run_natural(Mode::Epoch, s.shards, 1);
+        let kinds: Vec<_> = outcome.report.recovery().iter().map(|e| e.kind).collect();
+        assert!(
+            kinds.contains(&cluster_sim::RecoveryKind::Crash),
+            "pair8-crash must crash: {kinds:?}"
+        );
+        assert!(kinds.contains(&cluster_sim::RecoveryKind::Restart));
+        assert!(kinds.contains(&cluster_sim::RecoveryKind::Repair));
+        for mode in Mode::ALL {
+            let oracle = s.oracle(mode);
+            for threads in [1, 2] {
+                let got = s.run_natural(mode, s.shards, threads);
+                assert_eq!(oracle, got, "{:?} threads={threads}", mode);
             }
         }
     }

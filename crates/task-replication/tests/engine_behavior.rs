@@ -63,6 +63,7 @@ fn run_with_plan(
             InjectionConfig::PerTask {
                 p_due: 0.0,
                 p_sdc: 0.0,
+                p_crash: 0.0,
             },
         ),
     );
@@ -183,6 +184,7 @@ fn crash_retries_exhausted_reports_crashed() {
                 InjectionConfig::PerTask {
                     p_due: 0.0,
                     p_sdc: 0.0,
+                    p_crash: 0.0,
                 },
             )
             .with_max_crash_retries(2),
@@ -205,6 +207,7 @@ fn unreplicated_sdc_silently_corrupts_output() {
             InjectionConfig::PerTask {
                 p_due: 0.0,
                 p_sdc: 0.0,
+                p_crash: 0.0,
             },
         ),
     );
@@ -239,6 +242,7 @@ fn unreplicated_due_reports_crash() {
             InjectionConfig::PerTask {
                 p_due: 0.0,
                 p_sdc: 0.0,
+                p_crash: 0.0,
             },
         ),
     );
@@ -294,6 +298,7 @@ fn probabilistic_injection_under_full_replication_preserves_results() {
             InjectionConfig::PerTask {
                 p_due: 0.1,
                 p_sdc: 0.25,
+                p_crash: 0.0,
             },
         ),
     );

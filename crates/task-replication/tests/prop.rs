@@ -54,12 +54,18 @@ proptest! {
     ) {
         let (graph, mut arena, want) = affine_chain(8, 16);
         let plan = FaultPlan::new();
+        // A plan holds one fault per (task, attempt) — inserting a
+        // duplicate is a scripting bug it debug-asserts on — so keep
+        // the first draw for each slot.
+        let mut seen = std::collections::HashSet::new();
         for (task, attempt, is_due) in &script {
-            plan.insert(
-                *task,
-                *attempt,
-                if *is_due { ErrorClass::Due } else { ErrorClass::Sdc },
-            );
+            if seen.insert((*task, *attempt)) {
+                plan.insert(
+                    *task,
+                    *attempt,
+                    if *is_due { ErrorClass::Due } else { ErrorClass::Sdc },
+                );
+            }
         }
         let engine = Arc::new(
             ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
@@ -88,7 +94,7 @@ proptest! {
             ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
                 .with_faults(
                     Arc::new(SeededInjector::new(seed)),
-                    InjectionConfig::PerTask { p_due: p / 2.0, p_sdc: p / 2.0 },
+                    InjectionConfig::PerTask { p_due: p / 2.0, p_sdc: p / 2.0, p_crash: 0.0 },
                 )
                 .with_max_crash_retries(8),
         );
@@ -116,7 +122,7 @@ proptest! {
             ReplicationEngine::new(Arc::new(ReplicateAll), RateModel::roadrunner())
                 .with_faults(
                     Arc::new(SeededInjector::new(seed)),
-                    InjectionConfig::PerTask { p_due: 0.1, p_sdc: 0.1 },
+                    InjectionConfig::PerTask { p_due: 0.1, p_sdc: 0.1, p_crash: 0.0 },
                 ),
         );
         let report = Executor::sequential().with_hooks(engine).run(&graph, &mut arena);

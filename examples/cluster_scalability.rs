@@ -36,8 +36,10 @@ fn shared_memory_cell(bench: &str, cores: usize, p_fault: f64) -> ScenarioSpec {
             p_due: p_fault / 2.0,
             p_sdc: p_fault / 2.0,
             seed: 7,
+            ..FaultSpec::default()
         },
         policy: PolicySpec::ReplicateAll,
+        recovery: appfit::scenario::RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     }
 }
@@ -58,8 +60,10 @@ fn distributed_cell(nodes: usize) -> ScenarioSpec {
             p_due: 0.0,
             p_sdc: 0.0,
             seed: 7,
+            ..FaultSpec::default()
         },
         policy: PolicySpec::ReplicateAll,
+        recovery: appfit::scenario::RecoverySpec::default(),
         engine: EngineSpec::Sequential,
     }
 }

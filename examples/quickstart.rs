@@ -60,6 +60,7 @@ fn main() {
             InjectionConfig::PerTask {
                 p_due: 0.02,
                 p_sdc: 0.05,
+                p_crash: 0.0,
             },
         ),
     );

@@ -44,6 +44,7 @@ fn run_scenario(name: &str, plan: FaultPlan) {
             InjectionConfig::PerTask {
                 p_due: 0.0,
                 p_sdc: 0.0,
+                p_crash: 0.0,
             },
         ),
     );

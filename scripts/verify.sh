@@ -21,7 +21,13 @@
 #  10. the shard-protocol model-checking gate in release mode:
 #      `shard-check --exhaustive-small` fully enumerates (post-pruning)
 #      every catalog scenario's interleavings in both sync modes
-#      against the sequential oracle, under a wall-clock budget.
+#      against the sequential oracle, under a wall-clock budget —
+#      including the crash-bearing `pair8-crash` entry, so the
+#      recovery protocol is exhausted too,
+#  11. a crash-recovery smoke: record → replay → diff of the
+#      `crash-sweep` preset with the recovery-event stream embedded
+#      (Trace v3), proving crash/repair/restart actions replay
+#      bitwise across processes.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -62,5 +68,11 @@ cargo run --release -q -p repro-bench --bin repro -- scenario run smoke-lookahea
 
 echo "==> shard-protocol model checking (release, exhaustive-small)"
 cargo run --release -q -p shard-check --bin shard-check -- --exhaustive-small --budget-secs 120
+
+echo "==> crash-recovery smoke (record → replay → diff, recovery stream)"
+crash_trace="target/verify-crash.trace"
+cargo run --release -q -p repro-bench --bin repro -- scenario record crash-sweep --out "$crash_trace" --recovery
+cargo run --release -q -p repro-bench --bin repro -- scenario replay "$crash_trace"
+cargo run --release -q -p repro-bench --bin repro -- scenario diff "$crash_trace" "$crash_trace"
 
 echo "verify: all gates green"

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use appfit::fault::{InjectionConfig, SeededInjector};
 use appfit::fit::{Fit, RateModel};
 use appfit::heuristic::{AppFit, AppFitConfig};
-use appfit::sim::{simulate, ClusterSpec, CostModel, SimConfig, SimGraph};
+use appfit::sim::{simulate, ClusterSpec, CostModel, RecoveryConfig, SimConfig, SimGraph};
 use appfit::workloads::{all_workloads, Scale, Workload, WorkloadKind};
 
 fn simulate_workload(w: &dyn Workload, seed: u64) -> appfit::sim::SimReport {
@@ -38,7 +38,9 @@ fn simulate_workload(w: &dyn Workload, seed: u64) -> appfit::sim::SimReport {
             injection: InjectionConfig::PerTask {
                 p_due: 0.01,
                 p_sdc: 0.02,
+                p_crash: 0.0,
             },
+            recovery: RecoveryConfig::default(),
         },
     )
 }

@@ -48,6 +48,7 @@ fn every_workload_verifies_under_complete_replication_with_faults() {
                 InjectionConfig::PerTask {
                     p_due: 0.02,
                     p_sdc: 0.05,
+                    p_crash: 0.0,
                 },
             ),
         );
@@ -115,6 +116,7 @@ fn uncovered_sdc_actually_corrupts_results() {
                 InjectionConfig::PerTask {
                     p_due: 0.0,
                     p_sdc: 0.3,
+                    p_crash: 0.0,
                 },
             ),
         );
