@@ -46,6 +46,12 @@ pub struct SimTask {
 /// array per direction, and a parallel `(producer, bytes)` pair of
 /// columns for transfer sources — so a million-task graph is a handful
 /// of large allocations instead of three small `Vec`s per task.
+///
+/// A built graph is immutable and, by construction, `Send + Sync` —
+/// the scenario service shares one `Arc<SimGraph>` across concurrent
+/// runs on different worker threads. The assertion below turns any
+/// future interior-mutability addition (a `Cell`-cached statistic,
+/// say) into a compile error rather than a service data race.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimGraph {
     tasks: Vec<SimTask>,
@@ -443,6 +449,13 @@ impl SimGraph {
         b.finish()
     }
 }
+
+/// Compile-time guarantee that [`SimGraph`] stays shareable across
+/// threads (see the type-level docs).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimGraph>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -100,7 +100,7 @@ impl RecordStore {
     /// Stores `rec` in `slot` (every field except `rec.task`, whose
     /// mapping the caller owns). Each slot is written exactly once per
     /// *attempt*; re-dispatching a crash-lost task must call
-    /// [`RecordStore::reset`] first.
+    /// `RecordStore::reset` first.
     #[inline]
     pub fn set(&mut self, slot: usize, rec: &SimTaskRecord) {
         debug_assert!(!self.filled.get(slot), "slot {slot} written twice");

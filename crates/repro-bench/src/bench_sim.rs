@@ -16,10 +16,18 @@
 //! seconds-scale `smoke` preset (one repetition) and validates the
 //! emitted JSON against the schema — the CI hook that keeps the
 //! measurement machinery itself from rotting.
+//!
+//! The run ends with the **serve fan-out** measurement: [`FANOUT_RUNS`]
+//! policy variants of one Huge preset submitted through an in-process
+//! scenario service, so the JSON also tracks how well the resident
+//! service's graph catalog amortizes construction across runs (the
+//! `serve_fanout` block; `graph_builds` must stay 1).
 
 use std::fs;
 use std::process::Command;
 use std::time::Instant;
+
+use scenario_serve::{RunOptions, Service, ServiceConfig};
 
 use crate::context::TextTable;
 
@@ -46,6 +54,16 @@ pub const FULL_PRESETS: &[&str] = &[
     "crash-sweep",
     "ckpt-vs-rep",
 ];
+
+/// Variants in the serve-fanout measurement (and its amortization
+/// denominator): enough runs that one graph build is decisively
+/// amortized, small enough to stay minutes-scale at Huge size.
+pub const FANOUT_RUNS: usize = 8;
+
+/// Base preset whose graph the full fan-out shares: the biggest
+/// sequential-engine scenario, so the catalog's single build is the
+/// expensive part being amortized.
+pub const FULL_FANOUT_BASE: &str = "stress-huge-cholesky";
 
 /// One preset's measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +105,75 @@ pub fn measure_preset(name: &str) -> Result<BenchResult, String> {
         tasks_per_sec: tasks as f64 / sim_secs.max(1e-9),
         peak_rss_bytes: peak_rss_bytes(),
         makespan: outcome.report.makespan,
+    })
+}
+
+/// The scenario-service fan-out measurement: many policy variants
+/// against **one** cached graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutResult {
+    /// Preset whose graph the variants share.
+    pub base: String,
+    /// Number of policy variants run.
+    pub runs: usize,
+    /// Graphs the catalog actually built (the point: `1`).
+    pub graph_builds: u64,
+    /// Wall seconds spent building that one graph.
+    pub build_secs: f64,
+    /// Wall seconds for the whole fan-out (build + all runs).
+    pub wall_secs: f64,
+    /// Total simulated tasks across all variants.
+    pub tasks: usize,
+    /// `tasks / wall_secs` — throughput with the build amortized in.
+    pub amortized_tasks_per_sec: f64,
+    /// Estimated wall-clock ratio vs rebuilding the graph per run:
+    /// `(wall + (runs - 1) · build) / wall`.
+    pub build_amortization: f64,
+}
+
+/// Runs `runs` AppFit target-fraction variants of `base` through an
+/// in-process scenario service and measures the fan-out.
+///
+/// All variants share the base's topology and workload, so the graph
+/// catalog must build exactly one graph; the `[sweep]` grid driver
+/// spreads the cells over the service's worker pool. This is the
+/// serving-path benchmark: it tracks how well the resident service
+/// amortizes graph construction across concurrent runs.
+pub fn measure_serve_fanout(base: &str, runs: usize) -> Result<FanoutResult, String> {
+    let mut spec =
+        scenario::preset(base).ok_or_else(|| format!("unknown fan-out base preset `{base}`"))?;
+    spec.name = format!("{}-fanout", spec.name);
+    // Distinct in-range fractions; the base policy must be
+    // AppFit-Fraction for a target-fraction sweep to validate.
+    spec.sweep = Some(scenario::SweepSection {
+        target_fraction: (1..=runs).map(|k| k as f64 / (runs + 1) as f64).collect(),
+        ..scenario::SweepSection::default()
+    });
+    spec.validate()
+        .map_err(|e| format!("{base} fan-out: {e}"))?;
+    let service = Service::new(ServiceConfig::default());
+    let t0 = Instant::now();
+    let results = service.run_all(&spec, RunOptions::default());
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut tasks = 0usize;
+    for result in &results {
+        let run = result
+            .as_ref()
+            .map_err(|e| format!("{base} fan-out: {e}"))?;
+        tasks += run.outcome.report.task_count();
+    }
+    let stats = service.catalog().stats();
+    Ok(FanoutResult {
+        base: base.to_string(),
+        runs: results.len(),
+        graph_builds: stats.builds,
+        build_secs: stats.build_secs,
+        wall_secs,
+        tasks,
+        amortized_tasks_per_sec: tasks as f64 / wall_secs.max(1e-9),
+        build_amortization: (wall_secs
+            + (results.len().saturating_sub(1)) as f64 * stats.build_secs)
+            / wall_secs.max(1e-9),
     })
 }
 
@@ -156,13 +243,69 @@ pub fn from_wire(line: &str) -> Result<BenchResult, String> {
     Ok(r)
 }
 
+/// Serializes the fan-out result as its own wire line (the `--fanout`
+/// child prints this, the parent parses it back).
+pub fn fanout_to_wire(r: &FanoutResult) -> String {
+    format!(
+        "bench-sim-fanout base={} runs={} graph_builds={} build_secs={} wall_secs={} tasks={} \
+         amortized_tasks_per_sec={} build_amortization={}",
+        r.base,
+        r.runs,
+        r.graph_builds,
+        r.build_secs,
+        r.wall_secs,
+        r.tasks,
+        r.amortized_tasks_per_sec,
+        r.build_amortization
+    )
+}
+
+/// Parses a child's `bench-sim-fanout` line.
+pub fn fanout_from_wire(line: &str) -> Result<FanoutResult, String> {
+    let body = line
+        .trim()
+        .strip_prefix("bench-sim-fanout ")
+        .ok_or_else(|| format!("not a bench-sim fanout line: `{line}`"))?;
+    let mut r = FanoutResult {
+        base: String::new(),
+        runs: 0,
+        graph_builds: 0,
+        build_secs: 0.0,
+        wall_secs: 0.0,
+        tasks: 0,
+        amortized_tasks_per_sec: 0.0,
+        build_amortization: 0.0,
+    };
+    for pair in body.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad pair `{pair}`"))?;
+        let num = || v.parse::<f64>().map_err(|e| format!("{k}: {e}"));
+        match k {
+            "base" => r.base = v.to_string(),
+            "runs" => r.runs = v.parse().map_err(|e| format!("{k}: {e}"))?,
+            "graph_builds" => r.graph_builds = v.parse().map_err(|e| format!("{k}: {e}"))?,
+            "build_secs" => r.build_secs = num()?,
+            "wall_secs" => r.wall_secs = num()?,
+            "tasks" => r.tasks = v.parse().map_err(|e| format!("{k}: {e}"))?,
+            "amortized_tasks_per_sec" => r.amortized_tasks_per_sec = num()?,
+            "build_amortization" => r.build_amortization = num()?,
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    if r.base.is_empty() {
+        return Err("fanout line missing `base`".into());
+    }
+    Ok(r)
+}
+
 /// Renders results as the `BENCH_sim.json` document.
 ///
 /// Hand-rolled (the workspace vendors no JSON library): floats use
 /// Rust's shortest-round-trip `Display`, which is valid JSON for every
 /// finite value, and non-finite values are clamped to `0` so the file
 /// always parses.
-pub fn to_json(results: &[BenchResult]) -> String {
+pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String {
     fn f(x: f64) -> String {
         if x.is_finite() {
             format!("{x}")
@@ -195,7 +338,26 @@ pub fn to_json(results: &[BenchResult]) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(fo) = fanout {
+        out.push_str(",\n  \"serve_fanout\": {\n");
+        out.push_str(&format!("    \"base\": \"{}\",\n", fo.base));
+        out.push_str(&format!("    \"runs\": {},\n", fo.runs));
+        out.push_str(&format!("    \"graph_builds\": {},\n", fo.graph_builds));
+        out.push_str(&format!("    \"build_secs\": {},\n", f(fo.build_secs)));
+        out.push_str(&format!("    \"wall_secs\": {},\n", f(fo.wall_secs)));
+        out.push_str(&format!("    \"tasks\": {},\n", fo.tasks));
+        out.push_str(&format!(
+            "    \"amortized_tasks_per_sec\": {},\n",
+            f(fo.amortized_tasks_per_sec)
+        ));
+        out.push_str(&format!(
+            "    \"build_amortization\": {}\n",
+            f(fo.build_amortization)
+        ));
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -217,9 +379,26 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         "\"tasks_per_sec\"",
         "\"peak_rss_bytes\"",
         "\"makespan\"",
+        "\"serve_fanout\"",
+        "\"runs\"",
+        "\"graph_builds\"",
+        "\"amortized_tasks_per_sec\"",
+        "\"build_amortization\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing key {key}"));
+        }
+    }
+    // The fan-out's whole point is one shared build; a value other
+    // than 1 means the catalog stopped deduplicating.
+    for line in json.lines().filter(|l| l.contains("\"graph_builds\"")) {
+        let value = line
+            .split(':')
+            .nth(1)
+            .map(|v| v.trim().trim_end_matches(','))
+            .ok_or("malformed graph_builds line")?;
+        if value != "1" {
+            return Err(format!("serve_fanout.graph_builds is {value}, want 1"));
         }
     }
     // Every tasks_per_sec must be a positive finite literal.
@@ -237,6 +416,22 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders the fan-out result as a one-paragraph summary.
+pub fn render_fanout(fo: &FanoutResult) -> String {
+    format!(
+        "Scenario-service fan-out: {} runs over one cached `{}` graph \
+         ({} build, {:.2} s) in {:.2} s — {:.0} tasks/s amortized, \
+         {:.2}× vs rebuilding per run\n",
+        fo.runs,
+        fo.base,
+        fo.graph_builds,
+        fo.build_secs,
+        fo.wall_secs,
+        fo.amortized_tasks_per_sec,
+        fo.build_amortization,
+    )
 }
 
 /// Renders results as a text table for the terminal.
@@ -283,6 +478,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut out_path = "BENCH_sim.json".to_string();
     let mut one: Option<String> = None;
+    let mut fanout_base: Option<String> = None;
     let mut repeat = 3usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -300,6 +496,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             "--one" => one = Some(it.next().ok_or("--one needs a preset name")?.clone()),
+            "--fanout" => {
+                fanout_base = Some(it.next().ok_or("--fanout needs a preset name")?.clone());
+            }
             other => return Err(format!("unexpected bench-sim argument `{other}`")),
         }
     }
@@ -307,6 +506,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(name) = one {
         let result = measure_preset(&name)?;
         println!("{}", to_wire(&result));
+        return Ok(());
+    }
+    if let Some(base) = fanout_base {
+        // The internal child mode for the fan-out measurement — its
+        // own address space, like `--one`.
+        let result = measure_serve_fanout(&base, FANOUT_RUNS)?;
+        println!("{}", fanout_to_wire(&result));
         return Ok(());
     }
 
@@ -349,13 +555,36 @@ pub fn run(args: &[String]) -> Result<(), String> {
         results.push(best.expect("at least one repetition"));
     }
 
-    let json = to_json(&results);
+    // The serving-path measurement: its own child process so the
+    // service's worker threads and cached graph don't contaminate any
+    // preset's peak-RSS reading.
+    let base = if smoke { "smoke" } else { FULL_FANOUT_BASE };
+    eprintln!("bench-sim: measuring serve fan-out over `{base}` …");
+    let output = Command::new(&exe)
+        .args(["bench-sim", "--fanout", base])
+        .output()
+        .map_err(|e| format!("spawning fan-out child: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "fan-out child failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("bench-sim-fanout "))
+        .ok_or("fan-out child printed no result line")?;
+    let fanout = fanout_from_wire(line)?;
+
+    let json = to_json(&results, Some(&fanout));
     if smoke {
         validate_schema(&json).map_err(|e| format!("BENCH_sim.json schema violation: {e}"))?;
         eprintln!("bench-sim: schema OK");
     }
     fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("{}", render(&results));
+    println!("{}", render_fanout(&fanout));
     println!("wrote {out_path}");
     Ok(())
 }
@@ -376,15 +605,30 @@ mod tests {
         }
     }
 
+    fn sample_fanout() -> FanoutResult {
+        FanoutResult {
+            base: "stress-huge-cholesky".into(),
+            runs: 8,
+            graph_builds: 1,
+            build_secs: 2.5,
+            wall_secs: 40.0,
+            tasks: 8 * 1_100_000,
+            amortized_tasks_per_sec: 220_000.0,
+            build_amortization: 1.44,
+        }
+    }
+
     #[test]
     fn wire_round_trips() {
         let r = sample();
         assert_eq!(from_wire(&to_wire(&r)).unwrap(), r);
+        let fo = sample_fanout();
+        assert_eq!(fanout_from_wire(&fanout_to_wire(&fo)).unwrap(), fo);
     }
 
     #[test]
     fn json_passes_schema() {
-        let json = to_json(&[sample()]);
+        let json = to_json(&[sample()], Some(&sample_fanout()));
         validate_schema(&json).unwrap();
     }
 
@@ -394,7 +638,13 @@ mod tests {
         let mut bad = sample();
         bad.tasks_per_sec = f64::NAN;
         // NaN clamps to 0 in the writer, which the validator rejects.
-        assert!(validate_schema(&to_json(&[bad])).is_err());
+        assert!(validate_schema(&to_json(&[bad], Some(&sample_fanout()))).is_err());
+        // No fan-out block at all is a schema violation too.
+        assert!(validate_schema(&to_json(&[sample()], None)).is_err());
+        // As is a fan-out that rebuilt the graph per run.
+        let mut rebuilt = sample_fanout();
+        rebuilt.graph_builds = 8;
+        assert!(validate_schema(&to_json(&[sample()], Some(&rebuilt))).is_err());
     }
 
     #[test]
@@ -403,5 +653,18 @@ mod tests {
         assert!(r.tasks > 0);
         assert!(r.tasks_per_sec > 0.0);
         assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn smoke_fanout_shares_one_graph() {
+        let fo = measure_serve_fanout("smoke", 4).expect("fan-out runs");
+        assert_eq!(fo.runs, 4);
+        assert_eq!(fo.graph_builds, 1, "all variants share one cached graph");
+        assert!(fo.tasks > 0);
+        assert!(fo.amortized_tasks_per_sec > 0.0);
+        assert!(
+            fo.build_amortization >= 1.0,
+            "sharing a build can only help"
+        );
     }
 }

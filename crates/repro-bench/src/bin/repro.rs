@@ -26,6 +26,17 @@
 //!   scenario replay F             re-run F's spec, assert bitwise identity
 //!   scenario diff A B             compare two traces
 //!
+//! resident scenario service:
+//!   serve <--socket PATH | --stdio> [--workers N] [--catalog-capacity N]
+//!                                 run the server (shared graph
+//!                                 catalog + worker pool) until EOF
+//!                                 or a shutdown request
+//!   serve-submit SOCKET NAME [--trace] [--timing] [--recovery] [--out-dir DIR]
+//!                                 submit a preset or spec file (its
+//!                                 whole [sweep] grid, if any) to a
+//!                                 running server
+//!   serve-shutdown SOCKET         stop a running server
+//!
 //! perf tracking:
 //!   bench-sim [--smoke] [--out F] [--repeat N]
 //!                                 measure sweep-1m + stress-huge-*
@@ -45,7 +56,9 @@
 use std::process::ExitCode;
 
 use repro_bench::context::ExperimentScale;
-use repro_bench::{ablations, bench_sim, fig1, fig3, fig4, fig5, fig6, scenario_cli, table1};
+use repro_bench::{
+    ablations, bench_sim, fig1, fig3, fig4, fig5, fig6, scenario_cli, serve_cli, table1,
+};
 
 struct Options {
     scale: ExperimentScale,
@@ -231,6 +244,21 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("scenario") {
         return match scenario_cli::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let serve_dispatch = match args.first().map(String::as_str) {
+        Some("serve") => Some(serve_cli::serve(&args[1..])),
+        Some("serve-submit") => Some(serve_cli::submit(&args[1..])),
+        Some("serve-shutdown") => Some(serve_cli::shutdown(&args[1..])),
+        _ => None,
+    };
+    if let Some(result) = serve_dispatch {
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -1,15 +1,19 @@
 //! CLI for the cluster-scale parallel sweep (see `repro_bench::sweep`).
 //!
-//! Every grid cell is a declarative scenario spec; `--emit-scenarios`
-//! prints them instead of running, so any cell can be saved and
-//! re-driven (or recorded/replayed) standalone via
+//! A thin client: the whole grid is one `[sweep]`-bearing scenario
+//! spec submitted to an in-process scenario service, which shares one
+//! graph per machine count across the cells. `--emit-grid` prints that
+//! single grid spec (submit it to a resident `repro serve` yourself);
+//! `--emit-scenarios` prints the expanded per-cell specs, so any cell
+//! can be saved and re-driven (or recorded/replayed) standalone via
 //! `repro scenario run <file>`.
 //!
 //! ```text
 //! sweep                 # full grid: up to 1024 machines, ≥1M tasks
 //! sweep --quick         # seconds-scale smoke grid
 //! sweep --machines 512 --tasks-per-machine 2048 --shards 16
-//! sweep --quick --emit-scenarios   # print the grid's scenario specs
+//! sweep --quick --emit-grid        # print the single [sweep] grid spec
+//! sweep --quick --emit-scenarios   # print the expanded per-cell specs
 //! ```
 
 use repro_bench::sweep::{render, run, SweepSpec};
@@ -17,11 +21,13 @@ use repro_bench::sweep::{render, run, SweepSpec};
 fn main() {
     let mut spec = SweepSpec::full();
     let mut emit_scenarios = false;
+    let mut emit_grid = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => spec = SweepSpec::quick(),
             "--emit-scenarios" => emit_scenarios = true,
+            "--emit-grid" => emit_grid = true,
             "--machines" => {
                 let v: usize = parse(args.next(), "--machines");
                 if v == 0 {
@@ -44,7 +50,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sweep [--quick] [--machines N] [--tasks-per-machine N] \
-                     [--shards N] [--threads N] [--seed N] [--emit-scenarios]"
+                     [--shards N] [--threads N] [--seed N] [--emit-grid] [--emit-scenarios]"
                 );
                 return;
             }
@@ -54,16 +60,18 @@ fn main() {
             }
         }
     }
+    if emit_grid {
+        // The whole sweep as one [sweep]-bearing spec — submit it to a
+        // resident server: `repro serve-submit <socket> <file>`.
+        println!("{}", spec.grid_scenario());
+        return;
+    }
     if emit_scenarios {
-        // One self-contained spec per grid cell, separated by blank
-        // lines; pipe through `split` or save individually for
+        // One self-contained spec per expanded grid cell, separated by
+        // blank lines; pipe through `split` or save individually for
         // `repro scenario run/record`.
-        for &machines in &spec.machine_counts {
-            for &fault_rate in &spec.fault_rates {
-                for &target in &spec.target_fractions {
-                    println!("{}", spec.cell_scenario(machines, fault_rate, target));
-                }
-            }
+        for cell in spec.grid_scenario().expand() {
+            println!("{cell}");
         }
         return;
     }

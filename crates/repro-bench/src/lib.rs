@@ -38,6 +38,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod scenario_cli;
+pub mod serve_cli;
 pub mod sweep;
 pub mod table1;
 

@@ -13,7 +13,7 @@ use scenario::{
 use crate::context::pct;
 
 /// Resolves `name` as a preset first, then as a spec-file path.
-fn resolve(name: &str) -> Result<ScenarioSpec, String> {
+pub(crate) fn resolve(name: &str) -> Result<ScenarioSpec, String> {
     if let Some(spec) = preset(name) {
         return Ok(spec);
     }
@@ -66,41 +66,53 @@ fn summarize(spec: &ScenarioSpec, outcome: &Outcome, wall_secs: f64) -> String {
     out
 }
 
+/// The `scenario list` table: one row per catalog preset. Extracted
+/// so tests can pin that every preset appears (presets silently
+/// missing from the listing or the README were a real drift bug).
+pub fn render_list() -> String {
+    let mut out = format!("{:<22} {:>9}  workload\n", "preset", "engine");
+    for p in presets() {
+        let engine = match p.engine {
+            scenario::EngineSpec::Sequential => "seq".to_string(),
+            scenario::EngineSpec::Sharded { shards, sync, .. } => match sync {
+                scenario::SyncSpec::Epoch => format!("shard×{shards}"),
+                scenario::SyncSpec::Lookahead(_) => format!("look×{shards}"),
+            },
+        };
+        let workload = match &p.workload {
+            scenario::WorkloadSpec::Bench {
+                bench,
+                scale,
+                streamed,
+            } => format!(
+                "{bench} ({scale:?}{})",
+                if *streamed { ", streamed" } else { "" }
+            ),
+            scenario::WorkloadSpec::Synthetic {
+                chains_per_node,
+                tasks_per_chain,
+                ..
+            } => format!(
+                "synthetic ({} tasks)",
+                p.topology.nodes * chains_per_node * tasks_per_chain
+            ),
+        };
+        let grid = match &p.sweep {
+            Some(_) => format!(" [sweep, {} cells]", p.sweep_cells()),
+            None => String::new(),
+        };
+        out.push_str(&format!("{:<22} {engine:>9}  {workload}{grid}\n", p.name));
+    }
+    out
+}
+
 /// Entry point for `repro scenario <args>`.
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let usage = "usage: repro scenario <list | show NAME | run NAME | record NAME --out FILE [--timing] [--recovery] | replay FILE | diff A B>";
     let sub = args.first().map(String::as_str).ok_or(usage)?;
     match sub {
         "list" => {
-            println!("{:<22} {:>9}  workload", "preset", "engine");
-            for p in presets() {
-                let engine = match p.engine {
-                    scenario::EngineSpec::Sequential => "seq".to_string(),
-                    scenario::EngineSpec::Sharded { shards, sync, .. } => match sync {
-                        scenario::SyncSpec::Epoch => format!("shard×{shards}"),
-                        scenario::SyncSpec::Lookahead(_) => format!("look×{shards}"),
-                    },
-                };
-                let workload = match &p.workload {
-                    scenario::WorkloadSpec::Bench {
-                        bench,
-                        scale,
-                        streamed,
-                    } => format!(
-                        "{bench} ({scale:?}{})",
-                        if *streamed { ", streamed" } else { "" }
-                    ),
-                    scenario::WorkloadSpec::Synthetic {
-                        chains_per_node,
-                        tasks_per_chain,
-                        ..
-                    } => format!(
-                        "synthetic ({} tasks)",
-                        p.topology.nodes * chains_per_node * tasks_per_chain
-                    ),
-                };
-                println!("{:<22} {engine:>9}  {workload}", p.name);
-            }
+            print!("{}", render_list());
             Ok(())
         }
         "show" => {
@@ -269,5 +281,30 @@ mod tests {
     fn list_and_show() {
         run_cli(&["list".into()]).expect("lists");
         run_cli(&["show".into(), "fig6-linpack".into()]).expect("shows");
+    }
+
+    #[test]
+    fn list_covers_every_preset() {
+        let listing = render_list();
+        for name in scenario::preset_names() {
+            assert!(
+                listing.lines().any(|l| l.starts_with(&name)),
+                "preset `{name}` missing from `repro scenario list`"
+            );
+        }
+    }
+
+    #[test]
+    fn readme_documents_every_preset() {
+        // The docs-drift gate: every catalog preset must appear in the
+        // README's preset table (PR 7 shipped three presets that
+        // silently skipped it).
+        let readme = include_str!("../../../README.md");
+        for name in scenario::preset_names() {
+            assert!(
+                readme.contains(&format!("`{name}`")),
+                "preset `{name}` missing from the README preset table"
+            );
+        }
     }
 }

@@ -1,0 +1,256 @@
+//! The `repro serve…` subcommand family: run the resident scenario
+//! service (`serve`), submit presets or spec files to a running server
+//! (`serve-submit`), and stop it (`serve-shutdown`).
+//!
+//! The server half is a thin shell around `scenario_serve`: it builds
+//! a [`Service`] from the CLI flags and hands the transport to
+//! `serve_unix` (socket) or `serve_stdio` (pipes). The client half
+//! reuses the same line protocol through [`Client`], so everything
+//! observable here is covered by the scenario-serve conformance tests.
+
+use std::sync::Arc;
+
+use scenario_serve::{serve_stdio, Client, Service, ServiceConfig, SubmitOptions};
+
+use crate::scenario_cli::resolve;
+
+const SERVE_USAGE: &str =
+    "usage: repro serve <--socket PATH | --stdio> [--workers N] [--catalog-capacity N]";
+const SUBMIT_USAGE: &str =
+    "usage: repro serve-submit SOCKET NAME [--trace] [--timing] [--recovery] [--out-dir DIR]";
+const SHUTDOWN_USAGE: &str = "usage: repro serve-shutdown SOCKET";
+
+/// Entry point for `repro serve <args>`: runs a resident server until
+/// EOF (stdio) or a `shutdown` request (socket).
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut config = ServiceConfig::default();
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(rest.next().ok_or("--socket needs a path")?.clone());
+            }
+            "--stdio" => stdio = true,
+            "--workers" => {
+                config.workers = parse_num(rest.next(), "--workers")?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--catalog-capacity" => {
+                config.catalog.capacity = parse_num(rest.next(), "--catalog-capacity")?;
+                if config.catalog.capacity == 0 {
+                    return Err("--catalog-capacity must be at least 1".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unexpected serve argument `{other}`\n{SERVE_USAGE}"
+                ))
+            }
+        }
+    }
+    match (socket, stdio) {
+        (Some(path), false) => {
+            let service = Arc::new(Service::new(config));
+            eprintln!(
+                "serve: listening on {path} with {} workers (stop with `repro serve-shutdown {path}`)",
+                service.workers()
+            );
+            serve_at_socket(service, &path)
+        }
+        (None, true) => {
+            let service = Service::new(config);
+            serve_stdio(&service)
+                .map(|_| ())
+                .map_err(|e| format!("stdio serve loop: {e}"))
+        }
+        (Some(_), true) => Err(format!("--socket and --stdio are exclusive\n{SERVE_USAGE}")),
+        (None, false) => Err(SERVE_USAGE.into()),
+    }
+}
+
+#[cfg(unix)]
+fn serve_at_socket(service: Arc<Service>, path: &str) -> Result<(), String> {
+    scenario_serve::serve_unix(service, std::path::Path::new(path))
+        .map_err(|e| format!("socket serve loop on {path}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn serve_at_socket(_service: Arc<Service>, _path: &str) -> Result<(), String> {
+    Err("--socket needs Unix domain sockets; use --stdio on this platform".into())
+}
+
+/// Entry point for `repro serve-submit <args>`: resolves NAME like
+/// `repro scenario` (preset first, spec file second), submits it over
+/// the socket, and prints one summary line per grid cell.
+pub fn submit(args: &[String]) -> Result<(), String> {
+    let socket = args.first().ok_or(SUBMIT_USAGE)?.clone();
+    let name = args.get(1).ok_or(SUBMIT_USAGE)?.clone();
+    let mut options = SubmitOptions::default();
+    let mut out_dir: Option<String> = None;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--trace" => options.trace = true,
+            "--timing" => options.timing = true,
+            "--recovery" => options.recovery = true,
+            "--out-dir" => {
+                out_dir = Some(rest.next().ok_or("--out-dir needs a directory")?.clone());
+            }
+            other => {
+                return Err(format!(
+                    "unexpected serve-submit argument `{other}`\n{SUBMIT_USAGE}"
+                ))
+            }
+        }
+    }
+    if out_dir.is_some() && !options.trace {
+        // Traces are the only per-cell artifact; an output directory
+        // without them would silently stay empty.
+        return Err("--out-dir needs --trace".into());
+    }
+    let spec = resolve(&name)?;
+    let mut client = connect(&socket)?;
+    let replies = client
+        .submit(&spec.to_string(), options)
+        .map_err(|e| format!("submitting `{}`: {e}", spec.name))?;
+    let total = replies.len();
+    for (k, reply) in replies.iter().enumerate() {
+        let s = &reply.summary;
+        let mut line = format!(
+            "[{}/{total}] {}: {} tasks, makespan {:.3} s, {} recovery events",
+            k + 1,
+            s.name,
+            s.tasks,
+            f64::from_bits(s.makespan_bits),
+            s.recovery_events,
+        );
+        if let Some(appfit) = &s.appfit {
+            line.push_str(&format!(
+                ", App_FIT {:.4} ({}/{} replicated)",
+                f64::from_bits(appfit.fit_bits),
+                appfit.replicated,
+                appfit.decided,
+            ));
+        }
+        println!("{line}");
+        if let Some(dir) = &out_dir {
+            let bytes = reply.trace.as_ref().ok_or("server omitted a trace")?;
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            let path = std::path::Path::new(dir).join(format!("{}.trace", s.name));
+            std::fs::write(&path, bytes).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("  trace: {} bytes → {}", bytes.len(), path.display());
+        }
+    }
+    Ok(())
+}
+
+/// Entry point for `repro serve-shutdown <args>`.
+pub fn shutdown(args: &[String]) -> Result<(), String> {
+    let socket = args.first().ok_or(SHUTDOWN_USAGE)?;
+    if args.len() > 1 {
+        return Err(SHUTDOWN_USAGE.into());
+    }
+    let client = connect(socket)?;
+    client
+        .shutdown()
+        .map_err(|e| format!("shutting down {socket}: {e}"))?;
+    println!("server at {socket} shut down");
+    Ok(())
+}
+
+#[cfg(unix)]
+fn connect(
+    socket: &str,
+) -> Result<
+    Client<std::io::BufReader<std::os::unix::net::UnixStream>, std::os::unix::net::UnixStream>,
+    String,
+> {
+    Client::connect_unix(std::path::Path::new(socket))
+        .map_err(|e| format!("connecting to {socket}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn connect(socket: &str) -> Result<Client<std::io::Empty, std::io::Sink>, String> {
+    let _ = socket;
+    Err("serve-submit/serve-shutdown need Unix domain sockets on this platform".into())
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> Result<usize, String> {
+    v.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a numeric argument"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_validation_rejects_bad_invocations() {
+        assert!(serve(&[]).is_err(), "needs a transport");
+        assert!(
+            serve(&["--socket".into(), "x".into(), "--stdio".into()]).is_err(),
+            "transports are exclusive"
+        );
+        assert!(serve(&["--workers".into(), "0".into()]).is_err());
+        assert!(submit(&["sock".into()]).is_err(), "needs a scenario name");
+        assert!(
+            submit(&[
+                "sock".into(),
+                "smoke".into(),
+                "--out-dir".into(),
+                "d".into()
+            ])
+            .is_err(),
+            "--out-dir without --trace"
+        );
+        assert!(shutdown(&[]).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn submit_and_shutdown_against_a_live_server() {
+        let dir = std::env::temp_dir().join(format!("repro-serve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("cli.sock");
+        let sock_str = sock.to_str().unwrap().to_string();
+
+        let server = {
+            let args = vec![
+                "--socket".to_string(),
+                sock_str.clone(),
+                "--workers".to_string(),
+                "2".to_string(),
+            ];
+            std::thread::spawn(move || serve(&args))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !sock.exists() {
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let traces = dir.join("traces");
+        submit(&[
+            sock_str.clone(),
+            "grid-smoke".into(),
+            "--trace".into(),
+            "--recovery".into(),
+            "--out-dir".into(),
+            traces.to_str().unwrap().to_string(),
+        ])
+        .expect("submit succeeds");
+        let written = std::fs::read_dir(&traces).unwrap().count();
+        assert_eq!(
+            written, 8,
+            "one trace file per grid-smoke cell, named by cell"
+        );
+
+        shutdown(&[sock_str]).expect("clean shutdown");
+        server.join().expect("server thread").expect("clean exit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

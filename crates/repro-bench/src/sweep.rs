@@ -1,35 +1,32 @@
-//! The cluster-scale parallel sweep driver.
+//! The cluster-scale parallel sweep driver — a thin client of the
+//! scenario service.
 //!
-//! Fans a grid of **(machine count × fault rate × App_FIT target)**
-//! configurations across worker threads. Every grid cell is expressed
-//! as a declarative [`scenario::ScenarioSpec`] — the same description
-//! the `repro scenario` subcommands and the examples consume — and
-//! executed through [`scenario::run_on`] over a per-machine-count
-//! graph shared across the cells (building a million-task graph once
-//! instead of once per cell). This is the experiment regime the
-//! paper-scale figure drivers cannot reach — millions of tasks over
-//! thousands of simulated machines — and the consumer the sharded
-//! engine and the scenario subsystem exist for.
+//! A sweep is one `[sweep]`-bearing [`scenario::ScenarioSpec`]: a grid
+//! of **(machine count × fault rate × App_FIT target)** knob lists the
+//! scenario crate expands cartesian-style in canonical order. This
+//! module builds that grid spec ([`SweepSpec::grid_scenario`]) and
+//! submits it to a [`scenario_serve::Service`], whose shared graph
+//! catalog builds each machine count's million-task graph once and
+//! whose worker pool fans the cells out. This is the experiment regime
+//! the paper-scale figure drivers cannot reach — millions of tasks
+//! over thousands of simulated machines — and the consumer the sharded
+//! engine, the scenario subsystem and the service exist for.
 //!
-//! Grid cells are independent simulations, so the fan-out is a simple
-//! work queue: each worker claims the next unclaimed cell. Results are
-//! deterministic per cell (the engine's contract) regardless of which
-//! worker runs it or in which order cells complete.
+//! Results are deterministic per cell (the engine's contract)
+//! regardless of worker count or completion order, and arrive in
+//! canonical expansion order: machines-major, then fault rate, then
+//! target — the same order the pre-service driver produced.
 //!
 //! ```text
 //! cargo run --release -p repro-bench --bin sweep            # full grid, ≥1M tasks
 //! cargo run --release -p repro-bench --bin sweep -- --quick # CI-sized grid
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
-
-use cluster_sim::SimGraph;
 use scenario::{
-    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, TargetSpec, TopologySpec,
-    WorkloadSpec,
+    EngineSpec, EpochSpec, FaultSpec, PolicySpec, ScenarioSpec, SweepSection, TargetSpec,
+    TopologySpec, WorkloadSpec,
 };
+use scenario_serve::{CatalogConfig, RunOptions, Service, ServiceConfig};
 
 use crate::context::{default_threads, pct, TextTable};
 
@@ -169,101 +166,83 @@ impl SweepSpec {
                 threads: 1,
                 sync: scenario::SyncSpec::Epoch,
             },
+            sweep: None,
         }
     }
-}
 
-fn run_cell(
-    spec: &SweepSpec,
-    graph: &SimGraph,
-    machines: usize,
-    fault_rate: f64,
-    target_fraction: f64,
-) -> SweepCell {
-    let cell = spec.cell_scenario(machines, fault_rate, target_fraction);
-    let t0 = Instant::now();
-    let outcome = scenario::run_on(&cell, graph, None).expect("sweep scenarios are valid");
-    let report = outcome.report;
-    SweepCell {
-        machines,
-        fault_rate,
-        target_fraction,
-        tasks: report.records().len(),
-        makespan: report.makespan,
-        replicated_tasks: report.replicated_task_fraction(),
-        replicated_time: report.replicated_time_fraction(),
-        sdc_detected: report.sdc_detected_count(),
-        due_recovered: report.due_recovered_count(),
-        uncovered_sdc: report.uncovered_sdc_count(),
-        wall_ms: t0.elapsed().as_millis(),
+    /// The whole sweep as **one** `[sweep]`-bearing scenario — what
+    /// `sweep --emit-grid` prints and what [`run`] submits to the
+    /// service. Expansion order is canonical (machines-major, then
+    /// fault rate, then target), matching the legacy driver's grid
+    /// order. The shard count is fixed across cells (the legacy driver
+    /// clamped it per machine count — a perf-only difference, since
+    /// results never depend on the shard count by the engine
+    /// contract).
+    pub fn grid_scenario(&self) -> ScenarioSpec {
+        let machines = self.machine_counts.first().copied().unwrap_or(1);
+        // Any in-range fraction: the target knob overwrites the policy
+        // per cell and needs an App_FIT base to sweep over.
+        let mut grid = self.cell_scenario(machines, 0.0, 0.5);
+        grid.name = "sweep".into();
+        grid.sweep = Some(SweepSection {
+            nodes: self.machine_counts.clone(),
+            fault_rate: self.fault_rates.clone(),
+            target_fraction: self.target_fractions.clone(),
+            ..SweepSection::default()
+        });
+        grid
     }
 }
 
-/// Runs the whole grid, fanning cells across `spec.grid_threads`
-/// workers. Cell results are position-stable (indexed by the grid
-/// order: machines-major, then fault rate, then target).
+/// Runs the whole grid through a scenario service (`spec.grid_threads`
+/// pool workers, one catalog entry per machine count). Cell results
+/// are position-stable in the canonical expansion order:
+/// machines-major, then fault rate, then target.
 pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
-    // One shared graph per machine count (the expensive part); the
-    // cells of one machine count share identical workload sections, so
-    // any cell's scenario describes the graph.
-    let graphs: Vec<Arc<SimGraph>> = spec
-        .machine_counts
-        .iter()
-        .map(|&m| {
-            let cell = spec.cell_scenario(m, 0.0, -1.0);
-            Arc::new(scenario::build_graph(&cell).expect("sweep scenarios are valid"))
-        })
-        .collect();
-
-    // The flattened grid.
-    struct Job {
-        graph_idx: usize,
-        machines: usize,
-        fault_rate: f64,
-        target: f64,
+    if spec.cells() == 0 {
+        return Vec::new();
     }
-    let mut jobs = Vec::with_capacity(spec.cells());
-    for (gi, &machines) in spec.machine_counts.iter().enumerate() {
+    let service = Service::new(ServiceConfig {
+        workers: spec.grid_threads.clamp(1, spec.cells()),
+        catalog: CatalogConfig {
+            capacity: spec.machine_counts.len().max(1),
+            stripes: 1,
+        },
+    });
+    let results = service.run_all(&spec.grid_scenario(), RunOptions::default());
+
+    // The requested knob triple per cell, in the same row-major order
+    // the expansion uses — zipping by position keeps the *requested*
+    // values (e.g. a `-1.0` baseline marker) in the output rows.
+    let mut knobs = Vec::with_capacity(spec.cells());
+    for &machines in &spec.machine_counts {
         for &fault_rate in &spec.fault_rates {
             for &target in &spec.target_fractions {
-                jobs.push(Job {
-                    graph_idx: gi,
-                    machines,
-                    fault_rate,
-                    target,
-                });
+                knobs.push((machines, fault_rate, target));
             }
         }
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SweepCell>>> =
-        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-    let workers = spec.grid_threads.clamp(1, jobs.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let cell = run_cell(
-                    spec,
-                    &graphs[job.graph_idx],
-                    job.machines,
-                    job.fault_rate,
-                    job.target,
-                );
-                *results[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
-            });
-        }
-    });
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every cell simulated")
+        .zip(knobs)
+        .map(|(result, (machines, fault_rate, target_fraction))| {
+            let run = result.expect("sweep scenarios are valid");
+            debug_assert_eq!(run.spec.topology.nodes, machines);
+            let report = run.outcome.report;
+            SweepCell {
+                machines,
+                fault_rate,
+                target_fraction,
+                tasks: report.records().len(),
+                makespan: report.makespan,
+                replicated_tasks: report.replicated_task_fraction(),
+                replicated_time: report.replicated_time_fraction(),
+                sdc_detected: report.sdc_detected_count(),
+                due_recovered: report.due_recovered_count(),
+                uncovered_sdc: report.uncovered_sdc_count(),
+                wall_ms: run.wall.as_millis(),
+            }
         })
         .collect()
 }
@@ -351,6 +330,28 @@ mod tests {
         assert!(cells[1].replicated_tasks >= cells[2].replicated_tasks);
         // Baselines bracket the heuristic.
         assert!(cells[0].replicated_tasks <= 1.0);
+    }
+
+    #[test]
+    fn grid_scenario_cells_match_the_legacy_cell_specs() {
+        // The `[sweep]` grid must expand to the same simulations the
+        // per-cell driver used to construct, in the same order.
+        let spec = SweepSpec::quick();
+        let cells = spec.grid_scenario().expand();
+        assert_eq!(cells.len(), spec.cells());
+        let mut k = 0;
+        for &m in &spec.machine_counts {
+            for &f in &spec.fault_rates {
+                for &t in &spec.target_fractions {
+                    let legacy = spec.cell_scenario(m, f, t);
+                    assert_eq!(cells[k].topology, legacy.topology, "cell {k}");
+                    assert_eq!(cells[k].workload, legacy.workload, "cell {k}");
+                    assert_eq!(cells[k].faults, legacy.faults, "cell {k}");
+                    assert_eq!(cells[k].policy, legacy.policy, "cell {k}");
+                    k += 1;
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The shared graph catalog: build-once, `Arc`-shared simulation
+//! graphs keyed by the spec's [`graph_key`].
+//!
+//! Two locks, two jobs. A **striped map lock** (hash the key, pick a
+//! stripe) serializes only the map bookkeeping — lookup, insert,
+//! LRU eviction — and is never held across a build. A **per-entry
+//! slot lock** serializes the build itself, so concurrent requests
+//! for the same key build the graph exactly once while requests for
+//! other keys proceed in parallel.
+//!
+//! Sharing is sound because [`SimGraph`] is an immutable bundle of
+//! `Vec`s (`Send + Sync`, asserted in `cluster-sim`) and every engine
+//! takes it by `&` — nothing downstream ever mutates a built graph.
+//!
+//! [`graph_key`]: ScenarioSpec::graph_key
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cluster_sim::SimGraph;
+use parking_lot::Mutex;
+use scenario::{build_graph, ScenarioError, ScenarioSpec};
+
+/// Catalog sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    /// Maximum resident graphs (approximate: the cap is enforced per
+    /// stripe, so the global bound is `capacity` rounded up to a
+    /// multiple of `stripes`). Least-recently-used entries are evicted
+    /// first.
+    pub capacity: usize,
+    /// Lock stripes. More stripes means less contention between
+    /// distinct keys; one stripe gives a single global LRU.
+    pub stripes: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            capacity: 64,
+            stripes: 8,
+        }
+    }
+}
+
+/// A point-in-time snapshot of catalog counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogStats {
+    /// Graphs currently resident.
+    pub entries: usize,
+    /// Requests that found their key already in the map (the graph may
+    /// still have been mid-build; the requester then waits on the
+    /// slot, it does not rebuild).
+    pub hits: u64,
+    /// Requests that had to insert a fresh entry.
+    pub misses: u64,
+    /// Graphs actually constructed (≤ misses: a miss whose build
+    /// fails, or that loses an insert race, does not build).
+    pub builds: u64,
+    /// Entries evicted by the LRU cap.
+    pub evictions: u64,
+    /// Total wall-clock seconds spent inside `build_graph`.
+    pub build_secs: f64,
+}
+
+/// One catalog entry: the build slot plus its LRU stamp.
+struct Entry {
+    slot: Arc<GraphSlot>,
+    last_used: u64,
+}
+
+/// The per-key build-once cell. Holding an `Arc<GraphSlot>` keeps a
+/// build alive even if the entry is evicted from the map mid-build.
+struct GraphSlot {
+    built: Mutex<Option<Arc<SimGraph>>>,
+}
+
+/// Build-once, LRU-capped store of `Arc<SimGraph>` keyed by
+/// [`ScenarioSpec::graph_key`].
+pub struct GraphCatalog {
+    stripes: Vec<Mutex<HashMap<String, Entry>>>,
+    per_stripe_cap: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    evictions: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+impl GraphCatalog {
+    /// Creates an empty catalog.
+    pub fn new(config: CatalogConfig) -> Self {
+        let stripes = config.stripes.max(1);
+        GraphCatalog {
+            stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_stripe_cap: config.capacity.div_ceil(stripes).max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the graph for `spec`'s topology+workload+multiplier,
+    /// building it at most once per resident key. Concurrent callers
+    /// with the same key share one build; callers with different keys
+    /// never wait on each other's builds.
+    pub fn get_or_build(&self, spec: &ScenarioSpec) -> Result<Arc<SimGraph>, ScenarioError> {
+        let key = spec.graph_key();
+        let slot = self.slot_for(&key);
+
+        // Serialize the build on the slot, not the stripe: parallel
+        // misses on other keys proceed while this one constructs.
+        let mut built = slot.built.lock();
+        if let Some(graph) = built.as_ref() {
+            return Ok(Arc::clone(graph));
+        }
+        let start = Instant::now();
+        let graph = Arc::new(build_graph(spec)?);
+        self.build_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *built = Some(Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// Map bookkeeping under the stripe lock: find or insert the
+    /// key's slot, stamp its LRU clock, evict if over cap.
+    fn slot_for(&self, key: &str) -> Arc<GraphSlot> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let stripe = &self.stripes[hasher.finish() as usize % self.stripes.len()];
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+
+        let mut map = stripe.lock();
+        if let Some(entry) = map.get_mut(key) {
+            entry.last_used = now;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.slot);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(GraphSlot {
+            built: Mutex::new(None),
+        });
+        map.insert(
+            key.to_string(),
+            Entry {
+                slot: Arc::clone(&slot),
+                last_used: now,
+            },
+        );
+        while map.len() > self.per_stripe_cap {
+            // Evict the least-recently-used key (never the one just
+            // stamped `now`). In-flight users keep the graph alive via
+            // their own `Arc`s; only the catalog's reference drops.
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty over-cap map");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// Counter snapshot (entries is exact; the counters are relaxed
+    /// and may lag concurrent requests by a few).
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            entries: self.stripes.iter().map(|s| s.lock().len()).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            build_secs: self.build_nanos.load(Ordering::Relaxed) as f64 / 1.0e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::preset;
+
+    fn smoke() -> ScenarioSpec {
+        preset("smoke").expect("catalog preset")
+    }
+
+    #[test]
+    fn same_key_builds_once_and_shares_the_arc() {
+        let catalog = GraphCatalog::new(CatalogConfig::default());
+        let a = catalog.get_or_build(&smoke()).expect("builds");
+        let b = catalog.get_or_build(&smoke()).expect("hits");
+        assert!(Arc::ptr_eq(&a, &b), "one resident graph");
+        let stats = catalog.stats();
+        assert_eq!((stats.builds, stats.misses, stats.hits), (1, 1, 1));
+        assert!(stats.build_secs > 0.0);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_build_once() {
+        let catalog = Arc::new(GraphCatalog::new(CatalogConfig::default()));
+        let graphs: Vec<_> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let catalog = Arc::clone(&catalog);
+                    scope.spawn(move || catalog.get_or_build(&smoke()).expect("builds"))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert!(graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(catalog.stats().builds, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_key() {
+        // One stripe so the cap and LRU order are global.
+        let catalog = GraphCatalog::new(CatalogConfig {
+            capacity: 2,
+            stripes: 1,
+        });
+        let spec_with_nodes = |n: usize| {
+            let mut s = smoke();
+            s.topology.nodes = n;
+            s
+        };
+        catalog.get_or_build(&spec_with_nodes(2)).expect("builds");
+        catalog.get_or_build(&spec_with_nodes(3)).expect("builds");
+        // Touch 2 so 3 is now the coldest, then insert a third key.
+        catalog.get_or_build(&spec_with_nodes(2)).expect("hit");
+        catalog.get_or_build(&spec_with_nodes(4)).expect("builds");
+        let stats = catalog.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        // 2 survived (hit), 3 was evicted (miss → rebuild).
+        catalog.get_or_build(&spec_with_nodes(2)).expect("hit");
+        assert_eq!(catalog.stats().builds, 3);
+        catalog.get_or_build(&spec_with_nodes(3)).expect("rebuilds");
+        assert_eq!(catalog.stats().builds, 4);
+    }
+
+    #[test]
+    fn build_errors_do_not_poison_the_slot() {
+        let catalog = GraphCatalog::new(CatalogConfig::default());
+        let mut bad = smoke();
+        bad.workload = scenario::WorkloadSpec::Bench {
+            bench: "Nope".into(),
+            scale: workloads::Scale::Small,
+            streamed: false,
+        };
+        assert!(catalog.get_or_build(&bad).is_err());
+        assert_eq!(catalog.stats().builds, 0);
+        // A later request for the same key retries the build rather
+        // than caching the failure; a different key is unaffected.
+        assert!(catalog.get_or_build(&bad).is_err());
+        assert!(catalog.get_or_build(&smoke()).is_ok());
+        assert_eq!(catalog.stats().builds, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! A small typed client for the `scenario-serve/v1` protocol — what
+//! `repro serve-submit`, the thin sweep driver and the verify gate
+//! speak.
+
+use std::io::{self, BufRead, BufReader, Write};
+#[cfg(unix)]
+use std::path::Path;
+
+use crate::catalog::CatalogStats;
+use crate::proto::{self, Request, Response, RunSummary, SubmitOptions};
+
+/// One answered cell of a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReply {
+    /// The cell's summary line.
+    pub summary: RunSummary,
+    /// The cell's trace bytes when tracing was requested.
+    pub trace: Option<Vec<u8>>,
+}
+
+/// A connected protocol client (greeting already consumed).
+pub struct Client<R, W> {
+    reader: R,
+    writer: W,
+    next_id: u64,
+}
+
+#[cfg(unix)]
+impl Client<BufReader<std::os::unix::net::UnixStream>, std::os::unix::net::UnixStream> {
+    /// Connects to a `repro serve --socket` server.
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Client::new(BufReader::new(stream.try_clone()?), stream)
+    }
+}
+
+impl<R: BufRead, W: Write> Client<R, W> {
+    /// Wraps an established connection, consuming and checking the
+    /// server greeting.
+    pub fn new(mut reader: R, writer: W) -> io::Result<Self> {
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting)?;
+        if greeting.trim() != proto::GREETING {
+            return Err(io::Error::other(format!(
+                "unexpected greeting `{}` (want `{}`)",
+                greeting.trim(),
+                proto::GREETING
+            )));
+        }
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.writer.write_all(request.render().as_bytes())?;
+        self.writer.flush()
+    }
+
+    fn receive(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end()).map_err(io::Error::other)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("r{}", self.next_id)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let id = self.fresh_id();
+        self.send(&Request::Ping { id: id.clone() })?;
+        match self.receive()? {
+            Response::Pong { id: got } if got == id => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Catalog counter snapshot.
+    pub fn stats(&mut self) -> io::Result<CatalogStats> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id: id.clone() })?;
+        match self.receive()? {
+            Response::Stats { id: got, stats } if got == id => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a spec and collects every cell reply, in canonical
+    /// expansion order. A per-cell error from a grid surfaces as an
+    /// `Err` naming the failing cell index; earlier cells are lost —
+    /// callers needing partial results should keep cells healthy.
+    pub fn submit(
+        &mut self,
+        spec_text: &str,
+        options: SubmitOptions,
+    ) -> io::Result<Vec<CellReply>> {
+        let id = self.fresh_id();
+        self.send(&Request::Submit {
+            id: id.clone(),
+            options,
+            spec_text: spec_text.to_string(),
+        })?;
+        let mut cells: Vec<CellReply> = Vec::new();
+        loop {
+            match self.receive()? {
+                Response::Result {
+                    id: got, summary, ..
+                } if got == id => cells.push(CellReply {
+                    summary,
+                    trace: None,
+                }),
+                Response::Trace {
+                    id: got,
+                    index,
+                    bytes,
+                } if got == id => {
+                    let cell = cells
+                        .get_mut(index)
+                        .ok_or_else(|| io::Error::other("trace before its result line"))?;
+                    cell.trace = Some(bytes);
+                }
+                Response::Done { id: got, cells: n } if got == id => {
+                    if cells.len() != n {
+                        return Err(io::Error::other(format!(
+                            "server answered {} of {n} cells",
+                            cells.len()
+                        )));
+                    }
+                    return Ok(cells);
+                }
+                Response::Error { message, .. } => {
+                    return Err(io::Error::other(format!(
+                        "cell {} failed: {message}",
+                        cells.len()
+                    )));
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Asks the server to stop, consuming the client.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let id = self.fresh_id();
+        self.send(&Request::Shutdown { id: id.clone() })?;
+        match self.receive()? {
+            Response::Bye { id: got } if got == id => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::other(format!("unexpected response: {}", response.render().trim()))
+}

@@ -1,0 +1,45 @@
+//! The resident scenario service: graph catalog + worker pool +
+//! line-oriented submit protocol.
+//!
+//! The paper's value is answering *what-if* reliability questions —
+//! replication fraction vs App_FIT target vs makespan — and every
+//! question pays the graph build (60–680 ms per BENCH_sim.json) even
+//! when thousands of queries share one topology. This crate keeps the
+//! simulator resident so that cost is paid once per topology:
+//!
+//! * [`GraphCatalog`] — immutable [`cluster_sim::SimGraph`]s behind
+//!   `Arc`, keyed by [`scenario::ScenarioSpec::graph_key`] (the
+//!   canonical render of everything `build_graph` reads), built once
+//!   under a striped lock and LRU-capped.
+//! * [`WorkerPool`] — a mailbox-per-worker execution pool (std
+//!   primitives only) running scenario cells concurrently.
+//! * [`Service`] — ties the two together: submit a spec (optionally
+//!   `[sweep]`-bearing), get every cell's [`RunResult`] back in
+//!   canonical expansion order.
+//! * [`proto`] / [`server`] / [`client`] — the `scenario-serve/v1`
+//!   line protocol over a Unix socket or stdio, `repro serve` being
+//!   the CLI entry.
+//!
+//! The determinism contract extends unchanged: a run submitted to the
+//! service is bit-identical (report, App_FIT trajectory, decision and
+//! recovery streams) to `scenario::run` of the same spec, regardless
+//! of worker count, catalog hit/miss, or interleaving with other runs.
+//! Engines are pure functions of `(graph, config)`; the catalog only
+//! ever returns a value-identical graph; and worker scheduling decides
+//! *when* a cell runs, never *what* it computes.
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use catalog::{CatalogConfig, CatalogStats, GraphCatalog};
+pub use client::Client;
+pub use pool::WorkerPool;
+pub use proto::{AppFitSummary, Request, Response, RunSummary, SubmitOptions, GREETING};
+pub use server::{serve_connection, serve_stdio, serve_unix, ServeExit};
+pub use service::{RunOptions, RunResult, Service, ServiceConfig};

@@ -1,0 +1,168 @@
+//! The mailbox-per-worker execution pool.
+//!
+//! Deliberately simpler than a work-stealing deque: each worker owns a
+//! `VecDeque` mailbox behind a mutex+condvar pair and jobs are dealt
+//! round-robin at submit time. Scenario cells are coarse (milliseconds
+//! to seconds each), so deal-at-submit balances well enough and the
+//! pool stays std-only — no new dependencies, no unsafe.
+//!
+//! Scheduling freedom here is *when*, never *what*: a job captures
+//! everything it needs and the pool adds no shared mutable state, so
+//! the service's determinism contract is unaffected by worker count or
+//! interleaving.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of workers, one mailbox each.
+pub struct WorkerPool {
+    mailboxes: Vec<Arc<Mailbox>>,
+    next: AtomicUsize,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least one) worker threads.
+    pub fn new(workers: usize) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mailboxes: Vec<Arc<Mailbox>> = (0..workers.max(1))
+            .map(|_| {
+                Arc::new(Mailbox {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+            })
+            .collect();
+        let handles = mailboxes
+            .iter()
+            .map(|mailbox| {
+                let mailbox = Arc::clone(mailbox);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || worker_loop(&mailbox, &stop))
+            })
+            .collect();
+        WorkerPool {
+            mailboxes,
+            next: AtomicUsize::new(0),
+            stop,
+            handles,
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Enqueues `job` on the next mailbox (round-robin). Jobs may run
+    /// in any order relative to each other; a panicking job is
+    /// contained and its worker keeps serving.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let k = self.next.fetch_add(1, Ordering::Relaxed) % self.mailboxes.len();
+        let mailbox = &self.mailboxes[k];
+        mailbox.queue.lock().push_back(Box::new(job));
+        mailbox.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains every mailbox, then joins the workers: already-submitted
+    /// jobs complete, nothing new can arrive (dropping requires the
+    /// last owner).
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for mailbox in &self.mailboxes {
+            mailbox.available.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(mailbox: &Mailbox, stop: &AtomicBool) {
+    loop {
+        let job = {
+            let mut queue = mailbox.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // The shim condvar has no untimed wait; a coarse
+                // timeout doubles as the stop-flag poll interval.
+                mailbox
+                    .available
+                    .wait_for(&mut queue, Duration::from_millis(50));
+            }
+        };
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = mpsc::channel();
+        for k in 0..100 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(k).expect("receiver alive"));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_completes_pending_jobs() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for k in 0..10 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                tx.send(k).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        drop(pool);
+        assert_eq!(rx.iter().count(), 10, "drop drains the mailboxes");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("contained"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42).expect("receiver alive"));
+        assert_eq!(rx.recv().expect("worker survived"), 42);
+    }
+}

@@ -1,0 +1,554 @@
+//! The `scenario-serve/v1` line protocol.
+//!
+//! Everything is UTF-8 lines; `id` is a client-chosen whitespace-free
+//! token echoed verbatim on every response to the request. Grammar:
+//!
+//! ```text
+//! server → client on connect:
+//!   scenario-serve/v1
+//!
+//! client → server:
+//!   ping <id>
+//!   stats <id>
+//!   shutdown <id>
+//!   submit <id> [trace] [timing] [recovery]
+//!   <spec lines…>
+//!   end
+//!
+//! server → client:
+//!   pong <id>
+//!   stats <id> entries=<n> hits=<n> misses=<n> builds=<n> evictions=<n> build-secs=<f>
+//!   result <id> <k> <n> name=<cell> tasks=<n> makespan-bits=<hex16> recovery-events=<n>
+//!              [fit-bits=<hex16> decided=<n> replicated=<n>]
+//!   trace <id> <k> <hex bytes>
+//!   done <id> cells=<n>
+//!   error <id> <message…>
+//!   bye <id>
+//! ```
+//!
+//! A `submit` answers with one `result` line per cell in canonical
+//! expansion order (`k` = 0..n), each followed by its `trace` line
+//! when tracing was requested, then `done`. Floats travel as the hex
+//! of their IEEE-754 bits (`f64::to_bits`) so bit-identity survives
+//! the wire; trace byte streams travel hex-encoded. Cell names may
+//! contain `=` but no whitespace (spec grammar), so `name=` must be
+//! parsed as everything up to the next ` tasks=`-style boundary —
+//! fields are therefore ordered and `name=` is always last-but-fixed:
+//! in practice names never contain spaces, which is all the split
+//! relies on.
+
+use std::io::{self, BufRead};
+
+use scenario::Outcome;
+
+/// The greeting/version line the server sends on connect.
+pub const GREETING: &str = "scenario-serve/v1";
+
+/// What a `submit` should record and stream back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Stream each cell's recorded trace bytes (a `trace` line per
+    /// cell).
+    pub trace: bool,
+    /// Record the per-task timing stream in those traces.
+    pub timing: bool,
+    /// Record the recovery-event stream in those traces.
+    pub recovery: bool,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Echo token.
+        id: String,
+    },
+    /// Catalog counter snapshot.
+    Stats {
+        /// Echo token.
+        id: String,
+    },
+    /// Run a spec (expanding `[sweep]` grids).
+    Submit {
+        /// Echo token.
+        id: String,
+        /// Recording options.
+        options: SubmitOptions,
+        /// The scenario spec text (without the `end` terminator).
+        spec_text: String,
+    },
+    /// Stop the server after answering.
+    Shutdown {
+        /// Echo token.
+        id: String,
+    },
+}
+
+/// Summary of one finished cell, carrying exactly the fields the
+/// verify gate diffs bitwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The cell's (expanded) name.
+    pub name: String,
+    /// Tasks simulated.
+    pub tasks: usize,
+    /// IEEE-754 bits of the virtual makespan.
+    pub makespan_bits: u64,
+    /// Recovery actions the engine took.
+    pub recovery_events: usize,
+    /// App_FIT statistics when the cell's policy was App_FIT.
+    pub appfit: Option<AppFitSummary>,
+}
+
+/// App_FIT fields of a [`RunSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppFitSummary {
+    /// IEEE-754 bits of the final unprotected App_FIT.
+    pub fit_bits: u64,
+    /// Decisions taken.
+    pub decided: u64,
+    /// Replicate decisions taken.
+    pub replicated: u64,
+}
+
+impl RunSummary {
+    /// Summarizes a finished run.
+    pub fn of(name: &str, outcome: &Outcome) -> Self {
+        RunSummary {
+            name: name.to_string(),
+            tasks: outcome.report.task_count(),
+            makespan_bits: outcome.report.makespan.to_bits(),
+            recovery_events: outcome.report.recovery().len(),
+            appfit: outcome.appfit.map(|a| AppFitSummary {
+                fit_bits: a.current_fit.to_bits(),
+                decided: a.decided,
+                replicated: a.replicated,
+            }),
+        }
+    }
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `ping`.
+    Pong {
+        /// Echo token.
+        id: String,
+    },
+    /// Answer to `stats`.
+    Stats {
+        /// Echo token.
+        id: String,
+        /// Catalog counters.
+        stats: crate::catalog::CatalogStats,
+    },
+    /// One cell of a `submit`, in canonical expansion order.
+    Result {
+        /// Echo token.
+        id: String,
+        /// Cell index, 0-based.
+        index: usize,
+        /// Total cells in this submission.
+        total: usize,
+        /// The cell's summary.
+        summary: RunSummary,
+    },
+    /// A cell's recorded trace bytes (follows its `result` line).
+    Trace {
+        /// Echo token.
+        id: String,
+        /// Cell index, 0-based.
+        index: usize,
+        /// The `scenario::Trace::to_bytes` stream.
+        bytes: Vec<u8>,
+    },
+    /// A `submit` finished.
+    Done {
+        /// Echo token.
+        id: String,
+        /// Cells answered.
+        cells: usize,
+    },
+    /// Anything failed (a whole request, or one cell of a grid — a
+    /// cell error replaces that cell's `result` line and the grid
+    /// continues).
+    Error {
+        /// Echo token (`-` when the request line itself was bad).
+        id: String,
+        /// Human-readable message, newline-free.
+        message: String,
+    },
+    /// Answer to `shutdown`; the connection closes after it.
+    Bye {
+        /// Echo token.
+        id: String,
+    },
+}
+
+/// Reads one request. `Ok(None)` is clean EOF; `Ok(Some(Err(msg)))`
+/// is a malformed request the server should answer with `error -` and
+/// survive.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Request, String>>> {
+    let line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut words = line.split_whitespace();
+    let verb = match words.next() {
+        // Blank lines between requests are tolerated.
+        None => return read_request(reader),
+        Some(v) => v,
+    };
+    let id = match words.next() {
+        Some(id) => id.to_string(),
+        None => return Ok(Some(Err(format!("`{verb}` needs an id")))),
+    };
+    let request = match verb {
+        "ping" => Request::Ping { id },
+        "stats" => Request::Stats { id },
+        "shutdown" => Request::Shutdown { id },
+        "submit" => {
+            let mut options = SubmitOptions::default();
+            for flag in words.by_ref() {
+                match flag {
+                    "trace" => options.trace = true,
+                    "timing" => options.timing = true,
+                    "recovery" => options.recovery = true,
+                    other => return Ok(Some(Err(format!("unknown submit flag `{other}`")))),
+                }
+            }
+            let mut spec_text = String::new();
+            loop {
+                match read_line(reader)? {
+                    None => return Ok(Some(Err("EOF inside submit body (missing `end`)".into()))),
+                    Some(line) if line.trim() == "end" => break,
+                    Some(line) => {
+                        spec_text.push_str(&line);
+                        spec_text.push('\n');
+                    }
+                }
+            }
+            Request::Submit {
+                id,
+                options,
+                spec_text,
+            }
+        }
+        other => return Ok(Some(Err(format!("unknown request `{other}`")))),
+    };
+    if words.next().is_some() {
+        return Ok(Some(Err(format!("trailing words after `{verb}`"))));
+    }
+    Ok(Some(Ok(request)))
+}
+
+impl Request {
+    /// Renders the request as protocol lines (including `end` for
+    /// submits), newline-terminated.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Ping { id } => format!("ping {id}\n"),
+            Request::Stats { id } => format!("stats {id}\n"),
+            Request::Shutdown { id } => format!("shutdown {id}\n"),
+            Request::Submit {
+                id,
+                options,
+                spec_text,
+            } => {
+                let mut line = format!("submit {id}");
+                if options.trace {
+                    line.push_str(" trace");
+                }
+                if options.timing {
+                    line.push_str(" timing");
+                }
+                if options.recovery {
+                    line.push_str(" recovery");
+                }
+                let body = spec_text.trim_end_matches('\n');
+                format!("{line}\n{body}\nend\n")
+            }
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as one newline-terminated line.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Pong { id } => format!("pong {id}\n"),
+            Response::Stats { id, stats } => format!(
+                "stats {id} entries={} hits={} misses={} builds={} evictions={} build-secs={}\n",
+                stats.entries,
+                stats.hits,
+                stats.misses,
+                stats.builds,
+                stats.evictions,
+                stats.build_secs,
+            ),
+            Response::Result {
+                id,
+                index,
+                total,
+                summary,
+            } => {
+                let mut line = format!(
+                    "result {id} {index} {total} name={} tasks={} makespan-bits={:016x} recovery-events={}",
+                    summary.name, summary.tasks, summary.makespan_bits, summary.recovery_events,
+                );
+                if let Some(a) = &summary.appfit {
+                    line.push_str(&format!(
+                        " fit-bits={:016x} decided={} replicated={}",
+                        a.fit_bits, a.decided, a.replicated
+                    ));
+                }
+                line.push('\n');
+                line
+            }
+            Response::Trace { id, index, bytes } => {
+                format!("trace {id} {index} {}\n", to_hex(bytes))
+            }
+            Response::Done { id, cells } => format!("done {id} cells={cells}\n"),
+            Response::Error { id, message } => {
+                format!("error {id} {}\n", message.replace('\n', "; "))
+            }
+            Response::Bye { id } => format!("bye {id}\n"),
+        }
+    }
+
+    /// Parses one response line (the client side).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let mut words = line.split_whitespace();
+        let verb = words.next().ok_or("empty response line")?;
+        let id = words
+            .next()
+            .ok_or_else(|| format!("`{verb}` response needs an id"))?
+            .to_string();
+        match verb {
+            "pong" => Ok(Response::Pong { id }),
+            "bye" => Ok(Response::Bye { id }),
+            "done" => Ok(Response::Done {
+                id,
+                cells: field(words.next(), "cells")?.parse().map_err(bad_num)?,
+            }),
+            "stats" => Ok(Response::Stats {
+                id,
+                stats: crate::catalog::CatalogStats {
+                    entries: field(words.next(), "entries")?.parse().map_err(bad_num)?,
+                    hits: field(words.next(), "hits")?.parse().map_err(bad_num)?,
+                    misses: field(words.next(), "misses")?.parse().map_err(bad_num)?,
+                    builds: field(words.next(), "builds")?.parse().map_err(bad_num)?,
+                    evictions: field(words.next(), "evictions")?.parse().map_err(bad_num)?,
+                    build_secs: field(words.next(), "build-secs")?
+                        .parse()
+                        .map_err(bad_num)?,
+                },
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                message: words.collect::<Vec<_>>().join(" "),
+            }),
+            "trace" => {
+                let index = words.next().ok_or("trace needs an index")?;
+                let hex = words.next().unwrap_or("");
+                Ok(Response::Trace {
+                    id,
+                    index: index.parse().map_err(bad_num)?,
+                    bytes: from_hex(hex)?,
+                })
+            }
+            "result" => {
+                let index = words.next().ok_or("result needs an index")?;
+                let total = words.next().ok_or("result needs a total")?;
+                let mut summary = RunSummary {
+                    name: field(words.next(), "name")?.to_string(),
+                    tasks: field(words.next(), "tasks")?.parse().map_err(bad_num)?,
+                    makespan_bits: u64::from_str_radix(field(words.next(), "makespan-bits")?, 16)
+                        .map_err(bad_num)?,
+                    recovery_events: field(words.next(), "recovery-events")?
+                        .parse()
+                        .map_err(bad_num)?,
+                    appfit: None,
+                };
+                if let Some(word) = words.next() {
+                    summary.appfit = Some(AppFitSummary {
+                        fit_bits: u64::from_str_radix(field(Some(word), "fit-bits")?, 16)
+                            .map_err(bad_num)?,
+                        decided: field(words.next(), "decided")?.parse().map_err(bad_num)?,
+                        replicated: field(words.next(), "replicated")?
+                            .parse()
+                            .map_err(bad_num)?,
+                    });
+                }
+                Ok(Response::Result {
+                    id,
+                    index: index.parse().map_err(bad_num)?,
+                    total: total.parse().map_err(bad_num)?,
+                    summary,
+                })
+            }
+            other => Err(format!("unknown response `{other}`")),
+        }
+    }
+}
+
+/// Strips the expected `key=` prefix off a `key=value` word.
+fn field<'a>(word: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let word = word.ok_or_else(|| format!("missing `{key}=`"))?;
+    word.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected `{key}=…`, got `{word}`"))
+}
+
+fn bad_num(e: impl std::fmt::Display) -> String {
+    format!("bad number: {e}")
+}
+
+/// Lowercase hex of `bytes`.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`to_hex`].
+pub fn from_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("odd-length hex".into());
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).map_err(|e| format!("bad hex: {e}")))
+        .collect()
+}
+
+/// Reads one `\n`-terminated line, `None` at EOF.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogStats;
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            Request::Ping { id: "a1".into() },
+            Request::Stats { id: "s".into() },
+            Request::Shutdown { id: "z".into() },
+            Request::Submit {
+                id: "r9".into(),
+                options: SubmitOptions {
+                    trace: true,
+                    timing: false,
+                    recovery: true,
+                },
+                spec_text: "scenario = smoke\n[topology]\nnodes = 4\n".into(),
+            },
+        ] {
+            let mut bytes = request.render().into_bytes();
+            let mut reader = std::io::Cursor::new(&mut bytes);
+            let back = read_request(&mut reader)
+                .expect("io")
+                .expect("not EOF")
+                .expect("well-formed");
+            assert_eq!(request, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in [
+            Response::Pong { id: "a".into() },
+            Response::Bye { id: "b".into() },
+            Response::Done {
+                id: "c".into(),
+                cells: 8,
+            },
+            Response::Error {
+                id: "-".into(),
+                message: "two words".into(),
+            },
+            Response::Stats {
+                id: "d".into(),
+                stats: CatalogStats {
+                    entries: 2,
+                    hits: 9,
+                    misses: 3,
+                    builds: 3,
+                    evictions: 1,
+                    build_secs: 0.5,
+                },
+            },
+            Response::Trace {
+                id: "e".into(),
+                index: 3,
+                bytes: vec![0x00, 0xff, 0x7a],
+            },
+            Response::Result {
+                id: "f".into(),
+                index: 1,
+                total: 8,
+                summary: RunSummary {
+                    name: "smoke+seed=2".into(),
+                    tasks: 512,
+                    makespan_bits: 1.25f64.to_bits(),
+                    recovery_events: 0,
+                    appfit: Some(AppFitSummary {
+                        fit_bits: 0.5f64.to_bits(),
+                        decided: 512,
+                        replicated: 100,
+                    }),
+                },
+            },
+            Response::Result {
+                id: "g".into(),
+                index: 0,
+                total: 1,
+                summary: RunSummary {
+                    name: "plain".into(),
+                    tasks: 1,
+                    makespan_bits: 0,
+                    recovery_events: 2,
+                    appfit: None,
+                },
+            },
+        ] {
+            let line = response.render();
+            assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+            let back = Response::parse(line.trim_end()).expect("parses");
+            assert_eq!(response, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_survivable_errors() {
+        for bad in ["submit", "warp x", "ping a b", "submit x fast"] {
+            let mut bytes = format!("{bad}\n").into_bytes();
+            let mut reader = std::io::Cursor::new(&mut bytes);
+            let result = read_request(&mut reader).expect("io").expect("not EOF");
+            assert!(result.is_err(), "`{bad}` must be a protocol error");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Serving the protocol: one request at a time per connection,
+//! concurrency across connections (each connection gets a thread) and
+//! within grids (cells fan out over the service's worker pool).
+
+use std::io::{self, BufRead, Write};
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::Arc;
+
+use scenario::{ScenarioSpec, TraceOptions};
+
+use crate::proto::{self, Request, Response, RunSummary, SubmitOptions};
+use crate::service::{RunOptions, Service};
+
+/// Why a connection stopped being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// The client went away (EOF).
+    Eof,
+    /// The client asked the whole server to stop.
+    Shutdown,
+}
+
+/// Serves one connection until EOF or `shutdown`. Answers every
+/// request before reading the next; responses for a submit stream in
+/// canonical cell order.
+pub fn serve_connection(
+    service: &Service,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> io::Result<ServeExit> {
+    writeln!(writer, "{}", proto::GREETING)?;
+    writer.flush()?;
+    loop {
+        let request = match proto::read_request(reader)? {
+            None => return Ok(ServeExit::Eof),
+            Some(Err(message)) => {
+                write_response(
+                    writer,
+                    &Response::Error {
+                        id: "-".into(),
+                        message,
+                    },
+                )?;
+                continue;
+            }
+            Some(Ok(request)) => request,
+        };
+        match request {
+            Request::Ping { id } => write_response(writer, &Response::Pong { id })?,
+            Request::Stats { id } => write_response(
+                writer,
+                &Response::Stats {
+                    id,
+                    stats: service.catalog().stats(),
+                },
+            )?,
+            Request::Shutdown { id } => {
+                write_response(writer, &Response::Bye { id })?;
+                return Ok(ServeExit::Shutdown);
+            }
+            Request::Submit {
+                id,
+                options,
+                spec_text,
+            } => submit(service, writer, &id, options, &spec_text)?,
+        }
+    }
+}
+
+fn submit(
+    service: &Service,
+    writer: &mut impl Write,
+    id: &str,
+    options: SubmitOptions,
+    spec_text: &str,
+) -> io::Result<()> {
+    let spec = match ScenarioSpec::parse(spec_text) {
+        Err(e) => {
+            return write_response(
+                writer,
+                &Response::Error {
+                    id: id.into(),
+                    message: e.to_string(),
+                },
+            );
+        }
+        Ok(spec) => spec,
+    };
+    let run_options = RunOptions {
+        trace: options.trace.then_some(TraceOptions {
+            timing: options.timing,
+            recovery: options.recovery,
+        }),
+    };
+    // `run_streaming`'s callback cannot fail; carry the first write
+    // error out and stop writing (the runs themselves still drain).
+    let mut write_error: Option<io::Error> = None;
+    let mut cells = 0;
+    service.run_streaming(&spec, run_options, |index, total, result| {
+        cells = total;
+        if write_error.is_some() {
+            return;
+        }
+        let outcome = (|| match result {
+            Err(message) => write_response(
+                writer,
+                &Response::Error {
+                    id: id.into(),
+                    message,
+                },
+            ),
+            Ok(run) => {
+                write_response(
+                    writer,
+                    &Response::Result {
+                        id: id.into(),
+                        index,
+                        total,
+                        summary: RunSummary::of(&run.spec.name, &run.outcome),
+                    },
+                )?;
+                if let Some(trace) = &run.trace {
+                    write_response(
+                        writer,
+                        &Response::Trace {
+                            id: id.into(),
+                            index,
+                            bytes: trace.to_bytes(),
+                        },
+                    )?;
+                }
+                Ok(())
+            }
+        })();
+        if let Err(e) = outcome {
+            write_error = Some(e);
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    write_response(
+        writer,
+        &Response::Done {
+            id: id.into(),
+            cells,
+        },
+    )
+}
+
+fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    writer.write_all(response.render().as_bytes())?;
+    writer.flush()
+}
+
+/// Serves the protocol on stdin/stdout (`repro serve --stdio`): a
+/// single connection, exiting on EOF or `shutdown`.
+pub fn serve_stdio(service: &Service) -> io::Result<ServeExit> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_connection(service, &mut stdin.lock(), &mut stdout.lock())
+}
+
+/// Binds `path` and serves until a client sends `shutdown`
+/// (`repro serve --socket <path>`). Each connection is served on its
+/// own thread; all of them share the service's catalog and pool. The
+/// socket file is removed on the way out.
+#[cfg(unix)]
+pub fn serve_unix(service: Arc<Service>, path: &Path) -> io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let wake_path = path.to_path_buf();
+        handles.push(std::thread::spawn(move || {
+            let exit = serve_stream(&service, &stream);
+            if matches!(exit, Ok(ServeExit::Shutdown)) {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can observe the flag.
+                let _ = UnixStream::connect(&wake_path);
+            }
+        }));
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_stream(
+    service: &Service,
+    stream: &std::os::unix::net::UnixStream,
+) -> io::Result<ServeExit> {
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    serve_connection(service, &mut reader, &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    /// Drives one in-memory connection end to end.
+    fn converse(input: &str) -> (Vec<String>, ServeExit) {
+        let service = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let mut reader = io::Cursor::new(input.as_bytes().to_vec());
+        let mut output = Vec::new();
+        let exit = serve_connection(&service, &mut reader, &mut output).expect("serves");
+        let text = String::from_utf8(output).expect("utf8");
+        (text.lines().map(str::to_string).collect(), exit)
+    }
+
+    #[test]
+    fn greets_pings_and_shuts_down() {
+        let (lines, exit) = converse("ping a\nshutdown b\n");
+        assert_eq!(lines, [proto::GREETING, "pong a", "bye b"]);
+        assert_eq!(exit, ServeExit::Shutdown);
+    }
+
+    #[test]
+    fn eof_is_a_clean_exit() {
+        let (lines, exit) = converse("");
+        assert_eq!(lines, [proto::GREETING]);
+        assert_eq!(exit, ServeExit::Eof);
+    }
+
+    #[test]
+    fn malformed_requests_get_errors_and_service_continues() {
+        let (lines, exit) = converse("warp x\nping ok\n");
+        assert!(lines[1].starts_with("error -"), "{lines:?}");
+        assert_eq!(lines[2], "pong ok");
+        assert_eq!(exit, ServeExit::Eof);
+    }
+
+    #[test]
+    fn submit_streams_results_then_done() {
+        let spec = scenario::preset("smoke")
+            .expect("catalog preset")
+            .to_string();
+        let (lines, _) = converse(&format!("submit s1 trace\n{spec}end\nstats q\n"));
+        assert!(
+            lines[1].starts_with("result s1 0 1 name=smoke "),
+            "{lines:?}"
+        );
+        assert!(lines[2].starts_with("trace s1 0 "), "{lines:?}");
+        assert_eq!(lines[3], "done s1 cells=1");
+        assert!(lines[4].contains("builds=1"), "{lines:?}");
+    }
+
+    #[test]
+    fn bad_specs_answer_error_then_keep_serving() {
+        let (lines, exit) = converse("submit s1\nnot a spec\nend\nping p\n");
+        assert!(lines[1].starts_with("error s1 "), "{lines:?}");
+        assert_eq!(lines[2], "pong p");
+        assert_eq!(exit, ServeExit::Eof);
+    }
+}

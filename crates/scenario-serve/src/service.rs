@@ -1,0 +1,241 @@
+//! The service proper: expand a spec into cells, fan the cells across
+//! the worker pool against catalog-shared graphs, and hand results
+//! back in canonical expansion order.
+
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use scenario::{record_on_with, run_on, ScenarioSpec, TraceOptions};
+
+use crate::catalog::{CatalogConfig, GraphCatalog};
+use crate::pool::WorkerPool;
+
+/// Service sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads running scenario cells.
+    pub workers: usize,
+    /// Graph catalog sizing.
+    pub catalog: CatalogConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            catalog: CatalogConfig::default(),
+        }
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// `Some` records a [`scenario::Trace`] per cell (with the given
+    /// timing/recovery streams); `None` skips recording entirely —
+    /// the sweep driver's fast path.
+    pub trace: Option<TraceOptions>,
+}
+
+/// One finished cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The expanded cell spec that ran (sweep-free).
+    pub spec: ScenarioSpec,
+    /// The run's outcome, bit-identical to `scenario::run(&spec)`.
+    pub outcome: scenario::Outcome,
+    /// The recorded trace when [`RunOptions::trace`] was set.
+    pub trace: Option<scenario::Trace>,
+    /// Wall-clock run time of this cell (excludes any graph build).
+    pub wall: Duration,
+}
+
+/// The resident scenario service: a worker pool over a shared graph
+/// catalog.
+pub struct Service {
+    pool: WorkerPool,
+    catalog: Arc<GraphCatalog>,
+}
+
+impl Service {
+    /// Spawns the pool and an empty catalog.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            pool: WorkerPool::new(config.workers),
+            catalog: Arc::new(GraphCatalog::new(config.catalog)),
+        }
+    }
+
+    /// The shared catalog (stats, tests).
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.catalog
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs `spec` — every cell of it, if `[sweep]`-bearing — and
+    /// calls `emit(index, total, result)` once per cell **in canonical
+    /// expansion order** (index 0..total in sequence), regardless of
+    /// completion order across workers. Errors are per-cell: one
+    /// failing cell does not abort its siblings.
+    pub fn run_streaming(
+        &self,
+        spec: &ScenarioSpec,
+        options: RunOptions,
+        mut emit: impl FnMut(usize, usize, Result<RunResult, String>),
+    ) {
+        if let Err(e) = spec.validate() {
+            emit(0, 1, Err(format!("invalid scenario: {e}")));
+            return;
+        }
+        let cells = spec.expand();
+        let total = cells.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunResult, String>)>();
+        for (index, cell) in cells.into_iter().enumerate() {
+            let catalog = Arc::clone(&self.catalog);
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                // If the run panics, the pool's `catch_unwind` drops
+                // this closure (and with it `tx`), so the collector
+                // still terminates and reports the missing cell below.
+                let result = run_cell(&catalog, cell, options);
+                let _ = tx.send((index, result));
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<usize, Result<RunResult, String>> = BTreeMap::new();
+        let mut next = 0;
+        for (index, result) in rx {
+            pending.insert(index, result);
+            while let Some(result) = pending.remove(&next) {
+                emit(next, total, result);
+                next += 1;
+            }
+        }
+        // A panicked cell never sent: surface it as an error rather
+        // than silently truncating the stream.
+        while next < total {
+            let result = pending
+                .remove(&next)
+                .unwrap_or_else(|| Err("cell panicked in the worker pool".into()));
+            emit(next, total, result);
+            next += 1;
+        }
+    }
+
+    /// [`run_streaming`], collected. Results are in canonical
+    /// expansion order.
+    ///
+    /// [`run_streaming`]: Service::run_streaming
+    pub fn run_all(
+        &self,
+        spec: &ScenarioSpec,
+        options: RunOptions,
+    ) -> Vec<Result<RunResult, String>> {
+        let mut out = Vec::new();
+        self.run_streaming(spec, options, |_, _, result| out.push(result));
+        out
+    }
+}
+
+fn run_cell(
+    catalog: &GraphCatalog,
+    cell: ScenarioSpec,
+    options: RunOptions,
+) -> Result<RunResult, String> {
+    let graph = catalog.get_or_build(&cell).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let (outcome, trace) = match options.trace {
+        None => (
+            run_on(&cell, &graph, None).map_err(|e| e.to_string())?,
+            None,
+        ),
+        Some(trace_options) => {
+            let (outcome, trace) =
+                record_on_with(&cell, &graph, trace_options).map_err(|e| e.to_string())?;
+            (outcome, Some(trace))
+        }
+    };
+    Ok(RunResult {
+        spec: cell,
+        outcome,
+        trace,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::preset;
+
+    #[test]
+    fn grid_results_arrive_in_canonical_order_and_share_one_graph() {
+        let service = Service::new(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let grid = preset("grid-smoke").expect("catalog preset");
+        let expected: Vec<String> = grid.expand().into_iter().map(|c| c.name).collect();
+        let mut seen = Vec::new();
+        service.run_streaming(&grid, RunOptions::default(), |index, total, result| {
+            assert_eq!(index, seen.len(), "contiguous in-order emission");
+            assert_eq!(total, 8);
+            seen.push(result.expect("cell runs").spec.name);
+        });
+        assert_eq!(seen, expected);
+        let stats = service.catalog().stats();
+        assert_eq!(stats.builds, 1, "eight cells share one graph build");
+        assert_eq!(stats.hits + stats.misses, 8);
+    }
+
+    #[test]
+    fn single_runs_match_direct_execution_bitwise() {
+        let service = Service::new(ServiceConfig::default());
+        let smoke = preset("smoke").expect("catalog preset");
+        let results = service.run_all(
+            &smoke,
+            RunOptions {
+                trace: Some(TraceOptions {
+                    timing: true,
+                    recovery: true,
+                }),
+            },
+        );
+        assert_eq!(results.len(), 1);
+        let served = results.into_iter().next().unwrap().expect("runs");
+        let (direct, trace) = scenario::record_with(
+            &smoke,
+            TraceOptions {
+                timing: true,
+                recovery: true,
+            },
+        )
+        .expect("direct run");
+        assert_eq!(served.outcome, direct, "report + App_FIT bit-identical");
+        assert_eq!(
+            served.trace.expect("recorded").to_bytes(),
+            trace.to_bytes(),
+            "decision/timing/recovery streams bit-identical"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_error_without_running() {
+        let service = Service::new(ServiceConfig::default());
+        let mut bad = preset("smoke").expect("catalog preset");
+        bad.topology.nodes = 0;
+        let results = service.run_all(&bad, RunOptions::default());
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+        assert_eq!(service.catalog().stats().misses, 0, "nothing was built");
+    }
+}

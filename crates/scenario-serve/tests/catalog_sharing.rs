@@ -1,0 +1,86 @@
+//! The graph-catalog keying satellite: specs that differ only outside
+//! the `[topology]`/`[workload]` sections (policy, fault seeds and
+//! probabilities, recovery, engine) must share one catalog entry —
+//! observed through the service's hit counter and an
+//! `Arc`-identity probe on the catalog itself.
+
+use std::sync::Arc;
+
+use scenario::{preset, EngineSpec, PolicySpec, TargetSpec};
+use scenario_serve::{CatalogConfig, GraphCatalog, RunOptions, Service, ServiceConfig};
+
+#[test]
+fn policy_and_fault_variants_share_one_graph() {
+    let catalog = GraphCatalog::new(CatalogConfig::default());
+    let base = preset("smoke").expect("catalog preset");
+
+    // Vary everything build_graph does NOT read.
+    let mut policy_variant = base.clone();
+    policy_variant.policy = PolicySpec::AppFit {
+        target: TargetSpec::Fraction(0.9),
+    };
+    let mut faults_variant = base.clone();
+    faults_variant.faults.seed = 999;
+    faults_variant.faults.p_due = 0.2;
+    faults_variant.faults.p_crash = 0.01;
+    let mut engine_variant = base.clone();
+    engine_variant.engine = EngineSpec::Sequential;
+
+    let graphs = [
+        catalog.get_or_build(&base).expect("builds"),
+        catalog.get_or_build(&policy_variant).expect("hits"),
+        catalog.get_or_build(&faults_variant).expect("hits"),
+        catalog.get_or_build(&engine_variant).expect("hits"),
+    ];
+    assert!(
+        graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+        "one resident graph serves all four variants"
+    );
+    let stats = catalog.stats();
+    assert_eq!(stats.builds, 1, "built once");
+    assert_eq!(stats.misses, 1, "one cold miss");
+    assert_eq!(stats.hits, 3, "three keyed hits");
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn topology_workload_and_multiplier_do_key() {
+    let catalog = GraphCatalog::new(CatalogConfig::default());
+    let base = preset("smoke").expect("catalog preset");
+    let mut bigger = base.clone();
+    bigger.topology.nodes += 1;
+    let mut hotter = base.clone();
+    hotter.faults.multiplier *= 2.0;
+
+    let a = catalog.get_or_build(&base).expect("builds");
+    let b = catalog.get_or_build(&bigger).expect("builds");
+    let c = catalog.get_or_build(&hotter).expect("builds");
+    assert!(!Arc::ptr_eq(&a, &b), "topology is part of the key");
+    assert!(
+        !Arc::ptr_eq(&a, &c),
+        "the rate multiplier is baked into per-task rates at build time"
+    );
+    assert_eq!(catalog.stats().builds, 3);
+}
+
+#[test]
+fn service_runs_against_the_shared_entry() {
+    // The same property end to end: submitting policy variants through
+    // the service leaves exactly one build behind.
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let base = preset("smoke").expect("catalog preset");
+    for fraction in [0.1, 0.5, 0.9] {
+        let mut spec = base.clone();
+        spec.policy = PolicySpec::AppFit {
+            target: TargetSpec::Fraction(fraction),
+        };
+        let results = service.run_all(&spec, RunOptions::default());
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+    let stats = service.catalog().stats();
+    assert_eq!(stats.builds, 1, "three submissions, one graph build");
+    assert_eq!(stats.hits, 2);
+}

@@ -1,0 +1,139 @@
+//! The tentpole determinism contract, property-tested with concurrent
+//! clients: a run submitted to the service is **bit-identical** —
+//! report, App_FIT trajectory, decision and recovery streams — to
+//! `scenario::run`/`record_with` of the same spec, regardless of
+//! worker count, catalog hit/miss, or interleaving with other runs.
+
+use proptest::prelude::*;
+use scenario::{
+    record_with, EngineSpec, EpochSpec, FaultSpec, PolicySpec, RecoverySpec, ScenarioSpec,
+    SweepSection, SyncSpec, TargetSpec, TopologySpec, TraceOptions, WorkloadSpec,
+};
+use scenario_serve::{RunOptions, Service, ServiceConfig};
+
+/// A seconds-scale synthetic spec, parameterized enough to cover both
+/// engines, faulty and crashy runs, and small `[sweep]` grids.
+fn client_spec(case: u32, client: u32) -> ScenarioSpec {
+    let x = case.wrapping_mul(31).wrapping_add(client * 7);
+    ScenarioSpec {
+        name: format!("conf-{case}-{client}"),
+        // Two of three clients share a topology (and so a graph key):
+        // every case exercises both catalog hits and misses.
+        topology: TopologySpec::distributed(2 + (client as usize).min(1)),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 2,
+            tasks_per_chain: 10 + (x as usize % 16),
+            flops_per_task: 1.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 12,
+            cross_node_every: 3,
+            seed: u64::from(x),
+        },
+        faults: FaultSpec {
+            multiplier: 10.0,
+            p_due: f64::from(x % 3) * 0.01,
+            p_sdc: 0.005,
+            seed: u64::from(x) * 7 + 1,
+            p_crash: if x.is_multiple_of(2) { 0.02 } else { 0.0 },
+            ..FaultSpec::default()
+        },
+        policy: PolicySpec::AppFit {
+            target: TargetSpec::Fraction(0.3 + f64::from(x % 5) * 0.1),
+        },
+        recovery: RecoverySpec::default(),
+        engine: if x.is_multiple_of(5) {
+            EngineSpec::Sequential
+        } else {
+            EngineSpec::Sharded {
+                shards: 1 + x as usize % 3,
+                epoch: EpochSpec::Auto,
+                threads: 1 + x as usize % 2,
+                sync: if x.is_multiple_of(3) {
+                    SyncSpec::Lookahead(scenario::LookaheadSpec::Auto)
+                } else {
+                    SyncSpec::Epoch
+                },
+            }
+        },
+        sweep: (x.is_multiple_of(4)).then(|| SweepSection {
+            seed: vec![u64::from(x), u64::from(x) + 1],
+            ..SweepSection::default()
+        }),
+    }
+}
+
+const TRACE: TraceOptions = TraceOptions {
+    timing: true,
+    recovery: true,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Three concurrent clients × two pool sizes: every served cell is
+    /// bit-identical to the direct single-threaded run of its spec.
+    #[test]
+    fn served_runs_are_bit_identical_to_direct_runs(case in any::<u32>()) {
+        let specs: Vec<ScenarioSpec> = (0..3).map(|c| client_spec(case, c)).collect();
+
+        // The ground truth, computed without any service machinery:
+        // per spec, per expanded cell, the direct outcome + trace.
+        let direct: Vec<Vec<(scenario::Outcome, Vec<u8>)>> = specs
+            .iter()
+            .map(|spec| {
+                spec.expand()
+                    .iter()
+                    .map(|cell| {
+                        let (outcome, trace) = record_with(cell, TRACE).expect("direct run");
+                        (outcome, trace.to_bytes())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for workers in [1, 3] {
+            let service = Service::new(ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            });
+            let served: Vec<_> = std::thread::scope(|scope| {
+                specs
+                    .iter()
+                    .map(|spec| {
+                        let service = &service;
+                        scope.spawn(move || {
+                            service.run_all(
+                                spec,
+                                RunOptions { trace: Some(TRACE) },
+                            )
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+
+            for (client, (results, truth)) in served.iter().zip(&direct).enumerate() {
+                prop_assert_eq!(results.len(), truth.len(), "client {} cell count", client);
+                for (k, (result, (outcome, trace_bytes))) in
+                    results.iter().zip(truth).enumerate()
+                {
+                    let run = result.as_ref().expect("cell runs");
+                    prop_assert_eq!(
+                        &run.outcome,
+                        outcome,
+                        "client {} cell {} with {} workers: report + App_FIT",
+                        client, k, workers
+                    );
+                    prop_assert_eq!(
+                        &run.trace.as_ref().expect("recorded").to_bytes(),
+                        trace_bytes,
+                        "client {} cell {} with {} workers: trace streams",
+                        client, k, workers
+                    );
+                }
+            }
+        }
+    }
+}

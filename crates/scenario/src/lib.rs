@@ -60,7 +60,8 @@ pub use runner::{
 };
 pub use spec::{
     CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, ParseError, PolicySpec,
-    RecoverySpec, ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    RecoverySpec, ScenarioSpec, SweepSection, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    MAX_SWEEP_CELLS,
 };
 pub use trace::{
     diff, Divergence, TimingDiff, Trace, TraceDecision, TraceDiff, TraceEpoch, TraceError,

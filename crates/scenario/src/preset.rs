@@ -10,7 +10,7 @@ use workloads::{all_workloads, Scale, WorkloadKind};
 
 use crate::spec::{
     CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, RecoverySpec,
-    ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    ScenarioSpec, SweepSection, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 
 /// No injection; rates still scaled by the multiplier.
@@ -89,6 +89,36 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: sharded(2, 2),
+        sweep: None,
+    });
+
+    // The smoke scenario with a small `[sweep]` grid bolted on: a
+    // 2×2×2 cartesian over fault rate, App_FIT target fraction and
+    // seed (8 cells, one shared graph). CI's serve smoke submits this
+    // to the resident service and diffs every cell against a direct
+    // run.
+    out.push(ScenarioSpec {
+        name: "grid-smoke".into(),
+        topology: TopologySpec::distributed(4),
+        workload: WorkloadSpec::Synthetic {
+            chains_per_node: 4,
+            tasks_per_chain: 32,
+            flops_per_task: 2.0e8,
+            jitter: 0.25,
+            argument_bytes: 1 << 18,
+            cross_node_every: 4,
+            seed: 2016,
+        },
+        faults: faulty(10.0),
+        policy: appfit(0.5),
+        recovery: RecoverySpec::default(),
+        engine: sharded(2, 2),
+        sweep: Some(SweepSection {
+            fault_rate: vec![0.005, 0.02],
+            target_fraction: vec![0.25, 0.75],
+            seed: vec![2016, 4032],
+            ..SweepSection::default()
+        }),
     });
 
     // The smoke scenario under conservative-lookahead synchronization:
@@ -111,6 +141,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: lookahead(2, 2, LookaheadSpec::Auto),
+        sweep: None,
     });
 
     // Figure 3 — App_FIT replication percentages per benchmark at a
@@ -129,6 +160,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
             policy: appfit(0.5),
             recovery: RecoverySpec::default(),
             engine,
+            sweep: None,
         });
     }
 
@@ -142,6 +174,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     });
     out.push(ScenarioSpec {
         name: "fig4-stream".into(),
@@ -151,6 +184,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     });
 
     // Figure 5 — shared-memory scalability under complete replication
@@ -164,6 +198,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: PolicySpec::ReplicateAll,
         recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     });
 
     // Figure 6 — distributed scalability: paper-scale Linpack over the
@@ -176,6 +211,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: PolicySpec::ReplicateAll,
         recovery: RecoverySpec::default(),
         engine: sharded(8, 4),
+        sweep: None,
     });
 
     // The sweep driver's largest cell as a named scenario: 1,048,576
@@ -196,6 +232,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.25),
         recovery: RecoverySpec::default(),
         engine: sharded(32, 8),
+        sweep: None,
     });
 
     // The same million-task cell under conservative lookahead: a 10 ms
@@ -219,6 +256,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.25),
         recovery: RecoverySpec::default(),
         engine: lookahead(32, 8, LookaheadSpec::Ns(1.0e7)),
+        sweep: None,
     });
 
     // Million-task Table-I stress scenarios through the streamed path.
@@ -230,6 +268,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: sharded(16, 4),
+        sweep: None,
     });
     out.push(ScenarioSpec {
         name: "stress-huge-cholesky".into(),
@@ -239,6 +278,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     });
     out.push(ScenarioSpec {
         name: "stress-huge-pingpong".into(),
@@ -248,6 +288,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.25),
         recovery: RecoverySpec::default(),
         engine: sharded(16, 4),
+        sweep: None,
     });
 
     // Fail-stop sweep: machines crash mid-run (2 % of tasks draw a
@@ -278,6 +319,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.5),
         recovery: RecoverySpec::default(),
         engine: sharded(2, 2),
+        sweep: None,
     });
 
     // Preemptible machines at the million-task cell: every node runs a
@@ -310,6 +352,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
         policy: appfit(0.25),
         recovery: RecoverySpec::default(),
         engine: sharded(32, 8),
+        sweep: None,
     });
 
     // Checkpoint/restart as the rival of replication: no replicas at
@@ -345,6 +388,7 @@ pub fn presets() -> Vec<ScenarioSpec> {
             }),
         },
         engine: sharded(2, 2),
+        sweep: None,
     });
 
     out

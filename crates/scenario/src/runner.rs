@@ -108,10 +108,25 @@ pub fn rate_model(spec: &ScenarioSpec) -> RateModel {
     RateModel::roadrunner().with_multiplier(spec.faults.multiplier)
 }
 
+/// A `[sweep]`-bearing spec is a grid, not a run: it must be
+/// [`ScenarioSpec::expand`]ed into cells first (the scenario service
+/// does this for callers).
+fn reject_sweep(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
+    if spec.sweep.is_some() {
+        return Err(ScenarioError::Invalid(format!(
+            "scenario `{}` has a [sweep] section ({} cells); expand it before running",
+            spec.name,
+            spec.sweep_cells()
+        )));
+    }
+    Ok(())
+}
+
 /// Builds the scenario's simulation graph: the named Table-I benchmark
 /// (in-memory or streamed) or the chain+halo synthetic.
 pub fn build_graph(spec: &ScenarioSpec) -> Result<SimGraph, ScenarioError> {
     spec.validate().map_err(ScenarioError::Invalid)?;
+    reject_sweep(spec)?;
     let rates = rate_model(spec);
     match &spec.workload {
         WorkloadSpec::Synthetic {
@@ -179,6 +194,7 @@ pub fn run_on(
     sink: Option<Arc<dyn DecisionSink>>,
 ) -> Result<Outcome, ScenarioError> {
     spec.validate().map_err(ScenarioError::Invalid)?;
+    reject_sweep(spec)?;
 
     // Policy: keep a concrete App_FIT handle for statistics while the
     // engine sees an (optionally observed) trait object.
@@ -509,6 +525,7 @@ mod tests {
             policy,
             recovery: crate::spec::RecoverySpec::default(),
             engine,
+            sweep: None,
         }
     }
 

@@ -71,6 +71,29 @@
 //! replication`, the paper's model, is the implied default and is
 //! never rendered).
 //!
+//! # The `[sweep]` section
+//!
+//! An optional sixth section turns one spec into a cartesian grid of
+//! runs (the single grid driver behind `repro serve` and the `sweep`
+//! binary). Each key is a comma-separated value list; the knobs, in
+//! canonical order, are `nodes`, `multiplier`, `fault-rate` (sets
+//! `p-due` = `p-sdc` = rate/2), `p-crash`, `target-fraction`
+//! (negative ⇒ `replicate-all`, ≥ 1 ⇒ `replicate-none`, else the
+//! app-fit fraction), `seed` and `shards`:
+//!
+//! ```text
+//! [sweep]
+//! nodes = 64, 256, 1024
+//! fault-rate = 0, 0.01
+//! target-fraction = -1, 0.25, 1
+//! ```
+//!
+//! [`ScenarioSpec::expand`] enumerates the cells row-major (the first
+//! knob listed above is the outermost loop), naming each cell
+//! `{base}+{knob}={value}` in canonical knob order. A sweep-bearing
+//! spec cannot be run directly — expand it, or submit it to the
+//! scenario service.
+//!
 //! [`ScenarioSpec::parse`] and the [`core::fmt::Display`] rendering are
 //! exact inverses (property-fuzzed in `tests/spec_roundtrip.rs`).
 
@@ -358,6 +381,161 @@ pub enum EngineSpec {
     },
 }
 
+/// The optional `[sweep]` section: per-knob value lists expanded into
+/// a cartesian grid of concrete scenarios by [`ScenarioSpec::expand`].
+/// An empty list means "not swept"; at least one knob must be swept.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepSection {
+    /// Topology node counts (`nodes`).
+    pub nodes: Vec<usize>,
+    /// Error-rate multipliers (`multiplier`). Each value changes the
+    /// rates baked into the simulation graph, so cells differing here
+    /// never share a [`ScenarioSpec::graph_key`].
+    pub multiplier: Vec<f64>,
+    /// Combined per-task fault probabilities (`fault-rate`); each value
+    /// `r` sets `p-due = p-sdc = r / 2`, matching the historical sweep
+    /// driver's split.
+    pub fault_rate: Vec<f64>,
+    /// Per-task node-crash probabilities (`p-crash`).
+    pub p_crash: Vec<f64>,
+    /// Replication targets (`target-fraction`): a negative value
+    /// selects the `replicate-all` baseline, ≥ 1 selects
+    /// `replicate-none`, anything between becomes the app-fit fraction.
+    pub target_fraction: Vec<f64>,
+    /// Fault-injection seeds (`seed`).
+    pub seed: Vec<u64>,
+    /// Sharded-engine shard counts (`shards`; results never depend on
+    /// this — sweeping it is a conformance exercise).
+    pub shards: Vec<usize>,
+}
+
+/// One concrete value a sweep knob assigns to a cell.
+enum Knob {
+    Nodes(usize),
+    Multiplier(f64),
+    FaultRate(f64),
+    PCrash(f64),
+    TargetFraction(f64),
+    Seed(u64),
+    Shards(usize),
+}
+
+impl Knob {
+    /// The value exactly as it renders in the `[sweep]` list (used in
+    /// cell names, so names stay greppable against the spec text).
+    fn value_text(&self) -> String {
+        match self {
+            Knob::Nodes(v) | Knob::Shards(v) => v.to_string(),
+            Knob::Multiplier(v)
+            | Knob::FaultRate(v)
+            | Knob::PCrash(v)
+            | Knob::TargetFraction(v) => v.to_string(),
+            Knob::Seed(v) => v.to_string(),
+        }
+    }
+
+    fn apply(&self, spec: &mut ScenarioSpec) {
+        match *self {
+            Knob::Nodes(n) => spec.topology.nodes = n,
+            Knob::Multiplier(m) => spec.faults.multiplier = m,
+            Knob::FaultRate(r) => {
+                spec.faults.p_due = r / 2.0;
+                spec.faults.p_sdc = r / 2.0;
+            }
+            Knob::PCrash(p) => spec.faults.p_crash = p,
+            Knob::TargetFraction(t) => {
+                spec.policy = if t < 0.0 {
+                    PolicySpec::ReplicateAll
+                } else if t >= 1.0 {
+                    PolicySpec::ReplicateNone
+                } else {
+                    PolicySpec::AppFit {
+                        target: TargetSpec::Fraction(t),
+                    }
+                };
+            }
+            Knob::Seed(s) => spec.faults.seed = s,
+            Knob::Shards(k) => {
+                if let EngineSpec::Sharded { shards, .. } = &mut spec.engine {
+                    *shards = k;
+                }
+            }
+        }
+    }
+}
+
+impl SweepSection {
+    /// True when no knob is swept (rejected by validation).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+            && self.multiplier.is_empty()
+            && self.fault_rate.is_empty()
+            && self.p_crash.is_empty()
+            && self.target_fraction.is_empty()
+            && self.seed.is_empty()
+            && self.shards.is_empty()
+    }
+
+    /// Active knobs in canonical order (the expansion nesting order:
+    /// first knob outermost).
+    fn knobs(&self) -> Vec<(&'static str, Vec<Knob>)> {
+        let mut out: Vec<(&'static str, Vec<Knob>)> = Vec::new();
+        if !self.nodes.is_empty() {
+            out.push((
+                "nodes",
+                self.nodes.iter().map(|&v| Knob::Nodes(v)).collect(),
+            ));
+        }
+        if !self.multiplier.is_empty() {
+            out.push((
+                "multiplier",
+                self.multiplier
+                    .iter()
+                    .map(|&v| Knob::Multiplier(v))
+                    .collect(),
+            ));
+        }
+        if !self.fault_rate.is_empty() {
+            out.push((
+                "fault-rate",
+                self.fault_rate
+                    .iter()
+                    .map(|&v| Knob::FaultRate(v))
+                    .collect(),
+            ));
+        }
+        if !self.p_crash.is_empty() {
+            out.push((
+                "p-crash",
+                self.p_crash.iter().map(|&v| Knob::PCrash(v)).collect(),
+            ));
+        }
+        if !self.target_fraction.is_empty() {
+            out.push((
+                "target-fraction",
+                self.target_fraction
+                    .iter()
+                    .map(|&v| Knob::TargetFraction(v))
+                    .collect(),
+            ));
+        }
+        if !self.seed.is_empty() {
+            out.push(("seed", self.seed.iter().map(|&v| Knob::Seed(v)).collect()));
+        }
+        if !self.shards.is_empty() {
+            out.push((
+                "shards",
+                self.shards.iter().map(|&v| Knob::Shards(v)).collect(),
+            ));
+        }
+        out
+    }
+}
+
+/// Grids above this cell count fail validation (a fat-fingered list
+/// should error, not enqueue a week of simulations).
+pub const MAX_SWEEP_CELLS: usize = 4096;
+
 /// One fully described experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -375,11 +553,14 @@ pub struct ScenarioSpec {
     pub recovery: RecoverySpec,
     /// Simulation engine.
     pub engine: EngineSpec,
+    /// Optional grid expansion (`[sweep]`); `None` for a single run.
+    pub sweep: Option<SweepSection>,
 }
 
-impl fmt::Display for ScenarioSpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "scenario = {}", self.name)?;
+impl ScenarioSpec {
+    /// Writes the canonical `[topology]` section (shared by `Display`
+    /// and [`ScenarioSpec::graph_key`]).
+    fn write_topology(&self, f: &mut impl fmt::Write) -> fmt::Result {
         let t = &self.topology;
         writeln!(f, "[topology]")?;
         writeln!(f, "nodes = {}", t.nodes)?;
@@ -388,7 +569,12 @@ impl fmt::Display for ScenarioSpec {
         writeln!(f, "gflops-per-core = {}", t.gflops_per_core)?;
         writeln!(f, "mem-bw-gbs = {}", t.mem_bw_gbs)?;
         writeln!(f, "net-latency-us = {}", t.net_latency_us)?;
-        writeln!(f, "net-bandwidth-gbs = {}", t.net_bandwidth_gbs)?;
+        writeln!(f, "net-bandwidth-gbs = {}", t.net_bandwidth_gbs)
+    }
+
+    /// Writes the canonical `[workload]` section (shared by `Display`
+    /// and [`ScenarioSpec::graph_key`]).
+    fn write_workload(&self, f: &mut impl fmt::Write) -> fmt::Result {
         writeln!(f, "[workload]")?;
         match &self.workload {
             WorkloadSpec::Bench {
@@ -399,7 +585,7 @@ impl fmt::Display for ScenarioSpec {
                 writeln!(f, "kind = bench")?;
                 writeln!(f, "bench = {bench}")?;
                 writeln!(f, "scale = {}", scale_name(*scale))?;
-                writeln!(f, "streamed = {streamed}")?;
+                writeln!(f, "streamed = {streamed}")
             }
             WorkloadSpec::Synthetic {
                 chains_per_node,
@@ -417,9 +603,36 @@ impl fmt::Display for ScenarioSpec {
                 writeln!(f, "jitter = {jitter}")?;
                 writeln!(f, "argument-bytes = {argument_bytes}")?;
                 writeln!(f, "cross-node-every = {cross_node_every}")?;
-                writeln!(f, "seed = {seed}")?;
+                writeln!(f, "seed = {seed}")
             }
         }
+    }
+}
+
+/// Renders one `[sweep]` value list (omitted entirely when empty).
+fn write_sweep_list<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    key: &str,
+    values: &[T],
+) -> fmt::Result {
+    if values.is_empty() {
+        return Ok(());
+    }
+    write!(f, "{key} = ")?;
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    writeln!(f)
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario = {}", self.name)?;
+        self.write_topology(f)?;
+        self.write_workload(f)?;
         let fa = &self.faults;
         writeln!(f, "[faults]")?;
         writeln!(f, "multiplier = {}", fa.multiplier)?;
@@ -496,6 +709,16 @@ impl fmt::Display for ScenarioSpec {
                 }
             }
         }
+        if let Some(sw) = &self.sweep {
+            writeln!(f, "[sweep]")?;
+            write_sweep_list(f, "nodes", &sw.nodes)?;
+            write_sweep_list(f, "multiplier", &sw.multiplier)?;
+            write_sweep_list(f, "fault-rate", &sw.fault_rate)?;
+            write_sweep_list(f, "p-crash", &sw.p_crash)?;
+            write_sweep_list(f, "target-fraction", &sw.target_fraction)?;
+            write_sweep_list(f, "seed", &sw.seed)?;
+            write_sweep_list(f, "shards", &sw.shards)?;
+        }
         Ok(())
     }
 }
@@ -569,6 +792,35 @@ fn parse_num<T: std::str::FromStr>(line: usize, value: &str, what: &str) -> Resu
     })
 }
 
+/// Parses one optional `[sweep]` value list: comma-separated, no empty
+/// items, no values that render identically twice (duplicates would
+/// collide cell names). An absent key is an empty (unswept) list.
+fn take_list<T: std::str::FromStr + fmt::Display>(
+    s: &mut Section<'_>,
+    key: &str,
+    what: &str,
+) -> Result<Vec<T>, ParseError> {
+    let Some((line, value)) = s.take_opt(key) else {
+        return Ok(Vec::new());
+    };
+    let mut out: Vec<T> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    for item in value.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return err(line, format!("`{key}` has an empty list item"));
+        }
+        let v: T = parse_num(line, item, what)?;
+        let canonical = v.to_string();
+        if seen.contains(&canonical) {
+            return err(line, format!("`{key}` lists `{canonical}` more than once"));
+        }
+        seen.push(canonical);
+        out.push(v);
+    }
+    Ok(out)
+}
+
 impl ScenarioSpec {
     /// Parses the text format described in [the module docs](self).
     pub fn parse(text: &str) -> Result<Self, ParseError> {
@@ -591,7 +843,7 @@ impl ScenarioSpec {
                 };
                 if !matches!(
                     section,
-                    "topology" | "workload" | "faults" | "policy" | "engine"
+                    "topology" | "workload" | "faults" | "policy" | "engine" | "sweep"
                 ) {
                     return err(line_no, format!("unknown section [{section}]"));
                 }
@@ -890,6 +1142,24 @@ impl ScenarioSpec {
         };
         s.finish()?;
 
+        let sweep = match sections.iter().position(|s| s.name == "sweep") {
+            None => None,
+            Some(i) => {
+                let mut s = sections.remove(i);
+                let sw = SweepSection {
+                    nodes: take_list(&mut s, "nodes", "node count")?,
+                    multiplier: take_list(&mut s, "multiplier", "multiplier")?,
+                    fault_rate: take_list(&mut s, "fault-rate", "probability")?,
+                    p_crash: take_list(&mut s, "p-crash", "probability")?,
+                    target_fraction: take_list(&mut s, "target-fraction", "fraction")?,
+                    seed: take_list(&mut s, "seed", "seed")?,
+                    shards: take_list(&mut s, "shards", "shard count")?,
+                };
+                s.finish()?;
+                Some(sw)
+            }
+        };
+
         if let Some(extra) = sections.first() {
             return err(extra.line, format!("unexpected section [{}]", extra.name));
         }
@@ -902,6 +1172,7 @@ impl ScenarioSpec {
             policy,
             recovery,
             engine,
+            sweep,
         };
         spec.validate()
             .map_err(|message| ParseError { line: 0, message })?;
@@ -1043,7 +1314,124 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(sw) = &self.sweep {
+            if sw.is_empty() {
+                return Err("[sweep] section needs at least one swept knob".into());
+            }
+            if sw.nodes.contains(&0) {
+                return Err("sweep `nodes` values must be at least 1".into());
+            }
+            if sw.multiplier.iter().any(|&m| !positive(m)) {
+                return Err("sweep `multiplier` values must be positive".into());
+            }
+            for (key, values) in [("fault-rate", &sw.fault_rate), ("p-crash", &sw.p_crash)] {
+                if let Some(p) = values.iter().find(|p| !(0.0..=1.0).contains(*p)) {
+                    return Err(format!(
+                        "sweep `{key}` values must be probabilities, got {p}"
+                    ));
+                }
+            }
+            if let Some(t) = sw.target_fraction.iter().find(|t| !t.is_finite()) {
+                return Err(format!(
+                    "sweep `target-fraction` values must be finite, got {t}"
+                ));
+            }
+            if !sw.target_fraction.is_empty()
+                && !matches!(
+                    self.policy,
+                    PolicySpec::AppFit {
+                        target: TargetSpec::Fraction(_)
+                    }
+                )
+            {
+                // The knob replaces the whole policy; requiring the
+                // base to already be fraction-targeted app-fit keeps a
+                // swept spec from silently discarding an unrelated
+                // `[policy]` section.
+                return Err(
+                    "sweeping target-fraction requires a base app-fit policy with target-fraction"
+                        .into(),
+                );
+            }
+            if sw.shards.contains(&0) {
+                return Err("sweep `shards` values must be at least 1".into());
+            }
+            if !sw.shards.is_empty() && !matches!(self.engine, EngineSpec::Sharded { .. }) {
+                return Err("sweeping shards requires the sharded engine".into());
+            }
+            let cells = self.sweep_cells();
+            if cells > MAX_SWEEP_CELLS {
+                return Err(format!(
+                    "sweep grid has {cells} cells (limit {MAX_SWEEP_CELLS})"
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Number of concrete runs this spec expands to (1 without a
+    /// `[sweep]` section).
+    pub fn sweep_cells(&self) -> usize {
+        match &self.sweep {
+            None => 1,
+            Some(sw) => sw.knobs().iter().map(|(_, v)| v.len()).product(),
+        }
+    }
+
+    /// Expands the `[sweep]` grid into concrete single-run scenarios.
+    ///
+    /// Cells come out **row-major in canonical knob order** — `nodes`
+    /// is the outermost loop, then `multiplier`, `fault-rate`,
+    /// `p-crash`, `target-fraction`, `seed`, `shards` — so grid output
+    /// ordering is stable no matter which driver expands the spec. Each
+    /// cell drops the `[sweep]` section and is named
+    /// `{base}+{knob}={value}` per swept knob, in the same order.
+    /// Without a sweep the result is the spec itself, alone.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let Some(sw) = &self.sweep else {
+            return vec![self.clone()];
+        };
+        let knobs = sw.knobs();
+        let mut out = Vec::with_capacity(self.sweep_cells());
+        let mut idx = vec![0usize; knobs.len()];
+        loop {
+            let mut cell = self.clone();
+            cell.sweep = None;
+            for (d, (key, values)) in knobs.iter().enumerate() {
+                let knob = &values[idx[d]];
+                knob.apply(&mut cell);
+                cell.name.push_str(&format!("+{key}={}", knob.value_text()));
+            }
+            out.push(cell);
+            // Odometer: increment the last knob first (row-major).
+            let mut d = knobs.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < knobs[d].1.len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// The graph-catalog key: the canonical render of everything
+    /// [`crate::build_graph`] reads. That is the `[topology]` and
+    /// `[workload]` sections **plus the faults `multiplier`** — failure
+    /// rates are baked into the graph's per-task rate vectors at build
+    /// time, so two specs may share a graph only when all three match.
+    /// Policy, injection probabilities, seeds, recovery knobs and the
+    /// engine are run-time configuration and never part of the key.
+    pub fn graph_key(&self) -> String {
+        let mut out = String::new();
+        self.write_topology(&mut out).expect("write to String");
+        self.write_workload(&mut out).expect("write to String");
+        out.push_str(&format!("multiplier = {}\n", self.faults.multiplier));
+        out
     }
 }
 
@@ -1077,6 +1465,7 @@ mod tests {
                 threads: 2,
                 sync: SyncSpec::Epoch,
             },
+            sweep: None,
         }
     }
 
@@ -1344,5 +1733,217 @@ mod tests {
             snapshot_bytes: 1,
         });
         assert!(spec.validate().is_err(), "infinite checkpoint interval");
+    }
+
+    /// `sample()` with a 2×2 grid over fault rate and seed.
+    fn sweep_sample() -> ScenarioSpec {
+        let mut spec = sample();
+        spec.sweep = Some(SweepSection {
+            fault_rate: vec![0.01, 0.04],
+            seed: vec![1, 2],
+            ..SweepSection::default()
+        });
+        spec
+    }
+
+    #[test]
+    fn sweep_round_trips_canonically() {
+        let spec = sweep_sample();
+        let text = spec.to_string();
+        assert!(text.contains("[sweep]"), "{text}");
+        assert!(text.contains("fault-rate = 0.01, 0.04"), "{text}");
+        let back = ScenarioSpec::parse(&text).expect("parses");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_string(), "canonical rendering");
+    }
+
+    #[test]
+    fn specs_without_sweep_render_no_sweep_section() {
+        // Pre-sweep specs (and embedded trace specs) never see the
+        // section, so the default must not surface.
+        assert!(!sample().to_string().contains("[sweep]"));
+    }
+
+    #[test]
+    fn sweep_unknown_knob_is_rejected() {
+        let text = sweep_sample()
+            .to_string()
+            .replace("fault-rate =", "fault-rat =");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(
+            e.message.contains("fault-rat") || e.message.contains("unknown"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn sweep_duplicate_knob_line_is_rejected() {
+        let text = sweep_sample()
+            .to_string()
+            .replace("seed = 1, 2", "seed = 1, 2\nseed = 3");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn sweep_repeated_value_is_rejected() {
+        let text = sweep_sample()
+            .to_string()
+            .replace("seed = 1, 2", "seed = 1, 1");
+        let e = ScenarioSpec::parse(&text).unwrap_err();
+        assert!(e.message.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn empty_sweep_section_is_rejected() {
+        let mut spec = sample();
+        spec.sweep = Some(SweepSection::default());
+        assert!(spec.validate().is_err(), "no swept knob");
+        let text = format!("{}[sweep]\n", sample());
+        assert!(ScenarioSpec::parse(&text).is_err(), "empty section in text");
+    }
+
+    /// Pins the canonical expansion order: first knob outermost, last
+    /// knob fastest (row-major over the canonical knob order), with
+    /// `+knob=value` cell naming. Sweep output ordering — the service's
+    /// result stream, the sweep table — inherits this.
+    #[test]
+    fn expansion_order_is_row_major_and_canonical() {
+        let spec = sweep_sample();
+        assert_eq!(spec.sweep_cells(), 4);
+        let cells = spec.expand();
+        let names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "sample+fault-rate=0.01+seed=1",
+                "sample+fault-rate=0.01+seed=2",
+                "sample+fault-rate=0.04+seed=1",
+                "sample+fault-rate=0.04+seed=2",
+            ]
+        );
+        // Knob values land on the right spec fields: a fault rate r
+        // splits evenly over DUE and SDC probabilities.
+        assert_eq!(cells[0].faults.p_due, 0.005);
+        assert_eq!(cells[0].faults.p_sdc, 0.005);
+        assert_eq!(cells[3].faults.p_due, 0.02);
+        assert_eq!(cells[1].faults.seed, 2);
+        assert!(cells.iter().all(|c| c.sweep.is_none()));
+        assert!(cells.iter().all(|c| c.validate().is_ok()));
+    }
+
+    #[test]
+    fn swept_target_fraction_maps_endpoints_to_static_policies() {
+        let mut spec = sample();
+        spec.sweep = Some(SweepSection {
+            target_fraction: vec![-1.0, 0.25, 1.0],
+            ..SweepSection::default()
+        });
+        let cells = spec.expand();
+        assert_eq!(cells[0].policy, PolicySpec::ReplicateAll);
+        assert_eq!(
+            cells[1].policy,
+            PolicySpec::AppFit {
+                target: TargetSpec::Fraction(0.25)
+            }
+        );
+        assert_eq!(cells[2].policy, PolicySpec::ReplicateNone);
+    }
+
+    #[test]
+    fn sweeping_target_fraction_requires_an_appfit_base() {
+        let mut spec = sample();
+        spec.policy = PolicySpec::ReplicateAll;
+        spec.sweep = Some(SweepSection {
+            target_fraction: vec![0.25],
+            ..SweepSection::default()
+        });
+        let e = spec.validate().unwrap_err();
+        assert!(e.contains("app-fit"), "{e}");
+    }
+
+    #[test]
+    fn sweeping_shards_requires_the_sharded_engine() {
+        let mut spec = sample();
+        spec.engine = EngineSpec::Sequential;
+        spec.sweep = Some(SweepSection {
+            shards: vec![2],
+            ..SweepSection::default()
+        });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn grids_beyond_the_cell_cap_are_rejected() {
+        let mut spec = sample();
+        spec.sweep = Some(SweepSection {
+            nodes: (1..=65).collect(),
+            seed: (0..65).collect(),
+            ..SweepSection::default()
+        });
+        assert!(spec.sweep_cells() > MAX_SWEEP_CELLS);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_sweep_values_are_rejected() {
+        for (what, sw) in [
+            (
+                "fault rate above one",
+                SweepSection {
+                    fault_rate: vec![1.5],
+                    ..SweepSection::default()
+                },
+            ),
+            (
+                "zero nodes",
+                SweepSection {
+                    nodes: vec![0],
+                    ..SweepSection::default()
+                },
+            ),
+            (
+                "non-positive multiplier",
+                SweepSection {
+                    multiplier: vec![0.0],
+                    ..SweepSection::default()
+                },
+            ),
+            (
+                "p-crash above one",
+                SweepSection {
+                    p_crash: vec![2.0],
+                    ..SweepSection::default()
+                },
+            ),
+            (
+                "zero shards",
+                SweepSection {
+                    shards: vec![0],
+                    ..SweepSection::default()
+                },
+            ),
+        ] {
+            let mut spec = sample();
+            spec.sweep = Some(sw);
+            assert!(spec.validate().is_err(), "{what} must be rejected");
+        }
+    }
+
+    #[test]
+    fn graph_key_covers_topology_workload_and_multiplier_only() {
+        let a = sample();
+        let mut b = sample();
+        b.policy = PolicySpec::ReplicateNone;
+        b.faults.seed = 999;
+        b.faults.p_due = 0.5;
+        b.engine = EngineSpec::Sequential;
+        assert_eq!(a.graph_key(), b.graph_key(), "run-time knobs are not keyed");
+        let mut c = sample();
+        c.faults.multiplier = 11.0;
+        assert_ne!(a.graph_key(), c.graph_key(), "multiplier is baked in");
+        let mut d = sample();
+        d.topology.nodes = 9;
+        assert_ne!(a.graph_key(), d.graph_key(), "topology is keyed");
     }
 }

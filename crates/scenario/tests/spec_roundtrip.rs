@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use scenario::{
     CheckpointSpec, EngineSpec, EpochSpec, FaultSpec, LookaheadSpec, PolicySpec, RecoverySpec,
-    ScenarioSpec, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    ScenarioSpec, SweepSection, SyncSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 use workloads::Scale;
 
@@ -124,6 +124,58 @@ fn recovery(sel: u8, x: u32) -> RecoverySpec {
     }
 }
 
+/// Fuzzes the `[sweep]` section: absent two times out of three,
+/// otherwise 1–3 values for a selection of knobs. Value lists are
+/// distinct by construction (duplicates are a parse error) and the
+/// policy/engine-dependent knobs (`target-fraction`, `shards`) are only
+/// swept when the base spec supports them (anything else is a
+/// validation error).
+fn sweep_section(
+    sel: u8,
+    x: u32,
+    policy: &PolicySpec,
+    engine: &EngineSpec,
+) -> Option<SweepSection> {
+    if !sel.is_multiple_of(3) {
+        return None;
+    }
+    let k = 1 + x as usize % 3;
+    let mut sw = SweepSection {
+        nodes: (0..k).map(|i| 1 + (x as usize % 96) + i).collect(),
+        ..SweepSection::default()
+    };
+    if sel & 4 != 0 {
+        let base = f64::from(x % 400) / 1000.0;
+        sw.fault_rate = (0..k).map(|i| base + i as f64 * 0.1).collect();
+    }
+    if sel & 8 != 0 {
+        sw.multiplier = (0..k).map(|i| 0.5 + f64::from(x % 50) + i as f64).collect();
+    }
+    if sel & 16 != 0 {
+        sw.seed = (0..k as u64).map(|i| u64::from(x) + i).collect();
+    }
+    if sel & 32 != 0
+        && matches!(
+            policy,
+            PolicySpec::AppFit {
+                target: TargetSpec::Fraction(_)
+            }
+        )
+    {
+        sw.target_fraction = (0..k)
+            .map(|i| -1.0 + f64::from(x % 1000) / 1000.0 + i as f64 * 0.75)
+            .collect();
+    }
+    if sel & 64 != 0 && matches!(engine, EngineSpec::Sharded { .. }) {
+        sw.shards = (0..k).map(|i| 1 + x as usize % 32 + i).collect();
+    }
+    if sel & 128 != 0 {
+        let base = f64::from(x % 500) / 1000.0;
+        sw.p_crash = (0..k).map(|i| base + i as f64 * 0.05).collect();
+    }
+    Some(sw)
+}
+
 fn engine(sel: u8, x: u32) -> EngineSpec {
     match sel % 3 {
         0 => EngineSpec::Sequential,
@@ -151,9 +203,13 @@ proptest! {
         eng in (any::<u8>(), any::<u32>()),
         faults in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
         rec in (any::<u8>(), any::<u32>(), any::<u8>(), any::<u32>()),
+        sweep_sel in (any::<u8>(), any::<u32>()),
         name_sel in any::<u16>(),
     ) {
         let (p_crash, crash_repair_secs, preempt) = fault_extras(rec.0, rec.1);
+        let policy = policy(pol.0, pol.1);
+        let engine = engine(eng.0, eng.1);
+        let sweep = sweep_section(sweep_sel.0, sweep_sel.1, &policy, &engine);
         let spec = ScenarioSpec {
             name: format!("fuzz-{name_sel}"),
             topology: topology(topo),
@@ -167,9 +223,10 @@ proptest! {
                 crash_repair_secs,
                 preempt,
             },
-            policy: policy(pol.0, pol.1),
+            policy,
             recovery: recovery(rec.2, rec.3),
-            engine: engine(eng.0, eng.1),
+            engine,
+            sweep,
         };
         // The generators only produce semantically valid specs.
         prop_assert!(spec.validate().is_ok(), "generator made an invalid spec");
@@ -177,6 +234,14 @@ proptest! {
         let back = ScenarioSpec::parse(&text).expect("generated spec parses");
         prop_assert_eq!(&spec, &back, "round trip lost information:\n{}", text);
         // Canonical rendering: a second trip is byte-identical.
-        prop_assert_eq!(text, back.to_string());
+        prop_assert_eq!(text.clone(), back.to_string());
+        // Sweep-bearing specs expand to the advertised cell count, and
+        // every expanded cell is itself a valid, renderable spec.
+        let cells = spec.expand();
+        prop_assert_eq!(cells.len(), spec.sweep_cells());
+        for cell in &cells {
+            prop_assert!(cell.sweep.is_none());
+            prop_assert!(cell.validate().is_ok(), "cell `{}` invalid", cell.name);
+        }
     }
 }

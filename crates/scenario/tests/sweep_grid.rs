@@ -1,0 +1,66 @@
+//! End-to-end `[sweep]` grid semantics through the public API: the
+//! `grid-smoke` preset expands into runnable cells that share one
+//! graph, and the runner refuses to execute an unexpanded grid.
+
+use scenario::{build_graph, preset, run, run_on, ScenarioError};
+
+#[test]
+fn grid_smoke_expands_to_eight_runnable_cells() {
+    let grid = preset("grid-smoke").expect("catalog preset");
+    assert_eq!(grid.sweep_cells(), 8, "2 fault rates × 2 targets × 2 seeds");
+    let cells = grid.expand();
+    assert_eq!(cells.len(), 8);
+
+    // Every cell shares the grid's graph key (nothing swept here
+    // touches topology, workload or the multiplier), so the service
+    // builds exactly one graph for the whole grid.
+    assert!(cells.iter().all(|c| c.graph_key() == grid.graph_key()));
+
+    // Cells are independently runnable on the shared graph and match a
+    // cold `scenario::run` of the same cell bit for bit.
+    let shared = build_graph(&cells[0]).expect("builds");
+    for cell in &cells {
+        let on_shared = run_on(cell, &shared, None).expect("runs on shared graph");
+        let cold = run(cell).expect("runs cold");
+        assert_eq!(
+            on_shared, cold,
+            "{}: shared-graph run must be identical",
+            cell.name
+        );
+    }
+}
+
+#[test]
+fn unexpanded_grids_are_rejected_by_the_runner() {
+    let grid = preset("grid-smoke").expect("catalog preset");
+    assert!(matches!(run(&grid), Err(ScenarioError::Invalid(_))));
+    assert!(matches!(build_graph(&grid), Err(ScenarioError::Invalid(_))));
+    let graph = build_graph(&grid.expand()[0]).expect("cell builds");
+    assert!(matches!(
+        run_on(&grid, &graph, None),
+        Err(ScenarioError::Invalid(_))
+    ));
+}
+
+#[test]
+fn swept_cells_actually_differ() {
+    let grid = preset("grid-smoke").expect("catalog preset");
+    let cells = grid.expand();
+    let graph = build_graph(&cells[0]).expect("builds");
+    // Cells 0 and 4 differ only in fault rate; 0 and 2 only in the
+    // App_FIT target; 0 and 1 only in the injection seed. Each knob
+    // must be live (change the outcome) or the grid is meaningless.
+    let a = run_on(&cells[0], &graph, None).expect("runs");
+    let hi_rate = run_on(&cells[4], &graph, None).expect("runs");
+    assert_ne!(
+        a.report.due_recovered_count() + a.report.sdc_detected_count(),
+        hi_rate.report.due_recovered_count() + hi_rate.report.sdc_detected_count(),
+        "fault-rate knob must change injected fault counts"
+    );
+    let hi_target = run_on(&cells[2], &graph, None).expect("runs");
+    assert_ne!(
+        a.appfit.expect("appfit").replicated,
+        hi_target.appfit.expect("appfit").replicated,
+        "target-fraction knob must change replication decisions"
+    );
+}

@@ -41,6 +41,7 @@ fn shared_memory_cell(bench: &str, cores: usize, p_fault: f64) -> ScenarioSpec {
         policy: PolicySpec::ReplicateAll,
         recovery: appfit::scenario::RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     }
 }
 
@@ -65,6 +66,7 @@ fn distributed_cell(nodes: usize) -> ScenarioSpec {
         policy: PolicySpec::ReplicateAll,
         recovery: appfit::scenario::RecoverySpec::default(),
         engine: EngineSpec::Sequential,
+        sweep: None,
     }
 }
 

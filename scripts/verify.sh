@@ -27,7 +27,13 @@
 #  11. a crash-recovery smoke: record → replay → diff of the
 #      `crash-sweep` preset with the recovery-event stream embedded
 #      (Trace v3), proving crash/repair/restart actions replay
-#      bitwise across processes.
+#      bitwise across processes,
+#  12. a scenario-service smoke: a resident `repro serve` on a Unix
+#      socket, two concurrent clients submitting `smoke` and the
+#      8-cell `grid-smoke` sweep with traces, every served trace
+#      bitwise-compared against a direct `scenario record` of the
+#      same cell, then a clean `serve-shutdown` (socket file gone,
+#      server exit 0).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -74,5 +80,39 @@ crash_trace="target/verify-crash.trace"
 cargo run --release -q -p repro-bench --bin repro -- scenario record crash-sweep --out "$crash_trace" --recovery
 cargo run --release -q -p repro-bench --bin repro -- scenario replay "$crash_trace"
 cargo run --release -q -p repro-bench --bin repro -- scenario diff "$crash_trace" "$crash_trace"
+
+echo "==> scenario-service smoke (serve → concurrent submits → bitwise diff → shutdown)"
+repro="target/release/repro"
+serve_dir="target/verify-serve"
+serve_sock="$serve_dir/serve.sock"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+"$repro" serve --socket "$serve_sock" --workers 3 &
+serve_pid=$!
+for _ in $(seq 1 200); do [ -S "$serve_sock" ] && break; sleep 0.05; done
+[ -S "$serve_sock" ] || { echo "verify: server never bound $serve_sock" >&2; exit 1; }
+# Two clients concurrently: the single smoke run and the 8-cell grid.
+"$repro" serve-submit "$serve_sock" smoke --trace --timing --recovery --out-dir "$serve_dir/smoke" &
+client_a=$!
+"$repro" serve-submit "$serve_sock" grid-smoke --trace --timing --recovery --out-dir "$serve_dir/grid" &
+client_b=$!
+wait "$client_a" "$client_b"
+# The served smoke trace must be byte-identical to a direct recording.
+"$repro" scenario record smoke --out "$serve_dir/smoke-direct.trace" --timing --recovery > /dev/null
+cmp "$serve_dir/smoke/smoke.trace" "$serve_dir/smoke-direct.trace"
+# Each grid cell's served trace embeds its canonical cell spec;
+# `scenario replay` re-runs that spec directly in a fresh process and
+# asserts bitwise identity — the served-vs-direct check per cell.
+grid_cells=0
+for served in "$serve_dir"/grid/*.trace; do
+    "$repro" scenario replay "$served" > /dev/null
+    grid_cells=$((grid_cells + 1))
+done
+[ "$grid_cells" -eq 8 ] || { echo "verify: expected 8 grid traces, got $grid_cells" >&2; exit 1; }
+# A catalog-hot resubmit must still answer (and identically at that).
+"$repro" serve-submit "$serve_sock" smoke > /dev/null
+"$repro" serve-shutdown "$serve_sock"
+wait "$serve_pid"
+[ ! -e "$serve_sock" ] || { echo "verify: socket file survived shutdown" >&2; exit 1; }
 
 echo "verify: all gates green"
