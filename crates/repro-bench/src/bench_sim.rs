@@ -25,9 +25,9 @@
 
 use std::fs;
 use std::process::Command;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use scenario_serve::{RunOptions, Service, ServiceConfig};
+use scenario_serve::{RunOptions, Service, ServiceConfig, SubmitError};
 
 use crate::context::TextTable;
 
@@ -129,6 +129,14 @@ pub struct FanoutResult {
     /// Estimated wall-clock ratio vs rebuilding the graph per run:
     /// `(wall + (runs - 1) · build) / wall`.
     pub build_amortization: f64,
+    /// Submits bounced with `busy` during the over-subscription probe
+    /// (the admission queue was pre-filled to capacity).
+    pub rejected: u64,
+    /// Cells shed with a typed `deadline-exceeded` error during the
+    /// expired-deadline probe — admitted but never run.
+    pub shed: u64,
+    /// Client-side resubmissions it took to get past `busy`.
+    pub retries: u64,
 }
 
 /// Runs `runs` AppFit target-fraction variants of `base` through an
@@ -153,7 +161,9 @@ pub fn measure_serve_fanout(base: &str, runs: usize) -> Result<FanoutResult, Str
         .map_err(|e| format!("{base} fan-out: {e}"))?;
     let service = Service::new(ServiceConfig::default());
     let t0 = Instant::now();
-    let results = service.run_all(&spec, RunOptions::default());
+    let results = service
+        .run_all(&spec, RunOptions::default())
+        .map_err(|e| format!("{base} fan-out: {e}"))?;
     let wall_secs = t0.elapsed().as_secs_f64();
     let mut tasks = 0usize;
     for result in &results {
@@ -162,7 +172,41 @@ pub fn measure_serve_fanout(base: &str, runs: usize) -> Result<FanoutResult, Str
             .map_err(|e| format!("{base} fan-out: {e}"))?;
         tasks += run.outcome.report.task_count();
     }
+
+    // The degradation probe: pre-fill the admission queue to capacity
+    // and watch a submit bounce with `busy`; release and resubmit with
+    // an already-expired deadline so every cell sheds with a typed
+    // error instead of running. Nothing here builds a graph (shed
+    // cells never reach the catalog), so `graph_builds` stays 1 — the
+    // probe measures the refusal paths, not throughput.
+    let expired = RunOptions {
+        deadline: Some(
+            Instant::now()
+                .checked_sub(Duration::from_secs(1))
+                .unwrap_or_else(Instant::now),
+        ),
+        ..RunOptions::default()
+    };
+    let gate = service.admission();
+    let hold = gate
+        .try_admit(gate.config().queue_capacity, service.workers())
+        .map_err(|e| format!("{base} probe: pre-fill refused: {e}"))?;
+    match service.run_all(&spec, expired) {
+        Err(SubmitError::Busy(_)) => {}
+        Ok(_) => return Err(format!("{base} probe: admitted despite a full queue")),
+        Err(e) => return Err(format!("{base} probe: {e}")),
+    }
+    drop(hold);
+    let retries = 1u64;
+    let shed_replies = service
+        .run_all(&spec, expired)
+        .map_err(|e| format!("{base} probe retry: {e}"))?;
+    if shed_replies.iter().any(|r| r.is_ok()) {
+        return Err(format!("{base} probe: a cell outran an expired deadline"));
+    }
+
     let stats = service.catalog().stats();
+    let admission = service.admission().stats();
     Ok(FanoutResult {
         base: base.to_string(),
         runs: results.len(),
@@ -174,6 +218,9 @@ pub fn measure_serve_fanout(base: &str, runs: usize) -> Result<FanoutResult, Str
         build_amortization: (wall_secs
             + (results.len().saturating_sub(1)) as f64 * stats.build_secs)
             / wall_secs.max(1e-9),
+        rejected: admission.rejected,
+        shed: admission.shed,
+        retries,
     })
 }
 
@@ -248,7 +295,7 @@ pub fn from_wire(line: &str) -> Result<BenchResult, String> {
 pub fn fanout_to_wire(r: &FanoutResult) -> String {
     format!(
         "bench-sim-fanout base={} runs={} graph_builds={} build_secs={} wall_secs={} tasks={} \
-         amortized_tasks_per_sec={} build_amortization={}",
+         amortized_tasks_per_sec={} build_amortization={} rejected={} shed={} retries={}",
         r.base,
         r.runs,
         r.graph_builds,
@@ -256,7 +303,10 @@ pub fn fanout_to_wire(r: &FanoutResult) -> String {
         r.wall_secs,
         r.tasks,
         r.amortized_tasks_per_sec,
-        r.build_amortization
+        r.build_amortization,
+        r.rejected,
+        r.shed,
+        r.retries
     )
 }
 
@@ -275,6 +325,9 @@ pub fn fanout_from_wire(line: &str) -> Result<FanoutResult, String> {
         tasks: 0,
         amortized_tasks_per_sec: 0.0,
         build_amortization: 0.0,
+        rejected: 0,
+        shed: 0,
+        retries: 0,
     };
     for pair in body.split_whitespace() {
         let (k, v) = pair
@@ -290,6 +343,9 @@ pub fn fanout_from_wire(line: &str) -> Result<FanoutResult, String> {
             "tasks" => r.tasks = v.parse().map_err(|e| format!("{k}: {e}"))?,
             "amortized_tasks_per_sec" => r.amortized_tasks_per_sec = num()?,
             "build_amortization" => r.build_amortization = num()?,
+            "rejected" => r.rejected = v.parse().map_err(|e| format!("{k}: {e}"))?,
+            "shed" => r.shed = v.parse().map_err(|e| format!("{k}: {e}"))?,
+            "retries" => r.retries = v.parse().map_err(|e| format!("{k}: {e}"))?,
             other => return Err(format!("unknown key `{other}`")),
         }
     }
@@ -352,9 +408,12 @@ pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String
             f(fo.amortized_tasks_per_sec)
         ));
         out.push_str(&format!(
-            "    \"build_amortization\": {}\n",
+            "    \"build_amortization\": {},\n",
             f(fo.build_amortization)
         ));
+        out.push_str(&format!("    \"rejected\": {},\n", fo.rejected));
+        out.push_str(&format!("    \"shed\": {},\n", fo.shed));
+        out.push_str(&format!("    \"retries\": {}\n", fo.retries));
         out.push_str("  }");
     }
     out.push_str("\n}\n");
@@ -384,6 +443,9 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         "\"graph_builds\"",
         "\"amortized_tasks_per_sec\"",
         "\"build_amortization\"",
+        "\"rejected\"",
+        "\"shed\"",
+        "\"retries\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing key {key}"));
@@ -423,7 +485,8 @@ pub fn render_fanout(fo: &FanoutResult) -> String {
     format!(
         "Scenario-service fan-out: {} runs over one cached `{}` graph \
          ({} build, {:.2} s) in {:.2} s — {:.0} tasks/s amortized, \
-         {:.2}× vs rebuilding per run\n",
+         {:.2}× vs rebuilding per run; degradation probe: {} busy \
+         rejection(s), {} cell(s) shed at deadline, {} retry(ies)\n",
         fo.runs,
         fo.base,
         fo.graph_builds,
@@ -431,6 +494,9 @@ pub fn render_fanout(fo: &FanoutResult) -> String {
         fo.wall_secs,
         fo.amortized_tasks_per_sec,
         fo.build_amortization,
+        fo.rejected,
+        fo.shed,
+        fo.retries,
     )
 }
 
@@ -615,6 +681,9 @@ mod tests {
             tasks: 8 * 1_100_000,
             amortized_tasks_per_sec: 220_000.0,
             build_amortization: 1.44,
+            rejected: 1,
+            shed: 8,
+            retries: 1,
         }
     }
 
@@ -666,5 +735,8 @@ mod tests {
             fo.build_amortization >= 1.0,
             "sharing a build can only help"
         );
+        assert_eq!(fo.rejected, 1, "the over-subscription probe bounced once");
+        assert_eq!(fo.shed, 4, "every probe cell shed at its expired deadline");
+        assert_eq!(fo.retries, 1, "one resubmission got past busy");
     }
 }

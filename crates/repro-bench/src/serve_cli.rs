@@ -7,17 +7,28 @@
 //! `serve_unix` (socket) or `serve_stdio` (pipes). The client half
 //! reuses the same line protocol through [`Client`], so everything
 //! observable here is covered by the scenario-serve conformance tests.
+//!
+//! Robustness flags: the server takes `--journal-dir` (resumable
+//! tokened grids), `--write-timeout-ms` (disconnect stalled readers),
+//! `--queue-capacity`/`--conn-inflight` (admission sizing); the
+//! submitter takes `--deadline-ms` (end-to-end deadline),
+//! `--token` (idempotent resumable resubmission) and `--retries`
+//! (reconnect + exponential backoff honoring `busy`/retry-after).
 
 use std::sync::Arc;
 
-use scenario_serve::{serve_stdio, Client, Service, ServiceConfig, SubmitOptions};
+use scenario_serve::{
+    Client, ClientError, RetryPolicy, ServerOptions, Service, ServiceConfig, SubmitOptions,
+};
 
 use crate::scenario_cli::resolve;
 
-const SERVE_USAGE: &str =
-    "usage: repro serve <--socket PATH | --stdio> [--workers N] [--catalog-capacity N]";
+const SERVE_USAGE: &str = "usage: repro serve <--socket PATH | --stdio> [--workers N] \
+     [--catalog-capacity N] [--queue-capacity N] [--conn-inflight N] \
+     [--write-timeout-ms N] [--journal-dir DIR]";
 const SUBMIT_USAGE: &str =
-    "usage: repro serve-submit SOCKET NAME [--trace] [--timing] [--recovery] [--out-dir DIR]";
+    "usage: repro serve-submit SOCKET NAME [--trace] [--timing] [--recovery] [--out-dir DIR] \
+     [--deadline-ms N] [--token TOKEN] [--retries N]";
 const SHUTDOWN_USAGE: &str = "usage: repro serve-shutdown SOCKET";
 
 /// Entry point for `repro serve <args>`: runs a resident server until
@@ -26,6 +37,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let mut socket: Option<String> = None;
     let mut stdio = false;
     let mut config = ServiceConfig::default();
+    let mut server_options = ServerOptions::default();
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -45,6 +57,29 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                     return Err("--catalog-capacity must be at least 1".into());
                 }
             }
+            "--queue-capacity" => {
+                config.admission.queue_capacity = parse_num(rest.next(), "--queue-capacity")?;
+                if config.admission.queue_capacity == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+            }
+            "--conn-inflight" => {
+                config.admission.conn_window = parse_num(rest.next(), "--conn-inflight")?;
+                if config.admission.conn_window == 0 {
+                    return Err("--conn-inflight must be at least 1".into());
+                }
+            }
+            "--write-timeout-ms" => {
+                let ms = parse_num(rest.next(), "--write-timeout-ms")?;
+                if ms == 0 {
+                    return Err("--write-timeout-ms must be at least 1".into());
+                }
+                server_options.write_timeout = Some(std::time::Duration::from_millis(ms as u64));
+            }
+            "--journal-dir" => {
+                let dir = rest.next().ok_or("--journal-dir needs a directory")?;
+                server_options.journal_dir = Some(std::path::PathBuf::from(dir));
+            }
             other => {
                 return Err(format!(
                     "unexpected serve argument `{other}`\n{SERVE_USAGE}"
@@ -59,11 +94,11 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 "serve: listening on {path} with {} workers (stop with `repro serve-shutdown {path}`)",
                 service.workers()
             );
-            serve_at_socket(service, &path)
+            serve_at_socket(service, &path, &server_options)
         }
         (None, true) => {
             let service = Service::new(config);
-            serve_stdio(&service)
+            scenario_serve::server::serve_stdio_with(&service, &server_options)
                 .map(|_| ())
                 .map_err(|e| format!("stdio serve loop: {e}"))
         }
@@ -73,13 +108,21 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 }
 
 #[cfg(unix)]
-fn serve_at_socket(service: Arc<Service>, path: &str) -> Result<(), String> {
-    scenario_serve::serve_unix(service, std::path::Path::new(path))
+fn serve_at_socket(
+    service: Arc<Service>,
+    path: &str,
+    options: &ServerOptions,
+) -> Result<(), String> {
+    scenario_serve::serve_unix_with(service, std::path::Path::new(path), options)
         .map_err(|e| format!("socket serve loop on {path}: {e}"))
 }
 
 #[cfg(not(unix))]
-fn serve_at_socket(_service: Arc<Service>, _path: &str) -> Result<(), String> {
+fn serve_at_socket(
+    _service: Arc<Service>,
+    _path: &str,
+    _options: &ServerOptions,
+) -> Result<(), String> {
     Err("--socket needs Unix domain sockets; use --stdio on this platform".into())
 }
 
@@ -91,6 +134,7 @@ pub fn submit(args: &[String]) -> Result<(), String> {
     let name = args.get(1).ok_or(SUBMIT_USAGE)?.clone();
     let mut options = SubmitOptions::default();
     let mut out_dir: Option<String> = None;
+    let mut retries = 0usize;
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -99,6 +143,21 @@ pub fn submit(args: &[String]) -> Result<(), String> {
             "--recovery" => options.recovery = true,
             "--out-dir" => {
                 out_dir = Some(rest.next().ok_or("--out-dir needs a directory")?.clone());
+            }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(parse_num(rest.next(), "--deadline-ms")? as u64);
+            }
+            "--token" => {
+                let token = rest.next().ok_or("--token needs a grid token")?.clone();
+                if !scenario_serve::proto::valid_token(&token) {
+                    return Err(format!(
+                        "invalid token `{token}` (want 1-64 chars of [A-Za-z0-9._-])"
+                    ));
+                }
+                options.token = Some(token);
+            }
+            "--retries" => {
+                retries = parse_num(rest.next(), "--retries")?;
             }
             other => {
                 return Err(format!(
@@ -113,13 +172,24 @@ pub fn submit(args: &[String]) -> Result<(), String> {
         return Err("--out-dir needs --trace".into());
     }
     let spec = resolve(&name)?;
-    let mut client = connect(&socket)?;
-    let replies = client
-        .submit(&spec.to_string(), options)
+    let replies = submit_with_retries(&socket, &spec.to_string(), &options, retries)
         .map_err(|e| format!("submitting `{}`: {e}", spec.name))?;
     let total = replies.len();
+    let mut failed = 0usize;
     for (k, reply) in replies.iter().enumerate() {
-        let s = &reply.summary;
+        let s = match &reply.outcome {
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "[{}/{total}] cell failed ({}): {}",
+                    k + 1,
+                    e.kind,
+                    e.message
+                );
+                continue;
+            }
+            Ok(summary) => summary,
+        };
         let mut line = format!(
             "[{}/{total}] {}: {} tasks, makespan {:.3} s, {} recovery events",
             k + 1,
@@ -145,7 +215,49 @@ pub fn submit(args: &[String]) -> Result<(), String> {
             println!("  trace: {} bytes → {}", bytes.len(), path.display());
         }
     }
+    if failed > 0 {
+        return Err(format!("{failed} of {total} cells failed"));
+    }
     Ok(())
+}
+
+#[cfg(unix)]
+fn submit_with_retries(
+    socket: &str,
+    spec_text: &str,
+    options: &SubmitOptions,
+    retries: usize,
+) -> Result<Vec<scenario_serve::CellReply>, ClientError> {
+    if retries == 0 {
+        return connect(socket)
+            .map_err(ClientError::Protocol)?
+            .submit(spec_text, options.clone());
+    }
+    let mut client = scenario_serve::RetryingClient::new(
+        std::path::PathBuf::from(socket),
+        RetryPolicy {
+            budget: retries as u32,
+            ..RetryPolicy::default()
+        },
+    );
+    let replies = client.submit(spec_text, options)?;
+    if client.retries() > 0 {
+        eprintln!("serve-submit: succeeded after {} retries", client.retries());
+    }
+    Ok(replies)
+}
+
+#[cfg(not(unix))]
+fn submit_with_retries(
+    socket: &str,
+    _spec_text: &str,
+    _options: &SubmitOptions,
+    _retries: usize,
+) -> Result<Vec<scenario_serve::CellReply>, ClientError> {
+    let _ = socket;
+    Err(ClientError::Protocol(
+        "serve-submit needs Unix domain sockets on this platform".into(),
+    ))
 }
 
 /// Entry point for `repro serve-shutdown <args>`.
@@ -163,12 +275,7 @@ pub fn shutdown(args: &[String]) -> Result<(), String> {
 }
 
 #[cfg(unix)]
-fn connect(
-    socket: &str,
-) -> Result<
-    Client<std::io::BufReader<std::os::unix::net::UnixStream>, std::os::unix::net::UnixStream>,
-    String,
-> {
+fn connect(socket: &str) -> Result<scenario_serve::UnixClient, String> {
     Client::connect_unix(std::path::Path::new(socket))
         .map_err(|e| format!("connecting to {socket}: {e}"))
 }
@@ -196,6 +303,8 @@ mod tests {
             "transports are exclusive"
         );
         assert!(serve(&["--workers".into(), "0".into()]).is_err());
+        assert!(serve(&["--queue-capacity".into(), "0".into()]).is_err());
+        assert!(serve(&["--write-timeout-ms".into(), "0".into()]).is_err());
         assert!(submit(&["sock".into()]).is_err(), "needs a scenario name");
         assert!(
             submit(&[
@@ -206,6 +315,16 @@ mod tests {
             ])
             .is_err(),
             "--out-dir without --trace"
+        );
+        assert!(
+            submit(&[
+                "sock".into(),
+                "smoke".into(),
+                "--token".into(),
+                "has space".into()
+            ])
+            .is_err(),
+            "invalid grid token"
         );
         assert!(shutdown(&[]).is_err());
     }
@@ -224,6 +343,8 @@ mod tests {
                 sock_str.clone(),
                 "--workers".to_string(),
                 "2".to_string(),
+                "--journal-dir".to_string(),
+                dir.join("journal").to_str().unwrap().to_string(),
             ];
             std::thread::spawn(move || serve(&args))
         };
@@ -239,6 +360,10 @@ mod tests {
             "grid-smoke".into(),
             "--trace".into(),
             "--recovery".into(),
+            "--token".into(),
+            "cli-grid".into(),
+            "--retries".into(),
+            "2".into(),
             "--out-dir".into(),
             traces.to_str().unwrap().to_string(),
         ])
@@ -247,6 +372,10 @@ mod tests {
         assert_eq!(
             written, 8,
             "one trace file per grid-smoke cell, named by cell"
+        );
+        assert!(
+            dir.join("journal").join("cli-grid.journal").exists(),
+            "tokened submit journaled"
         );
 
         shutdown(&[sock_str]).expect("clean shutdown");

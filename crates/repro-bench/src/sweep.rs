@@ -208,8 +208,11 @@ pub fn run(spec: &SweepSpec) -> Vec<SweepCell> {
             capacity: spec.machine_counts.len().max(1),
             stripes: 1,
         },
+        ..ServiceConfig::default()
     });
-    let results = service.run_all(&spec.grid_scenario(), RunOptions::default());
+    let results = service
+        .run_all(&spec.grid_scenario(), RunOptions::default())
+        .expect("an idle in-process service admits the whole grid");
 
     // The requested knob triple per cell, in the same row-major order
     // the expansion uses — zipping by position keeps the *requested*

@@ -1,0 +1,279 @@
+//! Bounded admission for the service's worker pool.
+//!
+//! The pool's mailboxes are unbounded queues; without a gate in front
+//! of them, every concurrent client can park an arbitrarily large grid
+//! and the server's memory and latency grow without limit. Admission
+//! is accounted in *cells* (the unit the pool executes): a submit
+//! asking for `n` cells is admitted iff they fit under the configured
+//! capacity, and rejected immediately with a `busy` error plus a
+//! retry-after hint otherwise — the client backs off instead of the
+//! server queueing unboundedly.
+//!
+//! One deliberate exception keeps the service total: a submit that
+//! arrives when the queue is **empty** is admitted even if the grid
+//! alone exceeds capacity. Otherwise a grid larger than the capacity
+//! could never run at all; this way it simply runs alone.
+//!
+//! Permits are released cell by cell as results emit, so long grids
+//! free capacity continuously rather than at the end. An RAII grant
+//! returns unreleased permits on drop, covering error paths (client
+//! disconnects, panicking collectors) without bookkeeping at each one.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Admission sizing and back-off hinting.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum cells admitted (queued + running) across all
+    /// connections before submits bounce with `busy`.
+    pub queue_capacity: usize,
+    /// Per-connection in-flight cell window: how many of one submit's
+    /// cells may sit in pool mailboxes at once. Bounds both mailbox
+    /// depth and the per-connection result buffer (results are
+    /// emitted, and permits released, in expansion order).
+    pub conn_window: usize,
+    /// Base of the retry-after hint carried by `busy` rejections, in
+    /// milliseconds; the hint scales with the current backlog.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 4096,
+            conn_window: 16,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Monotonic admission counters, surfaced through `stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Cells admitted over the server's lifetime.
+    pub admitted: u64,
+    /// Submits rejected with `busy`.
+    pub rejected: u64,
+    /// Admitted cells shed before running (deadline expiry or client
+    /// abort) — they answered a typed error instead of executing.
+    pub shed: u64,
+    /// Cells currently admitted and not yet released.
+    pub inflight: u64,
+}
+
+/// A rejected submit: the queue was full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy {
+    /// How long the client should wait before retrying, in
+    /// milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl std::fmt::Display for Busy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission queue full; retry after {}ms",
+            self.retry_after_ms
+        )
+    }
+}
+
+impl std::error::Error for Busy {}
+
+#[derive(Debug)]
+struct Counters {
+    inflight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// The admission gate. Cheap to share; all state is atomic.
+pub struct Admission {
+    config: AdmissionConfig,
+    counters: Arc<Counters>,
+    // Serializes the check-then-admit step so two concurrent submits
+    // cannot both squeeze into the last remaining capacity.
+    gate: Mutex<()>,
+}
+
+impl Admission {
+    /// A gate with the given sizing.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Admission {
+            config,
+            counters: Arc::new(Counters {
+                inflight: AtomicUsize::new(0),
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+            }),
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// The configured sizing.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Tries to admit a submit of `cells` cells. On success the
+    /// returned grant holds `cells` permits; release them one by one
+    /// as results emit (the grant's drop returns the rest).
+    pub fn try_admit(&self, cells: usize, workers: usize) -> Result<AdmissionGrant, Busy> {
+        let _gate = self.gate.lock();
+        let inflight = self.counters.inflight.load(Ordering::SeqCst);
+        let fits = inflight + cells <= self.config.queue_capacity;
+        // The empty-queue exception: an oversized grid may run alone.
+        if !fits && inflight > 0 {
+            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(Busy {
+                retry_after_ms: self.retry_after_hint(inflight, workers),
+            });
+        }
+        self.counters.inflight.fetch_add(cells, Ordering::SeqCst);
+        self.counters
+            .admitted
+            .fetch_add(cells as u64, Ordering::SeqCst);
+        Ok(AdmissionGrant {
+            counters: Arc::clone(&self.counters),
+            held: cells,
+        })
+    }
+
+    /// Back-off hint: the base scaled by how many pool passes the
+    /// current backlog represents. A busier server asks for more
+    /// patience.
+    fn retry_after_hint(&self, inflight: usize, workers: usize) -> u64 {
+        let passes = (inflight / workers.max(1)) as u64 + 1;
+        self.config.retry_after_ms.saturating_mul(passes)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.counters.admitted.load(Ordering::SeqCst),
+            rejected: self.counters.rejected.load(Ordering::SeqCst),
+            shed: self.counters.shed.load(Ordering::SeqCst),
+            inflight: self.counters.inflight.load(Ordering::SeqCst) as u64,
+        }
+    }
+}
+
+/// RAII permits for one admitted submit.
+#[derive(Debug)]
+pub struct AdmissionGrant {
+    counters: Arc<Counters>,
+    held: usize,
+}
+
+impl AdmissionGrant {
+    /// Releases one permit: a cell finished (ran or errored).
+    pub fn release_one(&mut self) {
+        self.release(false);
+    }
+
+    /// Releases one permit for a cell that was shed — answered a typed
+    /// error without ever running (deadline expiry, client abort).
+    pub fn release_shed(&mut self) {
+        self.release(true);
+    }
+
+    fn release(&mut self, shed: bool) {
+        if self.held == 0 {
+            return;
+        }
+        self.held -= 1;
+        self.counters.inflight.fetch_sub(1, Ordering::SeqCst);
+        if shed {
+            self.counters.shed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Permits still held.
+    pub fn held(&self) -> usize {
+        self.held
+    }
+}
+
+impl Drop for AdmissionGrant {
+    fn drop(&mut self) {
+        if self.held > 0 {
+            self.counters
+                .inflight
+                .fetch_sub(self.held, Ordering::SeqCst);
+            self.held = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(capacity: usize) -> Admission {
+        Admission::new(AdmissionConfig {
+            queue_capacity: capacity,
+            ..AdmissionConfig::default()
+        })
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects_with_hint() {
+        let admission = gate(10);
+        let grant = admission.try_admit(8, 4).expect("fits");
+        let busy = admission.try_admit(3, 4).expect_err("over capacity");
+        assert!(busy.retry_after_ms >= 50, "hint at least the base");
+        drop(grant);
+        let _grant = admission
+            .try_admit(3, 4)
+            .expect("capacity returned on drop");
+        let stats = admission.stats();
+        assert_eq!(stats.admitted, 11);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.inflight, 3);
+    }
+
+    #[test]
+    fn oversized_grid_admitted_only_when_queue_empty() {
+        let admission = gate(4);
+        let grant = admission.try_admit(100, 2).expect("alone: admitted");
+        assert_eq!(admission.stats().inflight, 100);
+        admission
+            .try_admit(1, 2)
+            .expect_err("queue no longer empty");
+        drop(grant);
+        admission.try_admit(1, 2).expect("empty again");
+    }
+
+    #[test]
+    fn per_cell_release_frees_capacity_incrementally() {
+        let admission = gate(4);
+        let mut grant = admission.try_admit(4, 1).expect("fits exactly");
+        admission.try_admit(1, 1).expect_err("full");
+        grant.release_one();
+        let _refill = admission.try_admit(1, 1).expect("one permit back");
+        grant.release_shed();
+        let stats = admission.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.inflight, 3, "2 held + 1 re-admitted");
+        assert_eq!(grant.held(), 2);
+    }
+
+    #[test]
+    fn busier_backlog_asks_for_longer_backoff() {
+        let admission = gate(100);
+        let _small = admission.try_admit(4, 4).expect("fits");
+        let _big = admission.try_admit(96, 4).expect("fits");
+        let busy = admission.try_admit(1, 4).expect_err("full");
+        assert!(
+            busy.retry_after_ms >= 50 * (100 / 4),
+            "hint scales with backlog: got {}",
+            busy.retry_after_ms
+        );
+    }
+}

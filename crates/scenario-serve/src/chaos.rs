@@ -1,0 +1,370 @@
+//! Scriptable, replayable fault injection for the service's transport
+//! and workers.
+//!
+//! Every fault the hardening work defends against — torn frames,
+//! truncated reads, mid-stream disconnects, stalled peers, panicking
+//! workers, sluggish accepts — can be injected deterministically from
+//! a seed. A chaos test names a `u64`, derives a [`ChaosPlan`], wraps
+//! its transport in [`ChaosReader`]/[`ChaosWriter`], and every failure
+//! it finds is replayable by naming the same seed again.
+//!
+//! The generator is a xorshift64* stream (std-only, no clocks, no OS
+//! randomness), so plans are pure functions of their seed on every
+//! platform.
+
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// A deterministic xorshift64* stream.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeds the stream (a zero seed is remapped; xorshift fixes 0).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(seed.wrapping_mul(0x9e3779b97f4a7c15).max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Biased coin: true with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// A fault injected on the **write** side of a wrapped transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write `after_bytes` more bytes, then fail mid-frame — the peer
+    /// sees a torn line.
+    Tear {
+        /// Bytes still allowed through before the cut.
+        after_bytes: u64,
+    },
+    /// Complete `after_writes` more write calls, then fail with
+    /// `BrokenPipe` — a clean mid-stream disconnect on a frame
+    /// boundary.
+    Disconnect {
+        /// Write calls still allowed through.
+        after_writes: u64,
+    },
+    /// Sleep `millis` before every write call — a stalled writer (and,
+    /// seen from the peer, a stalled reader draining slowly).
+    Stall {
+        /// Per-write delay, in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A fault injected on the **read** side of a wrapped transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Deliver `after_bytes` more bytes, then report EOF — the stream
+    /// truncates, possibly mid-line.
+    Truncate {
+        /// Bytes still delivered before the false EOF.
+        after_bytes: u64,
+    },
+    /// Sleep `millis` before every read call.
+    Stall {
+        /// Per-read delay, in milliseconds.
+        millis: u64,
+    },
+}
+
+/// One seeded, replayable fault schedule for a client/server exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed this plan was derived from (for reporting).
+    pub seed: u64,
+    /// Fault on the bytes this side writes, if any.
+    pub write: Option<WriteFault>,
+    /// Fault on the bytes this side reads, if any.
+    pub read: Option<ReadFault>,
+    /// Delay injected before the server accepts a connection, in
+    /// milliseconds (0 = none).
+    pub accept_delay_ms: u64,
+    /// Inject a panic into the worker running cell `k` of the submit.
+    pub panic_cell: Option<usize>,
+}
+
+impl ChaosPlan {
+    /// Derives the plan for `seed`. Pure: equal seeds, equal plans.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(seed);
+        let write = match rng.below(5) {
+            0 => Some(WriteFault::Tear {
+                after_bytes: rng.below(2048),
+            }),
+            1 => Some(WriteFault::Disconnect {
+                after_writes: rng.below(12),
+            }),
+            2 => Some(WriteFault::Stall {
+                millis: 1 + rng.below(15),
+            }),
+            _ => None,
+        };
+        let read = match rng.below(5) {
+            0 => Some(ReadFault::Truncate {
+                after_bytes: rng.below(4096),
+            }),
+            1 => Some(ReadFault::Stall {
+                millis: 1 + rng.below(15),
+            }),
+            _ => None,
+        };
+        ChaosPlan {
+            seed,
+            write,
+            read,
+            accept_delay_ms: if rng.chance(1, 4) {
+                1 + rng.below(20)
+            } else {
+                0
+            },
+            panic_cell: rng.chance(1, 4).then(|| rng.below(8) as usize),
+        }
+    }
+
+    /// Wraps a reader with this plan's read fault.
+    pub fn reader<R: Read>(&self, inner: R) -> ChaosReader<R> {
+        ChaosReader {
+            inner,
+            fault: self.read,
+            delivered: 0,
+        }
+    }
+
+    /// Wraps a writer with this plan's write fault.
+    pub fn writer<W: Write>(&self, inner: W) -> ChaosWriter<W> {
+        ChaosWriter {
+            inner,
+            fault: self.write,
+            written: 0,
+            writes: 0,
+        }
+    }
+}
+
+/// A reader that truncates or stalls per its plan.
+pub struct ChaosReader<R> {
+    inner: R,
+    fault: Option<ReadFault>,
+    delivered: u64,
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            Some(ReadFault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(ReadFault::Truncate { after_bytes }) => {
+                let left = after_bytes.saturating_sub(self.delivered);
+                if left == 0 {
+                    return Ok(0);
+                }
+                let cap = (left.min(buf.len() as u64)) as usize;
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.delivered += n as u64;
+                return Ok(n);
+            }
+            None => {}
+        }
+        let n = self.inner.read(buf)?;
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
+/// A writer that tears, disconnects, or stalls per its plan.
+pub struct ChaosWriter<W> {
+    inner: W,
+    fault: Option<WriteFault>,
+    written: u64,
+    writes: u64,
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            Some(WriteFault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(WriteFault::Disconnect { after_writes }) if self.writes >= after_writes => {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "chaos: injected disconnect",
+                ));
+            }
+            Some(WriteFault::Disconnect { .. }) => {}
+            Some(WriteFault::Tear { after_bytes }) => {
+                let left = after_bytes.saturating_sub(self.written);
+                if left == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "chaos: torn frame",
+                    ));
+                }
+                let cap = (left.min(buf.len() as u64)) as usize;
+                let n = self.inner.write(&buf[..cap])?;
+                self.written += n as u64;
+                self.writes += 1;
+                return Ok(n);
+            }
+            None => {}
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        self.writes += 1;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-panic injection.
+//
+// Transport wrappers cannot reach a panic *inside* the pool, so chaos
+// tests arm cell names here and the service's run path consults the
+// registry at the top of each cell. The fast path is a single relaxed
+// atomic load — zero cost unless a test armed something.
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashSet<String>> {
+    static REGISTRY: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Arms an injected panic for the next run of the named cell
+/// (test-only; the production fast path is one atomic load).
+pub fn arm_panic(cell_name: &str) {
+    registry()
+        .lock()
+        .expect("chaos registry")
+        .insert(cell_name.to_string());
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Consumes an armed panic for `cell_name`, if any. Called by the
+/// service at the top of each cell; panics are one-shot so a retry of
+/// the same cell succeeds.
+pub fn take_armed_panic(cell_name: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut armed = registry().lock().expect("chaos registry");
+    let hit = armed.remove(cell_name);
+    if armed.is_empty() {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_their_seed() {
+        for seed in 0..64 {
+            assert_eq!(ChaosPlan::from_seed(seed), ChaosPlan::from_seed(seed));
+        }
+        // And not all identical.
+        let distinct: std::collections::HashSet<String> = (0..64)
+            .map(|s| format!("{:?}", ChaosPlan::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 8, "seeds vary the plan");
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_class() {
+        let mut tear = false;
+        let mut disconnect = false;
+        let mut stall_w = false;
+        let mut truncate = false;
+        let mut stall_r = false;
+        let mut delay = false;
+        let mut panic_cell = false;
+        for seed in 0..256 {
+            let plan = ChaosPlan::from_seed(seed);
+            match plan.write {
+                Some(WriteFault::Tear { .. }) => tear = true,
+                Some(WriteFault::Disconnect { .. }) => disconnect = true,
+                Some(WriteFault::Stall { .. }) => stall_w = true,
+                None => {}
+            }
+            match plan.read {
+                Some(ReadFault::Truncate { .. }) => truncate = true,
+                Some(ReadFault::Stall { .. }) => stall_r = true,
+                None => {}
+            }
+            delay |= plan.accept_delay_ms > 0;
+            panic_cell |= plan.panic_cell.is_some();
+        }
+        assert!(
+            tear && disconnect && stall_w && truncate && stall_r && delay && panic_cell,
+            "256 seeds must exercise every fault class"
+        );
+    }
+
+    #[test]
+    fn torn_writer_cuts_mid_buffer_then_fails() {
+        let plan = ChaosPlan {
+            seed: 0,
+            write: Some(WriteFault::Tear { after_bytes: 5 }),
+            read: None,
+            accept_delay_ms: 0,
+            panic_cell: None,
+        };
+        let mut sink = Vec::new();
+        let mut writer = plan.writer(&mut sink);
+        assert_eq!(writer.write(b"hello world").expect("first"), 5);
+        assert!(writer.write(b" more").is_err(), "torn after the budget");
+        assert_eq!(sink, b"hello");
+    }
+
+    #[test]
+    fn truncating_reader_reports_clean_eof_mid_stream() {
+        let plan = ChaosPlan {
+            seed: 0,
+            write: None,
+            read: Some(ReadFault::Truncate { after_bytes: 4 }),
+            accept_delay_ms: 0,
+            panic_cell: None,
+        };
+        let mut reader = plan.reader(&b"abcdefgh"[..]);
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).expect("truncation is EOF");
+        assert_eq!(out, b"abcd");
+    }
+
+    #[test]
+    fn armed_panics_are_one_shot_per_cell() {
+        arm_panic("chaos-cell-x");
+        assert!(!take_armed_panic("other-cell"));
+        assert!(take_armed_panic("chaos-cell-x"));
+        assert!(!take_armed_panic("chaos-cell-x"), "consumed");
+    }
+}

@@ -22,6 +22,34 @@ use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A shared cancellation flag for submitted-but-not-started jobs.
+///
+/// Cancellation is cooperative and *pre-start only*: a job dispatched
+/// through [`WorkerPool::submit_cancellable`] is told whether its token
+/// was cancelled by the time a worker picked it up, and decides for
+/// itself what to skip. Jobs already running are never interrupted —
+/// scenario cells are deterministic precisely because nothing reaches
+/// into them mid-flight.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flags every not-yet-started job holding this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`cancel`](CancelToken::cancel) been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 struct Mailbox {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
@@ -76,6 +104,16 @@ impl WorkerPool {
         let mailbox = &self.mailboxes[k];
         mailbox.queue.lock().push_back(Box::new(job));
         mailbox.available.notify_one();
+    }
+
+    /// Like [`submit`](WorkerPool::submit), but the job learns at
+    /// dispatch time whether `token` was cancelled while it sat in the
+    /// mailbox — the cancellation point for deadline-shed cells. The
+    /// job always runs (so completion accounting holds); `cancelled`
+    /// tells it to answer instead of work.
+    pub fn submit_cancellable(&self, token: &CancelToken, job: impl FnOnce(bool) + Send + 'static) {
+        let token = token.clone();
+        self.submit(move || job(token.is_cancelled()));
     }
 }
 
@@ -155,6 +193,35 @@ mod tests {
         drop(tx);
         drop(pool);
         assert_eq!(rx.iter().count(), 10, "drop drains the mailboxes");
+    }
+
+    #[test]
+    fn cancellation_reaches_queued_jobs_but_all_jobs_run() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let (tx, rx) = mpsc::channel();
+        // Occupy the single worker so the rest queue up.
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        for k in 0..8 {
+            let tx = tx.clone();
+            pool.submit_cancellable(&token, move |cancelled| {
+                tx.send((k, cancelled)).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        token.cancel();
+        gate.store(true, Ordering::SeqCst);
+        let seen: Vec<(usize, bool)> = rx.iter().collect();
+        assert_eq!(seen.len(), 8, "cancelled jobs still run (and answer)");
+        assert!(seen.iter().all(|&(_, c)| c), "all saw the cancellation");
     }
 
     #[test]

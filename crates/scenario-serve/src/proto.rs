@@ -1,51 +1,124 @@
-//! The `scenario-serve/v1` line protocol.
+//! The `scenario-serve/v2` line protocol.
 //!
 //! Everything is UTF-8 lines; `id` is a client-chosen whitespace-free
 //! token echoed verbatim on every response to the request. Grammar:
 //!
 //! ```text
 //! server → client on connect:
-//!   scenario-serve/v1
+//!   scenario-serve/v2
 //!
 //! client → server:
 //!   ping <id>
 //!   stats <id>
 //!   shutdown <id>
-//!   submit <id> [trace] [timing] [recovery]
+//!   submit <id> [trace] [timing] [recovery] [deadline-ms=<n>] [token=<t>]
 //!   <spec lines…>
 //!   end
 //!
 //! server → client:
 //!   pong <id>
 //!   stats <id> entries=<n> hits=<n> misses=<n> builds=<n> evictions=<n> build-secs=<f>
+//!             admitted=<n> rejected=<n> shed=<n> inflight=<n>
 //!   result <id> <k> <n> name=<cell> tasks=<n> makespan-bits=<hex16> recovery-events=<n>
 //!              [fit-bits=<hex16> decided=<n> replicated=<n>]
 //!   trace <id> <k> <hex bytes>
 //!   done <id> cells=<n>
-//!   error <id> <message…>
+//!   error <id> kind=<kind> [cell=<k>] [retry-after-ms=<n>] <message…>
 //!   bye <id>
 //! ```
 //!
+//! Version 2 is a strict superset of v1: every v1 request line is a
+//! valid v2 request, and v2-only response fields are either appended
+//! after the v1 fields (`stats`) or optional `key=value` words a v1
+//! reader folds into the free-text message (`error`). A v2 client
+//! accepts both greetings and simply refrains from sending
+//! `deadline-ms=`/`token=` to a v1 server.
+//!
 //! A `submit` answers with one `result` line per cell in canonical
 //! expansion order (`k` = 0..n), each followed by its `trace` line
-//! when tracing was requested, then `done`. Floats travel as the hex
-//! of their IEEE-754 bits (`f64::to_bits`) so bit-identity survives
-//! the wire; trace byte streams travel hex-encoded. Cell names may
-//! contain `=` but no whitespace (spec grammar), so `name=` must be
-//! parsed as everything up to the next ` tasks=`-style boundary —
-//! fields are therefore ordered and `name=` is always last-but-fixed:
-//! in practice names never contain spaces, which is all the split
-//! relies on.
+//! when tracing was requested, then `done`. A *cell* failure is an
+//! `error` line carrying `cell=<k>` in place of that cell's `result`
+//! line (the grid continues); an error without `cell=` aborts the
+//! whole request (`busy`, `invalid-spec`, `token-mismatch`, …).
+//! Floats travel as the hex of their IEEE-754 bits (`f64::to_bits`)
+//! so nothing rounds; trace byte streams travel hex-encoded.
 
 use std::io::{self, BufRead};
 
 use scenario::Outcome;
 
 /// The greeting/version line the server sends on connect.
-pub const GREETING: &str = "scenario-serve/v1";
+pub const GREETING: &str = "scenario-serve/v2";
 
-/// What a `submit` should record and stream back.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The previous protocol version's greeting; v2 clients accept it and
+/// downgrade (no deadlines, no grid tokens).
+pub const GREETING_V1: &str = "scenario-serve/v1";
+
+/// Machine-readable classification of an `error` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The admission queue is full; retry after the carried hint.
+    Busy,
+    /// The submit's deadline expired before this work could start.
+    DeadlineExceeded,
+    /// The submitted spec failed to parse or validate.
+    InvalidSpec,
+    /// One cell of a grid failed (ran, but errored or panicked).
+    CellFailed,
+    /// A grid token was reused with a different spec or options.
+    TokenMismatch,
+    /// The request line itself was malformed.
+    Protocol,
+    /// Anything else (also what legacy v1 error lines map to).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire word for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::InvalidSpec => "invalid-spec",
+            ErrorKind::CellFailed => "cell-failed",
+            ErrorKind::TokenMismatch => "token-mismatch",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire word; unknown kinds map to [`ErrorKind::Internal`]
+    /// so a newer server never breaks an older client.
+    pub fn parse(word: &str) -> ErrorKind {
+        match word {
+            "busy" => ErrorKind::Busy,
+            "deadline-exceeded" => ErrorKind::DeadlineExceeded,
+            "invalid-spec" => ErrorKind::InvalidSpec,
+            "cell-failed" => ErrorKind::CellFailed,
+            "token-mismatch" => ErrorKind::TokenMismatch,
+            "protocol" => ErrorKind::Protocol,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Is `token` a valid grid token (journal-file safe)?
+pub fn valid_token(token: &str) -> bool {
+    !token.is_empty()
+        && token.len() <= 64
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// What a `submit` should record, stream back, and be bounded by.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SubmitOptions {
     /// Stream each cell's recorded trace bytes (a `trace` line per
     /// cell).
@@ -54,6 +127,25 @@ pub struct SubmitOptions {
     pub timing: bool,
     /// Record the recovery-event stream in those traces.
     pub recovery: bool,
+    /// End-to-end deadline for the whole submit (queue wait + graph
+    /// build + run), measured from the moment the server reads the
+    /// request. Cells that cannot *start* before it expires answer a
+    /// typed `deadline-exceeded` error instead of running.
+    pub deadline_ms: Option<u64>,
+    /// Client-chosen grid token keying the server's completion
+    /// journal: a resubmit with the same token (and identical spec +
+    /// options) skips already-completed cells. Must satisfy
+    /// [`valid_token`].
+    pub token: Option<String>,
+}
+
+impl SubmitOptions {
+    /// The three recording flags as a compact signature (journal
+    /// headers compare this: a token resumed with different recording
+    /// options could not be served bit-identically).
+    pub fn recording_signature(&self) -> u8 {
+        (self.trace as u8) | (self.timing as u8) << 1 | (self.recovery as u8) << 2
+    }
 }
 
 /// A client request.
@@ -64,7 +156,7 @@ pub enum Request {
         /// Echo token.
         id: String,
     },
-    /// Catalog counter snapshot.
+    /// Catalog + admission counter snapshot.
     Stats {
         /// Echo token.
         id: String,
@@ -127,6 +219,49 @@ impl RunSummary {
             }),
         }
     }
+
+    /// Renders the `key=value` field tail of a `result` line (also the
+    /// per-cell payload the completion journal stores verbatim).
+    pub fn render_fields(&self) -> String {
+        let mut out = format!(
+            "name={} tasks={} makespan-bits={:016x} recovery-events={}",
+            self.name, self.tasks, self.makespan_bits, self.recovery_events,
+        );
+        if let Some(a) = &self.appfit {
+            out.push_str(&format!(
+                " fit-bits={:016x} decided={} replicated={}",
+                a.fit_bits, a.decided, a.replicated
+            ));
+        }
+        out
+    }
+
+    /// Parses the field tail produced by [`render_fields`].
+    ///
+    /// [`render_fields`]: RunSummary::render_fields
+    pub fn parse_fields(words: &mut std::str::SplitWhitespace<'_>) -> Result<Self, String> {
+        let mut summary = RunSummary {
+            name: field(words.next(), "name")?.to_string(),
+            tasks: field(words.next(), "tasks")?.parse().map_err(bad_num)?,
+            makespan_bits: u64::from_str_radix(field(words.next(), "makespan-bits")?, 16)
+                .map_err(bad_num)?,
+            recovery_events: field(words.next(), "recovery-events")?
+                .parse()
+                .map_err(bad_num)?,
+            appfit: None,
+        };
+        if let Some(word) = words.next() {
+            summary.appfit = Some(AppFitSummary {
+                fit_bits: u64::from_str_radix(field(Some(word), "fit-bits")?, 16)
+                    .map_err(bad_num)?,
+                decided: field(words.next(), "decided")?.parse().map_err(bad_num)?,
+                replicated: field(words.next(), "replicated")?
+                    .parse()
+                    .map_err(bad_num)?,
+            });
+        }
+        Ok(summary)
+    }
 }
 
 /// A server response line.
@@ -141,8 +276,8 @@ pub enum Response {
     Stats {
         /// Echo token.
         id: String,
-        /// Catalog counters.
-        stats: crate::catalog::CatalogStats,
+        /// Catalog + admission counters.
+        stats: crate::service::ServiceStats,
     },
     /// One cell of a `submit`, in canonical expansion order.
     Result {
@@ -171,12 +306,18 @@ pub enum Response {
         /// Cells answered.
         cells: usize,
     },
-    /// Anything failed (a whole request, or one cell of a grid — a
-    /// cell error replaces that cell's `result` line and the grid
-    /// continues).
+    /// Anything failed. With `cell`, one cell of a grid failed (the
+    /// error replaces that cell's `result` line and the grid
+    /// continues); without, the whole request failed.
     Error {
         /// Echo token (`-` when the request line itself was bad).
         id: String,
+        /// Machine-readable classification.
+        kind: ErrorKind,
+        /// The failing cell's index for per-cell errors.
+        cell: Option<usize>,
+        /// Back-off hint for [`ErrorKind::Busy`], in milliseconds.
+        retry_after_ms: Option<u64>,
         /// Human-readable message, newline-free.
         message: String,
     },
@@ -185,6 +326,19 @@ pub enum Response {
         /// Echo token.
         id: String,
     },
+}
+
+impl Response {
+    /// A whole-request error with no optional fields.
+    pub fn error(id: &str, kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            id: id.into(),
+            kind,
+            cell: None,
+            retry_after_ms: None,
+            message: message.into(),
+        }
+    }
 }
 
 /// Reads one request. `Ok(None)` is clean EOF; `Ok(Some(Err(msg)))`
@@ -212,6 +366,22 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Result<Reque
         "submit" => {
             let mut options = SubmitOptions::default();
             for flag in words.by_ref() {
+                if let Some(ms) = flag.strip_prefix("deadline-ms=") {
+                    match ms.parse() {
+                        Ok(ms) => options.deadline_ms = Some(ms),
+                        Err(e) => return Ok(Some(Err(format!("bad deadline-ms: {e}")))),
+                    }
+                    continue;
+                }
+                if let Some(token) = flag.strip_prefix("token=") {
+                    if !valid_token(token) {
+                        return Ok(Some(Err(format!(
+                            "invalid token `{token}` (want 1-64 chars of [A-Za-z0-9._-])"
+                        ))));
+                    }
+                    options.token = Some(token.to_string());
+                    continue;
+                }
                 match flag {
                     "trace" => options.trace = true,
                     "timing" => options.timing = true,
@@ -267,6 +437,12 @@ impl Request {
                 if options.recovery {
                     line.push_str(" recovery");
                 }
+                if let Some(ms) = options.deadline_ms {
+                    line.push_str(&format!(" deadline-ms={ms}"));
+                }
+                if let Some(token) = &options.token {
+                    line.push_str(&format!(" token={token}"));
+                }
                 let body = spec_text.trim_end_matches('\n');
                 format!("{line}\n{body}\nend\n")
             }
@@ -280,13 +456,18 @@ impl Response {
         match self {
             Response::Pong { id } => format!("pong {id}\n"),
             Response::Stats { id, stats } => format!(
-                "stats {id} entries={} hits={} misses={} builds={} evictions={} build-secs={}\n",
-                stats.entries,
-                stats.hits,
-                stats.misses,
-                stats.builds,
-                stats.evictions,
-                stats.build_secs,
+                "stats {id} entries={} hits={} misses={} builds={} evictions={} build-secs={} \
+                 admitted={} rejected={} shed={} inflight={}\n",
+                stats.catalog.entries,
+                stats.catalog.hits,
+                stats.catalog.misses,
+                stats.catalog.builds,
+                stats.catalog.evictions,
+                stats.catalog.build_secs,
+                stats.admission.admitted,
+                stats.admission.rejected,
+                stats.admission.shed,
+                stats.admission.inflight,
             ),
             Response::Result {
                 id,
@@ -294,25 +475,27 @@ impl Response {
                 total,
                 summary,
             } => {
-                let mut line = format!(
-                    "result {id} {index} {total} name={} tasks={} makespan-bits={:016x} recovery-events={}",
-                    summary.name, summary.tasks, summary.makespan_bits, summary.recovery_events,
-                );
-                if let Some(a) = &summary.appfit {
-                    line.push_str(&format!(
-                        " fit-bits={:016x} decided={} replicated={}",
-                        a.fit_bits, a.decided, a.replicated
-                    ));
-                }
-                line.push('\n');
-                line
+                format!("result {id} {index} {total} {}\n", summary.render_fields())
             }
             Response::Trace { id, index, bytes } => {
                 format!("trace {id} {index} {}\n", to_hex(bytes))
             }
             Response::Done { id, cells } => format!("done {id} cells={cells}\n"),
-            Response::Error { id, message } => {
-                format!("error {id} {}\n", message.replace('\n', "; "))
+            Response::Error {
+                id,
+                kind,
+                cell,
+                retry_after_ms,
+                message,
+            } => {
+                let mut line = format!("error {id} kind={}", kind.as_str());
+                if let Some(cell) = cell {
+                    line.push_str(&format!(" cell={cell}"));
+                }
+                if let Some(ms) = retry_after_ms {
+                    line.push_str(&format!(" retry-after-ms={ms}"));
+                }
+                format!("{line} {}\n", message.replace('\n', "; "))
             }
             Response::Bye { id } => format!("bye {id}\n"),
         }
@@ -333,9 +516,8 @@ impl Response {
                 id,
                 cells: field(words.next(), "cells")?.parse().map_err(bad_num)?,
             }),
-            "stats" => Ok(Response::Stats {
-                id,
-                stats: crate::catalog::CatalogStats {
+            "stats" => {
+                let catalog = crate::catalog::CatalogStats {
                     entries: field(words.next(), "entries")?.parse().map_err(bad_num)?,
                     hits: field(words.next(), "hits")?.parse().map_err(bad_num)?,
                     misses: field(words.next(), "misses")?.parse().map_err(bad_num)?,
@@ -344,12 +526,58 @@ impl Response {
                     build_secs: field(words.next(), "build-secs")?
                         .parse()
                         .map_err(bad_num)?,
-                },
-            }),
-            "error" => Ok(Response::Error {
-                id,
-                message: words.collect::<Vec<_>>().join(" "),
-            }),
+                };
+                // The admission tail is a v2 addition: absent from a v1
+                // server's line, in which case the counters read zero.
+                let mut admission = crate::admission::AdmissionStats::default();
+                if let Some(word) = words.next() {
+                    admission.admitted = field(Some(word), "admitted")?.parse().map_err(bad_num)?;
+                    admission.rejected =
+                        field(words.next(), "rejected")?.parse().map_err(bad_num)?;
+                    admission.shed = field(words.next(), "shed")?.parse().map_err(bad_num)?;
+                    admission.inflight =
+                        field(words.next(), "inflight")?.parse().map_err(bad_num)?;
+                }
+                Ok(Response::Stats {
+                    id,
+                    stats: crate::service::ServiceStats { catalog, admission },
+                })
+            }
+            "error" => {
+                let mut kind = ErrorKind::Internal;
+                let mut cell = None;
+                let mut retry_after_ms = None;
+                let mut rest: Vec<&str> = Vec::new();
+                let mut head = true;
+                for word in words {
+                    if head {
+                        if let Some(k) = word.strip_prefix("kind=") {
+                            kind = ErrorKind::parse(k);
+                            continue;
+                        }
+                        if let Some(c) = word.strip_prefix("cell=") {
+                            cell = Some(c.parse().map_err(bad_num)?);
+                            continue;
+                        }
+                        if let Some(ms) = word.strip_prefix("retry-after-ms=") {
+                            retry_after_ms = Some(ms.parse().map_err(bad_num)?);
+                            continue;
+                        }
+                        // First non-field word: everything from here on
+                        // (fields included) is message text. Legacy v1
+                        // error lines land here wholesale.
+                        head = false;
+                    }
+                    rest.push(word);
+                }
+                Ok(Response::Error {
+                    id,
+                    kind,
+                    cell,
+                    retry_after_ms,
+                    message: rest.join(" "),
+                })
+            }
             "trace" => {
                 let index = words.next().ok_or("trace needs an index")?;
                 let hex = words.next().unwrap_or("");
@@ -362,31 +590,13 @@ impl Response {
             "result" => {
                 let index = words.next().ok_or("result needs an index")?;
                 let total = words.next().ok_or("result needs a total")?;
-                let mut summary = RunSummary {
-                    name: field(words.next(), "name")?.to_string(),
-                    tasks: field(words.next(), "tasks")?.parse().map_err(bad_num)?,
-                    makespan_bits: u64::from_str_radix(field(words.next(), "makespan-bits")?, 16)
-                        .map_err(bad_num)?,
-                    recovery_events: field(words.next(), "recovery-events")?
-                        .parse()
-                        .map_err(bad_num)?,
-                    appfit: None,
-                };
-                if let Some(word) = words.next() {
-                    summary.appfit = Some(AppFitSummary {
-                        fit_bits: u64::from_str_radix(field(Some(word), "fit-bits")?, 16)
-                            .map_err(bad_num)?,
-                        decided: field(words.next(), "decided")?.parse().map_err(bad_num)?,
-                        replicated: field(words.next(), "replicated")?
-                            .parse()
-                            .map_err(bad_num)?,
-                    });
-                }
+                let index = index.parse().map_err(bad_num)?;
+                let total = total.parse().map_err(bad_num)?;
                 Ok(Response::Result {
                     id,
-                    index: index.parse().map_err(bad_num)?,
-                    total: total.parse().map_err(bad_num)?,
-                    summary,
+                    index,
+                    total,
+                    summary: RunSummary::parse_fields(&mut words)?,
                 })
             }
             other => Err(format!("unknown response `{other}`")),
@@ -441,7 +651,9 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::AdmissionStats;
     use crate::catalog::CatalogStats;
+    use crate::service::ServiceStats;
 
     #[test]
     fn requests_round_trip() {
@@ -455,8 +667,15 @@ mod tests {
                     trace: true,
                     timing: false,
                     recovery: true,
+                    deadline_ms: Some(1500),
+                    token: Some("grid-7.a_b".into()),
                 },
                 spec_text: "scenario = smoke\n[topology]\nnodes = 4\n".into(),
+            },
+            Request::Submit {
+                id: "v1".into(),
+                options: SubmitOptions::default(),
+                spec_text: "scenario = smoke\n".into(),
             },
         ] {
             let mut bytes = request.render().into_bytes();
@@ -470,6 +689,29 @@ mod tests {
     }
 
     #[test]
+    fn v1_submit_lines_still_parse() {
+        // The exact line grammar a v1 client renders must stay valid.
+        let mut bytes = b"submit s1 trace timing\nscenario = x\nend\n".to_vec();
+        let mut reader = std::io::Cursor::new(&mut bytes);
+        let back = read_request(&mut reader)
+            .expect("io")
+            .expect("not EOF")
+            .expect("well-formed");
+        assert_eq!(
+            back,
+            Request::Submit {
+                id: "s1".into(),
+                options: SubmitOptions {
+                    trace: true,
+                    timing: true,
+                    ..SubmitOptions::default()
+                },
+                spec_text: "scenario = x\n".into(),
+            }
+        );
+    }
+
+    #[test]
     fn responses_round_trip() {
         for response in [
             Response::Pong { id: "a".into() },
@@ -480,17 +722,42 @@ mod tests {
             },
             Response::Error {
                 id: "-".into(),
+                kind: ErrorKind::Protocol,
+                cell: None,
+                retry_after_ms: None,
                 message: "two words".into(),
+            },
+            Response::Error {
+                id: "x".into(),
+                kind: ErrorKind::Busy,
+                cell: None,
+                retry_after_ms: Some(250),
+                message: "queue full".into(),
+            },
+            Response::Error {
+                id: "y".into(),
+                kind: ErrorKind::CellFailed,
+                cell: Some(3),
+                retry_after_ms: None,
+                message: "worker panicked".into(),
             },
             Response::Stats {
                 id: "d".into(),
-                stats: CatalogStats {
-                    entries: 2,
-                    hits: 9,
-                    misses: 3,
-                    builds: 3,
-                    evictions: 1,
-                    build_secs: 0.5,
+                stats: ServiceStats {
+                    catalog: CatalogStats {
+                        entries: 2,
+                        hits: 9,
+                        misses: 3,
+                        builds: 3,
+                        evictions: 1,
+                        build_secs: 0.5,
+                    },
+                    admission: AdmissionStats {
+                        admitted: 17,
+                        rejected: 2,
+                        shed: 4,
+                        inflight: 1,
+                    },
                 },
             },
             Response::Trace {
@@ -535,13 +802,60 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_error_lines_parse_as_internal() {
+        let back = Response::parse("error s1 something went wrong").expect("parses");
+        assert_eq!(
+            back,
+            Response::Error {
+                id: "s1".into(),
+                kind: ErrorKind::Internal,
+                cell: None,
+                retry_after_ms: None,
+                message: "something went wrong".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn v1_stats_lines_parse_with_zero_admission_counters() {
+        let back = Response::parse(
+            "stats d entries=2 hits=9 misses=3 builds=3 evictions=1 build-secs=0.5",
+        )
+        .expect("parses");
+        match back {
+            Response::Stats { stats, .. } => {
+                assert_eq!(stats.catalog.builds, 3);
+                assert_eq!(stats.admission, AdmissionStats::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_requests_are_survivable_errors() {
-        for bad in ["submit", "warp x", "ping a b", "submit x fast"] {
+        for bad in [
+            "submit",
+            "warp x",
+            "ping a b",
+            "submit x fast",
+            "submit x deadline-ms=abc",
+            "submit x token=has/slash",
+            "submit x token=",
+        ] {
             let mut bytes = format!("{bad}\n").into_bytes();
             let mut reader = std::io::Cursor::new(&mut bytes);
             let result = read_request(&mut reader).expect("io").expect("not EOF");
             assert!(result.is_err(), "`{bad}` must be a protocol error");
         }
+    }
+
+    #[test]
+    fn token_validation() {
+        assert!(valid_token("grid-7.a_B"));
+        assert!(!valid_token(""));
+        assert!(!valid_token("has space"));
+        assert!(!valid_token("dot/dot"));
+        assert!(!valid_token(&"x".repeat(65)));
     }
 
     #[test]

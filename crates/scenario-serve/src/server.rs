@@ -1,16 +1,24 @@
 //! Serving the protocol: one request at a time per connection,
 //! concurrency across connections (each connection gets a thread) and
 //! within grids (cells fan out over the service's worker pool).
+//!
+//! The failure-mode surface lives here too: submits bounce off the
+//! admission gate with typed `busy` errors, per-submit deadlines are
+//! anchored the moment the request is read, write timeouts disconnect
+//! stalled readers instead of wedging pool workers, tokened submits
+//! replay from (and append to) the completion journal, and binding a
+//! leftover socket probes for a live server before unlinking it.
 
 use std::io::{self, BufRead, Write};
-#[cfg(unix)]
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use scenario::{ScenarioSpec, TraceOptions};
 
-use crate::proto::{self, Request, Response, RunSummary, SubmitOptions};
-use crate::service::{RunOptions, Service};
+use crate::journal::{fnv1a64, GridHeader, GridJournal, Journal};
+use crate::proto::{self, ErrorKind, Request, Response, RunSummary, SubmitOptions};
+use crate::service::{RunOptions, Service, SubmitError};
 
 /// Why a connection stopped being served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,11 +29,37 @@ pub enum ServeExit {
     Shutdown,
 }
 
-/// Serves one connection until EOF or `shutdown`. Answers every
-/// request before reading the next; responses for a submit stream in
-/// canonical cell order.
+/// Server-side knobs beyond service sizing.
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Directory for per-token grid completion journals; `None`
+    /// disables resumable grids.
+    pub journal_dir: Option<PathBuf>,
+    /// Kernel-level write timeout per connection: a client that stops
+    /// reading for this long is disconnected (its admitted cells are
+    /// shed) instead of blocking a serving thread forever.
+    pub write_timeout: Option<Duration>,
+    /// Artificial delay before serving each accepted connection
+    /// (chaos testing only).
+    pub accept_delay: Option<Duration>,
+}
+
+/// Serves one connection until EOF or `shutdown`, with no journal.
+/// Answers every request before reading the next; responses for a
+/// submit stream in canonical cell order.
 pub fn serve_connection(
     service: &Service,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> io::Result<ServeExit> {
+    serve_connection_with(service, None, reader, writer)
+}
+
+/// [`serve_connection`] with an optional completion journal for
+/// tokened submits.
+pub fn serve_connection_with(
+    service: &Service,
+    journal: Option<&Journal>,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
 ) -> io::Result<ServeExit> {
@@ -35,13 +69,7 @@ pub fn serve_connection(
         let request = match proto::read_request(reader)? {
             None => return Ok(ServeExit::Eof),
             Some(Err(message)) => {
-                write_response(
-                    writer,
-                    &Response::Error {
-                        id: "-".into(),
-                        message,
-                    },
-                )?;
+                write_response(writer, &Response::error("-", ErrorKind::Protocol, message))?;
                 continue;
             }
             Some(Ok(request)) => request,
@@ -52,7 +80,7 @@ pub fn serve_connection(
                 writer,
                 &Response::Stats {
                     id,
-                    stats: service.catalog().stats(),
+                    stats: service.stats(),
                 },
             )?,
             Request::Shutdown { id } => {
@@ -63,93 +91,205 @@ pub fn serve_connection(
                 id,
                 options,
                 spec_text,
-            } => submit(service, writer, &id, options, &spec_text)?,
+            } => submit(service, journal, writer, &id, &options, &spec_text)?,
         }
     }
 }
 
 fn submit(
     service: &Service,
+    journal: Option<&Journal>,
     writer: &mut impl Write,
     id: &str,
-    options: SubmitOptions,
+    options: &SubmitOptions,
     spec_text: &str,
 ) -> io::Result<()> {
+    // The deadline clock starts the moment the request is in hand:
+    // queue wait, graph builds, and runs all count against it.
+    let deadline = options
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let spec = match ScenarioSpec::parse(spec_text) {
         Err(e) => {
             return write_response(
                 writer,
-                &Response::Error {
-                    id: id.into(),
-                    message: e.to_string(),
-                },
+                &Response::error(id, ErrorKind::InvalidSpec, e.to_string()),
             );
         }
         Ok(spec) => spec,
     };
+    if let Err(e) = spec.validate() {
+        return write_response(writer, &Response::error(id, ErrorKind::InvalidSpec, e));
+    }
     let run_options = RunOptions {
         trace: options.trace.then_some(TraceOptions {
             timing: options.timing,
             recovery: options.recovery,
         }),
+        deadline,
     };
-    // `run_streaming`'s callback cannot fail; carry the first write
-    // error out and stop writing (the runs themselves still drain).
-    let mut write_error: Option<io::Error> = None;
-    let mut cells = 0;
-    service.run_streaming(&spec, run_options, |index, total, result| {
-        cells = total;
-        if write_error.is_some() {
-            return;
-        }
-        let outcome = (|| match result {
-            Err(message) => write_response(
-                writer,
-                &Response::Error {
-                    id: id.into(),
-                    message,
-                },
-            ),
-            Ok(run) => {
-                write_response(
+    let cells = spec.expand();
+    let total = cells.len();
+
+    // Tokened submits replay completed cells from the journal and run
+    // (then record) only the rest.
+    let mut grid_journal: Option<GridJournal> = None;
+    if let (Some(journal), Some(token)) = (journal, &options.token) {
+        let header = GridHeader {
+            spec_hash: fnv1a64(spec.to_string().as_bytes()),
+            cells: total,
+            recording: options.recording_signature(),
+        };
+        match journal.resume(token, header) {
+            Err(e) => {
+                return write_response(
                     writer,
-                    &Response::Result {
-                        id: id.into(),
-                        index,
-                        total,
-                        summary: RunSummary::of(&run.spec.name, &run.outcome),
-                    },
-                )?;
-                if let Some(trace) = &run.trace {
-                    write_response(
-                        writer,
-                        &Response::Trace {
-                            id: id.into(),
-                            index,
-                            bytes: trace.to_bytes(),
-                        },
-                    )?;
-                }
-                Ok(())
+                    &Response::error(id, ErrorKind::Internal, format!("journal: {e}")),
+                );
             }
-        })();
-        if let Err(e) = outcome {
-            write_error = Some(e);
+            Ok(Err(reason)) => {
+                return write_response(
+                    writer,
+                    &Response::error(id, ErrorKind::TokenMismatch, reason),
+                );
+            }
+            Ok(Ok(grid)) => grid_journal = Some(grid),
         }
-    });
+    }
+    let pending: Vec<(usize, ScenarioSpec)> = cells
+        .into_iter()
+        .enumerate()
+        .filter(|(index, _)| {
+            grid_journal
+                .as_ref()
+                .is_none_or(|grid| !grid.completed().contains_key(index))
+        })
+        .collect();
+
+    // Interleave journal replay with fresh results so the stream stays
+    // in canonical order: before fresh cell k, every journaled cell
+    // below k is emitted from its stored bytes.
+    let mut write_error: Option<io::Error> = None;
+    let mut next_emit = 0usize;
+    let replay_below = |limit: usize,
+                        next_emit: &mut usize,
+                        grid_journal: &Option<GridJournal>,
+                        writer: &mut dyn Write|
+     -> io::Result<()> {
+        while *next_emit < limit {
+            let index = *next_emit;
+            *next_emit += 1;
+            let Some(entry) = grid_journal
+                .as_ref()
+                .and_then(|grid| grid.completed().get(&index))
+            else {
+                continue;
+            };
+            writer
+                .write_all(format!("result {id} {index} {total} {}\n", entry.fields).as_bytes())?;
+            if let Some(bytes) = &entry.trace {
+                writer.write_all(
+                    format!("trace {id} {index} {}\n", proto::to_hex(bytes)).as_bytes(),
+                )?;
+            }
+            writer.flush()?;
+        }
+        Ok(())
+    };
+
+    let outcome =
+        service.run_cells_streaming(pending, total, run_options, |index, total, result| {
+            if write_error.is_some() {
+                return false;
+            }
+            let wrote = (|| -> io::Result<()> {
+                replay_below(index, &mut next_emit, &grid_journal, writer)?;
+                next_emit = index + 1;
+                match result {
+                    Err(cell_error) => write_response(
+                        writer,
+                        &Response::Error {
+                            id: id.into(),
+                            kind: cell_error.kind,
+                            cell: Some(index),
+                            retry_after_ms: None,
+                            message: cell_error.message,
+                        },
+                    ),
+                    Ok(run) => {
+                        let summary = RunSummary::of(&run.spec.name, &run.outcome);
+                        let trace_bytes = run.trace.as_ref().map(|t| t.to_bytes());
+                        // A failing journal write degrades to non-resumable
+                        // serving rather than failing the submit: the
+                        // result is already in hand.
+                        let journal_ok = match &mut grid_journal {
+                            Some(grid) => grid
+                                .record(index, &summary.render_fields(), trace_bytes.as_deref())
+                                .is_ok(),
+                            None => true,
+                        };
+                        if !journal_ok {
+                            grid_journal = None;
+                        }
+                        write_response(
+                            writer,
+                            &Response::Result {
+                                id: id.into(),
+                                index,
+                                total,
+                                summary,
+                            },
+                        )?;
+                        if let Some(bytes) = trace_bytes {
+                            write_response(
+                                writer,
+                                &Response::Trace {
+                                    id: id.into(),
+                                    index,
+                                    bytes,
+                                },
+                            )?;
+                        }
+                        Ok(())
+                    }
+                }
+            })();
+            if let Err(e) = wrote {
+                // Stop streaming and shed the rest of the submit; the
+                // connection is torn down with the error below.
+                write_error = Some(e);
+                return false;
+            }
+            true
+        });
     if let Some(e) = write_error {
         return Err(e);
     }
+    if let Err(busy) = outcome {
+        return write_response(
+            writer,
+            &Response::Error {
+                id: id.into(),
+                kind: ErrorKind::Busy,
+                cell: None,
+                retry_after_ms: Some(busy.retry_after_ms),
+                message: SubmitError::Busy(busy).to_string(),
+            },
+        );
+    }
+    // Anything journaled past the last fresh cell (or everything, on a
+    // fully-completed replay).
+    replay_below(total, &mut next_emit, &grid_journal, writer)?;
     write_response(
         writer,
         &Response::Done {
             id: id.into(),
-            cells,
+            cells: total,
         },
     )
 }
 
-fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+fn write_response(writer: &mut (impl Write + ?Sized), response: &Response) -> io::Result<()> {
     writer.write_all(response.render().as_bytes())?;
     writer.flush()
 }
@@ -157,9 +297,24 @@ fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()
 /// Serves the protocol on stdin/stdout (`repro serve --stdio`): a
 /// single connection, exiting on EOF or `shutdown`.
 pub fn serve_stdio(service: &Service) -> io::Result<ServeExit> {
+    serve_stdio_with(service, &ServerOptions::default())
+}
+
+/// [`serve_stdio`] with server options (the journal applies; write
+/// timeouts cannot be set on stdio and are ignored).
+pub fn serve_stdio_with(service: &Service, options: &ServerOptions) -> io::Result<ServeExit> {
+    let journal = match &options.journal_dir {
+        None => None,
+        Some(dir) => Some(Journal::open(dir)?),
+    };
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_connection(service, &mut stdin.lock(), &mut stdout.lock())
+    serve_connection_with(
+        service,
+        journal.as_ref(),
+        &mut stdin.lock(),
+        &mut stdout.lock(),
+    )
 }
 
 /// Binds `path` and serves until a client sends `shutdown`
@@ -168,23 +323,64 @@ pub fn serve_stdio(service: &Service) -> io::Result<ServeExit> {
 /// socket file is removed on the way out.
 #[cfg(unix)]
 pub fn serve_unix(service: Arc<Service>, path: &Path) -> io::Result<()> {
+    serve_unix_with(service, path, &ServerOptions::default())
+}
+
+/// [`serve_unix`] with server options: journal directory, per-client
+/// write timeout, chaos accept delay.
+///
+/// A leftover socket file is probed before binding: if a server still
+/// answers on it, binding refuses with `AddrInUse` (never displace a
+/// live server); if the connect fails, the file is a stale remnant of
+/// a dead server and is unlinked.
+#[cfg(unix)]
+pub fn serve_unix_with(
+    service: Arc<Service>,
+    path: &Path,
+    options: &ServerOptions,
+) -> io::Result<()> {
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    let _ = std::fs::remove_file(path);
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!(
+                        "{} already has a live server; refusing to displace it",
+                        path.display()
+                    ),
+                ));
+            }
+            Err(_) => {
+                // Stale: a dead server's remnant. Unlink and bind.
+                std::fs::remove_file(path)?;
+            }
+        }
+    }
     let listener = UnixListener::bind(path)?;
+    let journal = match &options.journal_dir {
+        None => None,
+        Some(dir) => Some(Arc::new(Journal::open(dir)?)),
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        if let Some(delay) = options.accept_delay {
+            std::thread::sleep(delay);
+        }
         let stream = stream?;
+        stream.set_write_timeout(options.write_timeout)?;
         let service = Arc::clone(&service);
+        let journal = journal.clone();
         let stop = Arc::clone(&stop);
         let wake_path = path.to_path_buf();
         handles.push(std::thread::spawn(move || {
-            let exit = serve_stream(&service, &stream);
+            let exit = serve_stream(&service, journal.as_deref(), &stream);
             if matches!(exit, Ok(ServeExit::Shutdown)) {
                 stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so it can observe the flag.
@@ -202,11 +398,12 @@ pub fn serve_unix(service: Arc<Service>, path: &Path) -> io::Result<()> {
 #[cfg(unix)]
 fn serve_stream(
     service: &Service,
+    journal: Option<&Journal>,
     stream: &std::os::unix::net::UnixStream,
 ) -> io::Result<ServeExit> {
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
-    serve_connection(service, &mut reader, &mut writer)
+    serve_connection_with(service, journal, &mut reader, &mut writer)
 }
 
 #[cfg(test)]
@@ -216,13 +413,18 @@ mod tests {
 
     /// Drives one in-memory connection end to end.
     fn converse(input: &str) -> (Vec<String>, ServeExit) {
+        converse_with(input, None)
+    }
+
+    fn converse_with(input: &str, journal: Option<&Journal>) -> (Vec<String>, ServeExit) {
         let service = Service::new(ServiceConfig {
             workers: 2,
             ..ServiceConfig::default()
         });
         let mut reader = io::Cursor::new(input.as_bytes().to_vec());
         let mut output = Vec::new();
-        let exit = serve_connection(&service, &mut reader, &mut output).expect("serves");
+        let exit =
+            serve_connection_with(&service, journal, &mut reader, &mut output).expect("serves");
         let text = String::from_utf8(output).expect("utf8");
         (text.lines().map(str::to_string).collect(), exit)
     }
@@ -242,9 +444,9 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_get_errors_and_service_continues() {
+    fn malformed_requests_get_typed_errors_and_service_continues() {
         let (lines, exit) = converse("warp x\nping ok\n");
-        assert!(lines[1].starts_with("error -"), "{lines:?}");
+        assert!(lines[1].starts_with("error - kind=protocol"), "{lines:?}");
         assert_eq!(lines[2], "pong ok");
         assert_eq!(exit, ServeExit::Eof);
     }
@@ -262,13 +464,66 @@ mod tests {
         assert!(lines[2].starts_with("trace s1 0 "), "{lines:?}");
         assert_eq!(lines[3], "done s1 cells=1");
         assert!(lines[4].contains("builds=1"), "{lines:?}");
+        assert!(lines[4].contains("admitted=1"), "{lines:?}");
+        assert!(lines[4].contains("inflight=0"), "{lines:?}");
     }
 
     #[test]
-    fn bad_specs_answer_error_then_keep_serving() {
+    fn bad_specs_answer_typed_errors_then_keep_serving() {
         let (lines, exit) = converse("submit s1\nnot a spec\nend\nping p\n");
-        assert!(lines[1].starts_with("error s1 "), "{lines:?}");
+        assert!(
+            lines[1].starts_with("error s1 kind=invalid-spec"),
+            "{lines:?}"
+        );
         assert_eq!(lines[2], "pong p");
         assert_eq!(exit, ServeExit::Eof);
+    }
+
+    #[test]
+    fn an_expired_deadline_answers_per_cell_typed_errors_then_done() {
+        let spec = scenario::preset("grid-smoke")
+            .expect("catalog preset")
+            .to_string();
+        let (lines, _) = converse(&format!("submit d1 deadline-ms=0\n{spec}end\n"));
+        let errors: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.starts_with("error d1 kind=deadline-exceeded"))
+            .collect();
+        assert_eq!(errors.len(), 8, "{lines:?}");
+        for (k, line) in errors.iter().enumerate() {
+            assert!(line.contains(&format!("cell={k}")), "{line}");
+        }
+        assert_eq!(lines.last().expect("done"), "done d1 cells=8");
+    }
+
+    #[test]
+    fn tokened_resubmits_replay_from_the_journal_byte_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "scenario-serve-server-journal-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::open(&dir).expect("journal dir");
+        let spec = scenario::preset("grid-smoke")
+            .expect("catalog preset")
+            .to_string();
+        let submit = format!("submit j1 trace timing recovery token=grid-a\n{spec}end\n");
+        let (first, _) = converse_with(&submit, Some(&journal));
+        let (second, _) = converse_with(&submit, Some(&journal));
+        assert_eq!(first, second, "replay is byte-identical to the original");
+        assert!(second.iter().any(|l| l.starts_with("result j1 7 8 ")));
+        // A different spec under the same token is refused.
+        let other = scenario::preset("smoke")
+            .expect("catalog preset")
+            .to_string();
+        let (refused, _) = converse_with(
+            &format!("submit j2 trace timing recovery token=grid-a\n{other}end\n"),
+            Some(&journal),
+        );
+        assert!(
+            refused[1].starts_with("error j2 kind=token-mismatch"),
+            "{refused:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -77,7 +77,9 @@ fn service_runs_against_the_shared_entry() {
         spec.policy = PolicySpec::AppFit {
             target: TargetSpec::Fraction(fraction),
         };
-        let results = service.run_all(&spec, RunOptions::default());
+        let results = service
+            .run_all(&spec, RunOptions::default())
+            .expect("admitted");
         assert!(results.into_iter().all(|r| r.is_ok()));
     }
     let stats = service.catalog().stats();

@@ -102,10 +102,15 @@ proptest! {
                     .map(|spec| {
                         let service = &service;
                         scope.spawn(move || {
-                            service.run_all(
-                                spec,
-                                RunOptions { trace: Some(TRACE) },
-                            )
+                            service
+                                .run_all(
+                                    spec,
+                                    RunOptions {
+                                        trace: Some(TRACE),
+                                        ..RunOptions::default()
+                                    },
+                                )
+                                .expect("valid spec, default admission")
                         })
                     })
                     .collect::<Vec<_>>()

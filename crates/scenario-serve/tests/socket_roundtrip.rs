@@ -43,6 +43,7 @@ fn concurrent_clients_get_bit_identical_results_over_the_socket() {
         trace: true,
         timing: true,
         recovery: true,
+        ..SubmitOptions::default()
     };
     let trace_options = TraceOptions {
         timing: true,
@@ -57,11 +58,15 @@ fn concurrent_clients_get_bit_identical_results_over_the_socket() {
         let a = scope.spawn(|| {
             let mut client = Client::connect_unix(&path).expect("connects");
             client.ping().expect("pong");
-            client.submit(&smoke.to_string(), options).expect("submits")
+            client
+                .submit(&smoke.to_string(), options.clone())
+                .expect("submits")
         });
         let b = scope.spawn(|| {
             let mut client = Client::connect_unix(&path).expect("connects");
-            client.submit(&grid.to_string(), options).expect("submits")
+            client
+                .submit(&grid.to_string(), options.clone())
+                .expect("submits")
         });
         (a.join().expect("client A"), b.join().expect("client B"))
     });
@@ -77,11 +82,12 @@ fn concurrent_clients_get_bit_identical_results_over_the_socket() {
     let cells = grid.expand();
     assert_eq!(b.len(), cells.len());
     for (reply, cell) in b.iter().zip(&cells) {
-        assert_eq!(reply.summary.name, cell.name);
+        let summary = reply.outcome.as_ref().expect("cell runs");
+        assert_eq!(summary.name, cell.name);
         let (outcome, direct) = record_with(cell, trace_options).expect("direct cell");
         assert_eq!(reply.trace.as_ref().expect("trace"), &direct.to_bytes());
         assert_eq!(
-            reply.summary.makespan_bits,
+            summary.makespan_bits,
             outcome.report.makespan.to_bits(),
             "{}: makespan bits over the wire",
             cell.name
@@ -93,8 +99,16 @@ fn concurrent_clients_get_bit_identical_results_over_the_socket() {
     // for all nine cells.
     let mut client = Client::connect_unix(&path).expect("connects");
     let stats = client.stats().expect("stats");
-    assert_eq!(stats.builds, 1, "one build for smoke + 8 grid cells");
-    assert_eq!(stats.hits + stats.misses, 9);
+    assert_eq!(
+        stats.catalog.builds, 1,
+        "one build for smoke + 8 grid cells"
+    );
+    assert_eq!(stats.catalog.hits + stats.catalog.misses, 9);
+    assert_eq!(
+        stats.admission.admitted, 9,
+        "all nine cells passed admission"
+    );
+    assert_eq!(stats.admission.inflight, 0);
 
     client.shutdown().expect("clean shutdown");
     server
@@ -124,12 +138,10 @@ fn submissions_without_tracing_answer_summaries_only() {
         .expect("submits");
     assert_eq!(replies.len(), 1);
     assert!(replies[0].trace.is_none(), "no trace requested");
+    let summary = replies[0].outcome.as_ref().expect("cell runs");
     let direct = scenario::run(&smoke).expect("direct");
-    assert_eq!(
-        replies[0].summary.makespan_bits,
-        direct.report.makespan.to_bits()
-    );
-    let appfit = replies[0].summary.appfit.as_ref().expect("App_FIT policy");
+    assert_eq!(summary.makespan_bits, direct.report.makespan.to_bits());
+    let appfit = summary.appfit.as_ref().expect("App_FIT policy");
     let direct_appfit = direct.appfit.expect("App_FIT policy");
     assert_eq!(appfit.fit_bits, direct_appfit.current_fit.to_bits());
     assert_eq!(appfit.decided, direct_appfit.decided);

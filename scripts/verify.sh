@@ -33,7 +33,15 @@
 #      8-cell `grid-smoke` sweep with traces, every served trace
 #      bitwise-compared against a direct `scenario record` of the
 #      same cell, then a clean `serve-shutdown` (socket file gone,
-#      server exit 0).
+#      server exit 0),
+#  13. the chaos gate, in release mode: the seeded fault-injection
+#      suite (`chaos`, `journal_resume`, `backpressure` integration
+#      tests), then a crash-resume flow through the release binary —
+#      a journalled tokened grid is `kill -9`ed mid-flight, the
+#      server restarted on the *same* socket path (exercising the
+#      stale-socket probe/unlink), the token resubmitted with the
+#      retrying client, and every resumed trace `cmp`ed against an
+#      uninterrupted run's.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -114,5 +122,59 @@ done
 "$repro" serve-shutdown "$serve_sock"
 wait "$serve_pid"
 [ ! -e "$serve_sock" ] || { echo "verify: socket file survived shutdown" >&2; exit 1; }
+
+echo "==> chaos gate: seeded fault suite (release)"
+cargo test --release -q -p scenario-serve --test chaos --test journal_resume --test backpressure
+
+echo "==> chaos gate: kill -9 mid-grid, restart, resume, cmp"
+chaos_dir="target/verify-chaos"
+chaos_sock="$chaos_dir/serve.sock"
+chaos_journal="$chaos_dir/journal"
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+wait_sock() {
+    for _ in $(seq 1 200); do [ -S "$1" ] && return 0; sleep 0.05; done
+    echo "verify: server never bound $1" >&2
+    return 1
+}
+# The uninterrupted reference run, against its own journal directory.
+"$repro" serve --socket "$chaos_sock" --workers 2 --journal-dir "$chaos_dir/journal-ref" &
+ref_pid=$!
+wait_sock "$chaos_sock"
+"$repro" serve-submit "$chaos_sock" grid-smoke --trace --timing --recovery \
+    --token verify-grid --out-dir "$chaos_dir/ref" > /dev/null
+"$repro" serve-shutdown "$chaos_sock"
+wait "$ref_pid"
+# The interrupted run: kill -9 the server while the tokened grid is in
+# flight; the client dies with it (its failure is expected).
+"$repro" serve --socket "$chaos_sock" --workers 1 --journal-dir "$chaos_journal" &
+victim_pid=$!
+wait_sock "$chaos_sock"
+"$repro" serve-submit "$chaos_sock" grid-smoke --trace --timing --recovery \
+    --token verify-grid --out-dir "$chaos_dir/interrupted" > /dev/null 2>&1 &
+doomed_client=$!
+sleep 0.3
+kill -9 "$victim_pid"
+wait "$victim_pid" 2> /dev/null || true
+wait "$doomed_client" 2> /dev/null || true
+# Restart on the SAME socket path: the kill left a stale socket file
+# behind, so binding again exercises the probe-then-unlink path.
+[ -S "$chaos_sock" ] || { echo "verify: expected a stale socket after kill -9" >&2; exit 1; }
+"$repro" serve --socket "$chaos_sock" --workers 2 --journal-dir "$chaos_journal" &
+resumed_pid=$!
+wait_sock "$chaos_sock"
+# Resubmit the same token through the retrying client: journalled
+# cells replay, the rest run fresh.
+"$repro" serve-submit "$chaos_sock" grid-smoke --trace --timing --recovery \
+    --token verify-grid --retries 3 --out-dir "$chaos_dir/resumed" > /dev/null
+"$repro" serve-shutdown "$chaos_sock"
+wait "$resumed_pid"
+# Every resumed trace must be byte-equal to the uninterrupted run's.
+resumed_cells=0
+for ref_trace in "$chaos_dir"/ref/*.trace; do
+    cmp "$ref_trace" "$chaos_dir/resumed/$(basename "$ref_trace")"
+    resumed_cells=$((resumed_cells + 1))
+done
+[ "$resumed_cells" -eq 8 ] || { echo "verify: expected 8 resumed traces, got $resumed_cells" >&2; exit 1; }
 
 echo "verify: all gates green"
