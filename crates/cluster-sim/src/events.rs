@@ -184,11 +184,15 @@ pub fn time_from_bits(k: u64) -> f64 {
 /// strictly before a horizon provably lives in a bucket no later than
 /// the horizon's — the property [`EpochCalendar::take_before`] and
 /// [`EpochCalendar::min_time`] need. Bucket widths are relative
-/// (≈ time / 2¹⁴ within a binade), which keeps the bucket count
-/// bounded at any time scale.
+/// (≈ time / 2¹⁰ within a binade), which keeps the bucket count
+/// bounded at any time scale. The width is a pure throughput knob
+/// (any monotone bucketing is correct): finer buckets shrink the
+/// straddling-bucket split each window but multiply bucket-map
+/// traffic on the per-completion push path — at 2¹⁴ the bucket churn
+/// measurably dominated the lookahead profile.
 #[inline]
 pub fn time_bucket(t: f64) -> u64 {
-    time_to_bits(t) >> 38
+    time_to_bits(t) >> 42
 }
 
 /// Reusable scratch for [`EventBatch::sort_stable_by_time`] and
@@ -312,6 +316,18 @@ impl EventBatch {
         self.times.iter().copied().zip(self.tasks.iter().copied())
     }
 
+    /// The timestamp at storage index `i`.
+    #[inline]
+    pub(crate) fn time_at(&self, i: usize) -> f64 {
+        self.times[i]
+    }
+
+    /// The task id at storage index `i`.
+    #[inline]
+    pub(crate) fn task_at(&self, i: usize) -> u32 {
+        self.tasks[i]
+    }
+
     /// Mixes the batch contents (in storage order) into the running
     /// fingerprint `h` — part of the sharded engine's model-checking
     /// state hash.
@@ -347,12 +363,25 @@ impl EventBatch {
 
 /// Future events bucketed by epoch index, struct-of-arrays per bucket.
 ///
+/// Buckets live in a `Vec` sorted by index, not a tree: the live set is
+/// small (a handful of open epochs, or the pending-horizon span divided
+/// by the [`time_bucket`] width in lookahead mode), and the push path is
+/// the engines' per-completion hot path — consecutive completions land
+/// in the same or a nearby bucket, so the `hint` of the last bucket
+/// touched usually answers without even a binary search. A `BTreeMap`
+/// here costs a pointer-chasing descent plus a node allocation per new
+/// bucket on every one of millions of pushes.
+///
 /// Drained batches can be handed back via [`EpochCalendar::recycle`];
 /// their buffers are reused for new buckets instead of reallocating
 /// every epoch.
 #[derive(Debug, Clone, Default)]
 pub struct EpochCalendar {
-    buckets: std::collections::BTreeMap<u64, EventBatch>,
+    /// `(bucket index, events)`, ascending by index.
+    buckets: Vec<(u64, EventBatch)>,
+    /// Position of the last bucket pushed into — a pure accelerator
+    /// (stale values are detected by key comparison, never trusted).
+    hint: usize,
     spare: Vec<EventBatch>,
 }
 
@@ -365,21 +394,33 @@ impl EpochCalendar {
     /// Buffers an event for the epoch containing `time`.
     #[inline]
     pub fn push(&mut self, epoch: u64, time: f64, task: u32) {
-        use std::collections::btree_map::Entry;
-        match self.buckets.entry(epoch) {
-            Entry::Occupied(e) => e.into_mut().push(time, task),
-            Entry::Vacant(v) => {
+        if let Some((k, batch)) = self.buckets.get_mut(self.hint) {
+            if *k == epoch {
+                batch.push(time, task);
+                return;
+            }
+        }
+        match self.buckets.binary_search_by_key(&epoch, |&(k, _)| k) {
+            Ok(i) => {
+                self.buckets[i].1.push(time, task);
+                self.hint = i;
+            }
+            Err(i) => {
                 let mut batch = self.spare.pop().unwrap_or_default();
                 batch.clear();
                 batch.push(time, task);
-                v.insert(batch);
+                self.buckets.insert(i, (epoch, batch));
+                self.hint = i;
             }
         }
     }
 
     /// Takes the batch for `epoch`, if any.
     pub fn take(&mut self, epoch: u64) -> Option<EventBatch> {
-        self.buckets.remove(&epoch)
+        match self.buckets.binary_search_by_key(&epoch, |&(k, _)| k) {
+            Ok(i) => Some(self.buckets.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// Drains every event with `time < horizon` into `out`, visiting
@@ -394,19 +435,21 @@ impl EpochCalendar {
     /// it may straddle the horizon and is split, keeping later events
     /// buffered.
     pub fn take_before(&mut self, horizon: f64, horizon_bucket: u64, out: &mut EventBatch) {
-        while let Some((&bucket, _)) = self.buckets.range(..=horizon_bucket).next() {
-            let mut batch = self.buckets.remove(&bucket).expect("bucket exists");
-            if batch.min_time >= horizon {
-                // Entirely past the horizon: keep it buffered. Only the
-                // straddling bucket can look like this, so stop.
-                self.buckets.insert(bucket, batch);
+        // Buckets are sorted ascending, so everything extractable is a
+        // prefix; `drained` counts whole buckets consumed off the front.
+        let mut drained = 0;
+        while let Some(&mut (bucket, ref mut batch)) = self.buckets.get_mut(drained) {
+            if bucket > horizon_bucket || batch.min_time >= horizon {
+                // Past the horizon bucket, or an in-range bucket living
+                // entirely at/after the horizon (only the straddling
+                // bucket can look like that): keep it buffered.
                 break;
             }
             let keeps_any = batch.times.iter().any(|&t| t >= horizon);
             if !keeps_any {
-                out.extend_from(&batch);
+                out.extend_from(batch);
                 batch.clear();
-                self.spare.push(batch);
+                drained += 1;
                 continue;
             }
             // Straddling bucket: split, preserving insertion order on
@@ -423,10 +466,13 @@ impl EpochCalendar {
                     keep.push(t, task);
                 }
             }
-            batch.clear();
-            self.spare.push(batch);
-            self.buckets.insert(bucket, keep);
+            std::mem::swap(batch, &mut keep);
+            keep.clear();
+            self.spare.push(keep);
             break;
+        }
+        for (_, empty) in self.buckets.drain(..drained) {
+            self.spare.push(empty);
         }
     }
 
@@ -436,9 +482,8 @@ impl EpochCalendar {
     /// then holds the global minimum.
     pub fn min_time(&self) -> f64 {
         self.buckets
-            .values()
-            .next()
-            .map_or(f64::INFINITY, EventBatch::min_time)
+            .first()
+            .map_or(f64::INFINITY, |(_, b)| b.min_time())
     }
 
     /// Returns a drained batch's buffers to the recycling pool.
@@ -453,25 +498,177 @@ impl EpochCalendar {
     pub(crate) fn fold_hash(&self, h: &mut u64) {
         use crate::sched::fnv_step;
         fnv_step(h, self.buckets.len() as u64);
-        for (&bucket, batch) in &self.buckets {
-            fnv_step(h, bucket);
+        for (bucket, batch) in &self.buckets {
+            fnv_step(h, *bucket);
             batch.fold_hash(h);
         }
     }
 
     /// Earliest epoch with buffered events.
     pub fn min_epoch(&self) -> Option<u64> {
-        self.buckets.keys().next().copied()
+        self.buckets.first().map(|&(k, _)| k)
     }
 
     /// Total buffered events across all epochs.
     pub fn len(&self) -> usize {
-        self.buckets.values().map(EventBatch::len).sum()
+        self.buckets.iter().map(|(_, b)| b.len()).sum()
     }
 
     /// `true` if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
+    }
+}
+
+/// The lookahead engine's per-shard store of pending cross-node
+/// deliveries: a list of canonically sorted **runs**, one per
+/// `(producing window, producer shard)` batch handed over at a
+/// barrier, each consumed front-to-back by a cursor.
+///
+/// The shape matches the delivery traffic: a producer shard coalesces
+/// one window's activations for one consumer into a single batch,
+/// sorts it `(effect time, consumer task)` in the parallel phase, and
+/// the barrier hands the whole batch over in O(1) (a buffer swap —
+/// no per-event inserts, no re-sort). [`DeliveryCalendar::take_before`]
+/// then drains each run's strict prefix `time < horizon`; because the
+/// runs are sorted, the split point is a binary search and the
+/// calendar's [`DeliveryCalendar::min_time`] is the minimum over run
+/// heads — no bucket map at all.
+///
+/// Buffers flow in a cycle: `push_batch` swaps the producer's batch
+/// contents against a spare buffer (the producer gets an empty,
+/// already-grown buffer back for its next window), and fully drained
+/// runs return their buffers to the spare pool.
+///
+/// Run order is insertion order (the barrier's handoff order), which a
+/// controlled scheduler may permute — so the drain is **not** ordered
+/// across runs (the engine sorts the drained batch canonically once
+/// per window) and the crate-internal `fold_hash` is order-insensitive
+/// across pending events.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryCalendar {
+    runs: Vec<DeliveryRun>,
+    spare: Vec<EventBatch>,
+    recycled: u64,
+}
+
+/// One handed-over delivery batch, canonically sorted, with a consume
+/// cursor (`start`) so partially drained runs keep their suffix in
+/// place instead of copying it.
+#[derive(Debug, Clone)]
+struct DeliveryRun {
+    events: EventBatch,
+    start: usize,
+}
+
+impl DeliveryCalendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        DeliveryCalendar::default()
+    }
+
+    /// Accepts one canonically sorted batch by **swapping** its
+    /// contents into the calendar: the caller's batch comes back empty,
+    /// backed by a recycled buffer (or a fresh one when the pool is
+    /// dry). No-op for an empty batch.
+    pub fn push_batch(&mut self, batch: &mut EventBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        debug_assert!(
+            batch
+                .times
+                .windows(2)
+                .enumerate()
+                .all(|(i, w)| (time_to_bits(w[0]), batch.tasks[i])
+                    <= (time_to_bits(w[1]), batch.tasks[i + 1])),
+            "delivery batches must arrive canonically sorted"
+        );
+        let mut events = match self.spare.pop() {
+            Some(b) => {
+                self.recycled += 1;
+                b
+            }
+            None => EventBatch::new(),
+        };
+        std::mem::swap(&mut events, batch);
+        self.runs.push(DeliveryRun { events, start: 0 });
+    }
+
+    /// Drains every pending event with `time < horizon` into `out`.
+    /// Each run contributes its strict prefix (a binary-searched split
+    /// — the runs are sorted); fully drained runs recycle their
+    /// buffers. `out` receives runs in unspecified relative order —
+    /// callers needing the canonical global order sort once afterwards.
+    pub fn take_before(&mut self, horizon: f64, out: &mut EventBatch) {
+        let mut i = 0;
+        while i < self.runs.len() {
+            let run = &mut self.runs[i];
+            let split = run.start + run.events.times[run.start..].partition_point(|&t| t < horizon);
+            if split > run.start {
+                // The prefix head is the run's pending minimum (sorted).
+                if run.events.times[run.start] < out.min_time {
+                    out.min_time = run.events.times[run.start];
+                }
+                out.times
+                    .extend_from_slice(&run.events.times[run.start..split]);
+                out.tasks
+                    .extend_from_slice(&run.events.tasks[run.start..split]);
+                run.start = split;
+            }
+            if run.start == run.events.len() {
+                let mut drained = self.runs.swap_remove(i);
+                drained.events.clear();
+                self.spare.push(drained.events);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The earliest pending timestamp (`+∞` when empty) — exact: each
+    /// run is sorted, so its head is its minimum.
+    pub fn min_time(&self) -> f64 {
+        self.runs
+            .iter()
+            .fold(f64::INFINITY, |m, r| m.min(r.events.times[r.start]))
+    }
+
+    /// Total pending events across all runs.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|r| r.events.len() - r.start).sum()
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// How many times a pooled buffer was reused for an incoming batch
+    /// (the delivery path's recycling counter).
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Mixes the pending-event **multiset** into the running
+    /// fingerprint `h`, order-insensitively (each event hashed
+    /// independently, images summed): run order is barrier handoff
+    /// order, which a controlled scheduler permutes without changing
+    /// the state. The spare pool is capacity-only and excluded.
+    pub(crate) fn fold_hash(&self, h: &mut u64) {
+        use crate::sched::{fnv_step, splitmix};
+        let mut n: u64 = 0;
+        let mut acc: u64 = 0;
+        for r in &self.runs {
+            for j in r.start..r.events.len() {
+                acc = acc.wrapping_add(splitmix(
+                    r.events.times[j].to_bits() ^ splitmix(u64::from(r.events.tasks[j])),
+                ));
+                n += 1;
+            }
+        }
+        fnv_step(h, n);
+        fnv_step(h, acc);
     }
 }
 
@@ -756,5 +953,97 @@ mod tests {
         assert_eq!(rest, vec![(2.25, 5), (2.5, 2), (4.0, 4)]);
         assert!(c.is_empty());
         assert_eq!(c.min_time(), f64::INFINITY);
+    }
+
+    #[test]
+    fn take_before_keeps_event_at_exactly_the_horizon() {
+        // The drain is strict (`time < horizon`): an event at exactly
+        // the horizon — even as the *only* event, in the horizon's own
+        // bucket — must stay buffered, not drain and not vanish.
+        let horizon = 3.5;
+        let mut c = EpochCalendar::new();
+        c.push(time_bucket(horizon), horizon, 42);
+        let mut out = EventBatch::new();
+        c.take_before(horizon, time_bucket(horizon), &mut out);
+        assert!(out.is_empty(), "t == horizon must not drain");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.min_time(), horizon);
+        // The very next representable horizon drains it exactly once.
+        let next = horizon.next_up();
+        c.take_before(next, time_bucket(next), &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![(horizon, 42)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn delivery_calendar_swaps_batches_and_drains_strict_prefixes() {
+        let mut cal = DeliveryCalendar::new();
+        let mut scratch = SortScratch::default();
+
+        // Producer A's batch: two deliveries, canonically sorted.
+        let mut a = EventBatch::new();
+        a.push(1.0, 7);
+        a.push(2.0, 3);
+        a.sort_canonical(&mut scratch);
+        cal.push_batch(&mut a);
+        assert!(a.is_empty(), "push_batch hands back an empty buffer");
+
+        // Producer B's batch straddles the horizon below.
+        let mut b = EventBatch::new();
+        b.push(1.5, 9);
+        b.push(2.5, 1);
+        cal.push_batch(&mut b);
+        assert_eq!(cal.len(), 4);
+        assert_eq!(cal.min_time(), 1.0);
+
+        let mut out = EventBatch::new();
+        cal.take_before(2.5, &mut out);
+        out.sort_canonical(&mut scratch);
+        assert_eq!(
+            out.iter().collect::<Vec<_>>(),
+            vec![(1.0, 7), (1.5, 9), (2.0, 3)]
+        );
+        // The event at exactly the horizon stays pending (strict
+        // drain), and the fully drained run's buffer was recycled.
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.min_time(), 2.5);
+
+        // An empty push is a no-op; the next real push reuses a pooled
+        // buffer.
+        let mut empty = EventBatch::new();
+        cal.push_batch(&mut empty);
+        assert_eq!(cal.len(), 1);
+        let mut c = EventBatch::new();
+        c.push(2.5, 0);
+        cal.push_batch(&mut c);
+        assert!(cal.recycled() >= 1, "drained buffers must be reused");
+
+        // Draining past everything empties the calendar; the duplicate
+        // timestamp at 2.5 delivers both events exactly once.
+        out.clear();
+        cal.take_before(10.0, &mut out);
+        out.sort_canonical(&mut scratch);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![(2.5, 0), (2.5, 1)]);
+        assert!(cal.is_empty());
+        assert_eq!(cal.min_time(), f64::INFINITY);
+    }
+
+    #[test]
+    fn delivery_calendar_hash_is_insensitive_to_handoff_order() {
+        use crate::sched::FNV_SEED;
+        let build = |order: [usize; 2]| {
+            let mut batches = [EventBatch::new(), EventBatch::new()];
+            batches[0].push(1.0, 4);
+            batches[0].push(3.0, 5);
+            batches[1].push(2.0, 6);
+            let mut cal = DeliveryCalendar::new();
+            for i in order {
+                cal.push_batch(&mut batches[i].clone());
+            }
+            let mut h = FNV_SEED;
+            cal.fold_hash(&mut h);
+            h
+        };
+        assert_eq!(build([0, 1]), build([1, 0]));
     }
 }

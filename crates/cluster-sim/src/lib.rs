@@ -99,6 +99,9 @@ pub use records::RecordStore;
 pub use recovery::{RecoveryConfig, RecoveryKind, RecoveryRecord, RecoveryStrategy};
 pub use report::{LabelStats, SimReport, SimTaskRecord};
 pub use sched::{NaturalOrder, ProtocolOp, ShardScheduler};
-pub use shard::{simulate_sharded, simulate_sharded_scheduled, ShardedConfig, SyncMode};
+pub use shard::{
+    simulate_sharded, simulate_sharded_scheduled, simulate_sharded_stats, DeliveryStats,
+    ShardedConfig, SyncMode,
+};
 pub use sim::{simulate, simulate_delayed, SimConfig};
 pub use stream::{StreamTask, TaskStream};

@@ -79,11 +79,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc;
 
 use appfit_core::{EpochDecider, EpochDecision};
 
 use crate::cost::PreparedCost;
-use crate::events::{ControlKind, EpochCalendar, EventBatch, EventKey, SortScratch};
+use crate::events::{
+    ControlKind, DeliveryCalendar, EpochCalendar, EventBatch, EventKey, SortScratch,
+};
 use crate::graph::{SimGraph, SimTask};
 use crate::machine::ShardMap;
 use crate::ready::ReadyList;
@@ -416,17 +419,30 @@ struct ShardState {
     /// Future-window completion events, batched per epoch (epoch mode)
     /// or per [`crate::events::time_bucket`] (lookahead mode).
     calendar: EpochCalendar,
-    /// Lookahead mode: future delivery events (delayed cross-node
-    /// activations) at exact effect times, bucketed like `calendar`.
-    deliveries: EpochCalendar,
-    /// Lookahead mode: scratch batch for horizon-bounded extraction.
+    /// Lookahead mode: pending delayed cross-node activations at exact
+    /// effect times — one canonically sorted run per barrier handoff,
+    /// drained by horizon at window open (see [`DeliveryCalendar`]).
+    delcal: DeliveryCalendar,
+    /// Lookahead mode: scratch batch for horizon-bounded extraction
+    /// (and, between window open and close, the sorted delivery batch
+    /// the event loop consumes by cursor).
     staged: EventBatch,
     /// Cross-node activations delivered to this shard at the last
     /// barrier (canonically sorted; epoch mode only — lookahead mode
-    /// delivers through `deliveries` at exact effect times).
+    /// delivers through `delcal` at exact effect times).
     inbox: EventBatch,
-    /// Cross-node activations produced this window.
+    /// Cross-node activations produced this window (epoch mode; the
+    /// barrier quantizes them, so one global batch suffices).
     outbox: EventBatch,
+    /// Cross-node activations produced this window, pre-routed per
+    /// consumer shard at their exact effect times (lookahead mode).
+    /// Each batch is sorted canonically at window close — in the
+    /// parallel phase — and handed to the consumer's `delcal` at the
+    /// barrier as one message, O(1), buffers swapping back for reuse.
+    outboxes: Vec<EventBatch>,
+    /// Delivery events consumed through the window-open cursor this
+    /// run — each one a heap push (and pop) the pre-calendar path paid.
+    deliveries_drained: u64,
     /// Reused permutation scratch for calendar-batch sorts.
     scratch: SortScratch,
     /// Replication decisions taken this window.
@@ -461,12 +477,52 @@ fn control_unpack(payload: u32) -> (ControlKind, u32) {
     (kind, payload & 0x3fff_ffff)
 }
 
+/// Perf counters of the sharded engine's cross-shard delivery path,
+/// reported by [`simulate_sharded_stats`].
+///
+/// Deliberately **not** part of [`SimReport`]: the counters describe
+/// the engine's mechanics (and legitimately vary with the shard
+/// layout), while `SimReport` is the bit-comparable simulation result
+/// the conformance harness equates across engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Delivery events shipped inside coalesced per-consumer batches —
+    /// each one a `(producer → consumer)` message the pre-coalescing
+    /// barrier sent (and sorted) individually.
+    pub events_coalesced: u64,
+    /// Coalesced batches handed over at barriers: the number of
+    /// cross-shard messages actually sent. `events_coalesced −
+    /// delivery_batches` is the messaging saved by coalescing.
+    pub delivery_batches: u64,
+    /// Delivery events consumed through the sorted window-open cursor —
+    /// heap pushes (and pops, and per-event calendar inserts) the
+    /// pre-calendar delivery path paid per event.
+    pub heap_pushes_avoided: u64,
+    /// Pooled buffers reused across the barrier handoff (producer and
+    /// consumer sides combined) instead of freshly allocated.
+    pub batches_recycled: u64,
+    /// Synchronization windows (= barriers) the run took.
+    pub windows: u64,
+}
+
 /// Runs the simulation sharded and (optionally) in parallel.
 ///
 /// Semantics are those described in the [module docs](self): identical
 /// to [`crate::sim::simulate`] within a node, epoch-quantized across
 /// nodes, and invariant in `shards`/`threads`.
 pub fn simulate_sharded(graph: &SimGraph, cfg: &SimConfig, shard_cfg: &ShardedConfig) -> SimReport {
+    simulate_sharded_stats(graph, cfg, shard_cfg).0
+}
+
+/// [`simulate_sharded`] plus the run's [`DeliveryStats`] — the perf
+/// counters `bench-sim` records next to throughput so delivery-path
+/// wins (and regressions) stay attributable. The report is the
+/// identical bit-comparable result; only the counters are extra.
+pub fn simulate_sharded_stats(
+    graph: &SimGraph,
+    cfg: &SimConfig,
+    shard_cfg: &ShardedConfig,
+) -> (SimReport, DeliveryStats) {
     run_sharded(graph, cfg, shard_cfg, &mut NaturalOrder)
         .expect("the natural scheduler never aborts a run")
 }
@@ -491,7 +547,7 @@ pub fn simulate_sharded_scheduled(
     shard_cfg: &ShardedConfig,
     sched: &mut dyn ShardScheduler,
 ) -> Option<SimReport> {
-    run_sharded(graph, cfg, shard_cfg, sched)
+    run_sharded(graph, cfg, shard_cfg, sched).map(|(report, _)| report)
 }
 
 /// Executes one phase of up to `n` per-shard operations in
@@ -550,14 +606,17 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
     cfg: &SimConfig,
     shard_cfg: &ShardedConfig,
     sched: &mut S,
-) -> Option<SimReport> {
+) -> Option<(SimReport, DeliveryStats)> {
     let tasks = graph.tasks();
     let n = tasks.len();
     let nodes = cfg.cluster.nodes;
     let map = ShardMap::new(nodes, shard_cfg.shards);
 
     if n == 0 {
-        return Some(SimReport::new(0.0, cfg.cluster.total_cores(), Vec::new()));
+        return Some((
+            SimReport::new(0.0, cfg.cluster.total_cores(), Vec::new()),
+            DeliveryStats::default(),
+        ));
     }
 
     // Per-task shard-local index, and per-shard task counts.
@@ -588,10 +647,12 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
                 heap: BinaryHeap::new(),
                 seq: 0,
                 calendar: EpochCalendar::new(),
-                deliveries: EpochCalendar::new(),
+                delcal: DeliveryCalendar::new(),
                 staged: EventBatch::new(),
                 inbox: EventBatch::new(),
                 outbox: EventBatch::new(),
+                outboxes: (0..map.shards()).map(|_| EventBatch::new()).collect(),
+                deliveries_drained: 0,
                 scratch: SortScratch::default(),
                 decisions: Vec::new(),
                 done: 0,
@@ -668,256 +729,324 @@ fn run_sharded<S: ShardScheduler + ?Sized>(
     // Controlled runs only: consumer shard ids of the current barrier's
     // messages.
     let mut consumers: Vec<u32> = Vec::new();
+    // Delivery-path perf counters (never part of the simulated result).
+    let mut stats = DeliveryStats::default();
 
-    loop {
-        let win = match lookahead {
-            None => Win::Epoch {
-                window,
-                epoch,
-                first: first_window,
-            },
-            Some(_) => Win::Lookahead {
-                w_end,
-                first: first_window,
-            },
-        };
-        // ---- compute phase: every shard advances through the window.
-        // Shard-private by construction (each shard touches only its
-        // own state), so any order gives the same result; a controlled
-        // run still drives the order to certify exactly that.
-        if sched.controlled() {
-            drive_range(sched, ProtocolOp::StepWindow, barrier, shards.len(), |s| {
-                process_window(&mut shards[s], graph, cfg, &cost, &local_of, win);
-            });
-        } else if threads == 1 {
-            for shard in &mut shards {
-                process_window(shard, graph, cfg, &cost, &local_of, win);
-            }
-        } else {
-            let chunk = shards.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for chunk_shards in shards.chunks_mut(chunk) {
-                    let local_of = &local_of;
-                    let cost = &cost;
-                    scope.spawn(move || {
-                        for shard in chunk_shards {
-                            process_window(shard, graph, cfg, cost, local_of, win);
-                        }
-                    });
-                }
-            });
-        }
-        first_window = false;
-
-        // ---- barrier phase: commit decisions, exchange messages,
-        // advance the window. Single-threaded by design: this is the
-        // global sequencing point that makes cross-shard effects
-        // commute. The append/merge/fold orders below are exactly the
-        // freedoms a parallel barrier implementation would have — each
-        // is driven through the scheduling seam so the checker can
-        // certify the canonical sorts erase them.
-        all_decisions.clear();
-        drive_range(
-            sched,
-            ProtocolOp::CommitAppend,
-            barrier,
-            shards.len(),
-            |s| {
-                all_decisions.append(&mut shards[s].decisions);
-            },
-        );
-        let had_decisions = !all_decisions.is_empty();
-        commit_pending_with(
-            &*cfg.policy,
-            tasks,
-            &mut all_decisions,
-            &mut committed,
-            !chaos::commit_order_broken(),
-        );
-        // The committed decision sequence feeds the policy's internal
-        // state, which the fingerprint cannot reach — hash the sequence
-        // itself instead (the policy state is a deterministic function
-        // of the sequences committed so far).
-        let mut commit_hash: u64 = 0;
-        if sched.controlled() && had_decisions {
-            let mut h = FNV_SEED;
-            for d in &committed {
-                fnv_step(&mut h, d.ctx.id);
-                fnv_step(&mut h, u64::from(d.replicate));
-            }
-            commit_hash = h;
-        }
-
-        messages.clear();
-        drive_range(sched, ProtocolOp::MsgSend, barrier, shards.len(), |s| {
-            messages.extend_from(&shards[s].outbox);
-            shards[s].outbox.clear();
-        });
-        messages.sort_canonical(&mut barrier_scratch);
-        let any_messages = !messages.is_empty();
-        if sched.controlled() {
-            consumers.clear();
-            for (_, task) in messages.iter() {
-                consumers.push(map.shard_of(tasks[task as usize].node as usize) as u32);
-            }
-            consumers.sort_unstable();
-            consumers.dedup();
-        }
-        match lookahead {
-            None => {
-                if sched.controlled() {
-                    // Per-consumer delivery in scheduler-chosen order:
-                    // consumers partition the sorted messages, so any
-                    // order fills the same inboxes with the same
-                    // (relative-order-preserving) contents.
-                    drive_list(sched, ProtocolOp::MsgReceive, barrier, &consumers, |c| {
-                        let c = c as usize;
-                        for (time, task) in messages.iter() {
-                            if map.shard_of(tasks[task as usize].node as usize) == c {
-                                shards[c].inbox.push(time, task);
-                            }
-                        }
-                    });
-                } else {
-                    for (time, task) in messages.iter() {
-                        let s = map.shard_of(tasks[task as usize].node as usize);
-                        shards[s].inbox.push(time, task);
+    // Persistent worker pool for the compute phase: spawned once for
+    // the whole run and fed per-window through ownership-handoff
+    // channels (a chunk of shards moves to its worker and back each
+    // window). Spawning scoped threads per window instead costs
+    // tens of microseconds × threads × windows — the dominant
+    // lookahead-mode overhead at short-window scale, where a million
+    // tasks cross hundreds of horizon windows.
+    //
+    // The requested thread count is clamped to the parallelism the
+    // host actually offers: oversubscribed workers can't overlap, so
+    // every extra one is pure channel-handoff latency per window. On a
+    // single-core host the pool dissolves entirely and shards run
+    // inline.
+    let host_par = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+    let workers = if sched.controlled() || threads.min(host_par) <= 1 {
+        0
+    } else {
+        threads.min(host_par).min(shards.len())
+    };
+    std::thread::scope(|scope| {
+        let mut to_workers: Vec<mpsc::Sender<(Vec<ShardState>, Win)>> = Vec::new();
+        let mut from_workers: Vec<mpsc::Receiver<Vec<ShardState>>> = Vec::new();
+        for _ in 0..workers {
+            let (tx_in, rx_in) = mpsc::channel::<(Vec<ShardState>, Win)>();
+            let (tx_out, rx_out) = mpsc::channel::<Vec<ShardState>>();
+            let local_of = &local_of;
+            let cost = &cost;
+            let map = &map;
+            scope.spawn(move || {
+                while let Ok((mut chunk, win)) = rx_in.recv() {
+                    for shard in &mut chunk {
+                        process_window(shard, graph, cfg, cost, local_of, map, win);
+                    }
+                    if tx_out.send(chunk).is_err() {
+                        break;
                     }
                 }
-            }
-            Some(l) => {
-                // Deliveries at exact effect times: production + L.
-                // The no-retroactivity invariant — every event of the
-                // closed window had time ≥ the window's opening
-                // horizon, so its effect lands at or past the window
-                // end just processed.
-                let deliver = |shard: &mut ShardState, time: f64, task: u32| {
-                    let effect = time + l;
-                    debug_assert!(
-                        effect >= w_end,
-                        "delayed activation ({effect}) must not land inside the closed window (end {w_end})"
-                    );
-                    shard
-                        .deliveries
-                        .push(crate::events::time_bucket(effect), effect, task);
-                };
-                if sched.controlled() {
-                    drive_list(sched, ProtocolOp::MsgReceive, barrier, &consumers, |c| {
-                        let c = c as usize;
-                        for (time, task) in messages.iter() {
-                            if map.shard_of(tasks[task as usize].node as usize) == c {
-                                deliver(&mut shards[c], time, task);
-                            }
-                        }
-                    });
-                } else {
-                    for (time, task) in messages.iter() {
-                        let s = map.shard_of(tasks[task as usize].node as usize);
-                        deliver(&mut shards[s], time, task);
-                    }
+            });
+            to_workers.push(tx_in);
+            from_workers.push(rx_out);
+        }
+        // Per-worker chunk buffers, recycled across windows so the
+        // handoff allocates nothing in steady state.
+        let mut chunk_bufs: Vec<Vec<ShardState>> = (0..workers).map(|_| Vec::new()).collect();
+
+        loop {
+            let win = match lookahead {
+                None => Win::Epoch {
+                    window,
+                    epoch,
+                    first: first_window,
+                },
+                Some(l) => Win::Lookahead {
+                    w_end,
+                    lookahead: l,
+                    first: first_window,
+                },
+            };
+            // ---- compute phase: every shard advances through the window.
+            // Shard-private by construction (each shard touches only its
+            // own state), so any order gives the same result; a controlled
+            // run still drives the order to certify exactly that.
+            if sched.controlled() {
+                drive_range(sched, ProtocolOp::StepWindow, barrier, shards.len(), |s| {
+                    process_window(&mut shards[s], graph, cfg, &cost, &local_of, &map, win);
+                });
+            } else if workers == 0 {
+                for shard in &mut shards {
+                    process_window(shard, graph, cfg, &cost, &local_of, &map, win);
+                }
+            } else {
+                // Hand each worker its fixed slice of the shard vector
+                // (same partition every window, so shard state stays on
+                // the thread that warmed it), then reassemble in worker
+                // order — the vector comes back exactly as it left, and
+                // the barrier phase below never knows it was gone.
+                let per = shards.len().div_ceil(workers);
+                let mut rest = std::mem::take(&mut shards);
+                for (tx, buf) in to_workers.iter().zip(&mut chunk_bufs) {
+                    let mut chunk = std::mem::take(buf);
+                    let take = per.min(rest.len());
+                    chunk.extend(rest.drain(..take));
+                    tx.send((chunk, win)).expect("compute worker hung up");
+                }
+                shards = rest;
+                for (rx, buf) in from_workers.iter().zip(&mut chunk_bufs) {
+                    let mut chunk = rx.recv().expect("compute worker died");
+                    shards.append(&mut chunk);
+                    *buf = chunk;
                 }
             }
-        }
+            first_window = false;
 
-        let done: usize = shards.iter().map(|s| s.done).sum();
-        let finished = done == n;
-        if !finished {
-            match lookahead {
+            // ---- barrier phase: commit decisions, exchange messages,
+            // advance the window. Single-threaded by design: this is the
+            // global sequencing point that makes cross-shard effects
+            // commute. The append/merge/fold orders below are exactly the
+            // freedoms a parallel barrier implementation would have — each
+            // is driven through the scheduling seam so the checker can
+            // certify the canonical sorts erase them.
+            all_decisions.clear();
+            drive_range(
+                sched,
+                ProtocolOp::CommitAppend,
+                barrier,
+                shards.len(),
+                |s| {
+                    all_decisions.append(&mut shards[s].decisions);
+                },
+            );
+            let had_decisions = !all_decisions.is_empty();
+            commit_pending_with(
+                &*cfg.policy,
+                tasks,
+                &mut all_decisions,
+                &mut committed,
+                !chaos::commit_order_broken(),
+            );
+            // The committed decision sequence feeds the policy's internal
+            // state, which the fingerprint cannot reach — hash the sequence
+            // itself instead (the policy state is a deterministic function
+            // of the sequences committed so far).
+            let mut commit_hash: u64 = 0;
+            if sched.controlled() && had_decisions {
+                let mut h = FNV_SEED;
+                for d in &committed {
+                    fnv_step(&mut h, d.ctx.id);
+                    fnv_step(&mut h, u64::from(d.replicate));
+                }
+                commit_hash = h;
+            }
+
+            let any_messages = match lookahead {
                 None => {
-                    window = if any_messages {
-                        window + 1
+                    messages.clear();
+                    drive_range(sched, ProtocolOp::MsgSend, barrier, shards.len(), |s| {
+                        messages.extend_from(&shards[s].outbox);
+                        shards[s].outbox.clear();
+                    });
+                    messages.sort_canonical(&mut barrier_scratch);
+                    if sched.controlled() {
+                        consumers.clear();
+                        for (_, task) in messages.iter() {
+                            consumers.push(map.shard_of(tasks[task as usize].node as usize) as u32);
+                        }
+                        consumers.sort_unstable();
+                        consumers.dedup();
+                        // Per-consumer delivery in scheduler-chosen order:
+                        // consumers partition the sorted messages, so any
+                        // order fills the same inboxes with the same
+                        // (relative-order-preserving) contents.
+                        drive_list(sched, ProtocolOp::MsgReceive, barrier, &consumers, |c| {
+                            let c = c as usize;
+                            for (time, task) in messages.iter() {
+                                if map.shard_of(tasks[task as usize].node as usize) == c {
+                                    shards[c].inbox.push(time, task);
+                                }
+                            }
+                        });
                     } else {
-                        // Idle-window skip: fold every shard's earliest
-                        // pending epoch (the epoch-mode null message).
-                        let mut next: Option<u64> = None;
+                        for (time, task) in messages.iter() {
+                            let s = map.shard_of(tasks[task as usize].node as usize);
+                            shards[s].inbox.push(time, task);
+                        }
+                    }
+                    !messages.is_empty()
+                }
+                Some(_) => {
+                    // Coalesced delivery handoff: each producer already
+                    // routed its activations per consumer shard at their
+                    // exact effect times (production + L) and sorted each
+                    // batch canonically in the parallel phase — one message
+                    // per (producer, consumer) pair, transferred O(1) by
+                    // buffer swap, with the displaced spare handed back for
+                    // the producer's next window. The no-retroactivity
+                    // invariant — every event of the closed window had
+                    // time ≥ the window's opening horizon, so its effect
+                    // lands at or past the window end just processed — is
+                    // checked against each batch's minimum. Consumer-side
+                    // order is irrelevant (the calendar hash is
+                    // order-insensitive and the drain re-sorts), so no
+                    // MsgReceive phase remains to schedule.
+                    let mut any = false;
+                    drive_range(sched, ProtocolOp::MsgSend, barrier, shards.len(), |p| {
+                        for c in 0..map.shards() {
+                            let mut batch = std::mem::take(&mut shards[p].outboxes[c]);
+                            if batch.is_empty() {
+                                shards[p].outboxes[c] = batch;
+                                continue;
+                            }
+                            debug_assert!(
+                            batch.min_time() >= w_end,
+                            "delayed activation ({}) must not land inside the closed window (end {w_end})",
+                            batch.min_time()
+                        );
+                            any = true;
+                            stats.events_coalesced += batch.len() as u64;
+                            stats.delivery_batches += 1;
+                            shards[c].delcal.push_batch(&mut batch);
+                            shards[p].outboxes[c] = batch;
+                        }
+                    });
+                    any
+                }
+            };
+
+            let done: usize = shards.iter().map(|s| s.done).sum();
+            let finished = done == n;
+            if !finished {
+                match lookahead {
+                    None => {
+                        window = if any_messages {
+                            window + 1
+                        } else {
+                            // Idle-window skip: fold every shard's earliest
+                            // pending epoch (the epoch-mode null message).
+                            let mut next: Option<u64> = None;
+                            drive_range(
+                                sched,
+                                ProtocolOp::HorizonReport,
+                                barrier,
+                                shards.len(),
+                                |s| {
+                                    if let Some(e) = shards[s].calendar.min_epoch() {
+                                        next = Some(next.map_or(e, |cur| cur.min(e)));
+                                    }
+                                    // Pending controls (a repair, a future
+                                    // preemption) also bound the skip — a
+                                    // ready task may be waiting on one.
+                                    if let Some(e) = shards[s].controls.min_epoch() {
+                                        next = Some(next.map_or(e, |cur| cur.min(e)));
+                                    }
+                                },
+                            );
+                            let next = next.unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
+                            next.max(window + 1)
+                        };
+                    }
+                    Some(l) => {
+                        // Null-message horizon exchange: every shard reports
+                        // its earliest pending event (+∞ when idle); the next
+                        // window extends one lookahead past the global
+                        // horizon, so it always contains the horizon event.
+                        let mut horizon = f64::INFINITY;
                         drive_range(
                             sched,
                             ProtocolOp::HorizonReport,
                             barrier,
                             shards.len(),
                             |s| {
-                                if let Some(e) = shards[s].calendar.min_epoch() {
-                                    next = Some(next.map_or(e, |cur| cur.min(e)));
-                                }
-                                // Pending controls (a repair, a future
-                                // preemption) also bound the skip — a
-                                // ready task may be waiting on one.
-                                if let Some(e) = shards[s].controls.min_epoch() {
-                                    next = Some(next.map_or(e, |cur| cur.min(e)));
-                                }
+                                horizon = horizon.min(
+                                    shards[s]
+                                        .calendar
+                                        .min_time()
+                                        .min(shards[s].delcal.min_time())
+                                        .min(shards[s].controls.min_time()),
+                                );
                             },
                         );
-                        let next = next.unwrap_or_else(|| panic!("cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"));
-                        next.max(window + 1)
-                    };
-                }
-                Some(l) => {
-                    // Null-message horizon exchange: every shard reports
-                    // its earliest pending event (+∞ when idle); the next
-                    // window extends one lookahead past the global
-                    // horizon, so it always contains the horizon event.
-                    let mut horizon = f64::INFINITY;
-                    drive_range(
-                        sched,
-                        ProtocolOp::HorizonReport,
-                        barrier,
-                        shards.len(),
-                        |s| {
-                            horizon = horizon.min(
-                                shards[s]
-                                    .calendar
-                                    .min_time()
-                                    .min(shards[s].deliveries.min_time())
-                                    .min(shards[s].controls.min_time()),
-                            );
-                        },
-                    );
-                    assert!(
+                        assert!(
                         horizon.is_finite(),
                         "cycle or lost task in simulation graph ({done}/{n} completed, no pending events)"
                     );
-                    w_end = horizon + l;
-                    if w_end <= horizon {
-                        // Sub-ulp lookahead: force minimal progress.
-                        w_end =
-                            crate::events::time_from_bits(crate::events::time_to_bits(horizon) + 1);
+                        w_end = horizon + l;
+                        if w_end <= horizon {
+                            // Sub-ulp lookahead: force minimal progress.
+                            w_end = crate::events::time_from_bits(
+                                crate::events::time_to_bits(horizon) + 1,
+                            );
+                        }
                     }
                 }
             }
-        }
-        if sched.controlled() {
-            let fp = state_fingerprint(&shards, window, w_end, commit_hash, done);
-            if !sched.window_boundary(barrier, fp) {
-                return None;
+            if sched.controlled() {
+                let fp = state_fingerprint(&shards, window, w_end, commit_hash, done);
+                if !sched.window_boundary(barrier, fp) {
+                    return None;
+                }
+            }
+            barrier += 1;
+            if finished {
+                break;
             }
         }
-        barrier += 1;
-        if finished {
-            break;
+        // ---- merge shard records into submission order.
+        let mut records: Vec<SimTaskRecord> = Vec::with_capacity(n);
+        for t in tasks {
+            let s = map.shard_of(t.node as usize);
+            let li = local_of[t.id as usize] as usize;
+            records.push(shards[s].records.get(li, t.id));
         }
-    }
+        let makespan = shards
+            .iter()
+            .map(|s| s.records.max_completed())
+            .fold(0.0f64, f64::max);
+        // Per-shard recovery streams merge into one canonical order — the
+        // same stream every shard layout produces.
+        let mut recovery: Vec<RecoveryRecord> = shards
+            .iter_mut()
+            .filter_map(|s| s.rt.take())
+            .flat_map(|rt| rt.into_events())
+            .collect();
+        sort_canonical(&mut recovery);
 
-    // ---- merge shard records into submission order.
-    let mut records: Vec<SimTaskRecord> = Vec::with_capacity(n);
-    for t in tasks {
-        let s = map.shard_of(t.node as usize);
-        let li = local_of[t.id as usize] as usize;
-        records.push(shards[s].records.get(li, t.id));
-    }
-    let makespan = shards
-        .iter()
-        .map(|s| s.records.max_completed())
-        .fold(0.0f64, f64::max);
-    // Per-shard recovery streams merge into one canonical order — the
-    // same stream every shard layout produces.
-    let mut recovery: Vec<RecoveryRecord> = shards
-        .iter_mut()
-        .filter_map(|s| s.rt.take())
-        .flat_map(|rt| rt.into_events())
-        .collect();
-    sort_canonical(&mut recovery);
+        stats.windows = barrier;
+        for shard in &shards {
+            stats.heap_pushes_avoided += shard.deliveries_drained;
+            stats.batches_recycled += shard.delcal.recycled();
+        }
 
-    Some(SimReport::new(makespan, cfg.cluster.total_cores(), records).with_recovery(recovery))
+        Some((
+            SimReport::new(makespan, cfg.cluster.total_cores(), records).with_recovery(recovery),
+            stats,
+        ))
+    })
 }
 
 /// Hashes the engine's complete inter-window state: every shard's
@@ -965,7 +1094,7 @@ fn state_fingerprint(
         fnv_step(&mut h, shard.heap.len() as u64);
         fnv_step(&mut h, u64::from(shard.seq));
         shard.calendar.fold_hash(&mut h);
-        shard.deliveries.fold_hash(&mut h);
+        shard.delcal.fold_hash(&mut h);
         shard.inbox.fold_hash(&mut h);
         shard.controls.fold_hash(&mut h);
         if let Some(rt) = &shard.rt {
@@ -987,8 +1116,15 @@ enum Win {
         first: bool,
     },
     /// Adaptive lookahead window ending at `w_end` (= global horizon
-    /// plus lookahead, computed at the previous barrier).
-    Lookahead { w_end: f64, first: bool },
+    /// plus lookahead, computed at the previous barrier). Carries the
+    /// lookahead so producers can stamp cross-node activations with
+    /// their exact effect times (`production + lookahead`) at the
+    /// moment of production.
+    Lookahead {
+        w_end: f64,
+        lookahead: f64,
+        first: bool,
+    },
 }
 
 impl Win {
@@ -1033,6 +1169,7 @@ fn process_window<'c>(
     cfg: &'c SimConfig,
     cost: &PreparedCost,
     local_of: &[u32],
+    map: &ShardMap,
     win: Win,
 ) {
     let tasks = graph.tasks();
@@ -1097,8 +1234,7 @@ fn process_window<'c>(
             // completion before the window end, stable by time (the
             // batch concatenates ascending buckets in insertion order,
             // so equal-time completions keep dispatch order), then
-            // every pending delivery — delivery keys are canonical
-            // `(time, consumer)` and need no sequencing.
+            // every pending control.
             let hb = crate::events::time_bucket(w_end);
             shard.staged.clear();
             shard.calendar.take_before(w_end, hb, &mut shard.staged);
@@ -1110,11 +1246,6 @@ fn process_window<'c>(
                 shard.seq += 1;
             }
             shard.staged.clear();
-            shard.deliveries.take_before(w_end, hb, &mut shard.staged);
-            for (time, task) in shard.staged.iter() {
-                shard.heap.push(Reverse(EventKey::delivery(time, task)));
-            }
-            shard.staged.clear();
             shard.controls.take_before(w_end, hb, &mut shard.staged);
             for (time, payload) in shard.staged.iter() {
                 let (kind, node) = control_unpack(payload);
@@ -1122,7 +1253,14 @@ fn process_window<'c>(
                     .heap
                     .push(Reverse(EventKey::control(time, kind, node)));
             }
+            // Deliveries bypass the heap entirely: drain the calendar's
+            // pending runs, sort once into the canonical
+            // `(time, consumer)` order — exactly the order the heap's
+            // delivery keys used to pop in — and let the event loop
+            // consume the batch by cursor, merging against the heap.
             shard.staged.clear();
+            shard.delcal.take_before(w_end, &mut shard.staged);
+            shard.staged.sort_canonical(&mut shard.scratch);
         }
     }
 
@@ -1154,9 +1292,43 @@ fn process_window<'c>(
         );
     }
 
-    // Event loop: by construction the heap only ever holds events of
-    // the current window.
-    while let Some(Reverse(key)) = shard.heap.pop() {
+    // Event loop: by construction the heap only ever holds completion
+    // and control events of the current window; deliveries stream from
+    // the sorted `staged` batch through a cursor (taken out of the
+    // shard so the loop body can borrow the shard mutably). Merging is
+    // exact: delivery keys are already in ascending canonical order,
+    // and at equal timestamps the packed-key compare puts completions
+    // first — the same total order the old all-in-one heap popped in,
+    // minus a push+pop per delivery.
+    let staged_deliveries = std::mem::take(&mut shard.staged);
+    let mut cursor = 0usize;
+    loop {
+        let next_delivery = (cursor < staged_deliveries.len()).then(|| {
+            EventKey::delivery(
+                staged_deliveries.time_at(cursor),
+                staged_deliveries.task_at(cursor),
+            )
+        });
+        let key = match (shard.heap.peek().map(|&Reverse(k)| k), next_delivery) {
+            (Some(h), Some(d)) => {
+                if h < d {
+                    shard.heap.pop();
+                    h
+                } else {
+                    cursor += 1;
+                    d
+                }
+            }
+            (Some(h), None) => {
+                shard.heap.pop();
+                h
+            }
+            (None, Some(d)) => {
+                cursor += 1;
+                d
+            }
+            (None, None) => break,
+        };
         let (now, id) = (key.time(), key.task());
         debug_assert!(now < w_end, "event leaked past window");
         if key.is_control() {
@@ -1295,8 +1467,17 @@ fn process_window<'c>(
                 }
             } else {
                 // Any other node — even on this shard — defers to the
-                // barrier, so the partition is unobservable.
-                shard.outbox.push(now, succ);
+                // barrier, so the partition is unobservable. Lookahead
+                // mode routes the activation to its consumer's shard
+                // immediately, stamped with its exact effect time —
+                // the barrier then hands whole batches over instead of
+                // re-routing event by event.
+                match win {
+                    Win::Epoch { .. } => shard.outbox.push(now, succ),
+                    Win::Lookahead { lookahead, .. } => {
+                        shard.outboxes[map.shard_of(st.node as usize)].push(now + lookahead, succ)
+                    }
+                }
             }
         }
         dispatch_node(
@@ -1311,6 +1492,21 @@ fn process_window<'c>(
             cost,
             local_of,
         );
+    }
+
+    // Hand the (drained) delivery buffer back for next window's reuse,
+    // and close the window's outboxes: sorting each per-consumer batch
+    // canonically *here* — still in the parallel compute phase — keeps
+    // the single-threaded barrier to O(1) buffer swaps per batch.
+    shard.deliveries_drained += cursor as u64;
+    shard.staged = staged_deliveries;
+    shard.staged.clear();
+    if matches!(win, Win::Lookahead { .. }) {
+        for outbox in &mut shard.outboxes {
+            if !outbox.is_empty() {
+                outbox.sort_canonical(&mut shard.scratch);
+            }
+        }
     }
 }
 
@@ -1641,6 +1837,56 @@ mod tests {
                 );
                 assert_eq!(seq_policy.replicated(), sh_policy.replicated());
             }
+        }
+    }
+
+    /// A delivery landing **exactly on a window barrier** (`t + L` ==
+    /// the producing window's end — here for every cross-node hop: all
+    /// tasks are zero-cost, so an activation produced at `k·L` has its
+    /// effect at exactly `(k+1)·L`, the closing window's edge, with
+    /// `L = 0.25` keeping every sum exact in binary). None may drop or
+    /// deliver twice under the coalesced path, and the result must stay
+    /// bit-identical to the sequential delayed-activation reference.
+    /// (The engine's `duplicate activation` debug assertion catches
+    /// doubles; completing the whole graph proves no drops.)
+    #[test]
+    fn delivery_exactly_on_window_barrier_neither_drops_nor_doubles() {
+        let g = SimGraph::synthetic(
+            &SyntheticSpec {
+                nodes: 4,
+                chains_per_node: 2,
+                tasks_per_chain: 12,
+                flops_per_task: 0.0,
+                jitter: 0.25,
+                argument_bytes: 0,
+                cross_node_every: 3,
+                seed: 9,
+            },
+            &RateModel::roadrunner(),
+        );
+        let cfg = config(unit_cluster(4, 2, 1), false, None);
+        let lookahead = 0.25;
+        let reference = crate::sim::simulate_delayed(&g, &cfg, lookahead);
+        for shards in [1usize, 2, 4] {
+            let (report, stats) = simulate_sharded_stats(
+                &g,
+                &cfg,
+                &ShardedConfig::new(shards, 1.0)
+                    .with_lookahead(lookahead)
+                    .with_threads(2),
+            );
+            assert_eq!(reference, report, "shards={shards}");
+            assert_eq!(report.records().len(), g.len());
+            // Every cross-node activation rode a coalesced batch and
+            // the heap-free cursor drain, exactly once each.
+            assert_eq!(stats.events_coalesced, stats.heap_pushes_avoided);
+            assert!(stats.events_coalesced > 0, "graph has cross-node edges");
+            assert!(stats.delivery_batches > 0);
+            assert!(
+                stats.delivery_batches <= stats.events_coalesced,
+                "a batch carries at least one event"
+            );
+            assert!(stats.windows > 0);
         }
     }
 

@@ -25,14 +25,17 @@
 
 use std::fs;
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use scenario_serve::{RunOptions, Service, ServiceConfig, SubmitError};
 
 use crate::context::TextTable;
 
 /// The schema tag written into the JSON (bump on breaking changes).
-pub const SCHEMA: &str = "bench-sim/v1";
+/// v2 added the `host` metadata block (so numbers measured on
+/// different machines stop masquerading as regressions) and the
+/// per-preset `delivery` counter block for sharded engines.
+pub const SCHEMA: &str = "bench-sim/v2";
 
 /// The presets a full `bench-sim` run measures, smallest last so the
 /// headline `sweep-1m` number lands first in the file. `lookahead-1m`
@@ -84,6 +87,10 @@ pub struct BenchResult {
     /// Virtual makespan of the run (a correctness canary: layout work
     /// must never move this).
     pub makespan: f64,
+    /// Delivery-path counters when the preset ran the sharded engine
+    /// (`None` for sequential presets), so the win from delivery
+    /// coalescing stays attributable in `BENCH_sim.json`.
+    pub delivery: Option<cluster_sim::DeliveryStats>,
 }
 
 /// Runs one preset in this process and measures it.
@@ -105,7 +112,71 @@ pub fn measure_preset(name: &str) -> Result<BenchResult, String> {
         tasks_per_sec: tasks as f64 / sim_secs.max(1e-9),
         peak_rss_bytes: peak_rss_bytes(),
         makespan: outcome.report.makespan,
+        delivery: outcome.delivery,
     })
+}
+
+/// Host and toolchain identity embedded in the JSON so a number can be
+/// traced to the machine that produced it — re-baselining on a
+/// different box changes the `host` block alongside the throughput,
+/// instead of looking like a silent regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// `/proc/sys/kernel/hostname` (or `unknown`).
+    pub hostname: String,
+    /// First `model name` line of `/proc/cpuinfo` (or `unknown`).
+    pub cpu: String,
+    /// `std::thread::available_parallelism` (0 when unavailable).
+    pub cpus: usize,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// `/proc/sys/kernel/osrelease` (or `unknown`).
+    pub kernel: String,
+    /// `rustc --version` output (or `unknown`).
+    pub rustc: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub measured_unix: u64,
+}
+
+/// Collects [`HostInfo`] for the current machine. Every probe degrades
+/// to `unknown`/`0` rather than failing — a bench run must never die
+/// on a missing `/proc` file.
+pub fn collect_host() -> HostInfo {
+    let read = |path: &str| {
+        fs::read_to_string(path)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "unknown".to_string())
+    };
+    let cpu = fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let rustc = Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    HostInfo {
+        hostname: read("/proc/sys/kernel/hostname"),
+        cpu,
+        cpus: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        os: std::env::consts::OS.to_string(),
+        arch: std::env::consts::ARCH.to_string(),
+        kernel: read("/proc/sys/kernel/osrelease"),
+        rustc,
+        measured_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+    }
 }
 
 /// The scenario-service fan-out measurement: many policy variants
@@ -247,10 +318,21 @@ pub fn peak_rss_bytes() -> u64 {
 /// Serializes a result as the `key=value` line the parent process
 /// parses back from a `--one` child.
 pub fn to_wire(r: &BenchResult) -> String {
-    format!(
+    let mut line = format!(
         "bench-sim-result name={} tasks={} build_secs={} sim_secs={} tasks_per_sec={} peak_rss_bytes={} makespan={}",
         r.name, r.tasks, r.build_secs, r.sim_secs, r.tasks_per_sec, r.peak_rss_bytes, r.makespan
-    )
+    );
+    if let Some(d) = &r.delivery {
+        line.push_str(&format!(
+            " delivery={},{},{},{},{}",
+            d.events_coalesced,
+            d.delivery_batches,
+            d.heap_pushes_avoided,
+            d.batches_recycled,
+            d.windows
+        ));
+    }
+    line
 }
 
 /// Parses a child's `bench-sim-result` line.
@@ -267,6 +349,7 @@ pub fn from_wire(line: &str) -> Result<BenchResult, String> {
         tasks_per_sec: 0.0,
         peak_rss_bytes: 0,
         makespan: 0.0,
+        delivery: None,
     };
     for pair in body.split_whitespace() {
         let (k, v) = pair
@@ -281,6 +364,22 @@ pub fn from_wire(line: &str) -> Result<BenchResult, String> {
             "tasks_per_sec" => r.tasks_per_sec = num()?,
             "peak_rss_bytes" => r.peak_rss_bytes = v.parse().map_err(|e| format!("{k}: {e}"))?,
             "makespan" => r.makespan = num()?,
+            "delivery" => {
+                let parts: Vec<u64> = v
+                    .split(',')
+                    .map(|p| p.parse().map_err(|e| format!("{k}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                let [coalesced, batches, avoided, recycled, windows] = parts[..] else {
+                    return Err(format!("delivery wants 5 counters, got `{v}`"));
+                };
+                r.delivery = Some(cluster_sim::DeliveryStats {
+                    events_coalesced: coalesced,
+                    delivery_batches: batches,
+                    heap_pushes_avoided: avoided,
+                    batches_recycled: recycled,
+                    windows,
+                });
+            }
             other => return Err(format!("unknown key `{other}`")),
         }
     }
@@ -361,7 +460,7 @@ pub fn fanout_from_wire(line: &str) -> Result<FanoutResult, String> {
 /// Rust's shortest-round-trip `Display`, which is valid JSON for every
 /// finite value, and non-finite values are clamped to `0` so the file
 /// always parses.
-pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String {
+pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>, host: &HostInfo) -> String {
     fn f(x: f64) -> String {
         if x.is_finite() {
             format!("{x}")
@@ -369,9 +468,22 @@ pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String
             "0".to_string()
         }
     }
+    fn s(text: &str) -> String {
+        text.replace('\\', "\\\\").replace('"', "\\\"")
+    }
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!("    \"hostname\": \"{}\",\n", s(&host.hostname)));
+    out.push_str(&format!("    \"cpu\": \"{}\",\n", s(&host.cpu)));
+    out.push_str(&format!("    \"cpus\": {},\n", host.cpus));
+    out.push_str(&format!("    \"os\": \"{}\",\n", s(&host.os)));
+    out.push_str(&format!("    \"arch\": \"{}\",\n", s(&host.arch)));
+    out.push_str(&format!("    \"kernel\": \"{}\",\n", s(&host.kernel)));
+    out.push_str(&format!("    \"rustc\": \"{}\",\n", s(&host.rustc)));
+    out.push_str(&format!("    \"measured_unix\": {}\n", host.measured_unix));
+    out.push_str("  },\n");
     out.push_str("  \"presets\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -387,7 +499,30 @@ pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String
             "      \"peak_rss_bytes\": {},\n",
             r.peak_rss_bytes
         ));
-        out.push_str(&format!("      \"makespan\": {}\n", f(r.makespan)));
+        out.push_str(&format!("      \"makespan\": {}", f(r.makespan)));
+        if let Some(d) = &r.delivery {
+            out.push_str(",\n      \"delivery\": {\n");
+            out.push_str(&format!(
+                "        \"events_coalesced\": {},\n",
+                d.events_coalesced
+            ));
+            out.push_str(&format!(
+                "        \"delivery_batches\": {},\n",
+                d.delivery_batches
+            ));
+            out.push_str(&format!(
+                "        \"heap_pushes_avoided\": {},\n",
+                d.heap_pushes_avoided
+            ));
+            out.push_str(&format!(
+                "        \"batches_recycled\": {},\n",
+                d.batches_recycled
+            ));
+            out.push_str(&format!("        \"windows\": {}\n", d.windows));
+            out.push_str("      }\n");
+        } else {
+            out.push('\n');
+        }
         out.push_str(if i + 1 == results.len() {
             "    }\n"
         } else {
@@ -420,9 +555,10 @@ pub fn to_json(results: &[BenchResult], fanout: Option<&FanoutResult>) -> String
     out
 }
 
-/// Asserts `json` matches the `bench-sim/v1` schema: the schema tag,
-/// a non-empty preset array, and every required key with a finite,
-/// positive throughput. This is deliberately a structural check on the
+/// Asserts `json` matches the `bench-sim/v2` schema: the schema tag,
+/// the host metadata block, a non-empty preset array with at least one
+/// sharded preset's `delivery` counter block, and every required key
+/// with a finite, positive throughput. This is deliberately a structural check on the
 /// emitted text (not a re-serialization), so a formatting regression
 /// in [`to_json`] fails too.
 pub fn validate_schema(json: &str) -> Result<(), String> {
@@ -438,6 +574,15 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         "\"tasks_per_sec\"",
         "\"peak_rss_bytes\"",
         "\"makespan\"",
+        "\"host\"",
+        "\"hostname\"",
+        "\"cpu\"",
+        "\"rustc\"",
+        "\"measured_unix\"",
+        "\"delivery\"",
+        "\"events_coalesced\"",
+        "\"heap_pushes_avoided\"",
+        "\"batches_recycled\"",
         "\"serve_fanout\"",
         "\"runs\"",
         "\"graph_builds\"",
@@ -522,15 +667,82 @@ pub fn render(results: &[BenchResult]) -> String {
             format!("{:.2}", r.makespan),
         ]);
     }
-    format!(
+    let mut out = format!(
         "Simulator throughput baseline ({})\n\n{}",
         SCHEMA,
         t.render()
-    )
+    );
+    for r in results {
+        if let Some(d) = &r.delivery {
+            out.push_str(&format!(
+                "\n{}: {} deliveries coalesced into {} batches over {} windows \
+                 ({} heap pushes avoided, {} buffers recycled)",
+                r.name,
+                d.events_coalesced,
+                d.delivery_batches,
+                d.windows,
+                d.heap_pushes_avoided,
+                d.batches_recycled
+            ));
+        }
+    }
+    out
 }
 
-/// Entry point for
-/// `repro bench-sim [--smoke] [--out PATH] [--repeat N] [--one NAME]`.
+/// A parsed `--assert-ratio SLOW:BASE:MAX` gate: fail the run unless
+/// `tasks_per_sec(BASE) / tasks_per_sec(SLOW) <= MAX`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioGate {
+    /// The preset expected to be slower (e.g. `lookahead-1m`).
+    pub slow: String,
+    /// The baseline preset (e.g. `sweep-1m`).
+    pub base: String,
+    /// The largest tolerated `base/slow` throughput ratio.
+    pub max: f64,
+}
+
+/// Parses `SLOW:BASE:MAX` (e.g. `lookahead-1m:sweep-1m:1.5`).
+pub fn parse_ratio_gate(arg: &str) -> Result<RatioGate, String> {
+    let parts: Vec<&str> = arg.split(':').collect();
+    let [slow, base, max] = parts[..] else {
+        return Err(format!("--assert-ratio wants SLOW:BASE:MAX, got `{arg}`"));
+    };
+    let max: f64 = max
+        .parse()
+        .map_err(|e| format!("--assert-ratio max `{max}`: {e}"))?;
+    if !(max.is_finite() && max > 0.0) {
+        return Err(format!("--assert-ratio max must be positive, got {max}"));
+    }
+    Ok(RatioGate {
+        slow: slow.to_string(),
+        base: base.to_string(),
+        max,
+    })
+}
+
+/// Checks a [`RatioGate`] against measured results.
+pub fn check_ratio_gate(gate: &RatioGate, results: &[BenchResult]) -> Result<f64, String> {
+    let find = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| format!("--assert-ratio: preset `{name}` was not measured"))
+    };
+    let slow = find(&gate.slow)?;
+    let base = find(&gate.base)?;
+    let ratio = base.tasks_per_sec / slow.tasks_per_sec.max(1e-9);
+    if ratio > gate.max {
+        return Err(format!(
+            "throughput ratio gate failed: {} runs {ratio:.3}x slower than {} \
+             (limit {:.3}x; {:.0} vs {:.0} tasks/s)",
+            gate.slow, gate.base, gate.max, slow.tasks_per_sec, base.tasks_per_sec
+        ));
+    }
+    Ok(ratio)
+}
+
+/// Entry point for `repro bench-sim [--smoke] [--out PATH]
+/// [--repeat N] [--one NAME] [--assert-ratio SLOW:BASE:MAX]`.
 ///
 /// Without `--one`, re-executes the current binary per preset so each
 /// measurement owns its peak-memory reading — `--repeat N` times
@@ -546,10 +758,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut one: Option<String> = None;
     let mut fanout_base: Option<String> = None;
     let mut repeat = 3usize;
+    let mut repeat_explicit = false;
+    let mut ratio_gate: Option<RatioGate> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--assert-ratio" => {
+                ratio_gate = Some(parse_ratio_gate(
+                    it.next().ok_or("--assert-ratio needs SLOW:BASE:MAX")?,
+                )?);
+            }
             "--out" => out_path = it.next().ok_or("--out needs a path")?.clone(),
             "--repeat" => {
                 repeat = it
@@ -560,6 +779,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 if repeat == 0 {
                     return Err("--repeat must be at least 1".into());
                 }
+                repeat_explicit = true;
             }
             "--one" => one = Some(it.next().ok_or("--one needs a preset name")?.clone()),
             "--fanout" => {
@@ -582,13 +802,29 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    // The smoke gate checks machinery, not speed: one repetition.
-    let presets: Vec<&str> = if smoke {
-        repeat = 1;
-        vec!["smoke"]
+    // The smoke gate checks machinery, not speed: one repetition
+    // (unless `--repeat` asks for more — sub-second runs are noisy and
+    // a gated smoke may want best-of-N), and both seconds-scale
+    // sharded presets so the delivery counters and the ratio gate run
+    // against real (if noisy) numbers.
+    let mut presets: Vec<&str> = if smoke {
+        if !repeat_explicit {
+            repeat = 1;
+        }
+        vec!["smoke", "smoke-lookahead"]
     } else {
         FULL_PRESETS.to_vec()
     };
+    // A ratio gate needs both its presets measured; pull in any it
+    // names that the list is missing (leaked into Strings only here).
+    let extra: Vec<String> = ratio_gate
+        .iter()
+        .flat_map(|g| [g.slow.clone(), g.base.clone()])
+        .filter(|n| !presets.contains(&n.as_str()))
+        .collect();
+    for name in &extra {
+        presets.push(name.as_str());
+    }
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut results = Vec::with_capacity(presets.len());
     for name in presets {
@@ -643,10 +879,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .ok_or("fan-out child printed no result line")?;
     let fanout = fanout_from_wire(line)?;
 
-    let json = to_json(&results, Some(&fanout));
+    let json = to_json(&results, Some(&fanout), &collect_host());
     if smoke {
         validate_schema(&json).map_err(|e| format!("BENCH_sim.json schema violation: {e}"))?;
         eprintln!("bench-sim: schema OK");
+    }
+    if let Some(gate) = &ratio_gate {
+        let ratio = check_ratio_gate(gate, &results)?;
+        eprintln!(
+            "bench-sim: ratio gate OK — {} is {ratio:.3}x slower than {} (limit {:.3}x)",
+            gate.slow, gate.base, gate.max
+        );
     }
     fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("{}", render(&results));
@@ -668,6 +911,13 @@ mod tests {
             tasks_per_sec: 233_017.0,
             peak_rss_bytes: 512 * 1024 * 1024,
             makespan: 17.25,
+            delivery: Some(cluster_sim::DeliveryStats {
+                events_coalesced: 131_072,
+                delivery_batches: 4_096,
+                heap_pushes_avoided: 131_072,
+                batches_recycled: 4_000,
+                windows: 1_024,
+            }),
         }
     }
 
@@ -687,33 +937,95 @@ mod tests {
         }
     }
 
+    fn sample_host() -> HostInfo {
+        HostInfo {
+            hostname: "bench-host".into(),
+            cpu: "Model \"X\"".into(),
+            cpus: 8,
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            kernel: "6.0.0".into(),
+            rustc: "rustc 1.80.0".into(),
+            measured_unix: 1_700_000_000,
+        }
+    }
+
     #[test]
     fn wire_round_trips() {
         let r = sample();
         assert_eq!(from_wire(&to_wire(&r)).unwrap(), r);
+        // A sequential preset has no delivery block — that must
+        // round-trip as None, not zeros.
+        let seq = BenchResult {
+            delivery: None,
+            ..sample()
+        };
+        assert_eq!(from_wire(&to_wire(&seq)).unwrap(), seq);
         let fo = sample_fanout();
         assert_eq!(fanout_from_wire(&fanout_to_wire(&fo)).unwrap(), fo);
     }
 
     #[test]
     fn json_passes_schema() {
-        let json = to_json(&[sample()], Some(&sample_fanout()));
+        let json = to_json(&[sample()], Some(&sample_fanout()), &sample_host());
         validate_schema(&json).unwrap();
+        // The host's quote-bearing CPU model must have been escaped.
+        assert!(json.contains("Model \\\"X\\\""));
     }
 
     #[test]
     fn schema_rejects_missing_keys_and_bad_throughput() {
         assert!(validate_schema("{}").is_err());
+        let host = sample_host();
         let mut bad = sample();
         bad.tasks_per_sec = f64::NAN;
         // NaN clamps to 0 in the writer, which the validator rejects.
-        assert!(validate_schema(&to_json(&[bad], Some(&sample_fanout()))).is_err());
+        assert!(validate_schema(&to_json(&[bad], Some(&sample_fanout()), &host)).is_err());
         // No fan-out block at all is a schema violation too.
-        assert!(validate_schema(&to_json(&[sample()], None)).is_err());
+        assert!(validate_schema(&to_json(&[sample()], None, &host)).is_err());
         // As is a fan-out that rebuilt the graph per run.
         let mut rebuilt = sample_fanout();
         rebuilt.graph_builds = 8;
-        assert!(validate_schema(&to_json(&[sample()], Some(&rebuilt))).is_err());
+        assert!(validate_schema(&to_json(&[sample()], Some(&rebuilt), &host)).is_err());
+        // As is a run whose presets were all sequential (no counters).
+        let seq = BenchResult {
+            delivery: None,
+            ..sample()
+        };
+        assert!(validate_schema(&to_json(&[seq], Some(&sample_fanout()), &host)).is_err());
+    }
+
+    #[test]
+    fn ratio_gate_parses_and_checks() {
+        let gate = parse_ratio_gate("lookahead-1m:sweep-1m:1.5").unwrap();
+        assert_eq!(gate.slow, "lookahead-1m");
+        assert_eq!(gate.base, "sweep-1m");
+        assert!(parse_ratio_gate("only-two:parts").is_err());
+        assert!(parse_ratio_gate("a:b:-1").is_err());
+        assert!(parse_ratio_gate("a:b:nope").is_err());
+
+        let base = sample();
+        let mut slow = sample();
+        slow.name = "lookahead-1m".into();
+        slow.tasks_per_sec = base.tasks_per_sec / 1.4;
+        let results = vec![base.clone(), slow.clone()];
+        let ratio = check_ratio_gate(&gate, &results).unwrap();
+        assert!((ratio - 1.4).abs() < 1e-9);
+        // Past the limit → a typed failure naming both presets.
+        slow.tasks_per_sec = base.tasks_per_sec / 2.0;
+        let err = check_ratio_gate(&gate, &[base, slow]).unwrap_err();
+        assert!(err.contains("lookahead-1m") && err.contains("sweep-1m"));
+        // A gate naming an unmeasured preset fails loudly.
+        assert!(check_ratio_gate(&gate, &[sample()]).is_err());
+    }
+
+    #[test]
+    fn collect_host_degrades_gracefully() {
+        let host = collect_host();
+        assert!(!host.hostname.is_empty());
+        assert!(!host.rustc.is_empty());
+        assert_eq!(host.os, std::env::consts::OS);
+        assert_eq!(host.arch, std::env::consts::ARCH);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! observable here is covered by the scenario-serve conformance tests.
 //!
 //! Robustness flags: the server takes `--journal-dir` (resumable
-//! tokened grids), `--write-timeout-ms` (disconnect stalled readers),
+//! tokened grids), `--journal-fsync` (host-crash-durable commits —
+//! without it journalled cells survive `kill -9` but ride the page
+//! cache), `--write-timeout-ms` (disconnect stalled readers),
 //! `--queue-capacity`/`--conn-inflight` (admission sizing); the
 //! submitter takes `--deadline-ms` (end-to-end deadline),
 //! `--token` (idempotent resumable resubmission) and `--retries`
@@ -25,7 +27,7 @@ use crate::scenario_cli::resolve;
 
 const SERVE_USAGE: &str = "usage: repro serve <--socket PATH | --stdio> [--workers N] \
      [--catalog-capacity N] [--queue-capacity N] [--conn-inflight N] \
-     [--write-timeout-ms N] [--journal-dir DIR]";
+     [--write-timeout-ms N] [--journal-dir DIR] [--journal-fsync]";
 const SUBMIT_USAGE: &str =
     "usage: repro serve-submit SOCKET NAME [--trace] [--timing] [--recovery] [--out-dir DIR] \
      [--deadline-ms N] [--token TOKEN] [--retries N]";
@@ -80,12 +82,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 let dir = rest.next().ok_or("--journal-dir needs a directory")?;
                 server_options.journal_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--journal-fsync" => server_options.journal_fsync = true,
             other => {
                 return Err(format!(
                     "unexpected serve argument `{other}`\n{SERVE_USAGE}"
                 ))
             }
         }
+    }
+    if server_options.journal_fsync && server_options.journal_dir.is_none() {
+        return Err(format!(
+            "--journal-fsync needs --journal-dir\n{SERVE_USAGE}"
+        ));
     }
     match (socket, stdio) {
         (Some(path), false) => {
@@ -327,6 +335,10 @@ mod tests {
             "invalid grid token"
         );
         assert!(shutdown(&[]).is_err());
+        assert!(
+            serve(&["--stdio".into(), "--journal-fsync".into()]).is_err(),
+            "--journal-fsync without --journal-dir"
+        );
     }
 
     #[cfg(unix)]
@@ -345,6 +357,7 @@ mod tests {
                 "2".to_string(),
                 "--journal-dir".to_string(),
                 dir.join("journal").to_str().unwrap().to_string(),
+                "--journal-fsync".to_string(),
             ];
             std::thread::spawn(move || serve(&args))
         };

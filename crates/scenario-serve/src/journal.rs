@@ -34,6 +34,20 @@
 //! different spec (hash of its canonical rendering), cell count, or
 //! recording options is refused with a typed `token-mismatch` error
 //! rather than silently mixing two grids' results.
+//!
+//! ## Durability
+//!
+//! By default a committed record is **process-crash durable only**:
+//! the single `write_all` lands the bytes in the OS page cache, so a
+//! `kill -9`'d (or panicking) server replays every committed cell on
+//! restart, but a *host* crash or power loss may lose records the
+//! kernel had not yet written back. Opening the journal with
+//! [`Journal::open_fsync`] (the server's `--journal-fsync` flag)
+//! upgrades the guarantee to **host-crash durable**: every
+//! [`GridJournal::record`] is followed by `sync_data`, so a record is
+//! acknowledged only once it is on stable storage — at the cost of one
+//! disk flush per completed cell. The directory entry itself is synced
+//! once at journal creation, covering the first-append rename window.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -100,14 +114,37 @@ pub struct JournalEntry {
 /// A directory of per-token grid journals.
 pub struct Journal {
     dir: PathBuf,
+    fsync: bool,
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal directory.
+    /// Opens (creating if needed) the journal directory with the
+    /// default page-cache durability (survives `kill -9`, not a host
+    /// crash — see the module docs).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Journal> {
+        Journal::open_with(dir, false)
+    }
+
+    /// Opens the journal directory with host-crash durability: every
+    /// committed record is `sync_data`'d before it is acknowledged.
+    pub fn open_fsync(dir: impl Into<PathBuf>) -> io::Result<Journal> {
+        Journal::open_with(dir, true)
+    }
+
+    fn open_with(dir: impl Into<PathBuf>, fsync: bool) -> io::Result<Journal> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Journal { dir })
+        if fsync {
+            // Make the directory entry durable so a journal file
+            // created after a host crash is actually findable.
+            File::open(&dir)?.sync_all()?;
+        }
+        Ok(Journal { dir, fsync })
+    }
+
+    /// Whether committed records are flushed to stable storage.
+    pub fn fsync(&self) -> bool {
+        self.fsync
     }
 
     /// The directory this journal lives in.
@@ -158,10 +195,16 @@ impl Journal {
         if valid_len == 0 {
             file.write_all(header.render().as_bytes())?;
         }
+        if self.fsync && (valid_len < on_disk || valid_len == 0) {
+            // The truncation / header rewrite must be durable before
+            // any record appended after it claims to be.
+            file.sync_data()?;
+        }
         Ok(Ok(GridJournal {
             file,
             header,
             completed,
+            fsync: self.fsync,
         }))
     }
 }
@@ -272,6 +315,7 @@ pub struct GridJournal {
     file: File,
     header: GridHeader,
     completed: BTreeMap<usize, JournalEntry>,
+    fsync: bool,
 }
 
 impl GridJournal {
@@ -287,7 +331,10 @@ impl GridJournal {
     }
 
     /// Appends one cell completion. The whole record goes out in a
-    /// single `write_all` so a crash tears at most the final line.
+    /// single `write_all` so a crash tears at most the final line;
+    /// with fsync enabled ([`Journal::open_fsync`]) the record is also
+    /// `sync_data`'d, making the commit host-crash durable before this
+    /// returns.
     pub fn record(&mut self, index: usize, fields: &str, trace: Option<&[u8]>) -> io::Result<()> {
         let mut record = String::new();
         if let Some(bytes) = trace {
@@ -297,7 +344,11 @@ impl GridJournal {
             "cell {index} hash={:016x} {fields}\n",
             fnv1a64(fields.as_bytes())
         ));
-        self.file.write_all(record.as_bytes())
+        self.file.write_all(record.as_bytes())?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -406,6 +457,29 @@ mod tests {
         let hash = fnv1a64(fields.as_bytes());
         assert_ne!(hash, fnv1a64(b"name=smoke+seed=2"));
         assert_eq!(hash, fnv1a64(fields.as_bytes()), "stable");
+    }
+
+    #[test]
+    fn fsync_journal_round_trips_like_the_default() {
+        let dir = tempdir("fsync");
+        let journal = Journal::open_fsync(&dir).expect("open");
+        assert!(journal.fsync());
+        assert!(!Journal::open(&dir).expect("open").fsync());
+        {
+            let mut grid = journal.resume("tok", header()).expect("io").expect("fresh");
+            grid.record(0, "name=a tasks=1", Some(&[9]))
+                .expect("record");
+            grid.record(3, "name=d tasks=4", None).expect("record");
+        }
+        // Durable records resume identically through either opening.
+        let grid = Journal::open(&dir)
+            .expect("open")
+            .resume("tok", header())
+            .expect("io")
+            .expect("same grid");
+        assert_eq!(grid.completed().len(), 2);
+        assert_eq!(grid.completed()[&0].trace.as_deref(), Some(&[9u8][..]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

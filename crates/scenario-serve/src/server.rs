@@ -35,6 +35,11 @@ pub struct ServerOptions {
     /// Directory for per-token grid completion journals; `None`
     /// disables resumable grids.
     pub journal_dir: Option<PathBuf>,
+    /// Fsync every committed journal record (`--journal-fsync`).
+    /// Off: commits survive a killed server (page cache) but not a
+    /// host crash. On: commits are on stable storage before the cell's
+    /// result is acknowledged — one disk flush per cell.
+    pub journal_fsync: bool,
     /// Kernel-level write timeout per connection: a client that stops
     /// reading for this long is disconnected (its admitted cells are
     /// shed) instead of blocking a serving thread forever.
@@ -305,6 +310,7 @@ pub fn serve_stdio(service: &Service) -> io::Result<ServeExit> {
 pub fn serve_stdio_with(service: &Service, options: &ServerOptions) -> io::Result<ServeExit> {
     let journal = match &options.journal_dir {
         None => None,
+        Some(dir) if options.journal_fsync => Some(Journal::open_fsync(dir)?),
         Some(dir) => Some(Journal::open(dir)?),
     };
     let stdin = io::stdin();
@@ -362,6 +368,7 @@ pub fn serve_unix_with(
     let listener = UnixListener::bind(path)?;
     let journal = match &options.journal_dir {
         None => None,
+        Some(dir) if options.journal_fsync => Some(Arc::new(Journal::open_fsync(dir)?)),
         Some(dir) => Some(Arc::new(Journal::open(dir)?)),
     };
     let stop = Arc::new(AtomicBool::new(false));

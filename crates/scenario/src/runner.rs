@@ -14,8 +14,8 @@ use appfit_core::{
     RandomPolicy, ReplicateAll, ReplicateNone, ReplicationPolicy,
 };
 use cluster_sim::{
-    simulate, simulate_sharded, CostModel, RecoveryConfig, RecoveryStrategy, ShardedConfig,
-    SimConfig, SimGraph, SimReport, SyntheticSpec,
+    simulate, simulate_sharded_stats, CostModel, DeliveryStats, RecoveryConfig, RecoveryStrategy,
+    ShardedConfig, SimConfig, SimGraph, SimReport, SyntheticSpec,
 };
 use fault_inject::{FaultModel, InjectionConfig, NoFaults, SeededInjector};
 use fit_model::{Fit, RateModel};
@@ -100,6 +100,10 @@ pub struct Outcome {
     pub policy: &'static str,
     /// App_FIT statistics when the policy was App_FIT.
     pub appfit: Option<AppFitOutcome>,
+    /// Delivery-path perf counters when the engine was sharded
+    /// (`None` for the sequential engine). Diagnostics only — never
+    /// part of the report, so bit-identity comparisons stay strict.
+    pub delivery: Option<DeliveryStats>,
 }
 
 /// The failure-rate model a scenario implies (Roadrunner base rates ×
@@ -259,8 +263,8 @@ pub fn run_on(
         },
     };
 
-    let report = match spec.engine {
-        EngineSpec::Sequential => simulate(graph, &cfg),
+    let (report, delivery) = match spec.engine {
+        EngineSpec::Sequential => (simulate(graph, &cfg), None),
         EngineSpec::Sharded {
             shards,
             epoch,
@@ -290,7 +294,8 @@ pub fn run_on(
             if let Some(secs) = lookahead_secs {
                 sharded = sharded.with_lookahead(secs);
             }
-            simulate_sharded(graph, &cfg, &sharded)
+            let (report, stats) = simulate_sharded_stats(graph, &cfg, &sharded);
+            (report, Some(stats))
         }
     };
 
@@ -302,6 +307,7 @@ pub fn run_on(
             decided: h.decided(),
             replicated: h.replicated(),
         }),
+        delivery,
         report,
     })
 }
